@@ -1,0 +1,94 @@
+/// \file abl_leak.cpp
+/// Ablation: sensitivity to the leak parameter of Equation 4. The leak
+/// absorbs the gap between the workflow-derived deterministic function f(X)
+/// and the measured response time. We create a *real* gap by running the
+/// environment episodically over a workflow with choice and loop constructs
+/// (each request takes one branch / iterates a random number of times, so
+/// f's blend/expected-unrolling reductions only hold on average), then
+/// sweep fixed leak scales against the auto-calibrated one.
+///
+/// Expected shape: held-out response-node log-likelihood peaks near the
+/// residual's true scale; overconfident (tiny sigma) settings collapse, and
+/// auto-calibration sits at or near the peak.
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "kert/kert_builder.hpp"
+#include "workflow/generator.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kServices = 12;
+constexpr std::size_t kTrainRows = 400;
+constexpr std::size_t kTestRows = 200;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: leak scale of the deterministic response CPD "
+      "(episodic choice/loop workload)",
+      {"leak_sigma", "policy", "D_node_log10lik_per_row"});
+  return collector;
+}
+
+/// Environment whose workflow is rich in choice/loop so episodic response
+/// times genuinely leak around f(X).
+sim::SyntheticEnvironment choice_heavy_environment(std::uint64_t seed) {
+  Rng rng(seed);
+  wf::GeneratorOptions opts;
+  opts.sequence_weight = 0.4;
+  opts.parallel_weight = 0.2;
+  opts.choice_weight = 0.4;
+  opts.loop_probability = 0.25;
+  wf::Workflow workflow = wf::make_random_workflow(kServices, rng, opts);
+
+  wf::ResourceSharing sharing;
+  std::vector<sim::ServiceModel> models(kServices);
+  for (auto& m : models) {
+    m.base_mean = rng.uniform(0.05, 0.4);
+    m.noise_sigma = m.base_mean * 0.2;
+    m.upstream_coupling = 0.3;
+    m.resource_sensitivity = 0.0;
+  }
+  return sim::SyntheticEnvironment(std::move(workflow), std::move(sharing),
+                                   std::move(models));
+}
+
+void BM_LeakSweep(benchmark::State& state) {
+  // range(0): index into the sigma grid; -1 encodes auto-calibration.
+  static constexpr double kSigmas[] = {1e-4, 1e-3, 1e-2, 0.05, 0.15, 0.5};
+  const std::int64_t idx = state.range(0);
+
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    sim::SyntheticEnvironment env = choice_heavy_environment(90 + rep);
+    Rng rng = bench::data_rng(kServices, rep, 9);
+    const bn::Dataset train =
+        env.generate(kTrainRows, rng, sim::ResponseMode::kEpisodic);
+    const bn::Dataset test =
+        env.generate(kTestRows, rng, sim::ResponseMode::kEpisodic);
+
+    const double sigma = idx < 0 ? 0.0 : kSigmas[idx];
+    const core::KertResult result = core::construct_kert_continuous(
+        env.workflow(), env.sharing(), train,
+        core::LearningMode::kCentralized, sigma);
+    fit += result.net.node_log_likelihood(result.net.size() - 1, test) /
+           (std::numbers::ln10 * double(kTestRows));
+    ++rep;
+  }
+  const double avg = fit / double(rep);
+  state.counters["D_log10lik_row"] = avg;
+  series().add_row({idx < 0 ? -1.0 : kSigmas[idx],
+                    std::string(idx < 0 ? "auto-calibrated" : "fixed"),
+                    avg});
+}
+
+}  // namespace
+
+BENCHMARK(BM_LeakSweep)
+    ->Arg(-1)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Iterations(5)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+/// \file abl_query_pruning.cpp
+/// Ablation for the Section 7 future-work item: "employing domain knowledge
+/// and decentralization techniques to reduce the cost of probability
+/// assessment after the model is constructed". Three inference strategies
+/// answer the same dComp-style queries on discrete KERT-BNs of growing
+/// size:
+///   * ve        — plain variable elimination on the full model,
+///   * pruned    — VE on the query-relevant subnetwork (ancestors of
+///                 query ∪ evidence),
+///   * jtree     — one junction-tree calibration amortized over all-node
+///                 posterior queries.
+///
+/// Expected shape: pruning wins for single upstream queries (most of the
+/// model is barren); the junction tree wins when every node is queried
+/// against the same evidence. Posteriors are identical across strategies
+/// (asserted in tests/).
+
+#include "bench_common.hpp"
+#include "bn/discrete_inference.hpp"
+#include "bn/junction_tree.hpp"
+#include "bn/relevance.hpp"
+#include "common/stopwatch.hpp"
+#include "kert/kert_builder.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kBins = 3;
+constexpr std::size_t kTrainRows = 300;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: inference strategies for repeated model queries",
+      {"services", "strategy", "all_posteriors_ms"});
+  return collector;
+}
+
+/// Builds a discrete KERT-BN over a random environment of the given size.
+/// The deterministic response CPT holds bins^n rows, so sizes stay modest
+/// (the point here is query cost, not model scale).
+core::KertResult build_model(std::size_t n_services, std::uint64_t rep) {
+  sim::SyntheticEnvironment env = bench::fixed_environment(n_services, rep);
+  Rng rng = bench::data_rng(n_services, rep, 21);
+  const bn::Dataset train = env.generate(kTrainRows, rng);
+  const core::DatasetDiscretizer disc(train, kBins);
+  return core::construct_kert_discrete(env.workflow(), env.sharing(), disc,
+                                       disc.discretize(train));
+}
+
+/// Scenario A — "response observed": evidence on D, posterior of every
+/// service (the dComp sweep after an SLA alarm). Every node is relevant, so
+/// pruning cannot help; the junction tree amortizes one calibration over
+/// all queries.
+void BM_ResponseObserved(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  const int strategy = static_cast<int>(state.range(1));
+
+  const core::KertResult kert = build_model(n_services, 0);
+  const std::size_t d_node = n_services;
+  const std::map<std::size_t, std::size_t> evidence{{d_node, kBins - 1}};
+  const bn::DiscreteEvidence ve_evidence(evidence.begin(), evidence.end());
+
+  double total_ms = 0.0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    double checksum = 0.0;
+    if (strategy == 0) {  // plain VE, one run per query node
+      const bn::VariableElimination ve(kert.net);
+      for (std::size_t v = 0; v < n_services; ++v) {
+        checksum += ve.posterior(v, ve_evidence)[0];
+      }
+    } else {  // junction tree: calibrate once, read every posterior
+      bn::JunctionTree jt(kert.net);
+      jt.calibrate(evidence);
+      for (std::size_t v = 0; v < n_services; ++v) {
+        checksum += jt.posterior(v)[0];
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+    total_ms += timer.millis();
+    ++rounds;
+  }
+  const char* names[] = {"ve", "jtree"};
+  state.counters["all_posteriors_ms"] = total_ms / double(rounds);
+  series().add_row({double(n_services),
+                    std::string("D-observed/") + names[strategy],
+                    total_ms / double(rounds)});
+}
+
+/// Scenario B — "upstream diagnosis": evidence on an entry service,
+/// posterior of each mid-workflow service. The response node (whose CPT is
+/// the bins^n monster) is barren for these queries; relevance pruning drops
+/// it entirely, plain VE pays for marginalizing it out.
+void BM_UpstreamDiagnosis(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  const int strategy = static_cast<int>(state.range(1));
+
+  const core::KertResult kert = build_model(n_services, 0);
+  // Evidence on a root service of the knowledge DAG.
+  const std::size_t entry = kert.net.dag().roots().front();
+  const std::map<std::size_t, std::size_t> evidence{{entry, kBins - 1}};
+  const bn::DiscreteEvidence ve_evidence(evidence.begin(), evidence.end());
+
+  double total_ms = 0.0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    double checksum = 0.0;
+    for (std::size_t v = 0; v < n_services; ++v) {
+      if (v == entry) continue;
+      if (strategy == 0) {
+        const bn::VariableElimination ve(kert.net);
+        checksum += ve.posterior(v, ve_evidence)[0];
+      } else {
+        checksum += bn::pruned_posterior(kert.net, v, evidence)[0];
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+    total_ms += timer.millis();
+    ++rounds;
+  }
+  const char* names[] = {"ve", "pruned"};
+  state.counters["all_posteriors_ms"] = total_ms / double(rounds);
+  series().add_row({double(n_services),
+                    std::string("upstream/") + names[strategy],
+                    total_ms / double(rounds)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_ResponseObserved)
+    ->Args({6, 0})->Args({6, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({10, 0})->Args({10, 1})
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UpstreamDiagnosis)
+    ->Args({6, 0})->Args({6, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({10, 0})->Args({10, 1})
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

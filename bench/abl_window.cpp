@@ -1,0 +1,92 @@
+/// \file abl_window.cpp
+/// Ablation: the environmental correlation metric K of Equation 1. K sizes
+/// the sliding window W = K · T_CON; the paper argues environments with
+/// frequent autonomic actions need small K (only recent data reflects the
+/// current regime) while stable environments can afford large K (more data,
+/// tighter estimates).
+///
+/// We reproduce both regimes: an environment that suffers a radical change
+/// (a service degrades 1.8x) right before the final reconstruction, and a
+/// stable one. The window holds K · alpha points, the most recent alpha of
+/// which postdate the change.
+///
+/// Expected shape: under drift, accuracy on the *current* regime degrades
+/// as K grows (stale data lingers); in the stable environment accuracy
+/// improves (mildly) with K.
+
+#include "bench_common.hpp"
+#include "kert/kert_builder.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace {
+
+using namespace kertbn;
+using S = wf::EdiamondServices;
+
+constexpr std::size_t kAlpha = 12;  // points per construction interval
+constexpr std::size_t kTestRows = 200;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: correlation metric K (window = K*alpha points; drift vs "
+      "stable)",
+      {"K", "scenario", "log10lik_per_row_current_regime"});
+  return collector;
+}
+
+double run_scenario(std::size_t k, bool drift, std::uint64_t rep) {
+  sim::SyntheticEnvironment before = sim::make_ediamond_environment();
+  sim::SyntheticEnvironment after = before;
+  if (drift) {
+    after.accelerate_service(S::kImageLocatorRemote, 1.8);
+    after.accelerate_service(S::kOgsaDaiRemote, 1.5);
+  }
+  Rng rng = bench::data_rng(6, rep, k);
+
+  // Window: (K-1)*alpha points from the old regime + alpha from the new.
+  bn::Dataset window = before.generate((k - 1) * kAlpha, rng);
+  const bn::Dataset fresh = after.generate(kAlpha, rng);
+  for (std::size_t r = 0; r < fresh.rows(); ++r) {
+    window.add_row(fresh.row(r));
+  }
+
+  const auto kert = core::construct_kert_continuous(
+      after.workflow(), after.sharing(), window);
+  const bn::Dataset test = after.generate(kTestRows, rng);
+  return kert.net.log10_likelihood(test) / double(kTestRows);
+}
+
+void BM_WindowDrift(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    fit += run_scenario(k, /*drift=*/true, rep++);
+  }
+  const double avg = fit / double(rep);
+  state.counters["log10lik_row"] = avg;
+  series().add_row({double(k), std::string("drift"), avg});
+}
+
+void BM_WindowStable(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    fit += run_scenario(k, /*drift=*/false, rep++);
+  }
+  const double avg = fit / double(rep);
+  state.counters["log10lik_row"] = avg;
+  series().add_row({double(k), std::string("stable"), avg});
+}
+
+}  // namespace
+
+BENCHMARK(BM_WindowDrift)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(10)
+    ->Iterations(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WindowStable)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(10)
+    ->Iterations(10)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared fixtures for the figure-reproduction harness. Each bench binary
+/// regenerates one figure of the paper's evaluation: it prints the same
+/// series the paper plots (as an aligned table on stdout) and exposes the
+/// key quantities as google-benchmark counters.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "bn/network.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::bench {
+
+/// Deterministic environment for a given (size, repetition) pair so KERT
+/// and NRT always see identical data.
+inline sim::SyntheticEnvironment fixed_environment(std::size_t n_services,
+                                                   std::uint64_t rep) {
+  Rng rng(0xC0FFEE ^ (n_services * 7919) ^ (rep * 104729));
+  return sim::make_random_environment(n_services, rng);
+}
+
+/// Data RNG matched to (size, repetition, salt).
+inline Rng data_rng(std::size_t n_services, std::uint64_t rep,
+                    std::uint64_t salt = 0) {
+  return Rng(0xDA7A ^ (n_services * 31) ^ (rep * 1009) ^ (salt * 313));
+}
+
+/// Variables of a continuous (services..., D) dataset for the NRT learner.
+inline std::vector<bn::Variable> continuous_variables(
+    const bn::Dataset& data) {
+  std::vector<bn::Variable> vars;
+  vars.reserve(data.cols());
+  for (const auto& name : data.column_names()) {
+    vars.push_back(bn::Variable::continuous(name));
+  }
+  return vars;
+}
+
+/// Variables of a discretized dataset.
+inline std::vector<bn::Variable> discrete_variables(const bn::Dataset& data,
+                                                    std::size_t bins) {
+  std::vector<bn::Variable> vars;
+  vars.reserve(data.cols());
+  for (const auto& name : data.column_names()) {
+    vars.push_back(bn::Variable::discrete(name, bins));
+  }
+  return vars;
+}
+
+/// Collects one figure's series across benchmark invocations and prints it
+/// once at exit (benchmarks may run interleaved/repeated; rows accumulate).
+class SeriesCollector {
+ public:
+  SeriesCollector(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), table_(std::move(columns)) {}
+
+  ~SeriesCollector() {
+    std::lock_guard lock(mutex_);
+    if (table_.rows() > 0) {
+      std::printf("\n=== %s ===\n%s\n", title_.c_str(),
+                  table_.to_string(4).c_str());
+      std::printf("csv:\n%s\n", table_.to_csv().c_str());
+    }
+  }
+
+  void add_row(std::vector<TableCell> cells) {
+    std::lock_guard lock(mutex_);
+    table_.add_row(std::move(cells));
+  }
+
+ private:
+  std::string title_;
+  Table table_;
+  std::mutex mutex_;
+};
+
+}  // namespace kertbn::bench

@@ -1,0 +1,99 @@
+/// \file fig3_training_size.cpp
+/// Figure 3 reproduction: KERT-BN vs NRT-BN construction time and
+/// data-fitting accuracy as the training set grows from 36 to 1080 points
+/// (K = 3, alpha = 12..360, T_DATA = 10 s) on a 30-service environment.
+///
+/// Expected shape (paper): both construction times grow roughly linearly in
+/// the training size; KERT-BN is consistently cheaper with a widening gap;
+/// KERT-BN's log-likelihood is at least NRT-BN's and stabilizes with far
+/// fewer data points (NRT-BN needs ~600).
+
+#include "bench_common.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/nrt_builder.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kServices = 30;
+constexpr std::size_t kTestRows = 100;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Figure 3: construction time & data fit vs training-set size "
+      "(30 services)",
+      {"train_size", "model", "construct_ms", "log10_lik_per_row"});
+  return collector;
+}
+
+void BM_Kert(benchmark::State& state) {
+  const auto train_size = static_cast<std::size_t>(state.range(0));
+  double ms = 0.0;
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SyntheticEnvironment env = bench::fixed_environment(kServices, rep);
+    Rng rng = bench::data_rng(kServices, rep, 1);
+    const bn::Dataset train = env.generate(train_size, rng);
+    const bn::Dataset test = env.generate(kTestRows, rng);
+    state.ResumeTiming();
+
+    const core::KertResult result =
+        core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+    state.PauseTiming();
+    ms += result.report.total_seconds * 1e3;
+    fit += result.net.log10_likelihood(test) / double(kTestRows);
+    ++rep;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(rep);
+  state.counters["construct_ms"] = ms / n;
+  state.counters["log10lik_row"] = fit / n;
+  series().add_row({double(train_size), std::string("KERT-BN"), ms / n,
+                    fit / n});
+}
+
+void BM_Nrt(benchmark::State& state) {
+  const auto train_size = static_cast<std::size_t>(state.range(0));
+  double ms = 0.0;
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SyntheticEnvironment env = bench::fixed_environment(kServices, rep);
+    Rng rng = bench::data_rng(kServices, rep, 1);
+    const bn::Dataset train = env.generate(train_size, rng);
+    const bn::Dataset test = env.generate(kTestRows, rng);
+    const auto vars = bench::continuous_variables(train);
+    Rng order_rng = bench::data_rng(kServices, rep, 2);
+    state.ResumeTiming();
+
+    const core::NrtResult result = core::construct_nrt(train, vars,
+                                                       order_rng);
+
+    state.PauseTiming();
+    ms += result.report.total_seconds * 1e3;
+    fit += result.net.log10_likelihood(test) / double(kTestRows);
+    ++rep;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(rep);
+  state.counters["construct_ms"] = ms / n;
+  state.counters["log10lik_row"] = fit / n;
+  series().add_row({double(train_size), std::string("NRT-BN"), ms / n,
+                    fit / n});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Kert)
+    ->Arg(36)->Arg(108)->Arg(216)->Arg(360)->Arg(540)->Arg(720)->Arg(1080)
+    ->Iterations(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Nrt)
+    ->Arg(36)->Arg(108)->Arg(216)->Arg(360)->Arg(540)->Arg(720)->Arg(1080)
+    ->Iterations(5)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/// \file fig4_env_size.cpp
+/// Figure 4 reproduction: KERT-BN vs NRT-BN construction time and accuracy
+/// as the environment grows from 10 to 100 services, trained on 36 data
+/// points (alpha = 12, T_CON = 2 min: the fast-reconstruction regime).
+///
+/// Expected shape (paper): NRT-BN's construction time grows super-linearly
+/// with the number of services (K2's O(n²) candidate families); KERT-BN's
+/// stays flat — in the paper NRT-BN stops being feasible at T_CON = 2 min
+/// beyond ~60 services. KERT-BN's accuracy stays at or above NRT-BN's.
+
+#include "bench_common.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/nrt_builder.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kTrainRows = 36;
+constexpr std::size_t kTestRows = 100;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Figure 4: construction time & data fit vs environment size "
+      "(36 training points)",
+      {"services", "model", "construct_ms", "log10_lik_per_row"});
+  return collector;
+}
+
+void BM_Kert(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  double ms = 0.0;
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SyntheticEnvironment env =
+        bench::fixed_environment(n_services, rep);
+    Rng rng = bench::data_rng(n_services, rep, 1);
+    const bn::Dataset train = env.generate(kTrainRows, rng);
+    const bn::Dataset test = env.generate(kTestRows, rng);
+    state.ResumeTiming();
+
+    const core::KertResult result =
+        core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+    state.PauseTiming();
+    ms += result.report.total_seconds * 1e3;
+    fit += result.net.log10_likelihood(test) / double(kTestRows);
+    ++rep;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(rep);
+  state.counters["construct_ms"] = ms / n;
+  state.counters["log10lik_row"] = fit / n;
+  series().add_row({double(n_services), std::string("KERT-BN"), ms / n,
+                    fit / n});
+}
+
+void BM_Nrt(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  double ms = 0.0;
+  double fit = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SyntheticEnvironment env =
+        bench::fixed_environment(n_services, rep);
+    Rng rng = bench::data_rng(n_services, rep, 1);
+    const bn::Dataset train = env.generate(kTrainRows, rng);
+    const bn::Dataset test = env.generate(kTestRows, rng);
+    const auto vars = bench::continuous_variables(train);
+    Rng order_rng = bench::data_rng(n_services, rep, 2);
+    state.ResumeTiming();
+
+    const core::NrtResult result =
+        core::construct_nrt(train, vars, order_rng);
+
+    state.PauseTiming();
+    ms += result.report.total_seconds * 1e3;
+    fit += result.net.log10_likelihood(test) / double(kTestRows);
+    ++rep;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(rep);
+  state.counters["construct_ms"] = ms / n;
+  state.counters["log10lik_row"] = fit / n;
+  series().add_row({double(n_services), std::string("NRT-BN"), ms / n,
+                    fit / n});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Kert)
+    ->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Iterations(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Nrt)
+    ->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// \file fig5_decentralized.cpp
+/// Figure 5 reproduction: decentralized vs centralized KERT-BN parameter
+/// learning time across environment sizes. Per the paper, the CPDs are
+/// computed in parallel on the monitoring agents, so the decentralized
+/// completion time is max over per-CPD times, compared against the
+/// sequential (centralized) sum. 20 randomly generated KERT-BNs per size.
+///
+/// Expected shape: decentralized <= centralized everywhere, with the gap
+/// widening as the number of services (hence CPDs) grows.
+
+#include "bench_common.hpp"
+#include "kert/kert_builder.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kTrainRows = 120;
+constexpr std::size_t kNetsPerSize = 20;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Figure 5: decentralized vs centralized parameter-learning time "
+      "(20 random KERT-BNs per size)",
+      {"services", "decentralized_ms", "centralized_ms", "speedup"});
+  return collector;
+}
+
+void BM_ParameterLearning(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  double dec_ms = 0.0;
+  double cen_ms = 0.0;
+  std::size_t nets = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A fresh randomly-generated KERT-BN each iteration (paper: 20 each).
+    sim::SyntheticEnvironment env =
+        bench::fixed_environment(n_services, nets);
+    Rng rng = bench::data_rng(n_services, nets, 5);
+    const bn::Dataset train = env.generate(kTrainRows, rng);
+    state.ResumeTiming();
+
+    const core::KertResult result = core::construct_kert_continuous(
+        env.workflow(), env.sharing(), train,
+        core::LearningMode::kDecentralized);
+
+    state.PauseTiming();
+    dec_ms += result.report.decentralized_seconds * 1e3;
+    cen_ms += result.report.centralized_equivalent_seconds * 1e3;
+    ++nets;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(nets);
+  state.counters["decentralized_ms"] = dec_ms / n;
+  state.counters["centralized_ms"] = cen_ms / n;
+  state.counters["speedup"] = cen_ms / std::max(dec_ms, 1e-9);
+  series().add_row({double(n_services), dec_ms / n, cen_ms / n,
+                    cen_ms / std::max(dec_ms, 1e-9)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParameterLearning)
+    ->Arg(10)->Arg(20)->Arg(30)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Iterations(kNetsPerSize)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

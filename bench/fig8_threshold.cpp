@@ -1,0 +1,109 @@
+/// \file fig8_threshold.cpp
+/// Figure 8 reproduction: relative threshold-violation probability error ε
+/// (Equation 5) of KERT-BN vs NRT-BN for the pAccel-projected response time
+/// after accelerating X4, across six thresholds. Both models are discrete
+/// and trained on 1200 points (K = 10, alpha = 120); the NRT-BN gets the
+/// Section 5.3 optimization — repeated K2 with random orderings.
+///
+/// Expected shape: KERT-BN's ε is below NRT-BN's at every threshold.
+
+#include "bench_common.hpp"
+#include "bn/discrete_inference.hpp"
+#include "common/stats.hpp"
+#include "kert/applications.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/nrt_builder.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace {
+
+using namespace kertbn;
+using S = wf::EdiamondServices;
+
+constexpr std::size_t kTrainRows = 1200;
+constexpr std::size_t kBins = 7;
+constexpr std::size_t kK2Restarts = 20;  // "repeatedly run K2 ... until due"
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Figure 8: relative threshold-violation error after accelerating X4",
+      {"threshold_s", "P_real", "eps_KERT", "eps_NRT"});
+  return collector;
+}
+
+/// P(D > h) under a discrete posterior, spreading bin mass across the
+/// bin's quantile interval (ColumnDiscretizer::exceedance).
+double violation_probability(const std::vector<double>& dist,
+                             const core::ColumnDiscretizer& d_col,
+                             double h) {
+  return d_col.exceedance(dist, h);
+}
+
+void BM_ThresholdViolation(benchmark::State& state) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  Rng rng(81);
+  const bn::Dataset train = env.generate(kTrainRows, rng);
+  const core::DatasetDiscretizer disc(train, kBins);
+  const bn::Dataset train_d = disc.discretize(train);
+
+  // KERT-BN: knowledge structure + deterministic CPT.
+  const auto kert = core::construct_kert_discrete(env.workflow(),
+                                                  env.sharing(), disc,
+                                                  train_d);
+  // NRT-BN: K2 with random restarts + full parameter learning.
+  const auto vars = bench::discrete_variables(train_d, kBins);
+  core::NrtOptions nrt_opts;
+  nrt_opts.restarts = kK2Restarts;
+  Rng k2_rng(82);
+  const auto nrt = core::construct_nrt(train_d, vars, k2_rng, nrt_opts);
+
+  // The projected scenario: X4 accelerated to 90% of its mean.
+  const double x4_mean = mean(train.column(S::kImageLocatorRemote));
+  const std::size_t accel_state =
+      disc.column(S::kImageLocatorRemote).bin_of(0.9 * x4_mean);
+  const bn::DiscreteEvidence evidence{{S::kImageLocatorRemote, accel_state}};
+
+  // Ground truth: response times of the actually accelerated environment.
+  sim::SyntheticEnvironment accelerated = env;
+  accelerated.accelerate_service(S::kImageLocatorRemote, 0.9);
+  const bn::Dataset reality = accelerated.generate(10000, rng);
+  const auto d_real = reality.column(6);
+
+  std::vector<double> kert_dist;
+  std::vector<double> nrt_dist;
+  for (auto _ : state) {
+    const bn::VariableElimination ve_kert(kert.net);
+    const bn::VariableElimination ve_nrt(nrt.net);
+    kert_dist = ve_kert.posterior(6, evidence);
+    nrt_dist = ve_nrt.posterior(6, evidence);
+    benchmark::DoNotOptimize(kert_dist.data());
+  }
+
+  // Six thresholds spanning the interesting tail region.
+  double eps_kert_sum = 0.0;
+  double eps_nrt_sum = 0.0;
+  int idx = 0;
+  for (double q : {0.30, 0.45, 0.60, 0.70, 0.80, 0.90}) {
+    const double h = quantile(d_real, q);
+    const double p_real = exceedance_probability(d_real, h);
+    const double p_kert =
+        violation_probability(kert_dist, disc.column(6), h);
+    const double p_nrt = violation_probability(nrt_dist, disc.column(6), h);
+    const double eps_kert = core::relative_violation_error(p_kert, p_real);
+    const double eps_nrt = core::relative_violation_error(p_nrt, p_real);
+    eps_kert_sum += eps_kert;
+    eps_nrt_sum += eps_nrt;
+    series().add_row({h, p_real, eps_kert, eps_nrt});
+    state.counters["eps_kert_t" + std::to_string(idx)] = eps_kert;
+    state.counters["eps_nrt_t" + std::to_string(idx)] = eps_nrt;
+    ++idx;
+  }
+  state.counters["eps_kert_mean"] = eps_kert_sum / 6.0;
+  state.counters["eps_nrt_mean"] = eps_nrt_sum / 6.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ThresholdViolation)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

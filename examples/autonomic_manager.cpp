@@ -1,0 +1,76 @@
+/// \file autonomic_manager.cpp
+/// A miniature autonomic control loop built on KERT-BN — the use case the
+/// paper's introduction motivates. Each control period the manager:
+///   1. rebuilds the model from the freshest monitoring window,
+///   2. checks the SLA P(D > h) <= target,
+///   3. when the SLA is at risk, uses pAccel to pick the single service
+///      whose acceleration (e.g. extra resources) buys the most end-to-end
+///      improvement, and applies it,
+///   4. keeps observing — the next reconstruction reflects the new regime.
+/// Note how the chosen target follows the bottleneck as it shifts between
+/// the two sites.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "kert/applications.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+int main() {
+  using namespace kertbn;
+
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  Rng rng(31);
+
+  const double sla_threshold = 1.30;  // seconds
+  const double sla_target = 0.10;     // max acceptable P(D > h)
+
+  std::printf("SLA: P(D > %.2f s) <= %.0f%%\n\n", sla_threshold,
+              sla_target * 100.0);
+
+  for (int period = 1; period <= 6; ++period) {
+    // Fresh monitoring window + model reconstruction.
+    const bn::Dataset window = env.generate(300, rng);
+    const auto kert = core::construct_kert_continuous(env.workflow(),
+                                                      env.sharing(), window);
+    const auto d_col = window.column(6);
+    const double violation = exceedance_probability(d_col, sla_threshold);
+    std::printf("period %d: mean D=%.3f s, P(D>h)=%.1f%%",
+                period, mean(d_col), violation * 100.0);
+
+    if (violation <= sla_target) {
+      std::printf("  -- SLA healthy, no action\n");
+      continue;
+    }
+
+    // SLA at risk: rank accelerations by projected benefit (pAccel).
+    double best_gain = -1.0;
+    std::size_t best_service = 0;
+    for (std::size_t s = 0; s < 6; ++s) {
+      const double current = mean(window.column(s));
+      const auto res = core::paccel_continuous(kert.net, s, 0.8 * current,
+                                               rng, 20000);
+      const double gain =
+          res.prior_response.mean - res.projected_response.mean;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_service = s;
+      }
+    }
+    std::printf("  -- SLA at risk: accelerating '%s' "
+                "(projected gain %.0f ms)\n",
+                env.workflow().service_names()[best_service].c_str(),
+                best_gain * 1e3);
+    // "Provision resources": 20% faster base demand for that service.
+    env.accelerate_service(best_service, 0.8);
+  }
+
+  const bn::Dataset final_window = env.generate(500, rng);
+  std::printf("\nfinal state: mean D=%.3f s, P(D>h)=%.1f%%\n",
+              mean(final_window.column(6)),
+              exceedance_probability(final_window.column(6), sla_threshold) *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file missing_data_dcomp.cpp
+/// dComp walkthrough (Section 5.1 / Figure 6): a service's monitoring data
+/// goes missing — here image_locator_remote (the paper's X4) — and dComp
+/// infers its posterior elapsed-time distribution from the services that
+/// are still observable plus the end-to-end response time.
+///
+/// The output reproduces the Figure 6 story: the posterior shifts from the
+/// (stale) prior toward the actual elapsed time and becomes narrower.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "kert/applications.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+int main() {
+  using namespace kertbn;
+  using S = wf::EdiamondServices;
+
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  Rng rng(11);
+
+  // Train the discrete KERT-BN (Section 5 uses discrete models: plenty of
+  // data, no shape assumptions).
+  const bn::Dataset train = env.generate(1200, rng);
+  const core::DatasetDiscretizer disc(train, 5);
+  const auto kert = core::construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  // Live measurements arrive, but X4's reporting fails.
+  const bn::Dataset live = env.generate(60, rng);
+  bn::DiscreteEvidence observed;
+  std::printf("observable measurement means:\n");
+  for (std::size_t s = 0; s < 6; ++s) {
+    if (s == S::kImageLocatorRemote) continue;
+    const double m = mean(live.column(s));
+    observed[s] = disc.column(s).bin_of(m);
+    std::printf("  %-22s %.3f s (bin %zu)\n",
+                env.workflow().service_names()[s].c_str(), m, observed[s]);
+  }
+  const double d_mean = mean(live.column(6));
+  observed[6] = disc.column(6).bin_of(d_mean);
+  std::printf("  %-22s %.3f s (bin %zu)\n", "D (response time)", d_mean,
+              observed[6]);
+
+  const double actual = mean(live.column(S::kImageLocatorRemote));
+  std::printf("\nactual (unreported) image_locator_remote mean: %.3f s\n\n",
+              actual);
+
+  const core::DCompResult result = core::dcomp_discrete(
+      kert.net, S::kImageLocatorRemote, observed, &disc,
+      S::kImageLocatorRemote);
+
+  auto print_dist = [&](const char* name,
+                        const core::DistributionSummary& d) {
+    std::printf("%s: mean=%.3f s  sd=%.3f s\n", name, d.mean, d.stddev);
+    for (std::size_t b = 0; b < d.support.size(); ++b) {
+      std::printf("  %.3f s | ", d.support[b]);
+      const int bars = static_cast<int>(d.probs[b] * 60.0);
+      for (int i = 0; i < bars; ++i) std::printf("#");
+      std::printf(" %.3f\n", d.probs[b]);
+    }
+    std::printf("\n");
+  };
+  print_dist("prior  P(X4)", result.prior);
+  print_dist("posterior  P(X4 | observations)", result.posterior);
+
+  std::printf("posterior error %.3f s vs prior error %.3f s; sd %s\n",
+              std::abs(result.posterior.mean - actual),
+              std::abs(result.prior.mean - actual),
+              result.posterior.stddev < result.prior.stddev
+                  ? "narrowed (more deterministic)"
+                  : "did not narrow");
+  return 0;
+}

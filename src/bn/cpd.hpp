@@ -1,0 +1,53 @@
+#pragma once
+/// \file cpd.hpp
+/// Conditional probability distribution interface. A CPD describes
+/// P(X | parents) for one node; concrete forms are tabular (discrete),
+/// linear-Gaussian (continuous) and deterministic-with-leak (Equation 4 of
+/// the paper — the workflow-derived CPD of the response-time node D).
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+
+/// Discriminator for concrete CPD types (cheap alternative to dynamic_cast
+/// in hot learning/inference loops).
+enum class CpdKind { kTabular, kLinearGaussian, kDeterministic };
+
+/// Abstract conditional distribution of one node given its parents.
+///
+/// Parent values are passed as a span ordered exactly like the node's parent
+/// list in the owning network. Discrete values are state indices stored in
+/// doubles.
+class Cpd {
+ public:
+  virtual ~Cpd() = default;
+
+  virtual CpdKind kind() const = 0;
+
+  /// Number of parent values expected by log_prob/sample.
+  virtual std::size_t parent_count() const = 0;
+
+  /// log P(x | parents) — density for continuous nodes, mass for discrete.
+  virtual double log_prob(double value,
+                          std::span<const double> parents) const = 0;
+
+  /// Draws X | parents.
+  virtual double sample(std::span<const double> parents, Rng& rng) const = 0;
+
+  /// Mean of X | parents (used by mean-propagation utilities).
+  virtual double mean(std::span<const double> parents) const = 0;
+
+  virtual std::unique_ptr<Cpd> clone() const = 0;
+
+  /// Human-readable one-line summary.
+  virtual std::string describe() const = 0;
+
+  /// Number of free parameters (used by BIC scoring and model summaries).
+  virtual std::size_t parameter_count() const = 0;
+};
+
+}  // namespace kertbn::bn

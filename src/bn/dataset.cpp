@@ -1,0 +1,79 @@
+#include "bn/dataset.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace kertbn::bn {
+
+std::size_t Dataset::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return c;
+  }
+  KERTBN_EXPECTS(false && "dataset column not found");
+  return 0;
+}
+
+void Dataset::add_row(std::span<const double> row) {
+  KERTBN_EXPECTS(row.size() == names_.size());
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+std::vector<double> Dataset::column(std::size_t c) const {
+  KERTBN_EXPECTS(c < cols());
+  std::vector<double> out;
+  out.reserve(rows());
+  for (std::size_t r = 0; r < rows(); ++r) out.push_back(value(r, c));
+  return out;
+}
+
+Dataset Dataset::slice_rows(std::size_t first, std::size_t last) const {
+  KERTBN_EXPECTS(first <= last && last <= rows());
+  Dataset out(names_);
+  for (std::size_t r = first; r < last; ++r) out.add_row(row(r));
+  return out;
+}
+
+Dataset Dataset::select_columns(std::span<const std::size_t> cols_idx) const {
+  std::vector<std::string> names;
+  names.reserve(cols_idx.size());
+  for (std::size_t c : cols_idx) {
+    KERTBN_EXPECTS(c < cols());
+    names.push_back(names_[c]);
+  }
+  Dataset out(std::move(names));
+  std::vector<double> buf(cols_idx.size());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t i = 0; i < cols_idx.size(); ++i) {
+      buf[i] = value(r, cols_idx[i]);
+    }
+    out.add_row(buf);
+  }
+  return out;
+}
+
+void Dataset::keep_last_rows(std::size_t n) {
+  const std::size_t total = rows();
+  if (n >= total) return;
+  const std::size_t drop = (total - n) * names_.size();
+  data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+std::string Dataset::to_csv(int precision) const {
+  std::ostringstream out;
+  out << std::setprecision(precision);
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << names_[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      if (c > 0) out << ',';
+      out << value(r, c);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,75 @@
+#pragma once
+/// \file dataset.hpp
+/// A dataset is a dense rows-by-variables table of observations. Discrete
+/// variables store their state index as a double; continuous variables store
+/// real measurements (elapsed times in seconds throughout this library).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+/// Row-major observation table with named columns.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> column_names)
+      : names_(std::move(column_names)) {}
+
+  std::size_t rows() const {
+    return names_.empty() ? 0 : data_.size() / names_.size();
+  }
+  std::size_t cols() const { return names_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  const std::string& column_name(std::size_t c) const {
+    KERTBN_EXPECTS(c < names_.size());
+    return names_[c];
+  }
+
+  /// Index of the column named \p name; contract-fails if missing.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Appends one observation row (must match the column count).
+  void add_row(std::span<const double> row);
+
+  double value(std::size_t r, std::size_t c) const {
+    KERTBN_EXPECTS(r < rows() && c < cols());
+    return data_[r * names_.size() + c];
+  }
+  double& value(std::size_t r, std::size_t c) {
+    KERTBN_EXPECTS(r < rows() && c < cols());
+    return data_[r * names_.size() + c];
+  }
+
+  /// Contiguous view of row \p r.
+  std::span<const double> row(std::size_t r) const {
+    KERTBN_EXPECTS(r < rows());
+    return {data_.data() + r * names_.size(), names_.size()};
+  }
+
+  /// Copy of column \p c.
+  std::vector<double> column(std::size_t c) const;
+
+  /// New dataset containing rows [first, last).
+  Dataset slice_rows(std::size_t first, std::size_t last) const;
+
+  /// New dataset containing only the given columns, in the given order.
+  Dataset select_columns(std::span<const std::size_t> cols) const;
+
+  /// Keeps at most the final \p n rows (the sliding window W of Section 2).
+  void keep_last_rows(std::size_t n);
+
+  /// CSV rendering (header + rows).
+  std::string to_csv(int precision = 6) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> data_;  // row-major, rows() x cols()
+};
+
+}  // namespace kertbn::bn

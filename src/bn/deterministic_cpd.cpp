@@ -1,0 +1,42 @@
+#include "bn/deterministic_cpd.hpp"
+
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+
+DeterministicCpd::DeterministicCpd(DeterministicFn fn, double leak_sigma)
+    : fn_(std::move(fn)), leak_sigma_(leak_sigma) {
+  KERTBN_EXPECTS(static_cast<bool>(fn_.fn));
+  KERTBN_EXPECTS(leak_sigma_ > 0.0);
+}
+
+double DeterministicCpd::evaluate(std::span<const double> parents) const {
+  KERTBN_EXPECTS(parents.size() == fn_.arity);
+  return fn_.fn(parents);
+}
+
+double DeterministicCpd::log_prob(double value,
+                                  std::span<const double> parents) const {
+  return gaussian_log_pdf(value, evaluate(parents), leak_sigma_);
+}
+
+double DeterministicCpd::sample(std::span<const double> parents,
+                                Rng& rng) const {
+  return rng.normal(evaluate(parents), leak_sigma_);
+}
+
+std::unique_ptr<Cpd> DeterministicCpd::clone() const {
+  return std::make_unique<DeterministicCpd>(*this);
+}
+
+std::string DeterministicCpd::describe() const {
+  std::ostringstream out;
+  out << "Deterministic(f = " << fn_.expression
+      << ", leak_sigma = " << leak_sigma_ << ")";
+  return out.str();
+}
+
+}  // namespace kertbn::bn

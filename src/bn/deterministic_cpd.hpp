@@ -1,0 +1,60 @@
+#pragma once
+/// \file deterministic_cpd.hpp
+/// Deterministic-with-leak CPD (Equation 4 of the paper).
+///
+/// The response-time node D is a deterministic function f of its parents —
+/// derived from the workflow (sequence → sum, parallel → max, …) — except
+/// for a "leak" probability l accounting for measurement imprecision around
+/// restricted monitoring-point placement. For continuous networks the leak
+/// is realized as additive Gaussian noise whose scale is configured from l;
+/// the discrete realization (a CPT with mass 1−l on bin(f(x))) is built by
+/// kert::make_deterministic_cpt.
+
+#include <functional>
+#include <string>
+
+#include "bn/cpd.hpp"
+
+namespace kertbn::bn {
+
+/// Deterministic link function with a printable form, e.g.
+/// "X1 + X2 + max(X3 + X5, X4 + X6)".
+struct DeterministicFn {
+  std::function<double(std::span<const double>)> fn;
+  std::string expression;
+  std::size_t arity = 0;
+};
+
+/// Continuous deterministic CPD with leak noise:
+/// X | parents ~ N(f(parents), sigma_leak²).
+class DeterministicCpd final : public Cpd {
+ public:
+  /// \p leak_sigma > 0 keeps log-densities finite; the paper's simulations
+  /// set l = 0, which we map to a small floor (default 1e-3 of a second).
+  DeterministicCpd(DeterministicFn fn, double leak_sigma = 1e-3);
+
+  const DeterministicFn& function() const { return fn_; }
+  double leak_sigma() const { return leak_sigma_; }
+
+  /// Evaluates the noiseless f(parents).
+  double evaluate(std::span<const double> parents) const;
+
+  // Cpd interface.
+  CpdKind kind() const override { return CpdKind::kDeterministic; }
+  std::size_t parent_count() const override { return fn_.arity; }
+  double log_prob(double value, std::span<const double> parents) const override;
+  double sample(std::span<const double> parents, Rng& rng) const override;
+  double mean(std::span<const double> parents) const override {
+    return evaluate(parents);
+  }
+  std::unique_ptr<Cpd> clone() const override;
+  std::string describe() const override;
+  /// The function comes from knowledge, not data: no free parameters.
+  std::size_t parameter_count() const override { return 0; }
+
+ private:
+  DeterministicFn fn_;
+  double leak_sigma_;
+};
+
+}  // namespace kertbn::bn

@@ -1,0 +1,67 @@
+#pragma once
+/// \file discrete_inference.hpp
+/// Exact inference for all-discrete networks via variable elimination.
+/// This powers the Section 5 applications: dComp posterior queries and
+/// pAccel response-time projections on the discrete eDiaMoND models.
+
+#include <map>
+#include <vector>
+
+#include "bn/factor.hpp"
+#include "bn/network.hpp"
+
+namespace kertbn::bn {
+
+/// Evidence: node index -> observed state.
+using DiscreteEvidence = std::map<std::size_t, std::size_t>;
+
+/// Variable-elimination engine bound to one (all-discrete, complete)
+/// network. The network must outlive the engine.
+class VariableElimination {
+ public:
+  explicit VariableElimination(const BayesianNetwork& net);
+
+  /// Posterior P(query | evidence) as a normalized state vector.
+  std::vector<double> posterior(std::size_t query,
+                                const DiscreteEvidence& evidence) const;
+
+  /// Joint posterior over a small set of query variables; the returned
+  /// factor's scope preserves \p queries' variable ids.
+  Factor joint_posterior(std::span<const std::size_t> queries,
+                         const DiscreteEvidence& evidence) const;
+
+  /// Probability of the evidence, P(e).
+  double evidence_probability(const DiscreteEvidence& evidence) const;
+
+ private:
+  /// CPT of node \p v as a factor over {v} ∪ parents(v).
+  Factor node_factor(std::size_t v) const;
+
+  /// Eliminates all variables outside keep ∪ evidence scope.
+  Factor run(std::span<const std::size_t> keep,
+             const DiscreteEvidence& evidence) const;
+
+  const BayesianNetwork& net_;
+};
+
+/// Expected value of a discrete node's *state index* under a posterior
+/// distribution (useful when states are quantile bins).
+double posterior_mean_state(const std::vector<double>& dist);
+
+/// Most probable explanation: the jointly most likely assignment of every
+/// non-evidence variable given the evidence (max-product variable
+/// elimination with traceback). The autonomic use case is performance
+/// problem localization: "given the violated response time we observed,
+/// which joint service state best explains it?"
+struct MpeResult {
+  /// states[v]: assigned state for every node (evidence nodes keep their
+  /// observed state).
+  std::vector<std::size_t> states;
+  /// log P(states) — the joint log-probability of the full assignment.
+  double log_probability = 0.0;
+};
+
+MpeResult most_probable_explanation(const BayesianNetwork& net,
+                                    const DiscreteEvidence& evidence);
+
+}  // namespace kertbn::bn

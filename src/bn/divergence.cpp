@@ -1,0 +1,73 @@
+#include "bn/divergence.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+double joint_log_probability(const BayesianNetwork& net,
+                             std::span<const double> row) {
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(row.size() == net.size());
+  double lp = 0.0;
+  std::vector<double> parent_buf;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    const auto pars = net.dag().parents(v);
+    parent_buf.resize(pars.size());
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      parent_buf[i] = row[pars[i]];
+    }
+    lp += net.cpd(v).log_prob(row[v], parent_buf);
+  }
+  return lp;
+}
+
+double kl_divergence_exact(const BayesianNetwork& p,
+                           const BayesianNetwork& q,
+                           std::size_t max_configurations) {
+  KERTBN_EXPECTS(p.size() == q.size());
+  const std::size_t n = p.size();
+  std::size_t configurations = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    KERTBN_EXPECTS(p.variable(v).is_discrete());
+    KERTBN_EXPECTS(q.variable(v).is_discrete());
+    KERTBN_EXPECTS(p.variable(v).cardinality == q.variable(v).cardinality);
+    configurations *= p.variable(v).cardinality;
+    KERTBN_EXPECTS(configurations <= max_configurations);
+  }
+
+  std::vector<double> row(n, 0.0);
+  std::vector<std::size_t> states(n, 0);
+  double kl = 0.0;
+  for (std::size_t c = 0; c < configurations; ++c) {
+    for (std::size_t v = 0; v < n; ++v) {
+      row[v] = static_cast<double>(states[v]);
+    }
+    const double lp = joint_log_probability(p, row);
+    const double pp = std::exp(lp);
+    if (pp > 0.0) {
+      kl += pp * (lp - joint_log_probability(q, row));
+    }
+    for (std::size_t v = n; v-- > 0;) {
+      if (++states[v] < p.variable(v).cardinality) break;
+      states[v] = 0;
+    }
+  }
+  return kl;
+}
+
+double kl_divergence_sampled(const BayesianNetwork& p,
+                             const BayesianNetwork& q, std::size_t samples,
+                             Rng& rng) {
+  KERTBN_EXPECTS(p.size() == q.size());
+  KERTBN_EXPECTS(samples >= 1);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto row = p.sample_row(rng);
+    acc += joint_log_probability(p, row) - joint_log_probability(q, row);
+  }
+  return acc / static_cast<double>(samples);
+}
+
+}  // namespace kertbn::bn

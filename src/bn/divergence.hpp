@@ -1,0 +1,29 @@
+#pragma once
+/// \file divergence.hpp
+/// Model-comparison utilities: KL divergence between Bayesian networks over
+/// the same variable set. Used to quantify how far a stale or baseline
+/// model sits from a reference (e.g. freshly reconstructed) model —
+/// a sharper lens than held-out likelihood when both models are available.
+
+#include "bn/network.hpp"
+
+namespace kertbn::bn {
+
+/// Exact KL(p || q) for small all-discrete networks by enumerating every
+/// joint configuration. Cost is the product of all cardinalities;
+/// contract-fails above \p max_configurations.
+double kl_divergence_exact(const BayesianNetwork& p,
+                           const BayesianNetwork& q,
+                           std::size_t max_configurations = 1u << 20);
+
+/// Monte-Carlo KL(p || q) ≈ (1/n) Σ [log p(x) − log q(x)], x ~ p. Works
+/// for any CPD mix (continuous included); nonnegative in expectation.
+double kl_divergence_sampled(const BayesianNetwork& p,
+                             const BayesianNetwork& q, std::size_t samples,
+                             Rng& rng);
+
+/// Joint log-probability of one full configuration under a network.
+double joint_log_probability(const BayesianNetwork& net,
+                             std::span<const double> row);
+
+}  // namespace kertbn::bn

@@ -1,0 +1,150 @@
+#include "bn/gaussian_inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "common/contract.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+
+double GaussianDistribution::mean_of(std::size_t v) const {
+  auto it = std::find(nodes.begin(), nodes.end(), v);
+  KERTBN_EXPECTS(it != nodes.end());
+  return mean[static_cast<std::size_t>(it - nodes.begin())];
+}
+
+double GaussianDistribution::variance_of(std::size_t v) const {
+  auto it = std::find(nodes.begin(), nodes.end(), v);
+  KERTBN_EXPECTS(it != nodes.end());
+  const auto i = static_cast<std::size_t>(it - nodes.begin());
+  return covariance(i, i);
+}
+
+double GaussianDistribution::exceedance(std::size_t v,
+                                        double threshold) const {
+  const double m = mean_of(v);
+  const double var = std::max(variance_of(v), 1e-18);
+  return 1.0 - gaussian_cdf(threshold, m, std::sqrt(var));
+}
+
+GaussianDistribution joint_gaussian(const BayesianNetwork& net) {
+  KERTBN_EXPECTS(net.is_complete());
+  const std::size_t n = net.size();
+  GaussianDistribution joint;
+  joint.nodes.resize(n);
+  for (std::size_t v = 0; v < n; ++v) joint.nodes[v] = v;
+  joint.mean = la::Vector(n);
+  joint.covariance = la::Matrix(n, n);
+
+  // Standard incremental construction: in topological order,
+  //   mu_v        = b0 + w · mu_pa
+  //   Cov(v, u)   = Σ_p w_p Cov(p, u)            for previously placed u
+  //   Var(v)      = σ² + Σ_p Σ_q w_p w_q Cov(p, q)
+  for (std::size_t v : net.dag().topological_order()) {
+    KERTBN_EXPECTS(net.cpd(v).kind() == CpdKind::kLinearGaussian);
+    const auto& cpd = static_cast<const LinearGaussianCpd&>(net.cpd(v));
+    const auto pars = net.dag().parents(v);
+    const auto& w = cpd.weights();
+
+    double mu = cpd.intercept();
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      mu += w[i] * joint.mean[pars[i]];
+    }
+    joint.mean[v] = mu;
+
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v) continue;
+      double cov = 0.0;
+      for (std::size_t i = 0; i < pars.size(); ++i) {
+        cov += w[i] * joint.covariance(pars[i], u);
+      }
+      joint.covariance(v, u) = cov;
+      joint.covariance(u, v) = cov;
+    }
+    double var = cpd.sigma() * cpd.sigma();
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      for (std::size_t j = 0; j < pars.size(); ++j) {
+        var += w[i] * w[j] * joint.covariance(pars[i], pars[j]);
+      }
+    }
+    joint.covariance(v, v) = var;
+  }
+  return joint;
+}
+
+GaussianDistribution condition(const GaussianDistribution& joint,
+                               const ContinuousEvidence& evidence) {
+  KERTBN_EXPECTS(!evidence.empty());
+  std::vector<std::size_t> obs_pos;
+  std::vector<std::size_t> query_pos;
+  la::Vector delta(evidence.size());
+
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i < joint.nodes.size(); ++i) {
+    auto it = evidence.find(joint.nodes[i]);
+    if (it != evidence.end()) {
+      obs_pos.push_back(i);
+      delta[oi++] = it->second - joint.mean[i];
+    } else {
+      query_pos.push_back(i);
+    }
+  }
+  KERTBN_EXPECTS(obs_pos.size() == evidence.size());
+  KERTBN_EXPECTS(!query_pos.empty());
+
+  const la::Matrix s_oo = joint.covariance.submatrix(obs_pos, obs_pos);
+  const la::Matrix s_qo = joint.covariance.submatrix(query_pos, obs_pos);
+  const la::Matrix s_qq = joint.covariance.submatrix(query_pos, query_pos);
+
+  // Regularize lightly in case evidence covariance is near-singular
+  // (deterministic leak sigma can make it so).
+  la::Matrix s_oo_reg = s_oo;
+  for (std::size_t i = 0; i < s_oo_reg.rows(); ++i) {
+    s_oo_reg(i, i) += 1e-12;
+  }
+  auto chol = la::Cholesky::factor(s_oo_reg);
+  for (double boost = 1e-9; !chol.has_value() && boost <= 1.0;
+       boost *= 10.0) {
+    la::Matrix bumped = s_oo;
+    for (std::size_t i = 0; i < bumped.rows(); ++i) bumped(i, i) += boost;
+    chol = la::Cholesky::factor(bumped);
+  }
+  KERTBN_EXPECTS(chol.has_value());
+
+  // Posterior mean: mu_q + S_qo S_oo^{-1} (x_o - mu_o).
+  const la::Vector gain = chol->solve(delta);
+  GaussianDistribution post;
+  post.nodes.reserve(query_pos.size());
+  post.mean = la::Vector(query_pos.size());
+  for (std::size_t i = 0; i < query_pos.size(); ++i) {
+    post.nodes.push_back(joint.nodes[query_pos[i]]);
+    double m = joint.mean[query_pos[i]];
+    for (std::size_t j = 0; j < obs_pos.size(); ++j) {
+      m += s_qo(i, j) * gain[j];
+    }
+    post.mean[i] = m;
+  }
+
+  // Posterior covariance: S_qq - S_qo S_oo^{-1} S_oq.
+  const la::Matrix s_oq = s_qo.transposed();
+  const la::Matrix solved = chol->solve(s_oq);  // S_oo^{-1} S_oq
+  post.covariance = s_qq - s_qo * solved;
+  // Clamp tiny negative diagonal from round-off.
+  for (std::size_t i = 0; i < post.covariance.rows(); ++i) {
+    if (post.covariance(i, i) < 0.0) post.covariance(i, i) = 0.0;
+  }
+  return post;
+}
+
+ScalarPosterior gaussian_posterior(const BayesianNetwork& net,
+                                   std::size_t query,
+                                   const ContinuousEvidence& evidence) {
+  KERTBN_EXPECTS(!evidence.contains(query));
+  const GaussianDistribution joint = joint_gaussian(net);
+  const GaussianDistribution post = condition(joint, evidence);
+  return ScalarPosterior{post.mean_of(query), post.variance_of(query)};
+}
+
+}  // namespace kertbn::bn

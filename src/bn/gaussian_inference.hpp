@@ -1,0 +1,55 @@
+#pragma once
+/// \file gaussian_inference.hpp
+/// Exact inference for pure linear-Gaussian networks: assemble the joint
+/// multivariate Gaussian implied by the CPDs, then condition on evidence via
+/// the Schur complement. Used for continuous KERT-BN/NRT-BN queries when the
+/// response-time CPD is linear (no max), and as a ground-truth oracle for
+/// the sampling engine in tests.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bn/network.hpp"
+#include "linalg/decompose.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kertbn::bn {
+
+/// Evidence: node index -> observed real value.
+using ContinuousEvidence = std::map<std::size_t, double>;
+
+/// A multivariate Gaussian over a subset of network nodes.
+struct GaussianDistribution {
+  std::vector<std::size_t> nodes;  ///< Network node ids, in order.
+  la::Vector mean;
+  la::Matrix covariance;
+
+  /// Marginal mean of node \p v (must be present in nodes).
+  double mean_of(std::size_t v) const;
+  /// Marginal variance of node \p v.
+  double variance_of(std::size_t v) const;
+  /// P(node > threshold) under the marginal Gaussian of \p v.
+  double exceedance(std::size_t v, double threshold) const;
+};
+
+/// Builds the joint N(mu, Sigma) implied by a complete network whose CPDs
+/// are all LinearGaussian (DeterministicCpds with linear expressions are not
+/// auto-detected; convert them upstream). Contract-fails otherwise.
+GaussianDistribution joint_gaussian(const BayesianNetwork& net);
+
+/// Conditions \p joint on the evidence, returning the posterior Gaussian
+/// over the remaining nodes. Evidence nodes must exist in the joint.
+GaussianDistribution condition(const GaussianDistribution& joint,
+                               const ContinuousEvidence& evidence);
+
+/// Convenience: posterior mean/variance of one query node given evidence.
+struct ScalarPosterior {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+ScalarPosterior gaussian_posterior(const BayesianNetwork& net,
+                                   std::size_t query,
+                                   const ContinuousEvidence& evidence);
+
+}  // namespace kertbn::bn

@@ -1,0 +1,119 @@
+#include "bn/gibbs.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+GibbsSampler::GibbsSampler(const BayesianNetwork& net) : net_(net) {
+  KERTBN_EXPECTS(net.is_complete());
+  children_.resize(net.size());
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    KERTBN_EXPECTS(net.variable(v).is_discrete());
+    for (std::size_t c : net.dag().children(v)) {
+      children_[v].push_back(c);
+    }
+  }
+}
+
+double GibbsSampler::sample_full_conditional(std::size_t v,
+                                             std::vector<double>& state,
+                                             Rng& rng) const {
+  const std::size_t card = net_.variable(v).cardinality;
+  std::vector<double> log_weights(card, 0.0);
+  std::vector<double> parent_buf;
+
+  auto parent_values = [&](std::size_t node) {
+    const auto pars = net_.dag().parents(node);
+    parent_buf.resize(pars.size());
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      parent_buf[i] = state[pars[i]];
+    }
+  };
+
+  const double original = state[v];
+  for (std::size_t s = 0; s < card; ++s) {
+    state[v] = static_cast<double>(s);
+    parent_values(v);
+    double lw = net_.cpd(v).log_prob(state[v], parent_buf);
+    // Markov blanket: each child's likelihood given its parents.
+    for (std::size_t c : children_[v]) {
+      parent_values(c);
+      lw += net_.cpd(c).log_prob(state[c], parent_buf);
+    }
+    log_weights[s] = lw;
+  }
+  state[v] = original;
+
+  // Normalize in log space and draw.
+  double max_lw = log_weights[0];
+  for (double lw : log_weights) max_lw = std::max(max_lw, lw);
+  std::vector<double> weights(card);
+  for (std::size_t s = 0; s < card; ++s) {
+    weights[s] = std::exp(log_weights[s] - max_lw);
+  }
+  return static_cast<double>(rng.categorical(weights));
+}
+
+void GibbsSampler::sweep(std::vector<double>& state,
+                         const std::vector<std::size_t>& free_nodes,
+                         Rng& rng) const {
+  for (std::size_t v : free_nodes) {
+    state[v] = sample_full_conditional(v, state, rng);
+  }
+}
+
+std::vector<std::vector<double>> GibbsSampler::all_posteriors(
+    const std::map<std::size_t, std::size_t>& evidence, Rng& rng,
+    const GibbsOptions& opts) {
+  KERTBN_EXPECTS(opts.samples >= 1);
+  KERTBN_EXPECTS(opts.thin >= 1);
+
+  // Initialize from a forward sample, then clamp evidence.
+  std::vector<double> state = net_.sample_row(rng);
+  std::vector<std::size_t> free_nodes;
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    auto it = evidence.find(v);
+    if (it != evidence.end()) {
+      KERTBN_EXPECTS(it->second < net_.variable(v).cardinality);
+      state[v] = static_cast<double>(it->second);
+    } else {
+      free_nodes.push_back(v);
+    }
+  }
+
+  for (std::size_t i = 0; i < opts.burn_in; ++i) {
+    sweep(state, free_nodes, rng);
+  }
+
+  std::vector<std::vector<double>> counts(net_.size());
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    counts[v].assign(net_.variable(v).cardinality, 0.0);
+  }
+  for (std::size_t i = 0; i < opts.samples; ++i) {
+    for (std::size_t t = 0; t < opts.thin; ++t) {
+      sweep(state, free_nodes, rng);
+    }
+    for (std::size_t v : free_nodes) {
+      counts[v][static_cast<std::size_t>(state[v])] += 1.0;
+    }
+  }
+  for (std::size_t v : free_nodes) {
+    for (double& c : counts[v]) c /= static_cast<double>(opts.samples);
+  }
+  for (const auto& [v, s] : evidence) {
+    counts[v][s] = 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> GibbsSampler::posterior(
+    std::size_t query, const std::map<std::size_t, std::size_t>& evidence,
+    Rng& rng, const GibbsOptions& opts) {
+  KERTBN_EXPECTS(query < net_.size());
+  KERTBN_EXPECTS(!evidence.contains(query));
+  return all_posteriors(evidence, rng, opts)[query];
+}
+
+}  // namespace kertbn::bn

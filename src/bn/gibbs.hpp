@@ -1,0 +1,53 @@
+#pragma once
+/// \file gibbs.hpp
+/// Gibbs sampling for all-discrete networks: the fallback engine when exact
+/// inference is too expensive (a discrete KERT-BN's response CPT grows as
+/// bins^n, so VE and junction trees hit a wall near a dozen services; Gibbs
+/// only ever evaluates single-row CPT lookups).
+
+#include <map>
+#include <vector>
+
+#include "bn/network.hpp"
+
+namespace kertbn::bn {
+
+struct GibbsOptions {
+  std::size_t burn_in = 1000;   ///< Sweeps discarded before recording.
+  std::size_t samples = 10000;  ///< Recorded sweeps.
+  std::size_t thin = 1;         ///< Keep every thin-th sweep.
+};
+
+/// Gibbs sampler over a complete all-discrete network.
+class GibbsSampler {
+ public:
+  explicit GibbsSampler(const BayesianNetwork& net);
+
+  /// Runs a chain with the given evidence clamped and returns the
+  /// posterior marginal estimate of \p query.
+  std::vector<double> posterior(std::size_t query,
+                                const std::map<std::size_t, std::size_t>&
+                                    evidence,
+                                Rng& rng, const GibbsOptions& opts = {});
+
+  /// Runs a chain and returns per-node marginal estimates for every
+  /// non-evidence node (one pass, all posteriors).
+  std::vector<std::vector<double>> all_posteriors(
+      const std::map<std::size_t, std::size_t>& evidence, Rng& rng,
+      const GibbsOptions& opts = {});
+
+ private:
+  /// One full systematic-scan sweep over the non-evidence nodes.
+  void sweep(std::vector<double>& state,
+             const std::vector<std::size_t>& free_nodes, Rng& rng) const;
+
+  /// Samples node \p v from its full conditional given the rest.
+  double sample_full_conditional(std::size_t v,
+                                 std::vector<double>& state,
+                                 Rng& rng) const;
+
+  const BayesianNetwork& net_;
+  std::vector<std::vector<std::size_t>> children_;
+};
+
+}  // namespace kertbn::bn

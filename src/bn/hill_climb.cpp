@@ -1,0 +1,127 @@
+#include "bn/hill_climb.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "graph/dag.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+bool contains(const std::vector<std::size_t>& xs, std::size_t x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+}  // namespace
+
+StructureResult hill_climb_search(const Dataset& data,
+                                  std::span<const Variable> vars,
+                                  const FamilyScoreFn& score,
+                                  const HillClimbOptions& opts) {
+  const std::size_t n = vars.size();
+  KERTBN_EXPECTS(data.cols() == n);
+
+  // Current state: parent sets mirrored in a Dag for cycle checking, plus
+  // cached family scores.
+  graph::Dag dag(n);
+  StructureResult current;
+  current.parents.assign(n, {});
+  std::vector<double> family(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    family[v] = score(data, v, current.parents[v]);
+  }
+
+  auto family_with = [&](std::size_t child,
+                         const std::vector<std::size_t>& parents) {
+    return score(data, child, parents);
+  };
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    // Best single move: (type, a, b, gain). type 0 add a->b, 1 delete
+    // a->b, 2 reverse a->b.
+    int best_type = -1;
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    double best_gain = opts.min_gain;
+    std::vector<std::size_t> scratch;
+
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const bool edge_ab = dag.has_edge(a, b);
+        if (!edge_ab) {
+          // Add a->b: acyclic iff a is not reachable from b.
+          if (current.parents[b].size() >= opts.max_parents) continue;
+          if (dag.reachable(b, a)) continue;
+          scratch = current.parents[b];
+          scratch.push_back(a);
+          const double gain = family_with(b, scratch) - family[b];
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_type = 0;
+            best_a = a;
+            best_b = b;
+          }
+        } else {
+          // Delete a->b.
+          scratch = current.parents[b];
+          scratch.erase(std::find(scratch.begin(), scratch.end(), a));
+          const double del_gain = family_with(b, scratch) - family[b];
+          if (del_gain > best_gain) {
+            best_gain = del_gain;
+            best_type = 1;
+            best_a = a;
+            best_b = b;
+          }
+          // Reverse a->b to b->a: remove then check b->a stays acyclic.
+          if (current.parents[a].size() >= opts.max_parents) continue;
+          dag.remove_edge(a, b);
+          const bool ok = !dag.reachable(a, b);
+          if (ok) {
+            std::vector<std::size_t> pa = current.parents[a];
+            pa.push_back(b);
+            const double gain = del_gain +
+                                (family_with(a, pa) - family[a]);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_type = 2;
+              best_a = a;
+              best_b = b;
+            }
+          }
+          dag.add_edge(a, b);  // restore
+        }
+      }
+    }
+
+    if (best_type < 0) break;  // local optimum
+
+    if (best_type == 0) {
+      const bool ok = dag.add_edge(best_a, best_b);
+      KERTBN_ASSERT(ok);
+      current.parents[best_b].push_back(best_a);
+      family[best_b] = family_with(best_b, current.parents[best_b]);
+    } else if (best_type == 1) {
+      dag.remove_edge(best_a, best_b);
+      auto& pb = current.parents[best_b];
+      pb.erase(std::find(pb.begin(), pb.end(), best_a));
+      family[best_b] = family_with(best_b, pb);
+    } else {
+      dag.remove_edge(best_a, best_b);
+      const bool ok = dag.add_edge(best_b, best_a);
+      KERTBN_ASSERT(ok);
+      auto& pb = current.parents[best_b];
+      pb.erase(std::find(pb.begin(), pb.end(), best_a));
+      current.parents[best_a].push_back(best_b);
+      family[best_b] = family_with(best_b, pb);
+      family[best_a] = family_with(best_a, current.parents[best_a]);
+    }
+    KERTBN_ASSERT(!contains(current.parents[best_b], best_b));
+  }
+
+  current.score = 0.0;
+  for (std::size_t v = 0; v < n; ++v) current.score += family[v];
+  return current;
+}
+
+}  // namespace kertbn::bn

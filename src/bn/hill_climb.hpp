@@ -1,0 +1,31 @@
+#pragma once
+/// \file hill_climb.hpp
+/// Greedy hill-climbing structure search over the full DAG space: the
+/// standard alternative to order-based K2. Moves are single-edge additions,
+/// deletions and reversals; each step takes the best score-improving move
+/// until a local optimum. Complements K2 as a second pure-data baseline
+/// (K2's weakness is its dependence on the variable ordering; hill
+/// climbing's is local optima — both motivate the paper's knowledge-given
+/// structure).
+
+#include "bn/scores.hpp"
+#include "bn/structure_learning.hpp"
+
+namespace kertbn::bn {
+
+struct HillClimbOptions {
+  std::size_t max_parents = 4;
+  /// Safety cap on move iterations.
+  std::size_t max_iterations = 1000;
+  /// Minimum score gain to accept a move (guards float noise loops).
+  double min_gain = 1e-9;
+};
+
+/// Hill climbs from the empty graph. Decomposability is exploited: each
+/// move re-scores only the affected families.
+StructureResult hill_climb_search(const Dataset& data,
+                                  std::span<const Variable> vars,
+                                  const FamilyScoreFn& score,
+                                  const HillClimbOptions& opts = {});
+
+}  // namespace kertbn::bn

@@ -1,0 +1,53 @@
+#include "bn/intervention.hpp"
+
+#include "bn/deterministic_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+BayesianNetwork do_intervention(const BayesianNetwork& net, std::size_t node,
+                                double value) {
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(node < net.size());
+
+  BayesianNetwork out;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    out.add_node(net.variable(v));
+  }
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (v == node) continue;  // graph surgery: drop edges into the target
+    for (std::size_t p : net.dag().parents(v)) {
+      const bool ok = out.add_edge(p, v);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (v != node) {
+      out.set_cpd(v, net.cpd(v).clone());
+      continue;
+    }
+    if (net.variable(v).is_discrete()) {
+      const auto state = static_cast<std::size_t>(value);
+      const std::size_t card = net.variable(v).cardinality;
+      KERTBN_EXPECTS(state < card);
+      std::vector<double> point(card, 0.0);
+      point[state] = 1.0;
+      out.set_cpd(v, std::make_unique<TabularCpd>(
+                         TabularCpd(card, {}, std::move(point))));
+    } else {
+      DeterministicFn fn;
+      fn.arity = 0;
+      fn.expression = "do(" + net.variable(v).name + " = " +
+                      std::to_string(value) + ")";
+      fn.fn = [value](std::span<const double>) { return value; };
+      // Tiny jitter keeps downstream density evaluations finite.
+      out.set_cpd(v, std::make_unique<DeterministicCpd>(std::move(fn),
+                                                        1e-9));
+    }
+  }
+  KERTBN_ENSURES(out.is_complete());
+  return out;
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,23 @@
+#pragma once
+/// \file intervention.hpp
+/// Pearl's do-operator: graph surgery for causal queries. pAccel's question
+/// — "what happens to D if we *make* service Z faster?" — is interventional,
+/// but Section 5.2 answers it by conditioning, p(D | Z = E(z)). On models
+/// with shared-resource confounders the two differ: conditioning on a fast
+/// Z also selects the light-load regimes that make everything fast,
+/// overstating the benefit. do(Z = z) instead severs Z from its causes and
+/// keeps the rest of the joint intact.
+
+#include "bn/network.hpp"
+
+namespace kertbn::bn {
+
+/// Returns the mutilated network for do(node = value): all edges into
+/// \p node are removed and its CPD is replaced by the point distribution
+/// at \p value (discrete nodes: \p value is the state index; the point
+/// mass is realized as a CPT with all mass on that state). Other CPDs are
+/// cloned unchanged.
+BayesianNetwork do_intervention(const BayesianNetwork& net, std::size_t node,
+                                double value);
+
+}  // namespace kertbn::bn

@@ -1,0 +1,332 @@
+#include "bn/junction_tree.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "bn/tabular_cpd.hpp"
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Sums out every scope variable of \p f not in \p target.
+Factor marginalize_to(Factor f, std::span<const std::size_t> target) {
+  // Iterate until fixed point: scope shrinks each step.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v : f.scope()) {
+      if (std::find(target.begin(), target.end(), v) == target.end()) {
+        f = f.marginalize(v);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+bool is_subset(const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+  // Both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+JunctionTree::JunctionTree(const BayesianNetwork& net) : net_(net) {
+  KERTBN_EXPECTS(net.is_complete());
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    KERTBN_EXPECTS(net.variable(v).is_discrete());
+    KERTBN_EXPECTS(net.cpd(v).kind() == CpdKind::kTabular);
+  }
+  build_structure();
+  calibrate({});
+}
+
+void JunctionTree::build_structure() {
+  const std::size_t n = net_.size();
+
+  // Moral graph adjacency.
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  auto connect = [&](std::size_t a, std::size_t b) {
+    if (a != b) {
+      adj[a][b] = true;
+      adj[b][a] = true;
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto pars = net_.dag().parents(v);
+    for (std::size_t p : pars) connect(p, v);
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      for (std::size_t j = i + 1; j < pars.size(); ++j) {
+        connect(pars[i], pars[j]);
+      }
+    }
+  }
+
+  // Min-fill elimination producing candidate cliques.
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::vector<std::size_t>> candidates;
+  for (std::size_t round = 0; round < n; ++round) {
+    // Pick the remaining node whose elimination adds fewest fill edges.
+    std::size_t best = n;
+    std::size_t best_fill = static_cast<std::size_t>(-1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      std::vector<std::size_t> nbrs;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (!eliminated[u] && adj[v][u]) nbrs.push_back(u);
+      }
+      std::size_t fill = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (!adj[nbrs[i]][nbrs[j]]) ++fill;
+        }
+      }
+      if (fill < best_fill) {
+        best_fill = fill;
+        best = v;
+      }
+    }
+    KERTBN_ASSERT(best < n);
+
+    std::vector<std::size_t> clique{best};
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!eliminated[u] && adj[best][u]) clique.push_back(u);
+    }
+    std::sort(clique.begin(), clique.end());
+    candidates.push_back(std::move(clique));
+
+    // Fill in, then eliminate.
+    const auto& cl = candidates.back();
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      for (std::size_t j = i + 1; j < cl.size(); ++j) {
+        connect(cl[i], cl[j]);
+      }
+    }
+    eliminated[best] = true;
+  }
+
+  // Keep only maximal cliques.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool maximal = true;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j) continue;
+      if (candidates[i].size() < candidates[j].size() &&
+          is_subset(candidates[i], candidates[j])) {
+        maximal = false;
+        break;
+      }
+      if (i > j && candidates[i] == candidates[j]) {
+        maximal = false;  // duplicate: keep the first copy only
+        break;
+      }
+    }
+    if (maximal) cliques_.push_back(candidates[i]);
+  }
+
+  // Maximum-weight spanning forest over separator sizes (Kruskal).
+  struct Candidate {
+    std::size_t a;
+    std::size_t b;
+    std::vector<std::size_t> sep;
+  };
+  std::vector<Candidate> all_edges;
+  for (std::size_t a = 0; a < cliques_.size(); ++a) {
+    for (std::size_t b = a + 1; b < cliques_.size(); ++b) {
+      std::vector<std::size_t> sep;
+      std::set_intersection(cliques_[a].begin(), cliques_[a].end(),
+                            cliques_[b].begin(), cliques_[b].end(),
+                            std::back_inserter(sep));
+      if (!sep.empty()) {
+        all_edges.push_back({a, b, std::move(sep)});
+      }
+    }
+  }
+  std::sort(all_edges.begin(), all_edges.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.sep.size() > y.sep.size();
+            });
+  std::vector<std::size_t> parent(cliques_.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  neighbors_.assign(cliques_.size(), {});
+  for (auto& e : all_edges) {
+    const std::size_t ra = find(e.a);
+    const std::size_t rb = find(e.b);
+    if (ra == rb) continue;
+    parent[ra] = rb;
+    neighbors_[e.a].push_back(e.b);
+    neighbors_[e.b].push_back(e.a);
+    edges_.push_back({e.a, e.b, std::move(e.sep)});
+  }
+
+  // Assign each node's family to a containing clique.
+  family_clique_.assign(net_.size(), 0);
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    std::vector<std::size_t> family(net_.dag().parents(v).begin(),
+                                    net_.dag().parents(v).end());
+    family.push_back(v);
+    std::sort(family.begin(), family.end());
+    bool found = false;
+    for (std::size_t c = 0; c < cliques_.size(); ++c) {
+      if (is_subset(family, cliques_[c])) {
+        family_clique_[v] = c;
+        found = true;
+        break;
+      }
+    }
+    KERTBN_ASSERT(found && "family must fit a clique (triangulation bug)");
+  }
+}
+
+Factor JunctionTree::clique_base_factor(
+    std::size_t c,
+    const std::map<std::size_t, std::size_t>& evidence) const {
+  Factor base = Factor::unit();
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    if (family_clique_[v] != c) continue;
+    // Family factor: parents (most significant) then child, matching the
+    // CPT layout (same construction as VariableElimination::node_factor).
+    const auto& cpt = static_cast<const TabularCpd&>(net_.cpd(v));
+    const auto pars = net_.dag().parents(v);
+    std::vector<std::size_t> scope(pars.begin(), pars.end());
+    scope.push_back(v);
+    std::vector<std::size_t> cards = cpt.parent_cardinalities();
+    cards.push_back(cpt.child_cardinality());
+    std::vector<double> values;
+    values.reserve(cpt.config_count() * cpt.child_cardinality());
+    for (std::size_t cfg = 0; cfg < cpt.config_count(); ++cfg) {
+      for (std::size_t s = 0; s < cpt.child_cardinality(); ++s) {
+        values.push_back(cpt.probability(cfg, s));
+      }
+    }
+    base = base.product(
+        Factor(std::move(scope), std::move(cards), std::move(values)));
+  }
+  // Fold evidence indicators for variables of this clique whose indicator
+  // has not been attached elsewhere (attach at the variable's family
+  // clique to apply each exactly once).
+  for (const auto& [v, state] : evidence) {
+    if (family_clique_[v] != c) continue;
+    const std::size_t card = net_.variable(v).cardinality;
+    KERTBN_EXPECTS(state < card);
+    std::vector<double> indicator(card, 0.0);
+    indicator[state] = 1.0;
+    base = base.product(Factor({v}, {card}, std::move(indicator)));
+  }
+  return base;
+}
+
+void JunctionTree::calibrate(
+    const std::map<std::size_t, std::size_t>& evidence) {
+  evidence_ = evidence;
+  const std::size_t m = cliques_.size();
+  std::vector<Factor> base(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    base[c] = clique_base_factor(c, evidence);
+  }
+
+  // Messages between adjacent cliques, keyed by (from, to).
+  std::map<std::pair<std::size_t, std::size_t>, Factor> messages;
+  auto separator_of = [&](std::size_t a, std::size_t b)
+      -> const std::vector<std::size_t>& {
+    for (const Edge& e : edges_) {
+      if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) {
+        return e.separator;
+      }
+    }
+    KERTBN_ASSERT(false && "no such tree edge");
+    static const std::vector<std::size_t> kEmpty;
+    return kEmpty;
+  };
+
+  auto product_with_messages = [&](std::size_t c, std::size_t except) {
+    Factor f = base[c];
+    for (std::size_t nb : neighbors_[c]) {
+      if (nb == except) continue;
+      auto it = messages.find({nb, c});
+      if (it != messages.end()) f = f.product(it->second);
+    }
+    return f;
+  };
+
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  // Upward pass (collect) then downward pass (distribute), per component.
+  std::function<void(std::size_t, std::size_t)> collect =
+      [&](std::size_t c, std::size_t from) {
+        for (std::size_t nb : neighbors_[c]) {
+          if (nb == from) continue;
+          collect(nb, c);
+          messages[{nb, c}] = marginalize_to(product_with_messages(nb, c),
+                                             separator_of(nb, c));
+        }
+      };
+  std::function<void(std::size_t, std::size_t)> distribute =
+      [&](std::size_t c, std::size_t from) {
+        for (std::size_t nb : neighbors_[c]) {
+          if (nb == from) continue;
+          messages[{c, nb}] = marginalize_to(product_with_messages(c, nb),
+                                             separator_of(c, nb));
+          distribute(nb, c);
+        }
+      };
+
+  std::vector<bool> visited(m, false);
+  evidence_probability_ = 1.0;
+  std::vector<std::size_t> roots;
+  for (std::size_t c = 0; c < m; ++c) {
+    if (visited[c]) continue;
+    // Mark this component.
+    std::vector<std::size_t> stack{c};
+    visited[c] = true;
+    while (!stack.empty()) {
+      const std::size_t x = stack.back();
+      stack.pop_back();
+      for (std::size_t nb : neighbors_[x]) {
+        if (!visited[nb]) {
+          visited[nb] = true;
+          stack.push_back(nb);
+        }
+      }
+    }
+    collect(c, kNone);
+    distribute(c, kNone);
+    roots.push_back(c);
+  }
+
+  beliefs_.assign(m, Factor::unit());
+  for (std::size_t c = 0; c < m; ++c) {
+    beliefs_[c] = product_with_messages(c, kNone);
+  }
+  for (std::size_t r : roots) {
+    evidence_probability_ *= beliefs_[r].total();
+  }
+}
+
+std::vector<double> JunctionTree::posterior(std::size_t v) const {
+  KERTBN_EXPECTS(v < net_.size());
+  KERTBN_EXPECTS(!evidence_.contains(v));
+  const Factor marginal = marginalize_to(beliefs_[family_clique_[v]],
+                                         std::vector<std::size_t>{v});
+  const Factor normalized = marginal.normalized();
+  KERTBN_ASSERT(normalized.scope().size() == 1 &&
+                normalized.scope()[0] == v);
+  return normalized.values();
+}
+
+std::size_t JunctionTree::max_clique_size() const {
+  std::size_t m = 0;
+  for (const auto& c : cliques_) m = std::max(m, c.size());
+  return m;
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,137 @@
+#include "bn/learning.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "common/stopwatch.hpp"
+#include "linalg/decompose.hpp"
+
+namespace kertbn::bn {
+
+TabularCpd fit_tabular_cpd(const Dataset& data, std::size_t child_col,
+                           std::span<const std::size_t> parent_cols,
+                           std::size_t child_card,
+                           std::span<const std::size_t> parent_cards,
+                           double dirichlet_alpha) {
+  KERTBN_EXPECTS(parent_cols.size() == parent_cards.size());
+  KERTBN_EXPECTS(dirichlet_alpha >= 0.0);
+  std::size_t configs = 1;
+  for (std::size_t c : parent_cards) configs *= c;
+  std::vector<double> counts(configs * child_card, dirichlet_alpha);
+
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    std::size_t cfg = 0;
+    for (std::size_t i = 0; i < parent_cols.size(); ++i) {
+      const auto state =
+          static_cast<std::size_t>(data.value(r, parent_cols[i]));
+      KERTBN_EXPECTS(state < parent_cards[i]);
+      cfg = cfg * parent_cards[i] + state;
+    }
+    const auto child_state =
+        static_cast<std::size_t>(data.value(r, child_col));
+    KERTBN_EXPECTS(child_state < child_card);
+    counts[cfg * child_card + child_state] += 1.0;
+  }
+  // TabularCpd normalizes rows; all-zero rows (alpha=0, unseen config)
+  // become uniform, the standard fallback.
+  return TabularCpd(child_card,
+                    std::vector<std::size_t>(parent_cards.begin(),
+                                             parent_cards.end()),
+                    std::move(counts));
+}
+
+LinearGaussianCpd fit_linear_gaussian_cpd(
+    const Dataset& data, std::size_t child_col,
+    std::span<const std::size_t> parent_cols, double min_sigma,
+    double ridge) {
+  const std::size_t n = data.rows();
+  const std::size_t p = parent_cols.size();
+  KERTBN_EXPECTS(n >= 1);
+
+  // Design matrix with a leading intercept column.
+  la::Matrix x(n, p + 1);
+  la::Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x(r, 0) = 1.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      x(r, i + 1) = data.value(r, parent_cols[i]);
+    }
+    y[r] = data.value(r, child_col);
+  }
+  const la::Vector beta = la::least_squares(x, y, ridge);
+
+  // Residual standard deviation (ML estimate, floored).
+  double rss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double pred = beta[0];
+    for (std::size_t i = 0; i < p; ++i) pred += beta[i + 1] * x(r, i + 1);
+    const double e = y[r] - pred;
+    rss += e * e;
+  }
+  const double sigma =
+      std::max(std::sqrt(rss / static_cast<double>(n)), min_sigma);
+
+  std::vector<double> weights(p);
+  for (std::size_t i = 0; i < p; ++i) weights[i] = beta[i + 1];
+  return LinearGaussianCpd(beta[0], std::move(weights), sigma);
+}
+
+double ParameterLearnReport::max_node_seconds() const {
+  double m = 0.0;
+  for (std::size_t v : learned_nodes) {
+    m = std::max(m, per_node_seconds[v]);
+  }
+  return m;
+}
+
+double ParameterLearnReport::sum_node_seconds() const {
+  double s = 0.0;
+  for (std::size_t v : learned_nodes) s += per_node_seconds[v];
+  return s;
+}
+
+double learn_node_parameters(BayesianNetwork& net, std::size_t v,
+                             const Dataset& data,
+                             const ParameterLearnOptions& opts) {
+  KERTBN_EXPECTS(data.cols() == net.size());
+  const auto pars = net.dag().parents(v);
+  const std::vector<std::size_t> parent_cols(pars.begin(), pars.end());
+
+  Stopwatch timer;
+  if (net.variable(v).is_discrete()) {
+    std::vector<std::size_t> parent_cards;
+    parent_cards.reserve(parent_cols.size());
+    for (std::size_t p : parent_cols) {
+      KERTBN_EXPECTS(net.variable(p).is_discrete());
+      parent_cards.push_back(net.variable(p).cardinality);
+    }
+    auto cpd = fit_tabular_cpd(data, v, parent_cols,
+                               net.variable(v).cardinality, parent_cards,
+                               opts.dirichlet_alpha);
+    const double secs = timer.seconds();
+    net.set_cpd(v, std::make_unique<TabularCpd>(std::move(cpd)));
+    return secs;
+  }
+  auto cpd = fit_linear_gaussian_cpd(data, v, parent_cols, opts.min_sigma,
+                                     opts.ridge);
+  const double secs = timer.seconds();
+  net.set_cpd(v, std::make_unique<LinearGaussianCpd>(std::move(cpd)));
+  return secs;
+}
+
+ParameterLearnReport learn_parameters(BayesianNetwork& net,
+                                      const Dataset& data,
+                                      const ParameterLearnOptions& opts) {
+  ParameterLearnReport report;
+  report.per_node_seconds.assign(net.size(), 0.0);
+  Stopwatch total;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (net.has_cpd(v) && !opts.refit_existing) continue;
+    report.per_node_seconds[v] = learn_node_parameters(net, v, data, opts);
+    report.learned_nodes.push_back(v);
+  }
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,71 @@
+#pragma once
+/// \file learning.hpp
+/// Parameter learning: maximum-likelihood / Bayesian (Dirichlet-smoothed)
+/// fitting of tabular CPDs and OLS fitting of linear-Gaussian CPDs, plus a
+/// whole-network driver that reports per-node learning times (the quantity
+/// behind the decentralized-vs-centralized comparison of Figure 5).
+
+#include <span>
+#include <vector>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/network.hpp"
+#include "bn/tabular_cpd.hpp"
+
+namespace kertbn::bn {
+
+struct ParameterLearnOptions {
+  /// Dirichlet smoothing pseudo-count per CPT cell (0 = pure ML counts).
+  double dirichlet_alpha = 1.0;
+  /// Floor on fitted Gaussian standard deviations.
+  double min_sigma = 1e-6;
+  /// Ridge stabilizer for the OLS normal equations.
+  double ridge = 1e-9;
+  /// When true, refit nodes that already carry a CPD; when false (the
+  /// KERT-BN case) knowledge-given CPDs are left untouched.
+  bool refit_existing = false;
+};
+
+/// Fits a CPT for data column \p child_col with parents \p parent_cols by
+/// (smoothed) normalized counts. Cardinalities describe the child and each
+/// parent in order.
+TabularCpd fit_tabular_cpd(const Dataset& data, std::size_t child_col,
+                           std::span<const std::size_t> parent_cols,
+                           std::size_t child_card,
+                           std::span<const std::size_t> parent_cards,
+                           double dirichlet_alpha = 1.0);
+
+/// Fits X_child ≈ N(b0 + w·parents, sigma²) by ordinary least squares.
+LinearGaussianCpd fit_linear_gaussian_cpd(
+    const Dataset& data, std::size_t child_col,
+    std::span<const std::size_t> parent_cols, double min_sigma = 1e-6,
+    double ridge = 1e-9);
+
+/// Per-run learning report; per_node_seconds[v] is 0 for nodes not learned.
+struct ParameterLearnReport {
+  double total_seconds = 0.0;
+  std::vector<double> per_node_seconds;
+  std::vector<std::size_t> learned_nodes;
+
+  /// max over learned nodes — the decentralized completion time of
+  /// Section 3.4 (all per-node computations run concurrently).
+  double max_node_seconds() const;
+  /// sum over learned nodes — the centralized completion time.
+  double sum_node_seconds() const;
+};
+
+/// Learns CPDs for every node of \p net lacking one (or all nodes when
+/// opts.refit_existing). Dataset columns must be the network variables in
+/// node-index order. Discrete nodes get smoothed-count CPTs; continuous
+/// nodes get OLS linear-Gaussian CPDs.
+ParameterLearnReport learn_parameters(BayesianNetwork& net,
+                                      const Dataset& data,
+                                      const ParameterLearnOptions& opts = {});
+
+/// Learns the single CPD of node \p v from \p data and installs it.
+/// Returns the wall-clock seconds the fit took.
+double learn_node_parameters(BayesianNetwork& net, std::size_t v,
+                             const Dataset& data,
+                             const ParameterLearnOptions& opts = {});
+
+}  // namespace kertbn::bn

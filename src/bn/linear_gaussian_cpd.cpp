@@ -1,0 +1,51 @@
+#include "bn/linear_gaussian_cpd.hpp"
+
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+
+LinearGaussianCpd::LinearGaussianCpd(double intercept,
+                                     std::vector<double> weights,
+                                     double sigma)
+    : intercept_(intercept), weights_(std::move(weights)), sigma_(sigma) {
+  KERTBN_EXPECTS(sigma_ > 0.0);
+}
+
+double LinearGaussianCpd::mean(std::span<const double> parents) const {
+  KERTBN_EXPECTS(parents.size() == weights_.size());
+  double m = intercept_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    m += weights_[i] * parents[i];
+  }
+  return m;
+}
+
+double LinearGaussianCpd::log_prob(double value,
+                                   std::span<const double> parents) const {
+  return gaussian_log_pdf(value, mean(parents), sigma_);
+}
+
+double LinearGaussianCpd::sample(std::span<const double> parents,
+                                 Rng& rng) const {
+  return rng.normal(mean(parents), sigma_);
+}
+
+std::unique_ptr<Cpd> LinearGaussianCpd::clone() const {
+  return std::make_unique<LinearGaussianCpd>(*this);
+}
+
+std::string LinearGaussianCpd::describe() const {
+  std::ostringstream out;
+  out << "LinearGaussian(b0=" << intercept_ << ", w=[";
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << weights_[i];
+  }
+  out << "], sigma=" << sigma_ << ")";
+  return out.str();
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,45 @@
+#pragma once
+/// \file linear_gaussian_cpd.hpp
+/// Linear-Gaussian CPD: X | parents ~ N(intercept + wᵀ·parents, sigma²).
+/// The continuous KERT-BN/NRT-BN variants of Section 4 use these for the
+/// service elapsed-time nodes (few parameters → quick convergence on the
+/// small training windows of fast-changing environments).
+
+#include <vector>
+
+#include "bn/cpd.hpp"
+
+namespace kertbn::bn {
+
+class LinearGaussianCpd final : public Cpd {
+ public:
+  /// sigma must be > 0; weights.size() is the parent count.
+  LinearGaussianCpd(double intercept, std::vector<double> weights,
+                    double sigma);
+
+  /// Root node N(mean, sigma²).
+  static LinearGaussianCpd root(double mean, double sigma) {
+    return LinearGaussianCpd(mean, {}, sigma);
+  }
+
+  double intercept() const { return intercept_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double sigma() const { return sigma_; }
+
+  // Cpd interface.
+  CpdKind kind() const override { return CpdKind::kLinearGaussian; }
+  std::size_t parent_count() const override { return weights_.size(); }
+  double log_prob(double value, std::span<const double> parents) const override;
+  double sample(std::span<const double> parents, Rng& rng) const override;
+  double mean(std::span<const double> parents) const override;
+  std::unique_ptr<Cpd> clone() const override;
+  std::string describe() const override;
+  std::size_t parameter_count() const override { return weights_.size() + 2; }
+
+ private:
+  double intercept_;
+  std::vector<double> weights_;
+  double sigma_;
+};
+
+}  // namespace kertbn::bn

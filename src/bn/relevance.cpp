@@ -1,0 +1,76 @@
+#include "bn/relevance.hpp"
+
+#include <algorithm>
+
+#include "bn/discrete_inference.hpp"
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+RelevantSubnetwork relevant_subnetwork(
+    const BayesianNetwork& net, std::size_t query,
+    std::span<const std::size_t> evidence_nodes) {
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(query < net.size());
+
+  // Keep = ancestral closure of {query} ∪ evidence.
+  std::vector<bool> keep(net.size(), false);
+  std::vector<std::size_t> stack;
+  auto push = [&](std::size_t v) {
+    if (!keep[v]) {
+      keep[v] = true;
+      stack.push_back(v);
+    }
+  };
+  push(query);
+  for (std::size_t e : evidence_nodes) {
+    KERTBN_EXPECTS(e < net.size());
+    push(e);
+  }
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t p : net.dag().parents(v)) push(p);
+  }
+
+  RelevantSubnetwork out;
+  out.pruned_of.assign(net.size(), RelevantSubnetwork::npos());
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (!keep[v]) continue;
+    const std::size_t idx = out.net.add_node(net.variable(v));
+    out.pruned_of[v] = idx;
+    out.original_of.push_back(v);
+  }
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (!keep[v]) continue;
+    for (std::size_t p : net.dag().parents(v)) {
+      // Parents of kept nodes are ancestors, hence kept.
+      KERTBN_ASSERT(keep[p]);
+      const bool ok =
+          out.net.add_edge(out.pruned_of[p], out.pruned_of[v]);
+      KERTBN_ASSERT(ok);
+    }
+    out.net.set_cpd(out.pruned_of[v], net.cpd(v).clone());
+  }
+  KERTBN_ENSURES(out.net.is_complete());
+  return out;
+}
+
+std::vector<double> pruned_posterior(
+    const BayesianNetwork& net, std::size_t query,
+    const std::map<std::size_t, std::size_t>& evidence) {
+  std::vector<std::size_t> evidence_nodes;
+  evidence_nodes.reserve(evidence.size());
+  for (const auto& [v, _] : evidence) evidence_nodes.push_back(v);
+
+  const RelevantSubnetwork sub =
+      relevant_subnetwork(net, query, evidence_nodes);
+  DiscreteEvidence remapped;
+  for (const auto& [v, state] : evidence) {
+    remapped[sub.pruned_of[v]] = state;
+  }
+  const VariableElimination ve(sub.net);
+  return ve.posterior(sub.pruned_of[query], remapped);
+}
+
+}  // namespace kertbn::bn

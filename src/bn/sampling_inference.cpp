@@ -1,0 +1,142 @@
+#include "bn/sampling_inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+double WeightedSamples::weight_total() const {
+  double s = 0.0;
+  for (double w : weights) s += w;
+  return s;
+}
+
+double WeightedSamples::mean() const {
+  const double wt = weight_total();
+  if (wt <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s += weights[i] * values[i];
+  }
+  return s / wt;
+}
+
+double WeightedSamples::variance() const {
+  const double wt = weight_total();
+  if (wt <= 0.0) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - m;
+    s += weights[i] * d * d;
+  }
+  return s / wt;
+}
+
+double WeightedSamples::exceedance(double threshold) const {
+  const double wt = weight_total();
+  if (wt <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > threshold) s += weights[i];
+  }
+  return s / wt;
+}
+
+double WeightedSamples::effective_sample_size() const {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double w : weights) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / sum_sq;
+}
+
+std::vector<double> WeightedSamples::resample(std::size_t n, Rng& rng) const {
+  KERTBN_EXPECTS(!values.empty());
+  std::vector<double> out;
+  out.reserve(n);
+  // Systematic resampling keeps variance low for plotting.
+  const double wt = weight_total();
+  KERTBN_EXPECTS(wt > 0.0);
+  const double step = wt / static_cast<double>(n);
+  double target = rng.uniform() * step;
+  double cumulative = 0.0;
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    while (cumulative + weights[i] < target && i + 1 < values.size()) {
+      cumulative += weights[i];
+      ++i;
+    }
+    out.push_back(values[i]);
+    target += step;
+  }
+  return out;
+}
+
+WeightedSamples likelihood_weighted_posterior(
+    const BayesianNetwork& net, std::size_t query,
+    const ContinuousEvidenceMap& evidence, Rng& rng,
+    const LikelihoodWeightingOptions& opts) {
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(query < net.size());
+  KERTBN_EXPECTS(!evidence.contains(query));
+
+  const auto order = net.dag().topological_order();
+  WeightedSamples out;
+  out.values.reserve(opts.samples);
+  out.weights.reserve(opts.samples);
+
+  // Weights are accumulated in log space and shifted by the max before
+  // exponentiation: with near-deterministic CPDs (tiny leak sigma) raw
+  // exp(log_w) would underflow every particle to zero.
+  std::vector<double> log_weights;
+  log_weights.reserve(opts.samples);
+  double max_log_w = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> row(net.size(), 0.0);
+  std::vector<double> parent_buf;
+  for (std::size_t s = 0; s < opts.samples; ++s) {
+    double log_w = 0.0;
+    for (std::size_t v : order) {
+      const auto pars = net.dag().parents(v);
+      parent_buf.resize(pars.size());
+      for (std::size_t i = 0; i < pars.size(); ++i) {
+        parent_buf[i] = row[pars[i]];
+      }
+      auto it = evidence.find(v);
+      if (it != evidence.end()) {
+        row[v] = it->second;
+        log_w += net.cpd(v).log_prob(row[v], parent_buf);
+      } else {
+        row[v] = net.cpd(v).sample(parent_buf, rng);
+      }
+    }
+    out.values.push_back(row[query]);
+    log_weights.push_back(log_w);
+    max_log_w = std::max(max_log_w, log_w);
+  }
+  for (double lw : log_weights) {
+    out.weights.push_back(std::exp(lw - max_log_w));
+  }
+  return out;
+}
+
+std::vector<double> forward_marginal(const BayesianNetwork& net,
+                                     std::size_t query, std::size_t n,
+                                     Rng& rng) {
+  KERTBN_EXPECTS(query < net.size());
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(net.sample_row(rng)[query]);
+  }
+  return out;
+}
+
+}  // namespace kertbn::bn

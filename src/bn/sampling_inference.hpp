@@ -1,0 +1,53 @@
+#pragma once
+/// \file sampling_inference.hpp
+/// Monte-Carlo inference: forward sampling and likelihood weighting.
+/// Works for any CPD mix — in particular continuous networks whose
+/// response-time node carries a nonlinear deterministic CPD (max of sums),
+/// which exact Gaussian conditioning cannot express (and which the paper's
+/// MATLAB BNT could not handle at all, forcing its Section 5 models to be
+/// discrete).
+
+#include <map>
+#include <vector>
+
+#include "bn/network.hpp"
+
+namespace kertbn::bn {
+
+using ContinuousEvidenceMap = std::map<std::size_t, double>;
+
+/// Weighted posterior sample set for one query node.
+struct WeightedSamples {
+  std::vector<double> values;
+  std::vector<double> weights;  ///< Unnormalized, non-negative.
+
+  double weight_total() const;
+  double mean() const;
+  double variance() const;
+  /// P(X > threshold) under the weighted empirical distribution.
+  double exceedance(double threshold) const;
+  /// Effective sample size, (Σw)² / Σw² — a degeneracy diagnostic.
+  double effective_sample_size() const;
+  /// Resamples into an unweighted set of \p n draws (for KDE/histograms).
+  std::vector<double> resample(std::size_t n, Rng& rng) const;
+};
+
+struct LikelihoodWeightingOptions {
+  std::size_t samples = 20000;
+};
+
+/// Likelihood weighting: evidence nodes are clamped to their observed
+/// values; non-evidence nodes are forward-sampled; each particle is
+/// weighted by Π p(evidence_v | sampled parents).
+WeightedSamples likelihood_weighted_posterior(
+    const BayesianNetwork& net, std::size_t query,
+    const ContinuousEvidenceMap& evidence, Rng& rng,
+    const LikelihoodWeightingOptions& opts = {});
+
+/// Forward-samples the network and returns the marginal draws of \p query
+/// (no evidence; uniform weights).
+std::vector<double> forward_marginal(const BayesianNetwork& net,
+                                     std::size_t query, std::size_t n,
+                                     Rng& rng);
+
+}  // namespace kertbn::bn

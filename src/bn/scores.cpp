@@ -1,0 +1,99 @@
+#include "bn/scores.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "bn/learning.hpp"
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+double k2_family_score(const Dataset& data, std::size_t child,
+                       std::span<const std::size_t> parents,
+                       std::span<const Variable> vars) {
+  KERTBN_EXPECTS(child < vars.size());
+  KERTBN_EXPECTS(vars[child].is_discrete());
+  const std::size_t r = vars[child].cardinality;
+
+  std::size_t configs = 1;
+  std::vector<std::size_t> parent_cards;
+  parent_cards.reserve(parents.size());
+  for (std::size_t p : parents) {
+    KERTBN_EXPECTS(vars[p].is_discrete());
+    parent_cards.push_back(vars[p].cardinality);
+    configs *= vars[p].cardinality;
+  }
+
+  // N_jk counts: child state k under parent configuration j.
+  std::vector<double> counts(configs * r, 0.0);
+  for (std::size_t row = 0; row < data.rows(); ++row) {
+    std::size_t cfg = 0;
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      cfg = cfg * parent_cards[i] +
+            static_cast<std::size_t>(data.value(row, parents[i]));
+    }
+    counts[cfg * r + static_cast<std::size_t>(data.value(row, child))] += 1.0;
+  }
+
+  // log[(r-1)! / (N_j + r - 1)!] + Σ_k log(N_jk!)  via lgamma.
+  const double log_r_minus_1_fact = std::lgamma(static_cast<double>(r));
+  double score = 0.0;
+  for (std::size_t j = 0; j < configs; ++j) {
+    double nj = 0.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      const double njk = counts[j * r + k];
+      nj += njk;
+      score += std::lgamma(njk + 1.0);
+    }
+    score += log_r_minus_1_fact - std::lgamma(nj + static_cast<double>(r));
+  }
+  return score;
+}
+
+double gaussian_bic_family_score(const Dataset& data, std::size_t child,
+                                 std::span<const std::size_t> parents) {
+  const auto n = static_cast<double>(data.rows());
+  KERTBN_EXPECTS(n >= 1.0);
+  const LinearGaussianCpd cpd =
+      fit_linear_gaussian_cpd(data, child, parents);
+  // Maximized Gaussian log-likelihood given ML variance:
+  // -n/2 (log(2π σ²) + 1).
+  const double sigma2 = cpd.sigma() * cpd.sigma();
+  const double loglik =
+      -0.5 * n * (std::log(2.0 * std::numbers::pi * sigma2) + 1.0);
+  const auto params = static_cast<double>(parents.size() + 2);
+  return loglik - 0.5 * params * std::log(n);
+}
+
+FamilyScoreFn make_family_score(std::span<const Variable> vars) {
+  bool all_discrete = true;
+  for (const auto& v : vars) {
+    if (!v.is_discrete()) {
+      all_discrete = false;
+      break;
+    }
+  }
+  std::vector<Variable> owned(vars.begin(), vars.end());
+  if (all_discrete) {
+    return [owned = std::move(owned)](const Dataset& data, std::size_t child,
+                                      std::span<const std::size_t> parents) {
+      return k2_family_score(data, child, parents, owned);
+    };
+  }
+  return [](const Dataset& data, std::size_t child,
+            std::span<const std::size_t> parents) {
+    return gaussian_bic_family_score(data, child, parents);
+  };
+}
+
+double structure_score(const Dataset& data,
+                       const std::vector<std::vector<std::size_t>>& parents,
+                       const FamilyScoreFn& score) {
+  double total = 0.0;
+  for (std::size_t v = 0; v < parents.size(); ++v) {
+    total += score(data, v, parents[v]);
+  }
+  return total;
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,44 @@
+#pragma once
+/// \file scores.hpp
+/// Decomposable family scores for structure learning. K2 greedily maximizes
+/// Σ_v score(v, parents(v)); we provide the classic Cooper-Herskovits K2
+/// score for discrete data and a Gaussian BIC score for continuous data
+/// (the Section 4 simulations use continuous models).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bn/dataset.hpp"
+#include "bn/variable.hpp"
+
+namespace kertbn::bn {
+
+/// A decomposable family score: higher is better.
+using FamilyScoreFn = std::function<double(
+    const Dataset& data, std::size_t child,
+    std::span<const std::size_t> parents)>;
+
+/// Cooper-Herskovits K2 score (log of the marginal likelihood with uniform
+/// Dirichlet priors): Σ_j [ log (r-1)!/(N_j+r-1)! + Σ_k log N_jk! ].
+/// All involved variables must be discrete; cardinalities come from \p vars.
+double k2_family_score(const Dataset& data, std::size_t child,
+                       std::span<const std::size_t> parents,
+                       std::span<const Variable> vars);
+
+/// Gaussian BIC family score: maximized log-likelihood of the OLS
+/// linear-Gaussian fit minus (params/2)·log n.
+double gaussian_bic_family_score(const Dataset& data, std::size_t child,
+                                 std::span<const std::size_t> parents);
+
+/// Builds a FamilyScoreFn appropriate for the variable kinds in \p vars
+/// (all-discrete → K2 score, otherwise Gaussian BIC). The returned closure
+/// copies \p vars.
+FamilyScoreFn make_family_score(std::span<const Variable> vars);
+
+/// Total decomposable score of a full parent-set assignment.
+double structure_score(const Dataset& data,
+                       const std::vector<std::vector<std::size_t>>& parents,
+                       const FamilyScoreFn& score);
+
+}  // namespace kertbn::bn

@@ -1,0 +1,156 @@
+#include "bn/sequential_update.hpp"
+
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/contract.hpp"
+#include "linalg/decompose.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+SequentialUpdater::SequentialUpdater(BayesianNetwork& net,
+                                     const SequentialUpdateOptions& opts)
+    : net_(net), opts_(opts), slot_of_(net.size(), kNoSlot) {
+  KERTBN_EXPECTS(opts_.forgetting > 0.0 && opts_.forgetting <= 1.0);
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    if (net_.has_cpd(v)) continue;  // knowledge-given: hands off
+    slot_of_[v] = learnable_.size();
+    learnable_.push_back(v);
+    const auto pars = net_.dag().parents(v);
+    if (net_.variable(v).is_discrete()) {
+      std::size_t configs = 1;
+      for (std::size_t p : pars) {
+        KERTBN_EXPECTS(net_.variable(p).is_discrete());
+        configs *= net_.variable(p).cardinality;
+      }
+      DiscreteStats stats;
+      stats.counts.assign(configs * net_.variable(v).cardinality,
+                          opts_.dirichlet_alpha);
+      discrete_.push_back(std::move(stats));
+      gaussian_.emplace_back();
+    } else {
+      GaussianStats stats;
+      const std::size_t d = pars.size() + 1;
+      stats.xtx.assign(d * d, 0.0);
+      stats.xty.assign(d, 0.0);
+      gaussian_.push_back(std::move(stats));
+      discrete_.emplace_back();
+    }
+  }
+}
+
+void SequentialUpdater::update(const Dataset& batch) {
+  KERTBN_EXPECTS(batch.cols() == net_.size());
+  // Optional forgetting: decay every sufficient statistic before the batch.
+  if (opts_.forgetting < 1.0) {
+    for (std::size_t slot = 0; slot < learnable_.size(); ++slot) {
+      const std::size_t v = learnable_[slot];
+      if (net_.variable(v).is_discrete()) {
+        for (double& c : discrete_[slot].counts) c *= opts_.forgetting;
+      } else {
+        auto& g = gaussian_[slot];
+        for (double& x : g.xtx) x *= opts_.forgetting;
+        for (double& x : g.xty) x *= opts_.forgetting;
+        g.yy *= opts_.forgetting;
+        g.n *= opts_.forgetting;
+      }
+    }
+  }
+
+  std::vector<double> design;
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    const auto row = batch.row(r);
+    for (std::size_t slot = 0; slot < learnable_.size(); ++slot) {
+      const std::size_t v = learnable_[slot];
+      const auto pars = net_.dag().parents(v);
+      if (net_.variable(v).is_discrete()) {
+        std::size_t cfg = 0;
+        for (std::size_t p : pars) {
+          cfg = cfg * net_.variable(p).cardinality +
+                static_cast<std::size_t>(row[p]);
+        }
+        const std::size_t card = net_.variable(v).cardinality;
+        const auto state = static_cast<std::size_t>(row[v]);
+        KERTBN_EXPECTS(state < card);
+        discrete_[slot].counts[cfg * card + state] += 1.0;
+      } else {
+        auto& g = gaussian_[slot];
+        const std::size_t d = pars.size() + 1;
+        design.assign(d, 1.0);
+        for (std::size_t i = 0; i < pars.size(); ++i) {
+          design[i + 1] = row[pars[i]];
+        }
+        const double y = row[v];
+        for (std::size_t i = 0; i < d; ++i) {
+          g.xty[i] += design[i] * y;
+          for (std::size_t j = 0; j < d; ++j) {
+            g.xtx[i * d + j] += design[i] * design[j];
+          }
+        }
+        g.yy += y * y;
+        g.n += 1.0;
+      }
+    }
+  }
+  observations_ += batch.rows();
+  for (std::size_t v : learnable_) refresh_node(v);
+}
+
+void SequentialUpdater::refresh_node(std::size_t v) {
+  const std::size_t slot = slot_of_[v];
+  KERTBN_ASSERT(slot != kNoSlot);
+  const auto pars = net_.dag().parents(v);
+
+  if (net_.variable(v).is_discrete()) {
+    std::vector<std::size_t> parent_cards;
+    parent_cards.reserve(pars.size());
+    for (std::size_t p : pars) {
+      parent_cards.push_back(net_.variable(p).cardinality);
+    }
+    net_.set_cpd(v, std::make_unique<TabularCpd>(TabularCpd(
+                        net_.variable(v).cardinality, parent_cards,
+                        discrete_[slot].counts)));
+    return;
+  }
+
+  const auto& g = gaussian_[slot];
+  const std::size_t d = pars.size() + 1;
+  if (g.n < 1.0) return;  // nothing absorbed yet
+  la::Matrix xtx(d, d);
+  la::Vector xty(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    xty[i] = g.xty[i];
+    for (std::size_t j = 0; j < d; ++j) xtx(i, j) = g.xtx[i * d + j];
+    xtx(i, i) += opts_.ridge;
+  }
+  auto chol = la::Cholesky::factor(xtx);
+  for (double boost = 1e-6; !chol.has_value() && boost <= 1e3;
+       boost *= 10.0) {
+    la::Matrix bumped = xtx;
+    for (std::size_t i = 0; i < d; ++i) bumped(i, i) += boost;
+    chol = la::Cholesky::factor(bumped);
+  }
+  KERTBN_ASSERT(chol.has_value());
+  const la::Vector beta = chol->solve(xty);
+
+  // Residual variance from the sufficient statistics:
+  // RSS = Σy² − betaᵀ Xᵀy (the quadratic identity at the OLS optimum,
+  // ridge-perturbed but numerically safe with the clamp below).
+  double rss = g.yy;
+  for (std::size_t i = 0; i < d; ++i) rss -= beta[i] * g.xty[i];
+  const double sigma =
+      std::max(std::sqrt(std::max(rss, 0.0) / g.n), opts_.min_sigma);
+
+  std::vector<double> weights(pars.size());
+  for (std::size_t i = 0; i < pars.size(); ++i) weights[i] = beta[i + 1];
+  net_.set_cpd(v, std::make_unique<LinearGaussianCpd>(
+                      beta[0], std::move(weights), sigma));
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,186 @@
+#include "bn/structure_learning.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+graph::Dag StructureResult::to_dag(std::span<const Variable> vars) const {
+  graph::Dag dag(parents.size());
+  for (std::size_t v = 0; v < parents.size(); ++v) {
+    if (v < vars.size()) dag.set_label(v, vars[v].name);
+  }
+  for (std::size_t v = 0; v < parents.size(); ++v) {
+    for (std::size_t p : parents[v]) {
+      const bool ok = dag.add_edge(p, v);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  return dag;
+}
+
+StructureResult k2_search(const Dataset& data, std::span<const Variable> vars,
+                          std::span<const std::size_t> order,
+                          const FamilyScoreFn& score, const K2Options& opts) {
+  const std::size_t n = vars.size();
+  KERTBN_EXPECTS(order.size() == n);
+  KERTBN_EXPECTS(data.cols() == n);
+
+  StructureResult result;
+  result.parents.assign(n, {});
+  result.score = 0.0;
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t child = order[pos];
+    std::vector<std::size_t>& pa = result.parents[child];
+    double best = score(data, child, pa);
+
+    bool improved = true;
+    while (improved && pa.size() < opts.max_parents) {
+      improved = false;
+      std::size_t best_candidate = n;
+      double best_gain_score = best;
+      // Candidates are the ordering predecessors not already parents.
+      for (std::size_t prev = 0; prev < pos; ++prev) {
+        const std::size_t cand = order[prev];
+        if (std::find(pa.begin(), pa.end(), cand) != pa.end()) continue;
+        pa.push_back(cand);
+        const double s = score(data, child, pa);
+        pa.pop_back();
+        if (s > best_gain_score) {
+          best_gain_score = s;
+          best_candidate = cand;
+        }
+      }
+      if (best_candidate != n) {
+        pa.push_back(best_candidate);
+        best = best_gain_score;
+        improved = true;
+      }
+    }
+    result.score += best;
+  }
+  return result;
+}
+
+StructureResult k2_search(const Dataset& data, std::span<const Variable> vars,
+                          const FamilyScoreFn& score, const K2Options& opts) {
+  std::vector<std::size_t> order(vars.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return k2_search(data, vars, order, score, opts);
+}
+
+StructureResult k2_random_restarts(const Dataset& data,
+                                   std::span<const Variable> vars,
+                                   std::size_t restarts, Rng& rng,
+                                   const FamilyScoreFn& score,
+                                   const K2Options& opts) {
+  KERTBN_EXPECTS(restarts >= 1);
+  StructureResult best;
+  best.score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < restarts; ++i) {
+    const auto order = rng.permutation(vars.size());
+    StructureResult r = k2_search(data, vars, order, score, opts);
+    if (r.score > best.score) best = std::move(r);
+  }
+  return best;
+}
+
+namespace {
+
+/// Checks acyclicity of a parent-set assignment via Kahn's algorithm.
+bool acyclic(const std::vector<std::vector<std::size_t>>& parents) {
+  const std::size_t n = parents.size();
+  std::vector<std::size_t> indeg(n, 0);
+  std::vector<std::vector<std::size_t>> children(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    indeg[v] = parents[v].size();
+    for (std::size_t p : parents[v]) children[p].push_back(v);
+  }
+  std::vector<std::size_t> stack;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) stack.push_back(v);
+  }
+  std::size_t seen = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (std::size_t c : children[v]) {
+      if (--indeg[c] == 0) stack.push_back(c);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+StructureResult exhaustive_search(const Dataset& data,
+                                  std::span<const Variable> vars,
+                                  const FamilyScoreFn& score) {
+  const std::size_t n = vars.size();
+  KERTBN_EXPECTS(n >= 1 && n <= 5);
+  // Enumerate each node's parent set as a bitmask not containing itself,
+  // then keep acyclic combinations. Family scores are cached per
+  // (child, mask) so the enumeration cost is dominated by the cycle check.
+  const std::size_t masks = std::size_t{1} << n;
+  std::vector<std::vector<double>> family(n,
+                                          std::vector<double>(masks, 0.0));
+  std::vector<std::size_t> buf;
+  for (std::size_t child = 0; child < n; ++child) {
+    for (std::size_t mask = 0; mask < masks; ++mask) {
+      if (mask & (std::size_t{1} << child)) continue;
+      buf.clear();
+      for (std::size_t p = 0; p < n; ++p) {
+        if (mask & (std::size_t{1} << p)) buf.push_back(p);
+      }
+      family[child][mask] = score(data, child, buf);
+    }
+  }
+
+  StructureResult best;
+  best.score = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<std::vector<std::size_t>> parents(n);
+
+  // Odometer over per-node parent masks.
+  for (;;) {
+    bool valid = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (assignment[v] & (std::size_t{1} << v)) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      double total = 0.0;
+      for (std::size_t v = 0; v < n; ++v) total += family[v][assignment[v]];
+      if (total > best.score) {
+        for (std::size_t v = 0; v < n; ++v) {
+          parents[v].clear();
+          for (std::size_t p = 0; p < n; ++p) {
+            if (assignment[v] & (std::size_t{1} << p)) parents[v].push_back(p);
+          }
+        }
+        if (acyclic(parents)) {
+          best.score = total;
+          best.parents = parents;
+        }
+      }
+    }
+    // Advance odometer.
+    std::size_t v = 0;
+    while (v < n) {
+      if (++assignment[v] < masks) break;
+      assignment[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  KERTBN_ENSURES(!best.parents.empty() || n == 0);
+  return best;
+}
+
+}  // namespace kertbn::bn

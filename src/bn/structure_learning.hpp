@@ -1,0 +1,61 @@
+#pragma once
+/// \file structure_learning.hpp
+/// Structure search. The NRT-BN baseline learns its DAG with K2 (Cooper &
+/// Herskovits 1992): given a total node ordering, each node greedily adopts
+/// the predecessor whose addition most improves a decomposable family score,
+/// until no improvement or the parent cap is hit — O(n²) candidate-family
+/// evaluations, the super-linear construction-time term of Figure 4.
+/// Exhaustive search over all DAGs is provided for tiny networks (test
+/// oracle), and random-restart K2 reproduces the Section 5.3 optimization.
+
+#include <cstddef>
+#include <vector>
+
+#include "bn/scores.hpp"
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+
+namespace kertbn::bn {
+
+struct K2Options {
+  /// Parent-set cap (K2's classic "u" parameter).
+  std::size_t max_parents = 4;
+};
+
+/// Result of a structure search: parent sets, DAG form, and total score.
+struct StructureResult {
+  std::vector<std::vector<std::size_t>> parents;
+  double score = 0.0;
+
+  /// Materializes the parent sets as a Dag labeled with \p vars' names.
+  graph::Dag to_dag(std::span<const Variable> vars) const;
+};
+
+/// K2 with the given total ordering (order[i] may only draw parents from
+/// order[0..i-1]).
+StructureResult k2_search(const Dataset& data, std::span<const Variable> vars,
+                          std::span<const std::size_t> order,
+                          const FamilyScoreFn& score,
+                          const K2Options& opts = {});
+
+/// K2 with the natural ordering 0..n-1.
+StructureResult k2_search(const Dataset& data, std::span<const Variable> vars,
+                          const FamilyScoreFn& score,
+                          const K2Options& opts = {});
+
+/// Repeats K2 with \p restarts random orderings (Section 5.3: "repeatedly
+/// run K2 with different random orderings until the next model construction
+/// is due") and returns the best-scoring result.
+StructureResult k2_random_restarts(const Dataset& data,
+                                   std::span<const Variable> vars,
+                                   std::size_t restarts, Rng& rng,
+                                   const FamilyScoreFn& score,
+                                   const K2Options& opts = {});
+
+/// Exact search by enumerating every DAG on n nodes (feasible for n <= 4;
+/// contract-fails above 5). Test oracle for K2.
+StructureResult exhaustive_search(const Dataset& data,
+                                  std::span<const Variable> vars,
+                                  const FamilyScoreFn& score);
+
+}  // namespace kertbn::bn

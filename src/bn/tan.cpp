@@ -1,0 +1,142 @@
+#include "bn/tan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+double conditional_mutual_information(const Dataset& data, std::size_t a,
+                                      std::size_t b, std::size_t class_col,
+                                      std::span<const Variable> vars) {
+  KERTBN_EXPECTS(a != b && a != class_col && b != class_col);
+  KERTBN_EXPECTS(vars[a].is_discrete() && vars[b].is_discrete() &&
+                 vars[class_col].is_discrete());
+  const std::size_t ca = vars[a].cardinality;
+  const std::size_t cb = vars[b].cardinality;
+  const std::size_t cc = vars[class_col].cardinality;
+  const std::size_t n = data.rows();
+  KERTBN_EXPECTS(n > 0);
+
+  // Joint counts over (a, b, c).
+  std::vector<double> joint(ca * cb * cc, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto sa = static_cast<std::size_t>(data.value(r, a));
+    const auto sb = static_cast<std::size_t>(data.value(r, b));
+    const auto sc = static_cast<std::size_t>(data.value(r, class_col));
+    joint[(sa * cb + sb) * cc + sc] += 1.0;
+  }
+
+  // Marginals.
+  std::vector<double> p_ac(ca * cc, 0.0);
+  std::vector<double> p_bc(cb * cc, 0.0);
+  std::vector<double> p_c(cc, 0.0);
+  for (std::size_t sa = 0; sa < ca; ++sa) {
+    for (std::size_t sb = 0; sb < cb; ++sb) {
+      for (std::size_t sc = 0; sc < cc; ++sc) {
+        const double cnt = joint[(sa * cb + sb) * cc + sc];
+        p_ac[sa * cc + sc] += cnt;
+        p_bc[sb * cc + sc] += cnt;
+        p_c[sc] += cnt;
+      }
+    }
+  }
+
+  const auto dn = static_cast<double>(n);
+  double mi = 0.0;
+  for (std::size_t sa = 0; sa < ca; ++sa) {
+    for (std::size_t sb = 0; sb < cb; ++sb) {
+      for (std::size_t sc = 0; sc < cc; ++sc) {
+        const double pabc = joint[(sa * cb + sb) * cc + sc] / dn;
+        if (pabc <= 0.0) continue;
+        const double pac = p_ac[sa * cc + sc] / dn;
+        const double pbc = p_bc[sb * cc + sc] / dn;
+        const double pc = p_c[sc] / dn;
+        mi += pabc * std::log(pabc * pc / (pac * pbc));
+      }
+    }
+  }
+  return mi;
+}
+
+StructureResult tan_structure(const Dataset& data,
+                              std::span<const Variable> vars,
+                              std::size_t class_node) {
+  const std::size_t n = vars.size();
+  KERTBN_EXPECTS(class_node < n);
+  KERTBN_EXPECTS(n >= 2);
+
+  std::vector<std::size_t> features;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v != class_node) features.push_back(v);
+  }
+
+  // Pairwise CMI weights.
+  struct WeightedEdge {
+    std::size_t a;
+    std::size_t b;
+    double weight;
+  };
+  std::vector<WeightedEdge> edges;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i + 1; j < features.size(); ++j) {
+      edges.push_back({features[i], features[j],
+                       conditional_mutual_information(
+                           data, features[i], features[j], class_node,
+                           vars)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& x, const WeightedEdge& y) {
+              return x.weight > y.weight;
+            });
+
+  // Maximum-weight spanning tree (Kruskal).
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::vector<std::size_t>> tree(n);
+  double total_weight = 0.0;
+  for (const auto& e : edges) {
+    const std::size_t ra = find(e.a);
+    const std::size_t rb = find(e.b);
+    if (ra == rb) continue;
+    parent[ra] = rb;
+    tree[e.a].push_back(e.b);
+    tree[e.b].push_back(e.a);
+    total_weight += e.weight;
+  }
+
+  // Orient the tree away from the first feature, then add the class as a
+  // parent of every feature.
+  StructureResult result;
+  result.parents.assign(n, {});
+  result.score = total_weight;
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> stack{features.front()};
+  visited[features.front()] = true;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t nb : tree[v]) {
+      if (visited[nb]) continue;
+      visited[nb] = true;
+      result.parents[nb].push_back(v);
+      stack.push_back(nb);
+    }
+  }
+  for (std::size_t f : features) {
+    result.parents[f].push_back(class_node);
+  }
+  return result;
+}
+
+}  // namespace kertbn::bn

@@ -1,0 +1,35 @@
+#pragma once
+/// \file tan.hpp
+/// Tree-Augmented Naive Bayes structure learning. The paper's Section 3.3
+/// cites TAN as the classic compromise that "reduces the complexity of
+/// parameter learning by focusing only on important parent-children
+/// dependencies"; related work [9] learns TANs over resource metrics. We
+/// provide it as an additional pure-data baseline between the naive Bayes
+/// star and the full K2 search.
+///
+/// Algorithm (Friedman, Geiger & Goldszmidt 1997): compute the conditional
+/// mutual information I(X_i; X_j | C) for every feature pair, build the
+/// maximum-weight spanning tree, root it arbitrarily, and add the class C
+/// as a parent of every feature.
+
+#include "bn/dataset.hpp"
+#include "bn/structure_learning.hpp"
+#include "bn/variable.hpp"
+
+namespace kertbn::bn {
+
+/// Empirical conditional mutual information I(X_a; X_b | C) over discrete
+/// columns of \p data (natural log; >= 0 up to sampling noise).
+double conditional_mutual_information(const Dataset& data, std::size_t a,
+                                      std::size_t b, std::size_t class_col,
+                                      std::span<const Variable> vars);
+
+/// Learns the TAN parent sets: every feature gets the class plus at most
+/// one feature parent (its tree neighbor toward the root). All variables
+/// must be discrete. The returned StructureResult's score is the total
+/// spanning-tree weight (sum of selected CMI values).
+StructureResult tan_structure(const Dataset& data,
+                              std::span<const Variable> vars,
+                              std::size_t class_node);
+
+}  // namespace kertbn::bn

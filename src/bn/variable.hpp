@@ -1,0 +1,37 @@
+#pragma once
+/// \file variable.hpp
+/// Random-variable metadata for Bayesian-network nodes.
+
+#include <cstddef>
+#include <string>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+
+/// Whether a node carries a discrete (tabular) or continuous value.
+enum class VarKind { kDiscrete, kContinuous };
+
+/// A named random variable. Discrete variables take values 0..cardinality-1
+/// (stored as doubles inside datasets for uniformity); continuous variables
+/// take any real value.
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::kContinuous;
+  std::size_t cardinality = 0;  ///< Number of states; 0 for continuous.
+
+  /// Continuous variable.
+  static Variable continuous(std::string name) {
+    return Variable{std::move(name), VarKind::kContinuous, 0};
+  }
+
+  /// Discrete variable with \p states states (>= 2).
+  static Variable discrete(std::string name, std::size_t states) {
+    KERTBN_EXPECTS(states >= 2);
+    return Variable{std::move(name), VarKind::kDiscrete, states};
+  }
+
+  bool is_discrete() const { return kind == VarKind::kDiscrete; }
+};
+
+}  // namespace kertbn::bn

@@ -1,0 +1,37 @@
+#pragma once
+/// \file contract.hpp
+/// Lightweight contract checking (C++ Core Guidelines I.6/I.8 style).
+///
+/// KERTBN_EXPECTS / KERTBN_ENSURES abort with a diagnostic on violation.
+/// They stay enabled in release builds: the library is the product of a
+/// research reproduction and silent precondition violations would corrupt
+/// measured results far more expensively than the branch costs.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kertbn::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "kertbn: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace kertbn::detail
+
+#define KERTBN_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::kertbn::detail::contract_fail("precondition", #cond,         \
+                                            __FILE__, __LINE__))
+
+#define KERTBN_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::kertbn::detail::contract_fail("postcondition", #cond,        \
+                                            __FILE__, __LINE__))
+
+#define KERTBN_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::kertbn::detail::contract_fail("invariant", #cond, __FILE__,  \
+                                            __LINE__))

@@ -1,0 +1,201 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace kertbn {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  KERTBN_EXPECTS(!xs.empty());
+  KERTBN_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  KERTBN_EXPECTS(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double exceedance_probability(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double x : xs) {
+    if (x > threshold) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(xs.size());
+}
+
+double gaussian_pdf(double x, double m, double sigma) {
+  KERTBN_EXPECTS(sigma > 0.0);
+  const double z = (x - m) / sigma;
+  return std::exp(-0.5 * z * z) /
+         (sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double gaussian_log_pdf(double x, double m, double sigma) {
+  KERTBN_EXPECTS(sigma > 0.0);
+  const double z = (x - m) / sigma;
+  return -0.5 * z * z - std::log(sigma) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double gaussian_cdf(double x, double m, double sigma) {
+  KERTBN_EXPECTS(sigma > 0.0);
+  return 0.5 * std::erfc(-(x - m) / (sigma * std::numbers::sqrt2));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  KERTBN_EXPECTS(hi > lo);
+  KERTBN_EXPECTS(bins > 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  auto b = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  KERTBN_EXPECTS(b < counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t b) const {
+  KERTBN_EXPECTS(b < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[b]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << bin_center(b) << " | ";
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << "  (" << counts_[b] << ")\n";
+  }
+  return out.str();
+}
+
+KernelDensity::KernelDensity(std::span<const double> samples,
+                             double bandwidth)
+    : samples_(samples.begin(), samples.end()), bandwidth_(bandwidth) {
+  KERTBN_EXPECTS(!samples_.empty());
+  if (bandwidth_ <= 0.0) {
+    // Silverman's rule of thumb; floor keeps degenerate samples usable.
+    const double sd = stddev(samples);
+    const double n = static_cast<double>(samples_.size());
+    bandwidth_ = std::max(1.06 * sd * std::pow(n, -0.2), 1e-6);
+  }
+}
+
+double KernelDensity::operator()(double x) const {
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += gaussian_pdf(x, s, bandwidth_);
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+}  // namespace kertbn

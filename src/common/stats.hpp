@@ -1,0 +1,116 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch statistics used across the simulator, the BN engine
+/// and the benchmark harness: running moments, quantiles, histograms,
+/// Gaussian pdf/cdf helpers and a small kernel-density estimator (used to
+/// render the dComp / pAccel posterior-vs-prior figures).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kertbn {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of \p xs (0 for an empty span).
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance of \p xs (0 when fewer than two elements).
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Copies and sorts internally.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Empirical exceedance probability P(X > threshold).
+double exceedance_probability(std::span<const double> xs, double threshold);
+
+/// Standard normal density.
+double gaussian_pdf(double x, double mean, double sigma);
+
+/// Log of the normal density (safe for tiny sigma via flooring upstream).
+double gaussian_log_pdf(double x, double mean, double sigma);
+
+/// Standard normal CDF via erfc.
+double gaussian_cdf(double x, double mean, double sigma);
+
+/// Fixed-width histogram over [lo, hi] with saturating edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t b) const { return counts_[b]; }
+  /// Center of bin \p b.
+  double bin_center(std::size_t b) const;
+  double bin_width() const { return width_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Bin index for \p x, clamped into range.
+  std::size_t bin_of(double x) const;
+  /// Normalized density value of bin \p b (integrates to ~1).
+  double density(std::size_t b) const;
+
+  /// Renders a textual bar chart (used by examples and figure benches).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Gaussian kernel-density estimate evaluated on a regular grid.
+/// Bandwidth defaults to Silverman's rule of thumb.
+class KernelDensity {
+ public:
+  explicit KernelDensity(std::span<const double> samples,
+                         double bandwidth = 0.0);
+
+  double bandwidth() const { return bandwidth_; }
+  /// Density estimate at \p x.
+  double operator()(double x) const;
+
+ private:
+  std::vector<double> samples_;
+  double bandwidth_;
+};
+
+}  // namespace kertbn

@@ -1,0 +1,31 @@
+#pragma once
+/// \file stopwatch.hpp
+/// Monotonic wall-clock stopwatch used by the learning-time experiments
+/// (Figures 3-5 report model construction times).
+
+#include <chrono>
+
+namespace kertbn {
+
+/// Simple steady_clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kertbn

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace kertbn {
+namespace {
+
+std::string format_cell(const TableCell& cell, int precision) {
+  if (std::holds_alternative<std::string>(cell)) {
+    return std::get<std::string>(cell);
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision)
+      << std::get<double>(cell);
+  return out.str();
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  KERTBN_EXPECTS(!columns_.empty());
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  KERTBN_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+double Table::number_at(std::size_t row, std::size_t col) const {
+  KERTBN_EXPECTS(row < rows_.size());
+  KERTBN_EXPECTS(col < columns_.size());
+  KERTBN_EXPECTS(std::holds_alternative<double>(rows_[row][col]));
+  return std::get<double>(rows_[row][col]);
+}
+
+std::string Table::to_string(int precision) const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c], precision));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c] + 2))
+          << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rendered) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv(int precision) const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << csv_escape(format_cell(row[c], precision));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace kertbn

@@ -1,0 +1,44 @@
+#pragma once
+/// \file table.hpp
+/// Small fixed-schema result table: collects experiment rows, renders them as
+/// an aligned console table and/or CSV. Every figure bench emits its series
+/// through this so the output can be diffed against the paper's plots.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kertbn {
+
+/// A cell is either text or a number (numbers are formatted with fixed
+/// precision when rendered).
+using TableCell = std::variant<std::string, double>;
+
+/// Row/column result table with aligned console and CSV rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<TableCell> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+
+  /// Numeric value at (row, col); throws via contract if the cell is text.
+  double number_at(std::size_t row, std::size_t col) const;
+
+  /// Aligned, human-readable rendering.
+  std::string to_string(int precision = 4) const;
+
+  /// RFC-4180-ish CSV rendering.
+  std::string to_csv(int precision = 6) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<TableCell>> rows_;
+};
+
+}  // namespace kertbn

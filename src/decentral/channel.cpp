@@ -1,0 +1,34 @@
+#include "decentral/channel.hpp"
+
+namespace kertbn::dec {
+
+void Channel::send(DataMessage msg) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+DataMessage Channel::receive() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  DataMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<DataMessage> Channel::try_receive() {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  DataMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::size_t Channel::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace kertbn::dec

@@ -1,0 +1,44 @@
+#pragma once
+/// \file channel.hpp
+/// Thread-safe message channel used as each learning agent's inbox. The
+/// decentralized parameter-learning protocol of Section 3.4 exchanges
+/// batched elapsed-time columns between monitoring agents; this in-process
+/// fabric stands in for the SOAP-segment piggybacking the paper describes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace kertbn::dec {
+
+/// A batched data message: the sender's service id and its locally
+/// collected elapsed-time column for the current window.
+struct DataMessage {
+  std::size_t from_service = 0;
+  std::vector<double> column;
+};
+
+/// Unbounded MPSC channel with blocking receive.
+class Channel {
+ public:
+  /// Enqueues a message (any thread).
+  void send(DataMessage msg);
+
+  /// Blocks until a message is available and dequeues it.
+  DataMessage receive();
+
+  /// Non-blocking receive.
+  std::optional<DataMessage> try_receive();
+
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<DataMessage> queue_;
+};
+
+}  // namespace kertbn::dec

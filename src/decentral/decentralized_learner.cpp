@@ -1,0 +1,149 @@
+#include "decentral/decentralized_learner.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "common/stopwatch.hpp"
+
+namespace kertbn::dec {
+namespace {
+
+/// Per-service agent state: the locally collected column, an inbox, and the
+/// fitted CPD produced by the compute phase.
+struct AgentState {
+  std::size_t node = 0;
+  std::vector<double> local_column;
+  Channel inbox;
+  std::unique_ptr<bn::Cpd> fitted;
+  double fit_seconds = 0.0;
+};
+
+/// Fits one agent's CPD from its own column plus the parent columns that
+/// arrived in its inbox. This function sees *only* agent-local state — the
+/// locality that lets the computation run on the service's machine.
+void agent_compute(AgentState& agent, const bn::BayesianNetwork& net,
+                   const bn::ParameterLearnOptions& opts) {
+  const auto pars = net.dag().parents(agent.node);
+  const std::size_t p = pars.size();
+
+  // Drain exactly the expected parent batches.
+  std::vector<DataMessage> received;
+  received.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    received.push_back(agent.inbox.receive());
+  }
+
+  // Assemble the local mini-dataset: parent columns in parent order, then
+  // the agent's own column.
+  std::vector<std::string> columns;
+  columns.reserve(p + 1);
+  std::vector<const std::vector<double>*> source(p + 1, nullptr);
+  for (std::size_t i = 0; i < p; ++i) {
+    columns.push_back("parent_" + std::to_string(pars[i]));
+    for (const auto& msg : received) {
+      if (msg.from_service == pars[i]) {
+        source[i] = &msg.column;
+        break;
+      }
+    }
+    KERTBN_ASSERT(source[i] != nullptr);
+  }
+  columns.push_back("self");
+  source[p] = &agent.local_column;
+
+  const std::size_t rows = agent.local_column.size();
+  bn::Dataset local(std::move(columns));
+  std::vector<double> row(p + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c <= p; ++c) {
+      KERTBN_ASSERT(source[c]->size() == rows);
+      row[c] = (*source[c])[r];
+    }
+    local.add_row(row);
+  }
+
+  std::vector<std::size_t> parent_cols(p);
+  for (std::size_t i = 0; i < p; ++i) parent_cols[i] = i;
+
+  Stopwatch timer;
+  if (net.variable(agent.node).is_discrete()) {
+    std::vector<std::size_t> parent_cards;
+    parent_cards.reserve(p);
+    for (std::size_t par : pars) {
+      parent_cards.push_back(net.variable(par).cardinality);
+    }
+    auto cpd = bn::fit_tabular_cpd(local, p, parent_cols,
+                                   net.variable(agent.node).cardinality,
+                                   parent_cards, opts.dirichlet_alpha);
+    agent.fit_seconds = timer.seconds();
+    agent.fitted = std::make_unique<bn::TabularCpd>(std::move(cpd));
+  } else {
+    auto cpd = bn::fit_linear_gaussian_cpd(local, p, parent_cols,
+                                           opts.min_sigma, opts.ridge);
+    agent.fit_seconds = timer.seconds();
+    agent.fitted = std::make_unique<bn::LinearGaussianCpd>(std::move(cpd));
+  }
+}
+
+}  // namespace
+
+DecentralizedReport learn_parameters_decentralized(
+    bn::BayesianNetwork& net, const bn::Dataset& data,
+    const bn::ParameterLearnOptions& opts, ThreadPool* pool) {
+  KERTBN_EXPECTS(data.cols() == net.size());
+  DecentralizedReport report;
+  report.per_agent_seconds.assign(net.size(), 0.0);
+
+  // Stand up one agent per learnable node, holding only its own column.
+  std::vector<std::unique_ptr<AgentState>> agents;
+  std::vector<AgentState*> agent_of(net.size(), nullptr);
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (net.has_cpd(v)) continue;
+    auto agent = std::make_unique<AgentState>();
+    agent->node = v;
+    agent->local_column = data.column(v);
+    agent_of[v] = agent.get();
+    agents.push_back(std::move(agent));
+  }
+
+  // Exchange phase: each learnable node's parents ship it their batched
+  // columns (in deployment this rides the application's own request
+  // messages as an extra SOAP segment).
+  for (const auto& agent : agents) {
+    for (std::size_t p : net.dag().parents(agent->node)) {
+      DataMessage msg;
+      msg.from_service = p;
+      msg.column = data.column(p);
+      report.values_shipped += msg.column.size();
+      ++report.messages_sent;
+      agent->inbox.send(std::move(msg));
+    }
+  }
+
+  // Compute phase: every agent fits its own CPD, concurrently when a pool
+  // is supplied.
+  if (pool != nullptr) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(agents.size());
+    for (auto& agent : agents) {
+      AgentState* a = agent.get();
+      futures.push_back(
+          pool->submit([a, &net, &opts] { agent_compute(*a, net, opts); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (auto& agent : agents) agent_compute(*agent, net, opts);
+  }
+
+  // The central server only assembles the fitted CPDs into the model.
+  for (auto& agent : agents) {
+    report.per_agent_seconds[agent->node] = agent->fit_seconds;
+    report.decentralized_seconds =
+        std::max(report.decentralized_seconds, agent->fit_seconds);
+    report.centralized_seconds += agent->fit_seconds;
+    net.set_cpd(agent->node, std::move(agent->fitted));
+  }
+  return report;
+}
+
+}  // namespace kertbn::dec

@@ -1,0 +1,67 @@
+#include "decentral/piggyback.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/contract.hpp"
+
+namespace kertbn::dec {
+
+TransportPlan plan_transport(const graph::Dag& structure,
+                             const wf::Workflow& workflow,
+                             std::size_t points_per_interval,
+                             double requests_per_interval,
+                             const TransportCostModel& cost) {
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(structure.size() >= n);
+  KERTBN_EXPECTS(points_per_interval >= 1);
+  KERTBN_EXPECTS(requests_per_interval >= 0.0);
+
+  std::set<std::pair<std::size_t, std::size_t>> app_edges;
+  for (const auto& e : workflow.upstream_edges()) app_edges.insert(e);
+
+  TransportPlan plan;
+  const double batch_bytes =
+      cost.bytes_per_value * static_cast<double>(points_per_interval);
+
+  // Data-bearing edges: every service-to-service dependency. (Edges into
+  // the response node carry no data — D's CPD is knowledge-given.)
+  for (std::size_t child = 0; child < n; ++child) {
+    for (std::size_t parent : structure.parents(child)) {
+      if (parent >= n) continue;
+      PlannedEdge edge;
+      edge.parent = parent;
+      edge.child = child;
+      // Piggybacking needs application messages on this edge, and at least
+      // one request per interval to carry the batch.
+      edge.piggybacked = app_edges.contains({parent, child}) &&
+                         requests_per_interval >= 1.0;
+      plan.edges.push_back(edge);
+
+      // Dedicated costing: one report message per edge per interval.
+      ++plan.dedicated_messages;
+      plan.dedicated_bytes += cost.message_overhead_bytes + batch_bytes;
+
+      if (edge.piggybacked) {
+        // The whole batch rides one application request per interval as a
+        // single extra segment ("possibly batching them before reporting").
+        plan.piggyback_bytes +=
+            batch_bytes + cost.piggyback_overhead_bytes;
+      } else {
+        ++plan.piggyback_fallback_messages;
+        plan.piggyback_bytes += cost.message_overhead_bytes + batch_bytes;
+      }
+    }
+  }
+  if (!plan.edges.empty()) {
+    const auto piggybacked = std::count_if(
+        plan.edges.begin(), plan.edges.end(),
+        [](const PlannedEdge& e) { return e.piggybacked; });
+    plan.piggyback_coverage =
+        static_cast<double>(piggybacked) /
+        static_cast<double>(plan.edges.size());
+  }
+  return plan;
+}
+
+}  // namespace kertbn::dec

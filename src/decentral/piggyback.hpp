@@ -1,0 +1,73 @@
+#pragma once
+/// \file piggyback.hpp
+/// Transport planning for the decentralized learning data exchange
+/// (Section 3.4). Parent services must ship their batched elapsed-time
+/// columns to their KERT-BN children once per reporting interval. Two
+/// transports exist:
+///
+///   * dedicated  — the monitoring agent sends a separate report message
+///     per (parent -> child) link per interval;
+///   * piggyback  — the paper's closing idea: "attaching the data in an
+///     extra SOAP segment at the end of the application request messages".
+///     Piggybacking works only where application messages actually flow —
+///     the workflow's upstream edges. Dependency edges injected from
+///     resource-sharing knowledge have no application traffic and must
+///     fall back to dedicated messages.
+///
+/// The planner classifies every data-bearing edge of a KERT-BN against the
+/// workflow, then costs a reporting interval under both transports,
+/// including whether observed request traffic suffices to carry a batch
+/// per interval.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::dec {
+
+/// Cost model for one reporting interval (defaults are plain-SOAP-ish).
+struct TransportCostModel {
+  double bytes_per_value = 8.0;        ///< Encoded measurement size.
+  double message_overhead_bytes = 400.0;  ///< Envelope/headers per message.
+  /// Extra segment overhead when piggybacking on an existing message.
+  double piggyback_overhead_bytes = 48.0;
+};
+
+/// A data-bearing edge (parent service -> child service) and how it ships.
+struct PlannedEdge {
+  std::size_t parent = 0;
+  std::size_t child = 0;
+  bool piggybacked = false;  ///< Rides application messages.
+};
+
+/// Interval transport plan and costs.
+struct TransportPlan {
+  std::vector<PlannedEdge> edges;
+  /// Dedicated transport: one message per edge per interval.
+  std::size_t dedicated_messages = 0;
+  double dedicated_bytes = 0.0;
+  /// Piggyback transport: extra bytes on existing app messages plus
+  /// dedicated fallbacks for non-workflow edges.
+  std::size_t piggyback_fallback_messages = 0;
+  double piggyback_bytes = 0.0;
+  /// Fraction of data-bearing edges that can piggyback.
+  double piggyback_coverage = 0.0;
+  /// Bytes saved per interval by piggybacking (>= 0 in sane configs).
+  double bytes_saved() const { return dedicated_bytes - piggyback_bytes; }
+};
+
+/// Plans one reporting interval. \p structure is the KERT-BN DAG over
+/// n services (+ the response node, which carries no agent traffic);
+/// \p points_per_interval is the batch size each parent ships;
+/// \p requests_per_interval is the application traffic available to carry
+/// piggybacked segments on workflow edges (piggybacking splits a batch
+/// across that many messages).
+TransportPlan plan_transport(const graph::Dag& structure,
+                             const wf::Workflow& workflow,
+                             std::size_t points_per_interval,
+                             double requests_per_interval,
+                             const TransportCostModel& cost = {});
+
+}  // namespace kertbn::dec

@@ -1,0 +1,45 @@
+#include "des/simulator.hpp"
+
+namespace kertbn::des {
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  KERTBN_EXPECTS(at >= now_);
+  KERTBN_EXPECTS(static_cast<bool>(fn));
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(SimTime delay, EventFn fn) {
+  KERTBN_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after, so the mutation is safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn(*this);
+    ++executed;
+  }
+  // The horizon defines the new "now" even when later events remain
+  // pending — callers reason in wall-clock intervals (T_DATA batching).
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn(*this);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace kertbn::des

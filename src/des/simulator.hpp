@@ -1,0 +1,64 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulation core: a simulated clock and a time-ordered
+/// event queue. The service-oriented system simulator (src/sosim) schedules
+/// request arrivals, service completions and monitoring-agent reports on
+/// top of this.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace kertbn::des {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Event callback; receives the simulator so it can schedule more events.
+class Simulator;
+using EventFn = std::function<void(Simulator&)>;
+
+/// Time-ordered event executor with FIFO tie-breaking.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules \p fn to run at absolute time \p at (>= now).
+  void schedule_at(SimTime at, EventFn fn);
+
+  /// Schedules \p fn to run \p delay seconds from now (>= 0).
+  void schedule_in(SimTime delay, EventFn fn);
+
+  /// Runs events until the queue empties or the clock passes \p until.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Runs the queue dry. Returns the number of events executed.
+  std::size_t run();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace kertbn::des

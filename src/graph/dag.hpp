@@ -1,0 +1,82 @@
+#pragma once
+/// \file dag.hpp
+/// Directed acyclic graph used as the skeleton of Bayesian networks and as
+/// the immediate-upstream view of workflows. Nodes are dense indices
+/// 0..size()-1; labels are optional strings for display/DOT export.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kertbn::graph {
+
+/// Mutable DAG with acyclicity enforced on edge insertion.
+class Dag {
+ public:
+  Dag() = default;
+  /// Creates \p n isolated nodes labeled "v0".."v{n-1}".
+  explicit Dag(std::size_t n);
+
+  /// Adds a node and returns its index.
+  std::size_t add_node(std::string label = {});
+
+  std::size_t size() const { return parents_.size(); }
+  std::size_t edge_count() const;
+
+  const std::string& label(std::size_t v) const;
+  void set_label(std::size_t v, std::string label);
+  /// Index of the node carrying \p label, if any.
+  std::optional<std::size_t> find_label(const std::string& label) const;
+
+  /// Adds edge from -> to. Returns false (and leaves the graph unchanged)
+  /// if the edge already exists or would create a cycle.
+  bool add_edge(std::size_t from, std::size_t to);
+
+  /// Removes an edge if present; returns whether it was present.
+  bool remove_edge(std::size_t from, std::size_t to);
+
+  bool has_edge(std::size_t from, std::size_t to) const;
+
+  /// Parents of \p v in insertion order.
+  std::span<const std::size_t> parents(std::size_t v) const;
+  /// Children of \p v in insertion order.
+  std::span<const std::size_t> children(std::size_t v) const;
+
+  std::size_t in_degree(std::size_t v) const { return parents(v).size(); }
+  std::size_t out_degree(std::size_t v) const { return children(v).size(); }
+
+  /// Nodes with no parents.
+  std::vector<std::size_t> roots() const;
+  /// Nodes with no children.
+  std::vector<std::size_t> leaves() const;
+
+  /// A topological order (parents before children).
+  std::vector<std::size_t> topological_order() const;
+
+  /// All ancestors of \p v (excluding v).
+  std::vector<std::size_t> ancestors(std::size_t v) const;
+  /// All descendants of \p v (excluding v).
+  std::vector<std::size_t> descendants(std::size_t v) const;
+
+  /// True if a directed path from -> to exists (including from == to).
+  bool reachable(std::size_t from, std::size_t to) const;
+
+  /// Structural equality: same size and identical edge sets.
+  bool same_structure(const Dag& other) const;
+
+  /// Number of edges present in exactly one of the two graphs
+  /// (structural Hamming distance ignoring labels).
+  std::size_t edge_difference(const Dag& other) const;
+
+  /// Graphviz DOT rendering.
+  std::string to_dot(const std::string& graph_name = "dag") const;
+
+ private:
+  std::vector<std::vector<std::size_t>> parents_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace kertbn::graph

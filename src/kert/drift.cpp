@@ -1,0 +1,29 @@
+#include "kert/drift.hpp"
+
+#include <algorithm>
+
+namespace kertbn::core {
+
+bool DriftDetector::add(double score) {
+  ++n_;
+  mean_ += (score - mean_) / static_cast<double>(n_);
+  // Page-Hinkley for a decrease: accumulate (x_t - mean_t + delta); a
+  // sustained drop drives the cumulative sum down away from its running
+  // maximum.
+  cumulative_ += score - mean_ + opts_.delta;
+  max_cumulative_ = std::max(max_cumulative_, cumulative_);
+  if (max_cumulative_ - cumulative_ > opts_.lambda) {
+    drifted_ = true;
+  }
+  return drifted_;
+}
+
+void DriftDetector::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  max_cumulative_ = 0.0;
+  drifted_ = false;
+}
+
+}  // namespace kertbn::core

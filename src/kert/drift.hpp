@@ -1,0 +1,53 @@
+#pragma once
+/// \file drift.hpp
+/// Drift detection for adaptive reconstruction. The paper's scheme rebuilds
+/// on a fixed grid T_CON = α·T_DATA; its K metric is chosen from how often
+/// "radical changes (e.g. resource allocation, failure recovery actions)"
+/// happen. This extension closes that loop from the data side: a
+/// Page-Hinkley change detector watches the current model's per-interval
+/// score (e.g. mean response-time residual or per-row log-likelihood) and
+/// raises an alarm when the environment has shifted, letting a ModelManager
+/// reconstruct *early* instead of waiting out the grid.
+
+#include <cstddef>
+
+namespace kertbn::core {
+
+/// Page-Hinkley test for a downward shift in a stream's mean (model score
+/// streams drop when the model goes stale).
+class DriftDetector {
+ public:
+  struct Options {
+    /// Minimum magnitude of change considered real (score units).
+    double delta = 0.05;
+    /// Alarm threshold on the accumulated deviation statistic.
+    double lambda = 1.0;
+  };
+
+  DriftDetector() = default;
+  explicit DriftDetector(Options opts) : opts_(opts) {}
+
+  /// Feeds one observation; returns true when the alarm fires. The
+  /// detector keeps alarming until reset().
+  bool add(double score);
+
+  bool drifted() const { return drifted_; }
+  std::size_t observations() const { return n_; }
+  /// Current running mean of the stream.
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Current Page-Hinkley statistic (max cumulative downward deviation).
+  double statistic() const { return max_cumulative_ - cumulative_; }
+
+  /// Clears all state (call after reconstructing the model).
+  void reset();
+
+ private:
+  Options opts_{};
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double max_cumulative_ = 0.0;
+  bool drifted_ = false;
+};
+
+}  // namespace kertbn::core

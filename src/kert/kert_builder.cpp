@@ -1,0 +1,373 @@
+#include "kert/kert_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bn/deterministic_cpd.hpp"
+#include "common/contract.hpp"
+#include "common/stopwatch.hpp"
+
+namespace kertbn::core {
+
+graph::Dag build_kert_structure(const wf::Workflow& workflow,
+                                const wf::ResourceSharing& sharing,
+                                const KertStructureOptions& opts) {
+  const std::size_t n = workflow.service_count();
+  graph::Dag dag(n + 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    dag.set_label(s, workflow.service_names()[s]);
+  }
+  dag.set_label(n, "D");
+
+  // Workflow knowledge: immediate-upstream edges.
+  for (const auto& [a, b] : workflow.upstream_edges()) {
+    dag.add_edge(a, b);
+  }
+  // Resource-sharing knowledge: co-hosted services depend on each other.
+  // Oriented low->high index; add_edge refuses cycles, so combinations with
+  // workflow edges stay consistent ("as few loops as possible").
+  if (opts.use_resource_sharing) {
+    for (const auto& [a, b] : sharing.sharing_pairs()) {
+      if (!dag.has_edge(a, b) && !dag.has_edge(b, a)) {
+        dag.add_edge(a, b);
+      }
+    }
+  }
+  // D depends on every service elapsed time.
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool ok = dag.add_edge(s, n);
+    KERTBN_ASSERT(ok);
+  }
+  return dag;
+}
+
+bn::DeterministicFn make_response_fn(const wf::Workflow& workflow) {
+  const wf::Expr::Ptr expr = workflow.response_time_expr();
+  const std::size_t n = workflow.service_count();
+
+  // D's parents are the service nodes 0..n-1 in node order, so the parent
+  // span is indexed exactly like the expression's service leaves.
+  bn::DeterministicFn fn;
+  fn.arity = n;
+  fn.expression = expr->to_string(workflow.service_names());
+  fn.fn = [expr](std::span<const double> parents) {
+    return expr->evaluate(parents);
+  };
+  return fn;
+}
+
+bn::TabularCpd make_deterministic_cpt(const wf::Workflow& workflow,
+                                      const DatasetDiscretizer& discretizer,
+                                      double leak_l,
+                                      std::size_t samples_per_config) {
+  KERTBN_EXPECTS(leak_l >= 0.0 && leak_l < 1.0);
+  KERTBN_EXPECTS(samples_per_config >= 1);
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(discretizer.columns() == n + 1);
+  const std::size_t bins = discretizer.bins();
+  const wf::Expr::Ptr expr = workflow.response_time_expr();
+
+  std::size_t configs = 1;
+  for (std::size_t i = 0; i < n; ++i) configs *= bins;
+
+  std::vector<double> table(configs * bins, 0.0);
+  std::vector<std::size_t> states(n, 0);
+  std::vector<double> point(n, 0.0);
+  const double off_mass = leak_l / static_cast<double>(bins);
+  // Fixed seed: the CPT is a deterministic function of the knowledge
+  // (workflow + bin geometry), reproducible across reconstructions.
+  Rng rng(0x5EED5EED);
+
+  for (std::size_t cfg = 0; cfg < configs; ++cfg) {
+    double* row = table.data() + cfg * bins;
+    const double hit_mass =
+        (1.0 - leak_l) / static_cast<double>(samples_per_config);
+    for (std::size_t k = 0; k < samples_per_config; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (samples_per_config == 1) {
+          point[i] = discretizer.column(i).center_of(states[i]);
+        } else {
+          const auto [lo, hi] = discretizer.column(i).interval_of(states[i]);
+          point[i] = rng.uniform(lo, std::max(hi, lo + 1e-12));
+        }
+      }
+      row[discretizer.column(n).bin_of(expr->evaluate(point))] += hit_mass;
+    }
+    for (std::size_t s = 0; s < bins; ++s) row[s] += off_mass;
+    // Advance mixed-radix parent counter (last parent fastest, matching
+    // TabularCpd's config indexing).
+    for (std::size_t i = n; i-- > 0;) {
+      if (++states[i] < bins) break;
+      states[i] = 0;
+    }
+  }
+  return bn::TabularCpd(bins, std::vector<std::size_t>(n, bins),
+                        std::move(table));
+}
+
+double calibrate_leak_sigma(const wf::Workflow& workflow,
+                            const bn::Dataset& train, double min_sigma) {
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(train.cols() == n + 1);
+  KERTBN_EXPECTS(train.rows() >= 1);
+  const wf::Expr::Ptr expr = workflow.response_time_expr();
+  // Residual moments of D - f(X) over the window.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    const auto row = train.row(r);
+    const double resid = row[n] - expr->evaluate(row.first(n));
+    sum += resid;
+    sum_sq += resid * resid;
+  }
+  const double mean = sum / static_cast<double>(train.rows());
+  const double var =
+      std::max(sum_sq / static_cast<double>(train.rows()) - mean * mean, 0.0);
+  // The leak absorbs both spread and any systematic offset — a biased f
+  // must not be scored as if it were exact.
+  return std::max(std::sqrt(var + mean * mean), min_sigma);
+}
+
+namespace {
+
+/// Shared skeleton assembly: nodes, knowledge edges, and the D CPD.
+bn::BayesianNetwork assemble_skeleton(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const KertStructureOptions& opts, bool discrete, std::size_t bins,
+    std::unique_ptr<bn::Cpd> d_cpd) {
+  const std::size_t n = workflow.service_count();
+  bn::BayesianNetwork net;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& name = workflow.service_names()[s];
+    net.add_node(discrete ? bn::Variable::discrete(name, bins)
+                          : bn::Variable::continuous(name));
+  }
+  net.add_node(discrete ? bn::Variable::discrete("D", bins)
+                        : bn::Variable::continuous("D"));
+
+  const graph::Dag structure = build_kert_structure(workflow, sharing, opts);
+  for (std::size_t v = 0; v < structure.size(); ++v) {
+    for (std::size_t p : structure.parents(v)) {
+      const bool ok = net.add_edge(p, v);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  net.set_cpd(response_node(n), std::move(d_cpd));
+  return net;
+}
+
+}  // namespace
+
+bn::BayesianNetwork build_kert_skeleton_continuous(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    double leak_sigma, const KertStructureOptions& opts) {
+  auto d_cpd = std::make_unique<bn::DeterministicCpd>(
+      make_response_fn(workflow), leak_sigma);
+  return assemble_skeleton(workflow, sharing, opts, /*discrete=*/false, 0,
+                           std::move(d_cpd));
+}
+
+bn::BayesianNetwork build_kert_skeleton_discrete(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const DatasetDiscretizer& discretizer, double leak_l,
+    const KertStructureOptions& opts) {
+  auto d_cpd = std::make_unique<bn::TabularCpd>(
+      make_deterministic_cpt(workflow, discretizer, leak_l));
+  return assemble_skeleton(workflow, sharing, opts, /*discrete=*/true,
+                           discretizer.bins(), std::move(d_cpd));
+}
+
+namespace {
+
+KertResult finish_construction(bn::BayesianNetwork net,
+                               double structure_seconds,
+                               const bn::Dataset& train, LearningMode mode,
+                               const bn::ParameterLearnOptions& learn,
+                               ThreadPool* pool, Stopwatch& total) {
+  KertResult result{std::move(net), {}};
+  result.report.structure_seconds = structure_seconds;
+
+  Stopwatch params;
+  if (mode == LearningMode::kDecentralized) {
+    const dec::DecentralizedReport rep =
+        dec::learn_parameters_decentralized(result.net, train, learn, pool);
+    result.report.per_node_seconds = rep.per_agent_seconds;
+    result.report.decentralized_seconds = rep.decentralized_seconds;
+    result.report.centralized_equivalent_seconds = rep.centralized_seconds;
+  } else {
+    const bn::ParameterLearnReport rep =
+        bn::learn_parameters(result.net, train, learn);
+    result.report.per_node_seconds = rep.per_node_seconds;
+    result.report.decentralized_seconds = rep.max_node_seconds();
+    result.report.centralized_equivalent_seconds = rep.sum_node_seconds();
+  }
+  result.report.parameter_seconds = params.seconds();
+  result.report.total_seconds = total.seconds();
+  KERTBN_ENSURES(result.net.is_complete());
+  return result;
+}
+
+}  // namespace
+
+KertResult construct_kert_continuous(const wf::Workflow& workflow,
+                                     const wf::ResourceSharing& sharing,
+                                     const bn::Dataset& train,
+                                     LearningMode mode, double leak_sigma,
+                                     const bn::ParameterLearnOptions& learn,
+                                     ThreadPool* pool) {
+  Stopwatch total;
+  Stopwatch structure;
+  if (leak_sigma <= 0.0) {
+    leak_sigma = calibrate_leak_sigma(workflow, train);
+  }
+  bn::BayesianNetwork net =
+      build_kert_skeleton_continuous(workflow, sharing, leak_sigma);
+  const double structure_seconds = structure.seconds();
+  return finish_construction(std::move(net), structure_seconds, train, mode,
+                             learn, pool, total);
+}
+
+namespace {
+
+/// Leak calibration for an arbitrary metric expression: residual scale of
+/// D - f(services) where services are the first \p n_services columns and
+/// D is the last column.
+double calibrate_leak_for_expr(const wf::Expr::Ptr& expr,
+                               std::size_t n_services,
+                               const bn::Dataset& train,
+                               double min_sigma = 1e-6) {
+  KERTBN_EXPECTS(train.rows() >= 1);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    const auto row = train.row(r);
+    const double resid =
+        row[train.cols() - 1] - expr->evaluate(row.first(n_services));
+    sum += resid;
+    sum_sq += resid * resid;
+  }
+  const double mean = sum / static_cast<double>(train.rows());
+  const double var =
+      std::max(sum_sq / static_cast<double>(train.rows()) - mean * mean, 0.0);
+  return std::max(std::sqrt(var + mean * mean), min_sigma);
+}
+
+}  // namespace
+
+KertResult construct_kert_for_metric(const wf::Workflow& workflow,
+                                     const wf::ResourceSharing& sharing,
+                                     const wf::Expr::Ptr& metric_expr,
+                                     const bn::Dataset& train,
+                                     LearningMode mode, double leak_sigma,
+                                     const bn::ParameterLearnOptions& learn,
+                                     ThreadPool* pool) {
+  KERTBN_EXPECTS(metric_expr != nullptr);
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(train.cols() == n + 1);
+  Stopwatch total;
+  Stopwatch structure;
+  if (leak_sigma <= 0.0) {
+    leak_sigma = calibrate_leak_for_expr(metric_expr, n, train);
+  }
+
+  bn::BayesianNetwork net;
+  for (std::size_t s = 0; s < n; ++s) {
+    net.add_node(bn::Variable::continuous(workflow.service_names()[s]));
+  }
+  net.add_node(bn::Variable::continuous("D"));
+  const graph::Dag dag = build_kert_structure(workflow, sharing);
+  for (std::size_t v = 0; v < dag.size(); ++v) {
+    for (std::size_t p : dag.parents(v)) {
+      const bool ok = net.add_edge(p, v);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  bn::DeterministicFn fn;
+  fn.arity = n;
+  fn.expression = metric_expr->to_string(workflow.service_names());
+  fn.fn = [expr = metric_expr](std::span<const double> parents) {
+    return expr->evaluate(parents);
+  };
+  net.set_cpd(response_node(n),
+              std::make_unique<bn::DeterministicCpd>(std::move(fn),
+                                                     leak_sigma));
+  const double structure_seconds = structure.seconds();
+  return finish_construction(std::move(net), structure_seconds, train, mode,
+                             learn, pool, total);
+}
+
+KertResult construct_kert_with_resources(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const bn::Dataset& train, LearningMode mode, double leak_sigma,
+    const bn::ParameterLearnOptions& learn, ThreadPool* pool) {
+  const std::size_t n = workflow.service_count();
+  const std::size_t m = sharing.groups.size();
+  KERTBN_EXPECTS(train.cols() == n + m + 1);
+  Stopwatch total;
+  Stopwatch structure;
+
+  const wf::Expr::Ptr expr = workflow.response_time_expr();
+  if (leak_sigma <= 0.0) {
+    leak_sigma = calibrate_leak_for_expr(expr, n, train);
+  }
+
+  bn::BayesianNetwork net;
+  for (std::size_t s = 0; s < n; ++s) {
+    net.add_node(bn::Variable::continuous(workflow.service_names()[s]));
+  }
+  for (const auto& group : sharing.groups) {
+    net.add_node(bn::Variable::continuous(group.name));
+  }
+  const std::size_t d_node = net.add_node(bn::Variable::continuous("D"));
+
+  // Workflow knowledge between services (resource correlation is carried
+  // by the explicit resource nodes instead of X-X shortcut edges).
+  for (const auto& [a, b] : workflow.upstream_edges()) {
+    net.add_edge(a, b);
+  }
+  // Each group's services are the parents of its resource node (the
+  // paper's formulation; observing the resource couples its services).
+  for (std::size_t g = 0; g < m; ++g) {
+    for (std::size_t s : sharing.groups[g].services) {
+      KERTBN_EXPECTS(s < n);
+      const bool ok = net.add_edge(s, n + g);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool ok = net.add_edge(s, d_node);
+    KERTBN_ASSERT(ok);
+  }
+
+  // D's parents are exactly the n service nodes (resource nodes have no
+  // edge into D), so the deterministic function arity stays n.
+  bn::DeterministicFn fn;
+  fn.arity = n;
+  fn.expression = expr->to_string(workflow.service_names());
+  fn.fn = [expr](std::span<const double> parents) {
+    return expr->evaluate(parents);
+  };
+  net.set_cpd(d_node, std::make_unique<bn::DeterministicCpd>(std::move(fn),
+                                                             leak_sigma));
+  const double structure_seconds = structure.seconds();
+  return finish_construction(std::move(net), structure_seconds, train, mode,
+                             learn, pool, total);
+}
+
+KertResult construct_kert_discrete(const wf::Workflow& workflow,
+                                   const wf::ResourceSharing& sharing,
+                                   const DatasetDiscretizer& discretizer,
+                                   const bn::Dataset& train,
+                                   LearningMode mode, double leak_l,
+                                   const bn::ParameterLearnOptions& learn,
+                                   ThreadPool* pool) {
+  Stopwatch total;
+  Stopwatch structure;
+  bn::BayesianNetwork net =
+      build_kert_skeleton_discrete(workflow, sharing, discretizer, leak_l);
+  const double structure_seconds = structure.seconds();
+  return finish_construction(std::move(net), structure_seconds, train, mode,
+                             learn, pool, total);
+}
+
+}  // namespace kertbn::core

@@ -1,0 +1,60 @@
+#include "kert/model_manager.hpp"
+
+#include "common/contract.hpp"
+
+namespace kertbn::core {
+
+ModelManager::ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
+                           Config config)
+    : workflow_(std::move(workflow)),
+      sharing_(std::move(sharing)),
+      config_(std::move(config)),
+      next_due_(config_.schedule.t_con()) {
+  KERTBN_EXPECTS(config_.bins == 0 || config_.bins >= 2);
+}
+
+std::optional<Reconstruction> ModelManager::maybe_reconstruct(
+    double now, const bn::Dataset& window) {
+  if (now < next_due_ || window.rows() == 0) return std::nullopt;
+  Reconstruction rec = reconstruct(now, window);
+  // Schedule the next deadline on the T_CON grid strictly after `now`.
+  while (next_due_ <= now) next_due_ += config_.schedule.t_con();
+  return rec;
+}
+
+Reconstruction ModelManager::reconstruct(double now,
+                                         const bn::Dataset& window) {
+  KERTBN_EXPECTS(window.rows() > 0);
+  KERTBN_EXPECTS(window.cols() == workflow_.service_count() + 1);
+
+  KertResult result = [&] {
+    if (config_.bins == 0) {
+      discretizer_.reset();
+      return construct_kert_continuous(workflow_, sharing_, window,
+                                       config_.learning, config_.leak_sigma,
+                                       config_.learn);
+    }
+    discretizer_.emplace(window, config_.bins);
+    const bn::Dataset discrete = discretizer_->discretize(window);
+    return construct_kert_discrete(workflow_, sharing_, *discretizer_,
+                                   discrete, config_.learning,
+                                   config_.leak_l, config_.learn);
+  }();
+
+  model_ = std::move(result.net);
+  ++version_;
+  Reconstruction rec;
+  rec.at = now;
+  rec.version = version_;
+  rec.window_rows = window.rows();
+  rec.report = result.report;
+  history_.push_back(rec);
+  return rec;
+}
+
+const bn::BayesianNetwork& ModelManager::model() const {
+  KERTBN_EXPECTS(model_.has_value());
+  return *model_;
+}
+
+}  // namespace kertbn::core

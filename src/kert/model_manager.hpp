@@ -1,0 +1,77 @@
+#pragma once
+/// \file model_manager.hpp
+/// The periodic model (re)construction scheme of Section 2: every
+/// T_CON = α_model · T_DATA the current sliding window W = K · T_CON is
+/// turned into a fresh KERT-BN, discarding the previous model entirely so
+/// obsolete dynamics cannot linger ("the disperse of old data is often not
+/// possible ... making a scheme purely based on reconstruction more
+/// appropriate").
+
+#include <optional>
+
+#include "kert/kert_builder.hpp"
+#include "sosim/monitoring.hpp"
+
+namespace kertbn::core {
+
+/// One completed reconstruction.
+struct Reconstruction {
+  double at = 0.0;  ///< Simulated time the model was (re)built.
+  std::size_t version = 0;
+  std::size_t window_rows = 0;
+  KertConstructionReport report;
+};
+
+/// Drives periodic KERT-BN reconstruction against a stream of monitoring
+/// windows.
+class ModelManager {
+ public:
+  struct Config {
+    sim::ModelSchedule schedule;
+    LearningMode learning = LearningMode::kCentralized;
+    /// 0 = continuous model; >= 2 = discrete model with that many bins.
+    std::size_t bins = 0;
+    /// Continuous-mode leak noise; <= 0 auto-calibrates from the window.
+    double leak_sigma = 0.0;
+    double leak_l = 0.02;      ///< Discrete-mode leak probability.
+    bn::ParameterLearnOptions learn;
+  };
+
+  ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
+               Config config);
+
+  const Config& config() const { return config_; }
+
+  /// Next simulated time a reconstruction is due.
+  double next_due() const { return next_due_; }
+
+  /// If \p now has reached the next construction deadline and the window is
+  /// non-empty, rebuilds the model from scratch and returns the record.
+  std::optional<Reconstruction> maybe_reconstruct(double now,
+                                                  const bn::Dataset& window);
+
+  /// Unconditionally rebuilds from \p window (stamped at \p now).
+  Reconstruction reconstruct(double now, const bn::Dataset& window);
+
+  bool has_model() const { return model_.has_value(); }
+  const bn::BayesianNetwork& model() const;
+  /// Discretizer used by the current discrete model (empty in continuous
+  /// mode).
+  const std::optional<DatasetDiscretizer>& discretizer() const {
+    return discretizer_;
+  }
+  std::size_t version() const { return version_; }
+  const std::vector<Reconstruction>& history() const { return history_; }
+
+ private:
+  wf::Workflow workflow_;
+  wf::ResourceSharing sharing_;
+  Config config_;
+  double next_due_;
+  std::size_t version_ = 0;
+  std::optional<bn::BayesianNetwork> model_;
+  std::optional<DatasetDiscretizer> discretizer_;
+  std::vector<Reconstruction> history_;
+};
+
+}  // namespace kertbn::core

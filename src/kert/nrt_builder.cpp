@@ -1,0 +1,71 @@
+#include "kert/nrt_builder.hpp"
+
+#include "common/contract.hpp"
+#include "common/stopwatch.hpp"
+
+namespace kertbn::core {
+namespace {
+
+/// Materializes a structure-search result as an unparameterized network.
+bn::BayesianNetwork network_from_structure(
+    const bn::StructureResult& structure,
+    std::span<const bn::Variable> vars) {
+  bn::BayesianNetwork net;
+  for (const auto& v : vars) net.add_node(v);
+  for (std::size_t v = 0; v < structure.parents.size(); ++v) {
+    for (std::size_t p : structure.parents[v]) {
+      const bool ok = net.add_edge(p, v);
+      KERTBN_ASSERT(ok);
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+NrtResult construct_nrt(const bn::Dataset& train,
+                        std::span<const bn::Variable> vars, Rng& rng,
+                        const NrtOptions& opts) {
+  KERTBN_EXPECTS(train.cols() == vars.size());
+  Stopwatch total;
+  NrtResult result;
+
+  Stopwatch structure_timer;
+  const bn::FamilyScoreFn score = bn::make_family_score(vars);
+  const bn::StructureResult structure =
+      bn::k2_random_restarts(train, vars, opts.restarts, rng, score,
+                             opts.k2);
+  result.report.structure_seconds = structure_timer.seconds();
+  result.report.structure_score = structure.score;
+
+  result.net = network_from_structure(structure, vars);
+
+  Stopwatch param_timer;
+  bn::learn_parameters(result.net, train, opts.learn);
+  result.report.parameter_seconds = param_timer.seconds();
+  result.report.total_seconds = total.seconds();
+  KERTBN_ENSURES(result.net.is_complete());
+  return result;
+}
+
+NrtResult construct_naive_bayes(const bn::Dataset& train,
+                                std::span<const bn::Variable> vars,
+                                std::size_t class_node,
+                                const bn::ParameterLearnOptions& learn) {
+  KERTBN_EXPECTS(class_node < vars.size());
+  Stopwatch total;
+  NrtResult result;
+  for (const auto& v : vars) result.net.add_node(v);
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    if (v == class_node) continue;
+    const bool ok = result.net.add_edge(class_node, v);
+    KERTBN_ASSERT(ok);
+  }
+  Stopwatch param_timer;
+  bn::learn_parameters(result.net, train, learn);
+  result.report.parameter_seconds = param_timer.seconds();
+  result.report.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace kertbn::core

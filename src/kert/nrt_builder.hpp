@@ -1,0 +1,50 @@
+#pragma once
+/// \file nrt_builder.hpp
+/// NRT-BN: the Naive Response Time Bayesian Network baseline (Section 4) —
+/// learned purely from data, with K2 structure search over all n+1 variables
+/// followed by full parameter learning. Section 5.3 additionally re-runs K2
+/// with random orderings until the construction deadline; the restart count
+/// reproduces that optimization.
+
+#include "bn/learning.hpp"
+#include "bn/network.hpp"
+#include "bn/structure_learning.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::core {
+
+struct NrtOptions {
+  bn::K2Options k2;
+  /// Number of random K2 orderings to try (1 = single random ordering).
+  std::size_t restarts = 1;
+  bn::ParameterLearnOptions learn;
+};
+
+struct NrtConstructionReport {
+  double structure_seconds = 0.0;  ///< K2 search time (all restarts).
+  double parameter_seconds = 0.0;  ///< Full parameter-learning time.
+  double total_seconds = 0.0;
+  double structure_score = 0.0;    ///< Best K2 score found.
+};
+
+struct NrtResult {
+  bn::BayesianNetwork net;
+  NrtConstructionReport report;
+};
+
+/// Learns an NRT-BN from scratch. \p vars describes every column of
+/// \p train (services then D); kinds select the score (K2 for discrete,
+/// Gaussian BIC for continuous) and the CPD family.
+NrtResult construct_nrt(const bn::Dataset& train,
+                        std::span<const bn::Variable> vars, Rng& rng,
+                        const NrtOptions& opts = {});
+
+/// A learning-free NRT-BN with the classic naive-Bayes structure (D is the
+/// sole parent of every service node). The paper considers and dismisses
+/// this variant; it is kept as an ablation baseline.
+NrtResult construct_naive_bayes(const bn::Dataset& train,
+                                std::span<const bn::Variable> vars,
+                                std::size_t class_node,
+                                const bn::ParameterLearnOptions& learn = {});
+
+}  // namespace kertbn::core

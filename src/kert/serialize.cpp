@@ -1,0 +1,343 @@
+#include "kert/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "bn/deterministic_cpd.hpp"
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/contract.hpp"
+#include "kert/kert_builder.hpp"
+#include "workflow/serialize.hpp"
+
+namespace kertbn::core {
+namespace {
+
+constexpr const char* kMagic = "kertbn-model";
+constexpr int kVersion = 1;
+
+void write_sharing(std::ostream& out, const wf::ResourceSharing& sharing) {
+  out << "sharing " << sharing.groups.size() << '\n';
+  for (const auto& g : sharing.groups) {
+    out << "group " << g.name << ' ' << g.services.size();
+    for (std::size_t s : g.services) out << ' ' << s;
+    out << '\n';
+  }
+}
+
+wf::ResourceSharing read_sharing(std::istream& in) {
+  std::string keyword;
+  std::size_t groups = 0;
+  in >> keyword >> groups;
+  KERTBN_EXPECTS(keyword == "sharing");
+  wf::ResourceSharing sharing;
+  for (std::size_t g = 0; g < groups; ++g) {
+    wf::ResourceGroup group;
+    std::size_t count = 0;
+    in >> keyword >> group.name >> count;
+    KERTBN_EXPECTS(keyword == "group");
+    group.services.resize(count);
+    for (std::size_t i = 0; i < count; ++i) in >> group.services[i];
+    sharing.groups.push_back(std::move(group));
+  }
+  return sharing;
+}
+
+void write_learned_cpds(std::ostream& out, const bn::BayesianNetwork& net,
+                        std::size_t response_node) {
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (v != response_node) ++count;
+  }
+  out << "cpds " << count << '\n';
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (v == response_node) continue;
+    const bn::Cpd& cpd = net.cpd(v);
+    if (cpd.kind() == bn::CpdKind::kLinearGaussian) {
+      const auto& lg = static_cast<const bn::LinearGaussianCpd&>(cpd);
+      out << "cpd " << v << " lingauss " << lg.intercept() << ' '
+          << lg.weights().size();
+      for (double w : lg.weights()) out << ' ' << w;
+      out << ' ' << lg.sigma() << '\n';
+    } else {
+      KERTBN_EXPECTS(cpd.kind() == bn::CpdKind::kTabular);
+      const auto& tab = static_cast<const bn::TabularCpd&>(cpd);
+      out << "cpd " << v << " tabular " << tab.child_cardinality() << ' '
+          << tab.parent_cardinalities().size();
+      for (std::size_t c : tab.parent_cardinalities()) out << ' ' << c;
+      out << ' ' << tab.config_count() * tab.child_cardinality();
+      for (std::size_t cfg = 0; cfg < tab.config_count(); ++cfg) {
+        for (std::size_t s = 0; s < tab.child_cardinality(); ++s) {
+          out << ' ' << tab.probability(cfg, s);
+        }
+      }
+      out << '\n';
+    }
+  }
+}
+
+std::unique_ptr<bn::Cpd> read_one_cpd(std::istream& in,
+                                      std::size_t& node_out) {
+  std::string keyword;
+  std::string kind;
+  in >> keyword >> node_out >> kind;
+  KERTBN_EXPECTS(keyword == "cpd");
+  if (kind == "lingauss") {
+    double intercept = 0.0;
+    std::size_t k = 0;
+    in >> intercept >> k;
+    std::vector<double> weights(k);
+    for (double& w : weights) in >> w;
+    double sigma = 0.0;
+    in >> sigma;
+    return std::make_unique<bn::LinearGaussianCpd>(intercept,
+                                                   std::move(weights),
+                                                   sigma);
+  }
+  KERTBN_EXPECTS(kind == "tabular");
+  std::size_t card = 0;
+  std::size_t np = 0;
+  in >> card >> np;
+  std::vector<std::size_t> pcards(np);
+  for (auto& c : pcards) in >> c;
+  std::size_t nvals = 0;
+  in >> nvals;
+  std::vector<double> values(nvals);
+  for (double& v : values) in >> v;
+  return std::make_unique<bn::TabularCpd>(
+      bn::TabularCpd(card, std::move(pcards), std::move(values)));
+}
+
+void write_structure(std::ostream& out, const bn::BayesianNetwork& net) {
+  out << "edges " << net.dag().edge_count() << '\n';
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    for (std::size_t p : net.dag().parents(v)) {
+      out << "edge " << p << ' ' << v << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+void save_kert_continuous(std::ostream& out, const wf::Workflow& workflow,
+                          const wf::ResourceSharing& sharing,
+                          const bn::BayesianNetwork& net) {
+  const std::size_t d_node = net.size() - 1;
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(net.cpd(d_node).kind() == bn::CpdKind::kDeterministic);
+  const auto& det = static_cast<const bn::DeterministicCpd&>(net.cpd(d_node));
+
+  out << std::setprecision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << workflow_to_text(workflow);
+  write_sharing(out, sharing);
+  out << "kind continuous\n";
+  out << "nodes " << net.size() << '\n';
+  write_structure(out, net);
+  out << "leak " << det.leak_sigma() << '\n';
+  write_learned_cpds(out, net, d_node);
+  out << "end\n";
+}
+
+void save_kert_discrete(std::ostream& out, const wf::Workflow& workflow,
+                        const wf::ResourceSharing& sharing,
+                        const DatasetDiscretizer& discretizer, double leak_l,
+                        const bn::BayesianNetwork& net) {
+  const std::size_t d_node = net.size() - 1;
+  KERTBN_EXPECTS(net.is_complete());
+  KERTBN_EXPECTS(net.cpd(d_node).kind() == bn::CpdKind::kTabular);
+
+  out << std::setprecision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << workflow_to_text(workflow);
+  write_sharing(out, sharing);
+  out << "kind discrete " << discretizer.bins() << '\n';
+  out << "discretizer " << discretizer.columns() << '\n';
+  for (std::size_t c = 0; c < discretizer.columns(); ++c) {
+    const auto& col = discretizer.column(c);
+    out << "column " << c << ' ' << col.data_min() << ' ' << col.data_max()
+        << ' ' << col.edges().size();
+    for (double e : col.edges()) out << ' ' << e;
+    out << ' ' << col.bins();
+    for (std::size_t b = 0; b < col.bins(); ++b) {
+      out << ' ' << col.center_of(b);
+    }
+    out << '\n';
+  }
+  out << "nodes " << net.size() << '\n';
+  write_structure(out, net);
+  out << "leak " << leak_l << '\n';
+  // The response CPT is stored verbatim (rebuilding it from knowledge is
+  // possible but would tie files to the CPT-integration sampling scheme).
+  {
+    const auto& tab =
+        static_cast<const bn::TabularCpd&>(net.cpd(d_node));
+    out << "response_cpt " << tab.child_cardinality() << ' '
+        << tab.parent_cardinalities().size();
+    for (std::size_t c : tab.parent_cardinalities()) out << ' ' << c;
+    out << ' ' << tab.config_count() * tab.child_cardinality();
+    for (std::size_t cfg = 0; cfg < tab.config_count(); ++cfg) {
+      for (std::size_t s = 0; s < tab.child_cardinality(); ++s) {
+        out << ' ' << tab.probability(cfg, s);
+      }
+    }
+    out << '\n';
+  }
+  write_learned_cpds(out, net, d_node);
+  out << "end\n";
+}
+
+SavedModel load_kert_model(std::istream& in) {
+  std::string keyword;
+  int version = 0;
+  in >> keyword >> version;
+  KERTBN_EXPECTS(keyword == kMagic);
+  KERTBN_EXPECTS(version == kVersion);
+
+  // Workflow block (re-serialize through the workflow reader).
+  std::size_t n_services = 0;
+  in >> keyword >> n_services;
+  KERTBN_EXPECTS(keyword == "workflow");
+  std::vector<std::string> names(n_services);
+  for (std::size_t i = 0; i < n_services; ++i) {
+    std::size_t idx = 0;
+    in >> keyword >> idx >> names[idx];
+    KERTBN_EXPECTS(keyword == "name");
+  }
+  in >> keyword;
+  KERTBN_EXPECTS(keyword == "tree");
+  std::string tree_line;
+  std::getline(in, tree_line);
+  wf::Workflow workflow(names, wf::node_from_text(tree_line));
+
+  wf::ResourceSharing sharing = read_sharing(in);
+
+  in >> keyword;
+  KERTBN_EXPECTS(keyword == "kind");
+  std::string kind;
+  in >> kind;
+  std::size_t bins = 0;
+  std::optional<DatasetDiscretizer> discretizer;
+  if (kind == "discrete") {
+    in >> bins;
+    std::size_t cols = 0;
+    in >> keyword >> cols;
+    KERTBN_EXPECTS(keyword == "discretizer");
+    std::vector<ColumnDiscretizer> columns;
+    columns.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::size_t idx = 0;
+      double lo = 0.0;
+      double hi = 0.0;
+      std::size_t n_edges = 0;
+      in >> keyword >> idx >> lo >> hi >> n_edges;
+      KERTBN_EXPECTS(keyword == "column" && idx == c);
+      std::vector<double> edges(n_edges);
+      for (double& e : edges) in >> e;
+      std::size_t n_centers = 0;
+      in >> n_centers;
+      std::vector<double> centers(n_centers);
+      for (double& x : centers) in >> x;
+      columns.push_back(ColumnDiscretizer::from_parts(
+          std::move(edges), std::move(centers), lo, hi));
+    }
+    discretizer = DatasetDiscretizer::from_columns(std::move(columns));
+  } else {
+    KERTBN_EXPECTS(kind == "continuous");
+  }
+
+  std::size_t n_nodes = 0;
+  in >> keyword >> n_nodes;
+  KERTBN_EXPECTS(keyword == "nodes");
+  KERTBN_EXPECTS(n_nodes >= n_services + 1);
+
+  // Rebuild the node set: services, optional extras (resource nodes), D.
+  bn::BayesianNetwork net;
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    std::string node_name;
+    if (v < n_services) {
+      node_name = names[v];
+    } else if (v + 1 == n_nodes) {
+      node_name = "D";
+    } else {
+      // Resource nodes carry their group names in order.
+      const std::size_t g = v - n_services;
+      KERTBN_EXPECTS(g < sharing.groups.size());
+      node_name = sharing.groups[g].name;
+    }
+    net.add_node(bins == 0
+                     ? bn::Variable::continuous(node_name)
+                     : bn::Variable::discrete(node_name, bins));
+  }
+
+  std::size_t n_edges = 0;
+  in >> keyword >> n_edges;
+  KERTBN_EXPECTS(keyword == "edges");
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    in >> keyword >> a >> b;
+    KERTBN_EXPECTS(keyword == "edge");
+    const bool ok = net.add_edge(a, b);
+    KERTBN_EXPECTS(ok);
+  }
+
+  double leak = 0.0;
+  in >> keyword >> leak;
+  KERTBN_EXPECTS(keyword == "leak");
+
+  const std::size_t d_node = n_nodes - 1;
+  if (bins == 0) {
+    // Rebuild the deterministic response CPD from the workflow knowledge.
+    net.set_cpd(d_node, std::make_unique<bn::DeterministicCpd>(
+                            make_response_fn(workflow), leak));
+  } else {
+    std::string tag;
+    in >> tag;
+    KERTBN_EXPECTS(tag == "response_cpt");
+    std::size_t card = 0;
+    std::size_t np = 0;
+    in >> card >> np;
+    std::vector<std::size_t> pcards(np);
+    for (auto& c : pcards) in >> c;
+    std::size_t nvals = 0;
+    in >> nvals;
+    std::vector<double> values(nvals);
+    for (double& v : values) in >> v;
+    net.set_cpd(d_node, std::make_unique<bn::TabularCpd>(bn::TabularCpd(
+                            card, std::move(pcards), std::move(values))));
+  }
+
+  std::size_t n_cpds = 0;
+  in >> keyword >> n_cpds;
+  KERTBN_EXPECTS(keyword == "cpds");
+  for (std::size_t i = 0; i < n_cpds; ++i) {
+    std::size_t node = 0;
+    auto cpd = read_one_cpd(in, node);
+    net.set_cpd(node, std::move(cpd));
+  }
+  in >> keyword;
+  KERTBN_EXPECTS(keyword == "end");
+  KERTBN_ENSURES(net.is_complete());
+
+  SavedModel model{std::move(workflow), std::move(sharing), bins,
+                   std::move(discretizer), leak, std::move(net)};
+  return model;
+}
+
+std::string save_to_string(const wf::Workflow& workflow,
+                           const wf::ResourceSharing& sharing,
+                           const bn::BayesianNetwork& net) {
+  std::ostringstream out;
+  save_kert_continuous(out, workflow, sharing, net);
+  return out.str();
+}
+
+SavedModel load_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_kert_model(in);
+}
+
+}  // namespace kertbn::core

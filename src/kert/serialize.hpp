@@ -1,0 +1,61 @@
+#pragma once
+/// \file serialize.hpp
+/// Persistence for constructed KERT-BN models. A saved model carries the
+/// *knowledge* (workflow tree, resource-sharing groups, leak setting,
+/// discretizer for discrete models) plus the *learned* CPD parameters; on
+/// load the knowledge-given response CPD is rebuilt from the workflow, so
+/// the file never needs to encode executable functions.
+///
+/// The format is line-oriented UTF-8 text (17-significant-digit doubles:
+/// save/load round-trips are exact). Intended uses: shipping a model from
+/// the management server to autonomic components, snapshotting model
+/// history, and offline analysis.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "bn/network.hpp"
+#include "kert/discretize.hpp"
+#include "workflow/resource.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::core {
+
+/// A persisted model: knowledge plus learned parameters.
+struct SavedModel {
+  wf::Workflow workflow;
+  wf::ResourceSharing sharing;
+  /// 0 = continuous model; >= 2 = discrete with this many bins.
+  std::size_t bins = 0;
+  /// Present iff the model is discrete.
+  std::optional<DatasetDiscretizer> discretizer;
+  /// Leak: sigma (continuous) or l (discrete).
+  double leak = 0.0;
+  bn::BayesianNetwork net;
+};
+
+/// Serializes a continuous KERT-BN (as built by construct_kert_continuous
+/// or its metric/resource variants; the response node must carry a
+/// DeterministicCpd).
+void save_kert_continuous(std::ostream& out, const wf::Workflow& workflow,
+                          const wf::ResourceSharing& sharing,
+                          const bn::BayesianNetwork& net);
+
+/// Serializes a discrete KERT-BN together with its discretizer. \p leak_l
+/// is recorded for provenance; the response CPT itself is stored verbatim.
+void save_kert_discrete(std::ostream& out, const wf::Workflow& workflow,
+                        const wf::ResourceSharing& sharing,
+                        const DatasetDiscretizer& discretizer, double leak_l,
+                        const bn::BayesianNetwork& net);
+
+/// Loads either flavor. Contract-fails on malformed input.
+SavedModel load_kert_model(std::istream& in);
+
+/// Convenience string round-trips.
+std::string save_to_string(const wf::Workflow& workflow,
+                           const wf::ResourceSharing& sharing,
+                           const bn::BayesianNetwork& net);
+SavedModel load_from_string(const std::string& text);
+
+}  // namespace kertbn::core

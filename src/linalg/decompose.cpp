@@ -1,0 +1,223 @@
+#include "linalg/decompose.hpp"
+
+#include <cmath>
+
+namespace kertbn::la {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  KERTBN_EXPECTS(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  Vector y = solve_lower(b);
+  // Back substitution with L^T.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  KERTBN_EXPECTS(b.rows() == l_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+std::optional<Lu> Lu::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(pivot, c), lu(col, c));
+      std::swap(perm[pivot], perm[col]);
+      sign = -sign;
+    }
+    const double d = lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / d;
+      lu(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  KERTBN_EXPECTS(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x[k];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  KERTBN_EXPECTS(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double d = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Matrix inverse(const Matrix& a) {
+  auto lu = Lu::factor(a);
+  KERTBN_EXPECTS(lu.has_value());
+  return lu->solve(Matrix::identity(a.rows()));
+}
+
+Vector least_squares(const Matrix& x, const Vector& y, double ridge) {
+  KERTBN_EXPECTS(x.rows() == y.size());
+  KERTBN_EXPECTS(x.rows() >= 1);
+  const std::size_t p = x.cols();
+  // Normal equations: (XᵀX + ridge·I) beta = Xᵀy.
+  Matrix xtx(p, p);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < p; ++i) {
+      const double xi = row[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < p; ++j) {
+        xtx(i, j) += xi * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    xtx(i, i) += ridge;
+    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
+  }
+  Vector xty(p);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < p; ++i) xty[i] += row[i] * y[r];
+  }
+  auto chol = Cholesky::factor(xtx);
+  if (chol.has_value()) return chol->solve(xty);
+  // Severely ill-conditioned design: escalate the ridge until SPD.
+  for (double boost = 1e-6; boost <= 1e3; boost *= 10.0) {
+    Matrix bumped = xtx;
+    for (std::size_t i = 0; i < p; ++i) bumped(i, i) += boost;
+    if (auto c2 = Cholesky::factor(bumped)) return c2->solve(xty);
+  }
+  KERTBN_ASSERT(false && "least_squares: design matrix unusable");
+  return Vector(p);
+}
+
+Vector column_means(const Matrix& data) {
+  const std::size_t n = data.rows();
+  const std::size_t p = data.cols();
+  Vector mu(p);
+  if (n == 0) return mu;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t c = 0; c < p; ++c) mu[c] += row[c];
+  }
+  for (std::size_t c = 0; c < p; ++c) mu[c] /= static_cast<double>(n);
+  return mu;
+}
+
+Matrix sample_covariance(const Matrix& data) {
+  const std::size_t n = data.rows();
+  const std::size_t p = data.cols();
+  KERTBN_EXPECTS(n >= 2);
+  const Vector mu = column_means(data);
+  Matrix cov(p, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t i = 0; i < p; ++i) {
+      const double di = row[i] - mu[i];
+      for (std::size_t j = i; j < p; ++j) {
+        cov(i, j) += di * (row[j] - mu[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace kertbn::la

@@ -1,0 +1,73 @@
+#pragma once
+/// \file decompose.hpp
+/// Factorizations and solvers the Bayesian-network engine needs: Cholesky for
+/// covariance matrices (sampling, conditioning, log-determinants), a
+/// partial-pivot LU for general systems, and ordinary least squares for
+/// linear-Gaussian CPD fitting.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace kertbn::la {
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factors \p a; returns std::nullopt if \p a is not (numerically) SPD.
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Lower-triangular factor L.
+  const Matrix& lower() const { return l_; }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// log(det A) = 2 Σ log L_ii — used for Gaussian log-likelihoods.
+  double log_det() const;
+
+  /// Solves L y = b (forward substitution).
+  Vector solve_lower(const Vector& b) const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// LU factorization with partial pivoting for general square systems.
+class Lu {
+ public:
+  /// Factors \p a; returns std::nullopt when singular to working precision.
+  static std::optional<Lu> factor(const Matrix& a);
+
+  Vector solve(const Vector& b) const;
+  Matrix solve(const Matrix& b) const;
+  double determinant() const;
+
+ private:
+  Lu(Matrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_;
+};
+
+/// Inverse via LU; contract-fails on singular input. Prefer solve() forms.
+Matrix inverse(const Matrix& a);
+
+/// Ordinary least squares fit of y ≈ X·beta using the normal equations with
+/// Tikhonov ridge \p ridge on the diagonal (keeps collinear designs stable —
+/// common when two services' elapsed times move in lockstep).
+Vector least_squares(const Matrix& x, const Vector& y, double ridge = 1e-9);
+
+/// Sample mean of each column of a data matrix (rows = observations).
+Vector column_means(const Matrix& data);
+
+/// Unbiased sample covariance of a data matrix (rows = observations).
+/// Requires at least two rows.
+Matrix sample_covariance(const Matrix& data);
+
+}  // namespace kertbn::la

@@ -1,0 +1,170 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace kertbn::la {
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  KERTBN_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  KERTBN_EXPECTS(size() == rhs.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Vector::norm() const { return std::sqrt(dot(*this, *this)); }
+
+std::string Vector::to_string(int precision) const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << '[';
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << data_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+double dot(const Vector& a, const Vector& b) {
+  KERTBN_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    KERTBN_EXPECTS(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  KERTBN_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  KERTBN_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  KERTBN_EXPECTS(a.cols_ == b.rows_);
+  Matrix c(a.rows_, b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data_.data() + k * b.cols_;
+      double* crow = c.data_.data() + i * c.cols_;
+      for (std::size_t j = 0; j < b.cols_; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  KERTBN_EXPECTS(a.cols_ == x.size());
+  Vector y(a.rows_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    double s = 0.0;
+    const double* arow = a.data_.data() + i * a.cols_;
+    for (std::size_t j = 0; j < a.cols_; ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix Matrix::submatrix(std::span<const std::size_t> row_idx,
+                         std::span<const std::size_t> col_idx) const {
+  Matrix out(row_idx.size(), col_idx.size());
+  for (std::size_t r = 0; r < row_idx.size(); ++r) {
+    KERTBN_EXPECTS(row_idx[r] < rows_);
+    for (std::size_t c = 0; c < col_idx.size(); ++c) {
+      KERTBN_EXPECTS(col_idx[c] < cols_);
+      out(r, c) = (*this)(row_idx[r], col_idx[c]);
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  KERTBN_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out << ", ";
+      out << (*this)(r, c);
+    }
+    out << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return out.str();
+}
+
+}  // namespace kertbn::la

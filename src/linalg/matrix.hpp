@@ -1,0 +1,134 @@
+#pragma once
+/// \file matrix.hpp
+/// Dense row-major matrix/vector types sized for Bayesian-network work:
+/// covariance matrices of a few hundred variables at most. Storage is a
+/// single contiguous buffer (Core Guidelines Per.16/Per.19: compact data,
+/// predictable access).
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace kertbn::la {
+
+/// Dense column vector.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> xs) : data_(xs) {}
+  explicit Vector(std::vector<double> xs) : data_(std::move(xs)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    KERTBN_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    KERTBN_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+
+  std::span<const double> span() const { return data_; }
+  std::span<double> span() { return data_; }
+  const std::vector<double>& values() const { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, double s) { return lhs *= s; }
+  friend Vector operator*(double s, Vector rhs) { return rhs *= s; }
+
+  /// Euclidean norm.
+  double norm() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Inner product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    KERTBN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    KERTBN_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous row view.
+  std::span<const double> row(std::size_t r) const {
+    KERTBN_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) {
+    KERTBN_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  /// Matrix product (ikj loop order for cache-friendliness).
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  /// Matrix-vector product.
+  friend Vector operator*(const Matrix& a, const Vector& x);
+
+  /// Extracts the sub-matrix with the given row and column index sets.
+  Matrix submatrix(std::span<const std::size_t> row_idx,
+                   std::span<const std::size_t> col_idx) const;
+
+  /// Maximum absolute entry difference against \p other (shape must match).
+  double max_abs_diff(const Matrix& other) const;
+
+  /// True when the matrix is square and symmetric within \p tol.
+  bool is_symmetric(double tol = 1e-9) const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace kertbn::la

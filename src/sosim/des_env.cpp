@@ -1,0 +1,212 @@
+#include "sosim/des_env.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/contract.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::sim {
+
+DesEnvironment::DesEnvironment(wf::Workflow workflow, HostMap hosts,
+                               std::vector<ServiceModel> models,
+                               double arrival_rate, std::uint64_t seed)
+    : workflow_(std::move(workflow)),
+      hosts_(std::move(hosts)),
+      models_(std::move(models)),
+      arrival_rate_(arrival_rate),
+      rng_(seed) {
+  KERTBN_EXPECTS(models_.size() == workflow_.service_count());
+  KERTBN_EXPECTS(hosts_.host_of.size() == models_.size());
+  KERTBN_EXPECTS(arrival_rate_ > 0.0);
+  for (std::size_t h : hosts_.host_of) {
+    KERTBN_EXPECTS(h < hosts_.host_count);
+  }
+  machines_.resize(hosts_.host_count);
+}
+
+void DesEnvironment::schedule_next_arrival() {
+  const double gap = rng_.exponential(arrival_rate_);
+  sim_.schedule_in(gap, [this](des::Simulator&) {
+    auto trace = std::make_shared<DesRequestTrace>();
+    trace->service_times.assign(models_.size(), std::nullopt);
+    const double start = sim_.now();
+    execute_node(*workflow_.root(), start, trace,
+                 [this, trace, start](double finished) {
+                   trace->response_time = finished - start;
+                   trace->completed_at = finished;
+                   traces_.push_back(*trace);
+                 });
+    schedule_next_arrival();
+  });
+}
+
+void DesEnvironment::run_for(double duration) {
+  KERTBN_EXPECTS(duration > 0.0);
+  const double until = sim_.now() + duration;
+  if (sim_.pending() == 0) schedule_next_arrival();
+  sim_.run_until(until);
+}
+
+void DesEnvironment::accelerate_service(std::size_t service, double factor) {
+  KERTBN_EXPECTS(service < models_.size());
+  KERTBN_EXPECTS(factor > 0.0 && factor <= 1.0);
+  models_[service].base_mean *= factor;
+  models_[service].noise_sigma *= factor;
+}
+
+void DesEnvironment::execute_node(const wf::Node& node, double start,
+                                  std::shared_ptr<DesRequestTrace> trace,
+                                  std::function<void(double)> done) {
+  switch (node.kind()) {
+    case wf::NodeKind::kActivity: {
+      const std::size_t svc = node.service_index();
+      Machine& machine = machines_[hosts_.host_of[svc]];
+      // FIFO processor: the job waits for the backlog, then occupies the
+      // machine for its sampled demand.
+      const double demand = models_[svc].sample_base(rng_);
+      const double begin = std::max(start, machine.busy_until);
+      const double finish = begin + demand;
+      machine.busy_until = finish;
+      const double elapsed = finish - start;  // queue wait + demand
+      sim_.schedule_at(finish, [trace, svc, elapsed, done,
+                                this](des::Simulator&) {
+        // A service invoked several times in one request (loops) reports
+        // its accumulated elapsed time, like a monitoring point would.
+        auto& slot = trace->service_times[svc];
+        slot = slot.value_or(0.0) + elapsed;
+        done(sim_.now());
+      });
+      return;
+    }
+    case wf::NodeKind::kSequence: {
+      // Run children serially via a self-referential continuation.
+      auto advance = std::make_shared<std::function<void(std::size_t, double)>>();
+      *advance = [this, &node, trace, done, advance](std::size_t idx,
+                                                     double at) {
+        if (idx == node.children().size()) {
+          done(at);
+          return;
+        }
+        execute_node(*node.children()[idx], at, trace,
+                     [advance, idx](double finished) {
+                       (*advance)(idx + 1, finished);
+                     });
+      };
+      (*advance)(0, start);
+      return;
+    }
+    case wf::NodeKind::kParallel: {
+      auto remaining = std::make_shared<std::size_t>(node.children().size());
+      auto latest = std::make_shared<double>(start);
+      for (const auto& child : node.children()) {
+        execute_node(*child, start, trace,
+                     [remaining, latest, done](double finished) {
+                       *latest = std::max(*latest, finished);
+                       if (--*remaining == 0) done(*latest);
+                     });
+      }
+      return;
+    }
+    case wf::NodeKind::kChoice: {
+      const std::size_t branch = rng_.categorical(node.choice_probs());
+      execute_node(*node.children()[branch], start, trace, std::move(done));
+      return;
+    }
+    case wf::NodeKind::kLoop: {
+      const double repeat = node.repeat_prob();
+      auto again = std::make_shared<std::function<void(double)>>();
+      *again = [this, &node, trace, done, again, repeat](double at) {
+        execute_node(*node.children().front(), at, trace,
+                     [this, done, again, repeat](double finished) {
+                       if (rng_.bernoulli(repeat)) {
+                         (*again)(finished);
+                       } else {
+                         done(finished);
+                       }
+                     });
+      };
+      (*again)(start);
+      return;
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+}
+
+bn::Dataset DesEnvironment::dataset_between(double from_time, double to_time,
+                                            double report_interval) const {
+  KERTBN_EXPECTS(report_interval > 0.0);
+  KERTBN_EXPECTS(to_time > from_time);
+  std::vector<std::string> columns = workflow_.service_names();
+  columns.push_back("D");
+  bn::Dataset data(std::move(columns));
+
+  const std::size_t n = models_.size();
+  const auto intervals = static_cast<std::size_t>(
+      std::max(1.0, (to_time - from_time) / report_interval));
+  std::vector<double> sums(n + 1, 0.0);
+  std::vector<std::size_t> counts(n, 0);
+
+  for (std::size_t k = 0; k < intervals; ++k) {
+    const double lo = from_time + static_cast<double>(k) * report_interval;
+    const double hi = lo + report_interval;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    std::size_t request_count = 0;
+
+    for (const auto& trace : traces_) {
+      if (trace.completed_at <= lo || trace.completed_at > hi) continue;
+      ++request_count;
+      sums[n] += trace.response_time;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (trace.service_times[s].has_value()) {
+          sums[s] += *trace.service_times[s];
+          ++counts[s];
+        }
+      }
+    }
+    if (request_count == 0) continue;
+    bool complete = true;
+    std::vector<double> row(n + 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (counts[s] == 0) {
+        complete = false;
+        break;
+      }
+      row[s] = sums[s] / static_cast<double>(counts[s]);
+    }
+    if (!complete) continue;
+    row[n] = sums[n] / static_cast<double>(request_count);
+    data.add_row(row);
+  }
+  return data;
+}
+
+DesEnvironment make_ediamond_des_environment(double arrival_rate,
+                                             std::uint64_t seed) {
+  using S = wf::EdiamondServices;
+  wf::Workflow workflow = wf::make_ediamond_workflow();
+
+  HostMap hosts;
+  hosts.host_count = 5;
+  hosts.host_of.assign(S::kCount, 0);
+  hosts.host_of[S::kImageList] = 0;   // shared Linux server
+  hosts.host_of[S::kWorkList] = 0;
+  hosts.host_of[S::kImageLocatorLocal] = 1;
+  hosts.host_of[S::kOgsaDaiLocal] = 2;
+  hosts.host_of[S::kImageLocatorRemote] = 3;
+  hosts.host_of[S::kOgsaDaiRemote] = 4;
+
+  std::vector<ServiceModel> models(S::kCount);
+  models[S::kImageList] = {0.12, 0.020, 0.25, 0.015};
+  models[S::kWorkList] = {0.10, 0.018, 0.30, 0.015};
+  models[S::kImageLocatorLocal] = {0.15, 0.025, 0.30, 0.020};
+  models[S::kImageLocatorRemote] = {0.28, 0.060, 0.35, 0.030};
+  models[S::kOgsaDaiLocal] = {0.22, 0.035, 0.30, 0.025};
+  models[S::kOgsaDaiRemote] = {0.34, 0.070, 0.35, 0.035};
+
+  return DesEnvironment(std::move(workflow), std::move(hosts),
+                        std::move(models), arrival_rate, seed);
+}
+
+}  // namespace kertbn::sim

@@ -1,0 +1,93 @@
+#pragma once
+/// \file des_env.hpp
+/// Queueing, discrete-event realization of a service-oriented environment —
+/// the stand-in for the paper's real eDiaMoND test-bed (Section 5). Requests
+/// arrive Poisson and walk the workflow tree; each activity's work occupies
+/// its host machine (a FIFO processor shared by every co-hosted service), so
+/// elapsed times include genuine queueing delay and co-hosted services'
+/// times co-vary under load — the resource-sharing channel of Section 3.2,
+/// produced by actual contention instead of a sampled load variable.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "sosim/service_model.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::sim {
+
+/// Maps each service to a host machine (FIFO processor).
+struct HostMap {
+  std::size_t host_count = 0;
+  std::vector<std::size_t> host_of;  ///< host_of[service] = machine index.
+};
+
+/// A completed end-to-end request observed by the DES environment. Services
+/// skipped by a choice branch carry no elapsed-time observation.
+struct DesRequestTrace {
+  std::vector<std::optional<double>> service_times;
+  double response_time = 0.0;
+  double completed_at = 0.0;  ///< Simulated completion timestamp.
+};
+
+/// Discrete-event service-oriented environment.
+class DesEnvironment {
+ public:
+  /// \p models sized to the workflow's services; \p hosts maps each service
+  /// to a machine; \p arrival_rate is the Poisson request rate (req/s).
+  DesEnvironment(wf::Workflow workflow, HostMap hosts,
+                 std::vector<ServiceModel> models, double arrival_rate,
+                 std::uint64_t seed);
+
+  const wf::Workflow& workflow() const { return workflow_; }
+
+  /// Runs the environment for \p duration simulated seconds; completed
+  /// request traces accumulate in traces().
+  void run_for(double duration);
+
+  const std::vector<DesRequestTrace>& traces() const { return traces_; }
+  double now() const { return sim_.now(); }
+
+  /// Applies a multiplicative speedup to one service (pAccel actions).
+  void accelerate_service(std::size_t service, double factor);
+
+  /// Builds a BN-ready dataset (columns: services then "D") from traces
+  /// completed in (from_time, to_time], averaging every
+  /// \p report_interval seconds into one data point (the paper's T_DATA
+  /// batching). Rows with any unobserved service are dropped.
+  bn::Dataset dataset_between(double from_time, double to_time,
+                              double report_interval) const;
+
+ private:
+  struct Machine {
+    double busy_until = 0.0;  ///< FIFO backlog horizon.
+  };
+
+  /// Continuation-passing workflow walk; calls \p done with the node's
+  /// completion time.
+  void execute_node(const wf::Node& node, double start,
+                    std::shared_ptr<DesRequestTrace> trace,
+                    std::function<void(double)> done);
+
+  void schedule_next_arrival();
+
+  wf::Workflow workflow_;
+  HostMap hosts_;
+  std::vector<ServiceModel> models_;
+  double arrival_rate_;
+  Rng rng_;
+  des::Simulator sim_;
+  std::vector<Machine> machines_;
+  std::vector<DesRequestTrace> traces_;
+};
+
+/// Builds the eDiaMoND DES test-bed: Figure 1 workflow, the Section 5 host
+/// layout (4 site machines + 1 shared Linux server), Poisson arrivals.
+DesEnvironment make_ediamond_des_environment(double arrival_rate,
+                                             std::uint64_t seed);
+
+}  // namespace kertbn::sim

@@ -1,0 +1,68 @@
+#include "sosim/monitoring.hpp"
+
+#include <algorithm>
+
+namespace kertbn::sim {
+
+MonitoringAgent::MonitoringAgent(std::size_t id,
+                                 std::vector<std::size_t> services)
+    : id_(id), services_(std::move(services)) {
+  KERTBN_EXPECTS(!services_.empty());
+  points_.reserve(services_.size());
+  for (std::size_t s : services_) points_.emplace_back(s);
+}
+
+void MonitoringAgent::record(std::size_t service, double elapsed) {
+  auto it = std::find(services_.begin(), services_.end(), service);
+  KERTBN_EXPECTS(it != services_.end());
+  points_[static_cast<std::size_t>(it - services_.begin())].record(elapsed);
+}
+
+bool MonitoringAgent::has_complete_batch() const {
+  return std::all_of(points_.begin(), points_.end(),
+                     [](const MonitoringPoint& p) { return p.count() > 0; });
+}
+
+AgentReport MonitoringAgent::flush() {
+  AgentReport report;
+  report.agent = id_;
+  report.service_means.reserve(points_.size());
+  for (auto& p : points_) {
+    if (p.count() > 0) {
+      report.service_means.emplace_back(p.service(), p.mean());
+    }
+    p.clear();
+  }
+  return report;
+}
+
+ManagementServer::ManagementServer(std::vector<std::string> service_names,
+                                   ModelSchedule schedule)
+    : n_services_(service_names.size()), schedule_(schedule), window_([&] {
+        auto cols = std::move(service_names);
+        cols.push_back("D");
+        return bn::Dataset(std::move(cols));
+      }()) {
+  KERTBN_EXPECTS(n_services_ > 0);
+}
+
+void ManagementServer::ingest_interval(
+    const std::vector<AgentReport>& reports, double response_mean) {
+  std::vector<double> row(n_services_ + 1, 0.0);
+  std::vector<bool> seen(n_services_, false);
+  for (const auto& report : reports) {
+    for (const auto& [service, mean] : report.service_means) {
+      KERTBN_EXPECTS(service < n_services_);
+      KERTBN_EXPECTS(!seen[service]);
+      seen[service] = true;
+      row[service] = mean;
+    }
+  }
+  for (bool s : seen) KERTBN_EXPECTS(s);
+  row[n_services_] = response_mean;
+  window_.add_row(row);
+  ++total_points_;
+  window_.keep_last_rows(schedule_.points_per_window());
+}
+
+}  // namespace kertbn::sim

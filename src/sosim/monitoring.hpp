@@ -1,0 +1,122 @@
+#pragma once
+/// \file monitoring.hpp
+/// The paper's monitoring infrastructure (Section 2): monitoring points
+/// measure elapsed time at middleware components; a monitoring agent on each
+/// machine batches measurements and reports them every T_DATA; the
+/// management server assembles per-interval data points and maintains the
+/// sliding window W = K · T_CON used for model (re)construction.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bn/dataset.hpp"
+#include "common/contract.hpp"
+
+namespace kertbn::sim {
+
+/// The periodic (re)construction scheme of Equations 1-2.
+struct ModelSchedule {
+  double t_data = 10.0;       ///< Data collection interval T_DATA (seconds).
+  std::size_t alpha_model = 12;  ///< Model construction coefficient α.
+  std::size_t k = 3;             ///< Environmental correlation metric K.
+
+  /// T_CON = α_model · T_DATA.
+  double t_con() const { return static_cast<double>(alpha_model) * t_data; }
+  /// W = K · T_CON.
+  double window_seconds() const { return static_cast<double>(k) * t_con(); }
+  /// K · α_model — the number of data points available per construction.
+  std::size_t points_per_window() const { return k * alpha_model; }
+};
+
+/// A monitoring point: accumulates one service's raw elapsed-time
+/// measurements for the current reporting interval.
+class MonitoringPoint {
+ public:
+  explicit MonitoringPoint(std::size_t service) : service_(service) {}
+
+  std::size_t service() const { return service_; }
+  void record(double elapsed) {
+    sum_ += elapsed;
+    ++count_;
+  }
+  std::size_t count() const { return count_; }
+  /// Interval mean; contract-fails when empty.
+  double mean() const {
+    KERTBN_EXPECTS(count_ > 0);
+    return sum_ / static_cast<double>(count_);
+  }
+  void clear() {
+    sum_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t service_;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// One per-interval batched report from an agent.
+struct AgentReport {
+  std::size_t agent = 0;
+  std::vector<std::pair<std::size_t, double>> service_means;
+};
+
+/// A monitoring agent: owns the monitoring points of the services hosted on
+/// one machine, batches their data, and emits an AgentReport per interval.
+class MonitoringAgent {
+ public:
+  MonitoringAgent(std::size_t id, std::vector<std::size_t> services);
+
+  std::size_t id() const { return id_; }
+  const std::vector<std::size_t>& services() const { return services_; }
+
+  /// Records one measurement for \p service (must be hosted here).
+  void record(std::size_t service, double elapsed);
+
+  /// True when every hosted service has at least one measurement batched.
+  bool has_complete_batch() const;
+
+  /// Emits the batched interval means and clears the batch.
+  AgentReport flush();
+
+ private:
+  std::size_t id_;
+  std::vector<std::size_t> services_;
+  std::vector<MonitoringPoint> points_;
+};
+
+/// The management server: assembles agent reports plus end-to-end response
+/// times into data points (one per T_DATA interval) and maintains the
+/// sliding window of Equation 1.
+class ManagementServer {
+ public:
+  /// \p service_names defines dataset columns (a final "D" is appended).
+  ManagementServer(std::vector<std::string> service_names,
+                   ModelSchedule schedule);
+
+  const ModelSchedule& schedule() const { return schedule_; }
+
+  /// Ingests one interval's reports plus the interval-mean response time;
+  /// reports must collectively cover every service exactly once.
+  void ingest_interval(const std::vector<AgentReport>& reports,
+                       double response_mean);
+
+  /// Rows currently in the sliding window (at most K·α).
+  std::size_t window_rows() const { return window_.rows(); }
+
+  /// The current training window as a BN-ready dataset.
+  const bn::Dataset& window() const { return window_; }
+
+  /// Total data points ever ingested.
+  std::size_t total_points() const { return total_points_; }
+
+ private:
+  std::size_t n_services_;
+  ModelSchedule schedule_;
+  bn::Dataset window_;
+  std::size_t total_points_ = 0;
+};
+
+}  // namespace kertbn::sim

@@ -1,0 +1,23 @@
+#include "sosim/service_model.hpp"
+
+#include <algorithm>
+
+namespace kertbn::sim {
+
+double ServiceModel::sample_base(Rng& rng) const {
+  return std::max(rng.normal(base_mean, noise_sigma), 0.001);
+}
+
+double ServiceModel::sample_elapsed(double upstream_deviation_sum,
+                                    double resource_load, Rng& rng) const {
+  const double t = sample_base(rng) +
+                   upstream_coupling * upstream_deviation_sum +
+                   resource_sensitivity * resource_load;
+  return std::max(t, 0.001);
+}
+
+double ServiceModel::expected_elapsed(double expected_resource_load) const {
+  return base_mean + resource_sensitivity * expected_resource_load;
+}
+
+}  // namespace kertbn::sim

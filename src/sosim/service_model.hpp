@@ -1,0 +1,52 @@
+#pragma once
+/// \file service_model.hpp
+/// Stochastic elapsed-time model of a single simulated service. A service's
+/// per-request elapsed time is built from a base demand, a coupling term to
+/// its immediate-upstream services' realized times (the "bottleneck shift"
+/// channel of Section 3.2), a sensitivity to shared-resource load, and
+/// measurement noise.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace kertbn::sim {
+
+/// Per-service elapsed-time parameters (times in seconds).
+struct ServiceModel {
+  /// Mean base demand of the service in isolation.
+  double base_mean = 0.1;
+  /// Std-dev of the service's own stochastic demand.
+  double noise_sigma = 0.02;
+  /// Coupling of this service's elapsed time to each immediate-upstream
+  /// service's deviation from its mean (dimensionless weight per upstream).
+  double upstream_coupling = 0.3;
+  /// Seconds of extra elapsed time per unit of shared-resource load.
+  double resource_sensitivity = 0.02;
+
+  /// Draws the service's own base demand (positive).
+  double sample_base(Rng& rng) const;
+
+  /// Full elapsed time given the summed upstream deviation (Σ (x_u - mu_u))
+  /// and the summed resource load over groups containing the service.
+  /// Clamped to a small positive floor — elapsed times cannot be negative.
+  double sample_elapsed(double upstream_deviation_sum, double resource_load,
+                        Rng& rng) const;
+
+  /// Steady-state mean elapsed time given the expected resource load
+  /// (upstream deviations are zero-mean).
+  double expected_elapsed(double expected_resource_load) const;
+};
+
+/// Shared-resource load model: per-request load drawn once per resource
+/// group and felt by every member service (this is what makes co-hosted
+/// services' elapsed times co-vary).
+struct ResourceLoadModel {
+  double shape = 2.0;  ///< Gamma shape of the per-request load.
+  double scale = 0.5;  ///< Gamma scale.
+
+  double sample(Rng& rng) const { return rng.gamma(shape, scale); }
+  double mean() const { return shape * scale; }
+};
+
+}  // namespace kertbn::sim

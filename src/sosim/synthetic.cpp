@@ -1,0 +1,267 @@
+#include "sosim/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "graph/dag.hpp"
+#include "workflow/ediamond.hpp"
+#include "workflow/generator.hpp"
+
+namespace kertbn::sim {
+
+SyntheticEnvironment::SyntheticEnvironment(wf::Workflow workflow,
+                                           wf::ResourceSharing sharing,
+                                           std::vector<ServiceModel> models,
+                                           ResourceLoadModel load_model,
+                                           double leak_sigma)
+    : workflow_(std::move(workflow)),
+      sharing_(std::move(sharing)),
+      models_(std::move(models)),
+      load_model_(load_model),
+      leak_sigma_(leak_sigma) {
+  KERTBN_EXPECTS(models_.size() == workflow_.service_count());
+  KERTBN_EXPECTS(leak_sigma_ > 0.0);
+
+  const std::size_t n = models_.size();
+  upstream_.resize(n);
+  graph::Dag order_dag(n);
+  for (const auto& [a, b] : workflow_.upstream_edges()) {
+    upstream_[b].push_back(a);
+    order_dag.add_edge(a, b);
+  }
+  sample_order_ = order_dag.topological_order();
+
+  groups_of_.resize(n);
+  for (std::size_t g = 0; g < sharing_.groups.size(); ++g) {
+    for (std::size_t s : sharing_.groups[g].services) {
+      KERTBN_EXPECTS(s < n);
+      groups_of_[s].push_back(g);
+    }
+  }
+  response_expr_ = workflow_.response_time_expr();
+  expected_times_ = expected_service_times();
+}
+
+RequestTrace SyntheticEnvironment::execute_request(Rng& rng,
+                                                   ResponseMode mode) const {
+  const std::size_t n = models_.size();
+  RequestTrace trace;
+  trace.service_times.assign(n, 0.0);
+
+  // One shared load draw per resource group per request: co-hosted services
+  // see the same contention level, which correlates their elapsed times.
+  trace.resource_loads.assign(sharing_.groups.size(), 0.0);
+  std::vector<double>& group_load = trace.resource_loads;
+  for (double& l : group_load) l = load_model_.sample(rng);
+
+  for (std::size_t s : sample_order_) {
+    double upstream_dev = 0.0;
+    for (std::size_t u : upstream_[s]) {
+      upstream_dev += trace.service_times[u] - expected_times_[u];
+    }
+    double load = 0.0;
+    for (std::size_t g : groups_of_[s]) load += group_load[g];
+    trace.service_times[s] =
+        models_[s].sample_elapsed(upstream_dev, load, rng);
+  }
+
+  if (mode == ResponseMode::kStructural) {
+    trace.response_time =
+        std::max(response_expr_->evaluate(trace.service_times) +
+                     rng.normal(0.0, leak_sigma_),
+                 0.001);
+  } else {
+    trace.response_time =
+        std::max(episodic_time(*workflow_.root(), trace.service_times, rng),
+                 0.001);
+  }
+  return trace;
+}
+
+double SyntheticEnvironment::episodic_time(
+    const wf::Node& node, std::span<const double> service_times,
+    Rng& rng) const {
+  switch (node.kind()) {
+    case wf::NodeKind::kActivity:
+      return service_times[node.service_index()];
+    case wf::NodeKind::kSequence: {
+      double t = 0.0;
+      for (const auto& c : node.children()) {
+        t += episodic_time(*c, service_times, rng);
+      }
+      return t;
+    }
+    case wf::NodeKind::kParallel: {
+      double t = 0.0;
+      for (const auto& c : node.children()) {
+        t = std::max(t, episodic_time(*c, service_times, rng));
+      }
+      return t;
+    }
+    case wf::NodeKind::kChoice: {
+      const std::size_t branch = rng.categorical(node.choice_probs());
+      return episodic_time(*node.children()[branch], service_times, rng);
+    }
+    case wf::NodeKind::kLoop: {
+      // Geometric iteration count with continue-probability p (>= 1 run).
+      double t = episodic_time(*node.children().front(), service_times, rng);
+      while (rng.bernoulli(node.repeat_prob())) {
+        t += episodic_time(*node.children().front(), service_times, rng);
+      }
+      return t;
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+  return 0.0;
+}
+
+bn::Dataset SyntheticEnvironment::generate(std::size_t n, Rng& rng,
+                                           ResponseMode mode) const {
+  std::vector<std::string> columns = workflow_.service_names();
+  columns.push_back("D");
+  bn::Dataset data(std::move(columns));
+  std::vector<double> row(models_.size() + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestTrace trace = execute_request(rng, mode);
+    std::copy(trace.service_times.begin(), trace.service_times.end(),
+              row.begin());
+    row.back() = trace.response_time;
+    data.add_row(row);
+  }
+  return data;
+}
+
+bn::Dataset SyntheticEnvironment::generate_with_resources(
+    std::size_t n, Rng& rng, ResponseMode mode) const {
+  std::vector<std::string> columns = workflow_.service_names();
+  for (const auto& group : sharing_.groups) columns.push_back(group.name);
+  columns.push_back("D");
+  bn::Dataset data(std::move(columns));
+  std::vector<double> row(models_.size() + sharing_.groups.size() + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestTrace trace = execute_request(rng, mode);
+    std::copy(trace.service_times.begin(), trace.service_times.end(),
+              row.begin());
+    std::copy(trace.resource_loads.begin(), trace.resource_loads.end(),
+              row.begin() + static_cast<std::ptrdiff_t>(models_.size()));
+    row.back() = trace.response_time;
+    data.add_row(row);
+  }
+  return data;
+}
+
+bn::Dataset SyntheticEnvironment::generate_timeout_counts(
+    std::size_t windows, std::size_t requests_per_window,
+    std::span<const double> timeout_s, Rng& rng) const {
+  KERTBN_EXPECTS(timeout_s.size() == models_.size());
+  KERTBN_EXPECTS(requests_per_window >= 1);
+  std::vector<std::string> columns = workflow_.service_names();
+  columns.push_back("D");
+  bn::Dataset data(std::move(columns));
+
+  std::vector<double> row(models_.size() + 1);
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (std::size_t r = 0; r < requests_per_window; ++r) {
+      const RequestTrace trace =
+          execute_request(rng, ResponseMode::kEpisodic);
+      for (std::size_t s = 0; s < models_.size(); ++s) {
+        if (trace.service_times[s] > timeout_s[s]) {
+          row[s] += 1.0;
+          // Every sub-transaction timeout is one end-to-end timeout
+          // event: the count form of Equation 4, D = Σ X_i exactly.
+          row.back() += 1.0;
+        }
+      }
+    }
+    data.add_row(row);
+  }
+  return data;
+}
+
+std::vector<double> SyntheticEnvironment::expected_service_times() const {
+  std::vector<double> out(models_.size());
+  for (std::size_t s = 0; s < models_.size(); ++s) {
+    double load = 0.0;
+    for (std::size_t g : groups_of_[s]) {
+      (void)g;
+      load += load_model_.mean();
+    }
+    out[s] = models_[s].expected_elapsed(load);
+  }
+  return out;
+}
+
+void SyntheticEnvironment::accelerate_service(std::size_t service,
+                                              double factor) {
+  KERTBN_EXPECTS(service < models_.size());
+  KERTBN_EXPECTS(factor > 0.0);
+  models_[service].base_mean *= factor;
+  models_[service].noise_sigma *= factor;
+  expected_times_ = expected_service_times();
+}
+
+SyntheticEnvironment make_random_environment(std::size_t n_services,
+                                             Rng& rng) {
+  wf::Workflow workflow = wf::make_random_workflow(n_services, rng);
+
+  // Co-locate services on "machines" of 2-6 services each.
+  wf::ResourceSharing sharing;
+  std::vector<std::size_t> pool = rng.permutation(n_services);
+  std::size_t start = 0;
+  std::size_t machine = 0;
+  while (start < pool.size()) {
+    const std::size_t take = std::min<std::size_t>(
+        2 + rng.uniform_index(5), pool.size() - start);
+    wf::ResourceGroup group;
+    group.name = "cpu_host_" + std::to_string(machine++);
+    group.services.assign(pool.begin() + static_cast<std::ptrdiff_t>(start),
+                          pool.begin() +
+                              static_cast<std::ptrdiff_t>(start + take));
+    sharing.groups.push_back(std::move(group));
+    start += take;
+  }
+
+  std::vector<ServiceModel> models(n_services);
+  for (auto& m : models) {
+    m.base_mean = rng.uniform(0.05, 0.5);
+    m.noise_sigma = m.base_mean * rng.uniform(0.1, 0.3);
+    m.upstream_coupling = rng.uniform(0.1, 0.5);
+    m.resource_sensitivity = m.base_mean * rng.uniform(0.05, 0.2);
+  }
+  return SyntheticEnvironment(std::move(workflow), std::move(sharing),
+                              std::move(models));
+}
+
+SyntheticEnvironment make_ediamond_environment() {
+  using S = wf::EdiamondServices;
+  wf::Workflow workflow = wf::make_ediamond_workflow();
+
+  // Host layout of Section 5: image_list and work_list share the Linux
+  // server; each locator/dai pair shares a site machine; the remote pair
+  // additionally shares the forwarded network path.
+  wf::ResourceSharing sharing;
+  sharing.groups.push_back(
+      {"linux_server_cpu", {S::kImageList, S::kWorkList}});
+  sharing.groups.push_back(
+      {"local_site_host", {S::kImageLocatorLocal, S::kOgsaDaiLocal}});
+  sharing.groups.push_back(
+      {"remote_site_host", {S::kImageLocatorRemote, S::kOgsaDaiRemote}});
+  sharing.groups.push_back(
+      {"remote_link", {S::kImageLocatorRemote, S::kOgsaDaiRemote}});
+
+  std::vector<ServiceModel> models(S::kCount);
+  models[S::kImageList] = {0.12, 0.020, 0.25, 0.015};
+  models[S::kWorkList] = {0.10, 0.018, 0.30, 0.015};
+  models[S::kImageLocatorLocal] = {0.15, 0.025, 0.30, 0.020};
+  // The remote site sits behind imposed request forwarding: higher base
+  // latency and more variance than its local twin.
+  models[S::kImageLocatorRemote] = {0.28, 0.060, 0.35, 0.030};
+  models[S::kOgsaDaiLocal] = {0.22, 0.035, 0.30, 0.025};
+  models[S::kOgsaDaiRemote] = {0.34, 0.070, 0.35, 0.035};
+
+  return SyntheticEnvironment(std::move(workflow), std::move(sharing),
+                              std::move(models));
+}
+
+}  // namespace kertbn::sim

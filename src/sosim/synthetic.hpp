@@ -1,0 +1,126 @@
+#pragma once
+/// \file synthetic.hpp
+/// The Section 4 simulator: "simulated services receive and send calls among
+/// each other and randomly generate a processing delay upon receiving calls.
+/// They are assembled together by different workflows to constitute
+/// simulated applications. The simulated delays (and response times) are
+/// used to form training and testing data sets."
+///
+/// SyntheticEnvironment draws one (X_1..X_n, D) trace per request:
+/// per-request shared-resource loads induce correlation between co-hosted
+/// services, upstream coupling propagates deviations down the workflow, and
+/// D is either the structural f(X) + leak noise (Equation 4) or the actual
+/// episodic path time.
+
+#include <vector>
+
+#include "bn/dataset.hpp"
+#include "common/rng.hpp"
+#include "sosim/service_model.hpp"
+#include "workflow/resource.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::sim {
+
+/// How the environment realizes the end-to-end response time.
+enum class ResponseMode {
+  /// D = f(X) + N(0, leak_sigma²): Equation 4 with the Cardoso reduction.
+  kStructural,
+  /// D is the realized execution-path time: choices take one branch, loops
+  /// actually iterate. Deviates from f(X) exactly where the paper's "leak"
+  /// does — used by the leak-sensitivity ablation.
+  kEpisodic,
+};
+
+/// One end-to-end request observation.
+struct RequestTrace {
+  std::vector<double> service_times;  ///< X_i per service (seconds).
+  double response_time = 0.0;         ///< D (seconds).
+  /// Per-resource-group load realized for this request (the contention
+  /// level co-hosted services shared) — exposed for the resource-node
+  /// KERT-BN variant.
+  std::vector<double> resource_loads;
+};
+
+/// A simulated service-oriented application.
+class SyntheticEnvironment {
+ public:
+  /// \p models must have one entry per workflow service.
+  SyntheticEnvironment(wf::Workflow workflow, wf::ResourceSharing sharing,
+                       std::vector<ServiceModel> models,
+                       ResourceLoadModel load_model = {},
+                       double leak_sigma = 0.005);
+
+  const wf::Workflow& workflow() const { return workflow_; }
+  const wf::ResourceSharing& sharing() const { return sharing_; }
+  const std::vector<ServiceModel>& models() const { return models_; }
+  std::size_t service_count() const { return models_.size(); }
+  double leak_sigma() const { return leak_sigma_; }
+
+  /// Simulates one request.
+  RequestTrace execute_request(Rng& rng,
+                               ResponseMode mode = ResponseMode::kStructural) const;
+
+  /// Simulates \p n requests into a BN-ready dataset with columns
+  /// X_0..X_{n-1} (service names) followed by "D". This is the layout the
+  /// KERT/NRT builders expect: node i = service i, node n = D.
+  bn::Dataset generate(std::size_t n, Rng& rng,
+                       ResponseMode mode = ResponseMode::kStructural) const;
+
+  /// Extended layout for the resource-node KERT-BN variant (Section 3.2's
+  /// "services forming the parents to a KERT-BN node embodying the
+  /// resource they share"): columns are services, then one utilization
+  /// column per resource group (named after the group), then "D".
+  bn::Dataset generate_with_resources(
+      std::size_t n, Rng& rng,
+      ResponseMode mode = ResponseMode::kStructural) const;
+
+  /// Timeout-count metric windows (Section 3.3's count form of Equation 4:
+  /// D = Σ X_i). Each dataset row aggregates \p requests_per_window
+  /// requests: X_i counts how many exceeded service i's timeout
+  /// \p timeout_s[i]; D counts all sub-transaction timeouts end-to-end,
+  /// which the workflow reduction makes exactly the sum.
+  bn::Dataset generate_timeout_counts(std::size_t windows,
+                                      std::size_t requests_per_window,
+                                      std::span<const double> timeout_s,
+                                      Rng& rng) const;
+
+  /// Expected elapsed time per service (for priors and scenario design).
+  std::vector<double> expected_service_times() const;
+
+  /// Rescales one service's base demand: factor < 1 accelerates (pAccel's
+  /// "reduce X4 to 90% of what it was"), factor > 1 degrades (e.g. remote
+  /// site contention). factor must be > 0.
+  void accelerate_service(std::size_t service, double factor);
+
+ private:
+  /// Episodic walk of the workflow tree; returns path response time.
+  double episodic_time(const wf::Node& node,
+                       std::span<const double> service_times, Rng& rng) const;
+
+  wf::Workflow workflow_;
+  wf::ResourceSharing sharing_;
+  std::vector<ServiceModel> models_;
+  ResourceLoadModel load_model_;
+  double leak_sigma_;
+
+  // Derived: per-service upstream lists and a service sampling order.
+  std::vector<std::vector<std::size_t>> upstream_;
+  std::vector<std::size_t> sample_order_;
+  // groups_of_[s] = indices into sharing_.groups containing service s.
+  std::vector<std::vector<std::size_t>> groups_of_;
+  wf::Expr::Ptr response_expr_;
+  std::vector<double> expected_times_;  // cache of expected_service_times()
+};
+
+/// Randomly parameterized environment over \p n_services (random workflow,
+/// random co-location groups, random service models) — the population the
+/// Section 4 sweeps draw from.
+SyntheticEnvironment make_random_environment(std::size_t n_services, Rng& rng);
+
+/// The eDiaMoND test-bed stand-in (Section 5): the Figure 1 workflow, the
+/// paper's host layout (four AIX machines + one dual-CPU Linux server,
+/// local/remote sites), heavier remote latencies from request forwarding.
+SyntheticEnvironment make_ediamond_environment();
+
+}  // namespace kertbn::sim

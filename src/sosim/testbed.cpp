@@ -1,0 +1,90 @@
+#include "sosim/testbed.hpp"
+
+#include "common/contract.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::sim {
+MonitoredTestbed::MonitoredTestbed(DesEnvironment environment, HostMap hosts,
+                                   ModelSchedule schedule)
+    : env_(std::move(environment)),
+      hosts_(std::move(hosts)),
+      server_(env_.workflow().service_names(), schedule) {
+  KERTBN_EXPECTS(hosts_.host_of.size() == env_.workflow().service_count());
+  std::vector<std::vector<std::size_t>> per_host(hosts_.host_count);
+  for (std::size_t s = 0; s < hosts_.host_of.size(); ++s) {
+    per_host[hosts_.host_of[s]].push_back(s);
+  }
+  agent_of_host_.assign(hosts_.host_count,
+                        static_cast<std::size_t>(-1));
+  for (std::size_t h = 0; h < per_host.size(); ++h) {
+    if (per_host[h].empty()) continue;
+    agent_of_host_[h] = agents_.size();
+    agents_.emplace_back(h, per_host[h]);
+  }
+}
+
+bool MonitoredTestbed::advance_interval() {
+  env_.run_for(server_.schedule().t_data);
+
+  // Route the interval's completed traces through the monitoring points.
+  double response_sum = 0.0;
+  std::size_t response_count = 0;
+  const auto& traces = env_.traces();
+  for (; next_trace_ < traces.size(); ++next_trace_) {
+    const auto& trace = traces[next_trace_];
+    response_sum += trace.response_time;
+    ++response_count;
+    for (std::size_t s = 0; s < trace.service_times.size(); ++s) {
+      if (!trace.service_times[s].has_value()) continue;
+      agents_[agent_of_host_[hosts_.host_of[s]]].record(
+          s, *trace.service_times[s]);
+    }
+  }
+
+  // A data point needs full coverage: every agent must have heard from
+  // every hosted service this interval (the paper's dComp handles gaps;
+  // the server itself only assembles complete rows).
+  bool complete = response_count > 0;
+  for (const auto& agent : agents_) {
+    complete = complete && agent.has_complete_batch();
+  }
+  std::vector<AgentReport> reports;
+  reports.reserve(agents_.size());
+  for (auto& agent : agents_) {
+    reports.push_back(agent.flush());  // clears batches either way
+  }
+  if (!complete) return false;
+  server_.ingest_interval(reports,
+                          response_sum / double(response_count));
+  return true;
+}
+
+void MonitoredTestbed::advance_construction_intervals(
+    std::size_t n, const std::function<void(double)>& on_construction_due) {
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < server_.schedule().alpha_model; ++i) {
+      advance_interval();
+    }
+    if (on_construction_due) on_construction_due(env_.now());
+  }
+}
+
+MonitoredTestbed make_monitored_ediamond(double arrival_rate,
+                                         std::uint64_t seed,
+                                         ModelSchedule schedule) {
+  DesEnvironment env = make_ediamond_des_environment(arrival_rate, seed);
+  // Mirror the host layout used by the DES factory.
+  using S = wf::EdiamondServices;
+  HostMap hosts;
+  hosts.host_count = 5;
+  hosts.host_of.assign(S::kCount, 0);
+  hosts.host_of[S::kImageList] = 0;
+  hosts.host_of[S::kWorkList] = 0;
+  hosts.host_of[S::kImageLocatorLocal] = 1;
+  hosts.host_of[S::kOgsaDaiLocal] = 2;
+  hosts.host_of[S::kImageLocatorRemote] = 3;
+  hosts.host_of[S::kOgsaDaiRemote] = 4;
+  return MonitoredTestbed(std::move(env), std::move(hosts), schedule);
+}
+
+}  // namespace kertbn::sim

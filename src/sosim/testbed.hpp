@@ -1,0 +1,60 @@
+#pragma once
+/// \file testbed.hpp
+/// The full Section 2 stack in one object: a discrete-event service
+/// environment, per-machine monitoring agents batching measurements every
+/// T_DATA, the management server maintaining the sliding window
+/// W = K · T_CON, and hooks for a model manager to rebuild on the T_CON
+/// grid. This is the "reference deployment" examples and integration tests
+/// drive; the pieces remain usable separately.
+
+#include <functional>
+
+#include "sosim/des_env.hpp"
+#include "sosim/monitoring.hpp"
+
+namespace kertbn::sim {
+
+/// A DES environment wired to the monitoring infrastructure.
+class MonitoredTestbed {
+ public:
+  /// Takes ownership of \p environment; one MonitoringAgent is stood up
+  /// per host machine of the environment's host map.
+  MonitoredTestbed(DesEnvironment environment, HostMap hosts,
+                   ModelSchedule schedule);
+
+  const ModelSchedule& schedule() const { return server_.schedule(); }
+  DesEnvironment& environment() { return env_; }
+  const ManagementServer& server() const { return server_; }
+
+  /// Advances the test-bed by exactly one data-collection interval
+  /// (T_DATA): runs the DES, routes each completed request's per-service
+  /// elapsed times through the owning machine's monitoring agent, then
+  /// flushes every agent's batch to the management server as one data
+  /// point. Intervals with no complete coverage are skipped (no row).
+  /// Returns true when a data point was ingested.
+  bool advance_interval();
+
+  /// Advances \p n construction intervals (alpha data intervals each) and
+  /// invokes \p on_construction_due(now) at every T_CON boundary.
+  void advance_construction_intervals(
+      std::size_t n, const std::function<void(double)>& on_construction_due);
+
+  /// The current training window (at most K·alpha rows).
+  const bn::Dataset& window() const { return server_.window(); }
+  double now() const { return env_.now(); }
+
+ private:
+  DesEnvironment env_;
+  HostMap hosts_;
+  std::vector<MonitoringAgent> agents_;
+  std::vector<std::size_t> agent_of_host_;  ///< host -> agents_ index.
+  ManagementServer server_;
+  std::size_t next_trace_ = 0;  ///< First trace not yet routed to agents.
+};
+
+/// The eDiaMoND test-bed with monitoring, at the Section 5 schedule.
+MonitoredTestbed make_monitored_ediamond(double arrival_rate,
+                                         std::uint64_t seed,
+                                         ModelSchedule schedule);
+
+}  // namespace kertbn::sim

@@ -1,0 +1,31 @@
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::wf {
+
+Workflow make_ediamond_workflow() {
+  using S = EdiamondServices;
+  std::vector<std::string> names(S::kCount);
+  names[S::kImageList] = "image_list";
+  names[S::kWorkList] = "work_list";
+  names[S::kImageLocatorLocal] = "image_locator_local";
+  names[S::kImageLocatorRemote] = "image_locator_remote";
+  names[S::kOgsaDaiLocal] = "ogsa_dai_local";
+  names[S::kOgsaDaiRemote] = "ogsa_dai_remote";
+
+  auto local_branch = Node::sequence({
+      Node::activity(S::kImageLocatorLocal),
+      Node::activity(S::kOgsaDaiLocal),
+  });
+  auto remote_branch = Node::sequence({
+      Node::activity(S::kImageLocatorRemote),
+      Node::activity(S::kOgsaDaiRemote),
+  });
+  auto root = Node::sequence({
+      Node::activity(S::kImageList),
+      Node::activity(S::kWorkList),
+      Node::parallel({local_branch, remote_branch}),
+  });
+  return Workflow(std::move(names), std::move(root));
+}
+
+}  // namespace kertbn::wf

@@ -1,0 +1,31 @@
+#pragma once
+/// \file ediamond.hpp
+/// The paper's reference scenario (Figure 1): the eDiaMoND mammography Grid.
+/// A radiologist's request flows through image_list and work_list, then
+/// fans out in parallel to a local and a remote site, each running an
+/// image_locator followed by an ogsa_dai database wrapper. The reduction of
+/// this workflow is the paper's running example:
+///   D = X1 + X2 + max(X3 + X5, X4 + X6).
+
+#include "workflow/workflow.hpp"
+
+namespace kertbn::wf {
+
+/// Service indices in the eDiaMoND workflow (matching the paper's X1..X6).
+struct EdiamondServices {
+  static constexpr std::size_t kImageList = 0;           ///< X1
+  static constexpr std::size_t kWorkList = 1;            ///< X2
+  static constexpr std::size_t kImageLocatorLocal = 2;   ///< X3
+  static constexpr std::size_t kImageLocatorRemote = 3;  ///< X4
+  static constexpr std::size_t kOgsaDaiLocal = 4;        ///< X5
+  static constexpr std::size_t kOgsaDaiRemote = 5;       ///< X6
+  static constexpr std::size_t kCount = 6;
+};
+
+/// Builds the 6-service eDiaMoND workflow of Figure 1:
+/// sequence(image_list, work_list,
+///          parallel(sequence(image_locator_local, ogsa_dai_local),
+///                   sequence(image_locator_remote, ogsa_dai_remote))).
+Workflow make_ediamond_workflow();
+
+}  // namespace kertbn::wf

@@ -1,0 +1,86 @@
+#include "workflow/generator.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace kertbn::wf {
+namespace {
+
+/// Recursively composes the given (already shuffled) services into a tree.
+Node::Ptr compose(std::span<const std::size_t> services, Rng& rng,
+                  const GeneratorOptions& opts) {
+  KERTBN_EXPECTS(!services.empty());
+  if (services.size() == 1) return Node::activity(services.front());
+
+  Node::Ptr node;
+  const std::size_t pick = rng.categorical(
+      {opts.sequence_weight, opts.parallel_weight, opts.choice_weight});
+
+  // Split the services into 2..max_fanout contiguous groups.
+  const std::size_t max_groups =
+      std::min<std::size_t>(opts.max_fanout, services.size());
+  const std::size_t groups =
+      2 + (max_groups > 2 ? rng.uniform_index(max_groups - 1) : 0);
+  std::vector<std::span<const std::size_t>> parts;
+  std::size_t start = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t remaining_groups = groups - g;
+    const std::size_t remaining = services.size() - start;
+    std::size_t take = remaining - (remaining_groups - 1);
+    if (remaining_groups > 1 && take > 1) {
+      take = 1 + rng.uniform_index(take);
+    }
+    parts.push_back(services.subspan(start, take));
+    start += take;
+  }
+  KERTBN_ASSERT(start == services.size());
+
+  std::vector<Node::Ptr> children;
+  children.reserve(parts.size());
+  for (const auto& p : parts) children.push_back(compose(p, rng, opts));
+
+  switch (pick) {
+    case 0:
+      node = Node::sequence(std::move(children));
+      break;
+    case 1:
+      node = Node::parallel(std::move(children));
+      break;
+    default: {
+      // Random branch probabilities (normalized Dirichlet-ish draw).
+      std::vector<double> probs(children.size());
+      double total = 0.0;
+      for (double& p : probs) {
+        p = 0.05 + rng.uniform();
+        total += p;
+      }
+      for (double& p : probs) p /= total;
+      node = Node::choice(std::move(children), std::move(probs));
+      break;
+    }
+  }
+  if (rng.bernoulli(opts.loop_probability)) {
+    node = Node::loop(std::move(node), opts.loop_repeat_prob);
+  }
+  return node;
+}
+
+}  // namespace
+
+Workflow make_random_workflow(std::size_t n_services, Rng& rng,
+                              const GeneratorOptions& opts) {
+  KERTBN_EXPECTS(n_services >= 1);
+  std::vector<std::string> names;
+  names.reserve(n_services);
+  for (std::size_t i = 0; i < n_services; ++i) {
+    names.push_back("svc_" + std::to_string(i));
+  }
+  std::vector<std::size_t> order(n_services);
+  for (std::size_t i = 0; i < n_services; ++i) order[i] = i;
+  rng.shuffle(order);
+  Node::Ptr root = compose(order, rng, opts);
+  return Workflow(std::move(names), std::move(root));
+}
+
+}  // namespace kertbn::wf

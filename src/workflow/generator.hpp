@@ -1,0 +1,31 @@
+#pragma once
+/// \file generator.hpp
+/// Random workflow generation for the Section 4 simulations ("simulated
+/// services ... are assembled together by different workflows to constitute
+/// simulated applications"). Generates structured compositions over n
+/// services from the four constructs, with configurable construct mix.
+
+#include "common/rng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::wf {
+
+struct GeneratorOptions {
+  /// Relative odds of composing a block as sequence / parallel / choice.
+  double sequence_weight = 0.55;
+  double parallel_weight = 0.30;
+  double choice_weight = 0.15;
+  /// Probability that a generated block is wrapped in a loop.
+  double loop_probability = 0.05;
+  /// Loop repeat probability when a loop is created.
+  double loop_repeat_prob = 0.3;
+  /// Maximum branches of a parallel/choice split.
+  std::size_t max_fanout = 4;
+};
+
+/// Generates a random workflow that uses each of services 0..n-1 exactly
+/// once. Deterministic given \p rng state.
+Workflow make_random_workflow(std::size_t n_services, Rng& rng,
+                              const GeneratorOptions& opts = {});
+
+}  // namespace kertbn::wf

@@ -1,0 +1,22 @@
+#include "workflow/resource.hpp"
+
+#include <set>
+
+namespace kertbn::wf {
+
+std::vector<std::pair<std::size_t, std::size_t>>
+ResourceSharing::sharing_pairs() const {
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& g : groups) {
+    for (std::size_t i = 0; i < g.services.size(); ++i) {
+      for (std::size_t j = i + 1; j < g.services.size(); ++j) {
+        const std::size_t a = std::min(g.services[i], g.services[j]);
+        const std::size_t b = std::max(g.services[i], g.services[j]);
+        if (a != b) pairs.insert({a, b});
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+}  // namespace kertbn::wf

@@ -1,0 +1,29 @@
+#pragma once
+/// \file resource.hpp
+/// Resource-sharing knowledge (Section 3.2, second bullet): services hosted
+/// on the same machine / network segment share CPU, memory or bandwidth, so
+/// their elapsed times co-vary. The knowledge is recorded as named groups of
+/// service indices; the KERT-BN builder turns each group into dependency
+/// structure.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kertbn::wf {
+
+/// One shared resource and the services contending for it.
+struct ResourceGroup {
+  std::string name;                   ///< e.g. "cpu_host_local"
+  std::vector<std::size_t> services;  ///< Service indices sharing it.
+};
+
+/// The full resource-sharing map of an environment.
+struct ResourceSharing {
+  std::vector<ResourceGroup> groups;
+
+  /// All unordered service pairs that share at least one resource.
+  std::vector<std::pair<std::size_t, std::size_t>> sharing_pairs() const;
+};
+
+}  // namespace kertbn::wf

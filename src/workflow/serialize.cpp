@@ -1,0 +1,177 @@
+#include "workflow/serialize.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace kertbn::wf {
+namespace {
+
+void write_node(const Node& node, std::ostringstream& out) {
+  switch (node.kind()) {
+    case NodeKind::kActivity:
+      out << "(act " << node.service_index() << ")";
+      return;
+    case NodeKind::kSequence:
+    case NodeKind::kParallel:
+      out << (node.kind() == NodeKind::kSequence ? "(seq" : "(par");
+      for (const auto& c : node.children()) {
+        out << ' ';
+        write_node(*c, out);
+      }
+      out << ')';
+      return;
+    case NodeKind::kChoice:
+      out << "(choice";
+      for (std::size_t i = 0; i < node.children().size(); ++i) {
+        out << ' ' << node.choice_probs()[i] << ' ';
+        write_node(*node.children()[i], out);
+      }
+      out << ')';
+      return;
+    case NodeKind::kLoop:
+      out << "(loop " << node.repeat_prob() << ' ';
+      write_node(*node.children().front(), out);
+      out << ')';
+      return;
+  }
+  KERTBN_ASSERT(false && "unreachable");
+}
+
+/// Minimal recursive-descent parser over a token cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Node::Ptr parse() {
+    Node::Ptr node = parse_node();
+    skip_ws();
+    KERTBN_EXPECTS(pos_ == text_.size() && "trailing input");
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    KERTBN_EXPECTS(pos_ < text_.size() && text_[pos_] == c);
+    ++pos_;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '(' &&
+           text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    KERTBN_EXPECTS(pos_ > start && "expected token");
+    return text_.substr(start, pos_ - start);
+  }
+
+  double number() {
+    const std::string w = word();
+    std::size_t consumed = 0;
+    const double v = std::stod(w, &consumed);
+    KERTBN_EXPECTS(consumed == w.size() && "expected number");
+    return v;
+  }
+
+  Node::Ptr parse_node() {
+    expect('(');
+    const std::string head = word();
+    if (head == "act") {
+      const auto svc = static_cast<std::size_t>(number());
+      expect(')');
+      return Node::activity(svc);
+    }
+    if (head == "seq" || head == "par") {
+      std::vector<Node::Ptr> children;
+      while (!peek(')')) children.push_back(parse_node());
+      expect(')');
+      KERTBN_EXPECTS(!children.empty());
+      return head == "seq" ? Node::sequence(std::move(children))
+                           : Node::parallel(std::move(children));
+    }
+    if (head == "choice") {
+      std::vector<Node::Ptr> children;
+      std::vector<double> probs;
+      while (!peek(')')) {
+        probs.push_back(number());
+        children.push_back(parse_node());
+      }
+      expect(')');
+      return Node::choice(std::move(children), std::move(probs));
+    }
+    if (head == "loop") {
+      const double repeat = number();
+      Node::Ptr body = parse_node();
+      expect(')');
+      return Node::loop(std::move(body), repeat);
+    }
+    KERTBN_EXPECTS(false && "unknown construct");
+    return nullptr;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string node_to_text(const Node& node) {
+  std::ostringstream out;
+  out.precision(17);
+  write_node(node, out);
+  return out.str();
+}
+
+Node::Ptr node_from_text(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::string workflow_to_text(const Workflow& workflow) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "workflow " << workflow.service_count() << '\n';
+  for (std::size_t s = 0; s < workflow.service_count(); ++s) {
+    out << "name " << s << ' ' << workflow.service_names()[s] << '\n';
+  }
+  out << "tree " << node_to_text(*workflow.root()) << '\n';
+  return out.str();
+}
+
+Workflow workflow_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  std::size_t n = 0;
+  in >> keyword >> n;
+  KERTBN_EXPECTS(keyword == "workflow");
+  std::vector<std::string> names(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t idx = 0;
+    in >> keyword >> idx;
+    KERTBN_EXPECTS(keyword == "name" && idx < n);
+    in >> names[idx];
+  }
+  in >> keyword;
+  KERTBN_EXPECTS(keyword == "tree");
+  std::string rest;
+  std::getline(in, rest, '\0');
+  return Workflow(std::move(names), node_from_text(rest));
+}
+
+}  // namespace kertbn::wf

@@ -1,0 +1,36 @@
+#pragma once
+/// \file serialize.hpp
+/// Text serialization of workflow composition trees and workflows, using a
+/// compact s-expression form:
+///
+///   (act 3)
+///   (seq <child> <child> ...)
+///   (par <child> <child> ...)
+///   (choice <p1> <child1> <p2> <child2> ...)
+///   (loop <repeat_prob> <child>)
+///
+/// Used by the model save/load layer (the workflow is part of the
+/// knowledge a persisted KERT-BN must carry to rebuild its deterministic
+/// response CPD).
+
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace kertbn::wf {
+
+/// Renders a composition tree as an s-expression.
+std::string node_to_text(const Node& node);
+
+/// Parses an s-expression produced by node_to_text. Contract-fails on
+/// malformed input.
+Node::Ptr node_from_text(const std::string& text);
+
+/// Renders a whole workflow: first line "workflow <n>", then one
+/// "name <i> <service-name>" line per service, then "tree <s-expr>".
+std::string workflow_to_text(const Workflow& workflow);
+
+/// Parses workflow_to_text output.
+Workflow workflow_from_text(const std::string& text);
+
+}  // namespace kertbn::wf

@@ -1,0 +1,225 @@
+#include "workflow/workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace kertbn::wf {
+
+Node::Ptr Node::activity(std::size_t service_index) {
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kActivity));
+  n->service_ = service_index;
+  return n;
+}
+
+Node::Ptr Node::sequence(std::vector<Ptr> children) {
+  KERTBN_EXPECTS(!children.empty());
+  if (children.size() == 1) return children.front();
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kSequence));
+  n->children_ = std::move(children);
+  return n;
+}
+
+Node::Ptr Node::parallel(std::vector<Ptr> children) {
+  KERTBN_EXPECTS(!children.empty());
+  if (children.size() == 1) return children.front();
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kParallel));
+  n->children_ = std::move(children);
+  return n;
+}
+
+Node::Ptr Node::choice(std::vector<Ptr> children, std::vector<double> probs) {
+  KERTBN_EXPECTS(!children.empty());
+  KERTBN_EXPECTS(children.size() == probs.size());
+  double total = 0.0;
+  for (double p : probs) {
+    KERTBN_EXPECTS(p >= 0.0);
+    total += p;
+  }
+  KERTBN_EXPECTS(std::abs(total - 1.0) < 1e-9);
+  if (children.size() == 1) return children.front();
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kChoice));
+  n->children_ = std::move(children);
+  n->probs_ = std::move(probs);
+  return n;
+}
+
+Node::Ptr Node::loop(Ptr body, double repeat_prob) {
+  KERTBN_EXPECTS(body != nullptr);
+  KERTBN_EXPECTS(repeat_prob >= 0.0 && repeat_prob < 1.0);
+  if (repeat_prob == 0.0) return body;
+  auto n = std::shared_ptr<Node>(new Node(NodeKind::kLoop));
+  n->children_.push_back(std::move(body));
+  n->repeat_prob_ = repeat_prob;
+  return n;
+}
+
+std::size_t Node::service_index() const {
+  KERTBN_EXPECTS(kind_ == NodeKind::kActivity);
+  return service_;
+}
+
+double Node::repeat_prob() const {
+  KERTBN_EXPECTS(kind_ == NodeKind::kLoop);
+  return repeat_prob_;
+}
+
+Workflow::Workflow(std::vector<std::string> service_names, Node::Ptr root)
+    : names_(std::move(service_names)), root_(std::move(root)) {
+  KERTBN_EXPECTS(root_ != nullptr);
+  // Every referenced service must exist in the registry.
+  const auto refs = response_time_expr()->referenced_services();
+  for (std::size_t s : refs) {
+    KERTBN_EXPECTS(s < names_.size());
+  }
+}
+
+namespace {
+
+Expr::Ptr reduce_time(const Node& node) {
+  switch (node.kind()) {
+    case NodeKind::kActivity:
+      return Expr::service(node.service_index());
+    case NodeKind::kSequence: {
+      std::vector<Expr::Ptr> parts;
+      parts.reserve(node.children().size());
+      for (const auto& c : node.children()) parts.push_back(reduce_time(*c));
+      return Expr::sum(std::move(parts));
+    }
+    case NodeKind::kParallel: {
+      std::vector<Expr::Ptr> parts;
+      parts.reserve(node.children().size());
+      for (const auto& c : node.children()) parts.push_back(reduce_time(*c));
+      return Expr::max(std::move(parts));
+    }
+    case NodeKind::kChoice: {
+      std::vector<Expr::Ptr> parts;
+      parts.reserve(node.children().size());
+      for (const auto& c : node.children()) parts.push_back(reduce_time(*c));
+      return Expr::blend(std::move(parts), node.choice_probs());
+    }
+    case NodeKind::kLoop: {
+      // Geometric number of body executions with continue-probability p:
+      // expected iterations 1/(1-p) (Cardoso's loop reduction).
+      const double expected = 1.0 / (1.0 - node.repeat_prob());
+      return Expr::scale(expected, reduce_time(*node.children().front()));
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+  return nullptr;
+}
+
+void entries_of(const Node& node, std::set<std::size_t>& out);
+void exits_of(const Node& node, std::set<std::size_t>& out);
+
+void entries_of(const Node& node, std::set<std::size_t>& out) {
+  switch (node.kind()) {
+    case NodeKind::kActivity:
+      out.insert(node.service_index());
+      return;
+    case NodeKind::kSequence:
+      entries_of(*node.children().front(), out);
+      return;
+    case NodeKind::kParallel:
+    case NodeKind::kChoice:
+      for (const auto& c : node.children()) entries_of(*c, out);
+      return;
+    case NodeKind::kLoop:
+      entries_of(*node.children().front(), out);
+      return;
+  }
+}
+
+void exits_of(const Node& node, std::set<std::size_t>& out) {
+  switch (node.kind()) {
+    case NodeKind::kActivity:
+      out.insert(node.service_index());
+      return;
+    case NodeKind::kSequence:
+      exits_of(*node.children().back(), out);
+      return;
+    case NodeKind::kParallel:
+    case NodeKind::kChoice:
+      for (const auto& c : node.children()) exits_of(*c, out);
+      return;
+    case NodeKind::kLoop:
+      exits_of(*node.children().front(), out);
+      return;
+  }
+}
+
+void collect_edges(const Node& node,
+                   std::set<std::pair<std::size_t, std::size_t>>& edges) {
+  if (node.kind() == NodeKind::kSequence) {
+    const auto& children = node.children();
+    for (std::size_t i = 0; i + 1 < children.size(); ++i) {
+      std::set<std::size_t> ex;
+      std::set<std::size_t> en;
+      exits_of(*children[i], ex);
+      entries_of(*children[i + 1], en);
+      for (std::size_t a : ex) {
+        for (std::size_t b : en) {
+          if (a != b) edges.insert({a, b});
+        }
+      }
+    }
+  }
+  for (const auto& c : node.children()) collect_edges(*c, edges);
+}
+
+void collect_services(const Node& node, std::set<std::size_t>& out) {
+  if (node.kind() == NodeKind::kActivity) {
+    out.insert(node.service_index());
+    return;
+  }
+  for (const auto& c : node.children()) collect_services(*c, out);
+}
+
+}  // namespace
+
+Expr::Ptr Workflow::response_time_expr() const { return reduce_time(*root_); }
+
+Expr::Ptr Workflow::count_expr() const {
+  std::set<std::size_t> services;
+  collect_services(*root_, services);
+  std::vector<Expr::Ptr> parts;
+  parts.reserve(services.size());
+  for (std::size_t s : services) parts.push_back(Expr::service(s));
+  return Expr::sum(std::move(parts));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Workflow::upstream_edges()
+    const {
+  std::set<std::pair<std::size_t, std::size_t>> edges;
+  collect_edges(*root_, edges);
+  return {edges.begin(), edges.end()};
+}
+
+std::vector<std::size_t> Workflow::entry_services() const {
+  std::set<std::size_t> out;
+  entries_of(*root_, out);
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::size_t> Workflow::exit_services() const {
+  std::set<std::size_t> out;
+  exits_of(*root_, out);
+  return {out.begin(), out.end()};
+}
+
+std::string Workflow::describe() const {
+  std::ostringstream out;
+  out << "Workflow over " << names_.size() << " services\n";
+  out << "  f(X) = " << response_time_expr()->to_string(names_) << '\n';
+  out << "  upstream edges:";
+  for (const auto& [a, b] : upstream_edges()) {
+    out << ' ' << names_[a] << "->" << names_[b];
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace kertbn::wf

@@ -1,0 +1,88 @@
+#pragma once
+/// \file workflow.hpp
+/// Workflow model built from the paper's four constructs — sequence,
+/// parallel, choice, loop — over service activities. A workflow yields:
+///   * the deterministic response-time function f(X) (Cardoso reduction),
+///   * the count-metric function Σ Xᵢ (timeout-count form of Section 3.3),
+///   * the immediate-upstream service edges that define the KERT-BN
+///     structure (Section 3.2),
+///   * execution semantics used by the simulator's workflow engine.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workflow/expr.hpp"
+
+namespace kertbn::wf {
+
+/// Node kinds of the workflow composition tree.
+enum class NodeKind { kActivity, kSequence, kParallel, kChoice, kLoop };
+
+/// A node in the workflow tree.
+class Node {
+ public:
+  using Ptr = std::shared_ptr<const Node>;
+
+  /// Leaf activity executing service \p service_index.
+  static Ptr activity(std::size_t service_index);
+  static Ptr sequence(std::vector<Ptr> children);
+  static Ptr parallel(std::vector<Ptr> children);
+  /// Branch i is taken with probability probs[i] (must sum to 1).
+  static Ptr choice(std::vector<Ptr> children, std::vector<double> probs);
+  /// Body repeats while a biased coin (prob \p repeat_prob < 1) comes up
+  /// heads; expected iterations 1/(1−p).
+  static Ptr loop(Ptr body, double repeat_prob);
+
+  NodeKind kind() const { return kind_; }
+  std::size_t service_index() const;
+  double repeat_prob() const;
+  const std::vector<Ptr>& children() const { return children_; }
+  const std::vector<double>& choice_probs() const { return probs_; }
+
+ private:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::size_t service_ = 0;
+  double repeat_prob_ = 0.0;
+  std::vector<Ptr> children_;
+  std::vector<double> probs_;
+};
+
+/// A service-oriented workflow: named services plus a composition tree.
+class Workflow {
+ public:
+  Workflow(std::vector<std::string> service_names, Node::Ptr root);
+
+  std::size_t service_count() const { return names_.size(); }
+  const std::vector<std::string>& service_names() const { return names_; }
+  const Node::Ptr& root() const { return root_; }
+
+  /// Cardoso reduction of the tree to the deterministic response-time
+  /// function f(X) of Equation 4.
+  Expr::Ptr response_time_expr() const;
+
+  /// Count-metric reduction (e.g. timeout request count): D = Σᵢ Xᵢ over
+  /// the services the workflow touches.
+  Expr::Ptr count_expr() const;
+
+  /// Immediate-upstream edges (upstream service, downstream service):
+  /// service i is the immediate upstream of j when i's completion feeds j's
+  /// invocation. These are the knowledge-given KERT-BN X-edges.
+  std::vector<std::pair<std::size_t, std::size_t>> upstream_edges() const;
+
+  /// Services that can run first / last (used by edge derivation and by the
+  /// simulator's engine).
+  std::vector<std::size_t> entry_services() const;
+  std::vector<std::size_t> exit_services() const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<std::string> names_;
+  Node::Ptr root_;
+};
+
+}  // namespace kertbn::wf

@@ -1,0 +1,82 @@
+#include "bn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kertbn::bn {
+namespace {
+
+Dataset make_dataset() {
+  Dataset d({"a", "b", "c"});
+  d.add_row(std::vector<double>{1.0, 2.0, 3.0});
+  d.add_row(std::vector<double>{4.0, 5.0, 6.0});
+  d.add_row(std::vector<double>{7.0, 8.0, 9.0});
+  return d;
+}
+
+TEST(Dataset, ShapeAndAccess) {
+  const Dataset d = make_dataset();
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_DOUBLE_EQ(d.value(1, 2), 6.0);
+  EXPECT_EQ(d.column_name(1), "b");
+  EXPECT_EQ(d.column_index("c"), 2u);
+}
+
+TEST(Dataset, RowView) {
+  const Dataset d = make_dataset();
+  const auto row = d.row(2);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);
+}
+
+TEST(Dataset, ColumnCopy) {
+  const Dataset d = make_dataset();
+  EXPECT_EQ(d.column(0), (std::vector<double>{1.0, 4.0, 7.0}));
+}
+
+TEST(Dataset, SliceRows) {
+  const Dataset d = make_dataset();
+  const Dataset s = d.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(0, 0), 4.0);
+  const Dataset empty = d.slice_rows(1, 1);
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+TEST(Dataset, SelectColumnsReorders) {
+  const Dataset d = make_dataset();
+  const std::vector<std::size_t> cols{2, 0};
+  const Dataset s = d.select_columns(cols);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s.column_name(0), "c");
+  EXPECT_DOUBLE_EQ(s.value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.value(0, 1), 1.0);
+}
+
+TEST(Dataset, KeepLastRowsImplementsSlidingWindow) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) d.add_row(std::vector<double>{double(i)});
+  d.keep_last_rows(3);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_DOUBLE_EQ(d.value(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(d.value(2, 0), 9.0);
+  // Larger than current size: no-op.
+  d.keep_last_rows(100);
+  EXPECT_EQ(d.rows(), 3u);
+}
+
+TEST(Dataset, CsvRoundtripShape) {
+  const Dataset d = make_dataset();
+  const std::string csv = d.to_csv();
+  EXPECT_NE(csv.find("a,b,c"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(Dataset, EmptyDataset) {
+  Dataset d({"x", "y"});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,94 @@
+#include "bn/deterministic_cpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+DeterministicFn sum_fn(std::size_t arity) {
+  DeterministicFn fn;
+  fn.arity = arity;
+  fn.expression = "sum";
+  fn.fn = [](std::span<const double> xs) {
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s;
+  };
+  return fn;
+}
+
+DeterministicFn ediamond_fn() {
+  // D = X1 + X2 + max(X3 + X5, X4 + X6) with zero-based parent order.
+  DeterministicFn fn;
+  fn.arity = 6;
+  fn.expression = "X1 + X2 + max(X3 + X5, X4 + X6)";
+  fn.fn = [](std::span<const double> x) {
+    return x[0] + x[1] + std::max(x[2] + x[4], x[3] + x[5]);
+  };
+  return fn;
+}
+
+TEST(DeterministicCpd, EvaluatesFunction) {
+  DeterministicCpd cpd(sum_fn(3), 0.01);
+  const double parents[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(cpd.evaluate(parents), 6.0);
+  EXPECT_DOUBLE_EQ(cpd.mean(parents), 6.0);
+}
+
+TEST(DeterministicCpd, EdiamondFunctionBranches) {
+  DeterministicCpd cpd(ediamond_fn(), 0.01);
+  // Local branch slower.
+  const double local_slow[] = {0.1, 0.1, 0.5, 0.1, 0.5, 0.1};
+  EXPECT_NEAR(cpd.evaluate(local_slow), 0.2 + 1.0, 1e-12);
+  // Remote branch slower.
+  const double remote_slow[] = {0.1, 0.1, 0.1, 0.6, 0.1, 0.6};
+  EXPECT_NEAR(cpd.evaluate(remote_slow), 0.2 + 1.2, 1e-12);
+}
+
+TEST(DeterministicCpd, LogProbPeaksAtFunctionValue) {
+  DeterministicCpd cpd(sum_fn(2), 0.05);
+  const double parents[] = {1.0, 1.0};
+  const double at_peak = cpd.log_prob(2.0, parents);
+  const double off_peak = cpd.log_prob(2.2, parents);
+  EXPECT_GT(at_peak, off_peak);
+  EXPECT_NEAR(at_peak, gaussian_log_pdf(2.0, 2.0, 0.05), 1e-12);
+}
+
+TEST(DeterministicCpd, SampleConcentratesAroundF) {
+  DeterministicCpd cpd(sum_fn(2), 0.01);
+  kertbn::Rng rng(2);
+  RunningStats stats;
+  const double parents[] = {0.4, 0.6};
+  for (int i = 0; i < 20000; ++i) stats.add(cpd.sample(parents, rng));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.001);
+  EXPECT_NEAR(stats.stddev(), 0.01, 0.001);
+}
+
+TEST(DeterministicCpd, NoFreeParameters) {
+  DeterministicCpd cpd(sum_fn(2), 0.01);
+  EXPECT_EQ(cpd.parameter_count(), 0u);
+  EXPECT_EQ(cpd.kind(), CpdKind::kDeterministic);
+}
+
+TEST(DeterministicCpd, CloneKeepsFunctionAndLeak) {
+  DeterministicCpd cpd(ediamond_fn(), 0.02);
+  auto clone = cpd.clone();
+  const double x[] = {0.1, 0.1, 0.3, 0.2, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(clone->mean(x), cpd.mean(x));
+  EXPECT_DOUBLE_EQ(clone->log_prob(0.8, x), cpd.log_prob(0.8, x));
+}
+
+TEST(DeterministicCpd, DescribeShowsExpression) {
+  DeterministicCpd cpd(ediamond_fn(), 0.02);
+  EXPECT_NE(cpd.describe().find("max(X3 + X5, X4 + X6)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

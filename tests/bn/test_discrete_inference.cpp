@@ -1,0 +1,159 @@
+#include "bn/discrete_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// The classic sprinkler network: Cloudy -> Sprinkler, Cloudy -> Rain,
+/// (Sprinkler, Rain) -> WetGrass. Known exact posteriors.
+BayesianNetwork sprinkler() {
+  BayesianNetwork net;
+  const auto c = net.add_node(Variable::discrete("cloudy", 2));
+  const auto s = net.add_node(Variable::discrete("sprinkler", 2));
+  const auto r = net.add_node(Variable::discrete("rain", 2));
+  const auto w = net.add_node(Variable::discrete("wet", 2));
+  net.add_edge(c, s);
+  net.add_edge(c, r);
+  net.add_edge(s, w);
+  net.add_edge(r, w);
+  net.set_cpd(c, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(s, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.5, 0.5, 0.9, 0.1})));
+  net.set_cpd(r, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.8, 0.2, 0.2, 0.8})));
+  // P(wet | s, r): rows (s,r) = (0,0),(0,1),(1,0),(1,1).
+  net.set_cpd(w, std::make_unique<TabularCpd>(TabularCpd(
+                     2, {2, 2},
+                     {1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99})));
+  return net;
+}
+
+TEST(VariableElimination, PriorMarginalsMatchHandComputation) {
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  // P(sprinkler=1) = 0.5*0.5 + 0.5*0.1 = 0.3.
+  const auto ps = ve.posterior(1, {});
+  EXPECT_NEAR(ps[1], 0.3, 1e-12);
+  // P(rain=1) = 0.5*0.2 + 0.5*0.8 = 0.5.
+  const auto pr = ve.posterior(2, {});
+  EXPECT_NEAR(pr[1], 0.5, 1e-12);
+}
+
+TEST(VariableElimination, WetGrassPosteriorsKnownValues) {
+  // Reference values for this parameterization (Murphy's BNT example):
+  // P(sprinkler=1 | wet=1) ≈ 0.4298, P(rain=1 | wet=1) ≈ 0.7079.
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  const DiscreteEvidence wet{{3, 1}};
+  EXPECT_NEAR(ve.posterior(1, wet)[1], 0.4298, 1e-3);
+  EXPECT_NEAR(ve.posterior(2, wet)[1], 0.7079, 1e-3);
+}
+
+TEST(VariableElimination, ExplainingAway) {
+  // Observing rain=1 in addition to wet=1 lowers P(sprinkler=1).
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  const double p_wet = ve.posterior(1, {{3, 1}})[1];
+  const double p_wet_rain = ve.posterior(1, {{3, 1}, {2, 1}})[1];
+  EXPECT_LT(p_wet_rain, p_wet);
+}
+
+TEST(VariableElimination, EvidenceProbability) {
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  // P(wet=1) = sum over all configs; brute force it.
+  double p_wet = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    for (int s = 0; s < 2; ++s) {
+      for (int r = 0; r < 2; ++r) {
+        const double pc = 0.5;
+        const double ps = (c == 0 ? (s == 0 ? 0.5 : 0.5)
+                                  : (s == 0 ? 0.9 : 0.1));
+        const double pr = (c == 0 ? (r == 0 ? 0.8 : 0.2)
+                                  : (r == 0 ? 0.2 : 0.8));
+        const double table[4][2] = {
+            {1.0, 0.0}, {0.1, 0.9}, {0.1, 0.9}, {0.01, 0.99}};
+        const double pw = table[s * 2 + r][1];
+        p_wet += pc * ps * pr * pw;
+      }
+    }
+  }
+  EXPECT_NEAR(ve.evidence_probability({{3, 1}}), p_wet, 1e-12);
+}
+
+TEST(VariableElimination, JointPosteriorConsistentWithMarginals) {
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  const std::vector<std::size_t> queries{1, 2};
+  const Factor joint = ve.joint_posterior(queries, {{3, 1}});
+  // Marginalizing the joint must reproduce the single-variable posteriors.
+  const Factor ms = joint.marginalize(2);
+  const auto ps = ve.posterior(1, {{3, 1}});
+  const std::size_t s1[] = {1};
+  EXPECT_NEAR(ms.at(s1), ps[1], 1e-12);
+}
+
+TEST(VariableElimination, AgreesWithForwardSamplingOnRandomNetwork) {
+  // Random 5-node discrete network; compare VE posterior against rejection
+  // sampling estimates.
+  BayesianNetwork net;
+  for (int i = 0; i < 5; ++i) {
+    net.add_node(Variable::discrete("v" + std::to_string(i), 2));
+  }
+  net.add_edge(0, 2);
+  net.add_edge(1, 2);
+  net.add_edge(2, 3);
+  net.add_edge(2, 4);
+  kertbn::Rng param_rng(1);
+  for (std::size_t v = 0; v < 5; ++v) {
+    std::size_t configs = 1;
+    std::vector<std::size_t> cards;
+    for (std::size_t p : net.dag().parents(v)) {
+      (void)p;
+      cards.push_back(2);
+      configs *= 2;
+    }
+    std::vector<double> table;
+    for (std::size_t c = 0; c < configs; ++c) {
+      const double p = param_rng.uniform(0.1, 0.9);
+      table.push_back(p);
+      table.push_back(1.0 - p);
+    }
+    net.set_cpd(v, std::make_unique<TabularCpd>(TabularCpd(2, cards, table)));
+  }
+
+  const VariableElimination ve(net);
+  const DiscreteEvidence ev{{3, 1}};
+  const auto exact = ve.posterior(0, ev);
+
+  kertbn::Rng rng(2);
+  std::size_t accepted = 0;
+  std::size_t hits = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto row = net.sample_row(rng);
+    if (row[3] == 1.0) {
+      ++accepted;
+      if (row[0] == 1.0) ++hits;
+    }
+  }
+  ASSERT_GT(accepted, 1000u);
+  EXPECT_NEAR(exact[1], hits / double(accepted), 0.02);
+}
+
+TEST(PosteriorMeanState, WeightsStates) {
+  EXPECT_DOUBLE_EQ(posterior_mean_state({0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(posterior_mean_state({0.0, 0.0, 1.0}), 2.0);
+}
+
+TEST(VariableElimination, RejectsContinuousNetworks) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  EXPECT_DEATH(VariableElimination ve(net), "precondition");
+}
+
+}  // namespace
+}  // namespace kertbn::bn

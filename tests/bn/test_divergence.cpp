@@ -1,0 +1,111 @@
+#include "bn/divergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+BayesianNetwork bernoulli_net(double p) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.set_cpd(0, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {}, {1.0 - p, p})));
+  return net;
+}
+
+double bernoulli_kl(double p, double q) {
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+TEST(Divergence, JointLogProbabilityFactorizes) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.3, 0.7})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.2, 0.8})));
+  const double row[] = {1.0, 1.0};
+  EXPECT_NEAR(joint_log_probability(net, row), std::log(0.7 * 0.8), 1e-12);
+}
+
+TEST(Divergence, ExactMatchesClosedFormBernoulli) {
+  const BayesianNetwork p = bernoulli_net(0.3);
+  const BayesianNetwork q = bernoulli_net(0.6);
+  EXPECT_NEAR(kl_divergence_exact(p, q), bernoulli_kl(0.3, 0.6), 1e-12);
+}
+
+TEST(Divergence, SelfDivergenceIsZero) {
+  const BayesianNetwork p = bernoulli_net(0.4);
+  EXPECT_NEAR(kl_divergence_exact(p, p), 0.0, 1e-12);
+  kertbn::Rng rng(1);
+  EXPECT_NEAR(kl_divergence_sampled(p, p, 5000, rng), 0.0, 1e-12);
+}
+
+TEST(Divergence, AsymmetricLikeKlShouldBe) {
+  const BayesianNetwork p = bernoulli_net(0.1);
+  const BayesianNetwork q = bernoulli_net(0.5);
+  const double pq = kl_divergence_exact(p, q);
+  const double qp = kl_divergence_exact(q, p);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+  EXPECT_NE(pq, qp);
+}
+
+TEST(Divergence, SampledApproximatesExact) {
+  // Two-node discrete nets with different CPTs.
+  auto make = [](double root_p, double flip) {
+    BayesianNetwork net;
+    net.add_node(Variable::discrete("a", 2));
+    net.add_node(Variable::discrete("b", 2));
+    net.add_edge(0, 1);
+    net.set_cpd(0, std::make_unique<TabularCpd>(
+                       TabularCpd(2, {}, {1.0 - root_p, root_p})));
+    net.set_cpd(1, std::make_unique<TabularCpd>(TabularCpd(
+                       2, {2},
+                       {1.0 - flip, flip, flip, 1.0 - flip})));
+    return net;
+  };
+  const BayesianNetwork p = make(0.4, 0.1);
+  const BayesianNetwork q = make(0.6, 0.25);
+  const double exact = kl_divergence_exact(p, q);
+  kertbn::Rng rng(2);
+  const double sampled = kl_divergence_sampled(p, q, 100000, rng);
+  EXPECT_NEAR(sampled, exact, 0.01);
+}
+
+TEST(Divergence, WorksOnContinuousNetworks) {
+  // KL between N(0,1) and N(1,1) is 0.5.
+  auto make = [](double mean) {
+    BayesianNetwork net;
+    net.add_node(Variable::continuous("x"));
+    net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                       LinearGaussianCpd::root(mean, 1.0)));
+    return net;
+  };
+  const BayesianNetwork p = make(0.0);
+  const BayesianNetwork q = make(1.0);
+  kertbn::Rng rng(3);
+  EXPECT_NEAR(kl_divergence_sampled(p, q, 200000, rng), 0.5, 0.02);
+}
+
+TEST(Divergence, ExactRejectsHugeStateSpaces) {
+  BayesianNetwork p;
+  BayesianNetwork q;
+  for (int i = 0; i < 25; ++i) {
+    p.add_node(Variable::discrete("v" + std::to_string(i), 2));
+    q.add_node(Variable::discrete("v" + std::to_string(i), 2));
+    p.set_cpd(i, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+    q.set_cpd(i, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  }
+  EXPECT_DEATH(kl_divergence_exact(p, q), "precondition");
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,158 @@
+#include "bn/gaussian_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// X ~ N(1, 1); Y | X ~ N(2X, 0.5²).
+BayesianNetwork two_node() {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.0, 1.0)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{2.0}, 0.5));
+  return net;
+}
+
+TEST(JointGaussian, TwoNodeMoments) {
+  const GaussianDistribution joint = joint_gaussian(two_node());
+  EXPECT_NEAR(joint.mean_of(0), 1.0, 1e-12);
+  EXPECT_NEAR(joint.mean_of(1), 2.0, 1e-12);
+  EXPECT_NEAR(joint.variance_of(0), 1.0, 1e-12);
+  // Var(Y) = 4*1 + 0.25.
+  EXPECT_NEAR(joint.variance_of(1), 4.25, 1e-12);
+  // Cov(X, Y) = 2.
+  EXPECT_NEAR(joint.covariance(0, 1), 2.0, 1e-12);
+}
+
+TEST(JointGaussian, VStructureCovariances) {
+  // Z = X + Y + noise with independent X, Y.
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_node(Variable::continuous("z"));
+  net.add_edge(0, 2);
+  net.add_edge(1, 2);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 1.0)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 2.0)));
+  net.set_cpd(2, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{1.0, 1.0}, 0.1));
+  const GaussianDistribution joint = joint_gaussian(net);
+  EXPECT_NEAR(joint.covariance(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(joint.covariance(0, 2), 1.0, 1e-12);
+  EXPECT_NEAR(joint.covariance(1, 2), 4.0, 1e-12);
+  EXPECT_NEAR(joint.variance_of(2), 1.0 + 4.0 + 0.01, 1e-12);
+}
+
+TEST(JointGaussian, MatchesSampleMoments) {
+  const BayesianNetwork net = two_node();
+  const GaussianDistribution joint = joint_gaussian(net);
+  kertbn::Rng rng(1);
+  RunningStats sx;
+  RunningStats sy;
+  for (int i = 0; i < 100000; ++i) {
+    const auto row = net.sample_row(rng);
+    sx.add(row[0]);
+    sy.add(row[1]);
+  }
+  EXPECT_NEAR(sx.mean(), joint.mean_of(0), 0.02);
+  EXPECT_NEAR(sy.variance(), joint.variance_of(1), 0.1);
+}
+
+TEST(Condition, PosteriorOfParentGivenChild) {
+  // Classic Gaussian conditioning: posterior mean of X | Y = y is
+  // mu_x + cov/var_y * (y - mu_y).
+  const GaussianDistribution joint = joint_gaussian(two_node());
+  const GaussianDistribution post = condition(joint, {{1, 4.0}});
+  const double expected_mean = 1.0 + (2.0 / 4.25) * (4.0 - 2.0);
+  const double expected_var = 1.0 - 4.0 / 4.25;
+  EXPECT_NEAR(post.mean_of(0), expected_mean, 1e-9);
+  EXPECT_NEAR(post.variance_of(0), expected_var, 1e-9);
+}
+
+TEST(Condition, EvidenceTightensPosterior) {
+  const GaussianDistribution joint = joint_gaussian(two_node());
+  const GaussianDistribution post = condition(joint, {{1, 2.0}});
+  EXPECT_LT(post.variance_of(0), joint.variance_of(0));
+}
+
+TEST(Condition, PosteriorMatchesRejectionSampling) {
+  const BayesianNetwork net = two_node();
+  const ScalarPosterior post = gaussian_posterior(net, 0, {{1, 3.0}});
+
+  kertbn::Rng rng(2);
+  RunningStats accepted;
+  for (int i = 0; i < 400000; ++i) {
+    const auto row = net.sample_row(rng);
+    if (std::abs(row[1] - 3.0) < 0.05) accepted.add(row[0]);
+  }
+  ASSERT_GT(accepted.count(), 500u);
+  EXPECT_NEAR(post.mean, accepted.mean(), 0.05);
+  EXPECT_NEAR(std::sqrt(post.variance), accepted.stddev(), 0.05);
+}
+
+TEST(Condition, MultipleEvidenceNodes) {
+  // Chain X -> Y -> Z; conditioning on X and Z squeezes Y.
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_node(Variable::continuous("z"));
+  net.add_edge(0, 1);
+  net.add_edge(1, 2);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 1.0)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{1.0}, 1.0));
+  net.set_cpd(2, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{1.0}, 1.0));
+  const ScalarPosterior only_x = gaussian_posterior(net, 1, {{0, 1.0}});
+  const ScalarPosterior both =
+      gaussian_posterior(net, 1, {{0, 1.0}, {2, 2.0}});
+  EXPECT_LT(both.variance, only_x.variance);
+  // Posterior mean for the symmetric chain: (x + z)/2 weighted... must sit
+  // between the two evidence-implied positions.
+  EXPECT_GT(both.mean, only_x.mean);
+}
+
+TEST(Exceedance, GaussianTail) {
+  GaussianDistribution g;
+  g.nodes = {0};
+  g.mean = la::Vector{0.0};
+  g.covariance = la::Matrix{{1.0}};
+  EXPECT_NEAR(g.exceedance(0, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.exceedance(0, 1.6449), 0.05, 1e-3);
+}
+
+TEST(JointGaussian, LargeChainStaysConsistent) {
+  // 30-node chain: variance accumulates as sum of sigma² with unit weights.
+  BayesianNetwork net;
+  const std::size_t n = 30;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(Variable::continuous("x" + std::to_string(i)));
+    if (i > 0) net.add_edge(i - 1, i);
+  }
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 1.0)));
+  for (std::size_t i = 1; i < n; ++i) {
+    net.set_cpd(i, std::make_unique<LinearGaussianCpd>(
+                       0.0, std::vector<double>{1.0}, 1.0));
+  }
+  const GaussianDistribution joint = joint_gaussian(net);
+  EXPECT_NEAR(joint.variance_of(n - 1), static_cast<double>(n), 1e-9);
+  EXPECT_NEAR(joint.covariance(0, n - 1), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

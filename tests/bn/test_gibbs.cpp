@@ -1,0 +1,103 @@
+#include "bn/gibbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/discrete_inference.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+BayesianNetwork sprinkler() {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("cloudy", 2));
+  net.add_node(Variable::discrete("sprinkler", 2));
+  net.add_node(Variable::discrete("rain", 2));
+  net.add_node(Variable::discrete("wet", 2));
+  net.add_edge(0, 1);
+  net.add_edge(0, 2);
+  net.add_edge(1, 3);
+  net.add_edge(2, 3);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.5, 0.5, 0.9, 0.1})));
+  net.set_cpd(2, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.8, 0.2, 0.2, 0.8})));
+  // Softened wet-grass CPT (strict zeros can trap a Gibbs chain).
+  net.set_cpd(3, std::make_unique<TabularCpd>(TabularCpd(
+                     2, {2, 2},
+                     {0.99, 0.01, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99})));
+  return net;
+}
+
+TEST(Gibbs, PriorMarginalsMatchVe) {
+  const BayesianNetwork net = sprinkler();
+  GibbsSampler gibbs(net);
+  const VariableElimination ve(net);
+  kertbn::Rng rng(1);
+  const auto posteriors = gibbs.all_posteriors({}, rng,
+                                               {.burn_in = 500,
+                                                .samples = 30000});
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    const auto exact = ve.posterior(v, {});
+    for (std::size_t s = 0; s < exact.size(); ++s) {
+      EXPECT_NEAR(posteriors[v][s], exact[s], 0.02)
+          << "node " << v << " state " << s;
+    }
+  }
+}
+
+TEST(Gibbs, PosteriorWithEvidenceMatchesVe) {
+  const BayesianNetwork net = sprinkler();
+  GibbsSampler gibbs(net);
+  const VariableElimination ve(net);
+  kertbn::Rng rng(2);
+  const std::map<std::size_t, std::size_t> evidence{{3, 1}};
+  const auto gibbs_rain = gibbs.posterior(2, evidence, rng,
+                                          {.burn_in = 1000,
+                                           .samples = 40000});
+  const auto exact_rain = ve.posterior(2, {{3, 1}});
+  EXPECT_NEAR(gibbs_rain[1], exact_rain[1], 0.02);
+}
+
+TEST(Gibbs, EvidenceNodesStayClamped) {
+  const BayesianNetwork net = sprinkler();
+  GibbsSampler gibbs(net);
+  kertbn::Rng rng(3);
+  const auto posteriors =
+      gibbs.all_posteriors({{0, 1}}, rng, {.burn_in = 100, .samples = 500});
+  EXPECT_DOUBLE_EQ(posteriors[0][1], 1.0);
+}
+
+TEST(Gibbs, DeterministicChainStillMixesViaBlanket) {
+  // Near-deterministic chain a -> b: conditional updates must respect the
+  // strong coupling (P(b=a) ~ 0.99).
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.99, 0.01, 0.01, 0.99})));
+  GibbsSampler gibbs(net);
+  kertbn::Rng rng(4);
+  const auto post =
+      gibbs.posterior(0, {{1, 1}}, rng, {.burn_in = 500, .samples = 20000});
+  EXPECT_NEAR(post[1], 0.99, 0.01);
+}
+
+TEST(Gibbs, ReproducibleGivenSeed) {
+  const BayesianNetwork net = sprinkler();
+  GibbsSampler gibbs(net);
+  kertbn::Rng rng_a(7);
+  kertbn::Rng rng_b(7);
+  const auto a = gibbs.posterior(2, {{3, 1}}, rng_a,
+                                 {.burn_in = 100, .samples = 2000});
+  const auto b = gibbs.posterior(2, {{3, 1}}, rng_b,
+                                 {.burn_in = 100, .samples = 2000});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,114 @@
+#include "bn/intervention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/gaussian_inference.hpp"
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Confounded structure: L (latent load) -> A, L -> B. Conditioning on A
+/// moves B (through L); intervening on A must not.
+BayesianNetwork confounded() {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("load"));
+  net.add_node(Variable::continuous("a"));
+  net.add_node(Variable::continuous("b"));
+  net.add_edge(0, 1);
+  net.add_edge(0, 2);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.0, 0.5)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{1.0}, 0.1));
+  net.set_cpd(2, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{1.0}, 0.1));
+  return net;
+}
+
+TEST(Intervention, SurgeryRemovesIncomingEdges) {
+  const BayesianNetwork net = confounded();
+  const BayesianNetwork cut = do_intervention(net, 1, 0.2);
+  EXPECT_EQ(cut.dag().in_degree(1), 0u);
+  EXPECT_TRUE(cut.dag().has_edge(0, 2));  // other edges intact
+  EXPECT_TRUE(cut.is_complete());
+}
+
+TEST(Intervention, TargetIsPinned) {
+  const BayesianNetwork net = confounded();
+  const BayesianNetwork cut = do_intervention(net, 1, 0.2);
+  kertbn::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(cut.sample_row(rng)[1], 0.2, 1e-6);
+  }
+}
+
+TEST(Intervention, DoVsSeeOnConfounder) {
+  // P(B | A = 2) shifts B upward (A = 2 implies high load); under
+  // do(A = 2), B keeps its marginal distribution.
+  const BayesianNetwork net = confounded();
+
+  const ScalarPosterior see = gaussian_posterior(net, 2, {{1, 2.0}});
+  EXPECT_GT(see.mean, 1.5);  // conditioning drags B up with the load
+
+  const BayesianNetwork cut = do_intervention(net, 1, 2.0);
+  kertbn::Rng rng(2);
+  RunningStats b_do;
+  for (int i = 0; i < 50000; ++i) b_do.add(cut.sample_row(rng)[2]);
+  EXPECT_NEAR(b_do.mean(), 1.0, 0.02);  // B's marginal: E[load] = 1
+}
+
+TEST(Intervention, CausalChainStillPropagates) {
+  // A -> B: intervening on A must still move B (it is a cause).
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("a"));
+  net.add_node(Variable::continuous("b"));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 1.0)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     1.0, std::vector<double>{2.0}, 0.1));
+  const BayesianNetwork cut = do_intervention(net, 0, 3.0);
+  kertbn::Rng rng(3);
+  RunningStats b;
+  for (int i = 0; i < 20000; ++i) b.add(cut.sample_row(rng)[1]);
+  EXPECT_NEAR(b.mean(), 7.0, 0.01);
+}
+
+TEST(Intervention, DiscreteTargetBecomesPointMass) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 3));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(
+                     TabularCpd(3, {}, {0.2, 0.5, 0.3})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(TabularCpd(
+                     2, {3}, {0.9, 0.1, 0.5, 0.5, 0.1, 0.9})));
+  const BayesianNetwork cut = do_intervention(net, 0, 2.0);
+  kertbn::Rng rng(4);
+  int b_ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto row = cut.sample_row(rng);
+    EXPECT_DOUBLE_EQ(row[0], 2.0);
+    b_ones += row[1] == 1.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(b_ones / double(n), 0.9, 0.01);
+}
+
+TEST(Intervention, OriginalNetworkUntouched) {
+  const BayesianNetwork net = confounded();
+  const BayesianNetwork cut = do_intervention(net, 1, 0.0);
+  (void)cut;
+  EXPECT_EQ(net.dag().in_degree(1), 1u);
+  kertbn::Rng rng(5);
+  RunningStats a;
+  for (int i = 0; i < 20000; ++i) a.add(net.sample_row(rng)[1]);
+  EXPECT_NEAR(a.mean(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,197 @@
+#include "bn/junction_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/discrete_inference.hpp"
+#include "bn/learning.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// The sprinkler network (same parameterization as the VE tests).
+BayesianNetwork sprinkler() {
+  BayesianNetwork net;
+  const auto c = net.add_node(Variable::discrete("cloudy", 2));
+  const auto s = net.add_node(Variable::discrete("sprinkler", 2));
+  const auto r = net.add_node(Variable::discrete("rain", 2));
+  const auto w = net.add_node(Variable::discrete("wet", 2));
+  net.add_edge(c, s);
+  net.add_edge(c, r);
+  net.add_edge(s, w);
+  net.add_edge(r, w);
+  net.set_cpd(c, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(s, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.5, 0.5, 0.9, 0.1})));
+  net.set_cpd(r, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.8, 0.2, 0.2, 0.8})));
+  net.set_cpd(w, std::make_unique<TabularCpd>(TabularCpd(
+                     2, {2, 2},
+                     {1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99})));
+  return net;
+}
+
+/// Random discrete network over a random DAG with random CPTs.
+BayesianNetwork random_network(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(Variable::discrete("v" + std::to_string(i),
+                                    2 + rng.uniform_index(2)));
+  }
+  // Random forward edges, capped in-degree.
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t max_parents = std::min<std::size_t>(v, 3);
+    const std::size_t k = rng.uniform_index(max_parents + 1);
+    auto perm = rng.permutation(v);
+    for (std::size_t i = 0; i < k; ++i) net.add_edge(perm[i], v);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t configs = 1;
+    std::vector<std::size_t> cards;
+    for (std::size_t p : net.dag().parents(v)) {
+      cards.push_back(net.variable(p).cardinality);
+      configs *= net.variable(p).cardinality;
+    }
+    const std::size_t card = net.variable(v).cardinality;
+    std::vector<double> table;
+    table.reserve(configs * card);
+    for (std::size_t c = 0; c < configs * card; ++c) {
+      table.push_back(rng.uniform(0.05, 1.0));
+    }
+    net.set_cpd(v, std::make_unique<TabularCpd>(
+                       TabularCpd(card, cards, table)));
+  }
+  return net;
+}
+
+TEST(JunctionTree, SprinklerPriorMarginalsMatchVe) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree jt(net);
+  const VariableElimination ve(net);
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    const auto jt_post = jt.posterior(v);
+    const auto ve_post = ve.posterior(v, {});
+    ASSERT_EQ(jt_post.size(), ve_post.size());
+    for (std::size_t s = 0; s < jt_post.size(); ++s) {
+      EXPECT_NEAR(jt_post[s], ve_post[s], 1e-12);
+    }
+  }
+}
+
+TEST(JunctionTree, SprinklerPosteriorWithEvidence) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree jt(net);
+  jt.calibrate({{3, 1}});  // wet = true
+  EXPECT_NEAR(jt.posterior(1)[1], 0.4298, 1e-3);
+  EXPECT_NEAR(jt.posterior(2)[1], 0.7079, 1e-3);
+}
+
+TEST(JunctionTree, EvidenceProbabilityMatchesVe) {
+  const BayesianNetwork net = sprinkler();
+  const VariableElimination ve(net);
+  JunctionTree jt(net);
+  jt.calibrate({{3, 1}});
+  EXPECT_NEAR(jt.evidence_probability(), ve.evidence_probability({{3, 1}}),
+              1e-12);
+  jt.calibrate({{3, 1}, {0, 0}});
+  EXPECT_NEAR(jt.evidence_probability(),
+              ve.evidence_probability({{3, 1}, {0, 0}}), 1e-12);
+}
+
+TEST(JunctionTree, RecalibrationReplacesEvidence) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree jt(net);
+  jt.calibrate({{3, 1}});
+  const double with_evidence = jt.posterior(2)[1];
+  jt.calibrate({});
+  EXPECT_NEAR(jt.posterior(2)[1], 0.5, 1e-12);  // prior P(rain=1)
+  EXPECT_NE(with_evidence, 0.5);
+  EXPECT_DOUBLE_EQ(jt.evidence_probability(), 1.0);
+}
+
+class JunctionTreeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JunctionTreeRandom, AgreesWithVariableElimination) {
+  const BayesianNetwork net = random_network(9, GetParam());
+  kertbn::Rng rng(GetParam() + 1000);
+  JunctionTree jt(net);
+  const VariableElimination ve(net);
+
+  // Random evidence on two nodes, posterior of every other node.
+  const std::size_t e1 = rng.uniform_index(net.size());
+  std::size_t e2 = rng.uniform_index(net.size());
+  if (e2 == e1) e2 = (e2 + 1) % net.size();
+  const std::map<std::size_t, std::size_t> evidence{
+      {e1, rng.uniform_index(net.variable(e1).cardinality)},
+      {e2, rng.uniform_index(net.variable(e2).cardinality)}};
+  jt.calibrate(evidence);
+  const DiscreteEvidence ve_evidence(evidence.begin(), evidence.end());
+
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (evidence.contains(v)) continue;
+    const auto a = jt.posterior(v);
+    const auto b = ve.posterior(v, ve_evidence);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      EXPECT_NEAR(a[s], b[s], 1e-9) << "node " << v << " seed "
+                                    << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JunctionTreeRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(JunctionTree, DisconnectedComponentsSupported) {
+  // Two independent pairs: the tree is a forest.
+  BayesianNetwork net;
+  for (int i = 0; i < 4; ++i) {
+    net.add_node(Variable::discrete("v" + std::to_string(i), 2));
+  }
+  net.add_edge(0, 1);
+  net.add_edge(2, 3);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.3, 0.7})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.2, 0.8})));
+  net.set_cpd(2, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.6, 0.4})));
+  net.set_cpd(3, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.5, 0.5, 0.1, 0.9})));
+  JunctionTree jt(net);
+  // P(v1=1) = 0.3*0.1 + 0.7*0.8.
+  EXPECT_NEAR(jt.posterior(1)[1], 0.59, 1e-12);
+  // Cross-component evidence must not leak.
+  jt.calibrate({{0, 1}});
+  EXPECT_NEAR(jt.posterior(3)[1], 0.4 * 0.9 + 0.6 * 0.5, 1e-12);
+  EXPECT_NEAR(jt.posterior(1)[1], 0.8, 1e-12);
+}
+
+TEST(JunctionTree, KertBnManyQueriesConsistent) {
+  // The motivating use: one calibration, posteriors for every service.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(42);
+  const bn::Dataset train = env.generate(400, rng);
+  const core::DatasetDiscretizer disc(train, 3);
+  const auto kert = core::construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  JunctionTree jt(kert.net);
+  jt.calibrate({{6, 2}});  // observed response-time bin
+  const VariableElimination ve(kert.net);
+  for (std::size_t v = 0; v < 6; ++v) {
+    const auto a = jt.posterior(v);
+    const auto b = ve.posterior(v, {{6, 2}});
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      EXPECT_NEAR(a[s], b[s], 1e-9);
+    }
+  }
+  EXPECT_GE(jt.clique_count(), 1u);
+  // D's family spans all seven variables, so the biggest clique holds 7.
+  EXPECT_EQ(jt.max_clique_size(), 7u);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,174 @@
+#include "bn/learning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/deterministic_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+TEST(FitTabular, RecoversRootDistribution) {
+  // Column of 0/1 with P(1)=0.25.
+  Dataset data({"a"});
+  kertbn::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    data.add_row(std::vector<double>{rng.bernoulli(0.25) ? 1.0 : 0.0});
+  }
+  const TabularCpd cpd = fit_tabular_cpd(data, 0, {}, 2, {}, 0.0);
+  EXPECT_NEAR(cpd.probability(0, 1), 0.25, 0.01);
+}
+
+TEST(FitTabular, RecoversConditionalRows) {
+  Dataset data({"a", "b"});
+  kertbn::Rng rng(2);
+  for (int i = 0; i < 30000; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double p_b = a == 1.0 ? 0.8 : 0.1;
+    data.add_row(std::vector<double>{a, rng.bernoulli(p_b) ? 1.0 : 0.0});
+  }
+  const std::vector<std::size_t> parents{0};
+  const std::vector<std::size_t> cards{2};
+  const TabularCpd cpd = fit_tabular_cpd(data, 1, parents, 2, cards, 0.0);
+  EXPECT_NEAR(cpd.probability(0, 1), 0.1, 0.01);
+  EXPECT_NEAR(cpd.probability(1, 1), 0.8, 0.01);
+}
+
+TEST(FitTabular, DirichletSmoothingPullsTowardUniform) {
+  Dataset data({"a"});
+  data.add_row(std::vector<double>{0.0});  // single observation of state 0
+  const TabularCpd ml = fit_tabular_cpd(data, 0, {}, 2, {}, 0.0);
+  EXPECT_DOUBLE_EQ(ml.probability(0, 0), 1.0);
+  const TabularCpd smoothed = fit_tabular_cpd(data, 0, {}, 2, {}, 1.0);
+  EXPECT_DOUBLE_EQ(smoothed.probability(0, 0), 2.0 / 3.0);
+}
+
+TEST(FitTabular, UnseenConfigurationsBecomeUniformWithoutSmoothing) {
+  // Parent state 1 never appears.
+  Dataset data({"a", "b"});
+  data.add_row(std::vector<double>{0.0, 1.0});
+  data.add_row(std::vector<double>{0.0, 1.0});
+  const std::vector<std::size_t> parents{0};
+  const std::vector<std::size_t> cards{2};
+  const TabularCpd cpd = fit_tabular_cpd(data, 1, parents, 2, cards, 0.0);
+  EXPECT_DOUBLE_EQ(cpd.probability(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cpd.probability(1, 1), 0.5);
+}
+
+TEST(FitLinearGaussian, RecoversGroundTruth) {
+  kertbn::Rng rng(3);
+  Dataset data({"x", "y"});
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    const double y = 1.5 + 2.0 * x + rng.normal(0.0, 0.25);
+    data.add_row(std::vector<double>{x, y});
+  }
+  const std::vector<std::size_t> parents{0};
+  const LinearGaussianCpd cpd = fit_linear_gaussian_cpd(data, 1, parents);
+  EXPECT_NEAR(cpd.intercept(), 1.5, 0.01);
+  EXPECT_NEAR(cpd.weights()[0], 2.0, 0.01);
+  EXPECT_NEAR(cpd.sigma(), 0.25, 0.01);
+}
+
+TEST(FitLinearGaussian, RootNodeIsMeanAndStddev) {
+  kertbn::Rng rng(4);
+  Dataset data({"x"});
+  for (int i = 0; i < 20000; ++i) {
+    data.add_row(std::vector<double>{rng.normal(5.0, 2.0)});
+  }
+  const LinearGaussianCpd cpd = fit_linear_gaussian_cpd(data, 0, {});
+  EXPECT_NEAR(cpd.intercept(), 5.0, 0.05);
+  EXPECT_NEAR(cpd.sigma(), 2.0, 0.05);
+}
+
+TEST(FitLinearGaussian, SigmaFloorAppliesOnDegenerateData) {
+  Dataset data({"x"});
+  for (int i = 0; i < 5; ++i) data.add_row(std::vector<double>{1.0});
+  const LinearGaussianCpd cpd =
+      fit_linear_gaussian_cpd(data, 0, {}, /*min_sigma=*/1e-3);
+  EXPECT_DOUBLE_EQ(cpd.sigma(), 1e-3);
+}
+
+TEST(LearnParameters, FitsAllUnsetNodes) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_edge(0, 1);
+
+  kertbn::Rng rng(5);
+  Dataset data({"x", "y"});
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(1.0, 0.3);
+    data.add_row(std::vector<double>{x, 2.0 * x + rng.normal(0.0, 0.1)});
+  }
+  const ParameterLearnReport report = learn_parameters(net, data);
+  EXPECT_TRUE(net.is_complete());
+  EXPECT_EQ(report.learned_nodes.size(), 2u);
+  EXPECT_GE(report.total_seconds, 0.0);
+  EXPECT_GE(report.sum_node_seconds(), report.max_node_seconds());
+}
+
+TEST(LearnParameters, SkipsKnowledgeGivenCpds) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("d"));
+  net.add_edge(0, 1);
+  DeterministicFn fn;
+  fn.arity = 1;
+  fn.expression = "x";
+  fn.fn = [](std::span<const double> xs) { return xs[0]; };
+  net.set_cpd(1, std::make_unique<DeterministicCpd>(fn, 0.01));
+
+  kertbn::Rng rng(6);
+  Dataset data({"x", "d"});
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(1.0, 0.2);
+    data.add_row(std::vector<double>{x, x});
+  }
+  const ParameterLearnReport report = learn_parameters(net, data);
+  EXPECT_EQ(report.learned_nodes, (std::vector<std::size_t>{0}));
+  // D keeps its deterministic CPD.
+  EXPECT_EQ(net.cpd(1).kind(), CpdKind::kDeterministic);
+}
+
+TEST(LearnParameters, RefitExistingOverwrites) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(100.0, 1.0)));
+  Dataset data({"x"});
+  kertbn::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    data.add_row(std::vector<double>{rng.normal(2.0, 0.5)});
+  }
+  ParameterLearnOptions opts;
+  opts.refit_existing = true;
+  learn_parameters(net, data, opts);
+  const auto& cpd = static_cast<const LinearGaussianCpd&>(net.cpd(0));
+  EXPECT_NEAR(cpd.intercept(), 2.0, 0.1);
+}
+
+TEST(LearnParameters, MixedDiscreteNetworkLearnsCpts) {
+  BayesianNetwork truth;
+  truth.add_node(Variable::discrete("a", 2));
+  truth.add_node(Variable::discrete("b", 3));
+  truth.add_edge(0, 1);
+  truth.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.3, 0.7})));
+  truth.set_cpd(1, std::make_unique<TabularCpd>(TabularCpd(
+                       3, {2}, {0.1, 0.1, 0.8, 0.6, 0.2, 0.2})));
+  kertbn::Rng rng(8);
+  const Dataset data = truth.sample(40000, rng);
+
+  BayesianNetwork learned;
+  learned.add_node(Variable::discrete("a", 2));
+  learned.add_node(Variable::discrete("b", 3));
+  learned.add_edge(0, 1);
+  learn_parameters(learned, data, {.dirichlet_alpha = 0.0});
+
+  const auto& b = static_cast<const TabularCpd&>(learned.cpd(1));
+  EXPECT_NEAR(b.probability(0, 2), 0.8, 0.02);
+  EXPECT_NEAR(b.probability(1, 0), 0.6, 0.02);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,65 @@
+#include "bn/linear_gaussian_cpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+TEST(LinearGaussianCpd, MeanIsAffineInParents) {
+  LinearGaussianCpd cpd(1.0, {2.0, -0.5}, 0.1);
+  const double parents[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cpd.mean(parents), 1.0 + 6.0 - 2.0);
+}
+
+TEST(LinearGaussianCpd, RootFactory) {
+  const auto cpd = LinearGaussianCpd::root(5.0, 2.0);
+  EXPECT_EQ(cpd.parent_count(), 0u);
+  EXPECT_DOUBLE_EQ(cpd.mean({}), 5.0);
+  EXPECT_DOUBLE_EQ(cpd.sigma(), 2.0);
+}
+
+TEST(LinearGaussianCpd, LogProbMatchesGaussianDensity) {
+  LinearGaussianCpd cpd(0.5, {1.0}, 0.3);
+  const double parents[] = {2.0};
+  EXPECT_NEAR(cpd.log_prob(2.4, parents),
+              gaussian_log_pdf(2.4, 2.5, 0.3), 1e-12);
+}
+
+TEST(LinearGaussianCpd, SampleMomentsMatch) {
+  LinearGaussianCpd cpd(1.0, {0.5}, 0.2);
+  kertbn::Rng rng(1);
+  RunningStats stats;
+  const double parents[] = {4.0};
+  for (int i = 0; i < 50000; ++i) stats.add(cpd.sample(parents, rng));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.2, 0.01);
+}
+
+TEST(LinearGaussianCpd, ParameterCount) {
+  LinearGaussianCpd cpd(0.0, {1.0, 2.0, 3.0}, 1.0);
+  EXPECT_EQ(cpd.parameter_count(), 5u);  // 3 weights + intercept + sigma
+}
+
+TEST(LinearGaussianCpd, CloneEqualBehavior) {
+  LinearGaussianCpd cpd(0.1, {0.7}, 0.4);
+  auto clone = cpd.clone();
+  const double parents[] = {1.3};
+  EXPECT_DOUBLE_EQ(clone->log_prob(0.9, parents),
+                   cpd.log_prob(0.9, parents));
+  EXPECT_EQ(clone->kind(), CpdKind::kLinearGaussian);
+}
+
+TEST(LinearGaussianCpd, DescribeListsParameters) {
+  LinearGaussianCpd cpd(0.25, {1.5}, 0.1);
+  const std::string s = cpd.describe();
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/discrete_inference.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Brute-force MPE oracle: enumerate every full assignment.
+MpeResult brute_force_mpe(const BayesianNetwork& net,
+                          const DiscreteEvidence& evidence) {
+  const std::size_t n = net.size();
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<double> row(n, 0.0);
+  MpeResult best;
+  best.states.assign(n, 0);
+  best.log_probability = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> parent_buf;
+  for (;;) {
+    bool consistent = true;
+    for (const auto& [v, s] : evidence) {
+      if (assignment[v] != s) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      for (std::size_t v = 0; v < n; ++v) {
+        row[v] = static_cast<double>(assignment[v]);
+      }
+      double lp = 0.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto pars = net.dag().parents(v);
+        parent_buf.resize(pars.size());
+        for (std::size_t i = 0; i < pars.size(); ++i) {
+          parent_buf[i] = row[pars[i]];
+        }
+        lp += net.cpd(v).log_prob(row[v], parent_buf);
+      }
+      if (lp > best.log_probability) {
+        best.log_probability = lp;
+        best.states = assignment;
+      }
+    }
+    std::size_t v = 0;
+    while (v < n) {
+      if (++assignment[v] < net.variable(v).cardinality) break;
+      assignment[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  return best;
+}
+
+BayesianNetwork random_discrete(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(Variable::discrete("v" + std::to_string(i),
+                                    2 + rng.uniform_index(2)));
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t k = rng.uniform_index(std::min<std::size_t>(v, 2) + 1);
+    auto perm = rng.permutation(v);
+    for (std::size_t i = 0; i < k; ++i) net.add_edge(perm[i], v);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t configs = 1;
+    std::vector<std::size_t> cards;
+    for (std::size_t p : net.dag().parents(v)) {
+      cards.push_back(net.variable(p).cardinality);
+      configs *= net.variable(p).cardinality;
+    }
+    const std::size_t card = net.variable(v).cardinality;
+    std::vector<double> table;
+    for (std::size_t c = 0; c < configs * card; ++c) {
+      table.push_back(rng.uniform(0.05, 1.0));
+    }
+    net.set_cpd(v, std::make_unique<TabularCpd>(
+                       TabularCpd(card, cards, table)));
+  }
+  return net;
+}
+
+TEST(Mpe, SingleNodePicksModalState) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 3));
+  net.set_cpd(0, std::make_unique<TabularCpd>(
+                     TabularCpd(3, {}, {0.2, 0.5, 0.3})));
+  const MpeResult result = most_probable_explanation(net, {});
+  EXPECT_EQ(result.states[0], 1u);
+  EXPECT_NEAR(result.log_probability, std::log(0.5), 1e-12);
+}
+
+TEST(Mpe, ChainJointModeDiffersFromMarginalModes) {
+  // Classic example where the MPE differs from per-node marginal argmax:
+  // P(a=1)=0.6 but a=1 forces b to split 50/50 while a=0 pins b.
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.4, 0.6})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.95, 0.05, 0.5, 0.5})));
+  const MpeResult result = most_probable_explanation(net, {});
+  // Joint probabilities: (0,0)=0.38, (1,0)=(1,1)=0.30 -> MPE = (0,0),
+  // although argmax P(a) = 1.
+  EXPECT_EQ(result.states[0], 0u);
+  EXPECT_EQ(result.states[1], 0u);
+  EXPECT_NEAR(result.log_probability, std::log(0.38), 1e-12);
+}
+
+TEST(Mpe, RespectsEvidence) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.9, 0.1})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.1, 0.9})));
+  // Observing b=1 flips the best explanation of a.
+  const MpeResult result = most_probable_explanation(net, {{1, 1}});
+  EXPECT_EQ(result.states[1], 1u);
+  // P(a=0, b=1) = 0.9*0.1 = 0.09; P(a=1, b=1) = 0.1*0.9 = 0.09: tie — both
+  // are optimal; accept either but require the optimal log-probability.
+  EXPECT_NEAR(result.log_probability, std::log(0.09), 1e-12);
+}
+
+class MpeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpeRandom, MatchesBruteForceOracle) {
+  const BayesianNetwork net = random_discrete(6, GetParam());
+  kertbn::Rng rng(GetParam() + 500);
+  DiscreteEvidence evidence;
+  const std::size_t e = rng.uniform_index(net.size());
+  evidence[e] = rng.uniform_index(net.variable(e).cardinality);
+
+  const MpeResult fast = most_probable_explanation(net, evidence);
+  const MpeResult oracle = brute_force_mpe(net, evidence);
+  EXPECT_NEAR(fast.log_probability, oracle.log_probability, 1e-9)
+      << "seed " << GetParam();
+  // The assignment itself must achieve the optimal probability (ties may
+  // pick different argmaxes): recompute its joint log-probability.
+  std::vector<double> row(net.size());
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    row[v] = static_cast<double>(fast.states[v]);
+  }
+  double lp = 0.0;
+  std::vector<double> parent_buf;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    const auto pars = net.dag().parents(v);
+    parent_buf.resize(pars.size());
+    for (std::size_t i = 0; i < pars.size(); ++i) {
+      parent_buf[i] = row[pars[i]];
+    }
+    lp += net.cpd(v).log_prob(row[v], parent_buf);
+  }
+  EXPECT_NEAR(lp, oracle.log_probability, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpeRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,186 @@
+#include "bn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// X0 ~ N(1, 0.5); X1 | X0 ~ N(2 + 0.5 X0, 0.3).
+BayesianNetwork make_chain() {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x0"));
+  net.add_node(Variable::continuous("x1"));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.0, 0.5)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     2.0, std::vector<double>{0.5}, 0.3));
+  return net;
+}
+
+/// Binary A -> B with known CPTs.
+BayesianNetwork make_discrete_pair() {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {}, {0.6, 0.4})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.2, 0.8})));
+  return net;
+}
+
+TEST(BayesianNetwork, CompletenessTracking) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  EXPECT_FALSE(net.is_complete());
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(0.0, 1.0)));
+  EXPECT_TRUE(net.is_complete());
+}
+
+TEST(BayesianNetwork, FindNodeByName) {
+  const BayesianNetwork net = make_chain();
+  EXPECT_EQ(net.find_node("x1"), std::optional<std::size_t>(1));
+  EXPECT_FALSE(net.find_node("zz").has_value());
+}
+
+TEST(BayesianNetwork, SampleMomentsMatchModel) {
+  const BayesianNetwork net = make_chain();
+  kertbn::Rng rng(1);
+  RunningStats s0;
+  RunningStats s1;
+  for (int i = 0; i < 50000; ++i) {
+    const auto row = net.sample_row(rng);
+    s0.add(row[0]);
+    s1.add(row[1]);
+  }
+  EXPECT_NEAR(s0.mean(), 1.0, 0.01);
+  EXPECT_NEAR(s0.stddev(), 0.5, 0.01);
+  // E[X1] = 2 + 0.5*1 = 2.5; Var = 0.3^2 + 0.25*0.5^2.
+  EXPECT_NEAR(s1.mean(), 2.5, 0.01);
+  EXPECT_NEAR(s1.stddev(), std::sqrt(0.09 + 0.0625), 0.01);
+}
+
+TEST(BayesianNetwork, SampleDatasetColumnsNamedByVariables) {
+  const BayesianNetwork net = make_chain();
+  kertbn::Rng rng(2);
+  const Dataset data = net.sample(10, rng);
+  EXPECT_EQ(data.rows(), 10u);
+  EXPECT_EQ(data.column_names(),
+            (std::vector<std::string>{"x0", "x1"}));
+}
+
+TEST(BayesianNetwork, DiscreteSampleFrequencies) {
+  const BayesianNetwork net = make_discrete_pair();
+  kertbn::Rng rng(3);
+  int a1 = 0;
+  int b1_given_a1 = 0;
+  int a1_count = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto row = net.sample_row(rng);
+    if (row[0] == 1.0) {
+      ++a1;
+      ++a1_count;
+      if (row[1] == 1.0) ++b1_given_a1;
+    }
+  }
+  EXPECT_NEAR(a1 / double(n), 0.4, 0.01);
+  EXPECT_NEAR(b1_given_a1 / double(a1_count), 0.8, 0.02);
+}
+
+TEST(BayesianNetwork, LogLikelihoodDecomposesOverNodes) {
+  const BayesianNetwork net = make_chain();
+  kertbn::Rng rng(4);
+  const Dataset data = net.sample(100, rng);
+  const double total = net.log_likelihood(data);
+  const double by_nodes =
+      net.node_log_likelihood(0, data) + net.node_log_likelihood(1, data);
+  EXPECT_NEAR(total, by_nodes, 1e-9);
+}
+
+TEST(BayesianNetwork, Log10LikelihoodIsNaturalOverLn10) {
+  const BayesianNetwork net = make_chain();
+  kertbn::Rng rng(5);
+  const Dataset data = net.sample(50, rng);
+  EXPECT_NEAR(net.log10_likelihood(data),
+              net.log_likelihood(data) / std::log(10.0), 1e-9);
+}
+
+TEST(BayesianNetwork, TrueModelFitsBetterThanWrongModel) {
+  const BayesianNetwork net = make_chain();
+  kertbn::Rng rng(6);
+  const Dataset data = net.sample(500, rng);
+
+  BayesianNetwork wrong = make_chain();
+  wrong.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                       0.0, std::vector<double>{-1.0}, 0.3));
+  EXPECT_GT(net.log_likelihood(data), wrong.log_likelihood(data));
+}
+
+TEST(BayesianNetwork, CopyIsDeep) {
+  BayesianNetwork net = make_chain();
+  BayesianNetwork copy = net;
+  // Mutating the copy must not affect the original.
+  copy.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                      LinearGaussianCpd::root(100.0, 1.0)));
+  kertbn::Rng rng(7);
+  RunningStats orig;
+  for (int i = 0; i < 2000; ++i) orig.add(net.sample_row(rng)[0]);
+  EXPECT_NEAR(orig.mean(), 1.0, 0.05);
+}
+
+TEST(BayesianNetwork, ParameterCountSums) {
+  const BayesianNetwork net = make_discrete_pair();
+  // root: 1 config x 1 free; child: 2 configs x 1 free.
+  EXPECT_EQ(net.parameter_count(), 3u);
+}
+
+TEST(BayesianNetwork, DescribeListsDependencies) {
+  const BayesianNetwork net = make_chain();
+  const std::string s = net.describe();
+  EXPECT_NE(s.find("x1 | x0"), std::string::npos);
+}
+
+TEST(BayesianNetwork, SetCpdValidatesCardinalities) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 3));
+  net.add_edge(0, 1);
+  // CPD with wrong parent cardinality must abort; verify via death test.
+  EXPECT_DEATH(net.set_cpd(1, std::make_unique<TabularCpd>(
+                                  TabularCpd::uniform(3, {4}))),
+               "precondition");
+}
+
+TEST(BayesianNetwork, TopologicalSamplingRespectsAncestry) {
+  // Deep chain: each node copies its parent exactly (sigma tiny), so the
+  // sampled row must be near-constant across nodes.
+  BayesianNetwork net;
+  const std::size_t depth = 12;
+  for (std::size_t i = 0; i < depth; ++i) {
+    net.add_node(Variable::continuous("n" + std::to_string(i)));
+    if (i > 0) net.add_edge(i - 1, i);
+  }
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(3.0, 1e-9)));
+  for (std::size_t i = 1; i < depth; ++i) {
+    net.set_cpd(i, std::make_unique<LinearGaussianCpd>(
+                       0.0, std::vector<double>{1.0}, 1e-9));
+  }
+  kertbn::Rng rng(8);
+  const auto row = net.sample_row(rng);
+  for (double v : row) EXPECT_NEAR(v, 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

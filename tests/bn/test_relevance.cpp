@@ -1,0 +1,126 @@
+#include "bn/relevance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/discrete_inference.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Chain a -> b -> c -> d of binaries with random CPTs.
+BayesianNetwork random_chain(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(Variable::discrete("v" + std::to_string(i), 2));
+    if (i > 0) net.add_edge(i - 1, i);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t configs = v == 0 ? 1 : 2;
+    std::vector<double> table;
+    for (std::size_t c = 0; c < configs; ++c) {
+      const double p = rng.uniform(0.1, 0.9);
+      table.push_back(p);
+      table.push_back(1.0 - p);
+    }
+    net.set_cpd(v, std::make_unique<TabularCpd>(TabularCpd(
+                       2, v == 0 ? std::vector<std::size_t>{}
+                                 : std::vector<std::size_t>{2},
+                       table)));
+  }
+  return net;
+}
+
+TEST(Relevance, DropsDescendantsOfQuery) {
+  // Query v1 with no evidence on a 6-chain: only {v0, v1} are relevant.
+  const BayesianNetwork net = random_chain(6, 1);
+  const RelevantSubnetwork sub = relevant_subnetwork(net, 1, {});
+  EXPECT_EQ(sub.net.size(), 2u);
+  EXPECT_TRUE(sub.contains(0));
+  EXPECT_TRUE(sub.contains(1));
+  EXPECT_FALSE(sub.contains(5));
+}
+
+TEST(Relevance, KeepsEvidenceAncestry) {
+  const BayesianNetwork net = random_chain(6, 2);
+  const std::size_t evidence_nodes[] = {4};
+  const RelevantSubnetwork sub = relevant_subnetwork(net, 1, evidence_nodes);
+  // Ancestors of {1, 4} = {0..4}; v5 drops.
+  EXPECT_EQ(sub.net.size(), 5u);
+  EXPECT_FALSE(sub.contains(5));
+}
+
+TEST(Relevance, IndexMappingRoundTrips) {
+  const BayesianNetwork net = random_chain(5, 3);
+  const std::size_t evidence_nodes[] = {3};
+  const RelevantSubnetwork sub = relevant_subnetwork(net, 2, evidence_nodes);
+  for (std::size_t p = 0; p < sub.net.size(); ++p) {
+    EXPECT_EQ(sub.pruned_of[sub.original_of[p]], p);
+    EXPECT_EQ(sub.net.variable(p).name,
+              net.variable(sub.original_of[p]).name);
+  }
+}
+
+TEST(Relevance, PrunedPosteriorMatchesFullVe) {
+  const BayesianNetwork net = random_chain(7, 4);
+  const VariableElimination ve(net);
+  const std::map<std::size_t, std::size_t> evidence{{5, 1}};
+  for (std::size_t q : {0u, 2u, 3u}) {
+    const auto full = ve.posterior(q, DiscreteEvidence(evidence.begin(),
+                                                       evidence.end()));
+    const auto pruned = pruned_posterior(net, q, evidence);
+    ASSERT_EQ(full.size(), pruned.size());
+    for (std::size_t s = 0; s < full.size(); ++s) {
+      EXPECT_NEAR(full[s], pruned[s], 1e-12) << "query " << q;
+    }
+  }
+}
+
+TEST(Relevance, KertBnDCompQueryPrunesDownstream) {
+  // On a discrete KERT-BN, querying a mid-workflow service with evidence
+  // on its upstream only must drop D and the other branch entirely.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(5);
+  const bn::Dataset train = env.generate(400, rng);
+  const core::DatasetDiscretizer disc(train, 3);
+  const auto kert = core::construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  // Query ogsa_dai_local (4) given work_list (1): relevant = ancestors
+  // of {4, 1} only — D (node 6) must be pruned.
+  const std::size_t evidence_nodes[] = {1};
+  const RelevantSubnetwork sub =
+      relevant_subnetwork(kert.net, 4, evidence_nodes);
+  EXPECT_FALSE(sub.contains(6));
+  EXPECT_LT(sub.net.size(), kert.net.size());
+
+  // And posteriors agree with the full model.
+  const VariableElimination ve(kert.net);
+  const auto full = ve.posterior(4, {{1, 2}});
+  const auto pruned = pruned_posterior(kert.net, 4, {{1, 2}});
+  for (std::size_t s = 0; s < full.size(); ++s) {
+    EXPECT_NEAR(full[s], pruned[s], 1e-12);
+  }
+}
+
+TEST(Relevance, FullQueryKeepsEverything) {
+  // Evidence on D forces the whole KERT-BN to stay (all services are D's
+  // ancestors).
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(6);
+  const bn::Dataset train = env.generate(300, rng);
+  const core::DatasetDiscretizer disc(train, 3);
+  const auto kert = core::construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+  const std::size_t evidence_nodes[] = {6};
+  const RelevantSubnetwork sub =
+      relevant_subnetwork(kert.net, 0, evidence_nodes);
+  EXPECT_EQ(sub.net.size(), kert.net.size());
+}
+
+}  // namespace
+}  // namespace kertbn::bn

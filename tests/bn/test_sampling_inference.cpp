@@ -1,0 +1,148 @@
+#include "bn/sampling_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "bn/deterministic_cpd.hpp"
+#include "bn/gaussian_inference.hpp"
+#include "bn/linear_gaussian_cpd.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+BayesianNetwork two_node() {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.0, 1.0)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     0.0, std::vector<double>{2.0}, 0.5));
+  return net;
+}
+
+/// Network whose response node is a deterministic max — the exact case the
+/// paper's MATLAB toolbox could not express.
+BayesianNetwork max_network(double leak_sigma = 0.01) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("a"));
+  net.add_node(Variable::continuous("b"));
+  net.add_node(Variable::continuous("d"));
+  net.add_edge(0, 2);
+  net.add_edge(1, 2);
+  net.set_cpd(0, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.0, 0.2)));
+  net.set_cpd(1, std::make_unique<LinearGaussianCpd>(
+                     LinearGaussianCpd::root(1.2, 0.2)));
+  DeterministicFn fn;
+  fn.arity = 2;
+  fn.expression = "max(a, b)";
+  fn.fn = [](std::span<const double> xs) { return std::max(xs[0], xs[1]); };
+  net.set_cpd(2, std::make_unique<DeterministicCpd>(fn, leak_sigma));
+  return net;
+}
+
+TEST(WeightedSamples, MomentsOfUniformWeights) {
+  WeightedSamples ws;
+  ws.values = {1.0, 2.0, 3.0};
+  ws.weights = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(ws.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(ws.variance(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ws.exceedance(1.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ws.effective_sample_size(), 3.0, 1e-12);
+}
+
+TEST(WeightedSamples, WeightsBiasMoments) {
+  WeightedSamples ws;
+  ws.values = {0.0, 10.0};
+  ws.weights = {3.0, 1.0};
+  EXPECT_NEAR(ws.mean(), 2.5, 1e-12);
+  EXPECT_NEAR(ws.exceedance(5.0), 0.25, 1e-12);
+  EXPECT_LT(ws.effective_sample_size(), 2.0);
+}
+
+TEST(WeightedSamples, ResampleApproximatesWeights) {
+  WeightedSamples ws;
+  ws.values = {0.0, 1.0};
+  ws.weights = {0.25, 0.75};
+  kertbn::Rng rng(1);
+  const auto res = ws.resample(10000, rng);
+  const double frac_ones =
+      std::count(res.begin(), res.end(), 1.0) / 10000.0;
+  EXPECT_NEAR(frac_ones, 0.75, 0.02);
+}
+
+TEST(ForwardMarginal, MatchesAnalyticMoments) {
+  const BayesianNetwork net = two_node();
+  kertbn::Rng rng(2);
+  const auto xs = forward_marginal(net, 1, 50000, rng);
+  EXPECT_NEAR(mean(xs), 2.0, 0.03);
+  EXPECT_NEAR(stddev(xs), std::sqrt(4.25), 0.03);
+}
+
+TEST(LikelihoodWeighting, AgreesWithExactGaussianConditioning) {
+  const BayesianNetwork net = two_node();
+  const ScalarPosterior exact = gaussian_posterior(net, 0, {{1, 4.0}});
+  kertbn::Rng rng(3);
+  const WeightedSamples ws = likelihood_weighted_posterior(
+      net, 0, {{1, 4.0}}, rng, {.samples = 100000});
+  EXPECT_NEAR(ws.mean(), exact.mean, 0.02);
+  EXPECT_NEAR(std::sqrt(ws.variance()), std::sqrt(exact.variance), 0.02);
+}
+
+TEST(LikelihoodWeighting, HandlesDeterministicMaxNode) {
+  // Observe D high; both parents' posteriors should shift up, and the one
+  // with the higher prior (b) should be the likelier bottleneck.
+  const BayesianNetwork net = max_network(0.05);
+  kertbn::Rng rng(4);
+  const WeightedSamples post_b = likelihood_weighted_posterior(
+      net, 1, {{2, 1.8}}, rng, {.samples = 60000});
+  EXPECT_GT(post_b.mean(), 1.3);  // prior mean was 1.2
+  EXPECT_GT(post_b.effective_sample_size(), 50.0);
+}
+
+TEST(LikelihoodWeighting, MaxNodeForwardVsPosteriorConsistency) {
+  // Without evidence, LW with empty evidence reduces to forward sampling.
+  const BayesianNetwork net = max_network(0.01);
+  kertbn::Rng rng(5);
+  const WeightedSamples ws =
+      likelihood_weighted_posterior(net, 2, {}, rng, {.samples = 30000});
+  // E[max(A, B)] for these priors: estimate numerically.
+  kertbn::Rng rng2(6);
+  RunningStats direct;
+  for (int i = 0; i < 30000; ++i) {
+    direct.add(std::max(rng2.normal(1.0, 0.2), rng2.normal(1.2, 0.2)));
+  }
+  EXPECT_NEAR(ws.mean(), direct.mean(), 0.01);
+}
+
+TEST(LikelihoodWeighting, TinyLeakSigmaDoesNotUnderflow) {
+  // With leak sigma 1e-6 raw weights are astronomically small; the log-max
+  // shift must keep the estimate usable.
+  const BayesianNetwork net = max_network(1e-6);
+  kertbn::Rng rng(7);
+  const WeightedSamples ws = likelihood_weighted_posterior(
+      net, 0, {{2, 1.5}}, rng, {.samples = 20000});
+  EXPECT_GT(ws.weight_total(), 0.0);
+  EXPECT_TRUE(std::isfinite(ws.mean()));
+  // Posterior of a must remain at or below the observed max.
+  EXPECT_LE(ws.mean(), 1.55);
+}
+
+TEST(LikelihoodWeighting, EvidenceOnRootConditionsChildren) {
+  const BayesianNetwork net = two_node();
+  kertbn::Rng rng(8);
+  const WeightedSamples ws = likelihood_weighted_posterior(
+      net, 1, {{0, 2.0}}, rng, {.samples = 20000});
+  // Y | X=2 ~ N(4, 0.5²): root evidence costs no weight variance.
+  EXPECT_NEAR(ws.mean(), 4.0, 0.02);
+  EXPECT_NEAR(ws.effective_sample_size(), 20000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,126 @@
+#include "bn/scores.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/network.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Samples a binary A->B dataset with strong dependence.
+Dataset dependent_binary(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  Dataset data({"a", "b"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double b =
+        rng.bernoulli(a == 1.0 ? 0.9 : 0.1) ? 1.0 : 0.0;
+    data.add_row(std::vector<double>{a, b});
+  }
+  return data;
+}
+
+Dataset independent_binary(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  Dataset data({"a", "b"});
+  for (std::size_t i = 0; i < n; ++i) {
+    data.add_row(std::vector<double>{rng.bernoulli(0.5) ? 1.0 : 0.0,
+                                     rng.bernoulli(0.5) ? 1.0 : 0.0});
+  }
+  return data;
+}
+
+const std::vector<Variable> kBinaryVars{Variable::discrete("a", 2),
+                                        Variable::discrete("b", 2)};
+
+TEST(K2Score, PrefersTrueParentUnderDependence) {
+  const Dataset data = dependent_binary(2000, 1);
+  const std::vector<std::size_t> with_parent{0};
+  const double s_with = k2_family_score(data, 1, with_parent, kBinaryVars);
+  const double s_without = k2_family_score(data, 1, {}, kBinaryVars);
+  EXPECT_GT(s_with, s_without);
+}
+
+TEST(K2Score, PenalizesSpuriousParentUnderIndependence) {
+  const Dataset data = independent_binary(2000, 2);
+  const std::vector<std::size_t> with_parent{0};
+  const double s_with = k2_family_score(data, 1, with_parent, kBinaryVars);
+  const double s_without = k2_family_score(data, 1, {}, kBinaryVars);
+  EXPECT_LT(s_with, s_without);
+}
+
+TEST(K2Score, MoreDataSharpensPreference) {
+  const double gap_small = [&] {
+    const Dataset d = dependent_binary(100, 3);
+    const std::vector<std::size_t> p{0};
+    return k2_family_score(d, 1, p, kBinaryVars) -
+           k2_family_score(d, 1, {}, kBinaryVars);
+  }();
+  const double gap_large = [&] {
+    const Dataset d = dependent_binary(5000, 3);
+    const std::vector<std::size_t> p{0};
+    return k2_family_score(d, 1, p, kBinaryVars) -
+           k2_family_score(d, 1, {}, kBinaryVars);
+  }();
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST(GaussianBic, PrefersTrueParent) {
+  kertbn::Rng rng(4);
+  Dataset data({"x", "y"});
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    data.add_row(std::vector<double>{x, 2.0 * x + rng.normal(0.0, 0.2)});
+  }
+  const std::vector<std::size_t> parent{0};
+  EXPECT_GT(gaussian_bic_family_score(data, 1, parent),
+            gaussian_bic_family_score(data, 1, {}));
+}
+
+TEST(GaussianBic, PenalizesUselessParent) {
+  kertbn::Rng rng(5);
+  Dataset data({"x", "y"});
+  for (int i = 0; i < 1000; ++i) {
+    data.add_row(std::vector<double>{rng.normal(), rng.normal()});
+  }
+  const std::vector<std::size_t> parent{0};
+  EXPECT_LT(gaussian_bic_family_score(data, 1, parent),
+            gaussian_bic_family_score(data, 1, {}));
+}
+
+TEST(MakeFamilyScore, DispatchesOnVariableKinds) {
+  // Discrete vars -> K2 score semantics (exact equality check).
+  const Dataset ddata = dependent_binary(500, 6);
+  const FamilyScoreFn dscore = make_family_score(kBinaryVars);
+  const std::vector<std::size_t> p{0};
+  EXPECT_DOUBLE_EQ(dscore(ddata, 1, p),
+                   k2_family_score(ddata, 1, p, kBinaryVars));
+
+  // Continuous vars -> Gaussian BIC.
+  kertbn::Rng rng(7);
+  Dataset cdata({"x", "y"});
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.normal();
+    cdata.add_row(std::vector<double>{x, x + rng.normal(0.0, 0.5)});
+  }
+  const std::vector<Variable> cvars{Variable::continuous("x"),
+                                    Variable::continuous("y")};
+  const FamilyScoreFn cscore = make_family_score(cvars);
+  EXPECT_DOUBLE_EQ(cscore(cdata, 1, p),
+                   gaussian_bic_family_score(cdata, 1, p));
+}
+
+TEST(StructureScore, SumsFamilies) {
+  const Dataset data = dependent_binary(500, 8);
+  const FamilyScoreFn score = make_family_score(kBinaryVars);
+  const std::vector<std::vector<std::size_t>> parents{{}, {0}};
+  const double total = structure_score(data, parents, score);
+  EXPECT_DOUBLE_EQ(total, score(data, 0, {}) +
+                              score(data, 1, std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace kertbn::bn

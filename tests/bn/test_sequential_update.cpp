@@ -1,0 +1,165 @@
+#include "bn/sequential_update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/deterministic_cpd.hpp"
+#include "bn/learning.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Continuous two-node skeleton x -> y with no CPDs installed.
+BayesianNetwork continuous_skeleton() {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("y"));
+  net.add_edge(0, 1);
+  return net;
+}
+
+Dataset linear_data(std::size_t n, std::uint64_t seed, double slope = 2.0,
+                    double intercept = 1.0) {
+  kertbn::Rng rng(seed);
+  Dataset data({"x", "y"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    data.add_row(std::vector<double>{
+        x, intercept + slope * x + rng.normal(0.0, 0.2)});
+  }
+  return data;
+}
+
+TEST(SequentialUpdater, SingleBatchMatchesBatchLearner) {
+  const Dataset data = linear_data(2000, 1);
+
+  BayesianNetwork updated = continuous_skeleton();
+  SequentialUpdater updater(updated, {.dirichlet_alpha = 0.0});
+  updater.update(data);
+
+  BayesianNetwork batch = continuous_skeleton();
+  learn_parameters(batch, data);
+
+  const auto& u = static_cast<const LinearGaussianCpd&>(updated.cpd(1));
+  const auto& b = static_cast<const LinearGaussianCpd&>(batch.cpd(1));
+  EXPECT_NEAR(u.intercept(), b.intercept(), 1e-6);
+  EXPECT_NEAR(u.weights()[0], b.weights()[0], 1e-6);
+  EXPECT_NEAR(u.sigma(), b.sigma(), 1e-4);
+}
+
+TEST(SequentialUpdater, IncrementalBatchesEqualOneBigBatch) {
+  const Dataset data = linear_data(1200, 2);
+
+  BayesianNetwork incremental = continuous_skeleton();
+  SequentialUpdater updater(incremental, {.dirichlet_alpha = 0.0});
+  for (std::size_t start = 0; start < data.rows(); start += 300) {
+    updater.update(data.slice_rows(start, start + 300));
+  }
+  EXPECT_EQ(updater.observations(), 1200u);
+
+  BayesianNetwork once = continuous_skeleton();
+  SequentialUpdater single(once, {.dirichlet_alpha = 0.0});
+  single.update(data);
+
+  const auto& a = static_cast<const LinearGaussianCpd&>(incremental.cpd(1));
+  const auto& c = static_cast<const LinearGaussianCpd&>(once.cpd(1));
+  EXPECT_NEAR(a.intercept(), c.intercept(), 1e-9);
+  EXPECT_NEAR(a.weights()[0], c.weights()[0], 1e-9);
+  EXPECT_NEAR(a.sigma(), c.sigma(), 1e-9);
+}
+
+TEST(SequentialUpdater, DiscreteCountsAccumulate) {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  SequentialUpdater updater(net, {.dirichlet_alpha = 0.0});
+
+  Dataset first({"a"});
+  for (int i = 0; i < 10; ++i) first.add_row(std::vector<double>{0.0});
+  updater.update(first);
+  EXPECT_NEAR(static_cast<const TabularCpd&>(net.cpd(0)).probability(0, 0),
+              1.0, 1e-12);
+
+  Dataset second({"a"});
+  for (int i = 0; i < 30; ++i) second.add_row(std::vector<double>{1.0});
+  updater.update(second);
+  // 10 zeros + 30 ones accumulated.
+  EXPECT_NEAR(static_cast<const TabularCpd&>(net.cpd(0)).probability(0, 1),
+              0.75, 1e-12);
+}
+
+TEST(SequentialUpdater, LeavesKnowledgeGivenCpdsAlone) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  net.add_node(Variable::continuous("d"));
+  net.add_edge(0, 1);
+  DeterministicFn fn;
+  fn.arity = 1;
+  fn.expression = "x";
+  fn.fn = [](std::span<const double> xs) { return xs[0]; };
+  net.set_cpd(1, std::make_unique<DeterministicCpd>(fn, 0.01));
+
+  SequentialUpdater updater(net);
+  EXPECT_EQ(updater.learnable_nodes(), (std::vector<std::size_t>{0}));
+  Dataset data({"x", "d"});
+  data.add_row(std::vector<double>{1.0, 1.0});
+  updater.update(data);
+  EXPECT_EQ(net.cpd(1).kind(), CpdKind::kDeterministic);
+  EXPECT_EQ(net.cpd(0).kind(), CpdKind::kLinearGaussian);
+}
+
+TEST(SequentialUpdater, StaleDataLingersWithoutForgetting) {
+  // The paper's Section 2 argument, in miniature: after a regime change
+  // the no-forgetting update stays anchored to the old mean while a
+  // windowed rebuild tracks the new one.
+  BayesianNetwork updated;
+  updated.add_node(Variable::continuous("x"));
+  SequentialUpdater updater(updated, {.dirichlet_alpha = 0.0});
+
+  kertbn::Rng rng(3);
+  Dataset old_regime({"x"});
+  for (int i = 0; i < 900; ++i) {
+    old_regime.add_row(std::vector<double>{rng.normal(1.0, 0.1)});
+  }
+  Dataset new_regime({"x"});
+  for (int i = 0; i < 100; ++i) {
+    new_regime.add_row(std::vector<double>{rng.normal(3.0, 0.1)});
+  }
+  updater.update(old_regime);
+  updater.update(new_regime);
+  const double updated_mean = updated.cpd(0).mean({});
+  // 900 old + 100 new observations: mean ~ 1.2, far from the current 3.0.
+  EXPECT_LT(updated_mean, 1.5);
+
+  BayesianNetwork rebuilt;
+  rebuilt.add_node(Variable::continuous("x"));
+  learn_parameters(rebuilt, new_regime);
+  EXPECT_NEAR(rebuilt.cpd(0).mean({}), 3.0, 0.1);
+}
+
+TEST(SequentialUpdater, ForgettingFactorAdapts) {
+  BayesianNetwork net;
+  net.add_node(Variable::continuous("x"));
+  SequentialUpdater updater(net,
+                            {.dirichlet_alpha = 0.0, .forgetting = 0.5});
+  kertbn::Rng rng(4);
+  // 9 batches of the old regime, then 4 of the new: with decay 0.5 per
+  // batch the old mass is tiny.
+  for (int b = 0; b < 9; ++b) {
+    Dataset batch({"x"});
+    for (int i = 0; i < 100; ++i) {
+      batch.add_row(std::vector<double>{rng.normal(1.0, 0.1)});
+    }
+    updater.update(batch);
+  }
+  for (int b = 0; b < 4; ++b) {
+    Dataset batch({"x"});
+    for (int i = 0; i < 100; ++i) {
+      batch.add_row(std::vector<double>{rng.normal(3.0, 0.1)});
+    }
+    updater.update(batch);
+  }
+  EXPECT_NEAR(net.cpd(0).mean({}), 3.0, 0.25);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

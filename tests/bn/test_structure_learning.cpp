@@ -1,0 +1,207 @@
+#include "bn/structure_learning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/network.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Ground-truth chain A -> B -> C over binaries with strong links.
+BayesianNetwork binary_chain() {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("a", 2));
+  net.add_node(Variable::discrete("b", 2));
+  net.add_node(Variable::discrete("c", 2));
+  net.add_edge(0, 1);
+  net.add_edge(1, 2);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.95, 0.05, 0.05, 0.95})));
+  net.set_cpd(2, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.1, 0.9})));
+  return net;
+}
+
+std::vector<Variable> vars_of(const BayesianNetwork& net) {
+  std::vector<Variable> vars;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    vars.push_back(net.variable(v));
+  }
+  return vars;
+}
+
+TEST(K2, RecoversChainGivenCausalOrder) {
+  const BayesianNetwork truth = binary_chain();
+  kertbn::Rng rng(1);
+  const Dataset data = truth.sample(4000, rng);
+  const auto vars = vars_of(truth);
+  const FamilyScoreFn score = make_family_score(vars);
+
+  const StructureResult result = k2_search(data, vars, score);
+  EXPECT_EQ(result.parents[0], (std::vector<std::size_t>{}));
+  EXPECT_EQ(result.parents[1], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(result.parents[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(K2, IndependentVariablesStayUnconnected) {
+  kertbn::Rng rng(2);
+  Dataset data({"a", "b", "c"});
+  for (int i = 0; i < 3000; ++i) {
+    data.add_row(std::vector<double>{rng.bernoulli(0.5) ? 1.0 : 0.0,
+                                     rng.bernoulli(0.3) ? 1.0 : 0.0,
+                                     rng.bernoulli(0.7) ? 1.0 : 0.0});
+  }
+  const std::vector<Variable> vars{Variable::discrete("a", 2),
+                                   Variable::discrete("b", 2),
+                                   Variable::discrete("c", 2)};
+  const StructureResult result =
+      k2_search(data, vars, make_family_score(vars));
+  for (const auto& parents : result.parents) {
+    EXPECT_TRUE(parents.empty());
+  }
+}
+
+TEST(K2, MaxParentsCapRespected) {
+  // Node y depends on three strong continuous parents; cap at 2.
+  kertbn::Rng rng(3);
+  Dataset data({"x0", "x1", "x2", "y"});
+  for (int i = 0; i < 2000; ++i) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    const double x2 = rng.normal();
+    data.add_row(std::vector<double>{
+        x0, x1, x2, x0 + x1 + x2 + rng.normal(0.0, 0.1)});
+  }
+  std::vector<Variable> vars{
+      Variable::continuous("x0"), Variable::continuous("x1"),
+      Variable::continuous("x2"), Variable::continuous("y")};
+  K2Options opts;
+  opts.max_parents = 2;
+  const StructureResult result =
+      k2_search(data, vars, make_family_score(vars), opts);
+  EXPECT_LE(result.parents[3].size(), 2u);
+  EXPECT_EQ(result.parents[3].size(), 2u);  // strong signal fills the cap
+}
+
+TEST(K2, OrderingMattersAndRestartsRecover) {
+  const BayesianNetwork truth = binary_chain();
+  kertbn::Rng rng(4);
+  const Dataset data = truth.sample(4000, rng);
+  const auto vars = vars_of(truth);
+  const FamilyScoreFn score = make_family_score(vars);
+
+  // Both the causal and the reversed ordering recover a 2-edge structure in
+  // the chain's Markov-equivalence class (the reversed order orients edges
+  // backwards, which the CH score accepts — it is not score-equivalent, so
+  // the two scores may differ slightly in either direction).
+  const std::vector<std::size_t> causal{0, 1, 2};
+  const std::vector<std::size_t> reversed{2, 1, 0};
+  const StructureResult r_causal = k2_search(data, vars, causal, score);
+  const StructureResult r_reversed = k2_search(data, vars, reversed, score);
+  auto edge_count = [](const StructureResult& r) {
+    std::size_t e = 0;
+    for (const auto& p : r.parents) e += p.size();
+    return e;
+  };
+  EXPECT_EQ(edge_count(r_causal), 2u);
+  EXPECT_EQ(edge_count(r_reversed), 2u);
+
+  // Random restarts must do at least as well as either fixed ordering.
+  kertbn::Rng restart_rng(5);
+  const StructureResult best =
+      k2_random_restarts(data, vars, 20, restart_rng, score);
+  const double best_fixed = std::max(r_causal.score, r_reversed.score);
+  EXPECT_GE(best.score, best_fixed - 1e-9 * std::abs(best_fixed));
+}
+
+TEST(K2, ToDagMaterializesParents) {
+  const BayesianNetwork truth = binary_chain();
+  kertbn::Rng rng(6);
+  const Dataset data = truth.sample(2000, rng);
+  const auto vars = vars_of(truth);
+  const StructureResult result =
+      k2_search(data, vars, make_family_score(vars));
+  const graph::Dag dag = result.to_dag(vars);
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_TRUE(dag.has_edge(1, 2));
+  EXPECT_EQ(dag.label(0), "a");
+}
+
+TEST(Exhaustive, MatchesBestPossibleScoreOnTinyProblem) {
+  const BayesianNetwork truth = binary_chain();
+  kertbn::Rng rng(7);
+  const Dataset data = truth.sample(3000, rng);
+  const auto vars = vars_of(truth);
+  const FamilyScoreFn score = make_family_score(vars);
+
+  const StructureResult exact = exhaustive_search(data, vars, score);
+  // K2 with the causal order cannot beat the exact optimum.
+  const StructureResult greedy = k2_search(data, vars, score);
+  EXPECT_GE(exact.score, greedy.score - 1e-9);
+  // And the exact optimum should link the chain (in some orientation).
+  std::size_t edges = 0;
+  for (const auto& p : exact.parents) edges += p.size();
+  EXPECT_GE(edges, 2u);
+}
+
+TEST(Exhaustive, RejectsOversizedProblems) {
+  Dataset data({"a", "b", "c", "d", "e", "f"});
+  std::vector<Variable> vars(6, Variable::discrete("x", 2));
+  EXPECT_DEATH(exhaustive_search(data, vars, make_family_score(vars)),
+               "precondition");
+}
+
+TEST(K2, ContinuousRecoversLinearChain) {
+  kertbn::Rng rng(8);
+  Dataset data({"x", "y"});
+  for (int i = 0; i < 1500; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    data.add_row(std::vector<double>{x, 3.0 * x + rng.normal(0.0, 0.3)});
+  }
+  const std::vector<Variable> vars{Variable::continuous("x"),
+                                   Variable::continuous("y")};
+  const StructureResult result =
+      k2_search(data, vars, make_family_score(vars));
+  EXPECT_EQ(result.parents[1], (std::vector<std::size_t>{0}));
+}
+
+// Structure-learning cost property: candidate evaluations grow super-
+// linearly with n (the Figure 4 mechanism). We check the count, not the
+// wall-clock, to keep the test robust.
+TEST(K2, CandidateEvaluationsGrowSuperlinearly) {
+  auto count_evaluations = [](std::size_t n) {
+    kertbn::Rng rng(9);
+    Dataset data(std::vector<std::string>(n, "x"));
+    for (int r = 0; r < 30; ++r) {
+      std::vector<double> row(n);
+      for (auto& v : row) v = rng.normal();
+      data.add_row(row);
+    }
+    std::vector<Variable> vars;
+    for (std::size_t i = 0; i < n; ++i) {
+      vars.push_back(Variable::continuous("x" + std::to_string(i)));
+    }
+    std::size_t evals = 0;
+    const FamilyScoreFn counting =
+        [&evals](const Dataset& d, std::size_t child,
+                 std::span<const std::size_t> parents) {
+          ++evals;
+          return gaussian_bic_family_score(d, child, parents);
+        };
+    k2_search(data, vars, counting);
+    return evals;
+  };
+  const std::size_t e10 = count_evaluations(10);
+  const std::size_t e40 = count_evaluations(40);
+  // Linear growth would give a factor 4; require clearly super-linear.
+  EXPECT_GT(e40, e10 * 8);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,102 @@
+#include "bn/tabular_cpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+TEST(TabularCpd, RootNodeDistribution) {
+  TabularCpd cpd(3, {}, {0.2, 0.3, 0.5});
+  EXPECT_EQ(cpd.parent_count(), 0u);
+  EXPECT_EQ(cpd.config_count(), 1u);
+  EXPECT_DOUBLE_EQ(cpd.probability(0, 2), 0.5);
+  EXPECT_NEAR(cpd.log_prob(1.0, {}), std::log(0.3), 1e-12);
+}
+
+TEST(TabularCpd, RowsAreRenormalized) {
+  TabularCpd cpd(2, {}, {2.0, 6.0});
+  EXPECT_DOUBLE_EQ(cpd.probability(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(cpd.probability(0, 1), 0.75);
+}
+
+TEST(TabularCpd, AllZeroRowBecomesUniform) {
+  TabularCpd cpd(2, {2}, {0.0, 0.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(cpd.probability(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cpd.probability(1, 0), 0.25);
+}
+
+TEST(TabularCpd, ConfigIndexMixedRadix) {
+  // Parents with cardinalities 2 and 3: config = p0 * 3 + p1.
+  TabularCpd cpd = TabularCpd::uniform(2, {2, 3});
+  EXPECT_EQ(cpd.config_count(), 6u);
+  const double parents[] = {1.0, 2.0};
+  EXPECT_EQ(cpd.config_index(parents), 5u);
+  const double parents2[] = {0.0, 1.0};
+  EXPECT_EQ(cpd.config_index(parents2), 1u);
+}
+
+TEST(TabularCpd, ConditionalRowsSelectedByParents) {
+  // One binary parent: rows [0.9, 0.1] and [0.2, 0.8].
+  TabularCpd cpd(2, {2}, {0.9, 0.1, 0.2, 0.8});
+  const double p0[] = {0.0};
+  const double p1[] = {1.0};
+  EXPECT_NEAR(cpd.log_prob(0.0, p0), std::log(0.9), 1e-12);
+  EXPECT_NEAR(cpd.log_prob(0.0, p1), std::log(0.2), 1e-12);
+}
+
+TEST(TabularCpd, SamplingFollowsRow) {
+  TabularCpd cpd(2, {2}, {0.9, 0.1, 0.2, 0.8});
+  kertbn::Rng rng(1);
+  int ones_given_p0 = 0;
+  int ones_given_p1 = 0;
+  const int n = 20000;
+  const double p0[] = {0.0};
+  const double p1[] = {1.0};
+  for (int i = 0; i < n; ++i) {
+    ones_given_p0 += cpd.sample(p0, rng) == 1.0 ? 1 : 0;
+    ones_given_p1 += cpd.sample(p1, rng) == 1.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(ones_given_p0 / double(n), 0.1, 0.01);
+  EXPECT_NEAR(ones_given_p1 / double(n), 0.8, 0.01);
+}
+
+TEST(TabularCpd, MeanIsExpectedStateIndex) {
+  TabularCpd cpd(3, {}, {0.5, 0.25, 0.25});
+  EXPECT_DOUBLE_EQ(cpd.mean({}), 0.75);
+}
+
+TEST(TabularCpd, UnseenStateFloorKeepsLogProbFinite) {
+  TabularCpd cpd(2, {}, {1.0, 0.0});
+  const double lp = cpd.log_prob(1.0, {});
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, std::log(1e-9));
+}
+
+TEST(TabularCpd, CloneIsDeepAndEqual) {
+  TabularCpd cpd(2, {2}, {0.9, 0.1, 0.2, 0.8});
+  auto clone = cpd.clone();
+  EXPECT_EQ(clone->kind(), CpdKind::kTabular);
+  const double p1[] = {1.0};
+  EXPECT_DOUBLE_EQ(clone->log_prob(1.0, p1), cpd.log_prob(1.0, p1));
+}
+
+TEST(TabularCpd, ParameterCount) {
+  TabularCpd cpd = TabularCpd::uniform(4, {3, 2});
+  // 6 configs x (4-1) free parameters.
+  EXPECT_EQ(cpd.parameter_count(), 18u);
+}
+
+TEST(TabularCpd, MutationPlusNormalize) {
+  TabularCpd cpd = TabularCpd::uniform(2, {});
+  cpd.probability_ref(0, 0) = 3.0;
+  cpd.probability_ref(0, 1) = 1.0;
+  cpd.normalize_rows();
+  EXPECT_DOUBLE_EQ(cpd.probability(0, 0), 0.75);
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,126 @@
+#include "bn/tan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/learning.hpp"
+#include "bn/network.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Generative model: class C drives X0; X0 drives X1; X2 independent.
+BayesianNetwork tan_ground_truth() {
+  BayesianNetwork net;
+  net.add_node(Variable::discrete("c", 2));
+  net.add_node(Variable::discrete("x0", 2));
+  net.add_node(Variable::discrete("x1", 2));
+  net.add_node(Variable::discrete("x2", 2));
+  net.add_edge(0, 1);
+  net.add_edge(1, 2);
+  net.set_cpd(0, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.5, 0.5})));
+  net.set_cpd(1, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.9, 0.1, 0.2, 0.8})));
+  net.set_cpd(2, std::make_unique<TabularCpd>(
+                     TabularCpd(2, {2}, {0.85, 0.15, 0.15, 0.85})));
+  net.set_cpd(3, std::make_unique<TabularCpd>(TabularCpd(2, {}, {0.6, 0.4})));
+  return net;
+}
+
+TEST(ConditionalMutualInformation, NonNegativeAndDetectsDependence) {
+  const BayesianNetwork truth = tan_ground_truth();
+  kertbn::Rng rng(1);
+  const Dataset data = truth.sample(8000, rng);
+  std::vector<Variable> vars;
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    vars.push_back(truth.variable(v));
+  }
+  // X0-X1 are dependent given C (direct edge); X0-X2 are independent.
+  const double dependent =
+      conditional_mutual_information(data, 1, 2, 0, vars);
+  const double independent =
+      conditional_mutual_information(data, 1, 3, 0, vars);
+  EXPECT_GT(dependent, 0.05);
+  EXPECT_LT(independent, 0.01);
+  EXPECT_GE(independent, -1e-9);
+}
+
+TEST(Tan, StructureShape) {
+  const BayesianNetwork truth = tan_ground_truth();
+  kertbn::Rng rng(2);
+  const Dataset data = truth.sample(5000, rng);
+  std::vector<Variable> vars;
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    vars.push_back(truth.variable(v));
+  }
+  const StructureResult tan = tan_structure(data, vars, 0);
+  // Class has no parents; every feature has the class plus at most one
+  // feature parent.
+  EXPECT_TRUE(tan.parents[0].empty());
+  std::size_t feature_edges = 0;
+  for (std::size_t v = 1; v < 4; ++v) {
+    std::size_t class_parents = 0;
+    std::size_t feature_parents = 0;
+    for (std::size_t p : tan.parents[v]) {
+      if (p == 0) ++class_parents;
+      else ++feature_parents;
+    }
+    EXPECT_EQ(class_parents, 1u);
+    EXPECT_LE(feature_parents, 1u);
+    feature_edges += feature_parents;
+  }
+  // A spanning tree over 3 features has exactly 2 edges.
+  EXPECT_EQ(feature_edges, 2u);
+}
+
+TEST(Tan, TreePrefersTheTrueDependency) {
+  const BayesianNetwork truth = tan_ground_truth();
+  kertbn::Rng rng(3);
+  const Dataset data = truth.sample(8000, rng);
+  std::vector<Variable> vars;
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    vars.push_back(truth.variable(v));
+  }
+  const StructureResult tan = tan_structure(data, vars, 0);
+  // The strongest CMI pair (X0, X1) must be tree-adjacent: one of them is
+  // the other's feature parent.
+  const bool x1_parent_x0 =
+      std::find(tan.parents[2].begin(), tan.parents[2].end(), 1u) !=
+      tan.parents[2].end();
+  const bool x0_parent_x1 =
+      std::find(tan.parents[1].begin(), tan.parents[1].end(), 2u) !=
+      tan.parents[1].end();
+  EXPECT_TRUE(x1_parent_x0 || x0_parent_x1);
+}
+
+TEST(Tan, FitsBetterThanNaiveBayesWhenFeaturesInteract) {
+  const BayesianNetwork truth = tan_ground_truth();
+  kertbn::Rng rng(4);
+  const Dataset train = truth.sample(6000, rng);
+  const Dataset test = truth.sample(2000, rng);
+  std::vector<Variable> vars;
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    vars.push_back(truth.variable(v));
+  }
+
+  // TAN network.
+  const StructureResult tan = tan_structure(train, vars, 0);
+  BayesianNetwork tan_net;
+  for (const auto& v : vars) tan_net.add_node(v);
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    for (std::size_t p : tan.parents[v]) tan_net.add_edge(p, v);
+  }
+  learn_parameters(tan_net, train);
+
+  // Naive Bayes network.
+  BayesianNetwork nb;
+  for (const auto& v : vars) nb.add_node(v);
+  for (std::size_t v = 1; v < vars.size(); ++v) nb.add_edge(0, v);
+  learn_parameters(nb, train);
+
+  EXPECT_GT(tan_net.log_likelihood(test), nb.log_likelihood(test));
+}
+
+}  // namespace
+}  // namespace kertbn::bn

@@ -1,0 +1,202 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kertbn {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 200 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, CorrelationPerfectlyLinear) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> zs;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0);
+    zs.push_back(-0.5 * i);
+  }
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationOfConstantIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, c), 0.0);
+}
+
+TEST(Stats, CorrelationOfIndependentNearZero) {
+  Rng rng(2);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(correlation(xs, ys), 0.0, 0.03);
+}
+
+TEST(Stats, ExceedanceProbability) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(exceedance_probability(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(exceedance_probability(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exceedance_probability(xs, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(exceedance_probability({}, 1.0), 0.0);
+}
+
+TEST(Stats, GaussianPdfPeak) {
+  // N(0,1) density at 0 is 1/sqrt(2*pi).
+  EXPECT_NEAR(gaussian_pdf(0.0, 0.0, 1.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(gaussian_pdf(1.0, 1.0, 2.0), 0.3989422804014327 / 2.0, 1e-12);
+}
+
+TEST(Stats, GaussianLogPdfConsistentWithPdf) {
+  for (double x : {-2.0, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(gaussian_log_pdf(x, 0.5, 1.5),
+                std::log(gaussian_pdf(x, 0.5, 1.5)), 1e-12);
+  }
+}
+
+TEST(Stats, GaussianCdfKnownValues) {
+  EXPECT_NEAR(gaussian_cdf(0.0, 0.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(gaussian_cdf(1.96, 0.0, 1.0), 0.975, 1e-3);
+  EXPECT_NEAR(gaussian_cdf(-1.96, 0.0, 1.0), 0.025, 1e-3);
+}
+
+TEST(Histogram, BinsAndSaturation) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // below -> first bin
+  h.add(0.5);    // bin 0
+  h.add(5.5);    // bin 2
+  h.add(99.0);   // above -> last bin
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Rng rng(3);
+  Histogram h(-4.0, 4.0, 32);
+  for (int i = 0; i < 50000; ++i) h.add(rng.normal());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.8);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find("(1)"), std::string::npos);
+  EXPECT_NE(art.find("(2)"), std::string::npos);
+}
+
+TEST(KernelDensity, RecoversGaussianShape) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(1.0, 0.5));
+  KernelDensity kde(xs);
+  // Peak near the mean and symmetry.
+  EXPECT_GT(kde(1.0), kde(0.0));
+  EXPECT_GT(kde(1.0), kde(2.0));
+  EXPECT_NEAR(kde(0.5), kde(1.5), 0.06);
+  // Rough density magnitude at the mode of N(1, 0.5): ~0.8.
+  EXPECT_NEAR(kde(1.0), 0.8, 0.1);
+}
+
+TEST(KernelDensity, ExplicitBandwidthHonored) {
+  const std::vector<double> xs{0.0};
+  KernelDensity kde(xs, 2.0);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 2.0);
+  EXPECT_NEAR(kde(0.0), gaussian_pdf(0.0, 0.0, 2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace kertbn

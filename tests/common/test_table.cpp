@@ -1,0 +1,47 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kertbn {
+namespace {
+
+TEST(Table, HeaderAndRowsRender) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 2.25});
+  const std::string s = t.to_string(2);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("2.25"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.add_row({std::string("x,y")});
+  t.add_row({std::string("he said \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumberAtReturnsNumericCells) {
+  Table t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 0), 3.0);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvHasOneLinePerRowPlusHeader) {
+  Table t({"x"});
+  t.add_row({1.0});
+  t.add_row({2.0});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace kertbn

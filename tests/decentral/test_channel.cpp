@@ -1,0 +1,69 @@
+#include "decentral/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace kertbn::dec {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  ch.send({1, {1.0}});
+  ch.send({2, {2.0}});
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.receive().from_service, 1u);
+  EXPECT_EQ(ch.receive().from_service, 2u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Channel, TryReceiveOnEmpty) {
+  Channel ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send({5, {0.5}});
+  const auto msg = ch.try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from_service, 5u);
+}
+
+TEST(Channel, PayloadSurvivesTransfer) {
+  Channel ch;
+  ch.send({3, {0.1, 0.2, 0.3}});
+  const DataMessage msg = ch.receive();
+  EXPECT_EQ(msg.column, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(Channel, BlockingReceiveWakesOnSend) {
+  Channel ch;
+  double got = 0.0;
+  std::thread receiver([&ch, &got] { got = ch.receive().column[0]; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.send({0, {42.0}});
+  receiver.join();
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel ch;
+  const int producers = 4;
+  const int per_producer = 50;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&ch, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        ch.send({static_cast<std::size_t>(p), {1.0}});
+      }
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < producers * per_producer; ++i) {
+    ch.receive();
+    ++received;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(received, producers * per_producer);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace kertbn::dec

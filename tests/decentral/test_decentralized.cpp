@@ -1,0 +1,135 @@
+#include "decentral/decentralized_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/deterministic_cpd.hpp"
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::dec {
+namespace {
+
+/// Continuous KERT-BN skeleton over the eDiaMoND environment plus matching
+/// training data.
+struct Fixture {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  bn::Dataset train;
+  bn::BayesianNetwork skeleton;
+
+  explicit Fixture(std::uint64_t seed, std::size_t rows = 300) {
+    kertbn::Rng rng(seed);
+    train = env.generate(rows, rng);
+    skeleton = core::build_kert_skeleton_continuous(env.workflow(),
+                                                    env.sharing());
+  }
+};
+
+TEST(DecentralizedLearning, ProducesCompleteNetwork) {
+  Fixture fx(1);
+  bn::BayesianNetwork net = fx.skeleton;
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, fx.train);
+  EXPECT_TRUE(net.is_complete());
+  // Six service CPDs learned; D keeps its deterministic CPD.
+  EXPECT_EQ(net.cpd(6).kind(), bn::CpdKind::kDeterministic);
+  std::size_t learned = 0;
+  for (double s : report.per_agent_seconds) learned += s > 0.0 ? 1 : 0;
+  EXPECT_LE(learned, 6u);
+}
+
+TEST(DecentralizedLearning, MatchesCentralizedParameters) {
+  // "The accuracy of these two KERT-BN parameter learning methods is not
+  // plotted on the grounds that they produce principally the same
+  // parameters."
+  Fixture fx(2);
+  bn::BayesianNetwork decentralized = fx.skeleton;
+  learn_parameters_decentralized(decentralized, fx.train);
+
+  bn::BayesianNetwork centralized = fx.skeleton;
+  bn::learn_parameters(centralized, fx.train);
+
+  for (std::size_t v = 0; v < 6; ++v) {
+    const auto& d =
+        static_cast<const bn::LinearGaussianCpd&>(decentralized.cpd(v));
+    const auto& c =
+        static_cast<const bn::LinearGaussianCpd&>(centralized.cpd(v));
+    EXPECT_NEAR(d.intercept(), c.intercept(), 1e-9);
+    EXPECT_NEAR(d.sigma(), c.sigma(), 1e-9);
+    ASSERT_EQ(d.weights().size(), c.weights().size());
+    for (std::size_t i = 0; i < d.weights().size(); ++i) {
+      EXPECT_NEAR(d.weights()[i], c.weights()[i], 1e-9);
+    }
+  }
+}
+
+TEST(DecentralizedLearning, ThreadPoolGivesSameResults) {
+  Fixture fx(3);
+  bn::BayesianNetwork serial = fx.skeleton;
+  learn_parameters_decentralized(serial, fx.train);
+
+  ThreadPool pool(4);
+  bn::BayesianNetwork parallel = fx.skeleton;
+  learn_parameters_decentralized(parallel, fx.train, {}, &pool);
+
+  kertbn::Rng rng(4);
+  const bn::Dataset probe = fx.env.generate(100, rng);
+  EXPECT_NEAR(serial.log_likelihood(probe), parallel.log_likelihood(probe),
+              1e-9);
+}
+
+TEST(DecentralizedLearning, OnlyParentColumnsAreShipped) {
+  Fixture fx(5);
+  bn::BayesianNetwork net = fx.skeleton;
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, fx.train);
+  // Messages = total parent links among learnable (service) nodes.
+  std::size_t expected_messages = 0;
+  for (std::size_t v = 0; v < 6; ++v) {
+    expected_messages += net.dag().parents(v).size();
+  }
+  EXPECT_EQ(report.messages_sent, expected_messages);
+  EXPECT_EQ(report.values_shipped, expected_messages * fx.train.rows());
+}
+
+TEST(DecentralizedLearning, MaxLessThanOrEqualSum) {
+  Fixture fx(6);
+  bn::BayesianNetwork net = fx.skeleton;
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, fx.train);
+  EXPECT_LE(report.decentralized_seconds,
+            report.centralized_seconds + 1e-12);
+  EXPECT_GT(report.centralized_seconds, 0.0);
+}
+
+TEST(DecentralizedLearning, DiscreteNetworkAlsoSupported) {
+  Fixture fx(7, 400);
+  const core::DatasetDiscretizer disc(fx.train, 3);
+  const bn::Dataset discrete = disc.discretize(fx.train);
+  bn::BayesianNetwork net = core::build_kert_skeleton_discrete(
+      fx.env.workflow(), fx.env.sharing(), disc);
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, discrete);
+  EXPECT_TRUE(net.is_complete());
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(net.cpd(v).kind(), bn::CpdKind::kTabular);
+  }
+  EXPECT_GT(report.centralized_seconds, 0.0);
+}
+
+TEST(DecentralizedLearning, ScalesAcrossRandomEnvironments) {
+  kertbn::Rng rng(8);
+  sim::SyntheticEnvironment env = sim::make_random_environment(15, rng);
+  const bn::Dataset train = env.generate(100, rng);
+  bn::BayesianNetwork net =
+      core::build_kert_skeleton_continuous(env.workflow(), env.sharing());
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, train);
+  EXPECT_TRUE(net.is_complete());
+  EXPECT_EQ(report.per_agent_seconds.size(), 16u);
+}
+
+}  // namespace
+}  // namespace kertbn::dec

@@ -1,0 +1,87 @@
+#include "decentral/piggyback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kert/kert_builder.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::dec {
+namespace {
+
+TEST(Piggyback, WorkflowEdgesRideApplicationMessages) {
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  const graph::Dag structure = core::build_kert_structure(workflow, {});
+  const TransportPlan plan =
+      plan_transport(structure, workflow, 36, 100.0);
+  // All five knowledge edges are workflow edges: full coverage.
+  EXPECT_EQ(plan.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(plan.piggyback_coverage, 1.0);
+  EXPECT_EQ(plan.piggyback_fallback_messages, 0u);
+  EXPECT_EQ(plan.dedicated_messages, 5u);
+  EXPECT_GT(plan.bytes_saved(), 0.0);
+}
+
+TEST(Piggyback, ResourceSharingEdgesNeedDedicatedMessages) {
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  wf::ResourceSharing sharing;
+  // A sharing pair with no application traffic between them.
+  sharing.groups.push_back({"host", {0, 4}});  // image_list + dai_local
+  const graph::Dag structure = core::build_kert_structure(workflow, sharing);
+  const TransportPlan plan =
+      plan_transport(structure, workflow, 36, 100.0);
+  EXPECT_EQ(plan.edges.size(), 6u);
+  EXPECT_EQ(plan.piggyback_fallback_messages, 1u);
+  EXPECT_NEAR(plan.piggyback_coverage, 5.0 / 6.0, 1e-12);
+}
+
+TEST(Piggyback, NoTrafficMeansNoPiggybacking) {
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  const graph::Dag structure = core::build_kert_structure(workflow, {});
+  const TransportPlan plan = plan_transport(structure, workflow, 36, 0.0);
+  EXPECT_DOUBLE_EQ(plan.piggyback_coverage, 0.0);
+  // Degenerates to dedicated costs.
+  EXPECT_DOUBLE_EQ(plan.piggyback_bytes, plan.dedicated_bytes);
+}
+
+TEST(Piggyback, CostModelArithmetic) {
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  const graph::Dag structure = core::build_kert_structure(workflow, {});
+  TransportCostModel cost;
+  cost.bytes_per_value = 10.0;
+  cost.message_overhead_bytes = 100.0;
+  cost.piggyback_overhead_bytes = 5.0;
+  const std::size_t points = 20;
+  const TransportPlan plan =
+      plan_transport(structure, workflow, points, 50.0, cost);
+  // Dedicated: 5 edges x (100 + 200) bytes.
+  EXPECT_DOUBLE_EQ(plan.dedicated_bytes, 5.0 * 300.0);
+  // Piggyback: 5 edges x (200 payload + one 5-byte segment overhead).
+  EXPECT_DOUBLE_EQ(plan.piggyback_bytes, 5.0 * 205.0);
+}
+
+TEST(Piggyback, SparseTrafficStillCarriesTheBatch) {
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  const graph::Dag structure = core::build_kert_structure(workflow, {});
+  // 3 requests per interval suffice: the batch rides one of them.
+  TransportCostModel cost;
+  cost.piggyback_overhead_bytes = 7.0;
+  const TransportPlan plan = plan_transport(structure, workflow, 36, 3.0,
+                                            cost);
+  EXPECT_DOUBLE_EQ(plan.piggyback_coverage, 1.0);
+  // Each edge: 36*8 payload + one 7-byte segment overhead.
+  EXPECT_DOUBLE_EQ(plan.piggyback_bytes, 5.0 * (288.0 + 7.0));
+}
+
+TEST(Piggyback, ResponseNodeEdgesCarryNoData) {
+  // Edges into D are knowledge-given; they must not appear in the plan.
+  const wf::Workflow workflow = wf::make_ediamond_workflow();
+  const graph::Dag structure = core::build_kert_structure(workflow, {});
+  const TransportPlan plan =
+      plan_transport(structure, workflow, 10, 10.0);
+  for (const auto& edge : plan.edges) {
+    EXPECT_LT(edge.child, workflow.service_count());
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::dec

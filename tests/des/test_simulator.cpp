@@ -1,0 +1,87 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kertbn::des {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&order](Simulator&) { order.push_back(3); });
+  sim.schedule_at(1.0, [&order](Simulator&) { order.push_back(1); });
+  sim.schedule_at(2.0, [&order](Simulator&) { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&fired_at](Simulator& s) {
+    s.schedule_in(1.5, [&fired_at](Simulator& inner) {
+      fired_at = inner.now();
+    });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired](Simulator&) { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 2u);
+  // Continue to the end.
+  EXPECT_EQ(sim.run_until(10.0), 2u);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulator, EventsCanCascade) {
+  // A chain of events each scheduling the next: a tiny process.
+  Simulator sim;
+  int hops = 0;
+  std::function<void(Simulator&)> hop = [&](Simulator& s) {
+    if (++hops < 10) s.schedule_in(0.5, hop);
+  };
+  sim.schedule_at(0.0, hop);
+  sim.run();
+  EXPECT_EQ(hops, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  double t = -1.0;
+  sim.schedule_at(2.0, [&t](Simulator& s) {
+    s.schedule_in(0.0, [&t](Simulator& inner) { t = inner.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+}  // namespace
+}  // namespace kertbn::des

@@ -1,0 +1,197 @@
+/// Integration tests spanning the full pipeline: DES test-bed -> monitoring
+/// -> periodic KERT-BN reconstruction -> applications (dComp, pAccel, ε) —
+/// the Section 5 workflow end to end — plus the Section 4 headline claims
+/// on small instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "kert/applications.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/model_manager.hpp"
+#include "kert/nrt_builder.hpp"
+#include "sosim/des_env.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn {
+namespace {
+
+using S = wf::EdiamondServices;
+
+TEST(EndToEnd, DesTestbedToPeriodicModelToInference) {
+  // Run the DES eDiaMoND test-bed, batch monitoring data every T_DATA=20 s,
+  // rebuild the model every T_CON, then answer a pAccel query.
+  sim::DesEnvironment testbed = sim::make_ediamond_des_environment(0.8, 42);
+  const sim::ModelSchedule schedule{20.0, 30, 3};  // T_CON = 600 s
+
+  core::ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  core::ModelManager manager(testbed.workflow(), wf::ResourceSharing{}, cfg);
+
+  std::size_t rebuilds = 0;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    testbed.run_for(schedule.t_con());
+    const double now = testbed.now();
+    const bn::Dataset window = testbed.dataset_between(
+        std::max(0.0, now - schedule.window_seconds()), now,
+        schedule.t_data);
+    if (manager.maybe_reconstruct(now, window).has_value()) ++rebuilds;
+  }
+  EXPECT_GE(rebuilds, 2u);
+  ASSERT_TRUE(manager.has_model());
+
+  // The trained model's D prediction should track the test-bed's reality.
+  kertbn::Rng rng(1);
+  const bn::Dataset recent = testbed.dataset_between(
+      testbed.now() - 600.0, testbed.now(), schedule.t_data);
+  ASSERT_GT(recent.rows(), 5u);
+  const auto& net = manager.model();
+  RunningStats err;
+  for (std::size_t r = 0; r < recent.rows(); ++r) {
+    std::vector<double> x(6);
+    for (int s = 0; s < 6; ++s) x[s] = recent.value(r, s);
+    err.add(net.cpd(6).mean(x) - recent.value(r, 6));
+  }
+  EXPECT_LT(std::abs(err.mean()), 0.15);
+}
+
+TEST(EndToEnd, KertBeatsNrtOnConstructionTimeAtScale) {
+  // Figure 4's mechanism on a 30-service environment, one repetition.
+  kertbn::Rng rng(2);
+  sim::SyntheticEnvironment env = sim::make_random_environment(30, rng);
+  const bn::Dataset train = env.generate(36, rng);
+
+  const core::KertResult kert =
+      core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+  std::vector<bn::Variable> vars;
+  for (const auto& name : train.column_names()) {
+    vars.push_back(bn::Variable::continuous(name));
+  }
+  kertbn::Rng k2_rng(3);
+  const core::NrtResult nrt = core::construct_nrt(train, vars, k2_rng);
+
+  EXPECT_GT(nrt.report.total_seconds, kert.report.total_seconds * 2.0);
+}
+
+TEST(EndToEnd, KertAccuracyStableAcrossTrainingSizes) {
+  // Figure 3's right panel: KERT converges with few data points — its
+  // small-sample fit is within a modest margin of its large-sample fit.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(4);
+  const bn::Dataset test = env.generate(100, rng);
+
+  auto fit_of = [&](std::size_t n_train) {
+    const bn::Dataset train = env.generate(n_train, rng);
+    const auto result =
+        core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+    return result.net.log10_likelihood(test) /
+           static_cast<double>(test.rows());
+  };
+  const double small = fit_of(36);
+  const double large = fit_of(1080);
+  EXPECT_GT(small, large - 0.8);  // per-row log10 gap stays small
+}
+
+TEST(EndToEnd, DecentralizedSpeedupPersistsAcrossSizes) {
+  // Figure 5's claim: max(per-CPD) <= sum(per-CPD), gap grows with size.
+  kertbn::Rng rng(5);
+  double gap_small = 0.0;
+  double gap_large = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      sim::SyntheticEnvironment env = sim::make_random_environment(10, rng);
+      const bn::Dataset train = env.generate(60, rng);
+      const auto r = core::construct_kert_continuous(
+          env.workflow(), env.sharing(), train,
+          core::LearningMode::kDecentralized);
+      gap_small += r.report.centralized_equivalent_seconds -
+                   r.report.decentralized_seconds;
+    }
+    {
+      sim::SyntheticEnvironment env = sim::make_random_environment(60, rng);
+      const bn::Dataset train = env.generate(60, rng);
+      const auto r = core::construct_kert_continuous(
+          env.workflow(), env.sharing(), train,
+          core::LearningMode::kDecentralized);
+      gap_large += r.report.centralized_equivalent_seconds -
+                   r.report.decentralized_seconds;
+    }
+  }
+  EXPECT_GE(gap_small, 0.0);
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST(EndToEnd, DiscreteSection5PipelineProducesCalibratedEpsilon) {
+  // Build the discrete KERT-BN with 1200 training points as in Section 5.3
+  // and verify the model's threshold-violation estimates stay close to the
+  // real measured probabilities across thresholds.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(6);
+  const bn::Dataset train = env.generate(1200, rng);
+  const core::DatasetDiscretizer disc(train, 5);
+  const auto kert = core::construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  // Real response times from a fresh run.
+  const bn::Dataset reality = env.generate(8000, rng);
+  const auto d_real = reality.column(6);
+
+  // Model-implied D distribution via the VE prior.
+  const bn::VariableElimination ve(kert.net);
+  const auto d_dist = ve.posterior(6, {});
+  core::DistributionSummary model_d;
+  model_d.probs = d_dist;
+  for (std::size_t b = 0; b < d_dist.size(); ++b) {
+    model_d.support.push_back(disc.column(6).center_of(b));
+  }
+
+  for (double q : {0.3, 0.5, 0.7}) {
+    const double h = quantile(d_real, q);
+    const double p_real = exceedance_probability(d_real, h);
+    ASSERT_GT(p_real, 0.0);
+    const double p_bn = model_d.exceedance(h);
+    EXPECT_LT(core::relative_violation_error(p_bn, p_real), 0.5)
+        << "quantile " << q;
+  }
+}
+
+TEST(EndToEnd, BottleneckShiftIsVisibleToTheModel) {
+  // Section 3.2 motivates capturing "bottleneck shift": when the remote
+  // branch degrades, a fresh KERT-BN's pAccel ranks accelerating the remote
+  // locator above the local one; after the remote branch is massively
+  // accelerated, the ranking flips.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(7);
+
+  auto gain = [&rng](const sim::SyntheticEnvironment& e, std::size_t svc) {
+    kertbn::Rng local_rng(rng());
+    const bn::Dataset train =
+        const_cast<sim::SyntheticEnvironment&>(e).generate(400, local_rng);
+    const auto net =
+        core::construct_kert_continuous(e.workflow(), e.sharing(), train)
+            .net;
+    const double mean_svc = mean(train.column(svc));
+    const auto res = core::paccel_continuous(net, svc, 0.6 * mean_svc,
+                                             local_rng, 40000);
+    return res.prior_response.mean - res.projected_response.mean;
+  };
+
+  // Nominal: remote branch dominates.
+  EXPECT_GT(gain(env, S::kImageLocatorRemote),
+            gain(env, S::kImageLocatorLocal));
+
+  // Shift the bottleneck: make the remote branch far faster than local.
+  sim::SyntheticEnvironment shifted = env;
+  shifted.accelerate_service(S::kImageLocatorRemote, 0.3);
+  shifted.accelerate_service(S::kOgsaDaiRemote, 0.3);
+  EXPECT_GT(gain(shifted, S::kImageLocatorLocal),
+            gain(shifted, S::kImageLocatorRemote));
+}
+
+}  // namespace
+}  // namespace kertbn

@@ -1,0 +1,109 @@
+#include "kert/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace kertbn::core {
+namespace {
+
+TEST(ColumnDiscretizer, EqualFrequencyBins) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const ColumnDiscretizer disc(xs, 4);
+  EXPECT_EQ(disc.bins(), 4u);
+  // Quartiles of 1..100 land near 25/50/75.
+  ASSERT_EQ(disc.edges().size(), 3u);
+  EXPECT_NEAR(disc.edges()[0], 25.75, 0.5);
+  EXPECT_NEAR(disc.edges()[1], 50.5, 0.5);
+  EXPECT_NEAR(disc.edges()[2], 75.25, 0.5);
+  // Bin membership counts balanced.
+  std::vector<int> counts(4, 0);
+  for (double x : xs) ++counts[disc.bin_of(x)];
+  for (int c : counts) EXPECT_NEAR(c, 25, 2);
+}
+
+TEST(ColumnDiscretizer, BinOfBoundaries) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const ColumnDiscretizer disc(xs, 2);
+  EXPECT_EQ(disc.bin_of(-100.0), 0u);
+  EXPECT_EQ(disc.bin_of(100.0), 1u);
+}
+
+TEST(ColumnDiscretizer, CentersAreRepresentative) {
+  kertbn::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.normal(5.0, 1.0));
+  const ColumnDiscretizer disc(xs, 5);
+  // Centers strictly increasing and within the data range.
+  for (std::size_t b = 1; b < disc.bins(); ++b) {
+    EXPECT_GT(disc.center_of(b), disc.center_of(b - 1));
+  }
+  // Middle-bin center near the mean.
+  EXPECT_NEAR(disc.center_of(2), 5.0, 0.1);
+}
+
+TEST(ColumnDiscretizer, HeavyTiesStillCoverAllBins) {
+  // 90% identical values: naive quantile edges would collide.
+  std::vector<double> xs(90, 1.0);
+  for (int i = 0; i < 10; ++i) xs.push_back(2.0 + i);
+  const ColumnDiscretizer disc(xs, 4);
+  EXPECT_EQ(disc.bins(), 4u);
+  for (std::size_t b = 1; b < disc.edges().size(); ++b) {
+    EXPECT_GT(disc.edges()[b], disc.edges()[b - 1]);
+  }
+}
+
+TEST(DatasetDiscretizer, MapsToStateIndices) {
+  bn::Dataset data({"x", "y"});
+  kertbn::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    data.add_row(std::vector<double>{rng.uniform(0.0, 1.0),
+                                     rng.uniform(10.0, 20.0)});
+  }
+  const DatasetDiscretizer disc(data, 5);
+  const bn::Dataset states = disc.discretize(data);
+  EXPECT_EQ(states.rows(), data.rows());
+  EXPECT_EQ(states.cols(), 2u);
+  for (std::size_t r = 0; r < states.rows(); ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double s = states.value(r, c);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 4.0);
+      EXPECT_DOUBLE_EQ(s, std::floor(s));
+    }
+  }
+}
+
+TEST(DatasetDiscretizer, RoundTripThroughCentersPreservesOrdering) {
+  bn::Dataset data({"x"});
+  kertbn::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    data.add_row(std::vector<double>{rng.lognormal(0.0, 0.5)});
+  }
+  const DatasetDiscretizer disc(data, 8);
+  // bin -> center -> bin must be the identity.
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(disc.column(0).bin_of(disc.column(0).center_of(b)), b);
+  }
+}
+
+TEST(DatasetDiscretizer, EqualFrequencyAcrossDataset) {
+  bn::Dataset data({"x"});
+  kertbn::Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    data.add_row(std::vector<double>{rng.normal()});
+  }
+  const DatasetDiscretizer disc(data, 4);
+  const bn::Dataset states = disc.discretize(data);
+  std::vector<int> counts(4, 0);
+  for (std::size_t r = 0; r < states.rows(); ++r) {
+    ++counts[static_cast<std::size_t>(states.value(r, 0))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 60);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,88 @@
+#include "kert/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::core {
+namespace {
+
+TEST(DriftDetector, StableStreamNeverAlarms) {
+  DriftDetector detector({.delta = 0.05, .lambda = 1.0});
+  kertbn::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(detector.add(rng.normal(5.0, 0.1)));
+  }
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_NEAR(detector.mean(), 5.0, 0.02);
+}
+
+TEST(DriftDetector, DownwardShiftAlarms) {
+  DriftDetector detector({.delta = 0.05, .lambda = 1.0});
+  kertbn::Rng rng(2);
+  for (int i = 0; i < 200; ++i) detector.add(rng.normal(5.0, 0.1));
+  EXPECT_FALSE(detector.drifted());
+  bool alarmed = false;
+  for (int i = 0; i < 200 && !alarmed; ++i) {
+    alarmed = detector.add(rng.normal(4.0, 0.1));
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(DriftDetector, AlarmLatches) {
+  DriftDetector detector({.delta = 0.0, .lambda = 0.5});
+  for (int i = 0; i < 50; ++i) detector.add(1.0);
+  for (int i = 0; i < 50; ++i) detector.add(0.0);
+  EXPECT_TRUE(detector.drifted());
+  // Recovery data does not clear the alarm — only reset() does.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(detector.add(1.0));
+  detector.reset();
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.observations(), 0u);
+}
+
+TEST(DriftDetector, UpwardShiftDoesNotAlarm) {
+  // The detector watches for score *drops* (model going stale); score
+  // improvements should never trigger.
+  DriftDetector detector({.delta = 0.05, .lambda = 1.0});
+  kertbn::Rng rng(3);
+  for (int i = 0; i < 200; ++i) detector.add(rng.normal(5.0, 0.1));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(detector.add(rng.normal(6.0, 0.1)));
+  }
+}
+
+TEST(DriftDetector, CatchesRealModelStaleness) {
+  // Feed the detector the per-interval log-likelihood of a fixed KERT-BN;
+  // alarm only after the environment shifts.
+  using S = wf::EdiamondServices;
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(4);
+  const bn::Dataset train = env.generate(300, rng);
+  const KertResult kert =
+      construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+  DriftDetector detector({.delta = 0.1, .lambda = 3.0});
+  auto score_interval = [&](sim::SyntheticEnvironment& e) {
+    const bn::Dataset interval = e.generate(20, rng);
+    return kert.net.log10_likelihood(interval) / 20.0;
+  };
+
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FALSE(detector.add(score_interval(env))) << "interval " << i;
+  }
+
+  sim::SyntheticEnvironment shifted = env;
+  shifted.accelerate_service(S::kImageLocatorRemote, 1.8);
+  bool alarmed = false;
+  for (int i = 0; i < 30 && !alarmed; ++i) {
+    alarmed = detector.add(score_interval(shifted));
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,199 @@
+#include "kert/kert_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::core {
+namespace {
+
+using S = wf::EdiamondServices;
+
+TEST(KertStructure, EdiamondMatchesFigure2) {
+  const wf::Workflow w = wf::make_ediamond_workflow();
+  const graph::Dag dag = build_kert_structure(w, {});
+  EXPECT_EQ(dag.size(), 7u);
+  // Workflow edges.
+  EXPECT_TRUE(dag.has_edge(S::kImageList, S::kWorkList));
+  EXPECT_TRUE(dag.has_edge(S::kWorkList, S::kImageLocatorLocal));
+  EXPECT_TRUE(dag.has_edge(S::kWorkList, S::kImageLocatorRemote));
+  EXPECT_TRUE(dag.has_edge(S::kImageLocatorLocal, S::kOgsaDaiLocal));
+  EXPECT_TRUE(dag.has_edge(S::kImageLocatorRemote, S::kOgsaDaiRemote));
+  // D depends on everything.
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_TRUE(dag.has_edge(s, 6));
+  }
+  EXPECT_EQ(dag.label(6), "D");
+}
+
+TEST(KertStructure, ResourceSharingAddsEdges) {
+  const wf::Workflow w = wf::make_ediamond_workflow();
+  wf::ResourceSharing sharing;
+  sharing.groups.push_back({"host", {S::kImageList, S::kOgsaDaiLocal}});
+  const graph::Dag with = build_kert_structure(w, sharing);
+  const graph::Dag without = build_kert_structure(w, {});
+  EXPECT_EQ(with.edge_count(), without.edge_count() + 1);
+  EXPECT_TRUE(with.has_edge(S::kImageList, S::kOgsaDaiLocal));
+}
+
+TEST(KertStructure, ResourceEdgeSkippedIfItWouldCycle) {
+  const wf::Workflow w = wf::make_ediamond_workflow();
+  // work_list(1) already reaches ogsa_dai_local(4): a (4,1) pair would be
+  // oriented 1->4... use a pair that forces high->low: (ogsa_dai_local,
+  // image_list) orients 0->4 — fine. Instead use the existing workflow edge
+  // pair: (image_list, work_list) already has 0->1; no duplicate added.
+  wf::ResourceSharing sharing;
+  sharing.groups.push_back({"host", {S::kImageList, S::kWorkList}});
+  const graph::Dag with = build_kert_structure(w, sharing);
+  const graph::Dag without = build_kert_structure(w, {});
+  EXPECT_EQ(with.edge_count(), without.edge_count());
+}
+
+TEST(KertStructure, CanDisableResourceKnowledge) {
+  const wf::Workflow w = wf::make_ediamond_workflow();
+  wf::ResourceSharing sharing;
+  sharing.groups.push_back({"host", {S::kImageList, S::kOgsaDaiLocal}});
+  KertStructureOptions opts;
+  opts.use_resource_sharing = false;
+  const graph::Dag dag = build_kert_structure(w, sharing, opts);
+  EXPECT_FALSE(dag.has_edge(S::kImageList, S::kOgsaDaiLocal));
+}
+
+TEST(ResponseFn, EvaluatesPaperFormula) {
+  const wf::Workflow w = wf::make_ediamond_workflow();
+  const bn::DeterministicFn fn = make_response_fn(w);
+  EXPECT_EQ(fn.arity, 6u);
+  const double x[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  EXPECT_NEAR(fn.fn(x), 0.3 + std::max(0.8, 1.0), 1e-12);
+  EXPECT_NE(fn.expression.find("max("), std::string::npos);
+}
+
+TEST(DeterministicCpt, RowsPutMassOnWorkflowBin) {
+  // Tiny 2-service sequence workflow with 3 bins for tractable checking.
+  wf::Workflow w({"a", "b"},
+                 wf::Node::sequence({wf::Node::activity(0),
+                                     wf::Node::activity(1)}));
+  bn::Dataset data({"a", "b", "D"});
+  kertbn::Rng rng(1);
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.uniform(0.1, 0.4);
+    const double b = rng.uniform(0.2, 0.6);
+    data.add_row(std::vector<double>{a, b, a + b});
+  }
+  const DatasetDiscretizer disc(data, 3);
+  const double leak = 0.06;
+  // samples_per_config = 1: evaluate f at bin centers only so the peak
+  // location is fully predictable.
+  const bn::TabularCpd cpt = make_deterministic_cpt(w, disc, leak, 1);
+  EXPECT_EQ(cpt.child_cardinality(), 3u);
+  EXPECT_EQ(cpt.config_count(), 9u);
+  for (std::size_t cfg = 0; cfg < 9; ++cfg) {
+    // Exactly one state holds 1-l (+ its leak share); the others hold l/3.
+    int peaked = 0;
+    for (std::size_t s = 0; s < 3; ++s) {
+      const double p = cpt.probability(cfg, s);
+      if (std::abs(p - (1.0 - leak + leak / 3.0)) < 1e-9) ++peaked;
+      else EXPECT_NEAR(p, leak / 3.0, 1e-9);
+    }
+    EXPECT_EQ(peaked, 1);
+  }
+  // Spot-check the peak location: config (a-bin 2, b-bin 2) must map to
+  // bin(center_a2 + center_b2).
+  const double expect_d =
+      disc.column(0).center_of(2) + disc.column(1).center_of(2);
+  const std::size_t d_bin = disc.column(2).bin_of(expect_d);
+  const double parents[] = {2.0, 2.0};
+  const std::size_t cfg = cpt.config_index(parents);
+  EXPECT_NEAR(cpt.probability(cfg, d_bin), 1.0 - leak + leak / 3.0, 1e-9);
+
+  // Integrated variant: rows remain normalized distributions whose mass
+  // concentrates on bins reachable from the config's intervals.
+  const bn::TabularCpd integrated = make_deterministic_cpt(w, disc, leak);
+  for (std::size_t c = 0; c < 9; ++c) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < 3; ++s) {
+      total += integrated.probability(c, s);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(KertConstructContinuous, CompleteAndAccurate) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(2);
+  const bn::Dataset train = env.generate(200, rng);
+  const KertResult result =
+      construct_kert_continuous(env.workflow(), env.sharing(), train);
+  EXPECT_TRUE(result.net.is_complete());
+  EXPECT_EQ(result.net.size(), 7u);
+  EXPECT_GT(result.report.total_seconds, 0.0);
+  EXPECT_GE(result.report.parameter_seconds, 0.0);
+
+  // Knowledge-given D CPD predicts response time from service times.
+  const bn::Dataset test = env.generate(100, rng);
+  const auto& d_cpd = result.net.cpd(6);
+  for (std::size_t r = 0; r < 20; ++r) {
+    std::vector<double> x(6);
+    for (int s = 0; s < 6; ++s) x[s] = test.value(r, s);
+    EXPECT_NEAR(d_cpd.mean(x), test.value(r, 6), 0.05);
+  }
+}
+
+TEST(KertConstructContinuous, DecentralizedModeEquivalent) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(3);
+  const bn::Dataset train = env.generate(150, rng);
+  const KertResult central = construct_kert_continuous(
+      env.workflow(), env.sharing(), train, LearningMode::kCentralized);
+  const KertResult decentral = construct_kert_continuous(
+      env.workflow(), env.sharing(), train, LearningMode::kDecentralized);
+  const bn::Dataset test = env.generate(80, rng);
+  EXPECT_NEAR(central.net.log_likelihood(test),
+              decentral.net.log_likelihood(test), 1e-6);
+  EXPECT_LE(decentral.report.decentralized_seconds,
+            decentral.report.centralized_equivalent_seconds + 1e-12);
+}
+
+TEST(KertConstructDiscrete, CompleteWithDeterministicCpt) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(4);
+  const bn::Dataset train = env.generate(400, rng);
+  const DatasetDiscretizer disc(train, 3);
+  const bn::Dataset discrete = disc.discretize(train);
+  const KertResult result = construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, discrete);
+  EXPECT_TRUE(result.net.is_complete());
+  for (std::size_t v = 0; v < 7; ++v) {
+    EXPECT_TRUE(result.net.variable(v).is_discrete());
+  }
+  // Discrete KERT must assign decent likelihood to held-out data.
+  const bn::Dataset test = disc.discretize(env.generate(100, rng));
+  EXPECT_TRUE(std::isfinite(result.net.log_likelihood(test)));
+}
+
+TEST(KertSkeleton, LearnableNodesStartUnset) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  const bn::BayesianNetwork net =
+      build_kert_skeleton_continuous(env.workflow(), env.sharing());
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_FALSE(net.has_cpd(s));
+  }
+  EXPECT_TRUE(net.has_cpd(6));
+  EXPECT_FALSE(net.is_complete());
+}
+
+TEST(KertStructure, ScalesToLargeRandomWorkflows) {
+  kertbn::Rng rng(5);
+  sim::SyntheticEnvironment env = sim::make_random_environment(60, rng);
+  const graph::Dag dag = build_kert_structure(env.workflow(), env.sharing());
+  EXPECT_EQ(dag.size(), 61u);
+  EXPECT_EQ(dag.in_degree(60), 60u);  // D's parents
+  EXPECT_EQ(dag.topological_order().size(), 61u);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,156 @@
+/// Tests for the KERT-BN metric/structure variants beyond response time:
+/// the timeout-count metric (Section 3.3) and explicit resource-utilization
+/// nodes (Section 3.2's literal formulation).
+
+#include <gtest/gtest.h>
+
+#include "bn/gaussian_inference.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "kert/applications.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::core {
+namespace {
+
+using S = wf::EdiamondServices;
+
+std::vector<double> nominal_timeouts(const sim::SyntheticEnvironment& env) {
+  // Timeouts at ~1.3x each service's expected elapsed time.
+  std::vector<double> timeouts = env.expected_service_times();
+  for (double& t : timeouts) t *= 1.3;
+  return timeouts;
+}
+
+TEST(TimeoutCounts, DatasetSatisfiesCountIdentity) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(1);
+  const auto timeouts = nominal_timeouts(env);
+  const bn::Dataset counts =
+      env.generate_timeout_counts(50, 40, timeouts, rng);
+  EXPECT_EQ(counts.rows(), 50u);
+  EXPECT_EQ(counts.cols(), 7u);
+  // The count form of Equation 4 holds exactly: D = Σ X_i.
+  for (std::size_t r = 0; r < counts.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < 6; ++s) sum += counts.value(r, s);
+    EXPECT_DOUBLE_EQ(counts.value(r, 6), sum);
+  }
+}
+
+TEST(TimeoutCounts, KertForCountMetricFitsAndPredicts) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(2);
+  const auto timeouts = nominal_timeouts(env);
+  const bn::Dataset train =
+      env.generate_timeout_counts(120, 40, timeouts, rng);
+
+  const KertResult kert = construct_kert_for_metric(
+      env.workflow(), env.sharing(), env.workflow().count_expr(), train);
+  EXPECT_TRUE(kert.net.is_complete());
+  // The deterministic count CPD predicts D exactly from the X counts.
+  const bn::Dataset test =
+      env.generate_timeout_counts(30, 40, timeouts, rng);
+  for (std::size_t r = 0; r < test.rows(); ++r) {
+    std::vector<double> x(6);
+    for (int s = 0; s < 6; ++s) x[s] = test.value(r, s);
+    EXPECT_NEAR(kert.net.cpd(6).mean(x), test.value(r, 6), 1e-9);
+  }
+}
+
+TEST(TimeoutCounts, SlowServiceRaisesItsCount) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(3);
+  const auto timeouts = nominal_timeouts(env);
+  const bn::Dataset before =
+      env.generate_timeout_counts(80, 50, timeouts, rng);
+
+  sim::SyntheticEnvironment degraded = env;
+  degraded.accelerate_service(S::kOgsaDaiRemote, 1.5);
+  const bn::Dataset after =
+      degraded.generate_timeout_counts(80, 50, timeouts, rng);
+
+  EXPECT_GT(mean(after.column(S::kOgsaDaiRemote)),
+            mean(before.column(S::kOgsaDaiRemote)) + 5.0);
+  EXPECT_GT(mean(after.column(6)), mean(before.column(6)));
+}
+
+TEST(ResourceNodes, StructureMatchesPaperFormulation) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(4);
+  const bn::Dataset train = env.generate_with_resources(200, rng);
+  const std::size_t m = env.sharing().groups.size();
+  EXPECT_EQ(train.cols(), 6 + m + 1);
+
+  const KertResult kert =
+      construct_kert_with_resources(env.workflow(), env.sharing(), train);
+  EXPECT_TRUE(kert.net.is_complete());
+  EXPECT_EQ(kert.net.size(), 6 + m + 1);
+
+  // Each resource node's parents are exactly its group's services.
+  for (std::size_t g = 0; g < m; ++g) {
+    const auto parents = kert.net.dag().parents(6 + g);
+    EXPECT_EQ(parents.size(), env.sharing().groups[g].services.size());
+    for (std::size_t p : parents) {
+      EXPECT_LT(p, 6u);
+    }
+  }
+  // D's parents remain the six services.
+  EXPECT_EQ(kert.net.dag().in_degree(6 + m), 6u);
+}
+
+TEST(ResourceNodes, DCompInfersUnmonitoredUtilization) {
+  // The new capability: estimate a resource's (unmonitored) utilization
+  // from the elapsed times of the services sharing it.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(5);
+  const bn::Dataset train = env.generate_with_resources(600, rng);
+  const KertResult kert =
+      construct_kert_with_resources(env.workflow(), env.sharing(), train);
+
+  // remote_site_host is group 2: services X4 (locator_remote), X6
+  // (dai_remote). Condition on slow remote services.
+  const std::size_t resource_node = 6 + 2;
+  const double x4_mean = mean(train.column(S::kImageLocatorRemote));
+  const double x6_mean = mean(train.column(S::kOgsaDaiRemote));
+
+  const DCompResult calm = dcomp_continuous(
+      kert.net, resource_node,
+      {{S::kImageLocatorRemote, x4_mean}, {S::kOgsaDaiRemote, x6_mean}},
+      rng, 30000);
+  const DCompResult loaded = dcomp_continuous(
+      kert.net, resource_node,
+      {{S::kImageLocatorRemote, x4_mean * 1.5},
+       {S::kOgsaDaiRemote, x6_mean * 1.5}},
+      rng, 30000);
+  // Slower shared services => higher inferred utilization.
+  EXPECT_GT(loaded.posterior.mean, calm.posterior.mean);
+  // Conditioning narrows the estimate relative to the prior.
+  EXPECT_LT(loaded.posterior.stddev, loaded.prior.stddev);
+}
+
+TEST(ResourceNodes, ResponsePredictionUnaffectedByResourceColumns) {
+  // The deterministic D CPD still keys on services only; its predictions
+  // agree with the plain continuous KERT-BN on the same traces.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(6);
+  const bn::Dataset with_res = env.generate_with_resources(200, rng);
+  kertbn::Rng rng2(6);
+  const bn::Dataset plain = env.generate(200, rng2);
+
+  const KertResult a =
+      construct_kert_with_resources(env.workflow(), env.sharing(), with_res);
+  const KertResult b =
+      construct_kert_continuous(env.workflow(), env.sharing(), plain);
+  const std::size_t m = env.sharing().groups.size();
+  std::vector<double> x(6);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (int s = 0; s < 6; ++s) x[s] = with_res.value(r, s);
+    EXPECT_NEAR(a.net.cpd(6 + m).mean(x), b.net.cpd(6).mean(x), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::core

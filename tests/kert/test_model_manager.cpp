@@ -1,0 +1,116 @@
+#include "kert/model_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+ModelManager::Config continuous_config() {
+  ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};  // T_CON = 120 s
+  return cfg;
+}
+
+TEST(ModelManager, NoModelBeforeFirstReconstruction) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  EXPECT_FALSE(manager.has_model());
+  EXPECT_EQ(manager.version(), 0u);
+  EXPECT_DOUBLE_EQ(manager.next_due(), 120.0);
+}
+
+TEST(ModelManager, ReconstructsOnSchedule) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(1);
+  const bn::Dataset window = env.generate(36, rng);
+
+  // Before the deadline: nothing happens.
+  EXPECT_FALSE(manager.maybe_reconstruct(60.0, window).has_value());
+  // At the deadline: rebuild.
+  const auto rec = manager.maybe_reconstruct(120.0, window);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->version, 1u);
+  EXPECT_EQ(rec->window_rows, 36u);
+  EXPECT_TRUE(manager.has_model());
+  EXPECT_TRUE(manager.model().is_complete());
+  EXPECT_DOUBLE_EQ(manager.next_due(), 240.0);
+}
+
+TEST(ModelManager, EmptyWindowDefersReconstruction) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  const bn::Dataset empty(
+      [&] {
+        auto cols = env.workflow().service_names();
+        cols.push_back("D");
+        return cols;
+      }());
+  EXPECT_FALSE(manager.maybe_reconstruct(500.0, empty).has_value());
+  EXPECT_FALSE(manager.has_model());
+}
+
+TEST(ModelManager, LateCheckCatchesUpToGrid) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(2);
+  const bn::Dataset window = env.generate(36, rng);
+  // Way past several deadlines: one rebuild, next deadline after `now`.
+  const auto rec = manager.maybe_reconstruct(500.0, window);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(manager.next_due(), 600.0);
+}
+
+TEST(ModelManager, OldModelFullyReplaced) {
+  // The Section 2 rationale: reconstruction discards obsolete dynamics.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(3);
+  manager.reconstruct(120.0, env.generate(36, rng));
+  const double before =
+      manager.model().cpd(0).mean({});  // image_list base mean
+
+  // Environment shifts: image_list 3x slower.
+  sim::SyntheticEnvironment degraded = env;
+  // Slow down by "accelerating" every other service is awkward; instead
+  // rebuild the environment with the public API: accelerate factor must be
+  // <= 1, so model the change from the degraded side — train on data where
+  // everything else sped up 3x is equivalent relatively. Simpler: just
+  // generate from an accelerated copy and check the model tracks *change*.
+  degraded.accelerate_service(0, 0.33);
+  manager.reconstruct(240.0, degraded.generate(36, rng));
+  const double after = manager.model().cpd(0).mean({});
+  EXPECT_LT(after, before * 0.6);
+  EXPECT_EQ(manager.version(), 2u);
+  EXPECT_EQ(manager.history().size(), 2u);
+}
+
+TEST(ModelManager, DiscreteModeBuildsDiscretizer) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager::Config cfg = continuous_config();
+  cfg.bins = 3;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+  kertbn::Rng rng(4);
+  manager.reconstruct(120.0, env.generate(200, rng));
+  ASSERT_TRUE(manager.discretizer().has_value());
+  EXPECT_EQ(manager.discretizer()->bins(), 3u);
+  for (std::size_t v = 0; v < manager.model().size(); ++v) {
+    EXPECT_TRUE(manager.model().variable(v).is_discrete());
+  }
+}
+
+TEST(ModelManager, HistoryRecordsTimings) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(5);
+  manager.reconstruct(120.0, env.generate(36, rng));
+  const auto& rec = manager.history().front();
+  EXPECT_GT(rec.report.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rec.at, 120.0);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,113 @@
+#include "kert/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bn/discrete_inference.hpp"
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+TEST(ModelSerialize, ContinuousRoundTripPreservesLikelihoods) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(1);
+  const bn::Dataset train = env.generate(200, rng);
+  const KertResult original =
+      construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+  const std::string text =
+      save_to_string(env.workflow(), env.sharing(), original.net);
+  const SavedModel loaded = load_from_string(text);
+
+  EXPECT_EQ(loaded.bins, 0u);
+  EXPECT_EQ(loaded.net.size(), original.net.size());
+  const bn::Dataset test = env.generate(100, rng);
+  EXPECT_DOUBLE_EQ(loaded.net.log_likelihood(test),
+                   original.net.log_likelihood(test));
+  // The response CPD was rebuilt from knowledge, with the same leak.
+  std::vector<double> x(6);
+  for (int s = 0; s < 6; ++s) x[s] = test.value(0, s);
+  EXPECT_DOUBLE_EQ(loaded.net.cpd(6).mean(x), original.net.cpd(6).mean(x));
+}
+
+TEST(ModelSerialize, ContinuousRoundTripPreservesStructure) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(2);
+  const bn::Dataset train = env.generate(150, rng);
+  const KertResult original =
+      construct_kert_continuous(env.workflow(), env.sharing(), train);
+  const SavedModel loaded = load_from_string(
+      save_to_string(env.workflow(), env.sharing(), original.net));
+  EXPECT_TRUE(loaded.net.dag().same_structure(original.net.dag()));
+  EXPECT_EQ(loaded.workflow.service_names(),
+            env.workflow().service_names());
+  EXPECT_EQ(loaded.sharing.groups.size(), env.sharing().groups.size());
+}
+
+TEST(ModelSerialize, DiscreteRoundTripPreservesPosteriors) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(3);
+  const bn::Dataset train = env.generate(500, rng);
+  const DatasetDiscretizer disc(train, 3);
+  const KertResult original = construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  std::ostringstream out;
+  save_kert_discrete(out, env.workflow(), env.sharing(), disc, 0.02,
+                     original.net);
+  std::istringstream in(out.str());
+  const SavedModel loaded = load_kert_model(in);
+
+  EXPECT_EQ(loaded.bins, 3u);
+  ASSERT_TRUE(loaded.discretizer.has_value());
+  EXPECT_DOUBLE_EQ(loaded.leak, 0.02);
+
+  // Discretizer round-trips exactly.
+  for (std::size_t c = 0; c < disc.columns(); ++c) {
+    for (double v : {0.05, 0.3, 0.9, 2.0}) {
+      EXPECT_EQ(loaded.discretizer->column(c).bin_of(v),
+                disc.column(c).bin_of(v));
+    }
+  }
+
+  // Posterior queries agree exactly.
+  const bn::VariableElimination ve_orig(original.net);
+  const bn::VariableElimination ve_load(loaded.net);
+  const bn::DiscreteEvidence evidence{{6, 2}};
+  for (std::size_t v = 0; v < 6; ++v) {
+    const auto a = ve_orig.posterior(v, evidence);
+    const auto b = ve_load.posterior(v, evidence);
+    for (std::size_t s = 0; s < a.size(); ++s) {
+      EXPECT_DOUBLE_EQ(a[s], b[s]);
+    }
+  }
+}
+
+TEST(ModelSerialize, ResourceNodeModelRoundTrips) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(4);
+  const bn::Dataset train = env.generate_with_resources(200, rng);
+  const KertResult original =
+      construct_kert_with_resources(env.workflow(), env.sharing(), train);
+
+  const SavedModel loaded = load_from_string(
+      save_to_string(env.workflow(), env.sharing(), original.net));
+  EXPECT_EQ(loaded.net.size(), original.net.size());
+  EXPECT_TRUE(loaded.net.dag().same_structure(original.net.dag()));
+  // Resource node names survive.
+  EXPECT_EQ(loaded.net.variable(6).name, env.sharing().groups[0].name);
+  const bn::Dataset test = env.generate_with_resources(50, rng);
+  EXPECT_DOUBLE_EQ(loaded.net.log_likelihood(test),
+                   original.net.log_likelihood(test));
+}
+
+TEST(ModelSerialize, RejectsGarbage) {
+  EXPECT_DEATH(load_from_string("not-a-model 1"), "precondition");
+}
+
+}  // namespace
+}  // namespace kertbn::core

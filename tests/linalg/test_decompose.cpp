@@ -1,0 +1,183 @@
+#include "linalg/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace kertbn::la {
+namespace {
+
+Matrix random_spd(std::size_t n, kertbn::Rng& rng) {
+  // A = B Bᵀ + n·I is SPD for any B.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  kertbn::Rng rng(1);
+  for (std::size_t n : {1u, 2u, 5u, 12u}) {
+    const Matrix a = random_spd(n, rng);
+    auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix l = chol->lower();
+    EXPECT_LT((l * l.transposed()).max_abs_diff(a), 1e-9);
+  }
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix not_spd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(not_spd).has_value());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(Cholesky::factor(rect).has_value());
+}
+
+TEST(Cholesky, SolveRoundTrips) {
+  kertbn::Rng rng(2);
+  const Matrix a = random_spd(6, rng);
+  Vector x_true(6);
+  for (std::size_t i = 0; i < 6; ++i) x_true[i] = rng.normal();
+  const Vector b = a * x_true;
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(b);
+  EXPECT_LT((x - x_true).norm(), 1e-9);
+}
+
+TEST(Cholesky, MatrixSolve) {
+  kertbn::Rng rng(3);
+  const Matrix a = random_spd(4, rng);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix inv = chol->solve(Matrix::identity(4));
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(4)), 1e-9);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  // diag(4, 9): det = 36, log_det = log(36).
+  const Matrix d = Matrix::diagonal(Vector{4.0, 9.0});
+  auto chol = Cholesky::factor(d);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Lu, SolvesGeneralSystems) {
+  Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  Vector b{-8.0, 0.0, 3.0};
+  auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve(b);
+  EXPECT_LT((a * x - b).norm(), 1e-10);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(Lu::factor(a)->determinant(), 6.0, 1e-12);
+  Matrix swap_rows{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(Lu::factor(swap_rows)->determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularRejected) {
+  Matrix s{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(Lu::factor(s).has_value());
+}
+
+TEST(Inverse, RoundTrips) {
+  kertbn::Rng rng(4);
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.normal();
+    a(i, i) += 3.0;
+  }
+  const Matrix inv = inverse(a);
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(3)), 1e-9);
+}
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+  kertbn::Rng rng(5);
+  // y = 2 + 3 x1 - x2, noiseless.
+  Matrix x(50, 3);
+  Vector y(50);
+  for (std::size_t r = 0; r < 50; ++r) {
+    x(r, 0) = 1.0;
+    x(r, 1) = rng.normal();
+    x(r, 2) = rng.normal();
+    y[r] = 2.0 + 3.0 * x(r, 1) - x(r, 2);
+  }
+  const Vector beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+  EXPECT_NEAR(beta[2], -1.0, 1e-6);
+}
+
+TEST(LeastSquares, NoisyFitCloseToTruth) {
+  kertbn::Rng rng(6);
+  Matrix x(2000, 2);
+  Vector y(2000);
+  for (std::size_t r = 0; r < 2000; ++r) {
+    x(r, 0) = 1.0;
+    x(r, 1) = rng.normal();
+    y[r] = 1.0 + 0.5 * x(r, 1) + rng.normal(0.0, 0.1);
+  }
+  const Vector beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 1.0, 0.02);
+  EXPECT_NEAR(beta[1], 0.5, 0.02);
+}
+
+TEST(LeastSquares, CollinearDesignStillSolves) {
+  // Second and third columns identical: classic collinearity; the ridge
+  // keeps the normal equations solvable and predictions correct.
+  Matrix x(20, 3);
+  Vector y(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const auto t = static_cast<double>(r);
+    x(r, 0) = 1.0;
+    x(r, 1) = t;
+    x(r, 2) = t;
+    y[r] = 4.0 + 2.0 * t;
+  }
+  const Vector beta = least_squares(x, y, 1e-8);
+  // Prediction accuracy is what matters (coefficients are non-unique).
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double pred =
+        beta[0] + beta[1] * x(r, 1) + beta[2] * x(r, 2);
+    EXPECT_NEAR(pred, y[r], 1e-3);
+  }
+}
+
+TEST(ColumnStats, MeansAndCovariance) {
+  // Two perfectly anti-correlated columns.
+  Matrix data{{1.0, -1.0}, {2.0, -2.0}, {3.0, -3.0}};
+  const Vector mu = column_means(data);
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], -2.0);
+  const Matrix cov = sample_covariance(data);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), -1.0);
+  EXPECT_TRUE(cov.is_symmetric());
+}
+
+TEST(ColumnStats, CovarianceMatchesGenerator) {
+  kertbn::Rng rng(7);
+  const std::size_t n = 60000;
+  Matrix data(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double z = rng.normal();
+    data(r, 0) = z + rng.normal(0.0, 0.5);
+    data(r, 1) = 2.0 * z;
+  }
+  const Matrix cov = sample_covariance(data);
+  EXPECT_NEAR(cov(0, 0), 1.25, 0.05);
+  EXPECT_NEAR(cov(1, 1), 4.0, 0.1);
+  EXPECT_NEAR(cov(0, 1), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace kertbn::la

@@ -1,0 +1,115 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kertbn::la {
+namespace {
+
+TEST(Vector, ArithmeticOps) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  Vector c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  EXPECT_DOUBLE_EQ(c[2], 9.0);
+  Vector d = b - a;
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  Vector e = 2.0 * a;
+  EXPECT_DOUBLE_EQ(e[2], 6.0);
+}
+
+TEST(Vector, DotAndNorm) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  Vector b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 3.0);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, MatrixProductKnownValues) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductWithIdentityIsIdentityOp) {
+  Matrix a{{1.5, -2.0}, {0.25, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ((a * i).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ((i * a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{1.0, 1.0};
+  const Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, Submatrix) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const std::vector<std::size_t> rows{0, 2};
+  const std::vector<std::size_t> cols{1};
+  const Matrix s = m.submatrix(rows, cols);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 1u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 8.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix s{{2.0, 1.0}, {1.0, 3.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  Matrix ns{{2.0, 1.0}, {0.0, 3.0}};
+  EXPECT_FALSE(ns.is_symmetric());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 2.5}, {3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  m.row(1)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace kertbn::la

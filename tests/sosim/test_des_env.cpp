@@ -1,0 +1,126 @@
+#include "sosim/des_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+using S = wf::EdiamondServices;
+
+TEST(DesEnvironment, ProducesCompletedTraces) {
+  DesEnvironment env = make_ediamond_des_environment(0.5, 1);
+  env.run_for(600.0);
+  EXPECT_GT(env.traces().size(), 200u);
+  for (const auto& t : env.traces()) {
+    EXPECT_GT(t.response_time, 0.0);
+    EXPECT_LE(t.completed_at, env.now() + 1e-9);
+    for (const auto& st : t.service_times) {
+      ASSERT_TRUE(st.has_value());
+      EXPECT_GT(*st, 0.0);
+    }
+  }
+}
+
+TEST(DesEnvironment, ResponseDominatesCriticalPath) {
+  // End-to-end time is at least the sum of the sequential prefix and at
+  // least each branch (queueing can only add).
+  DesEnvironment env = make_ediamond_des_environment(0.3, 2);
+  env.run_for(400.0);
+  ASSERT_GT(env.traces().size(), 50u);
+  for (const auto& t : env.traces()) {
+    const double x1 = *t.service_times[S::kImageList];
+    const double x2 = *t.service_times[S::kWorkList];
+    const double local =
+        *t.service_times[S::kImageLocatorLocal] +
+        *t.service_times[S::kOgsaDaiLocal];
+    const double remote =
+        *t.service_times[S::kImageLocatorRemote] +
+        *t.service_times[S::kOgsaDaiRemote];
+    const double critical = x1 + x2 + std::max(local, remote);
+    EXPECT_NEAR(t.response_time, critical, 1e-6);
+  }
+}
+
+TEST(DesEnvironment, HigherArrivalRateRaisesLatency) {
+  DesEnvironment calm = make_ediamond_des_environment(0.2, 3);
+  calm.run_for(800.0);
+  DesEnvironment busy = make_ediamond_des_environment(1.8, 3);
+  busy.run_for(800.0);
+  kertbn::RunningStats calm_d;
+  kertbn::RunningStats busy_d;
+  for (const auto& t : calm.traces()) calm_d.add(t.response_time);
+  for (const auto& t : busy.traces()) busy_d.add(t.response_time);
+  ASSERT_GT(calm_d.count(), 50u);
+  ASSERT_GT(busy_d.count(), 200u);
+  // Under load, queueing at shared hosts inflates response times.
+  EXPECT_GT(busy_d.mean(), calm_d.mean() * 1.05);
+}
+
+TEST(DesEnvironment, CoHostedContentionCorrelatesServices) {
+  // image_list and work_list share the Linux server queue.
+  DesEnvironment env = make_ediamond_des_environment(1.5, 4);
+  env.run_for(1000.0);
+  std::vector<double> x1;
+  std::vector<double> x2;
+  for (const auto& t : env.traces()) {
+    x1.push_back(*t.service_times[S::kImageList]);
+    x2.push_back(*t.service_times[S::kWorkList]);
+  }
+  ASSERT_GT(x1.size(), 300u);
+  EXPECT_GT(kertbn::correlation(x1, x2), 0.05);
+}
+
+TEST(DesEnvironment, AccelerationReducesResponseTimes) {
+  DesEnvironment env = make_ediamond_des_environment(0.4, 5);
+  env.run_for(500.0);
+  kertbn::RunningStats before;
+  for (const auto& t : env.traces()) before.add(t.response_time);
+  const std::size_t before_count = env.traces().size();
+
+  // Remote dai is on the (usually) critical remote branch.
+  env.accelerate_service(S::kOgsaDaiRemote, 0.5);
+  env.run_for(500.0);
+  kertbn::RunningStats after;
+  for (std::size_t i = before_count; i < env.traces().size(); ++i) {
+    after.add(env.traces()[i].response_time);
+  }
+  ASSERT_GT(after.count(), 50u);
+  EXPECT_LT(after.mean(), before.mean());
+}
+
+TEST(DesEnvironment, DatasetBatchingAveragesIntervals) {
+  DesEnvironment env = make_ediamond_des_environment(0.8, 6);
+  env.run_for(400.0);
+  const bn::Dataset data = env.dataset_between(0.0, 400.0, 20.0);
+  EXPECT_EQ(data.cols(), 7u);
+  EXPECT_GT(data.rows(), 10u);
+  EXPECT_LE(data.rows(), 20u);
+  // Every batched value positive; D at least the largest service mean in
+  // its row (it includes two sequential stages plus a parallel pair).
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    double max_x = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_GT(data.value(r, c), 0.0);
+      max_x = std::max(max_x, data.value(r, c));
+    }
+    EXPECT_GE(data.value(r, 6), max_x);
+  }
+}
+
+TEST(DesEnvironment, ReproducibleGivenSeed) {
+  DesEnvironment a = make_ediamond_des_environment(0.5, 77);
+  DesEnvironment b = make_ediamond_des_environment(0.5, 77);
+  a.run_for(200.0);
+  b.run_for(200.0);
+  ASSERT_EQ(a.traces().size(), b.traces().size());
+  for (std::size_t i = 0; i < a.traces().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.traces()[i].response_time,
+                     b.traces()[i].response_time);
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::sim

@@ -1,0 +1,100 @@
+#include "sosim/monitoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kertbn::sim {
+namespace {
+
+TEST(ModelSchedule, PaperSection4Settings) {
+  // K = 3, T_DATA = 10 s, alpha = 12 -> T_CON = 2 min, 36 points.
+  const ModelSchedule s{10.0, 12, 3};
+  EXPECT_DOUBLE_EQ(s.t_con(), 120.0);
+  EXPECT_DOUBLE_EQ(s.window_seconds(), 360.0);
+  EXPECT_EQ(s.points_per_window(), 36u);
+}
+
+TEST(ModelSchedule, PaperSection5Settings) {
+  // K = 10, T_DATA = 20 s, alpha = 120 -> T_CON = 40 min? No: the paper
+  // sets T_CON = 20 min with alpha=120 relative to T_DATA=10... our model
+  // uses T_CON = alpha * T_DATA exactly; with the paper's K=10, alpha=120,
+  // T_DATA=20 the window holds K*alpha = 1200 points.
+  const ModelSchedule s{20.0, 120, 10};
+  EXPECT_EQ(s.points_per_window(), 1200u);
+  EXPECT_DOUBLE_EQ(s.window_seconds(), 10.0 * s.t_con());
+}
+
+TEST(MonitoringPoint, AveragesMeasurements) {
+  MonitoringPoint p(3);
+  p.record(1.0);
+  p.record(3.0);
+  EXPECT_EQ(p.count(), 2u);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+  p.clear();
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(MonitoringAgent, BatchCompletenessAndFlush) {
+  MonitoringAgent agent(0, {1, 4});
+  EXPECT_FALSE(agent.has_complete_batch());
+  agent.record(1, 0.5);
+  EXPECT_FALSE(agent.has_complete_batch());
+  agent.record(4, 1.5);
+  agent.record(4, 2.5);
+  EXPECT_TRUE(agent.has_complete_batch());
+
+  const AgentReport report = agent.flush();
+  EXPECT_EQ(report.agent, 0u);
+  ASSERT_EQ(report.service_means.size(), 2u);
+  EXPECT_EQ(report.service_means[0].first, 1u);
+  EXPECT_DOUBLE_EQ(report.service_means[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(report.service_means[1].second, 2.0);
+  // Flush clears the batch.
+  EXPECT_FALSE(agent.has_complete_batch());
+}
+
+TEST(MonitoringAgent, RejectsForeignService) {
+  MonitoringAgent agent(0, {1});
+  EXPECT_DEATH(agent.record(2, 1.0), "precondition");
+}
+
+TEST(ManagementServer, AssemblesRowsFromAgentReports) {
+  ManagementServer server({"a", "b"}, ModelSchedule{10.0, 2, 2});
+  AgentReport r0{0, {{0, 0.1}}};
+  AgentReport r1{1, {{1, 0.2}}};
+  server.ingest_interval({r0, r1}, 0.35);
+  EXPECT_EQ(server.window_rows(), 1u);
+  const bn::Dataset& w = server.window();
+  EXPECT_EQ(w.cols(), 3u);
+  EXPECT_DOUBLE_EQ(w.value(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(w.value(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(w.value(0, 2), 0.35);
+}
+
+TEST(ManagementServer, SlidingWindowEvictsOldestRows) {
+  // points_per_window = K * alpha = 4.
+  ManagementServer server({"a"}, ModelSchedule{10.0, 2, 2});
+  for (int i = 0; i < 7; ++i) {
+    AgentReport r{0, {{0, static_cast<double>(i)}}};
+    server.ingest_interval({r}, 0.0);
+  }
+  EXPECT_EQ(server.window_rows(), 4u);
+  EXPECT_EQ(server.total_points(), 7u);
+  EXPECT_DOUBLE_EQ(server.window().value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(server.window().value(3, 0), 6.0);
+}
+
+TEST(ManagementServer, RejectsIncompleteCoverage) {
+  ManagementServer server({"a", "b"}, ModelSchedule{});
+  AgentReport only_a{0, {{0, 0.1}}};
+  EXPECT_DEATH(server.ingest_interval({only_a}, 0.5), "precondition");
+}
+
+TEST(ManagementServer, RejectsDuplicateCoverage) {
+  ManagementServer server({"a"}, ModelSchedule{});
+  AgentReport r0{0, {{0, 0.1}}};
+  AgentReport r1{1, {{0, 0.2}}};
+  EXPECT_DEATH(server.ingest_interval({r0, r1}, 0.5), "precondition");
+}
+
+}  // namespace
+}  // namespace kertbn::sim

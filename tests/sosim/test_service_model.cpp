@@ -1,0 +1,73 @@
+#include "sosim/service_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+TEST(ServiceModel, BaseSamplesArePositiveWithRightMean) {
+  ServiceModel m{0.2, 0.04, 0.3, 0.02};
+  kertbn::Rng rng(1);
+  kertbn::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double t = m.sample_base(rng);
+    EXPECT_GT(t, 0.0);
+    stats.add(t);
+  }
+  EXPECT_NEAR(stats.mean(), 0.2, 0.005);
+  EXPECT_NEAR(stats.stddev(), 0.04, 0.005);
+}
+
+TEST(ServiceModel, UpstreamDeviationShiftsElapsedTime) {
+  ServiceModel m{0.2, 0.01, 0.5, 0.0};
+  kertbn::Rng rng(2);
+  kertbn::RunningStats calm;
+  kertbn::RunningStats loaded;
+  for (int i = 0; i < 20000; ++i) {
+    calm.add(m.sample_elapsed(0.0, 0.0, rng));
+    loaded.add(m.sample_elapsed(0.3, 0.0, rng));  // upstream running slow
+  }
+  EXPECT_NEAR(loaded.mean() - calm.mean(), 0.5 * 0.3, 0.005);
+}
+
+TEST(ServiceModel, ResourceLoadAddsLatency) {
+  ServiceModel m{0.2, 0.01, 0.0, 0.05};
+  kertbn::Rng rng(3);
+  kertbn::RunningStats idle;
+  kertbn::RunningStats busy;
+  for (int i = 0; i < 20000; ++i) {
+    idle.add(m.sample_elapsed(0.0, 0.0, rng));
+    busy.add(m.sample_elapsed(0.0, 2.0, rng));
+  }
+  EXPECT_NEAR(busy.mean() - idle.mean(), 0.1, 0.005);
+}
+
+TEST(ServiceModel, ElapsedTimeClampedPositive) {
+  // Hugely negative upstream deviation cannot push elapsed below the floor.
+  ServiceModel m{0.1, 0.01, 1.0, 0.0};
+  kertbn::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample_elapsed(-100.0, 0.0, rng), 0.001);
+  }
+}
+
+TEST(ServiceModel, ExpectedElapsedAccountsForLoad) {
+  ServiceModel m{0.2, 0.02, 0.3, 0.05};
+  EXPECT_DOUBLE_EQ(m.expected_elapsed(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(m.expected_elapsed(1.0), 0.25);
+}
+
+TEST(ResourceLoadModel, GammaMomentsMatch) {
+  ResourceLoadModel load{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(load.mean(), 1.0);
+  kertbn::Rng rng(5);
+  kertbn::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(load.sample(rng));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace kertbn::sim

@@ -1,0 +1,174 @@
+#include "sosim/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "workflow/ediamond.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+using S = wf::EdiamondServices;
+
+TEST(SyntheticEnvironment, TraceShapes) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(1);
+  const RequestTrace trace = env.execute_request(rng);
+  EXPECT_EQ(trace.service_times.size(), 6u);
+  for (double t : trace.service_times) EXPECT_GT(t, 0.0);
+  EXPECT_GT(trace.response_time, 0.0);
+}
+
+TEST(SyntheticEnvironment, StructuralResponseMatchesFormula) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(2);
+  const auto expr = env.workflow().response_time_expr();
+  kertbn::RunningStats errs;
+  for (int i = 0; i < 5000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    errs.add(t.response_time - expr->evaluate(t.service_times));
+  }
+  // D = f(X) + leak noise: residuals centered at zero with leak sigma.
+  EXPECT_NEAR(errs.mean(), 0.0, 0.001);
+  EXPECT_NEAR(errs.stddev(), env.leak_sigma(), 0.001);
+}
+
+TEST(SyntheticEnvironment, EpisodicEqualsStructuralForSeqParallel) {
+  // The eDiaMoND workflow has no choice/loop, so an episodic walk is the
+  // exact f(X) (no leak noise at all).
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(3);
+  const auto expr = env.workflow().response_time_expr();
+  for (int i = 0; i < 200; ++i) {
+    const RequestTrace t = env.execute_request(rng, ResponseMode::kEpisodic);
+    EXPECT_NEAR(t.response_time, expr->evaluate(t.service_times), 1e-9);
+  }
+}
+
+TEST(SyntheticEnvironment, CoHostedServicesCorrelate) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(4);
+  std::vector<double> locator_remote;
+  std::vector<double> dai_remote;
+  std::vector<double> image_list;
+  for (int i = 0; i < 8000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    locator_remote.push_back(t.service_times[S::kImageLocatorRemote]);
+    dai_remote.push_back(t.service_times[S::kOgsaDaiRemote]);
+    image_list.push_back(t.service_times[S::kImageList]);
+  }
+  // Remote pair shares host + link: clear positive correlation.
+  const double co_hosted = kertbn::correlation(locator_remote, dai_remote);
+  // image_list and ogsa_dai_remote share nothing directly.
+  const double unrelated = kertbn::correlation(image_list, dai_remote);
+  EXPECT_GT(co_hosted, 0.2);
+  EXPECT_GT(co_hosted, unrelated + 0.1);
+}
+
+TEST(SyntheticEnvironment, UpstreamCouplingPropagates) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(5);
+  std::vector<double> locator_local;
+  std::vector<double> dai_local;
+  for (int i = 0; i < 8000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    locator_local.push_back(t.service_times[S::kImageLocatorLocal]);
+    dai_local.push_back(t.service_times[S::kOgsaDaiLocal]);
+  }
+  EXPECT_GT(kertbn::correlation(locator_local, dai_local), 0.2);
+}
+
+TEST(SyntheticEnvironment, GenerateDatasetLayout) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(6);
+  const bn::Dataset data = env.generate(50, rng);
+  EXPECT_EQ(data.rows(), 50u);
+  EXPECT_EQ(data.cols(), 7u);
+  EXPECT_EQ(data.column_name(0), "image_list");
+  EXPECT_EQ(data.column_name(6), "D");
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      EXPECT_GT(data.value(r, c), 0.0);
+    }
+  }
+}
+
+TEST(SyntheticEnvironment, AccelerateServiceShrinksItsTimesAndD) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(7);
+  kertbn::RunningStats before_x4;
+  kertbn::RunningStats before_d;
+  for (int i = 0; i < 10000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    before_x4.add(t.service_times[S::kImageLocatorRemote]);
+    before_d.add(t.response_time);
+  }
+  env.accelerate_service(S::kImageLocatorRemote, 0.5);
+  kertbn::RunningStats after_x4;
+  kertbn::RunningStats after_d;
+  for (int i = 0; i < 10000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    after_x4.add(t.service_times[S::kImageLocatorRemote]);
+    after_d.add(t.response_time);
+  }
+  EXPECT_LT(after_x4.mean(), before_x4.mean() * 0.7);
+  EXPECT_LT(after_d.mean(), before_d.mean());
+}
+
+TEST(SyntheticEnvironment, ExpectedServiceTimesMatchEmpirical) {
+  SyntheticEnvironment env = make_ediamond_environment();
+  kertbn::Rng rng(8);
+  const auto expected = env.expected_service_times();
+  std::vector<kertbn::RunningStats> stats(6);
+  for (int i = 0; i < 30000; ++i) {
+    const RequestTrace t = env.execute_request(rng);
+    for (int s = 0; s < 6; ++s) stats[s].add(t.service_times[s]);
+  }
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_NEAR(stats[s].mean(), expected[s], 0.01)
+        << "service " << s;
+  }
+}
+
+class RandomEnvironmentProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomEnvironmentProperty, GeneratesConsistentDatasets) {
+  kertbn::Rng rng(GetParam() * 7919 + 11);
+  const std::size_t n = 5 + GetParam() * 11;
+  SyntheticEnvironment env = make_random_environment(n, rng);
+  EXPECT_EQ(env.service_count(), n);
+  const bn::Dataset data = env.generate(40, rng);
+  EXPECT_EQ(data.cols(), n + 1);
+  const auto expr = env.workflow().response_time_expr();
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    std::vector<double> x(n);
+    for (std::size_t s = 0; s < n; ++s) x[s] = data.value(r, s);
+    // Response column consistent with the workflow reduction up to leak.
+    EXPECT_NEAR(data.value(r, n), expr->evaluate(x),
+                6.0 * env.leak_sigma() + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomEnvironmentProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(SyntheticEnvironment, ReproducibleGivenSeed) {
+  kertbn::Rng rng_a(42);
+  kertbn::Rng rng_b(42);
+  SyntheticEnvironment env_a = make_random_environment(10, rng_a);
+  SyntheticEnvironment env_b = make_random_environment(10, rng_b);
+  const bn::Dataset da = env_a.generate(20, rng_a);
+  const bn::Dataset db = env_b.generate(20, rng_b);
+  ASSERT_EQ(da.rows(), db.rows());
+  for (std::size_t r = 0; r < da.rows(); ++r) {
+    for (std::size_t c = 0; c < da.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(da.value(r, c), db.value(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::sim

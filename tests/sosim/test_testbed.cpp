@@ -1,0 +1,82 @@
+#include "sosim/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kert/model_manager.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+ModelSchedule fast_schedule() {
+  // T_DATA = 10 s, alpha = 6 -> T_CON = 60 s, window 3*6 = 18 points.
+  return ModelSchedule{10.0, 6, 3};
+}
+
+TEST(MonitoredTestbed, IntervalsProduceWindowRows) {
+  MonitoredTestbed testbed =
+      make_monitored_ediamond(1.0, 1, fast_schedule());
+  std::size_t ingested = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (testbed.advance_interval()) ++ingested;
+  }
+  // With one request/second and 10 s intervals nearly every interval has
+  // full coverage.
+  EXPECT_GE(ingested, 15u);
+  EXPECT_LE(testbed.window().rows(), 18u);
+  EXPECT_EQ(testbed.window().cols(), 7u);
+  EXPECT_NEAR(testbed.now(), 200.0, 1e-9);
+}
+
+TEST(MonitoredTestbed, WindowSlidesAtCapacity) {
+  MonitoredTestbed testbed =
+      make_monitored_ediamond(1.5, 2, fast_schedule());
+  for (int i = 0; i < 40; ++i) testbed.advance_interval();
+  EXPECT_EQ(testbed.window().rows(), 18u);
+  EXPECT_GT(testbed.server().total_points(), 18u);
+}
+
+TEST(MonitoredTestbed, RowsAreIntervalAverages) {
+  MonitoredTestbed testbed =
+      make_monitored_ediamond(1.0, 3, fast_schedule());
+  for (int i = 0; i < 12 && testbed.window().rows() < 3; ++i) {
+    testbed.advance_interval();
+  }
+  ASSERT_GE(testbed.window().rows(), 3u);
+  // Interval means must sit within physically plausible ranges.
+  for (std::size_t r = 0; r < testbed.window().rows(); ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_GT(testbed.window().value(r, c), 0.0);
+      EXPECT_LT(testbed.window().value(r, c), 30.0);
+    }
+  }
+}
+
+TEST(MonitoredTestbed, ConstructionCallbackFiresOnGrid) {
+  MonitoredTestbed testbed =
+      make_monitored_ediamond(1.0, 4, fast_schedule());
+  std::vector<double> fired_at;
+  testbed.advance_construction_intervals(
+      3, [&fired_at](double now) { fired_at.push_back(now); });
+  ASSERT_EQ(fired_at.size(), 3u);
+  EXPECT_NEAR(fired_at[0], 60.0, 1e-9);
+  EXPECT_NEAR(fired_at[1], 120.0, 1e-9);
+  EXPECT_NEAR(fired_at[2], 180.0, 1e-9);
+}
+
+TEST(MonitoredTestbed, DrivesModelManagerEndToEnd) {
+  MonitoredTestbed testbed =
+      make_monitored_ediamond(1.0, 5, fast_schedule());
+  core::ModelManager::Config cfg;
+  cfg.schedule = fast_schedule();
+  core::ModelManager manager(testbed.environment().workflow(),
+                             wf::ResourceSharing{}, cfg);
+
+  testbed.advance_construction_intervals(4, [&](double now) {
+    manager.maybe_reconstruct(now, testbed.window());
+  });
+  EXPECT_GE(manager.version(), 3u);
+  EXPECT_TRUE(manager.model().is_complete());
+}
+
+}  // namespace
+}  // namespace kertbn::sim

@@ -1,0 +1,69 @@
+#include "workflow/ediamond.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kertbn::wf {
+namespace {
+
+using S = EdiamondServices;
+
+TEST(Ediamond, SixNamedServices) {
+  const Workflow w = make_ediamond_workflow();
+  EXPECT_EQ(w.service_count(), 6u);
+  EXPECT_EQ(w.service_names()[S::kImageList], "image_list");
+  EXPECT_EQ(w.service_names()[S::kOgsaDaiRemote], "ogsa_dai_remote");
+}
+
+TEST(Ediamond, ReductionMatchesPaperFormula) {
+  // D = X1 + X2 + max(X3 + X5, X4 + X6) — the paper's (corrected) Section
+  // 3.3 function, with our zero-based indices.
+  const Workflow w = make_ediamond_workflow();
+  const auto expr = w.response_time_expr();
+
+  const double local_slow[] = {0.10, 0.20, 0.90, 0.10, 0.80, 0.10};
+  EXPECT_NEAR(expr->evaluate(local_slow), 0.30 + (0.90 + 0.80), 1e-12);
+
+  const double remote_slow[] = {0.10, 0.20, 0.10, 0.70, 0.10, 0.90};
+  EXPECT_NEAR(expr->evaluate(remote_slow), 0.30 + (0.70 + 0.90), 1e-12);
+}
+
+TEST(Ediamond, FormulaRendering) {
+  const Workflow w = make_ediamond_workflow();
+  const std::string s =
+      w.response_time_expr()->to_string(w.service_names());
+  EXPECT_EQ(s,
+            "image_list + work_list + max(image_locator_local + "
+            "ogsa_dai_local, image_locator_remote + ogsa_dai_remote)");
+}
+
+TEST(Ediamond, UpstreamEdgesMatchFigure1) {
+  const Workflow w = make_ediamond_workflow();
+  const auto edges = w.upstream_edges();
+  auto has = [&edges](std::size_t a, std::size_t b) {
+    return std::find(edges.begin(), edges.end(), std::make_pair(a, b)) !=
+           edges.end();
+  };
+  EXPECT_TRUE(has(S::kImageList, S::kWorkList));
+  EXPECT_TRUE(has(S::kWorkList, S::kImageLocatorLocal));
+  EXPECT_TRUE(has(S::kWorkList, S::kImageLocatorRemote));
+  EXPECT_TRUE(has(S::kImageLocatorLocal, S::kOgsaDaiLocal));
+  EXPECT_TRUE(has(S::kImageLocatorRemote, S::kOgsaDaiRemote));
+  EXPECT_EQ(edges.size(), 5u);
+}
+
+TEST(Ediamond, NotLinearDueToParallelSites) {
+  const Workflow w = make_ediamond_workflow();
+  EXPECT_FALSE(w.response_time_expr()->is_linear());
+}
+
+TEST(Ediamond, CountMetricIsPlainSum) {
+  const Workflow w = make_ediamond_workflow();
+  const auto expr = w.count_expr();
+  const double ones[] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(expr->evaluate(ones), 6.0);
+}
+
+}  // namespace
+}  // namespace kertbn::wf

@@ -1,0 +1,86 @@
+#include "workflow/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/dag.hpp"
+
+namespace kertbn::wf {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratorProperty, UsesEveryServiceExactlyOnce) {
+  kertbn::Rng rng(GetParam() * 31 + 1);
+  const std::size_t n = 5 + GetParam() * 7;
+  const Workflow w = make_random_workflow(n, rng);
+  EXPECT_EQ(w.service_count(), n);
+  const auto refs = w.response_time_expr()->referenced_services();
+  EXPECT_EQ(refs.size(), n);
+  EXPECT_EQ(refs.front(), 0u);
+  EXPECT_EQ(refs.back(), n - 1);
+}
+
+TEST_P(GeneratorProperty, UpstreamEdgesFormADag) {
+  kertbn::Rng rng(GetParam() * 101 + 7);
+  const std::size_t n = 4 + GetParam() * 9;
+  const Workflow w = make_random_workflow(n, rng);
+  graph::Dag dag(n);
+  for (const auto& [a, b] : w.upstream_edges()) {
+    EXPECT_TRUE(dag.add_edge(a, b))
+        << "edge " << a << "->" << b << " refused (duplicate or cycle)";
+  }
+  // topological_order() aborts if a cycle slipped through.
+  EXPECT_EQ(dag.topological_order().size(), n);
+}
+
+TEST_P(GeneratorProperty, ReductionEvaluatesFinite) {
+  kertbn::Rng rng(GetParam() * 13 + 3);
+  const std::size_t n = 6 + GetParam() * 5;
+  const Workflow w = make_random_workflow(n, rng);
+  const auto expr = w.response_time_expr();
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.01, 1.0);
+  const double d = expr->evaluate(times);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+  // Response time can never undercut the fastest single service.
+  double min_t = times[0];
+  for (double t : times) min_t = std::min(min_t, t);
+  EXPECT_GE(d, min_t * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorProperty,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Generator, DeterministicGivenSeed) {
+  kertbn::Rng rng_a(99);
+  kertbn::Rng rng_b(99);
+  const Workflow a = make_random_workflow(12, rng_a);
+  const Workflow b = make_random_workflow(12, rng_b);
+  EXPECT_EQ(a.response_time_expr()->to_string(),
+            b.response_time_expr()->to_string());
+  EXPECT_EQ(a.upstream_edges(), b.upstream_edges());
+}
+
+TEST(Generator, SingleServiceIsActivity) {
+  kertbn::Rng rng(1);
+  const Workflow w = make_random_workflow(1, rng);
+  EXPECT_EQ(w.root()->kind(), NodeKind::kActivity);
+}
+
+TEST(Generator, RespectsSequenceOnlyMix) {
+  GeneratorOptions opts;
+  opts.sequence_weight = 1.0;
+  opts.parallel_weight = 0.0;
+  opts.choice_weight = 0.0;
+  opts.loop_probability = 0.0;
+  kertbn::Rng rng(2);
+  const Workflow w = make_random_workflow(8, rng, opts);
+  // Pure sequences reduce to a linear expression.
+  EXPECT_TRUE(w.response_time_expr()->is_linear());
+}
+
+}  // namespace
+}  // namespace kertbn::wf

@@ -1,0 +1,52 @@
+#include "workflow/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kertbn::wf {
+namespace {
+
+TEST(ResourceSharing, PairsWithinOneGroup) {
+  ResourceSharing sharing;
+  sharing.groups.push_back({"cpu", {0, 1, 2}});
+  const auto pairs = sharing.sharing_pairs();
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(std::size_t{0}, std::size_t{1}));
+  EXPECT_EQ(pairs[2], std::make_pair(std::size_t{1}, std::size_t{2}));
+}
+
+TEST(ResourceSharing, OverlappingGroupsDeduplicate) {
+  ResourceSharing sharing;
+  sharing.groups.push_back({"cpu", {0, 1}});
+  sharing.groups.push_back({"net", {1, 0}});  // same pair, reversed order
+  const auto pairs = sharing.sharing_pairs();
+  EXPECT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(std::size_t{0}, std::size_t{1}));
+}
+
+TEST(ResourceSharing, DisjointGroupsDoNotMix) {
+  ResourceSharing sharing;
+  sharing.groups.push_back({"host_a", {0, 1}});
+  sharing.groups.push_back({"host_b", {2, 3}});
+  const auto pairs = sharing.sharing_pairs();
+  EXPECT_EQ(pairs.size(), 2u);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a, b);
+    // No cross-host pair.
+    EXPECT_EQ((a < 2), (b < 2));
+  }
+}
+
+TEST(ResourceSharing, SingletonAndDuplicateMembersYieldNoPairs) {
+  ResourceSharing sharing;
+  sharing.groups.push_back({"lonely", {4}});
+  sharing.groups.push_back({"dup", {5, 5}});
+  EXPECT_TRUE(sharing.sharing_pairs().empty());
+}
+
+TEST(ResourceSharing, EmptyHasNoPairs) {
+  ResourceSharing sharing;
+  EXPECT_TRUE(sharing.sharing_pairs().empty());
+}
+
+}  // namespace
+}  // namespace kertbn::wf

@@ -1,0 +1,82 @@
+#include "workflow/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workflow/ediamond.hpp"
+#include "workflow/generator.hpp"
+
+namespace kertbn::wf {
+namespace {
+
+TEST(WorkflowSerialize, ActivityRoundTrip) {
+  const auto node = Node::activity(7);
+  const std::string text = node_to_text(*node);
+  EXPECT_EQ(text, "(act 7)");
+  const auto parsed = node_from_text(text);
+  EXPECT_EQ(parsed->kind(), NodeKind::kActivity);
+  EXPECT_EQ(parsed->service_index(), 7u);
+}
+
+TEST(WorkflowSerialize, EdiamondTreeRoundTrip) {
+  const Workflow original = make_ediamond_workflow();
+  const std::string text = node_to_text(*original.root());
+  const auto parsed = node_from_text(text);
+  const Workflow rebuilt(original.service_names(), parsed);
+  EXPECT_EQ(rebuilt.response_time_expr()->to_string(),
+            original.response_time_expr()->to_string());
+  EXPECT_EQ(rebuilt.upstream_edges(), original.upstream_edges());
+}
+
+TEST(WorkflowSerialize, ChoiceAndLoopRoundTrip) {
+  const auto node = Node::loop(
+      Node::choice({Node::activity(0), Node::activity(1)}, {0.25, 0.75}),
+      0.4);
+  const auto parsed = node_from_text(node_to_text(*node));
+  EXPECT_EQ(parsed->kind(), NodeKind::kLoop);
+  EXPECT_DOUBLE_EQ(parsed->repeat_prob(), 0.4);
+  const auto& choice = *parsed->children().front();
+  EXPECT_EQ(choice.kind(), NodeKind::kChoice);
+  EXPECT_DOUBLE_EQ(choice.choice_probs()[1], 0.75);
+}
+
+TEST(WorkflowSerialize, WholeWorkflowRoundTrip) {
+  const Workflow original = make_ediamond_workflow();
+  const Workflow rebuilt = workflow_from_text(workflow_to_text(original));
+  EXPECT_EQ(rebuilt.service_names(), original.service_names());
+  EXPECT_EQ(rebuilt.response_time_expr()->to_string(rebuilt.service_names()),
+            original.response_time_expr()->to_string(
+                original.service_names()));
+}
+
+class RandomWorkflowRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkflowRoundTrip, ExprAndEdgesSurvive) {
+  kertbn::Rng rng(GetParam());
+  GeneratorOptions opts;
+  opts.choice_weight = 0.3;
+  opts.loop_probability = 0.2;
+  const Workflow original = make_random_workflow(10, rng, opts);
+  const Workflow rebuilt = workflow_from_text(workflow_to_text(original));
+  EXPECT_EQ(rebuilt.response_time_expr()->to_string(),
+            original.response_time_expr()->to_string());
+  EXPECT_EQ(rebuilt.upstream_edges(), original.upstream_edges());
+  // Probabilities survive with full precision: evaluation agrees exactly.
+  std::vector<double> times(10);
+  for (auto& t : times) t = rng.uniform(0.01, 1.0);
+  EXPECT_DOUBLE_EQ(rebuilt.response_time_expr()->evaluate(times),
+                   original.response_time_expr()->evaluate(times));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkflowRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(WorkflowSerialize, MalformedInputAborts) {
+  EXPECT_DEATH(node_from_text("(seq"), "precondition");
+  EXPECT_DEATH(node_from_text("(bogus 1)"), "precondition");
+  EXPECT_DEATH(node_from_text("(act 1) trailing"), "precondition");
+}
+
+}  // namespace
+}  // namespace kertbn::wf
