@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_discretization.dir/abl_discretization.cpp.o"
+  "CMakeFiles/abl_discretization.dir/abl_discretization.cpp.o.d"
+  "abl_discretization"
+  "abl_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

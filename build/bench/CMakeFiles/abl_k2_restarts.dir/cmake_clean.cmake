@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_k2_restarts.dir/abl_k2_restarts.cpp.o"
+  "CMakeFiles/abl_k2_restarts.dir/abl_k2_restarts.cpp.o.d"
+  "abl_k2_restarts"
+  "abl_k2_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_k2_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

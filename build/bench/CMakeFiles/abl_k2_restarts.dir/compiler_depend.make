@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_k2_restarts.
+# This may be replaced when dependencies are built.

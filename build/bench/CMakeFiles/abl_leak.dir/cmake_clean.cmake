@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_leak.dir/abl_leak.cpp.o"
+  "CMakeFiles/abl_leak.dir/abl_leak.cpp.o.d"
+  "abl_leak"
+  "abl_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

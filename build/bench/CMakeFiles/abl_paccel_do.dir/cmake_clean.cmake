@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_paccel_do.dir/abl_paccel_do.cpp.o"
+  "CMakeFiles/abl_paccel_do.dir/abl_paccel_do.cpp.o.d"
+  "abl_paccel_do"
+  "abl_paccel_do.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_paccel_do.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

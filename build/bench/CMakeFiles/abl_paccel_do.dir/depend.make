@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_paccel_do.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_query_pruning.
+# This may be replaced when dependencies are built.

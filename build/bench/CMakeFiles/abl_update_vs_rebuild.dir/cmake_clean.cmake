@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_update_vs_rebuild.dir/abl_update_vs_rebuild.cpp.o"
+  "CMakeFiles/abl_update_vs_rebuild.dir/abl_update_vs_rebuild.cpp.o.d"
+  "abl_update_vs_rebuild"
+  "abl_update_vs_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_update_vs_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

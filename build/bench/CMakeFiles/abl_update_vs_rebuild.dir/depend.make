@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_update_vs_rebuild.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_training_size.dir/fig3_training_size.cpp.o"
+  "CMakeFiles/fig3_training_size.dir/fig3_training_size.cpp.o.d"
+  "fig3_training_size"
+  "fig3_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_decentralized.dir/fig5_decentralized.cpp.o"
+  "CMakeFiles/fig5_decentralized.dir/fig5_decentralized.cpp.o.d"
+  "fig5_decentralized"
+  "fig5_decentralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_decentralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dcomp.dir/fig6_dcomp.cpp.o"
+  "CMakeFiles/fig6_dcomp.dir/fig6_dcomp.cpp.o.d"
+  "fig6_dcomp"
+  "fig6_dcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

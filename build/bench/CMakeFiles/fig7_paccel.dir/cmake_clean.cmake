@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_paccel.dir/fig7_paccel.cpp.o"
+  "CMakeFiles/fig7_paccel.dir/fig7_paccel.cpp.o.d"
+  "fig7_paccel"
+  "fig7_paccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_paccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

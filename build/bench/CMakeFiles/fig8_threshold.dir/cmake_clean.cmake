@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_threshold.dir/fig8_threshold.cpp.o"
+  "CMakeFiles/fig8_threshold.dir/fig8_threshold.cpp.o.d"
+  "fig8_threshold"
+  "fig8_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

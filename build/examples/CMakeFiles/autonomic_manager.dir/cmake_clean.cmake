@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_manager.dir/autonomic_manager.cpp.o"
+  "CMakeFiles/autonomic_manager.dir/autonomic_manager.cpp.o.d"
+  "autonomic_manager"
+  "autonomic_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

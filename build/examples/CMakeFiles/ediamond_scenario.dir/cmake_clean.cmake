@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ediamond_scenario.dir/ediamond_scenario.cpp.o"
+  "CMakeFiles/ediamond_scenario.dir/ediamond_scenario.cpp.o.d"
+  "ediamond_scenario"
+  "ediamond_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ediamond_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_data_dcomp.dir/missing_data_dcomp.cpp.o"
+  "CMakeFiles/missing_data_dcomp.dir/missing_data_dcomp.cpp.o.d"
+  "missing_data_dcomp"
+  "missing_data_dcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_data_dcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_localization.dir/problem_localization.cpp.o"
+  "CMakeFiles/problem_localization.dir/problem_localization.cpp.o.d"
+  "problem_localization"
+  "problem_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_paccel.dir/what_if_paccel.cpp.o"
+  "CMakeFiles/what_if_paccel.dir/what_if_paccel.cpp.o.d"
+  "what_if_paccel"
+  "what_if_paccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_paccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

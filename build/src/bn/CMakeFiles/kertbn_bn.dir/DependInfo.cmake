@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/dataset.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/dataset.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/dataset.cpp.o.d"
+  "/root/repo/src/bn/deterministic_cpd.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/deterministic_cpd.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/deterministic_cpd.cpp.o.d"
+  "/root/repo/src/bn/discrete_inference.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/discrete_inference.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/discrete_inference.cpp.o.d"
+  "/root/repo/src/bn/divergence.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/divergence.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/divergence.cpp.o.d"
+  "/root/repo/src/bn/factor.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/factor.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/factor.cpp.o.d"
+  "/root/repo/src/bn/gaussian_inference.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/gaussian_inference.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/gaussian_inference.cpp.o.d"
+  "/root/repo/src/bn/gibbs.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/gibbs.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/gibbs.cpp.o.d"
+  "/root/repo/src/bn/hill_climb.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/hill_climb.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/hill_climb.cpp.o.d"
+  "/root/repo/src/bn/intervention.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/intervention.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/intervention.cpp.o.d"
+  "/root/repo/src/bn/junction_tree.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/junction_tree.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/junction_tree.cpp.o.d"
+  "/root/repo/src/bn/learning.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/learning.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/learning.cpp.o.d"
+  "/root/repo/src/bn/linear_gaussian_cpd.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/linear_gaussian_cpd.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/linear_gaussian_cpd.cpp.o.d"
+  "/root/repo/src/bn/network.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/network.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/network.cpp.o.d"
+  "/root/repo/src/bn/relevance.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/relevance.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/relevance.cpp.o.d"
+  "/root/repo/src/bn/sampling_inference.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/sampling_inference.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/sampling_inference.cpp.o.d"
+  "/root/repo/src/bn/scores.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/scores.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/scores.cpp.o.d"
+  "/root/repo/src/bn/sequential_update.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/sequential_update.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/sequential_update.cpp.o.d"
+  "/root/repo/src/bn/structure_learning.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/structure_learning.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/structure_learning.cpp.o.d"
+  "/root/repo/src/bn/tabular_cpd.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/tabular_cpd.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/tabular_cpd.cpp.o.d"
+  "/root/repo/src/bn/tan.cpp" "src/bn/CMakeFiles/kertbn_bn.dir/tan.cpp.o" "gcc" "src/bn/CMakeFiles/kertbn_bn.dir/tan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

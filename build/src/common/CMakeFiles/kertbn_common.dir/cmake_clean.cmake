@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_common.dir/rng.cpp.o"
+  "CMakeFiles/kertbn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/kertbn_common.dir/stats.cpp.o"
+  "CMakeFiles/kertbn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/kertbn_common.dir/table.cpp.o"
+  "CMakeFiles/kertbn_common.dir/table.cpp.o.d"
+  "CMakeFiles/kertbn_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/kertbn_common.dir/thread_pool.cpp.o.d"
+  "libkertbn_common.a"
+  "libkertbn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decentral/channel.cpp" "src/decentral/CMakeFiles/kertbn_decentral.dir/channel.cpp.o" "gcc" "src/decentral/CMakeFiles/kertbn_decentral.dir/channel.cpp.o.d"
+  "/root/repo/src/decentral/decentralized_learner.cpp" "src/decentral/CMakeFiles/kertbn_decentral.dir/decentralized_learner.cpp.o" "gcc" "src/decentral/CMakeFiles/kertbn_decentral.dir/decentralized_learner.cpp.o.d"
+  "/root/repo/src/decentral/piggyback.cpp" "src/decentral/CMakeFiles/kertbn_decentral.dir/piggyback.cpp.o" "gcc" "src/decentral/CMakeFiles/kertbn_decentral.dir/piggyback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_decentral.dir/channel.cpp.o"
+  "CMakeFiles/kertbn_decentral.dir/channel.cpp.o.d"
+  "CMakeFiles/kertbn_decentral.dir/decentralized_learner.cpp.o"
+  "CMakeFiles/kertbn_decentral.dir/decentralized_learner.cpp.o.d"
+  "CMakeFiles/kertbn_decentral.dir/piggyback.cpp.o"
+  "CMakeFiles/kertbn_decentral.dir/piggyback.cpp.o.d"
+  "libkertbn_decentral.a"
+  "libkertbn_decentral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_decentral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kertbn_decentral.
+# This may be replaced when dependencies are built.

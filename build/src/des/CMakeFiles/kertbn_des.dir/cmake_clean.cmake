@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_des.dir/simulator.cpp.o"
+  "CMakeFiles/kertbn_des.dir/simulator.cpp.o.d"
+  "libkertbn_des.a"
+  "libkertbn_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

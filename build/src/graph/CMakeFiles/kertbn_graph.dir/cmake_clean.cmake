@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_graph.dir/dag.cpp.o"
+  "CMakeFiles/kertbn_graph.dir/dag.cpp.o.d"
+  "libkertbn_graph.a"
+  "libkertbn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkertbn_graph.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kert/applications.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/applications.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/applications.cpp.o.d"
+  "/root/repo/src/kert/discretize.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/discretize.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/discretize.cpp.o.d"
+  "/root/repo/src/kert/drift.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/drift.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/drift.cpp.o.d"
+  "/root/repo/src/kert/kert_builder.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/kert_builder.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/kert_builder.cpp.o.d"
+  "/root/repo/src/kert/model_manager.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/model_manager.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/model_manager.cpp.o.d"
+  "/root/repo/src/kert/nrt_builder.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/nrt_builder.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/nrt_builder.cpp.o.d"
+  "/root/repo/src/kert/serialize.cpp" "src/kert/CMakeFiles/kertbn_kert.dir/serialize.cpp.o" "gcc" "src/kert/CMakeFiles/kertbn_kert.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/decentral/CMakeFiles/kertbn_decentral.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosim/CMakeFiles/kertbn_sosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/kertbn_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

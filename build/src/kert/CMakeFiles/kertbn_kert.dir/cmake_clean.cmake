@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_kert.dir/applications.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/applications.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/discretize.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/discretize.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/drift.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/drift.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/kert_builder.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/kert_builder.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/model_manager.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/model_manager.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/nrt_builder.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/nrt_builder.cpp.o.d"
+  "CMakeFiles/kertbn_kert.dir/serialize.cpp.o"
+  "CMakeFiles/kertbn_kert.dir/serialize.cpp.o.d"
+  "libkertbn_kert.a"
+  "libkertbn_kert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_kert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_linalg.dir/decompose.cpp.o"
+  "CMakeFiles/kertbn_linalg.dir/decompose.cpp.o.d"
+  "CMakeFiles/kertbn_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/kertbn_linalg.dir/matrix.cpp.o.d"
+  "libkertbn_linalg.a"
+  "libkertbn_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

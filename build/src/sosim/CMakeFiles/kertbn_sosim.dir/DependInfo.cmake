@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sosim/des_env.cpp" "src/sosim/CMakeFiles/kertbn_sosim.dir/des_env.cpp.o" "gcc" "src/sosim/CMakeFiles/kertbn_sosim.dir/des_env.cpp.o.d"
+  "/root/repo/src/sosim/monitoring.cpp" "src/sosim/CMakeFiles/kertbn_sosim.dir/monitoring.cpp.o" "gcc" "src/sosim/CMakeFiles/kertbn_sosim.dir/monitoring.cpp.o.d"
+  "/root/repo/src/sosim/service_model.cpp" "src/sosim/CMakeFiles/kertbn_sosim.dir/service_model.cpp.o" "gcc" "src/sosim/CMakeFiles/kertbn_sosim.dir/service_model.cpp.o.d"
+  "/root/repo/src/sosim/synthetic.cpp" "src/sosim/CMakeFiles/kertbn_sosim.dir/synthetic.cpp.o" "gcc" "src/sosim/CMakeFiles/kertbn_sosim.dir/synthetic.cpp.o.d"
+  "/root/repo/src/sosim/testbed.cpp" "src/sosim/CMakeFiles/kertbn_sosim.dir/testbed.cpp.o" "gcc" "src/sosim/CMakeFiles/kertbn_sosim.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/kertbn_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

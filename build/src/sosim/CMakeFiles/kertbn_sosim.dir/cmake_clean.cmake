@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_sosim.dir/des_env.cpp.o"
+  "CMakeFiles/kertbn_sosim.dir/des_env.cpp.o.d"
+  "CMakeFiles/kertbn_sosim.dir/monitoring.cpp.o"
+  "CMakeFiles/kertbn_sosim.dir/monitoring.cpp.o.d"
+  "CMakeFiles/kertbn_sosim.dir/service_model.cpp.o"
+  "CMakeFiles/kertbn_sosim.dir/service_model.cpp.o.d"
+  "CMakeFiles/kertbn_sosim.dir/synthetic.cpp.o"
+  "CMakeFiles/kertbn_sosim.dir/synthetic.cpp.o.d"
+  "CMakeFiles/kertbn_sosim.dir/testbed.cpp.o"
+  "CMakeFiles/kertbn_sosim.dir/testbed.cpp.o.d"
+  "libkertbn_sosim.a"
+  "libkertbn_sosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_sosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kertbn_sosim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/ediamond.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/ediamond.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/ediamond.cpp.o.d"
+  "/root/repo/src/workflow/expr.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/expr.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/expr.cpp.o.d"
+  "/root/repo/src/workflow/generator.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/generator.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/generator.cpp.o.d"
+  "/root/repo/src/workflow/resource.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/resource.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/resource.cpp.o.d"
+  "/root/repo/src/workflow/serialize.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/serialize.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/serialize.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/workflow/CMakeFiles/kertbn_workflow.dir/workflow.cpp.o" "gcc" "src/workflow/CMakeFiles/kertbn_workflow.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

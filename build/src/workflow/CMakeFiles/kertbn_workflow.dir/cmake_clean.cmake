@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kertbn_workflow.dir/ediamond.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/ediamond.cpp.o.d"
+  "CMakeFiles/kertbn_workflow.dir/expr.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/expr.cpp.o.d"
+  "CMakeFiles/kertbn_workflow.dir/generator.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/generator.cpp.o.d"
+  "CMakeFiles/kertbn_workflow.dir/resource.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/resource.cpp.o.d"
+  "CMakeFiles/kertbn_workflow.dir/serialize.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/serialize.cpp.o.d"
+  "CMakeFiles/kertbn_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/kertbn_workflow.dir/workflow.cpp.o.d"
+  "libkertbn_workflow.a"
+  "libkertbn_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kertbn_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bn/test_dataset.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_dataset.cpp.o.d"
+  "/root/repo/tests/bn/test_deterministic_cpd.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_deterministic_cpd.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_deterministic_cpd.cpp.o.d"
+  "/root/repo/tests/bn/test_discrete_inference.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_discrete_inference.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_discrete_inference.cpp.o.d"
+  "/root/repo/tests/bn/test_divergence.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_divergence.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_divergence.cpp.o.d"
+  "/root/repo/tests/bn/test_factor.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_factor.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_factor.cpp.o.d"
+  "/root/repo/tests/bn/test_gaussian_inference.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_gaussian_inference.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_gaussian_inference.cpp.o.d"
+  "/root/repo/tests/bn/test_gibbs.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_gibbs.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_gibbs.cpp.o.d"
+  "/root/repo/tests/bn/test_hill_climb.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_hill_climb.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_hill_climb.cpp.o.d"
+  "/root/repo/tests/bn/test_intervention.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_intervention.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_intervention.cpp.o.d"
+  "/root/repo/tests/bn/test_junction_tree.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_junction_tree.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_junction_tree.cpp.o.d"
+  "/root/repo/tests/bn/test_learning.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_learning.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_learning.cpp.o.d"
+  "/root/repo/tests/bn/test_linear_gaussian_cpd.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_linear_gaussian_cpd.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_linear_gaussian_cpd.cpp.o.d"
+  "/root/repo/tests/bn/test_mpe.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_mpe.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_mpe.cpp.o.d"
+  "/root/repo/tests/bn/test_network.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_network.cpp.o.d"
+  "/root/repo/tests/bn/test_relevance.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_relevance.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_relevance.cpp.o.d"
+  "/root/repo/tests/bn/test_sampling_inference.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_sampling_inference.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_sampling_inference.cpp.o.d"
+  "/root/repo/tests/bn/test_scores.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_scores.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_scores.cpp.o.d"
+  "/root/repo/tests/bn/test_sequential_update.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_sequential_update.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_sequential_update.cpp.o.d"
+  "/root/repo/tests/bn/test_structure_learning.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_structure_learning.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_structure_learning.cpp.o.d"
+  "/root/repo/tests/bn/test_tabular_cpd.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_tabular_cpd.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_tabular_cpd.cpp.o.d"
+  "/root/repo/tests/bn/test_tan.cpp" "tests/CMakeFiles/test_bn.dir/bn/test_tan.cpp.o" "gcc" "tests/CMakeFiles/test_bn.dir/bn/test_tan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kert/CMakeFiles/kertbn_kert.dir/DependInfo.cmake"
+  "/root/repo/build/src/decentral/CMakeFiles/kertbn_decentral.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosim/CMakeFiles/kertbn_sosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/kertbn_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decentral/test_channel.cpp" "tests/CMakeFiles/test_decentral.dir/decentral/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_decentral.dir/decentral/test_channel.cpp.o.d"
+  "/root/repo/tests/decentral/test_decentralized.cpp" "tests/CMakeFiles/test_decentral.dir/decentral/test_decentralized.cpp.o" "gcc" "tests/CMakeFiles/test_decentral.dir/decentral/test_decentralized.cpp.o.d"
+  "/root/repo/tests/decentral/test_piggyback.cpp" "tests/CMakeFiles/test_decentral.dir/decentral/test_piggyback.cpp.o" "gcc" "tests/CMakeFiles/test_decentral.dir/decentral/test_piggyback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kert/CMakeFiles/kertbn_kert.dir/DependInfo.cmake"
+  "/root/repo/build/src/decentral/CMakeFiles/kertbn_decentral.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosim/CMakeFiles/kertbn_sosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/kertbn_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decentral.dir/decentral/test_channel.cpp.o"
+  "CMakeFiles/test_decentral.dir/decentral/test_channel.cpp.o.d"
+  "CMakeFiles/test_decentral.dir/decentral/test_decentralized.cpp.o"
+  "CMakeFiles/test_decentral.dir/decentral/test_decentralized.cpp.o.d"
+  "CMakeFiles/test_decentral.dir/decentral/test_piggyback.cpp.o"
+  "CMakeFiles/test_decentral.dir/decentral/test_piggyback.cpp.o.d"
+  "test_decentral"
+  "test_decentral.pdb"
+  "test_decentral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decentral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kert.dir/kert/test_applications.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_applications.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_discretize.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_discretize.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_drift.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_drift.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_kert_builder.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_kert_builder.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_metric_variants.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_metric_variants.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_model_manager.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_model_manager.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_nrt_builder.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_nrt_builder.cpp.o.d"
+  "CMakeFiles/test_kert.dir/kert/test_serialize.cpp.o"
+  "CMakeFiles/test_kert.dir/kert/test_serialize.cpp.o.d"
+  "test_kert"
+  "test_kert.pdb"
+  "test_kert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_decompose.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_decompose.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sosim/test_des_env.cpp" "tests/CMakeFiles/test_sosim.dir/sosim/test_des_env.cpp.o" "gcc" "tests/CMakeFiles/test_sosim.dir/sosim/test_des_env.cpp.o.d"
+  "/root/repo/tests/sosim/test_monitoring.cpp" "tests/CMakeFiles/test_sosim.dir/sosim/test_monitoring.cpp.o" "gcc" "tests/CMakeFiles/test_sosim.dir/sosim/test_monitoring.cpp.o.d"
+  "/root/repo/tests/sosim/test_service_model.cpp" "tests/CMakeFiles/test_sosim.dir/sosim/test_service_model.cpp.o" "gcc" "tests/CMakeFiles/test_sosim.dir/sosim/test_service_model.cpp.o.d"
+  "/root/repo/tests/sosim/test_synthetic.cpp" "tests/CMakeFiles/test_sosim.dir/sosim/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_sosim.dir/sosim/test_synthetic.cpp.o.d"
+  "/root/repo/tests/sosim/test_testbed.cpp" "tests/CMakeFiles/test_sosim.dir/sosim/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/test_sosim.dir/sosim/test_testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kert/CMakeFiles/kertbn_kert.dir/DependInfo.cmake"
+  "/root/repo/build/src/decentral/CMakeFiles/kertbn_decentral.dir/DependInfo.cmake"
+  "/root/repo/build/src/sosim/CMakeFiles/kertbn_sosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/kertbn_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/kertbn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/kertbn_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kertbn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kertbn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kertbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

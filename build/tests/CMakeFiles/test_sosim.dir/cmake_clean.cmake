@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sosim.dir/sosim/test_des_env.cpp.o"
+  "CMakeFiles/test_sosim.dir/sosim/test_des_env.cpp.o.d"
+  "CMakeFiles/test_sosim.dir/sosim/test_monitoring.cpp.o"
+  "CMakeFiles/test_sosim.dir/sosim/test_monitoring.cpp.o.d"
+  "CMakeFiles/test_sosim.dir/sosim/test_service_model.cpp.o"
+  "CMakeFiles/test_sosim.dir/sosim/test_service_model.cpp.o.d"
+  "CMakeFiles/test_sosim.dir/sosim/test_synthetic.cpp.o"
+  "CMakeFiles/test_sosim.dir/sosim/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_sosim.dir/sosim/test_testbed.cpp.o"
+  "CMakeFiles/test_sosim.dir/sosim/test_testbed.cpp.o.d"
+  "test_sosim"
+  "test_sosim.pdb"
+  "test_sosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sosim.
+# This may be replaced when dependencies are built.

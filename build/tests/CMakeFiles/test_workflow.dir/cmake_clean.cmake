@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow.dir/workflow/test_ediamond.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_ediamond.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_expr.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_expr.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_generator.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_generator.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_resource.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_resource.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_serialize.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_serialize.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_workflow.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_workflow.cpp.o.d"
+  "test_workflow"
+  "test_workflow.pdb"
+  "test_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
