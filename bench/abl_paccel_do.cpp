@@ -14,12 +14,14 @@
 /// why Section 5.2's conditioning worked); the observational error grows
 /// with the intervention size while do() stays tight.
 
+#include <chrono>
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
 #include "kert/applications.hpp"
 #include "kert/kert_builder.hpp"
+#include "kert/reconstruction_executor.hpp"
 #include "workflow/ediamond.hpp"
 
 namespace {
@@ -43,8 +45,23 @@ void BM_DoVsSee(benchmark::State& state) {
   sim::SyntheticEnvironment env = sim::make_ediamond_environment();
   Rng rng(120);
   const bn::Dataset train = env.generate(800, rng);
+  // The model the projections run on, built serially (the seed path) —
+  // and once more on the reconstruction executor's pool, to report the
+  // serial-vs-parallel construction cost alongside the projection errors
+  // (the fits are staged, so both models are bit-identical).
+  const auto t0 = std::chrono::steady_clock::now();
   const auto kert =
       core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+  const auto t1 = std::chrono::steady_clock::now();
+  const core::ReconstructionExecutor executor;
+  core::construct_kert_continuous(env.workflow(), env.sharing(), train,
+                                  core::LearningMode::kCentralized, 0.0, {},
+                                  executor.pool());
+  const auto t2 = std::chrono::steady_clock::now();
+  state.counters["construct_serial_ms"] =
+      std::chrono::duration<double>(t1 - t0).count() * 1e3;
+  state.counters["construct_parallel_ms"] =
+      std::chrono::duration<double>(t2 - t1).count() * 1e3;
   const double x4_mean = mean(train.column(S::kImageLocatorRemote));
 
   core::PAccelResult see;

@@ -1,0 +1,136 @@
+/// \file abl_parallel_reconstruct.cpp
+/// Ablation: serial full-recount vs parallel vs incremental reconstruction.
+///
+/// The seed's ModelManager re-scans the whole W = K·T_CON window on every
+/// construction deadline, serially. This harness measures the two
+/// optimizations on the eDiaMoND-size network in steady state (window full,
+/// one fresh T_CON segment per reconstruction):
+///
+///   serial       — the seed path: one thread, full recount every time.
+///   parallel     — per-node CPD fits scheduled on a thread pool
+///                  (bit-identical results; speedup scales with cores, so
+///                  expect ~1x on a single-core runner).
+///   incremental  — WindowStats: K cached segment partials + the fresh
+///                  segment; touches ~1/K of the rows, and in discrete mode
+///                  additionally reuses the materialized deterministic
+///                  response CPT across reconstructions (the bins^n
+///                  integration that dominates discrete construction).
+///
+/// Reported per mode: wall-clock per reconstruction, speedup vs the serial
+/// baseline, and raw rows touched per reconstruction (the incremental row
+/// should show the >= K-fold reduction the paper's windowing implies).
+
+#include <chrono>
+#include <map>
+
+#include "bench_common.hpp"
+#include "kert/model_manager.hpp"
+#include "kert/reconstruction_executor.hpp"
+
+namespace {
+
+using namespace kertbn;
+using core::ModelManager;
+using core::ReconstructionExecutor;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: reconstruction execution model (eDiaMoND, K=5, alpha=200)",
+      {"model", "mode", "ms_per_reconstruct", "speedup_vs_serial",
+       "rows_touched_per_reconstruct", "window_rows"});
+  return collector;
+}
+
+/// Serial baselines keyed by bins, filled by the mode-0 runs (benchmarks
+/// execute in registration order: serial first).
+std::map<std::int64_t, double>& serial_baseline_ms() {
+  static std::map<std::int64_t, double> baselines;
+  return baselines;
+}
+
+const char* mode_name(std::int64_t mode) {
+  switch (mode) {
+    case 0: return "serial";
+    case 1: return "parallel";
+    default: return "incremental";
+  }
+}
+
+void BM_Reconstruct(benchmark::State& state) {
+  const std::int64_t mode = state.range(0);
+  const std::int64_t bins = state.range(1);
+
+  const sim::ModelSchedule schedule{10.0, 200, 5};  // 1000-row window
+  const std::size_t w = schedule.points_per_window();
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  Rng rng(0xABCD);
+
+  const ReconstructionExecutor executor(
+      mode == 0 ? ReconstructionExecutor::Mode::kSerial
+                : ReconstructionExecutor::Mode::kParallel);
+  ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  cfg.bins = static_cast<std::size_t>(bins);
+  cfg.executor = &executor;
+  cfg.incremental = mode == 2;
+  // Steady-state margin: this ablation measures reconstruction cost, not
+  // the drift policy, so keep sampling noise from forcing bin-edge refits.
+  cfg.discretizer_range_tolerance = 0.5;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+
+  bn::Dataset window = env.generate(w, rng);
+  for (std::size_t r = 0; r < w; ++r) manager.observe_row(window.row(r));
+  // Warm-up reconstruction (discrete mode: fits the discretizer and
+  // materializes the response CPT — steady state starts afterwards).
+  double now = schedule.t_con();
+  manager.reconstruct(now, window);
+
+  double seconds = 0.0;
+  std::size_t rows_touched = 0;
+  std::size_t reconstructions = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const bn::Dataset fresh = env.generate(schedule.alpha_model, rng);
+    for (std::size_t r = 0; r < fresh.rows(); ++r) {
+      window.add_row(fresh.row(r));
+      manager.observe_row(fresh.row(r));
+    }
+    window.keep_last_rows(w);
+    now += schedule.t_con();
+    state.ResumeTiming();
+
+    const auto start = std::chrono::steady_clock::now();
+    const core::Reconstruction rec = manager.reconstruct(now, window);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    rows_touched += rec.rows_touched;
+    ++reconstructions;
+    benchmark::DoNotOptimize(rec.version);
+  }
+
+  const double ms = seconds / static_cast<double>(reconstructions) * 1e3;
+  const double rows =
+      static_cast<double>(rows_touched) / static_cast<double>(reconstructions);
+  if (mode == 0) serial_baseline_ms()[bins] = ms;
+  const auto baseline = serial_baseline_ms().find(bins);
+  const double speedup =
+      baseline != serial_baseline_ms().end() && ms > 0.0
+          ? baseline->second / ms
+          : 0.0;
+  state.counters["ms_per_reconstruct"] = ms;
+  state.counters["speedup_vs_serial"] = speedup;
+  state.counters["rows_touched"] = rows;
+  series().add_row({bins == 0 ? "continuous" : "discrete", mode_name(mode),
+                    ms, speedup, rows, static_cast<double>(w)});
+}
+
+}  // namespace
+
+// Serial baselines must register (and run) before the optimized modes.
+BENCHMARK(BM_Reconstruct)
+    ->Args({0, 0})->Args({1, 0})->Args({2, 0})   // continuous
+    ->Args({0, 3})->Args({1, 3})->Args({2, 3})   // discrete, 3 bins
+    ->Iterations(20)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

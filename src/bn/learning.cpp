@@ -40,6 +40,65 @@ TabularCpd fit_tabular_cpd(const Dataset& data, std::size_t child_col,
                     std::move(counts));
 }
 
+TabularCpd fit_tabular_cpd_from_counts(
+    std::span<const double> counts, std::size_t child_card,
+    std::span<const std::size_t> parent_cards, double dirichlet_alpha) {
+  KERTBN_EXPECTS(dirichlet_alpha >= 0.0);
+  std::size_t configs = 1;
+  for (std::size_t c : parent_cards) configs *= c;
+  KERTBN_EXPECTS(counts.size() == configs * child_card);
+  std::vector<double> table(counts.begin(), counts.end());
+  for (double& cell : table) cell += dirichlet_alpha;
+  return TabularCpd(child_card,
+                    std::vector<std::size_t>(parent_cards.begin(),
+                                             parent_cards.end()),
+                    std::move(table));
+}
+
+LinearGaussianCpd fit_linear_gaussian_from_moments(
+    const la::Matrix& gram, std::size_t rows, std::size_t child_col,
+    std::span<const std::size_t> parent_cols, double min_sigma,
+    double ridge) {
+  KERTBN_EXPECTS(rows >= 1);
+  KERTBN_EXPECTS(gram.rows() == gram.cols());
+  KERTBN_EXPECTS(child_col + 1 < gram.rows());
+  const std::size_t p = parent_cols.size();
+
+  // Augmented-index map: design column 0 is the intercept (gram row 0),
+  // design column i+1 is parent i (gram row parent+1).
+  std::vector<std::size_t> idx(p + 1);
+  idx[0] = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    KERTBN_EXPECTS(parent_cols[i] + 1 < gram.rows());
+    idx[i + 1] = parent_cols[i] + 1;
+  }
+
+  la::Matrix xtx(p + 1, p + 1);
+  la::Vector xty(p + 1);
+  for (std::size_t i = 0; i <= p; ++i) {
+    for (std::size_t j = 0; j <= p; ++j) xtx(i, j) = gram(idx[i], idx[j]);
+    xty[i] = gram(idx[i], child_col + 1);
+  }
+  const la::Vector beta = la::solve_normal_equations(xtx, xty, ridge);
+
+  // rss = yᵀy - 2·betaᵀXᵀy + betaᵀXᵀX·beta, clamped: cancellation can
+  // push a near-perfect fit fractionally below zero.
+  const double yty = gram(child_col + 1, child_col + 1);
+  double quad = 0.0;
+  for (std::size_t i = 0; i <= p; ++i) {
+    double row_dot = 0.0;
+    for (std::size_t j = 0; j <= p; ++j) row_dot += xtx(i, j) * beta[j];
+    quad += beta[i] * row_dot;
+  }
+  const double rss = std::max(yty - 2.0 * la::dot(beta, xty) + quad, 0.0);
+  const double sigma =
+      std::max(std::sqrt(rss / static_cast<double>(rows)), min_sigma);
+
+  std::vector<double> weights(p);
+  for (std::size_t i = 0; i < p; ++i) weights[i] = beta[i + 1];
+  return LinearGaussianCpd(beta[0], std::move(weights), sigma);
+}
+
 LinearGaussianCpd fit_linear_gaussian_cpd(
     const Dataset& data, std::size_t child_col,
     std::span<const std::size_t> parent_cols, double min_sigma,
@@ -90,13 +149,24 @@ double ParameterLearnReport::sum_node_seconds() const {
   return s;
 }
 
-double learn_node_parameters(BayesianNetwork& net, std::size_t v,
-                             const Dataset& data,
-                             const ParameterLearnOptions& opts) {
-  KERTBN_EXPECTS(data.cols() == net.size());
+namespace {
+
+/// One staged per-node fit: the CPD and the wall-clock seconds it took.
+/// Fitting reads only const network state (structure, variable metadata)
+/// and the shared dataset, so independent nodes can fit concurrently;
+/// installation into the network happens serially afterwards.
+struct NodeFit {
+  std::unique_ptr<Cpd> cpd;
+  double seconds = 0.0;
+};
+
+NodeFit fit_node_cpd(const BayesianNetwork& net, std::size_t v,
+                     const Dataset& data,
+                     const ParameterLearnOptions& opts) {
   const auto pars = net.dag().parents(v);
   const std::vector<std::size_t> parent_cols(pars.begin(), pars.end());
 
+  NodeFit fit;
   Stopwatch timer;
   if (net.variable(v).is_discrete()) {
     std::vector<std::size_t> parent_cards;
@@ -108,27 +178,66 @@ double learn_node_parameters(BayesianNetwork& net, std::size_t v,
     auto cpd = fit_tabular_cpd(data, v, parent_cols,
                                net.variable(v).cardinality, parent_cards,
                                opts.dirichlet_alpha);
-    const double secs = timer.seconds();
-    net.set_cpd(v, std::make_unique<TabularCpd>(std::move(cpd)));
-    return secs;
+    fit.seconds = timer.seconds();
+    fit.cpd = std::make_unique<TabularCpd>(std::move(cpd));
+    return fit;
   }
   auto cpd = fit_linear_gaussian_cpd(data, v, parent_cols, opts.min_sigma,
                                      opts.ridge);
-  const double secs = timer.seconds();
-  net.set_cpd(v, std::make_unique<LinearGaussianCpd>(std::move(cpd)));
-  return secs;
+  fit.seconds = timer.seconds();
+  fit.cpd = std::make_unique<LinearGaussianCpd>(std::move(cpd));
+  return fit;
+}
+
+}  // namespace
+
+double learn_node_parameters(BayesianNetwork& net, std::size_t v,
+                             const Dataset& data,
+                             const ParameterLearnOptions& opts) {
+  KERTBN_EXPECTS(data.cols() == net.size());
+  NodeFit fit = fit_node_cpd(net, v, data, opts);
+  net.set_cpd(v, std::move(fit.cpd));
+  return fit.seconds;
 }
 
 ParameterLearnReport learn_parameters(BayesianNetwork& net,
                                       const Dataset& data,
-                                      const ParameterLearnOptions& opts) {
+                                      const ParameterLearnOptions& opts,
+                                      ThreadPool* pool) {
+  KERTBN_EXPECTS(data.cols() == net.size());
   ParameterLearnReport report;
   report.per_node_seconds.assign(net.size(), 0.0);
   Stopwatch total;
+
   for (std::size_t v = 0; v < net.size(); ++v) {
     if (net.has_cpd(v) && !opts.refit_existing) continue;
-    report.per_node_seconds[v] = learn_node_parameters(net, v, data, opts);
     report.learned_nodes.push_back(v);
+  }
+
+  if (pool == nullptr || report.learned_nodes.size() < 2) {
+    for (std::size_t v : report.learned_nodes) {
+      NodeFit fit = fit_node_cpd(net, v, data, opts);
+      report.per_node_seconds[v] = fit.seconds;
+      net.set_cpd(v, std::move(fit.cpd));
+    }
+    report.total_seconds = total.seconds();
+    return report;
+  }
+
+  // Concurrent fits against the const network/dataset, staged per node;
+  // futures propagate any task exception on get().
+  std::vector<std::future<NodeFit>> futures;
+  futures.reserve(report.learned_nodes.size());
+  const BayesianNetwork& cnet = net;
+  for (std::size_t v : report.learned_nodes) {
+    futures.push_back(pool->submit(
+        [&cnet, &data, &opts, v] { return fit_node_cpd(cnet, v, data, opts); }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    NodeFit fit = futures[i].get();
+    const std::size_t v = report.learned_nodes[i];
+    report.per_node_seconds[v] = fit.seconds;
+    net.set_cpd(v, std::move(fit.cpd));
   }
   report.total_seconds = total.seconds();
   return report;

@@ -11,6 +11,8 @@
 #include "bn/linear_gaussian_cpd.hpp"
 #include "bn/network.hpp"
 #include "bn/tabular_cpd.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/matrix.hpp"
 
 namespace kertbn::bn {
 
@@ -41,6 +43,29 @@ LinearGaussianCpd fit_linear_gaussian_cpd(
     std::span<const std::size_t> parent_cols, double min_sigma = 1e-6,
     double ridge = 1e-9);
 
+/// Fits a CPT from pre-accumulated raw counts instead of a data pass.
+/// \p counts is laid out exactly like fit_tabular_cpd's internal table
+/// (config-major, child-state minor) and holds the *unsmoothed* counts;
+/// \p dirichlet_alpha is added per cell here. Because counts are exact
+/// integers (stored in doubles), a CPT built from summed per-segment count
+/// partials is bit-identical to one recounted from the full window.
+TabularCpd fit_tabular_cpd_from_counts(std::span<const double> counts,
+                                       std::size_t child_card,
+                                       std::span<const std::size_t> parent_cards,
+                                       double dirichlet_alpha = 1.0);
+
+/// Fits X_child ≈ N(b0 + w·parents, sigma²) from an augmented second-moment
+/// (Gram) matrix instead of a data pass. \p gram is (cols+1)×(cols+1) over
+/// the augmented row [1, x_0, ..., x_{cols-1}]: gram(0,0) = N,
+/// gram(0, c+1) = Σ x_c, gram(i+1, j+1) = Σ x_i·x_j. The normal equations
+/// are solved through la::solve_normal_equations — the same solver (and
+/// ridge escalation) the full-recount path uses — so results agree with
+/// fit_linear_gaussian_cpd to floating-point reassociation error.
+LinearGaussianCpd fit_linear_gaussian_from_moments(
+    const la::Matrix& gram, std::size_t rows, std::size_t child_col,
+    std::span<const std::size_t> parent_cols, double min_sigma = 1e-6,
+    double ridge = 1e-9);
+
 /// Per-run learning report; per_node_seconds[v] is 0 for nodes not learned.
 struct ParameterLearnReport {
   double total_seconds = 0.0;
@@ -58,9 +83,17 @@ struct ParameterLearnReport {
 /// opts.refit_existing). Dataset columns must be the network variables in
 /// node-index order. Discrete nodes get smoothed-count CPTs; continuous
 /// nodes get OLS linear-Gaussian CPDs.
+///
+/// When \p pool is non-null the per-node fits run concurrently on it (each
+/// node's sufficient statistics are independent — the Figure 5
+/// "decentralized" observation applied to a single multi-core host); fitted
+/// CPDs are staged and installed serially afterwards, so the result is
+/// bit-identical to the serial path. per_node_seconds then reports the
+/// concurrent per-fit times while total_seconds reports elapsed wall clock.
 ParameterLearnReport learn_parameters(BayesianNetwork& net,
                                       const Dataset& data,
-                                      const ParameterLearnOptions& opts = {});
+                                      const ParameterLearnOptions& opts = {},
+                                      ThreadPool* pool = nullptr);
 
 /// Learns the single CPD of node \p v from \p data and installs it.
 /// Returns the wall-clock seconds the fit took.

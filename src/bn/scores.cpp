@@ -6,7 +6,30 @@
 #include "bn/learning.hpp"
 #include "common/contract.hpp"
 
+#if defined(__GLIBC__)
+// std::lgamma writes the global signgam, which races when K2 restarts are
+// scored concurrently; the re-entrant form returns the sign by pointer.
+// Declared directly because strict -std=c++20 hides it behind feature
+// macros even though glibc always exports it.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace kertbn::bn {
+
+namespace {
+
+/// Thread-safe log-gamma (all call sites here pass arguments >= 1, so the
+/// sign output is always +1 and is discarded).
+inline double lgamma_safe(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double k2_family_score(const Dataset& data, std::size_t child,
                        std::span<const std::size_t> parents,
@@ -36,16 +59,16 @@ double k2_family_score(const Dataset& data, std::size_t child,
   }
 
   // log[(r-1)! / (N_j + r - 1)!] + Σ_k log(N_jk!)  via lgamma.
-  const double log_r_minus_1_fact = std::lgamma(static_cast<double>(r));
+  const double log_r_minus_1_fact = lgamma_safe(static_cast<double>(r));
   double score = 0.0;
   for (std::size_t j = 0; j < configs; ++j) {
     double nj = 0.0;
     for (std::size_t k = 0; k < r; ++k) {
       const double njk = counts[j * r + k];
       nj += njk;
-      score += std::lgamma(njk + 1.0);
+      score += lgamma_safe(njk + 1.0);
     }
-    score += log_r_minus_1_fact - std::lgamma(nj + static_cast<double>(r));
+    score += log_r_minus_1_fact - lgamma_safe(nj + static_cast<double>(r));
   }
   return score;
 }

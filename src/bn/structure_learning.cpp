@@ -76,16 +76,36 @@ StructureResult k2_random_restarts(const Dataset& data,
                                    std::span<const Variable> vars,
                                    std::size_t restarts, Rng& rng,
                                    const FamilyScoreFn& score,
-                                   const K2Options& opts) {
+                                   const K2Options& opts, ThreadPool* pool) {
   KERTBN_EXPECTS(restarts >= 1);
-  StructureResult best;
-  best.score = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < restarts; ++i) {
-    const auto order = rng.permutation(vars.size());
-    StructureResult r = k2_search(data, vars, order, score, opts);
-    if (r.score > best.score) best = std::move(r);
+  if (pool == nullptr || restarts < 2) {
+    StructureResult best;
+    best.score = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < restarts; ++i) {
+      const auto order = rng.permutation(vars.size());
+      StructureResult r = k2_search(data, vars, order, score, opts);
+      if (r.score > best.score) best = std::move(r);
+    }
+    return best;
   }
-  return best;
+
+  // Orderings are drawn serially (same rng stream as the serial loop),
+  // restarts score concurrently, and the strictly-greater selection in
+  // restart order reproduces the serial winner exactly.
+  std::vector<std::vector<std::size_t>> orders;
+  orders.reserve(restarts);
+  for (std::size_t i = 0; i < restarts; ++i) {
+    orders.push_back(rng.permutation(vars.size()));
+  }
+  std::vector<StructureResult> results(restarts);
+  pool->parallel_for(restarts, [&](std::size_t i) {
+    results[i] = k2_search(data, vars, orders[i], score, opts);
+  });
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < restarts; ++i) {
+    if (results[i].score > results[winner].score) winner = i;
+  }
+  return std::move(results[winner]);
 }
 
 namespace {

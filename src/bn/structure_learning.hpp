@@ -13,6 +13,7 @@
 
 #include "bn/scores.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/dag.hpp"
 
 namespace kertbn::bn {
@@ -46,11 +47,18 @@ StructureResult k2_search(const Dataset& data, std::span<const Variable> vars,
 /// Repeats K2 with \p restarts random orderings (Section 5.3: "repeatedly
 /// run K2 with different random orderings until the next model construction
 /// is due") and returns the best-scoring result.
+///
+/// When \p pool is non-null the restarts run concurrently: all orderings
+/// are drawn from \p rng up front (the same permutation sequence the serial
+/// loop would draw), every restart is scored on the pool, and the winner is
+/// selected in restart order with the serial tie-break — so the result is
+/// identical to the serial path for the same rng state.
 StructureResult k2_random_restarts(const Dataset& data,
                                    std::span<const Variable> vars,
                                    std::size_t restarts, Rng& rng,
                                    const FamilyScoreFn& score,
-                                   const K2Options& opts = {});
+                                   const K2Options& opts = {},
+                                   ThreadPool* pool = nullptr);
 
 /// Exact search by enumerating every DAG on n nodes (feasible for n <= 4;
 /// contract-fails above 5). Test oracle for K2.

@@ -120,9 +120,16 @@ double calibrate_leak_sigma(const wf::Workflow& workflow,
     sum += resid;
     sum_sq += resid * resid;
   }
-  const double mean = sum / static_cast<double>(train.rows());
+  return leak_sigma_from_residual_moments(sum, sum_sq, train.rows(),
+                                          min_sigma);
+}
+
+double leak_sigma_from_residual_moments(double sum, double sum_sq,
+                                        std::size_t rows, double min_sigma) {
+  KERTBN_EXPECTS(rows >= 1);
+  const double mean = sum / static_cast<double>(rows);
   const double var =
-      std::max(sum_sq / static_cast<double>(train.rows()) - mean * mean, 0.0);
+      std::max(sum_sq / static_cast<double>(rows) - mean * mean, 0.0);
   // The leak absorbs both spread and any systematic offset — a biased f
   // must not be scored as if it were exact.
   return std::max(std::sqrt(var + mean * mean), min_sigma);
@@ -195,8 +202,10 @@ KertResult finish_construction(bn::BayesianNetwork net,
     result.report.decentralized_seconds = rep.decentralized_seconds;
     result.report.centralized_equivalent_seconds = rep.centralized_seconds;
   } else {
+    // Centralized mode: one host does all fits — concurrently across nodes
+    // when a pool is supplied (results are bit-identical either way).
     const bn::ParameterLearnReport rep =
-        bn::learn_parameters(result.net, train, learn);
+        bn::learn_parameters(result.net, train, learn, pool);
     result.report.per_node_seconds = rep.per_node_seconds;
     result.report.decentralized_seconds = rep.max_node_seconds();
     result.report.centralized_equivalent_seconds = rep.sum_node_seconds();
@@ -352,6 +361,146 @@ KertResult construct_kert_with_resources(
   const double structure_seconds = structure.seconds();
   return finish_construction(std::move(net), structure_seconds, train, mode,
                              learn, pool, total);
+}
+
+namespace {
+
+/// One staged per-node fit from cached statistics.
+struct StagedCpdFit {
+  std::unique_ptr<bn::Cpd> cpd;
+  double seconds = 0.0;
+};
+
+/// Stages per-node CPD fits (serially or on \p pool), installs them, and
+/// fills the report's per-node timing fields the way bn::learn_parameters
+/// does. \p fit_one must be safe to run concurrently against the const
+/// network (it only reads structure and the cached statistics).
+template <typename FitFn>
+void install_staged_fits(bn::BayesianNetwork& net,
+                         const std::vector<std::size_t>& nodes, FitFn fit_one,
+                         ThreadPool* pool, KertConstructionReport& report) {
+  report.per_node_seconds.assign(net.size(), 0.0);
+  std::vector<StagedCpdFit> fits(nodes.size());
+  if (pool == nullptr || nodes.size() < 2) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) fits[i] = fit_one(nodes[i]);
+  } else {
+    std::vector<std::future<StagedCpdFit>> futures;
+    futures.reserve(nodes.size());
+    for (std::size_t v : nodes) {
+      futures.push_back(pool->submit([&fit_one, v] { return fit_one(v); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) fits[i] = futures[i].get();
+  }
+  double sum = 0.0;
+  double max = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    report.per_node_seconds[nodes[i]] = fits[i].seconds;
+    sum += fits[i].seconds;
+    max = std::max(max, fits[i].seconds);
+    net.set_cpd(nodes[i], std::move(fits[i].cpd));
+  }
+  report.decentralized_seconds = max;
+  report.centralized_equivalent_seconds = sum;
+}
+
+}  // namespace
+
+KertResult construct_kert_continuous_from_stats(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const la::Matrix& gram, std::size_t rows, double leak_sigma,
+    const bn::ParameterLearnOptions& learn, ThreadPool* pool) {
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(rows >= 1);
+  KERTBN_EXPECTS(gram.rows() == n + 2 && gram.cols() == n + 2);
+  KERTBN_EXPECTS(leak_sigma > 0.0);
+  Stopwatch total;
+  Stopwatch structure;
+  bn::BayesianNetwork net =
+      build_kert_skeleton_continuous(workflow, sharing, leak_sigma);
+  const double structure_seconds = structure.seconds();
+
+  KertResult result{std::move(net), {}};
+  result.report.structure_seconds = structure_seconds;
+  Stopwatch params;
+  std::vector<std::size_t> nodes;
+  for (std::size_t v = 0; v < result.net.size(); ++v) {
+    if (!result.net.has_cpd(v)) nodes.push_back(v);
+  }
+  const bn::BayesianNetwork& cnet = result.net;
+  auto fit_one = [&cnet, &gram, rows, &learn](std::size_t v) {
+    Stopwatch timer;
+    const auto pars = cnet.dag().parents(v);
+    const std::vector<std::size_t> parent_cols(pars.begin(), pars.end());
+    auto cpd = std::make_unique<bn::LinearGaussianCpd>(
+        bn::fit_linear_gaussian_from_moments(gram, rows, v, parent_cols,
+                                             learn.min_sigma, learn.ridge));
+    return StagedCpdFit{std::move(cpd), timer.seconds()};
+  };
+  install_staged_fits(result.net, nodes, fit_one, pool, result.report);
+  result.report.parameter_seconds = params.seconds();
+  result.report.total_seconds = total.seconds();
+  KERTBN_ENSURES(result.net.is_complete());
+  return result;
+}
+
+std::vector<CountLayout> kert_discrete_count_layouts(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    std::size_t bins, const KertStructureOptions& opts) {
+  KERTBN_EXPECTS(bins >= 2);
+  const std::size_t n = workflow.service_count();
+  const graph::Dag structure = build_kert_structure(workflow, sharing, opts);
+  std::vector<CountLayout> layouts(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto pars = structure.parents(v);
+    layouts[v].child_col = v;
+    layouts[v].parent_cols.assign(pars.begin(), pars.end());
+    layouts[v].child_card = bins;
+    layouts[v].parent_cards.assign(pars.size(), bins);
+  }
+  return layouts;
+}
+
+KertResult construct_kert_discrete_from_counts(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const DatasetDiscretizer& discretizer,
+    std::span<const std::vector<double>> node_counts, double leak_l,
+    const bn::ParameterLearnOptions& learn, ThreadPool* pool,
+    const bn::TabularCpd* cached_d_cpt) {
+  const std::size_t n = workflow.service_count();
+  KERTBN_EXPECTS(discretizer.columns() == n + 1);
+  KERTBN_EXPECTS(node_counts.size() == n);
+  const std::size_t bins = discretizer.bins();
+  Stopwatch total;
+  Stopwatch structure;
+  auto d_cpd = cached_d_cpt
+                   ? std::make_unique<bn::TabularCpd>(*cached_d_cpt)
+                   : std::make_unique<bn::TabularCpd>(make_deterministic_cpt(
+                         workflow, discretizer, leak_l));
+  bn::BayesianNetwork net = assemble_skeleton(
+      workflow, sharing, {}, /*discrete=*/true, bins, std::move(d_cpd));
+  const double structure_seconds = structure.seconds();
+
+  KertResult result{std::move(net), {}};
+  result.report.structure_seconds = structure_seconds;
+  Stopwatch params;
+  std::vector<std::size_t> nodes;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!result.net.has_cpd(v)) nodes.push_back(v);
+  }
+  const bn::BayesianNetwork& cnet = result.net;
+  auto fit_one = [&cnet, node_counts, bins, &learn](std::size_t v) {
+    Stopwatch timer;
+    const std::vector<std::size_t> parent_cards(cnet.dag().parents(v).size(),
+                                                bins);
+    auto cpd = std::make_unique<bn::TabularCpd>(bn::fit_tabular_cpd_from_counts(
+        node_counts[v], bins, parent_cards, learn.dirichlet_alpha));
+    return StagedCpdFit{std::move(cpd), timer.seconds()};
+  };
+  install_staged_fits(result.net, nodes, fit_one, pool, result.report);
+  result.report.parameter_seconds = params.seconds();
+  result.report.total_seconds = total.seconds();
+  KERTBN_ENSURES(result.net.is_complete());
+  return result;
 }
 
 KertResult construct_kert_discrete(const wf::Workflow& workflow,

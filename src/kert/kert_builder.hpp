@@ -14,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "decentral/decentralized_learner.hpp"
 #include "kert/discretize.hpp"
+#include "kert/window_stats.hpp"
 #include "workflow/resource.hpp"
 #include "workflow/workflow.hpp"
 
@@ -51,6 +52,14 @@ bn::DeterministicFn make_response_fn(const wf::Workflow& workflow);
 double calibrate_leak_sigma(const wf::Workflow& workflow,
                             const bn::Dataset& train,
                             double min_sigma = 1e-6);
+
+/// Same calibration fed from pre-accumulated residual moments (Σe, Σe²
+/// over \p rows residuals) instead of a data pass — the WindowStats route.
+/// Uses the identical formula as calibrate_leak_sigma, so results agree to
+/// floating-point reassociation error.
+double leak_sigma_from_residual_moments(double sum, double sum_sq,
+                                        std::size_t rows,
+                                        double min_sigma = 1e-6);
 
 /// Materializes Equation 4 as a CPT for the discrete variant. For each
 /// parent bin configuration the deterministic function is integrated over
@@ -112,6 +121,41 @@ KertResult construct_kert_discrete(
     const DatasetDiscretizer& discretizer, const bn::Dataset& train,
     LearningMode mode = LearningMode::kCentralized, double leak_l = 0.02,
     const bn::ParameterLearnOptions& learn = {}, ThreadPool* pool = nullptr);
+
+/// Continuous KERT-BN from cached window statistics: \p gram is the
+/// combined augmented Gram matrix over the window's \p rows rows (see
+/// WindowStats::combined_gram) and \p leak_sigma the already-calibrated
+/// leak scale (use leak_sigma_from_residual_moments). Service CPDs are
+/// solved from the moments — through the same normal-equation solver the
+/// full-recount path uses — without touching a single raw row; with a
+/// pool the per-node solves run concurrently.
+KertResult construct_kert_continuous_from_stats(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const la::Matrix& gram, std::size_t rows, double leak_sigma,
+    const bn::ParameterLearnOptions& learn = {}, ThreadPool* pool = nullptr);
+
+/// Count-table layouts for every learnable (service) node of the discrete
+/// KERT-BN over the knowledge structure: layouts[v] describes node v with
+/// its knowledge-given parents, all cardinalities \p bins. Feed these to
+/// WindowStats::counts and the resulting tables to
+/// construct_kert_discrete_from_counts.
+std::vector<CountLayout> kert_discrete_count_layouts(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    std::size_t bins, const KertStructureOptions& opts = {});
+
+/// Discrete KERT-BN from cached per-node count tables (one per service
+/// node, laid out per kert_discrete_count_layouts). Counts are exact, so
+/// the CPTs are bit-identical to a full recount under the same
+/// discretizer. \p cached_d_cpt optionally reuses a previously
+/// materialized deterministic response CPT (valid as long as the
+/// discretizer's edges are unchanged) — skipping the bins^n integration
+/// that dominates discrete construction time.
+KertResult construct_kert_discrete_from_counts(
+    const wf::Workflow& workflow, const wf::ResourceSharing& sharing,
+    const DatasetDiscretizer& discretizer,
+    std::span<const std::vector<double>> node_counts, double leak_l = 0.02,
+    const bn::ParameterLearnOptions& learn = {}, ThreadPool* pool = nullptr,
+    const bn::TabularCpd* cached_d_cpt = nullptr);
 
 /// Continuous KERT-BN for an arbitrary transaction metric (Section 3.3:
 /// "the CPD format given by Equation 4 ... also applies to other

@@ -1,5 +1,7 @@
 #include "kert/model_manager.hpp"
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 
 namespace kertbn::core {
@@ -22,33 +24,147 @@ std::optional<Reconstruction> ModelManager::maybe_reconstruct(
   return rec;
 }
 
+void ModelManager::observe_row(std::span<const double> row) {
+  if (!config_.incremental) return;
+  if (!stats_) stats_.emplace(make_stats());
+  stats_->observe(row);
+  ++rows_since_reconstruct_;
+}
+
+WindowStats ModelManager::make_stats() const {
+  WindowStats::Config cfg;
+  const std::size_t n = workflow_.service_count();
+  cfg.cols = n + 1;
+  cfg.rows_per_segment = config_.schedule.alpha_model;
+  cfg.max_rows = config_.schedule.points_per_window();
+  if (config_.bins == 0) {
+    // Leak-residual moments per segment drive the incremental-path leak
+    // calibration (continuous mode only).
+    cfg.residual = [expr = workflow_.response_time_expr(),
+                    n](std::span<const double> row) {
+      return row[n] - expr->evaluate(row.first(n));
+    };
+  }
+  return WindowStats(std::move(cfg));
+}
+
+bool ModelManager::range_exceeded() const {
+  const std::size_t cols = workflow_.service_count() + 1;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const ColumnDiscretizer& col = discretizer_->column(c);
+    const double lo = col.data_min();
+    const double hi = col.data_max();
+    const double span = std::max(hi - lo, 1e-12);
+    const double margin = config_.discretizer_range_tolerance * span;
+    if (stats_->col_min(c) < lo - margin ||
+        stats_->col_max(c) > hi + margin) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Reconstruction ModelManager::reconstruct(double now,
                                          const bn::Dataset& window) {
   KERTBN_EXPECTS(window.rows() > 0);
   KERTBN_EXPECTS(window.cols() == workflow_.service_count() + 1);
+  ThreadPool* pool = config_.executor ? config_.executor->pool() : nullptr;
+
+  // The cached partials are usable only when they provably cover this
+  // exact window; the discrete variant additionally requires the previous
+  // discretizer to still be valid for the retained data. Anything else
+  // falls back to a full recount (which also reseeds the statistics).
+  const bool incremental_hit =
+      config_.incremental && config_.learning == LearningMode::kCentralized &&
+      stats_.has_value() && stats_->aligned(window) &&
+      (config_.bins == 0 ||
+       (discretizer_.has_value() && !range_exceeded()));
+
+  Reconstruction rec = incremental_hit ? reconstruct_incremental(window, pool)
+                                       : reconstruct_full(window, pool);
+  ++version_;
+  rec.at = now;
+  rec.version = version_;
+  rec.window_rows = window.rows();
+  rows_since_reconstruct_ = 0;
+  history_.push_back(rec);
+  return rec;
+}
+
+Reconstruction ModelManager::reconstruct_full(const bn::Dataset& window,
+                                              ThreadPool* pool) {
+  Reconstruction rec;
+  rec.rows_touched = window.rows();
+
+  // Reseed the statistics layer from the window so the next
+  // reconstruction can go incremental again.
+  if (config_.incremental && (!stats_ || !stats_->aligned(window))) {
+    stats_.emplace(make_stats());
+    for (std::size_t r = 0; r < window.rows(); ++r) {
+      stats_->observe(window.row(r));
+    }
+  }
 
   KertResult result = [&] {
     if (config_.bins == 0) {
       discretizer_.reset();
       return construct_kert_continuous(workflow_, sharing_, window,
                                        config_.learning, config_.leak_sigma,
-                                       config_.learn);
+                                       config_.learn, pool);
     }
     discretizer_.emplace(window, config_.bins);
+    ++discretizer_version_;
+    d_cpt_cache_.reset();
+    rec.discretizer_refit = true;
     const bn::Dataset discrete = discretizer_->discretize(window);
     return construct_kert_discrete(workflow_, sharing_, *discretizer_,
                                    discrete, config_.learning,
-                                   config_.leak_l, config_.learn);
+                                   config_.leak_l, config_.learn, pool);
   }();
 
   model_ = std::move(result.net);
-  ++version_;
-  Reconstruction rec;
-  rec.at = now;
-  rec.version = version_;
-  rec.window_rows = window.rows();
   rec.report = result.report;
-  history_.push_back(rec);
+  return rec;
+}
+
+Reconstruction ModelManager::reconstruct_incremental(
+    const bn::Dataset& window, ThreadPool* pool) {
+  Reconstruction rec;
+  rec.incremental = true;
+
+  KertResult result = [&] {
+    if (config_.bins == 0) {
+      discretizer_.reset();
+      const WindowStats::ResidualMoments rm = stats_->combined_residuals();
+      const double sigma =
+          config_.leak_sigma > 0.0
+              ? config_.leak_sigma
+              : leak_sigma_from_residual_moments(rm.sum, rm.sum_sq, rm.rows);
+      // The sealed segments were scanned once, at seal time; only the rows
+      // that arrived since the previous rebuild are new work.
+      rec.rows_touched = std::min(rows_since_reconstruct_, window.rows());
+      return construct_kert_continuous_from_stats(
+          workflow_, sharing_, stats_->combined_gram(), window.rows(), sigma,
+          config_.learn, pool);
+    }
+    // Discretizer unchanged: the deterministic response CPT is a pure
+    // function of its edges, so materialize it once and reuse.
+    if (!d_cpt_cache_) {
+      d_cpt_cache_ =
+          make_deterministic_cpt(workflow_, *discretizer_, config_.leak_l);
+    }
+    const std::vector<CountLayout> layouts =
+        kert_discrete_count_layouts(workflow_, sharing_, config_.bins);
+    WindowStats::CountResult counts =
+        stats_->counts(layouts, *discretizer_, discretizer_version_);
+    rec.rows_touched = counts.rows_scanned;
+    return construct_kert_discrete_from_counts(
+        workflow_, sharing_, *discretizer_, counts.node_counts,
+        config_.leak_l, config_.learn, pool, &*d_cpt_cache_);
+  }();
+
+  model_ = std::move(result.net);
+  rec.report = result.report;
   return rec;
 }
 

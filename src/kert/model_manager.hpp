@@ -10,6 +10,8 @@
 #include <optional>
 
 #include "kert/kert_builder.hpp"
+#include "kert/reconstruction_executor.hpp"
+#include "kert/window_stats.hpp"
 #include "sosim/monitoring.hpp"
 
 namespace kertbn::core {
@@ -19,6 +21,14 @@ struct Reconstruction {
   double at = 0.0;  ///< Simulated time the model was (re)built.
   std::size_t version = 0;
   std::size_t window_rows = 0;
+  /// Raw rows scanned for this rebuild: the whole window on a full
+  /// recount, only the fresh rows on an incremental hit.
+  std::size_t rows_touched = 0;
+  /// Built from cached segment partials instead of a full recount.
+  bool incremental = false;
+  /// Discrete mode: the discretizer's bin edges were (re)fit, invalidating
+  /// cached count partials.
+  bool discretizer_refit = false;
   KertConstructionReport report;
 };
 
@@ -35,6 +45,17 @@ class ModelManager {
     double leak_sigma = 0.0;
     double leak_l = 0.02;      ///< Discrete-mode leak probability.
     bn::ParameterLearnOptions learn;
+    /// Execution policy for per-node fits; non-owning, nullptr = serial.
+    const ReconstructionExecutor* executor = nullptr;
+    /// Maintain windowed sufficient statistics (fed via observe_row) and
+    /// reconstruct from K cached segment partials plus the fresh segment
+    /// when they provably cover the window; falls back to a full recount
+    /// otherwise (and, in discrete mode, whenever the bin edges shift).
+    bool incremental = false;
+    /// Discrete incremental mode: reuse the previous discretizer while the
+    /// retained data stays inside its fitted range stretched by this
+    /// fraction of the per-column span; refit — and recount — otherwise.
+    double discretizer_range_tolerance = 0.05;
   };
 
   ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
@@ -53,6 +74,15 @@ class ModelManager {
   /// Unconditionally rebuilds from \p window (stamped at \p now).
   Reconstruction reconstruct(double now, const bn::Dataset& window);
 
+  /// Feeds one window row (services then D) into the incremental
+  /// statistics layer — wire this to ManagementServer::set_row_observer.
+  /// No-op unless config().incremental.
+  void observe_row(std::span<const double> row);
+
+  /// The incremental statistics layer (empty unless config().incremental
+  /// and at least one row was observed or a reconstruction reseeded it).
+  const std::optional<WindowStats>& window_stats() const { return stats_; }
+
   bool has_model() const { return model_.has_value(); }
   const bn::BayesianNetwork& model() const;
   /// Discretizer used by the current discrete model (empty in continuous
@@ -64,6 +94,18 @@ class ModelManager {
   const std::vector<Reconstruction>& history() const { return history_; }
 
  private:
+  /// Fresh WindowStats sized from the schedule (residual fn attached in
+  /// continuous mode for leak calibration).
+  WindowStats make_stats() const;
+  /// Discrete mode: true when the retained data strays outside the current
+  /// discretizer's fitted range (stretched by the configured tolerance).
+  bool range_exceeded() const;
+
+  Reconstruction reconstruct_full(const bn::Dataset& window,
+                                  ThreadPool* pool);
+  Reconstruction reconstruct_incremental(const bn::Dataset& window,
+                                         ThreadPool* pool);
+
   wf::Workflow workflow_;
   wf::ResourceSharing sharing_;
   Config config_;
@@ -72,6 +114,13 @@ class ModelManager {
   std::optional<bn::BayesianNetwork> model_;
   std::optional<DatasetDiscretizer> discretizer_;
   std::vector<Reconstruction> history_;
+  // Incremental-mode state.
+  std::optional<WindowStats> stats_;
+  std::size_t rows_since_reconstruct_ = 0;
+  std::size_t discretizer_version_ = 0;
+  /// Deterministic response CPT cached per discretizer version (rebuilding
+  /// it costs bins^n integrations — the dominant discrete-mode cost).
+  std::optional<bn::TabularCpd> d_cpt_cache_;
 };
 
 }  // namespace kertbn::core

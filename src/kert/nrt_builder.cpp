@@ -25,7 +25,7 @@ bn::BayesianNetwork network_from_structure(
 
 NrtResult construct_nrt(const bn::Dataset& train,
                         std::span<const bn::Variable> vars, Rng& rng,
-                        const NrtOptions& opts) {
+                        const NrtOptions& opts, ThreadPool* pool) {
   KERTBN_EXPECTS(train.cols() == vars.size());
   Stopwatch total;
   NrtResult result;
@@ -34,14 +34,14 @@ NrtResult construct_nrt(const bn::Dataset& train,
   const bn::FamilyScoreFn score = bn::make_family_score(vars);
   const bn::StructureResult structure =
       bn::k2_random_restarts(train, vars, opts.restarts, rng, score,
-                             opts.k2);
+                             opts.k2, pool);
   result.report.structure_seconds = structure_timer.seconds();
   result.report.structure_score = structure.score;
 
   result.net = network_from_structure(structure, vars);
 
   Stopwatch param_timer;
-  bn::learn_parameters(result.net, train, opts.learn);
+  bn::learn_parameters(result.net, train, opts.learn, pool);
   result.report.parameter_seconds = param_timer.seconds();
   result.report.total_seconds = total.seconds();
   KERTBN_ENSURES(result.net.is_complete());

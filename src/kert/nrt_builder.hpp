@@ -10,6 +10,7 @@
 #include "bn/network.hpp"
 #include "bn/structure_learning.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace kertbn::core {
 
@@ -34,10 +35,13 @@ struct NrtResult {
 
 /// Learns an NRT-BN from scratch. \p vars describes every column of
 /// \p train (services then D); kinds select the score (K2 for discrete,
-/// Gaussian BIC for continuous) and the CPD family.
+/// Gaussian BIC for continuous) and the CPD family. When \p pool is
+/// non-null both the K2 restarts and the per-node parameter fits run
+/// concurrently on it; results are identical to the serial path.
 NrtResult construct_nrt(const bn::Dataset& train,
                         std::span<const bn::Variable> vars, Rng& rng,
-                        const NrtOptions& opts = {});
+                        const NrtOptions& opts = {},
+                        ThreadPool* pool = nullptr);
 
 /// A learning-free NRT-BN with the classic naive-Bayes structure (D is the
 /// sole parent of every service node). The paper considers and dismisses

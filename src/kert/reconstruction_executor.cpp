@@ -1,0 +1,18 @@
+#include "kert/reconstruction_executor.hpp"
+
+namespace kertbn::core {
+
+ReconstructionExecutor::ReconstructionExecutor(Mode mode, std::size_t threads)
+    : mode_(mode) {
+  if (mode_ == Mode::kParallel) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+bn::ParameterLearnReport ReconstructionExecutor::learn(
+    bn::BayesianNetwork& net, const bn::Dataset& data,
+    const bn::ParameterLearnOptions& opts) const {
+  return bn::learn_parameters(net, data, opts, pool());
+}
+
+}  // namespace kertbn::core

@@ -340,4 +340,127 @@ SavedModel load_from_string(const std::string& text) {
   return load_kert_model(in);
 }
 
+namespace {
+
+constexpr const char* kNetMagic = "kertbn-net";
+constexpr int kNetVersion = 1;
+
+/// Writes one learned CPD in the same line format write_learned_cpds uses.
+void write_cpd_line(std::ostream& out, std::size_t v, const bn::Cpd& cpd) {
+  if (cpd.kind() == bn::CpdKind::kLinearGaussian) {
+    const auto& lg = static_cast<const bn::LinearGaussianCpd&>(cpd);
+    out << "cpd " << v << " lingauss " << lg.intercept() << ' '
+        << lg.weights().size();
+    for (double w : lg.weights()) out << ' ' << w;
+    out << ' ' << lg.sigma() << '\n';
+    return;
+  }
+  KERTBN_EXPECTS(cpd.kind() == bn::CpdKind::kTabular);
+  const auto& tab = static_cast<const bn::TabularCpd&>(cpd);
+  out << "cpd " << v << " tabular " << tab.child_cardinality() << ' '
+      << tab.parent_cardinalities().size();
+  for (std::size_t c : tab.parent_cardinalities()) out << ' ' << c;
+  out << ' ' << tab.config_count() * tab.child_cardinality();
+  for (std::size_t cfg = 0; cfg < tab.config_count(); ++cfg) {
+    for (std::size_t s = 0; s < tab.child_cardinality(); ++s) {
+      out << ' ' << tab.probability(cfg, s);
+    }
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void save_network(std::ostream& out, const bn::BayesianNetwork& net) {
+  KERTBN_EXPECTS(net.is_complete());
+  out << std::setprecision(17);
+  out << kNetMagic << ' ' << kNetVersion << '\n';
+  out << "nodes " << net.size() << '\n';
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    const bn::Variable& var = net.variable(v);
+    // Names are whitespace-free throughout this library (service
+    // identifiers); the line format relies on that.
+    KERTBN_EXPECTS(var.name.find_first_of(" \t\n") == std::string::npos);
+    if (var.is_discrete()) {
+      out << "node " << v << " discrete " << var.cardinality << ' '
+          << var.name << '\n';
+    } else {
+      out << "node " << v << " continuous " << var.name << '\n';
+    }
+  }
+  write_structure(out, net);
+  out << "cpds " << net.size() << '\n';
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    write_cpd_line(out, v, net.cpd(v));
+  }
+  out << "end\n";
+}
+
+bn::BayesianNetwork load_network(std::istream& in) {
+  std::string keyword;
+  int version = 0;
+  in >> keyword >> version;
+  KERTBN_EXPECTS(keyword == kNetMagic);
+  KERTBN_EXPECTS(version == kNetVersion);
+
+  std::size_t n_nodes = 0;
+  in >> keyword >> n_nodes;
+  KERTBN_EXPECTS(keyword == "nodes");
+  bn::BayesianNetwork net;
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    std::size_t idx = 0;
+    std::string kind;
+    in >> keyword >> idx >> kind;
+    KERTBN_EXPECTS(keyword == "node" && idx == v);
+    if (kind == "discrete") {
+      std::size_t card = 0;
+      std::string name;
+      in >> card >> name;
+      net.add_node(bn::Variable::discrete(std::move(name), card));
+    } else {
+      KERTBN_EXPECTS(kind == "continuous");
+      std::string name;
+      in >> name;
+      net.add_node(bn::Variable::continuous(std::move(name)));
+    }
+  }
+
+  std::size_t n_edges = 0;
+  in >> keyword >> n_edges;
+  KERTBN_EXPECTS(keyword == "edges");
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    in >> keyword >> a >> b;
+    KERTBN_EXPECTS(keyword == "edge");
+    const bool ok = net.add_edge(a, b);
+    KERTBN_EXPECTS(ok);
+  }
+
+  std::size_t n_cpds = 0;
+  in >> keyword >> n_cpds;
+  KERTBN_EXPECTS(keyword == "cpds");
+  KERTBN_EXPECTS(n_cpds == n_nodes);
+  for (std::size_t i = 0; i < n_cpds; ++i) {
+    std::size_t node = 0;
+    auto cpd = read_one_cpd(in, node);
+    net.set_cpd(node, std::move(cpd));
+  }
+  in >> keyword;
+  KERTBN_EXPECTS(keyword == "end");
+  KERTBN_ENSURES(net.is_complete());
+  return net;
+}
+
+std::string network_to_string(const bn::BayesianNetwork& net) {
+  std::ostringstream out;
+  save_network(out, net);
+  return out.str();
+}
+
+bn::BayesianNetwork network_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_network(in);
+}
+
 }  // namespace kertbn::core

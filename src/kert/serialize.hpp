@@ -58,4 +58,18 @@ std::string save_to_string(const wf::Workflow& workflow,
                            const bn::BayesianNetwork& net);
 SavedModel load_from_string(const std::string& text);
 
+/// Serializes an arbitrary fully-parameterized network — e.g. a learned
+/// NRT-BN — without any knowledge blocks: variables, structure, and every
+/// CPD. Linear-Gaussian and tabular CPDs only (a deterministic CPD cannot
+/// be persisted without its workflow; use save_kert_continuous for those).
+void save_network(std::ostream& out, const bn::BayesianNetwork& net);
+
+/// Loads a network written by save_network. Contract-fails on malformed
+/// input. Round-trips are exact (17-significant-digit doubles).
+bn::BayesianNetwork load_network(std::istream& in);
+
+/// Convenience string round-trips for save_network/load_network.
+std::string network_to_string(const bn::BayesianNetwork& net);
+bn::BayesianNetwork network_from_string(const std::string& text);
+
 }  // namespace kertbn::core

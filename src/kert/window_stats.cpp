@@ -1,0 +1,242 @@
+#include "kert/window_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace kertbn::core {
+
+std::size_t CountLayout::table_size() const {
+  std::size_t configs = 1;
+  for (std::size_t c : parent_cards) configs *= c;
+  return configs * child_card;
+}
+
+WindowStats::WindowStats(Config config) : config_(std::move(config)) {
+  KERTBN_EXPECTS(config_.cols >= 1);
+  KERTBN_EXPECTS(config_.rows_per_segment >= 1);
+  KERTBN_EXPECTS(config_.max_rows >= config_.rows_per_segment);
+}
+
+void WindowStats::observe(std::span<const double> row) {
+  KERTBN_EXPECTS(row.size() == config_.cols);
+  if (segments_.empty() || segments_.back().sealed) {
+    segments_.emplace_back();
+    segments_.back().raw.reserve(config_.rows_per_segment * config_.cols);
+  }
+  Segment& back = segments_.back();
+  back.raw.insert(back.raw.end(), row.begin(), row.end());
+  if (back.rows(config_.cols) == config_.rows_per_segment) seal_back();
+  // Evict whole sealed segments from the front once the retained span
+  // exceeds the window capacity. Mid-segment the retained rows may cover
+  // slightly less than the window; at every segment boundary (where
+  // reconstructions happen) coverage matches the window exactly.
+  while (retained_rows() > config_.max_rows && segments_.front().sealed) {
+    segments_.pop_front();
+  }
+}
+
+void WindowStats::reset() { segments_.clear(); }
+
+std::size_t WindowStats::retained_rows() const {
+  std::size_t rows = 0;
+  for (const Segment& s : segments_) rows += s.rows(config_.cols);
+  return rows;
+}
+
+std::size_t WindowStats::segments() const { return segments_.size(); }
+
+bool WindowStats::aligned(const bn::Dataset& window) const {
+  if (window.rows() == 0 || window.cols() != config_.cols) return false;
+  if (retained_rows() != window.rows()) return false;
+  const auto row_matches = [&](std::span<const double> a,
+                               std::span<const double> b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  };
+  const Segment& front = segments_.front();
+  const Segment& back = segments_.back();
+  const std::span<const double> first(front.raw.data(), config_.cols);
+  const std::span<const double> last(
+      back.raw.data() + back.raw.size() - config_.cols, config_.cols);
+  return row_matches(first, window.row(0)) &&
+         row_matches(last, window.row(window.rows() - 1));
+}
+
+void WindowStats::seal_back() {
+  Segment& seg = segments_.back();
+  seg.gram = la::Matrix(config_.cols + 1, config_.cols + 1);
+  accumulate_moments(seg, seg.gram, seg.resid_sum, seg.resid_sum_sq, seg.min,
+                     seg.max);
+  seg.sealed = true;
+}
+
+void WindowStats::accumulate_moments(const Segment& seg, la::Matrix& gram,
+                                     double& resid_sum, double& resid_sum_sq,
+                                     std::vector<double>& min,
+                                     std::vector<double>& max) const {
+  const std::size_t cols = config_.cols;
+  const std::size_t rows = seg.rows(cols);
+  min.assign(cols, std::numeric_limits<double>::infinity());
+  max.assign(cols, -std::numeric_limits<double>::infinity());
+  std::vector<double> aug(cols + 1);
+  aug[0] = 1.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> row(seg.raw.data() + r * cols, cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      aug[c + 1] = row[c];
+      min[c] = std::min(min[c], row[c]);
+      max[c] = std::max(max[c], row[c]);
+    }
+    // Upper triangle only; mirrored below (the Gram matrix is symmetric).
+    for (std::size_t i = 0; i <= cols; ++i) {
+      for (std::size_t j = i; j <= cols; ++j) {
+        gram(i, j) += aug[i] * aug[j];
+      }
+    }
+    if (config_.residual) {
+      const double e = config_.residual(row);
+      resid_sum += e;
+      resid_sum_sq += e * e;
+    }
+  }
+  for (std::size_t i = 0; i <= cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+}
+
+la::Matrix WindowStats::combined_gram() const {
+  la::Matrix total(config_.cols + 1, config_.cols + 1);
+  for (const Segment& seg : segments_) {
+    if (seg.sealed) {
+      total += seg.gram;
+      continue;
+    }
+    la::Matrix gram(config_.cols + 1, config_.cols + 1);
+    double rs = 0.0, rss = 0.0;
+    std::vector<double> mn, mx;
+    accumulate_moments(seg, gram, rs, rss, mn, mx);
+    total += gram;
+  }
+  return total;
+}
+
+WindowStats::ResidualMoments WindowStats::combined_residuals() const {
+  ResidualMoments m;
+  if (!config_.residual) return m;
+  for (const Segment& seg : segments_) {
+    if (seg.sealed) {
+      m.sum += seg.resid_sum;
+      m.sum_sq += seg.resid_sum_sq;
+    } else {
+      la::Matrix gram(config_.cols + 1, config_.cols + 1);
+      double rs = 0.0, rss = 0.0;
+      std::vector<double> mn, mx;
+      accumulate_moments(seg, gram, rs, rss, mn, mx);
+      m.sum += rs;
+      m.sum_sq += rss;
+    }
+    m.rows += seg.rows(config_.cols);
+  }
+  return m;
+}
+
+double WindowStats::col_min(std::size_t c) const {
+  KERTBN_EXPECTS(c < config_.cols);
+  KERTBN_EXPECTS(!segments_.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  for (const Segment& seg : segments_) {
+    if (seg.sealed) {
+      lo = std::min(lo, seg.min[c]);
+    } else {
+      const std::size_t rows = seg.rows(config_.cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        lo = std::min(lo, seg.raw[r * config_.cols + c]);
+      }
+    }
+  }
+  return lo;
+}
+
+double WindowStats::col_max(std::size_t c) const {
+  KERTBN_EXPECTS(c < config_.cols);
+  KERTBN_EXPECTS(!segments_.empty());
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Segment& seg : segments_) {
+    if (seg.sealed) {
+      hi = std::max(hi, seg.max[c]);
+    } else {
+      const std::size_t rows = seg.rows(config_.cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        hi = std::max(hi, seg.raw[r * config_.cols + c]);
+      }
+    }
+  }
+  return hi;
+}
+
+std::vector<std::vector<double>> WindowStats::count_segment(
+    const Segment& seg, std::span<const CountLayout> layouts,
+    const DatasetDiscretizer& disc) const {
+  const std::size_t cols = config_.cols;
+  std::vector<std::vector<double>> tables(layouts.size());
+  for (std::size_t l = 0; l < layouts.size(); ++l) {
+    tables[l].assign(layouts[l].table_size(), 0.0);
+  }
+  const std::size_t rows = seg.rows(cols);
+  std::vector<std::size_t> states(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      states[c] = disc.column(c).bin_of(seg.raw[r * cols + c]);
+    }
+    for (std::size_t l = 0; l < layouts.size(); ++l) {
+      const CountLayout& lay = layouts[l];
+      std::size_t cfg = 0;
+      for (std::size_t i = 0; i < lay.parent_cols.size(); ++i) {
+        cfg = cfg * lay.parent_cards[i] + states[lay.parent_cols[i]];
+      }
+      tables[l][cfg * lay.child_card + states[lay.child_col]] += 1.0;
+    }
+  }
+  return tables;
+}
+
+WindowStats::CountResult WindowStats::counts(
+    std::span<const CountLayout> layouts, const DatasetDiscretizer& disc,
+    std::size_t discretizer_version) {
+  KERTBN_EXPECTS(disc.columns() == config_.cols);
+  CountResult result;
+  result.node_counts.resize(layouts.size());
+  for (std::size_t l = 0; l < layouts.size(); ++l) {
+    result.node_counts[l].assign(layouts[l].table_size(), 0.0);
+  }
+  for (Segment& seg : segments_) {
+    const std::vector<std::vector<double>>* tables = nullptr;
+    std::vector<std::vector<double>> fresh;
+    if (seg.sealed && seg.counts_valid &&
+        seg.counts_version == discretizer_version &&
+        seg.counts.size() == layouts.size()) {
+      tables = &seg.counts;
+    } else {
+      fresh = count_segment(seg, layouts, disc);
+      result.rows_scanned += seg.rows(config_.cols);
+      if (seg.sealed) {
+        seg.counts = std::move(fresh);
+        seg.counts_version = discretizer_version;
+        seg.counts_valid = true;
+        tables = &seg.counts;
+      } else {
+        tables = &fresh;
+      }
+    }
+    for (std::size_t l = 0; l < layouts.size(); ++l) {
+      KERTBN_ASSERT((*tables)[l].size() == result.node_counts[l].size());
+      for (std::size_t i = 0; i < (*tables)[l].size(); ++i) {
+        result.node_counts[l][i] += (*tables)[l][i];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kertbn::core

@@ -1,0 +1,157 @@
+#pragma once
+/// \file window_stats.hpp
+/// Windowed sufficient statistics for incremental model reconstruction.
+///
+/// Section 2's scheme rebuilds the model every T_CON from the sliding
+/// window W = K · T_CON, recounting all K·α data points each time even
+/// though K-1 of the K segments were already counted by the previous
+/// reconstruction. WindowStats removes that redundancy: rows are observed
+/// as they enter the window and grouped into T_CON segments of α rows;
+/// each sealed segment caches its count/moment partials (an augmented Gram
+/// matrix, leak-residual moments, per-column ranges, and — on demand —
+/// per-node discrete count tables). A reconstruction then combines K
+/// cached partials plus the one fresh segment instead of re-scanning the
+/// whole window.
+///
+/// The layer is strictly an accelerator: whenever the cached statistics
+/// cannot be proven to cover the exact window (missed rows, a direct
+/// reconstruct() on foreign data) alignment fails and the caller falls
+/// back to a full recount; whenever the discretizer's bin edges shift the
+/// per-segment count caches are keyed out by version and recounted.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bn/dataset.hpp"
+#include "kert/discretize.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kertbn::core {
+
+/// Shape of one node's CPT count table, mirroring bn::fit_tabular_cpd's
+/// layout exactly: config-major (parents in order, mixed-radix with the
+/// last parent fastest), child-state minor.
+struct CountLayout {
+  std::size_t child_col = 0;
+  std::vector<std::size_t> parent_cols;
+  std::size_t child_card = 0;
+  std::vector<std::size_t> parent_cards;
+
+  /// Total table cells: child_card · Π parent_cards.
+  std::size_t table_size() const;
+};
+
+/// Per-segment sufficient statistics over the sliding window.
+class WindowStats {
+ public:
+  struct Config {
+    /// Dataset width (services + 1 for D).
+    std::size_t cols = 0;
+    /// Rows per T_CON segment (α); segments seal at this size.
+    std::size_t rows_per_segment = 0;
+    /// Window capacity in rows (K·α); oldest sealed segments are evicted
+    /// once retained rows exceed this.
+    std::size_t max_rows = 0;
+    /// Optional per-row leak residual D - f(X); when set, residual moments
+    /// are accumulated per segment (continuous-mode leak calibration).
+    std::function<double(std::span<const double>)> residual;
+  };
+
+  explicit WindowStats(Config config);
+
+  std::size_t cols() const { return config_.cols; }
+  std::size_t rows_per_segment() const { return config_.rows_per_segment; }
+  std::size_t max_rows() const { return config_.max_rows; }
+
+  /// Ingests one window row (services then D). Seals the open segment at
+  /// rows_per_segment rows and evicts whole sealed segments from the front
+  /// while more than max_rows are retained.
+  void observe(std::span<const double> row);
+
+  /// Drops everything (used when reseeding after an alignment miss).
+  void reset();
+
+  /// Rows currently covered by the retained segments.
+  std::size_t retained_rows() const;
+  /// Retained segment count (including a non-empty open segment).
+  std::size_t segments() const;
+
+  /// True when the retained statistics cover exactly \p window: same row
+  /// count and matching first/last rows. Count equality alone suffices
+  /// when both saw the same stream (front eviction in whole segments);
+  /// the endpoint comparison additionally rejects reconstructions against
+  /// foreign data of coincidentally equal size.
+  bool aligned(const bn::Dataset& window) const;
+
+  /// Combined augmented Gram matrix over all retained rows:
+  /// (cols+1)×(cols+1) second moments of [1, x_0, ..., x_{cols-1}] —
+  /// the input bn::fit_linear_gaussian_from_moments expects.
+  la::Matrix combined_gram() const;
+
+  struct ResidualMoments {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t rows = 0;
+  };
+  /// Combined leak-residual moments (rows == 0 when no residual fn).
+  ResidualMoments combined_residuals() const;
+
+  /// Smallest / largest retained value of column \p c (drift detection for
+  /// discretizer reuse). Contract-fails when no rows are retained.
+  double col_min(std::size_t c) const;
+  double col_max(std::size_t c) const;
+
+  struct CountResult {
+    /// One count table per layout, combined over all retained rows.
+    std::vector<std::vector<double>> node_counts;
+    /// Raw rows actually scanned (cache misses); 0 on a full cache hit
+    /// except for the open segment, which is always recounted.
+    std::size_t rows_scanned = 0;
+  };
+  /// Discrete count tables for \p layouts over the retained rows, binned
+  /// with \p disc. Sealed segments cache their tables keyed by
+  /// \p discretizer_version — bump the version whenever the discretizer's
+  /// edges shift and every segment recounts exactly once. Counts are exact
+  /// integers carried in doubles, so combined tables are bit-identical to
+  /// a full-window recount under the same discretizer.
+  CountResult counts(std::span<const CountLayout> layouts,
+                     const DatasetDiscretizer& disc,
+                     std::size_t discretizer_version);
+
+ private:
+  struct Segment {
+    std::vector<double> raw;  // row-major, rows * cols
+    bool sealed = false;
+    // Moment partials, computed once at seal time.
+    la::Matrix gram;  // (cols+1)², empty until sealed
+    double resid_sum = 0.0;
+    double resid_sum_sq = 0.0;
+    std::vector<double> min;  // per column, over the segment
+    std::vector<double> max;
+    // Discrete count cache (sealed segments only).
+    std::size_t counts_version = 0;
+    bool counts_valid = false;
+    std::vector<std::vector<double>> counts;
+
+    std::size_t rows(std::size_t cols) const { return raw.size() / cols; }
+  };
+
+  void seal_back();
+  /// Moment partials of \p seg computed from its raw rows.
+  void accumulate_moments(const Segment& seg, la::Matrix& gram,
+                          double& resid_sum, double& resid_sum_sq,
+                          std::vector<double>& min,
+                          std::vector<double>& max) const;
+  /// Count tables of \p seg's raw rows under \p disc.
+  std::vector<std::vector<double>> count_segment(
+      const Segment& seg, std::span<const CountLayout> layouts,
+      const DatasetDiscretizer& disc) const;
+
+  Config config_;
+  std::deque<Segment> segments_;
+};
+
+}  // namespace kertbn::core

@@ -145,6 +145,25 @@ Matrix inverse(const Matrix& a) {
   return lu->solve(Matrix::identity(a.rows()));
 }
 
+Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
+                              double ridge) {
+  KERTBN_EXPECTS(xtx.rows() == xtx.cols());
+  KERTBN_EXPECTS(xtx.rows() == xty.size());
+  const std::size_t p = xtx.rows();
+  Matrix a = xtx;
+  for (std::size_t i = 0; i < p; ++i) a(i, i) += ridge;
+  auto chol = Cholesky::factor(a);
+  if (chol.has_value()) return chol->solve(xty);
+  // Severely ill-conditioned design: escalate the ridge until SPD.
+  for (double boost = 1e-6; boost <= 1e3; boost *= 10.0) {
+    Matrix bumped = a;
+    for (std::size_t i = 0; i < p; ++i) bumped(i, i) += boost;
+    if (auto c2 = Cholesky::factor(bumped)) return c2->solve(xty);
+  }
+  KERTBN_ASSERT(false && "solve_normal_equations: design matrix unusable");
+  return Vector(p);
+}
+
 Vector least_squares(const Matrix& x, const Vector& y, double ridge) {
   KERTBN_EXPECTS(x.rows() == y.size());
   KERTBN_EXPECTS(x.rows() >= 1);
@@ -162,7 +181,6 @@ Vector least_squares(const Matrix& x, const Vector& y, double ridge) {
     }
   }
   for (std::size_t i = 0; i < p; ++i) {
-    xtx(i, i) += ridge;
     for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
   }
   Vector xty(p);
@@ -170,16 +188,7 @@ Vector least_squares(const Matrix& x, const Vector& y, double ridge) {
     const auto row = x.row(r);
     for (std::size_t i = 0; i < p; ++i) xty[i] += row[i] * y[r];
   }
-  auto chol = Cholesky::factor(xtx);
-  if (chol.has_value()) return chol->solve(xty);
-  // Severely ill-conditioned design: escalate the ridge until SPD.
-  for (double boost = 1e-6; boost <= 1e3; boost *= 10.0) {
-    Matrix bumped = xtx;
-    for (std::size_t i = 0; i < p; ++i) bumped(i, i) += boost;
-    if (auto c2 = Cholesky::factor(bumped)) return c2->solve(xty);
-  }
-  KERTBN_ASSERT(false && "least_squares: design matrix unusable");
-  return Vector(p);
+  return solve_normal_equations(xtx, xty, ridge);
 }
 
 Vector column_means(const Matrix& data) {

@@ -63,6 +63,15 @@ Matrix inverse(const Matrix& a);
 /// common when two services' elapsed times move in lockstep).
 Vector least_squares(const Matrix& x, const Vector& y, double ridge = 1e-9);
 
+/// Solves the ridge-stabilized normal equations (XᵀX + ridge·I) beta = Xᵀy
+/// given the already-accumulated moments \p xtx (= XᵀX, without ridge) and
+/// \p xty (= Xᵀy). This is the back half of least_squares(), exposed so
+/// callers holding cached sufficient statistics (incremental window
+/// reconstruction) solve through the exact same code path — including the
+/// ridge-escalation fallback for ill-conditioned designs.
+Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
+                              double ridge = 1e-9);
+
 /// Sample mean of each column of a data matrix (rows = observations).
 Vector column_means(const Matrix& data);
 

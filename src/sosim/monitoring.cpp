@@ -28,8 +28,8 @@ AgentReport MonitoringAgent::flush() {
   report.agent = id_;
   report.service_means.reserve(points_.size());
   for (auto& p : points_) {
-    if (p.count() > 0) {
-      report.service_means.emplace_back(p.service(), p.mean());
+    if (const std::optional<double> mean = p.maybe_mean()) {
+      report.service_means.emplace_back(p.service(), *mean);
     }
     p.clear();
   }
@@ -37,16 +37,21 @@ AgentReport MonitoringAgent::flush() {
 }
 
 ManagementServer::ManagementServer(std::vector<std::string> service_names,
-                                   ModelSchedule schedule)
-    : n_services_(service_names.size()), schedule_(schedule), window_([&] {
+                                   ModelSchedule schedule,
+                                   MissingServicePolicy policy)
+    : n_services_(service_names.size()),
+      schedule_(schedule),
+      policy_(policy),
+      window_([&] {
         auto cols = std::move(service_names);
         cols.push_back("D");
         return bn::Dataset(std::move(cols));
-      }()) {
+      }()),
+      last_seen_(n_services_) {
   KERTBN_EXPECTS(n_services_ > 0);
 }
 
-void ManagementServer::ingest_interval(
+bool ManagementServer::ingest_interval(
     const std::vector<AgentReport>& reports, double response_mean) {
   std::vector<double> row(n_services_ + 1, 0.0);
   std::vector<bool> seen(n_services_, false);
@@ -56,13 +61,34 @@ void ManagementServer::ingest_interval(
       KERTBN_EXPECTS(!seen[service]);
       seen[service] = true;
       row[service] = mean;
+      last_seen_[service] = mean;
     }
   }
-  for (bool s : seen) KERTBN_EXPECTS(s);
+  for (std::size_t s = 0; s < n_services_; ++s) {
+    if (seen[s]) continue;
+    switch (policy_) {
+      case MissingServicePolicy::kRequire:
+        KERTBN_EXPECTS(seen[s]);
+        break;
+      case MissingServicePolicy::kCarryForward:
+        if (!last_seen_[s]) {
+          // Nothing to carry yet — the interval cannot form a usable row.
+          ++dropped_intervals_;
+          return false;
+        }
+        row[s] = *last_seen_[s];
+        break;
+      case MissingServicePolicy::kDropRow:
+        ++dropped_intervals_;
+        return false;
+    }
+  }
   row[n_services_] = response_mean;
   window_.add_row(row);
   ++total_points_;
   window_.keep_last_rows(schedule_.points_per_window());
+  if (observer_) observer_(row);
+  return true;
 }
 
 }  // namespace kertbn::sim

@@ -7,6 +7,9 @@
 /// sliding window W = K · T_CON used for model (re)construction.
 
 #include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,9 +44,16 @@ class MonitoringPoint {
     ++count_;
   }
   std::size_t count() const { return count_; }
-  /// Interval mean; contract-fails when empty.
+  /// Interval mean; contract-fails when empty. Callers that cannot rule
+  /// out an empty interval (a service no request hit this T_DATA) should
+  /// use maybe_mean() instead.
   double mean() const {
     KERTBN_EXPECTS(count_ > 0);
+    return sum_ / static_cast<double>(count_);
+  }
+  /// Interval mean, or nullopt when no measurement was recorded.
+  std::optional<double> maybe_mean() const {
+    if (count_ == 0) return std::nullopt;
     return sum_ / static_cast<double>(count_);
   }
   void clear() {
@@ -87,20 +97,49 @@ class MonitoringAgent {
   std::vector<MonitoringPoint> points_;
 };
 
+/// What the management server does with an interval whose reports do not
+/// cover every service (a quiet service saw no request that T_DATA).
+enum class MissingServicePolicy {
+  /// Contract-fail — every interval must be complete (the strict seed
+  /// behavior; appropriate when upstream already filters incompletes).
+  kRequire,
+  /// Fill the gap with the service's most recent interval mean — elapsed
+  /// times drift slowly relative to T_DATA, so the last observation is
+  /// the best available estimate and the window keeps its cadence. Rows
+  /// are dropped only while a service has never reported at all.
+  kCarryForward,
+  /// Drop the whole interval (no window row, no observer callback).
+  kDropRow,
+};
+
 /// The management server: assembles agent reports plus end-to-end response
 /// times into data points (one per T_DATA interval) and maintains the
 /// sliding window of Equation 1.
 class ManagementServer {
  public:
+  /// Called with each completed data-point row (services then D) right
+  /// after it enters the sliding window — the hook incremental model
+  /// layers use to maintain windowed statistics (ModelManager::observe_row).
+  using RowObserver = std::function<void(std::span<const double>)>;
+
   /// \p service_names defines dataset columns (a final "D" is appended).
   ManagementServer(std::vector<std::string> service_names,
-                   ModelSchedule schedule);
+                   ModelSchedule schedule,
+                   MissingServicePolicy policy =
+                       MissingServicePolicy::kCarryForward);
 
   const ModelSchedule& schedule() const { return schedule_; }
+  MissingServicePolicy policy() const { return policy_; }
 
-  /// Ingests one interval's reports plus the interval-mean response time;
-  /// reports must collectively cover every service exactly once.
-  void ingest_interval(const std::vector<AgentReport>& reports,
+  void set_row_observer(RowObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Ingests one interval's reports plus the interval-mean response time.
+  /// Services missing from the reports are handled per the configured
+  /// MissingServicePolicy; duplicate coverage always contract-fails.
+  /// Returns true when a row entered the window.
+  bool ingest_interval(const std::vector<AgentReport>& reports,
                        double response_mean);
 
   /// Rows currently in the sliding window (at most K·α).
@@ -112,11 +151,19 @@ class ManagementServer {
   /// Total data points ever ingested.
   std::size_t total_points() const { return total_points_; }
 
+  /// Intervals dropped under kDropRow (or carry-forward with a
+  /// never-seen service).
+  std::size_t dropped_intervals() const { return dropped_intervals_; }
+
  private:
   std::size_t n_services_;
   ModelSchedule schedule_;
+  MissingServicePolicy policy_;
   bn::Dataset window_;
   std::size_t total_points_ = 0;
+  std::size_t dropped_intervals_ = 0;
+  std::vector<std::optional<double>> last_seen_;
+  RowObserver observer_;
 };
 
 }  // namespace kertbn::sim

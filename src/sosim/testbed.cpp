@@ -54,9 +54,8 @@ bool MonitoredTestbed::advance_interval() {
     reports.push_back(agent.flush());  // clears batches either way
   }
   if (!complete) return false;
-  server_.ingest_interval(reports,
-                          response_sum / double(response_count));
-  return true;
+  return server_.ingest_interval(reports,
+                                 response_sum / double(response_count));
 }
 
 void MonitoredTestbed::advance_construction_intervals(

@@ -55,5 +55,75 @@ TEST(ThreadPool, DefaultSizeIsPositive) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+// --- Stress tests (run clean under -DKERTBN_SANITIZE=thread) ---
+
+TEST(ThreadPoolStress, ConcurrentSubmittersFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 100;
+  std::vector<std::thread> producers;
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        auto f = pool.submit([&counter] { ++counter; });
+        std::lock_guard lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, ExceptionsUnderLoadDoNotPoisonThePool) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i]() -> int {
+      if (i % 3 == 0) throw std::runtime_error("boom");
+      return i;
+    }));
+  }
+  int ok = 0, thrown = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      EXPECT_EQ(futures[i].get(), i);
+      ++ok;
+    } catch (const std::runtime_error&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 67);  // i = 0, 3, ..., 198
+  EXPECT_EQ(ok, 133);
+  // The pool still works after a batch of failures.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolStress, RepeatedConstructDestroyShutsDownCleanly) {
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor drains + joins every round
+  EXPECT_EQ(counter.load(), 50 * 8);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallsShareOnePool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(128);
+  std::thread other(
+      [&] { pool.parallel_for(64, [&hits](std::size_t i) { ++hits[i]; }); });
+  pool.parallel_for(64,
+                    [&hits](std::size_t i) { ++hits[64 + i]; });
+  other.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace kertbn

@@ -1,0 +1,443 @@
+/// Property harness for the parallel / incremental reconstruction paths:
+/// across hundreds of seeded random environments, the optimized paths must
+/// produce the same models as the straightforward serial full-recount
+/// paths — bit-identical where the computation is order-independent
+/// (staged parallel fits, discrete counts), and within a 1e-12 relative
+/// tolerance where segment-summed moments legitimately reassociate
+/// floating-point additions (continuous incremental fits).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bn/deterministic_cpd.hpp"
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/structure_learning.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/model_manager.hpp"
+#include "kert/nrt_builder.hpp"
+#include "kert/reconstruction_executor.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+/// |a - b| <= tol * max(1, |a|, |b|); tol == 0 demands exact equality.
+::testing::AssertionResult near_rel(double a, double b, double tol) {
+  if (tol == 0.0) {
+    if (a == b) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " != " << b << " (exact comparison)";
+  }
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  if (std::abs(a - b) <= tol * scale) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " differ by " << std::abs(a - b)
+         << " (allowed " << tol * scale << ")";
+}
+
+/// Sigma comparison: sigma² is recovered from the cancelling subtraction
+/// rss = yᵀy − 2βᵀXᵀy + βᵀXᵀXβ, so when the residual variance sits many
+/// orders of magnitude below the response's second moment only *absolute*
+/// accuracy of the variance survives. Accept either relative agreement of
+/// sigma or absolute agreement of sigma² at the cancellation scale.
+::testing::AssertionResult near_sigma(double a, double b, double tol) {
+  if (tol == 0.0) return near_rel(a, b, 0.0);
+  if (std::abs(a * a - b * b) <= 1e-12) return ::testing::AssertionSuccess();
+  return near_rel(a, b, tol);
+}
+
+/// Every CPD of \p a equals the corresponding CPD of \p b within \p tol.
+void expect_networks_equal(const bn::BayesianNetwork& a,
+                           const bn::BayesianNetwork& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a.cpd(v).kind(), b.cpd(v).kind()) << "node " << v;
+    switch (a.cpd(v).kind()) {
+      case bn::CpdKind::kLinearGaussian: {
+        const auto& ca = static_cast<const bn::LinearGaussianCpd&>(a.cpd(v));
+        const auto& cb = static_cast<const bn::LinearGaussianCpd&>(b.cpd(v));
+        EXPECT_TRUE(near_rel(ca.intercept(), cb.intercept(), tol))
+            << "node " << v << " intercept";
+        ASSERT_EQ(ca.weights().size(), cb.weights().size());
+        for (std::size_t i = 0; i < ca.weights().size(); ++i) {
+          EXPECT_TRUE(near_rel(ca.weights()[i], cb.weights()[i], tol))
+              << "node " << v << " weight " << i;
+        }
+        EXPECT_TRUE(near_sigma(ca.sigma(), cb.sigma(), tol))
+            << "node " << v << " sigma";
+        break;
+      }
+      case bn::CpdKind::kTabular: {
+        const auto& ca = static_cast<const bn::TabularCpd&>(a.cpd(v));
+        const auto& cb = static_cast<const bn::TabularCpd&>(b.cpd(v));
+        ASSERT_EQ(ca.child_cardinality(), cb.child_cardinality());
+        ASSERT_EQ(ca.config_count(), cb.config_count());
+        for (std::size_t cfg = 0; cfg < ca.config_count(); ++cfg) {
+          for (std::size_t s = 0; s < ca.child_cardinality(); ++s) {
+            EXPECT_TRUE(
+                near_rel(ca.probability(cfg, s), cb.probability(cfg, s), tol))
+                << "node " << v << " cfg " << cfg << " state " << s;
+          }
+        }
+        break;
+      }
+      case bn::CpdKind::kDeterministic: {
+        const auto& ca = static_cast<const bn::DeterministicCpd&>(a.cpd(v));
+        const auto& cb = static_cast<const bn::DeterministicCpd&>(b.cpd(v));
+        EXPECT_TRUE(near_sigma(ca.leak_sigma(), cb.leak_sigma(), tol))
+            << "node " << v << " leak";
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution vs serial: bit-identical (fits are staged; only the
+// scheduling changes).
+
+TEST(ParallelEquivalence, ContinuousConstructionIsBitIdenticalUnderPool) {
+  const ReconstructionExecutor executor(ReconstructionExecutor::Mode::kParallel,
+                                        4);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng env_rng(1000 + seed);
+    auto env = sim::make_random_environment(3 + seed % 5, env_rng);
+    Rng data_rng(2000 + seed);
+    const bn::Dataset train = env.generate(40, data_rng);
+
+    const KertResult serial = construct_kert_continuous(
+        env.workflow(), env.sharing(), train, LearningMode::kCentralized);
+    const KertResult parallel = construct_kert_continuous(
+        env.workflow(), env.sharing(), train, LearningMode::kCentralized, 0.0,
+        {}, executor.pool());
+    expect_networks_equal(serial.net, parallel.net, 0.0);
+  }
+}
+
+TEST(ParallelEquivalence, DiscreteConstructionIsBitIdenticalUnderPool) {
+  const ReconstructionExecutor executor(ReconstructionExecutor::Mode::kParallel,
+                                        4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng env_rng(3000 + seed);
+    auto env = sim::make_random_environment(3 + seed % 3, env_rng);
+    Rng data_rng(4000 + seed);
+    const bn::Dataset train = env.generate(60, data_rng);
+    const DatasetDiscretizer disc(train, 3);
+    const bn::Dataset discrete = disc.discretize(train);
+
+    const KertResult serial =
+        construct_kert_discrete(env.workflow(), env.sharing(), disc, discrete,
+                                LearningMode::kCentralized);
+    const KertResult parallel =
+        construct_kert_discrete(env.workflow(), env.sharing(), disc, discrete,
+                                LearningMode::kCentralized, 0.02, {},
+                                executor.pool());
+    expect_networks_equal(serial.net, parallel.net, 0.0);
+  }
+}
+
+TEST(ParallelEquivalence, K2RestartsMatchSerialExactly) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    // Random discrete dataset over 5 ternary variables.
+    std::vector<std::string> names;
+    std::vector<bn::Variable> vars;
+    for (int v = 0; v < 5; ++v) {
+      names.push_back("v" + std::to_string(v));
+      vars.push_back(bn::Variable::discrete(names.back(), 3));
+    }
+    bn::Dataset data(names);
+    Rng data_rng(5000 + seed);
+    for (int r = 0; r < 60; ++r) {
+      std::vector<double> row(5);
+      for (double& x : row) {
+        x = static_cast<double>(data_rng.uniform_index(3));
+      }
+      data.add_row(row);
+    }
+    const bn::FamilyScoreFn score = bn::make_family_score(vars);
+
+    Rng rng_serial(6000 + seed);
+    Rng rng_parallel(6000 + seed);
+    const bn::StructureResult serial =
+        bn::k2_random_restarts(data, vars, 6, rng_serial, score);
+    const bn::StructureResult parallel =
+        bn::k2_random_restarts(data, vars, 6, rng_parallel, score, {}, &pool);
+    EXPECT_EQ(serial.score, parallel.score);
+    EXPECT_EQ(serial.parents, parallel.parents);
+  }
+}
+
+TEST(ParallelEquivalence, NrtConstructionMatchesSerialExactly) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng env_rng(7000 + seed);
+    auto env = sim::make_random_environment(4, env_rng);
+    Rng data_rng(8000 + seed);
+    const bn::Dataset train = env.generate(50, data_rng);
+    const DatasetDiscretizer disc(train, 3);
+    const bn::Dataset discrete = disc.discretize(train);
+    std::vector<bn::Variable> vars;
+    for (std::size_t c = 0; c < discrete.cols(); ++c) {
+      vars.push_back(bn::Variable::discrete(discrete.column_name(c), 3));
+    }
+
+    NrtOptions opts;
+    opts.restarts = 4;
+    Rng rng_serial(9000 + seed);
+    Rng rng_parallel(9000 + seed);
+    const NrtResult serial = construct_nrt(discrete, vars, rng_serial, opts);
+    const NrtResult parallel =
+        construct_nrt(discrete, vars, rng_parallel, opts, &pool);
+    EXPECT_EQ(serial.report.structure_score, parallel.report.structure_score);
+    expect_networks_equal(serial.net, parallel.net, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental reconstruction vs full recount.
+
+/// Drives an incremental and a full-recount ModelManager over the same
+/// simulated row stream, reconstructing every alpha rows and comparing the
+/// resulting models. Returns the number of incremental hits.
+std::size_t drive_continuous_case(std::uint64_t seed, bool with_pool) {
+  const sim::ModelSchedule schedule{1.0, 6, 3};  // alpha=6, window=18 rows
+  Rng env_rng(100 + seed);
+  auto env = sim::make_random_environment(3 + seed % 4, env_rng);
+  Rng data_rng(200 + seed);
+  const std::size_t total = schedule.points_per_window() * 2 + 6;
+  const bn::Dataset data = env.generate(total, data_rng);
+
+  const ReconstructionExecutor executor(
+      with_pool ? ReconstructionExecutor::Mode::kParallel
+                : ReconstructionExecutor::Mode::kSerial,
+      2);
+  ModelManager::Config cfg_inc;
+  cfg_inc.schedule = schedule;
+  cfg_inc.incremental = true;
+  cfg_inc.executor = &executor;
+  ModelManager::Config cfg_full;
+  cfg_full.schedule = schedule;
+
+  ModelManager inc(env.workflow(), env.sharing(), cfg_inc);
+  ModelManager full(env.workflow(), env.sharing(), cfg_full);
+
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < total; ++r) {
+    inc.observe_row(data.row(r));
+    if ((r + 1) % schedule.alpha_model != 0) continue;
+    const std::size_t last = r + 1;
+    const std::size_t first =
+        last > schedule.points_per_window()
+            ? last - schedule.points_per_window()
+            : 0;
+    const bn::Dataset window = data.slice_rows(first, last);
+    const Reconstruction rec_inc =
+        inc.reconstruct(static_cast<double>(last), window);
+    full.reconstruct(static_cast<double>(last), window);
+    expect_networks_equal(inc.model(), full.model(), 1e-12);
+    if (rec_inc.incremental) {
+      ++hits;
+      // An incremental hit touches only the fresh segment's rows.
+      EXPECT_LE(rec_inc.rows_touched, schedule.alpha_model);
+    }
+  }
+  return hits;
+}
+
+TEST(IncrementalEquivalence, ContinuousMatchesFullRecountAcrossSeeds) {
+  std::size_t total_hits = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    total_hits += drive_continuous_case(seed, /*with_pool=*/seed % 2 == 0);
+  }
+  // 40 seeds x 7 reconstructions each; the vast majority must be
+  // incremental hits (every reconstruction after the stats layer has a
+  // fully-covering aligned window).
+  EXPECT_GE(total_hits, 40 * 5);
+}
+
+TEST(IncrementalEquivalence, DiscreteIncrementalIsBitIdenticalUnderSameBins) {
+  const sim::ModelSchedule schedule{1.0, 6, 3};
+  std::size_t hits = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng env_rng(300 + seed);
+    auto env = sim::make_random_environment(3 + seed % 3, env_rng);
+    Rng data_rng(400 + seed);
+    const std::size_t total = schedule.points_per_window() * 2 + 6;
+    const bn::Dataset data = env.generate(total, data_rng);
+
+    ModelManager::Config cfg;
+    cfg.schedule = schedule;
+    cfg.bins = 3;
+    cfg.incremental = true;
+    // Wide drift margin: this test exercises the count-cache math, not the
+    // refit policy, so keep the discretizer stable across normal sampling
+    // variation (the heavy-tailed service times routinely stray past the
+    // default 5% margin, which is the policy's intent but not this test's).
+    cfg.discretizer_range_tolerance = 5.0;
+    ModelManager inc(env.workflow(), env.sharing(), cfg);
+
+    for (std::size_t r = 0; r < total; ++r) {
+      inc.observe_row(data.row(r));
+      if ((r + 1) % schedule.alpha_model != 0) continue;
+      const std::size_t last = r + 1;
+      const std::size_t first =
+          last > schedule.points_per_window()
+              ? last - schedule.points_per_window()
+              : 0;
+      const bn::Dataset window = data.slice_rows(first, last);
+      const Reconstruction rec =
+          inc.reconstruct(static_cast<double>(last), window);
+      // Reference: a full recount under the *same* discretizer the
+      // incremental path used — counts are exact, so CPTs must be
+      // bit-identical.
+      ASSERT_TRUE(inc.discretizer().has_value());
+      const bn::Dataset discrete = inc.discretizer()->discretize(window);
+      const KertResult reference = construct_kert_discrete(
+          env.workflow(), env.sharing(), *inc.discretizer(), discrete,
+          LearningMode::kCentralized, cfg.leak_l, cfg.learn);
+      expect_networks_equal(inc.model(), reference.net, 0.0);
+      if (rec.incremental) ++hits;
+    }
+  }
+  EXPECT_GE(hits, 10 * 4);
+}
+
+TEST(IncrementalEquivalence, BinEdgeShiftFallsBackToFullRecount) {
+  const sim::ModelSchedule schedule{1.0, 6, 3};
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng env_rng(500 + seed);
+    auto env = sim::make_random_environment(4, env_rng);
+    Rng data_rng(600 + seed);
+    const std::size_t w = schedule.points_per_window();
+
+    ModelManager::Config cfg;
+    cfg.schedule = schedule;
+    cfg.bins = 3;
+    cfg.incremental = true;
+    // Margin wide enough that same-regime sampling variation never trips
+    // the refit, but a 25x service degradation still lands far outside it.
+    cfg.discretizer_range_tolerance = 2.0;
+    ModelManager inc(env.workflow(), env.sharing(), cfg);
+
+    // Warm up: one full window, reconstruct (refit), another segment,
+    // reconstruct (incremental hit expected).
+    bn::Dataset stream = env.generate(w, data_rng);
+    for (std::size_t r = 0; r < w; ++r) inc.observe_row(stream.row(r));
+    const Reconstruction first = inc.reconstruct(1.0, stream);
+    EXPECT_TRUE(first.discretizer_refit);
+    EXPECT_FALSE(first.incremental);
+
+    const bn::Dataset fresh = env.generate(schedule.alpha_model, data_rng);
+    for (std::size_t r = 0; r < fresh.rows(); ++r) {
+      stream.add_row(fresh.row(r));
+      inc.observe_row(fresh.row(r));
+    }
+    stream.keep_last_rows(w);
+    const Reconstruction second = inc.reconstruct(2.0, stream);
+    EXPECT_TRUE(second.incremental);
+    EXPECT_FALSE(second.discretizer_refit);
+
+    // Shift the regime far outside the fitted bin range: the next
+    // reconstruction must refit the discretizer and recount in full.
+    env.accelerate_service(0, 25.0);
+    const bn::Dataset shifted = env.generate(schedule.alpha_model, data_rng);
+    for (std::size_t r = 0; r < shifted.rows(); ++r) {
+      stream.add_row(shifted.row(r));
+      inc.observe_row(shifted.row(r));
+    }
+    stream.keep_last_rows(w);
+    const Reconstruction third = inc.reconstruct(3.0, stream);
+    EXPECT_FALSE(third.incremental);
+    EXPECT_TRUE(third.discretizer_refit);
+    EXPECT_EQ(third.rows_touched, stream.rows());
+
+    // And the fallback must equal a from-scratch construction.
+    ASSERT_TRUE(inc.discretizer().has_value());
+    const bn::Dataset discrete = inc.discretizer()->discretize(stream);
+    const KertResult reference = construct_kert_discrete(
+        env.workflow(), env.sharing(), *inc.discretizer(), discrete,
+        LearningMode::kCentralized, cfg.leak_l, cfg.learn);
+    expect_networks_equal(inc.model(), reference.net, 0.0);
+  }
+}
+
+TEST(IncrementalEquivalence, ForeignWindowFallsBackToFullRecount) {
+  const sim::ModelSchedule schedule{1.0, 6, 3};
+  Rng env_rng(42);
+  auto env = sim::make_random_environment(4, env_rng);
+  Rng data_rng(43);
+  const std::size_t w = schedule.points_per_window();
+  const bn::Dataset observed = env.generate(w, data_rng);
+
+  ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  cfg.incremental = true;
+  ModelManager inc(env.workflow(), env.sharing(), cfg);
+  for (std::size_t r = 0; r < w; ++r) inc.observe_row(observed.row(r));
+
+  // Same row count, different data: the content check must reject it.
+  const bn::Dataset foreign = env.generate(w, data_rng);
+  const Reconstruction rec = inc.reconstruct(1.0, foreign);
+  EXPECT_FALSE(rec.incremental);
+  EXPECT_EQ(rec.rows_touched, foreign.rows());
+  expect_networks_equal(
+      inc.model(),
+      construct_kert_continuous(env.workflow(), env.sharing(), foreign).net,
+      0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Moment-based fitting primitives against their data-pass equivalents.
+
+TEST(IncrementalEquivalence, MomentFitMatchesDataPassFitAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(700 + seed);
+    const std::size_t rows = 30 + rng.uniform_index(40);
+    const std::size_t cols = 3 + rng.uniform_index(4);
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < cols; ++c) {
+      names.push_back("x" + std::to_string(c));
+    }
+    bn::Dataset data(names);
+    std::vector<double> row(cols);
+    la::Matrix gram(cols + 1, cols + 1);
+    std::vector<double> aug(cols + 1, 1.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        row[c] = rng.normal(1.0 + static_cast<double>(c), 0.5);
+        aug[c + 1] = row[c];
+      }
+      data.add_row(row);
+      for (std::size_t i = 0; i <= cols; ++i) {
+        for (std::size_t j = 0; j <= cols; ++j) {
+          gram(i, j) += aug[i] * aug[j];
+        }
+      }
+    }
+    // Child = last column; parents = a random prefix of the others.
+    const std::size_t child = cols - 1;
+    std::vector<std::size_t> parents;
+    for (std::size_t c = 0; c + 1 < cols; ++c) parents.push_back(c);
+    const bn::LinearGaussianCpd direct =
+        bn::fit_linear_gaussian_cpd(data, child, parents);
+    const bn::LinearGaussianCpd from_moments =
+        bn::fit_linear_gaussian_from_moments(gram, rows, child, parents);
+    EXPECT_TRUE(
+        near_rel(direct.intercept(), from_moments.intercept(), 1e-12));
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      EXPECT_TRUE(
+          near_rel(direct.weights()[i], from_moments.weights()[i], 1e-12));
+    }
+    EXPECT_TRUE(near_rel(direct.sigma(), from_moments.sigma(), 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,201 @@
+/// Unit tests for the windowed sufficient-statistics layer backing
+/// incremental reconstruction: segment sealing/eviction, alignment
+/// detection, moment combination, and the version-keyed discrete count
+/// caches.
+
+#include "kert/window_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kert/discretize.hpp"
+
+namespace kertbn::core {
+namespace {
+
+bn::Dataset random_data(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t c = 0; c < cols; ++c) {
+    names.push_back("c" + std::to_string(c));
+  }
+  bn::Dataset data(names);
+  Rng rng(seed);
+  std::vector<double> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = rng.uniform(0.0, 10.0);
+    }
+    data.add_row(row);
+  }
+  return data;
+}
+
+WindowStats::Config make_config(std::size_t cols, std::size_t alpha,
+                                std::size_t k) {
+  WindowStats::Config cfg;
+  cfg.cols = cols;
+  cfg.rows_per_segment = alpha;
+  cfg.max_rows = alpha * k;
+  return cfg;
+}
+
+TEST(WindowStats, SealsSegmentsAtAlphaRows) {
+  WindowStats stats(make_config(2, 4, 3));
+  const bn::Dataset data = random_data(10, 2, 1);
+  for (std::size_t r = 0; r < 10; ++r) stats.observe(data.row(r));
+  EXPECT_EQ(stats.retained_rows(), 10u);
+  // 4 + 4 sealed + 2 open.
+  EXPECT_EQ(stats.segments(), 3u);
+}
+
+TEST(WindowStats, EvictsWholeSegmentsToWindowCapacity) {
+  WindowStats stats(make_config(2, 4, 2));  // capacity 8 rows
+  const bn::Dataset data = random_data(20, 2, 2);
+  for (std::size_t r = 0; r < 12; ++r) stats.observe(data.row(r));
+  // 12 rows observed, capacity 8: oldest sealed segment evicted.
+  EXPECT_EQ(stats.retained_rows(), 8u);
+  EXPECT_EQ(stats.segments(), 2u);
+  // The retained rows are exactly the last 8 observed.
+  const bn::Dataset window = data.slice_rows(4, 12);
+  EXPECT_TRUE(stats.aligned(window));
+}
+
+TEST(WindowStats, AlignmentRejectsCountMismatchAndForeignData) {
+  WindowStats stats(make_config(2, 3, 2));
+  const bn::Dataset data = random_data(6, 2, 3);
+  for (std::size_t r = 0; r < 6; ++r) stats.observe(data.row(r));
+  EXPECT_TRUE(stats.aligned(data));
+  EXPECT_FALSE(stats.aligned(data.slice_rows(0, 5)));
+  // Same shape, different content.
+  const bn::Dataset foreign = random_data(6, 2, 4);
+  EXPECT_FALSE(stats.aligned(foreign));
+}
+
+TEST(WindowStats, ResetDropsEverything) {
+  WindowStats stats(make_config(2, 3, 2));
+  const bn::Dataset data = random_data(5, 2, 5);
+  for (std::size_t r = 0; r < 5; ++r) stats.observe(data.row(r));
+  stats.reset();
+  EXPECT_EQ(stats.retained_rows(), 0u);
+  EXPECT_EQ(stats.segments(), 0u);
+}
+
+TEST(WindowStats, CombinedGramMatchesDirectAccumulation) {
+  const std::size_t cols = 3;
+  WindowStats stats(make_config(cols, 4, 3));
+  const bn::Dataset data = random_data(11, cols, 6);  // includes open segment
+  for (std::size_t r = 0; r < 11; ++r) stats.observe(data.row(r));
+
+  la::Matrix expected(cols + 1, cols + 1);
+  std::vector<double> aug(cols + 1, 1.0);
+  for (std::size_t r = 0; r < 11; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t c = 0; c < cols; ++c) aug[c + 1] = row[c];
+    for (std::size_t i = 0; i <= cols; ++i) {
+      for (std::size_t j = 0; j <= cols; ++j) {
+        expected(i, j) += aug[i] * aug[j];
+      }
+    }
+  }
+  const la::Matrix got = stats.combined_gram();
+  for (std::size_t i = 0; i <= cols; ++i) {
+    for (std::size_t j = 0; j <= cols; ++j) {
+      EXPECT_NEAR(got(i, j), expected(i, j),
+                  1e-12 * std::max(1.0, std::abs(expected(i, j))))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(WindowStats, ResidualMomentsAccumulatePerRow) {
+  WindowStats::Config cfg = make_config(2, 3, 2);
+  // Residual = D - x0 with columns (x0, D).
+  cfg.residual = [](std::span<const double> row) { return row[1] - row[0]; };
+  WindowStats stats(cfg);
+  const bn::Dataset data = random_data(5, 2, 7);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t r = 0; r < 5; ++r) {
+    stats.observe(data.row(r));
+    const double e = data.value(r, 1) - data.value(r, 0);
+    sum += e;
+    sum_sq += e * e;
+  }
+  const auto m = stats.combined_residuals();
+  EXPECT_EQ(m.rows, 5u);
+  EXPECT_NEAR(m.sum, sum, 1e-12 * std::max(1.0, std::abs(sum)));
+  EXPECT_NEAR(m.sum_sq, sum_sq, 1e-12 * std::max(1.0, sum_sq));
+}
+
+TEST(WindowStats, ColumnRangesTrackRetainedRowsOnly) {
+  WindowStats stats(make_config(1, 2, 2));  // capacity 4
+  for (double v : {9.0, 1.0, 5.0, 6.0, 7.0, 8.0}) {
+    stats.observe(std::vector<double>{v});
+  }
+  // Rows {9, 1} were evicted; retained rows are {5, 6, 7, 8}.
+  EXPECT_DOUBLE_EQ(stats.col_min(0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.col_max(0), 8.0);
+}
+
+TEST(WindowStats, CountsMatchDirectCountAndAreCached) {
+  const std::size_t cols = 2;
+  WindowStats stats(make_config(cols, 4, 2));
+  const bn::Dataset data = random_data(8, cols, 8);
+  for (std::size_t r = 0; r < 8; ++r) stats.observe(data.row(r));
+  const DatasetDiscretizer disc(data, 3);
+
+  std::vector<CountLayout> layouts(1);
+  layouts[0].child_col = 1;
+  layouts[0].parent_cols = {0};
+  layouts[0].child_card = 3;
+  layouts[0].parent_cards = {3};
+  ASSERT_EQ(layouts[0].table_size(), 9u);
+
+  // First call: every segment is a cache miss.
+  const auto first = stats.counts(layouts, disc, 1);
+  EXPECT_EQ(first.rows_scanned, 8u);
+
+  // Reference: direct count over the discretized window.
+  const bn::Dataset discrete = disc.discretize(data);
+  std::vector<double> expected(9, 0.0);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const auto p = static_cast<std::size_t>(discrete.value(r, 0));
+    const auto s = static_cast<std::size_t>(discrete.value(r, 1));
+    expected[p * 3 + s] += 1.0;
+  }
+  ASSERT_EQ(first.node_counts.size(), 1u);
+  EXPECT_EQ(first.node_counts[0], expected);  // counts are exact integers
+
+  // Second call, same version: both segments sealed -> full cache hit.
+  const auto second = stats.counts(layouts, disc, 1);
+  EXPECT_EQ(second.rows_scanned, 0u);
+  EXPECT_EQ(second.node_counts[0], expected);
+
+  // Version bump (bin edges shifted): everything recounts once.
+  const auto third = stats.counts(layouts, disc, 2);
+  EXPECT_EQ(third.rows_scanned, 8u);
+  EXPECT_EQ(third.node_counts[0], expected);
+}
+
+TEST(WindowStats, OpenSegmentIsAlwaysRecounted) {
+  WindowStats stats(make_config(1, 4, 2));
+  const bn::Dataset data = random_data(6, 1, 9);  // 1 sealed + 2 open rows
+  for (std::size_t r = 0; r < 6; ++r) stats.observe(data.row(r));
+  const DatasetDiscretizer disc(data, 2);
+  std::vector<CountLayout> layouts(1);
+  layouts[0].child_col = 0;
+  layouts[0].child_card = 2;
+
+  const auto first = stats.counts(layouts, disc, 1);
+  EXPECT_EQ(first.rows_scanned, 6u);
+  const auto second = stats.counts(layouts, disc, 1);
+  // Sealed segment cached; the 2-row open segment rescans.
+  EXPECT_EQ(second.rows_scanned, 2u);
+  EXPECT_EQ(first.node_counts, second.node_counts);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -83,10 +83,70 @@ TEST(ManagementServer, SlidingWindowEvictsOldestRows) {
   EXPECT_DOUBLE_EQ(server.window().value(3, 0), 6.0);
 }
 
-TEST(ManagementServer, RejectsIncompleteCoverage) {
-  ManagementServer server({"a", "b"}, ModelSchedule{});
+TEST(ManagementServer, RequirePolicyRejectsIncompleteCoverage) {
+  ManagementServer server({"a", "b"}, ModelSchedule{},
+                          MissingServicePolicy::kRequire);
   AgentReport only_a{0, {{0, 0.1}}};
   EXPECT_DEATH(server.ingest_interval({only_a}, 0.5), "precondition");
+}
+
+TEST(ManagementServer, CarryForwardFillsGapFromLastInterval) {
+  ManagementServer server({"a", "b"}, ModelSchedule{10.0, 2, 2});
+  AgentReport r0{0, {{0, 0.1}}};
+  AgentReport r1{1, {{1, 0.2}}};
+  ASSERT_TRUE(server.ingest_interval({r0, r1}, 0.3));
+
+  // Service b quiet this interval: its last mean is carried forward.
+  AgentReport r0b{0, {{0, 0.4}}};
+  EXPECT_TRUE(server.ingest_interval({r0b}, 0.6));
+  EXPECT_EQ(server.window_rows(), 2u);
+  EXPECT_DOUBLE_EQ(server.window().value(1, 0), 0.4);
+  EXPECT_DOUBLE_EQ(server.window().value(1, 1), 0.2);
+  EXPECT_DOUBLE_EQ(server.window().value(1, 2), 0.6);
+  EXPECT_EQ(server.dropped_intervals(), 0u);
+}
+
+TEST(ManagementServer, CarryForwardDropsRowWhileServiceNeverSeen) {
+  ManagementServer server({"a", "b"}, ModelSchedule{});
+  AgentReport only_a{0, {{0, 0.1}}};
+  EXPECT_FALSE(server.ingest_interval({only_a}, 0.5));
+  EXPECT_EQ(server.window_rows(), 0u);
+  EXPECT_EQ(server.dropped_intervals(), 1u);
+}
+
+TEST(ManagementServer, DropRowPolicySkipsIncompleteIntervals) {
+  ManagementServer server({"a", "b"}, ModelSchedule{10.0, 2, 2},
+                          MissingServicePolicy::kDropRow);
+  AgentReport r0{0, {{0, 0.1}}};
+  AgentReport r1{1, {{1, 0.2}}};
+  ASSERT_TRUE(server.ingest_interval({r0, r1}, 0.3));
+  EXPECT_FALSE(server.ingest_interval({r0}, 0.4));
+  EXPECT_EQ(server.window_rows(), 1u);
+  EXPECT_EQ(server.total_points(), 1u);
+  EXPECT_EQ(server.dropped_intervals(), 1u);
+}
+
+TEST(ManagementServer, RowObserverSeesEachWindowRow) {
+  ManagementServer server({"a"}, ModelSchedule{10.0, 2, 2});
+  std::vector<std::vector<double>> seen;
+  server.set_row_observer([&seen](std::span<const double> row) {
+    seen.emplace_back(row.begin(), row.end());
+  });
+  for (int i = 0; i < 3; ++i) {
+    AgentReport r{0, {{0, static_cast<double>(i)}}};
+    server.ingest_interval({r}, 10.0 + i);
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[2][0], 2.0);
+  EXPECT_DOUBLE_EQ(seen[2][1], 12.0);
+}
+
+TEST(MonitoringPoint, MaybeMeanOnEmptyInterval) {
+  MonitoringPoint p(0);
+  EXPECT_FALSE(p.maybe_mean().has_value());
+  p.record(2.0);
+  ASSERT_TRUE(p.maybe_mean().has_value());
+  EXPECT_DOUBLE_EQ(*p.maybe_mean(), 2.0);
 }
 
 TEST(ManagementServer, RejectsDuplicateCoverage) {
