@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Runs every figure / ablation bench binary with JSON output.
+#
+# Usage: bench/run_all.sh [build-dir] [out-dir]
+#
+#   build-dir  where the bench binaries live (default: build)
+#   out-dir    where BENCH_<name>.json files are written (default: build-dir)
+#
+# Each binary writes BENCH_<name>.json in google-benchmark's JSON format
+# (--benchmark_out_format=json); the human-readable series tables still go
+# to stdout. The CMake target `bench_json` invokes this script with the
+# build directory. See EXPERIMENTS.md for the output convention.
+
+set -eu
+
+build_dir="${1:-build}"
+out_dir="${2:-$build_dir}"
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "error: $bench_dir not found — build the project first" >&2
+  echo "  cmake --preset release && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+
+status=0
+for bin in "$bench_dir"/fig* "$bench_dir"/abl_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  out="$out_dir/BENCH_${name}.json"
+  echo "=== $name -> $out"
+  if ! "$bin" --benchmark_out="$out" --benchmark_out_format=json; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+
+exit $status

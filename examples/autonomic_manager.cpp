@@ -13,12 +13,14 @@
 #include <cstdio>
 
 #include "common/stats.hpp"
+#include "obs/sink.hpp"
 #include "kert/applications.hpp"
 #include "kert/kert_builder.hpp"
 #include "sosim/synthetic.hpp"
 #include "workflow/ediamond.hpp"
 
 int main() {
+  kertbn::obs::init_from_env();
   using namespace kertbn;
 
   sim::SyntheticEnvironment env = sim::make_ediamond_environment();
@@ -72,5 +74,12 @@ int main() {
               mean(final_window.column(6)),
               exceedance_probability(final_window.column(6), sla_threshold) *
                   100.0);
+  std::printf("\n=== telemetry ===\n%s",
+              kertbn::obs::MetricsRegistry::instance()
+                  .snapshot()
+                  .to_text()
+                  .c_str());
+  kertbn::obs::publish_metrics();
+  kertbn::obs::flush_sink();
   return 0;
 }

@@ -7,8 +7,10 @@
 /// that an un-reconstructed model would mispredict.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/stats.hpp"
+#include "obs/sink.hpp"
 #include "kert/model_manager.hpp"
 #include "sosim/des_env.hpp"
 #include "workflow/ediamond.hpp"
@@ -16,6 +18,10 @@
 int main() {
   using namespace kertbn;
   using S = wf::EdiamondServices;
+
+  // Opt-in structured trace: KERTBN_OBS_JSONL=/path/to/trace.jsonl emits
+  // every reconstruction span plus a final metrics snapshot as JSONL.
+  const bool tracing = obs::init_from_env();
 
   // Section 5 schedule: T_DATA = 20 s, alpha = 30 (scaled down from the
   // paper's 120 to keep the demo brisk), K = 3.
@@ -89,5 +95,15 @@ int main() {
   std::printf("\nfinal model:\n%s", manager.model().describe().c_str());
   std::printf("\n%zu requests served; %zu model versions built\n",
               testbed.traces().size(), manager.version());
+
+  // Self-telemetry: what the modeling pipeline did to produce the above.
+  std::printf("\n=== telemetry ===\n%s",
+              obs::MetricsRegistry::instance().snapshot().to_text().c_str());
+  if (tracing) {
+    obs::publish_metrics();
+    obs::flush_sink();
+    std::printf("JSONL trace written to %s\n",
+                std::getenv("KERTBN_OBS_JSONL"));
+  }
   return 0;
 }

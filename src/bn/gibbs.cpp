@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contract.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::bn {
 
@@ -69,6 +70,10 @@ std::vector<std::vector<double>> GibbsSampler::all_posteriors(
     const GibbsOptions& opts) {
   KERTBN_EXPECTS(opts.samples >= 1);
   KERTBN_EXPECTS(opts.thin >= 1);
+  KERTBN_SPAN_VAR(span, "gibbs.run");
+  const std::uint64_t total_sweeps = opts.burn_in + opts.samples * opts.thin;
+  span.tag("sweeps", total_sweeps);
+  span.tag("evidence", static_cast<std::uint64_t>(evidence.size()));
 
   // Initialize from a forward sample, then clamp evidence.
   std::vector<double> state = net_.sample_row(rng);
@@ -104,6 +109,11 @@ std::vector<std::vector<double>> GibbsSampler::all_posteriors(
   }
   for (const auto& [v, s] : evidence) {
     counts[v][s] = 1.0;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& sweeps =
+        obs::MetricsRegistry::instance().counter("gibbs.sweeps");
+    sweeps.add(total_sweeps);
   }
   return counts;
 }

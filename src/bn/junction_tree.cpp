@@ -6,6 +6,7 @@
 
 #include "bn/tabular_cpd.hpp"
 #include "common/contract.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::bn {
 namespace {
@@ -41,8 +42,11 @@ JunctionTree::JunctionTree(const BayesianNetwork& net) : net_(net) {
     KERTBN_EXPECTS(net.variable(v).is_discrete());
     KERTBN_EXPECTS(net.cpd(v).kind() == CpdKind::kTabular);
   }
+  KERTBN_SPAN_VAR(span, "jt.build");
   build_structure();
   calibrate({});
+  span.tag("cliques", static_cast<std::uint64_t>(cliques_.size()));
+  span.tag("max_clique", static_cast<std::uint64_t>(max_clique_size()));
 }
 
 void JunctionTree::build_structure() {
@@ -228,6 +232,8 @@ Factor JunctionTree::clique_base_factor(
 
 void JunctionTree::calibrate(
     const std::map<std::size_t, std::size_t>& evidence) {
+  KERTBN_SPAN_VAR(span, "jt.calibrate");
+  span.tag("evidence", static_cast<std::uint64_t>(evidence.size()));
   evidence_ = evidence;
   const std::size_t m = cliques_.size();
   std::vector<Factor> base(m);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/contract.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::bn {
 
@@ -83,7 +84,10 @@ StructureResult k2_random_restarts(const Dataset& data,
     best.score = -std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < restarts; ++i) {
       const auto order = rng.permutation(vars.size());
+      KERTBN_SPAN_VAR(span, "k2.restart");
+      span.tag("restart", static_cast<std::uint64_t>(i));
       StructureResult r = k2_search(data, vars, order, score, opts);
+      span.tag("score", r.score);
       if (r.score > best.score) best = std::move(r);
     }
     return best;
@@ -99,7 +103,11 @@ StructureResult k2_random_restarts(const Dataset& data,
   }
   std::vector<StructureResult> results(restarts);
   pool->parallel_for(restarts, [&](std::size_t i) {
+    // Parented under the submitting span via the pool's context capture.
+    KERTBN_SPAN_VAR(span, "k2.restart");
+    span.tag("restart", static_cast<std::uint64_t>(i));
     results[i] = k2_search(data, vars, orders[i], score, opts);
+    span.tag("score", results[i].score);
   });
   std::size_t winner = 0;
   for (std::size_t i = 1; i < restarts; ++i) {

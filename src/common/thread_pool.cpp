@@ -2,7 +2,55 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace kertbn {
+
+namespace pool_obs {
+namespace {
+obs::Gauge& queue_depth() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("pool.queue_depth");
+  return g;
+}
+obs::Counter& tasks() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("pool.tasks");
+  return c;
+}
+obs::Histogram& wait_ns() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("pool.task_wait_ns");
+  return h;
+}
+obs::Histogram& run_ns() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("pool.task_run_ns");
+  return h;
+}
+}  // namespace
+
+std::uint64_t on_enqueue() {
+  if (!obs::enabled()) return 0;
+  queue_depth().add(1.0);
+  tasks().add(1);
+  return obs::now_ns();
+}
+
+std::uint64_t on_dequeue(std::uint64_t enqueue_ns) {
+  if (enqueue_ns == 0) return 0;
+  queue_depth().add(-1.0);
+  const std::uint64_t now = obs::now_ns();
+  wait_ns().record(now - enqueue_ns);
+  return now;
+}
+
+void on_complete(std::uint64_t run_start_ns) {
+  if (run_start_ns == 0) return;
+  run_ns().record(obs::now_ns() - run_start_ns);
+}
+
+}  // namespace pool_obs
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -16,7 +17,22 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace kertbn {
+
+/// Telemetry hooks around task scheduling (pool.queue_depth gauge,
+/// pool.tasks counter, pool.task_wait_ns / pool.task_run_ns histograms).
+/// Split out of the template so the metric handles are resolved once.
+namespace pool_obs {
+/// Queue-depth up, task counted; returns the enqueue timestamp (0 when
+/// obs is runtime-disabled, telling the dequeue side to skip the clock).
+std::uint64_t on_enqueue();
+/// Queue-depth down, wait-time recorded; returns the run-start timestamp.
+std::uint64_t on_dequeue(std::uint64_t enqueue_ns);
+/// Run-time recorded (no-op when \p run_start_ns is 0).
+void on_complete(std::uint64_t run_start_ns);
+}  // namespace pool_obs
 
 /// Fixed-size pool executing submitted tasks FIFO. Destruction joins all
 /// workers after draining the queue.
@@ -31,7 +47,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Schedules \p fn and returns a future for its result.
+  /// Schedules \p fn and returns a future for its result. The submitting
+  /// thread's span context travels with the task, so spans opened inside
+  /// pooled work nest under the submitting span (see obs/span.hpp).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -40,7 +58,17 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard lock(mutex_);
+#ifdef KERTBN_OBS_DISABLED
       queue_.emplace([task] { (*task)(); });
+#else
+      queue_.emplace([task, ctx = obs::current_context(),
+                      enqueue_ns = pool_obs::on_enqueue()] {
+        const std::uint64_t run_start = pool_obs::on_dequeue(enqueue_ns);
+        obs::ContextGuard guard(ctx);
+        (*task)();
+        pool_obs::on_complete(run_start);
+      });
+#endif
     }
     cv_.notify_one();
     return result;

@@ -1,8 +1,39 @@
 #include "decentral/channel.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace kertbn::dec {
 
+namespace {
+
+/// Fabric-wide traffic counters (all channels aggregate into one view —
+/// the in-process analogue of the paper's per-interval message budget).
+struct ChannelMetrics {
+  obs::Counter& messages;
+  obs::Counter& values;
+  obs::Counter& bytes;
+  obs::Gauge& pending;
+
+  static ChannelMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static ChannelMetrics m{reg.counter("channel.messages"),
+                            reg.counter("channel.values"),
+                            reg.counter("channel.bytes"),
+                            reg.gauge("channel.pending")};
+    return m;
+  }
+};
+
+}  // namespace
+
 void Channel::send(DataMessage msg) {
+  if (obs::enabled()) {
+    ChannelMetrics& m = ChannelMetrics::get();
+    m.messages.add(1);
+    m.values.add(msg.column.size());
+    m.bytes.add(msg.column.size() * sizeof(double));
+    m.pending.add(1.0);
+  }
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(msg));
@@ -15,14 +46,20 @@ DataMessage Channel::receive() {
   cv_.wait(lock, [this] { return !queue_.empty(); });
   DataMessage msg = std::move(queue_.front());
   queue_.pop_front();
+  lock.unlock();
+  if (obs::enabled()) ChannelMetrics::get().pending.add(-1.0);
   return msg;
 }
 
 std::optional<DataMessage> Channel::try_receive() {
-  std::lock_guard lock(mutex_);
-  if (queue_.empty()) return std::nullopt;
-  DataMessage msg = std::move(queue_.front());
-  queue_.pop_front();
+  std::optional<DataMessage> msg;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    msg = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  if (obs::enabled()) ChannelMetrics::get().pending.add(-1.0);
   return msg;
 }
 

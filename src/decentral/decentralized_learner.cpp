@@ -1,5 +1,7 @@
 #include "decentral/decentralized_learner.hpp"
 
+#include "obs/span.hpp"
+
 #include <algorithm>
 
 #include "common/contract.hpp"
@@ -91,6 +93,8 @@ DecentralizedReport learn_parameters_decentralized(
     bn::BayesianNetwork& net, const bn::Dataset& data,
     const bn::ParameterLearnOptions& opts, ThreadPool* pool) {
   KERTBN_EXPECTS(data.cols() == net.size());
+  KERTBN_SPAN_VAR(span, "decentral.round");
+  span.tag("nodes", static_cast<std::uint64_t>(net.size()));
   DecentralizedReport report;
   report.per_agent_seconds.assign(net.size(), 0.0);
 
@@ -142,6 +146,17 @@ DecentralizedReport learn_parameters_decentralized(
         std::max(report.decentralized_seconds, agent->fit_seconds);
     report.centralized_seconds += agent->fit_seconds;
     net.set_cpd(agent->node, std::move(agent->fitted));
+  }
+  span.tag("messages", static_cast<std::uint64_t>(report.messages_sent));
+  span.tag("values", static_cast<std::uint64_t>(report.values_shipped));
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& rounds = reg.counter("decentral.rounds");
+    static obs::Histogram& fit_ns = reg.histogram("decentral.agent_fit_ns");
+    rounds.add(1);
+    for (const auto& agent : agents) {
+      fit_ns.record(static_cast<std::uint64_t>(agent->fit_seconds * 1e9));
+    }
   }
   return report;
 }

@@ -1,5 +1,7 @@
 #include "decentral/piggyback.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 #include <set>
 
@@ -60,6 +62,22 @@ TransportPlan plan_transport(const graph::Dag& structure,
     plan.piggyback_coverage =
         static_cast<double>(piggybacked) /
         static_cast<double>(plan.edges.size());
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& piggybacked =
+        reg.counter("piggyback.edges_piggybacked");
+    static obs::Counter& fallback = reg.counter("piggyback.edges_fallback");
+    static obs::Counter& saved = reg.counter("piggyback.bytes_saved");
+    static obs::Gauge& coverage = reg.gauge("piggyback.coverage");
+    std::size_t hits = 0;
+    for (const PlannedEdge& e : plan.edges) hits += e.piggybacked ? 1 : 0;
+    piggybacked.add(hits);
+    fallback.add(plan.edges.size() - hits);
+    if (plan.bytes_saved() > 0.0) {
+      saved.add(static_cast<std::uint64_t>(plan.bytes_saved()));
+    }
+    coverage.set(plan.piggyback_coverage);
   }
   return plan;
 }

@@ -6,6 +6,7 @@
 #include "bn/deterministic_cpd.hpp"
 #include "common/contract.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::core {
 
@@ -224,6 +225,7 @@ KertResult construct_kert_continuous(const wf::Workflow& workflow,
                                      LearningMode mode, double leak_sigma,
                                      const bn::ParameterLearnOptions& learn,
                                      ThreadPool* pool) {
+  KERTBN_SPAN("kert.construct.continuous");
   Stopwatch total;
   Stopwatch structure;
   if (leak_sigma <= 0.0) {
@@ -413,6 +415,7 @@ KertResult construct_kert_continuous_from_stats(
   KERTBN_EXPECTS(rows >= 1);
   KERTBN_EXPECTS(gram.rows() == n + 2 && gram.cols() == n + 2);
   KERTBN_EXPECTS(leak_sigma > 0.0);
+  KERTBN_SPAN("kert.construct.from_stats");
   Stopwatch total;
   Stopwatch structure;
   bn::BayesianNetwork net =
@@ -470,6 +473,7 @@ KertResult construct_kert_discrete_from_counts(
   KERTBN_EXPECTS(discretizer.columns() == n + 1);
   KERTBN_EXPECTS(node_counts.size() == n);
   const std::size_t bins = discretizer.bins();
+  KERTBN_SPAN("kert.construct.from_counts");
   Stopwatch total;
   Stopwatch structure;
   auto d_cpd = cached_d_cpt
@@ -510,6 +514,7 @@ KertResult construct_kert_discrete(const wf::Workflow& workflow,
                                    LearningMode mode, double leak_l,
                                    const bn::ParameterLearnOptions& learn,
                                    ThreadPool* pool) {
+  KERTBN_SPAN("kert.construct.discrete");
   Stopwatch total;
   Stopwatch structure;
   bn::BayesianNetwork net =

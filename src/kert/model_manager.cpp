@@ -3,8 +3,35 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::core {
+
+namespace {
+
+/// Telemetry handles for the reconstruction loop (resolved once).
+struct ReconstructMetrics {
+  obs::Counter& count;
+  obs::Counter& incremental_hits;
+  obs::Counter& full_recounts;
+  obs::Counter& discretizer_refits;
+  obs::Counter& rows_touched;
+
+  static ReconstructMetrics& get() {
+    static ReconstructMetrics m{
+        obs::MetricsRegistry::instance().counter("kert.reconstruct.count"),
+        obs::MetricsRegistry::instance().counter(
+            "kert.reconstruct.incremental_hits"),
+        obs::MetricsRegistry::instance().counter(
+            "kert.reconstruct.full_recounts"),
+        obs::MetricsRegistry::instance().counter(
+            "kert.reconstruct.discretizer_refits"),
+        obs::MetricsRegistry::instance().counter("kert.rows_touched")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ModelManager::ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
                            Config config)
@@ -29,6 +56,11 @@ void ModelManager::observe_row(std::span<const double> row) {
   if (!stats_) stats_.emplace(make_stats());
   stats_->observe(row);
   ++rows_since_reconstruct_;
+  if (obs::enabled()) {
+    static obs::Counter& observed =
+        obs::MetricsRegistry::instance().counter("kert.rows_observed");
+    observed.add(1);
+  }
 }
 
 WindowStats ModelManager::make_stats() const {
@@ -68,6 +100,7 @@ Reconstruction ModelManager::reconstruct(double now,
                                          const bn::Dataset& window) {
   KERTBN_EXPECTS(window.rows() > 0);
   KERTBN_EXPECTS(window.cols() == workflow_.service_count() + 1);
+  KERTBN_SPAN_VAR(span, "kert.reconstruct");
   ThreadPool* pool = config_.executor ? config_.executor->pool() : nullptr;
 
   // The cached partials are usable only when they provably cover this
@@ -88,6 +121,20 @@ Reconstruction ModelManager::reconstruct(double now,
   rec.window_rows = window.rows();
   rows_since_reconstruct_ = 0;
   history_.push_back(rec);
+
+  span.tag("at", now);
+  span.tag("version", static_cast<std::uint64_t>(rec.version));
+  span.tag("window_rows", static_cast<std::uint64_t>(rec.window_rows));
+  span.tag("rows_touched", static_cast<std::uint64_t>(rec.rows_touched));
+  span.tag("incremental", rec.incremental);
+  span.tag("discretizer_refit", rec.discretizer_refit);
+  if (obs::enabled()) {
+    ReconstructMetrics& m = ReconstructMetrics::get();
+    m.count.add(1);
+    (rec.incremental ? m.incremental_hits : m.full_recounts).add(1);
+    if (rec.discretizer_refit) m.discretizer_refits.add(1);
+    m.rows_touched.add(rec.rows_touched);
+  }
   return rec;
 }
 

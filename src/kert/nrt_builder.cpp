@@ -2,6 +2,7 @@
 
 #include "common/contract.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/span.hpp"
 
 namespace kertbn::core {
 namespace {
@@ -27,6 +28,9 @@ NrtResult construct_nrt(const bn::Dataset& train,
                         std::span<const bn::Variable> vars, Rng& rng,
                         const NrtOptions& opts, ThreadPool* pool) {
   KERTBN_EXPECTS(train.cols() == vars.size());
+  KERTBN_SPAN_VAR(span, "nrt.construct");
+  span.tag("restarts", static_cast<std::uint64_t>(opts.restarts));
+  span.tag("rows", static_cast<std::uint64_t>(train.rows()));
   Stopwatch total;
   NrtResult result;
 

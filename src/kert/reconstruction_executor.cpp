@@ -1,5 +1,7 @@
 #include "kert/reconstruction_executor.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace kertbn::core {
 
 ReconstructionExecutor::ReconstructionExecutor(Mode mode, std::size_t threads)
@@ -7,6 +9,9 @@ ReconstructionExecutor::ReconstructionExecutor(Mode mode, std::size_t threads)
   if (mode_ == Mode::kParallel) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
+  obs::MetricsRegistry::instance()
+      .gauge("executor.threads")
+      .set(static_cast<double>(this->threads()));
 }
 
 bn::ParameterLearnReport ReconstructionExecutor::learn(

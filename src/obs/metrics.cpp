@@ -1,0 +1,251 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace kertbn::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_next_thread_stripe{0};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::size_t shard_index() {
+  thread_local const std::size_t idx =
+      g_next_thread_stripe.fetch_add(1, std::memory_order_relaxed) %
+      kMetricShards;
+  return idx;
+}
+
+// ---------------------------------------------------------------- Counter
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+double Gauge::add(double delta) {
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = decode(expected) + delta;
+    if (bits_.compare_exchange_weak(expected, encode(next),
+                                    std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+// -------------------------------------------------------------- Histogram
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value == 0) return 0;
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+std::uint64_t HistogramStats::bucket_upper_edge(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t HistogramStats::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile, 1-based, clamped to [1, count].
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const std::uint64_t edge = bucket_upper_edge(i);
+      return edge < max ? edge : max;
+    }
+  }
+  return max;
+}
+
+void Histogram::record(std::uint64_t value) {
+  Shard& s = shards_[shard_index()];
+  s.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !s.max.compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats out;
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------- MetricsSnapshot
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::optional<double> MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(name);
+  if (it == gauges.end()) return std::nullopt;
+  return it->second;
+}
+
+const HistogramStats* MetricsSnapshot::histogram(std::string_view name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramStats& mine = histograms[name];
+    for (std::size_t i = 0; i < HistogramStats::kBuckets; ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (h.max > mine.max) mine.max = h.max;
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (auto& [name, v] : out.counters) v -= earlier.counter(name);
+  for (auto& [name, h] : out.histograms) {
+    if (const HistogramStats* prev = earlier.histogram(name)) {
+      for (std::size_t i = 0; i < HistogramStats::kBuckets; ++i) {
+        h.buckets[i] -= prev->buckets[i];
+      }
+      h.count -= prev->count;
+      h.sum -= prev->sum;
+      // max is a high-water mark, not a rate; keep the later value.
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(line, sizeof(line), "counter   %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge     %-40s %.6g\n", name.c_str(),
+                  v);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %-40s count=%llu mean=%.1f p50<=%llu p99<=%llu "
+                  "max=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(),
+                  static_cast<unsigned long long>(h.quantile(0.50)),
+                  static_cast<unsigned long long>(h.quantile(0.99)),
+                  static_cast<unsigned long long>(h.max));
+    out += line;
+  }
+  return out;
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name),
+                             std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) out.histograms[name] = h->stats();
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace kertbn::obs

@@ -1,0 +1,189 @@
+#pragma once
+/// \file metrics.hpp
+/// Self-telemetry metrics for the modeling pipeline ("the monitor monitors
+/// itself"). The paper's autonomic manager watches a service-oriented
+/// system through monitoring agents; this registry gives the modeling
+/// machinery the same treatment: counters, gauges, and fixed-bucket
+/// histograms that hot paths can update for the cost of one relaxed
+/// atomic add, aggregated only when somebody asks for a snapshot.
+///
+/// Design: push-on-hot-path, aggregate-on-read. Every metric is sharded
+/// across cache-line-aligned atomic slots; writers pick a shard from a
+/// thread-local index (no contention between pool workers), readers sum
+/// the shards. Metrics are created on first use and live until process
+/// exit, so call sites may cache references in function-local statics:
+///
+///   static obs::Counter& c =
+///       obs::MetricsRegistry::instance().counter("kert.rows_touched");
+///   c.add(rows);
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace kertbn::obs {
+
+/// Shards per metric: enough to keep a typical pool's workers on distinct
+/// cache lines without bloating the registry.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable per-thread shard index (threads are striped round-robin).
+std::size_t shard_index();
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t v = 1) {
+    shards_[shard_index()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Sum over shards (racy-but-consistent under concurrent adds).
+  std::uint64_t value() const;
+  void reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  std::string name_;
+};
+
+/// Last-write-wins level with add/sub support (e.g. queue depth).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  /// Signed delta for depth-style gauges; returns the new value.
+  double add(double delta);
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0x0};  // encode(0.0) == 0 (IEEE754 +0)
+  std::string name_;
+};
+
+/// Aggregated view of one histogram (see Histogram for bucket semantics).
+struct HistogramStats {
+  static constexpr std::size_t kBuckets = 32;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
+  /// counts: the inclusive upper edge of the bucket holding that rank.
+  std::uint64_t quantile(double q) const;
+  /// Inclusive upper edge of bucket \p i (0 for the zero bucket).
+  static std::uint64_t bucket_upper_edge(std::size_t i);
+};
+
+/// Fixed power-of-two-bucket histogram for latencies (nanoseconds) and
+/// sizes (rows, bytes, ...). Bucket 0 counts zeros; bucket i >= 1 counts
+/// values v with bit_width(v) == i, i.e. v in [2^(i-1), 2^i); the last
+/// bucket absorbs everything with bit_width >= kBuckets - 1. Each bucket,
+/// plus count/sum/max, is sharded like Counter.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramStats::kBuckets;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void record(std::uint64_t value);
+  static std::size_t bucket_index(std::uint64_t value);
+
+  HistogramStats stats() const;
+  void reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  std::string name_;
+};
+
+/// Point-in-time aggregate of every registered metric. Plain data: safe to
+/// copy, diff, merge, and serialize long after the registry moved on.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramStats, std::less<>> histograms;
+
+  /// Counter value (0 when the counter never fired).
+  std::uint64_t counter(std::string_view name) const;
+  std::optional<double> gauge(std::string_view name) const;
+  /// nullptr when absent.
+  const HistogramStats* histogram(std::string_view name) const;
+
+  /// Sums counters and histogram buckets; gauges take \p other's value
+  /// (last writer wins, matching Gauge semantics).
+  void merge(const MetricsSnapshot& other);
+  /// Counters/histograms as deltas against \p earlier (taken from the same
+  /// registry, earlier in time); gauges keep this snapshot's levels.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+
+  /// Human-readable dump (sorted, one metric per line) for examples and
+  /// debugging.
+  std::string to_text() const;
+};
+
+/// Process-wide metric namespace. Lookup is mutex-protected (do it once,
+/// cache the reference); updates through the returned handles are
+/// lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (handles stay valid). Intended for tests and
+  /// benchmark phase boundaries; prefer MetricsSnapshot::delta_since in
+  /// production code.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Master runtime switch consulted by the span layer and instrumentation
+/// helpers (single relaxed load). Metrics handles still work when
+/// disabled; the macros in span.hpp and the wired call sites skip their
+/// work entirely.
+bool enabled();
+void set_enabled(bool on);
+
+}  // namespace kertbn::obs

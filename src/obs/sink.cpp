@@ -1,0 +1,228 @@
+#include "obs/sink.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kertbn::obs {
+
+namespace {
+
+std::mutex g_sink_mutex;
+std::shared_ptr<EventSink> g_sink;           // guarded by g_sink_mutex
+std::atomic<bool> g_has_sink{false};         // fast-path mirror
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the anchor at static-init time so t=0 predates all events.
+const auto g_anchor = process_start();
+
+std::atomic<std::uint64_t> g_next_thread_ordinal{0};
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_tag_value(std::string& out, const SpanTag& tag) {
+  if (const auto* u = std::get_if<std::uint64_t>(&tag.value)) {
+    append_number(out, *u);
+  } else if (const auto* d = std::get_if<double>(&tag.value)) {
+    append_number(out, *d);
+  } else if (const auto* b = std::get_if<bool>(&tag.value)) {
+    out += *b ? "true" : "false";
+  } else {
+    out += '"';
+    out += json_escape(std::get<std::string>(tag.value));
+    out += '"';
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_start())
+          .count());
+}
+
+std::uint64_t thread_ordinal() {
+  thread_local const std::uint64_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void set_sink(std::shared_ptr<EventSink> sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+  g_has_sink.store(g_sink != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<EventSink> sink() {
+  std::lock_guard lock(g_sink_mutex);
+  return g_sink;
+}
+
+bool has_sink() { return g_has_sink.load(std::memory_order_acquire); }
+
+void emit_span(const SpanEvent& event) {
+  if (const auto s = sink()) s->on_span(event);
+}
+
+void publish_metrics() {
+  if (const auto s = sink()) {
+    s->on_metrics(MetricsRegistry::instance().snapshot(), now_ns());
+  }
+}
+
+void flush_sink() {
+  if (const auto s = sink()) s->flush();
+}
+
+bool init_from_env() {
+  const char* path = std::getenv("KERTBN_OBS_JSONL");
+  if (path == nullptr || *path == '\0') return false;
+  set_sink(std::make_shared<FileSink>(path));
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- FileSink
+
+FileSink::FileSink(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("obs::FileSink: cannot open " + path);
+  }
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::on_span(const SpanEvent& event) {
+  std::string line = "{\"type\":\"span\",\"name\":\"";
+  line += json_escape(event.name);
+  line += "\",\"trace\":";
+  append_number(line, event.trace_id);
+  line += ",\"span\":";
+  append_number(line, event.span_id);
+  line += ",\"parent\":";
+  append_number(line, event.parent_id);
+  line += ",\"thread\":";
+  append_number(line, event.thread_id);
+  line += ",\"t_ns\":";
+  append_number(line, event.start_ns);
+  line += ",\"dur_ns\":";
+  append_number(line, event.duration_ns);
+  if (!event.tags.empty()) {
+    line += ",\"tags\":{";
+    bool first = true;
+    for (const SpanTag& tag : event.tags) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += json_escape(tag.key);
+      line += "\":";
+      append_tag_value(line, tag);
+    }
+    line += '}';
+  }
+  line += "}\n";
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+void FileSink::on_metrics(const MetricsSnapshot& snapshot,
+                          std::uint64_t t_ns) {
+  std::string line = "{\"type\":\"metrics\",\"t_ns\":";
+  append_number(line, t_ns);
+  line += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += json_escape(name);
+    line += "\":";
+    append_number(line, v);
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += json_escape(name);
+    line += "\":";
+    append_number(line, v);
+  }
+  line += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += json_escape(name);
+    line += "\":{\"count\":";
+    append_number(line, h.count);
+    line += ",\"sum\":";
+    append_number(line, h.sum);
+    line += ",\"max\":";
+    append_number(line, h.max);
+    line += ",\"buckets\":[";
+    // Trailing zero buckets are elided to keep lines short; consumers
+    // treat missing entries as zero.
+    std::size_t last = HistogramStats::kBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i > 0) line += ',';
+      append_number(line, h.buckets[i]);
+    }
+    line += "]}";
+  }
+  line += "}}\n";
+  std::lock_guard lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+void FileSink::flush() {
+  std::lock_guard lock(mutex_);
+  std::fflush(file_);
+}
+
+}  // namespace kertbn::obs

@@ -1,0 +1,104 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <unordered_map>
+
+namespace kertbn::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+thread_local SpanContext t_current{};
+
+/// Duration histogram for a span name, cached per thread keyed on the name
+/// literal's address so closing a span does not take the registry mutex
+/// after first use. Distinct literal addresses with equal content resolve
+/// to the same registry histogram, so duplicate cache entries are benign.
+Histogram& span_histogram(const char* name) {
+  thread_local std::unordered_map<const void*, Histogram*> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    std::string metric = "span.";
+    metric += name;
+    Histogram& h = MetricsRegistry::instance().histogram(metric);
+    it = cache.emplace(name, &h).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+SpanContext current_context() { return t_current; }
+
+ContextGuard::ContextGuard(SpanContext ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ContextGuard::~ContextGuard() { t_current = prev_; }
+
+Span::Span(const char* name) {
+  if (enabled()) open(name, t_current);
+}
+
+Span::Span(const char* name, SpanContext parent) {
+  if (enabled()) open(name, parent);
+}
+
+void Span::open(const char* name, SpanContext parent) {
+  name_ = name;
+  active_ = true;
+  parent_id_ = parent.span_id;
+  ctx_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ctx_.trace_id = parent.span_id == 0 ? ctx_.span_id : parent.trace_id;
+  prev_ = t_current;
+  t_current = ctx_;
+  start_ns_ = now_ns();
+}
+
+void Span::close() {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t end_ns = now_ns();
+  t_current = prev_;
+  const std::uint64_t duration = end_ns - start_ns_;
+  span_histogram(name_).record(duration);
+  if (has_sink()) {
+    SpanEvent event;
+    event.name = name_;
+    event.trace_id = ctx_.trace_id;
+    event.span_id = ctx_.span_id;
+    event.parent_id = parent_id_;
+    event.thread_id = thread_ordinal();
+    event.start_ns = start_ns_;
+    event.duration_ns = duration;
+    event.tags = std::move(tags_);
+    emit_span(event);
+  }
+  tags_.clear();
+}
+
+// Tags exist only for the event sink, so without one installed they are
+// not even collected — this keeps the null-sink hot path free of the
+// per-tag string allocations. (A sink installed mid-span sees only the
+// tags recorded after installation; sinks are installed at startup.)
+
+void Span::tag(std::string_view key, std::uint64_t value) {
+  if (active_ && has_sink()) tags_.push_back({std::string(key), value});
+}
+
+void Span::tag(std::string_view key, double value) {
+  if (active_ && has_sink()) tags_.push_back({std::string(key), value});
+}
+
+void Span::tag(std::string_view key, bool value) {
+  if (active_ && has_sink()) tags_.push_back({std::string(key), value});
+}
+
+void Span::tag(std::string_view key, std::string value) {
+  if (active_ && has_sink()) {
+    tags_.push_back({std::string(key), std::move(value)});
+  }
+}
+
+}  // namespace kertbn::obs

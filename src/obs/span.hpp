@@ -1,0 +1,123 @@
+#pragma once
+/// \file span.hpp
+/// Scoped RAII tracing spans with parent/child nesting that survives
+/// thread-pool boundaries. A span measures one named unit of work:
+///
+///   KERTBN_SPAN("jt.build");                       // anonymous scope
+///   KERTBN_SPAN_VAR(span, "kert.reconstruct");     // tag it later
+///   span.tag("rows_touched", rows);
+///
+/// Every span closing records its duration into the registry histogram
+/// "span.<name>" (so latency distributions exist even with the null sink)
+/// and, when a sink is installed, emits a SpanEvent. Parentage comes from
+/// a thread-local context: spans opened inside another span's scope become
+/// its children. To cross a thread-pool boundary, capture
+/// current_context() at submit time and open a ContextGuard inside the
+/// task — ThreadPool::submit does this automatically, so child spans in
+/// pooled work are stitched into the submitting span's trace.
+///
+/// Cost model: with obs disabled (obs::set_enabled(false)) a span is one
+/// relaxed atomic load; enabled but sink-less it is two steady_clock reads
+/// plus one histogram add — tag() calls are dropped without collecting
+/// (tags exist only for the sink), so the event and tag allocations happen
+/// only with a sink installed. Spans must be closed on the thread that opened them (RAII
+/// does this for you) and nest LIFO per thread.
+///
+/// Building with -DKERTBN_OBS=OFF defines KERTBN_OBS_DISABLED and turns
+/// the macros into no-op objects, removing the instrumentation entirely.
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/sink.hpp"
+
+namespace kertbn::obs {
+
+/// Position in the trace tree: which trace, and which span within it.
+/// span_id == 0 means "no enclosing span" (new spans start fresh traces).
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// The calling thread's innermost open span (zeroes when none).
+SpanContext current_context();
+
+/// Scoped override of the thread-local context — the cross-thread glue.
+/// Opened at the top of a pooled task with the submitter's context, it
+/// makes spans inside the task children of the submitting span.
+class ContextGuard {
+ public:
+  explicit ContextGuard(SpanContext ctx);
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+/// A scoped measurement. \p name must outlive the span (string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  /// Child of \p parent instead of the thread-current span (explicit
+  /// cross-thread stitching; prefer ContextGuard where possible).
+  Span(const char* name, SpanContext parent);
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void tag(std::string_view key, std::uint64_t value);
+  void tag(std::string_view key, double value);
+  void tag(std::string_view key, bool value);
+  void tag(std::string_view key, std::string value);
+
+  /// This span's context, for hand-stitching children across threads.
+  SpanContext context() const { return ctx_; }
+
+  /// Ends the measurement early (idempotent; the destructor is a no-op
+  /// afterwards).
+  void close();
+
+ private:
+  void open(const char* name, SpanContext parent);
+
+  const char* name_ = nullptr;
+  bool active_ = false;
+  SpanContext ctx_;
+  std::uint64_t parent_id_ = 0;
+  SpanContext prev_;
+  std::uint64_t start_ns_ = 0;
+  std::vector<SpanTag> tags_;
+};
+
+/// Drop-in inert stand-in used when instrumentation is compiled out.
+class NoopSpan {
+ public:
+  explicit NoopSpan(const char*) {}
+  NoopSpan(const char*, SpanContext) {}
+  template <typename K, typename V>
+  void tag(K&&, V&&) {}
+  SpanContext context() const { return {}; }
+  void close() {}
+};
+
+}  // namespace kertbn::obs
+
+#define KERTBN_OBS_CONCAT_INNER(a, b) a##b
+#define KERTBN_OBS_CONCAT(a, b) KERTBN_OBS_CONCAT_INNER(a, b)
+
+#ifdef KERTBN_OBS_DISABLED
+#define KERTBN_SPAN(name) \
+  ::kertbn::obs::NoopSpan KERTBN_OBS_CONCAT(kertbn_span_, __COUNTER__)(name)
+#define KERTBN_SPAN_VAR(var, name) ::kertbn::obs::NoopSpan var(name)
+#else
+/// Anonymous scoped span.
+#define KERTBN_SPAN(name) \
+  ::kertbn::obs::Span KERTBN_OBS_CONCAT(kertbn_span_, __COUNTER__)(name)
+/// Named scoped span for call sites that attach tags.
+#define KERTBN_SPAN_VAR(var, name) ::kertbn::obs::Span var(name)
+#endif

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace kertbn::sim {
+
+namespace {
+
+/// Telemetry for the ingest path. The MissingServicePolicy decisions were
+/// previously invisible: a dropped interval or a carried-forward cell left
+/// no trace outside the single dropped_intervals() total. These counters
+/// surface them in every MetricsSnapshot.
+struct MonitorMetrics {
+  obs::Counter& intervals;
+  obs::Counter& rows_ingested;
+  obs::Counter& rows_dropped;
+  obs::Counter& values_carried_forward;
+  obs::Counter& reports;
+  obs::Histogram& batch_size;
+
+  static MonitorMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static MonitorMetrics m{reg.counter("monitor.intervals"),
+                            reg.counter("monitor.rows_ingested"),
+                            reg.counter("monitor.rows_dropped"),
+                            reg.counter("monitor.values_carried_forward"),
+                            reg.counter("monitor.reports"),
+                            reg.histogram("monitor.agent_batch_size")};
+    return m;
+  }
+};
+
+}  // namespace
 
 MonitoringAgent::MonitoringAgent(std::size_t id,
                                  std::vector<std::size_t> services)
@@ -24,14 +54,24 @@ bool MonitoringAgent::has_complete_batch() const {
 }
 
 AgentReport MonitoringAgent::flush() {
+  KERTBN_SPAN_VAR(span, "monitor.flush");
   AgentReport report;
   report.agent = id_;
   report.service_means.reserve(points_.size());
+  std::size_t measurements = 0;
   for (auto& p : points_) {
+    measurements += p.count();
     if (const std::optional<double> mean = p.maybe_mean()) {
       report.service_means.emplace_back(p.service(), *mean);
     }
     p.clear();
+  }
+  span.tag("agent", static_cast<std::uint64_t>(id_));
+  span.tag("measurements", static_cast<std::uint64_t>(measurements));
+  if (obs::enabled()) {
+    MonitorMetrics& m = MonitorMetrics::get();
+    m.reports.add(1);
+    m.batch_size.record(measurements);
   }
   return report;
 }
@@ -53,6 +93,8 @@ ManagementServer::ManagementServer(std::vector<std::string> service_names,
 
 bool ManagementServer::ingest_interval(
     const std::vector<AgentReport>& reports, double response_mean) {
+  if (obs::enabled()) MonitorMetrics::get().intervals.add(1);
+  std::size_t carried = 0;
   std::vector<double> row(n_services_ + 1, 0.0);
   std::vector<bool> seen(n_services_, false);
   for (const auto& report : reports) {
@@ -74,12 +116,15 @@ bool ManagementServer::ingest_interval(
         if (!last_seen_[s]) {
           // Nothing to carry yet — the interval cannot form a usable row.
           ++dropped_intervals_;
+          if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
           return false;
         }
         row[s] = *last_seen_[s];
+        ++carried;
         break;
       case MissingServicePolicy::kDropRow:
         ++dropped_intervals_;
+        if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
         return false;
     }
   }
@@ -87,6 +132,11 @@ bool ManagementServer::ingest_interval(
   window_.add_row(row);
   ++total_points_;
   window_.keep_last_rows(schedule_.points_per_window());
+  if (obs::enabled()) {
+    MonitorMetrics& m = MonitorMetrics::get();
+    m.rows_ingested.add(1);
+    if (carried > 0) m.values_carried_forward.add(carried);
+  }
   if (observer_) observer_(row);
   return true;
 }

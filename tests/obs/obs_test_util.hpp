@@ -1,0 +1,81 @@
+#pragma once
+/// \file obs_test_util.hpp
+/// Shared fixtures for the self-telemetry tests: an in-memory collecting
+/// sink and a scoped installer that guarantees the global sink is restored
+/// (tests share one process-wide obs state).
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+
+namespace kertbn::testutil {
+
+/// Buffers every event for later inspection. Thread-safe.
+class CollectingSink : public obs::EventSink {
+ public:
+  void on_span(const obs::SpanEvent& event) override {
+    std::lock_guard lock(mutex_);
+    spans_.push_back(event);
+  }
+
+  void on_metrics(const obs::MetricsSnapshot& snapshot,
+                  std::uint64_t t_ns) override {
+    std::lock_guard lock(mutex_);
+    snapshots_.emplace_back(t_ns, snapshot);
+  }
+
+  std::vector<obs::SpanEvent> spans() const {
+    std::lock_guard lock(mutex_);
+    return spans_;
+  }
+
+  std::vector<std::pair<std::uint64_t, obs::MetricsSnapshot>> snapshots()
+      const {
+    std::lock_guard lock(mutex_);
+    return snapshots_;
+  }
+
+  /// Events with the given span name, in close order.
+  std::vector<obs::SpanEvent> spans_named(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    std::vector<obs::SpanEvent> out;
+    for (const auto& e : spans_) {
+      if (e.name == name) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::SpanEvent> spans_;
+  std::vector<std::pair<std::uint64_t, obs::MetricsSnapshot>> snapshots_;
+};
+
+/// Installs a sink for the duration of a test scope, restoring the null
+/// sink afterwards so tests do not leak telemetry into each other.
+class ScopedSink {
+ public:
+  explicit ScopedSink(std::shared_ptr<obs::EventSink> sink) {
+    obs::set_sink(std::move(sink));
+  }
+  ~ScopedSink() { obs::set_sink(nullptr); }
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+};
+
+/// Looks up a span tag by key; fails the calling test via nullptr when the
+/// tag is absent.
+inline const obs::SpanTag* find_tag(const obs::SpanEvent& event,
+                                    std::string_view key) {
+  for (const auto& tag : event.tags) {
+    if (tag.key == key) return &tag;
+  }
+  return nullptr;
+}
+
+}  // namespace kertbn::testutil

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kertbn::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  Counter c("test.counter.threads");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryReturnsSameHandleForSameName) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& a = reg.counter("test.registry.same");
+  Counter& b = reg.counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("test.registry.same");  // distinct kind map
+  Histogram& h2 = reg.histogram("test.registry.same");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Metrics, GaugeSetAddValue) {
+  Gauge g("test.gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(4.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  EXPECT_DOUBLE_EQ(g.add(-1.5), 3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, GaugeAddIsAtomicUnderContention) {
+  Gauge g("test.gauge.contended");
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kOps; ++i) {
+        g.add(1.0);
+        g.add(-1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketIndexPowersOfTwo) {
+  // Bucket 0: zeros; bucket i >= 1: bit_width(v) == i, i.e. [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // The last bucket absorbs everything wide.
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 30), 31u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 31u);
+}
+
+TEST(Metrics, HistogramStatsCountSumMaxMean) {
+  Histogram h("test.hist");
+  h.record(0);
+  h.record(1);
+  h.record(6);
+  h.record(6);
+  h.record(100);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 113u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 113.0 / 5.0);
+  EXPECT_EQ(s.buckets[0], 1u);  // the zero
+  EXPECT_EQ(s.buckets[1], 1u);  // 1
+  EXPECT_EQ(s.buckets[3], 2u);  // 6, 6 in [4, 8)
+  EXPECT_EQ(s.buckets[7], 1u);  // 100 in [64, 128)
+}
+
+TEST(Metrics, HistogramQuantileUpperBounds) {
+  Histogram h("test.hist.quantile");
+  for (int i = 0; i < 90; ++i) h.record(3);    // bucket 2, edge 3
+  for (int i = 0; i < 10; ++i) h.record(200);  // bucket 8, edge 255
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.quantile(0.5), 3u);
+  // p99 lands in the top bucket; the estimate is clamped to the true max.
+  EXPECT_EQ(s.quantile(0.99), 200u);
+  EXPECT_EQ(s.quantile(0.0), 3u);   // rank clamps to the first sample
+  EXPECT_EQ(s.quantile(1.0), 200u);
+  const HistogramStats empty = Histogram("e").stats();
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsBalance) {
+  Histogram h("test.hist.threads");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 17);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_EQ(s.max, 16u);
+}
+
+TEST(Metrics, SnapshotLookupDefaults) {
+  MetricsSnapshot snap;
+  snap.counters["a"] = 3;
+  EXPECT_EQ(snap.counter("a"), 3u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_FALSE(snap.gauge("missing").has_value());
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(Metrics, SnapshotMergeSumsCountersAndHistograms) {
+  MetricsSnapshot a;
+  a.counters["c"] = 2;
+  a.gauges["g"] = 1.0;
+  a.histograms["h"].count = 3;
+  a.histograms["h"].sum = 30;
+  a.histograms["h"].max = 20;
+  a.histograms["h"].buckets[5] = 3;
+
+  MetricsSnapshot b;
+  b.counters["c"] = 5;
+  b.counters["only_b"] = 1;
+  b.gauges["g"] = 7.0;
+  b.histograms["h"].count = 1;
+  b.histograms["h"].sum = 8;
+  b.histograms["h"].max = 8;
+  b.histograms["h"].buckets[4] = 1;
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 7u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(*a.gauge("g"), 7.0);  // gauges: last writer wins
+  const HistogramStats* h = a.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum, 38u);
+  EXPECT_EQ(h->max, 20u);
+  EXPECT_EQ(h->buckets[5], 3u);
+  EXPECT_EQ(h->buckets[4], 1u);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsRates) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.delta.counter");
+  Histogram& h = reg.histogram("test.delta.hist");
+  const MetricsSnapshot before = reg.snapshot();
+  c.add(4);
+  h.record(10);
+  h.record(20);
+  const MetricsSnapshot delta = reg.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter("test.delta.counter"), 4u);
+  const HistogramStats* hd = delta.histogram("test.delta.hist");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2u);
+  EXPECT_EQ(hd->sum, 30u);
+}
+
+TEST(Metrics, SnapshotToTextListsEveryKind) {
+  MetricsSnapshot snap;
+  snap.counters["text.counter"] = 1;
+  snap.gauges["text.gauge"] = 2.5;
+  snap.histograms["text.hist"].count = 1;
+  snap.histograms["text.hist"].sum = 7;
+  snap.histograms["text.hist"].max = 7;
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("text.counter"), std::string::npos);
+  EXPECT_NE(text.find("text.gauge"), std::string::npos);
+  EXPECT_NE(text.find("text.hist"), std::string::npos);
+}
+
+TEST(Metrics, EnabledToggleRoundTrips) {
+  EXPECT_TRUE(enabled());  // default
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+}
+
+}  // namespace
+}  // namespace kertbn::obs

@@ -1,0 +1,122 @@
+/// The acceptance round-trip: run the eDiaMoND scenario with the JSONL
+/// file sink enabled, parse the emitted events back, and reconcile them
+/// against the ModelManager's Reconstruction history and the metrics
+/// registry. Guarantees the on-disk schema actually carries the telemetry
+/// it advertises.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "jsonl_util.hpp"
+#include "kert/model_manager.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "sosim/des_env.hpp"
+
+namespace kertbn::core {
+namespace {
+
+#ifdef KERTBN_OBS_DISABLED
+TEST(SinkRoundtrip, CompiledOut) {
+  GTEST_SKIP() << "span instrumentation compiled out (KERTBN_OBS=OFF)";
+}
+#else
+
+using testutil::Json;
+
+class TempJsonl {
+ public:
+  TempJsonl() {
+    path_ = ::testing::TempDir() + "kertbn_obs_roundtrip_" +
+            std::to_string(::getpid()) + ".jsonl";
+  }
+  ~TempJsonl() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SinkRoundtrip, EdiamondScenarioEventsReconcile) {
+  TempJsonl file;
+  obs::set_sink(std::make_shared<obs::FileSink>(file.path()));
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::instance().snapshot();
+
+  // A compressed examples/ediamond_scenario: DES test-bed, periodic
+  // reconstruction every T_CON over the sliding window.
+  const sim::ModelSchedule schedule{5.0, 6, 3};
+  sim::DesEnvironment testbed = sim::make_ediamond_des_environment(0.8, 7);
+  ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  ModelManager manager(testbed.workflow(), wf::ResourceSharing{}, cfg);
+  for (int cycle = 1; cycle <= 4; ++cycle) {
+    testbed.run_for(schedule.t_con());
+    const double now = testbed.now();
+    manager.maybe_reconstruct(
+        now, testbed.dataset_between(
+                 std::max(0.0, now - schedule.window_seconds()), now,
+                 schedule.t_data));
+  }
+  ASSERT_GE(manager.history().size(), 3u);
+
+  obs::publish_metrics();
+  obs::flush_sink();
+  obs::set_sink(nullptr);
+
+  const std::vector<Json> events = testutil::parse_jsonl_file(file.path());
+  ASSERT_FALSE(events.empty());
+
+  // Every line is a typed event.
+  std::vector<const Json*> reconstruct_spans;
+  const Json* metrics_event = nullptr;
+  for (const Json& e : events) {
+    const std::string& type = e.at("type").string;
+    ASSERT_TRUE(type == "span" || type == "metrics");
+    if (type == "span" && e.at("name").string == "kert.reconstruct") {
+      reconstruct_spans.push_back(&e);
+    }
+    if (type == "metrics") metrics_event = &e;
+  }
+
+  // One reconstruction span per history record, tags matching exactly.
+  const auto& history = manager.history();
+  ASSERT_EQ(reconstruct_spans.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const Json& tags = reconstruct_spans[i]->at("tags");
+    EXPECT_EQ(tags.at("version").as_u64(), history[i].version);
+    EXPECT_EQ(tags.at("window_rows").as_u64(), history[i].window_rows);
+    EXPECT_EQ(tags.at("rows_touched").as_u64(), history[i].rows_touched);
+    EXPECT_EQ(tags.at("incremental").boolean, history[i].incremental);
+    EXPECT_DOUBLE_EQ(tags.at("at").number, history[i].at);
+    EXPECT_GT(reconstruct_spans[i]->at("dur_ns").as_u64(), 0u);
+  }
+
+  // Span timestamps are monotone in emission order (same timebase).
+  for (std::size_t i = 1; i < reconstruct_spans.size(); ++i) {
+    EXPECT_GE(reconstruct_spans[i]->at("t_ns").as_u64(),
+              reconstruct_spans[i - 1]->at("t_ns").as_u64());
+  }
+
+  // The final metrics snapshot covers this run's reconstructions (the
+  // registry is process-global, so compare as a delta against `before`).
+  ASSERT_NE(metrics_event, nullptr);
+  const Json& counters = metrics_event->at("counters");
+  EXPECT_EQ(counters.at("kert.reconstruct.count").as_u64() -
+                before.counter("kert.reconstruct.count"),
+            history.size());
+  // The span-duration histogram made it to disk too.
+  const Json& histograms = metrics_event->at("histograms");
+  ASSERT_TRUE(histograms.has("span.kert.reconstruct"));
+  EXPECT_GE(histograms.at("span.kert.reconstruct").at("count").as_u64(),
+            history.size());
+}
+
+#endif  // KERTBN_OBS_DISABLED
+
+}  // namespace
+}  // namespace kertbn::core
