@@ -1,0 +1,134 @@
+/// \file abl_fault_overhead.cpp
+/// Ablation: cost of the fault-injection hook sites on the steady-state
+/// monitoring + reconstruction loop. Three configurations over the same
+/// stream:
+///
+///   disabled  — an injector is installed but fault::set_enabled(false):
+///               every hook site reduces to one relaxed atomic load that
+///               yields nullptr (the operator kill switch).
+///   no-plan   — nothing installed: the production default. Hook sites pay
+///               the same single relaxed load.
+///   trivial   — a trivial FaultPlan installed and enabled: every hook
+///               consults the injector, whose zero-probability / empty-
+///               window plan injects nothing, so the simulated stream is
+///               identical across all three modes.
+///
+/// Methodology mirrors abl_obs_overhead: ONE testbed + manager drive the
+/// whole stream and the mode rotates every construction cycle, so drift,
+/// allocator state and preemption spikes hit all modes equally; each
+/// mode's cost is the median of its per-cycle samples. Because the trivial
+/// plan never injects, all modes perform bit-identical simulation and
+/// reconstruction work — the only difference is the hook cost under test.
+///
+/// The guard at exit checks no-plan vs disabled against the < 1% design
+/// budget ("zero-cost when no plan installed"). Trivial-plan overhead is
+/// reported for information (it adds a pointer chase plus a handful of
+/// early-exit probability checks per hook).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault_injector.hpp"
+#include "kert/model_manager.hpp"
+#include "sosim/testbed.hpp"
+
+namespace {
+
+using namespace kertbn;
+using core::ModelManager;
+
+constexpr double kOverheadBudgetPct = 1.0;
+constexpr int kModes = 3;
+constexpr int kCycles = 450;  // construction cycles; mode = cycle % 3
+
+const char* mode_name(int mode) {
+  switch (mode) {
+    case 0: return "disabled";
+    case 1: return "no-plan";
+    default: return "trivial-plan";
+  }
+}
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: fault-injection hook overhead on the monitored "
+      "reconstruction loop (eDiaMoND)",
+      {"mode", "ms_per_cycle", "overhead_pct_vs_disabled"});
+  return collector;
+}
+
+void BM_FaultOverhead(benchmark::State& state) {
+  const sim::ModelSchedule schedule{10.0, 6, 3};  // T_CON = 60 s
+  sim::MonitoredTestbed testbed =
+      sim::make_monitored_ediamond(2.0, 0xFA01, schedule);
+  // Equalize the ingest path: with an injector installed gaps are
+  // tolerated implicitly, so force the same tolerance in all modes.
+  testbed.set_ingest_incomplete(true);
+
+  ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  ModelManager manager(testbed.environment().workflow(),
+                       wf::ResourceSharing{}, cfg);
+
+  // Warm-up: one construction cycle before sampling.
+  testbed.advance_construction_intervals(
+      1, [&](double now) { manager.maybe_reconstruct(now, testbed.window()); });
+
+  const auto trivial =
+      std::make_shared<const fault::FaultInjector>(fault::FaultPlan{});
+
+  std::vector<double> samples_ms[kModes];
+  for (auto _ : state) {
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      const int m = cycle % kModes;
+      fault::install(m == 1 ? nullptr : trivial);
+      fault::set_enabled(m != 0);
+
+      const auto start = std::chrono::steady_clock::now();
+      testbed.advance_construction_intervals(1, [&](double now) {
+        manager.maybe_reconstruct(now, testbed.window());
+      });
+      const double ms = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count() *
+                        1e3;
+      benchmark::DoNotOptimize(manager.version());
+      samples_ms[m].push_back(ms);
+    }
+  }
+  fault::uninstall();
+  fault::set_enabled(true);
+
+  double med_ms[kModes];
+  for (int m = 0; m < kModes; ++m) med_ms[m] = median(samples_ms[m]);
+  const double no_plan_pct = (med_ms[1] / med_ms[0] - 1.0) * 100.0;
+  const double trivial_pct = (med_ms[2] / med_ms[0] - 1.0) * 100.0;
+  state.counters["disabled_ms"] = med_ms[0];
+  state.counters["no_plan_ms"] = med_ms[1];
+  state.counters["trivial_plan_ms"] = med_ms[2];
+  state.counters["no_plan_overhead_pct"] = no_plan_pct;
+  state.counters["trivial_plan_overhead_pct"] = trivial_pct;
+  series().add_row({mode_name(0), med_ms[0], 0.0});
+  series().add_row({mode_name(1), med_ms[1], no_plan_pct});
+  series().add_row({mode_name(2), med_ms[2], trivial_pct});
+  std::printf(
+      "\nfault overhead guard: no-plan %+.3f%% vs budget %.1f%% — %s\n",
+      no_plan_pct, kOverheadBudgetPct,
+      no_plan_pct < kOverheadBudgetPct ? "PASS" : "FAIL");
+}
+
+}  // namespace
+
+BENCHMARK(BM_FaultOverhead)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #include "decentral/channel.hpp"
 
+#include "fault/fault_injector.hpp"
 #include "obs/metrics.hpp"
 
 namespace kertbn::dec {
@@ -12,6 +13,7 @@ struct ChannelMetrics {
   obs::Counter& messages;
   obs::Counter& values;
   obs::Counter& bytes;
+  obs::Counter& dropped;
   obs::Gauge& pending;
 
   static ChannelMetrics& get() {
@@ -19,6 +21,7 @@ struct ChannelMetrics {
     static ChannelMetrics m{reg.counter("channel.messages"),
                             reg.counter("channel.values"),
                             reg.counter("channel.bytes"),
+                            reg.counter("channel.dropped"),
                             reg.gauge("channel.pending")};
     return m;
   }
@@ -26,24 +29,53 @@ struct ChannelMetrics {
 
 }  // namespace
 
-void Channel::send(DataMessage msg) {
+bool Channel::send(DataMessage msg) {
+  // Partitioned fabric: the message never reaches the inbox. The receiver
+  // survives via receive_for timeouts / close, not by us pretending.
+  if (const fault::FaultInjector* inj = fault::active();
+      inj != nullptr && inj->partitioned(fault::sim_now())) {
+    if (obs::enabled()) ChannelMetrics::get().dropped.add(1);
+    return false;
+  }
+  const std::size_t values = msg.column.size();
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) {
+      if (obs::enabled()) ChannelMetrics::get().dropped.add(1);
+      return false;
+    }
+    queue_.push_back(std::move(msg));
+  }
   if (obs::enabled()) {
     ChannelMetrics& m = ChannelMetrics::get();
     m.messages.add(1);
-    m.values.add(msg.column.size());
-    m.bytes.add(msg.column.size() * sizeof(double));
+    m.values.add(values);
+    m.bytes.add(values * sizeof(double));
     m.pending.add(1.0);
   }
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(msg));
-  }
   cv_.notify_one();
+  return true;
 }
 
-DataMessage Channel::receive() {
+std::optional<DataMessage> Channel::receive() {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return !queue_.empty(); });
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  DataMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  if (obs::enabled()) ChannelMetrics::get().pending.add(-1.0);
+  return msg;
+}
+
+std::optional<DataMessage> Channel::receive_for(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (!cv_.wait_for(lock, timeout,
+                    [this] { return !queue_.empty() || closed_; })) {
+    return std::nullopt;
+  }
+  if (queue_.empty()) return std::nullopt;
   DataMessage msg = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
@@ -61,6 +93,19 @@ std::optional<DataMessage> Channel::try_receive() {
   }
   if (obs::enabled()) ChannelMetrics::get().pending.add(-1.0);
   return msg;
+}
+
+void Channel::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
 }
 
 std::size_t Channel::pending() const {

@@ -4,7 +4,14 @@
 /// decentralized parameter-learning protocol of Section 3.4 exchanges
 /// batched elapsed-time columns between monitoring agents; this in-process
 /// fabric stands in for the SOAP-segment piggybacking the paper describes.
+///
+/// The channel is failure-aware: receive() blocks until a message arrives
+/// *or the channel is closed* (never forever), receive_for() bounds the
+/// wait, and send() consults the installed fault plan — during a partition
+/// window the message is dropped on the floor, exactly what a real
+/// partitioned fabric does.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -21,17 +28,30 @@ struct DataMessage {
   std::vector<double> column;
 };
 
-/// Unbounded MPSC channel with blocking receive.
+/// Unbounded MPSC channel with blocking-until-closed receive.
 class Channel {
  public:
-  /// Enqueues a message (any thread).
-  void send(DataMessage msg);
+  /// Enqueues a message (any thread). Returns false — dropping the
+  /// message — when the channel is closed or the fault fabric is inside a
+  /// partition window.
+  bool send(DataMessage msg);
 
-  /// Blocks until a message is available and dequeues it.
-  DataMessage receive();
+  /// Blocks until a message is available (dequeues it) or the channel is
+  /// closed and drained (returns nullopt). Pending messages are still
+  /// delivered after close().
+  std::optional<DataMessage> receive();
+
+  /// Like receive(), but gives up after \p timeout (nullopt on timeout).
+  std::optional<DataMessage> receive_for(std::chrono::nanoseconds timeout);
 
   /// Non-blocking receive.
   std::optional<DataMessage> try_receive();
+
+  /// Marks the channel closed and wakes every blocked receiver. Further
+  /// sends are rejected; pending messages remain receivable. Idempotent.
+  void close();
+
+  bool closed() const;
 
   std::size_t pending() const;
 
@@ -39,6 +59,7 @@ class Channel {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<DataMessage> queue_;
+  bool closed_ = false;
 };
 
 }  // namespace kertbn::dec

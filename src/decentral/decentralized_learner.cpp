@@ -18,25 +18,47 @@ struct AgentState {
   Channel inbox;
   std::unique_ptr<bn::Cpd> fitted;
   double fit_seconds = 0.0;
+  std::size_t missing_parents = 0;
 };
 
 /// Fits one agent's CPD from its own column plus the parent columns that
 /// arrived in its inbox. This function sees *only* agent-local state — the
-/// locality that lets the computation run on the service's machine.
+/// locality that lets the computation run on the service's machine. Parent
+/// batches lost in transit are tolerated: the agent retries with backoff,
+/// then zero-fills the missing column and fits anyway (the missing
+/// parent's influence is simply unlearnable this round).
 void agent_compute(AgentState& agent, const bn::BayesianNetwork& net,
-                   const bn::ParameterLearnOptions& opts) {
+                   const bn::ParameterLearnOptions& opts,
+                   const DecentralizedOptions& degraded) {
   const auto pars = net.dag().parents(agent.node);
   const std::size_t p = pars.size();
 
-  // Drain exactly the expected parent batches.
+  // Drain up to the expected parent batches, giving up per message after
+  // the retry budget. A closed inbox returns immediately, so the common
+  // lost-message case (sender dropped by a partition, then the exchange
+  // phase closed the channel) costs no wall-clock wait at all.
   std::vector<DataMessage> received;
   received.reserve(p);
   for (std::size_t i = 0; i < p; ++i) {
-    received.push_back(agent.inbox.receive());
+    std::optional<DataMessage> msg;
+    std::chrono::nanoseconds wait = degraded.receive_timeout;
+    for (std::size_t attempt = 0; attempt <= degraded.receive_retries;
+         ++attempt) {
+      msg = agent.inbox.receive_for(wait);
+      if (msg.has_value() || agent.inbox.closed()) break;
+      wait *= 2;  // exponential backoff
+    }
+    if (!msg.has_value()) {
+      // Once one expected batch timed out against a closed, drained inbox
+      // the rest can't be in flight either.
+      if (agent.inbox.closed() && agent.inbox.pending() == 0) break;
+      continue;
+    }
+    received.push_back(std::move(*msg));
   }
 
   // Assemble the local mini-dataset: parent columns in parent order, then
-  // the agent's own column.
+  // the agent's own column. nullptr source = lost batch, zero-filled.
   std::vector<std::string> columns;
   columns.reserve(p + 1);
   std::vector<const std::vector<double>*> source(p + 1, nullptr);
@@ -48,7 +70,7 @@ void agent_compute(AgentState& agent, const bn::BayesianNetwork& net,
         break;
       }
     }
-    KERTBN_ASSERT(source[i] != nullptr);
+    if (source[i] == nullptr) ++agent.missing_parents;
   }
   columns.push_back("self");
   source[p] = &agent.local_column;
@@ -58,6 +80,10 @@ void agent_compute(AgentState& agent, const bn::BayesianNetwork& net,
   std::vector<double> row(p + 1);
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c <= p; ++c) {
+      if (source[c] == nullptr) {
+        row[c] = 0.0;
+        continue;
+      }
       KERTBN_ASSERT(source[c]->size() == rows);
       row[c] = (*source[c])[r];
     }
@@ -91,7 +117,8 @@ void agent_compute(AgentState& agent, const bn::BayesianNetwork& net,
 
 DecentralizedReport learn_parameters_decentralized(
     bn::BayesianNetwork& net, const bn::Dataset& data,
-    const bn::ParameterLearnOptions& opts, ThreadPool* pool) {
+    const bn::ParameterLearnOptions& opts, ThreadPool* pool,
+    const DecentralizedOptions& degraded) {
   KERTBN_EXPECTS(data.cols() == net.size());
   KERTBN_SPAN_VAR(span, "decentral.round");
   span.tag("nodes", static_cast<std::uint64_t>(net.size()));
@@ -112,17 +139,22 @@ DecentralizedReport learn_parameters_decentralized(
 
   // Exchange phase: each learnable node's parents ship it their batched
   // columns (in deployment this rides the application's own request
-  // messages as an extra SOAP segment).
+  // messages as an extra SOAP segment). A partitioned fabric drops sends.
   for (const auto& agent : agents) {
     for (std::size_t p : net.dag().parents(agent->node)) {
       DataMessage msg;
       msg.from_service = p;
       msg.column = data.column(p);
-      report.values_shipped += msg.column.size();
       ++report.messages_sent;
-      agent->inbox.send(std::move(msg));
+      if (agent->inbox.send(std::move(msg))) {
+        report.values_shipped += data.rows();
+      }
     }
   }
+  // Every message is either enqueued or lost at this point; close the
+  // inboxes so agents never wait on batches that cannot arrive. (Clean
+  // shutdown: a receiver blocked in receive() wakes with nullopt.)
+  for (const auto& agent : agents) agent->inbox.close();
 
   // Compute phase: every agent fits its own CPD, concurrently when a pool
   // is supplied.
@@ -131,12 +163,12 @@ DecentralizedReport learn_parameters_decentralized(
     futures.reserve(agents.size());
     for (auto& agent : agents) {
       AgentState* a = agent.get();
-      futures.push_back(
-          pool->submit([a, &net, &opts] { agent_compute(*a, net, opts); }));
+      futures.push_back(pool->submit(
+          [a, &net, &opts, &degraded] { agent_compute(*a, net, opts, degraded); }));
     }
     for (auto& f : futures) f.get();
   } else {
-    for (auto& agent : agents) agent_compute(*agent, net, opts);
+    for (auto& agent : agents) agent_compute(*agent, net, opts, degraded);
   }
 
   // The central server only assembles the fitted CPDs into the model.
@@ -145,15 +177,23 @@ DecentralizedReport learn_parameters_decentralized(
     report.decentralized_seconds =
         std::max(report.decentralized_seconds, agent->fit_seconds);
     report.centralized_seconds += agent->fit_seconds;
+    report.messages_lost += agent->missing_parents;
+    if (agent->missing_parents > 0) ++report.degraded_agents;
     net.set_cpd(agent->node, std::move(agent->fitted));
   }
   span.tag("messages", static_cast<std::uint64_t>(report.messages_sent));
   span.tag("values", static_cast<std::uint64_t>(report.values_shipped));
+  span.tag("lost", static_cast<std::uint64_t>(report.messages_lost));
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::instance();
     static obs::Counter& rounds = reg.counter("decentral.rounds");
+    static obs::Counter& lost = reg.counter("decentral.messages_lost");
+    static obs::Counter& degraded_fits =
+        reg.counter("decentral.degraded_agents");
     static obs::Histogram& fit_ns = reg.histogram("decentral.agent_fit_ns");
     rounds.add(1);
+    if (report.messages_lost > 0) lost.add(report.messages_lost);
+    if (report.degraded_agents > 0) degraded_fits.add(report.degraded_agents);
     for (const auto& agent : agents) {
       fit_ns.record(static_cast<std::uint64_t>(agent->fit_seconds * 1e9));
     }

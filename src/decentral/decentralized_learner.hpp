@@ -9,7 +9,16 @@
 /// The decentralized completion time is max over per-agent compute times
 /// (they run in parallel on distinct machines); the centralized comparison
 /// is the sequential sum — exactly the quantities plotted in Figure 5.
+///
+/// Degraded operation: a real fabric loses messages (crashed peers,
+/// partitions). Agents therefore wait with a bounded retry-with-backoff
+/// schedule instead of blocking forever; a parent column that never arrives
+/// is zero-filled so the fit still yields a full-arity CPD (the missing
+/// parent's weight is ridge-driven to ~0 — the agent simply learns without
+/// that signal this round). Every inbox is closed once the exchange phase
+/// ends, so missing messages fail fast instead of timing out.
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -20,6 +29,14 @@
 
 namespace kertbn::dec {
 
+/// Degraded-mode knobs for the receive side of the protocol.
+struct DecentralizedOptions {
+  /// First receive wait; each retry doubles it (exponential backoff).
+  std::chrono::milliseconds receive_timeout{2};
+  /// Additional attempts after the first before declaring the message lost.
+  std::size_t receive_retries = 3;
+};
+
 /// Outcome of one decentralized learning round.
 struct DecentralizedReport {
   /// Wall-clock seconds each agent spent fitting its CPD.
@@ -28,10 +45,15 @@ struct DecentralizedReport {
   double decentralized_seconds = 0.0;
   /// What a central server doing the same fits sequentially would take.
   double centralized_seconds = 0.0;
-  /// Parent->child column transfers performed.
+  /// Parent->child column transfers attempted.
   std::size_t messages_sent = 0;
   /// Total doubles shipped across channels.
   std::size_t values_shipped = 0;
+  /// Expected parent batches that never arrived (lost to partitions or
+  /// crashed peers); each cost its agent a zero-filled column.
+  std::size_t messages_lost = 0;
+  /// Agents that fit with at least one missing parent column.
+  std::size_t degraded_agents = 0;
 };
 
 /// Runs the decentralized protocol for every node of \p net lacking a CPD
@@ -42,9 +64,12 @@ struct DecentralizedReport {
 ///
 /// When \p pool is non-null the per-agent fits genuinely run concurrently on
 /// it; otherwise they run serially (timings are measured per fit either
-/// way, and results are identical — the protocol is deterministic).
+/// way, and results are identical — the protocol is deterministic). The
+/// round always terminates, even when peers never send: see
+/// DecentralizedOptions.
 DecentralizedReport learn_parameters_decentralized(
     bn::BayesianNetwork& net, const bn::Dataset& data,
-    const bn::ParameterLearnOptions& opts = {}, ThreadPool* pool = nullptr);
+    const bn::ParameterLearnOptions& opts = {}, ThreadPool* pool = nullptr,
+    const DecentralizedOptions& degraded = {});
 
 }  // namespace kertbn::dec

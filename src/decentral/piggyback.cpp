@@ -22,9 +22,23 @@ TransportPlan plan_transport(const graph::Dag& structure,
   std::set<std::pair<std::size_t, std::size_t>> app_edges;
   for (const auto& e : workflow.upstream_edges()) app_edges.insert(e);
 
+  KERTBN_EXPECTS(cost.report_loss_prob >= 0.0 &&
+                 cost.report_loss_prob < 1.0);
+
   TransportPlan plan;
   const double batch_bytes =
       cost.bytes_per_value * static_cast<double>(points_per_interval);
+
+  // Retry-with-backoff delivery discipline: a message lost with
+  // probability q is retransmitted up to R more times, so attempts follow
+  // a truncated geometric — E[attempts] = (1 - q^(R+1)) / (1 - q) and the
+  // message is delivered unless all R+1 attempts are lost.
+  const double q = cost.report_loss_prob;
+  double residual_loss = 1.0;  // q^(R+1)
+  for (std::size_t k = 0; k <= cost.max_retries; ++k) residual_loss *= q;
+  plan.delivery_probability = 1.0 - residual_loss;
+  plan.expected_attempts_per_message =
+      q > 0.0 ? (1.0 - residual_loss) / (1.0 - q) : 1.0;
 
   // Data-bearing edges: every service-to-service dependency. (Edges into
   // the response node carry no data — D's CPD is knowledge-given.)
@@ -40,18 +54,27 @@ TransportPlan plan_transport(const graph::Dag& structure,
                          requests_per_interval >= 1.0;
       plan.edges.push_back(edge);
 
-      // Dedicated costing: one report message per edge per interval.
+      // Dedicated costing: one report message per edge per interval, each
+      // attempt (original + retransmissions) paying the full message cost.
       ++plan.dedicated_messages;
-      plan.dedicated_bytes += cost.message_overhead_bytes + batch_bytes;
+      plan.dedicated_bytes += plan.expected_attempts_per_message *
+                              (cost.message_overhead_bytes + batch_bytes);
+      plan.expected_undelivered_batches += residual_loss;
 
       if (edge.piggybacked) {
         // The whole batch rides one application request per interval as a
         // single extra segment ("possibly batching them before reporting").
+        // Retransmissions must wait for further app requests, so the retry
+        // budget is additionally capped by the available traffic.
+        const double attempts =
+            std::min(plan.expected_attempts_per_message,
+                     std::max(1.0, requests_per_interval));
         plan.piggyback_bytes +=
-            batch_bytes + cost.piggyback_overhead_bytes;
+            attempts * (batch_bytes + cost.piggyback_overhead_bytes);
       } else {
         ++plan.piggyback_fallback_messages;
-        plan.piggyback_bytes += cost.message_overhead_bytes + batch_bytes;
+        plan.piggyback_bytes += plan.expected_attempts_per_message *
+                                (cost.message_overhead_bytes + batch_bytes);
       }
     }
   }

@@ -33,6 +33,14 @@ struct TransportCostModel {
   double message_overhead_bytes = 400.0;  ///< Envelope/headers per message.
   /// Extra segment overhead when piggybacking on an existing message.
   double piggyback_overhead_bytes = 48.0;
+  /// Per-delivery-attempt loss probability on the reporting fabric. With
+  /// loss > 0 the planner costs a retry-with-backoff delivery discipline:
+  /// each lost attempt is retransmitted up to max_retries times, so the
+  /// expected per-message attempt count is Σ_{k=0..R} p^k and the
+  /// per-message delivery probability is 1 - p^(R+1).
+  double report_loss_prob = 0.0;
+  /// Retransmissions attempted per message after the first send.
+  std::size_t max_retries = 3;
 };
 
 /// A data-bearing edge (parent service -> child service) and how it ships.
@@ -54,6 +62,15 @@ struct TransportPlan {
   double piggyback_bytes = 0.0;
   /// Fraction of data-bearing edges that can piggyback.
   double piggyback_coverage = 0.0;
+  /// Probability one message survives its retry budget (1 when the cost
+  /// model assumes a lossless fabric).
+  double delivery_probability = 1.0;
+  /// Expected delivery attempts per message under retry-with-backoff.
+  double expected_attempts_per_message = 1.0;
+  /// Expected batches per interval lost even after every retry
+  /// (dedicated transport; piggybacked segments ride the application's own
+  /// retry discipline and are counted the same way).
+  double expected_undelivered_batches = 0.0;
   /// Bytes saved per interval by piggybacking (>= 0 in sane configs).
   double bytes_saved() const { return dedicated_bytes - piggyback_bytes; }
 };

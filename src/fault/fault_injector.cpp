@@ -1,0 +1,127 @@
+#include "fault/fault_injector.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+namespace kertbn::fault {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer Rng uses for seeding; applied as a
+/// keyed hash so every decision is an independent high-quality draw.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::bits(Stream stream, std::uint64_t a,
+                                  std::uint64_t b) const {
+  std::uint64_t h = mix(plan_.seed ^ mix(static_cast<std::uint64_t>(stream)));
+  h = mix(h ^ a);
+  return mix(h ^ b);
+}
+
+double FaultInjector::u01(Stream stream, std::uint64_t a,
+                          std::uint64_t b) const {
+  return static_cast<double>(bits(stream, a, b) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::agent_down(std::size_t agent, double now) const {
+  for (const AgentCrash& crash : plan_.crashes) {
+    if (crash.agent == agent && crash.down.contains(now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_report(std::size_t agent,
+                                std::uint64_t interval) const {
+  return plan_.report_loss_prob > 0.0 &&
+         u01(Stream::kLoss, agent, interval) < plan_.report_loss_prob;
+}
+
+bool FaultInjector::duplicate_report(std::size_t agent,
+                                     std::uint64_t interval) const {
+  return plan_.report_duplicate_prob > 0.0 &&
+         u01(Stream::kDuplicate, agent, interval) <
+             plan_.report_duplicate_prob;
+}
+
+bool FaultInjector::delay_report(std::size_t agent,
+                                 std::uint64_t interval) const {
+  return plan_.report_delay_prob > 0.0 &&
+         u01(Stream::kDelay, agent, interval) < plan_.report_delay_prob;
+}
+
+std::optional<double> FaultInjector::corrupt_measurement(std::size_t service,
+                                                         std::uint64_t seq,
+                                                         double value) const {
+  if (plan_.measurement_corrupt_prob <= 0.0) return std::nullopt;
+  if (u01(Stream::kCorrupt, service, seq) >= plan_.measurement_corrupt_prob) {
+    return std::nullopt;
+  }
+  const double wn = std::max(plan_.corrupt_nan_weight, 0.0);
+  const double wneg = std::max(plan_.corrupt_negative_weight, 0.0);
+  const double wout = std::max(plan_.corrupt_outlier_weight, 0.0);
+  const double total = wn + wneg + wout;
+  if (total <= 0.0) return std::nullopt;
+  const double pick = u01(Stream::kCorruptKind, service, seq) * total;
+  if (pick < wn) return std::numeric_limits<double>::quiet_NaN();
+  if (pick < wn + wneg) return -std::abs(value) - 1.0;
+  return value * plan_.outlier_factor;
+}
+
+bool FaultInjector::partitioned(double now) const {
+  for (const TimeWindow& w : plan_.partitions) {
+    if (w.contains(now)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::mutex g_install_mutex;
+std::shared_ptr<const FaultInjector> g_installed;
+std::atomic<const FaultInjector*> g_active{nullptr};
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint64_t> g_sim_now_bits{0};
+
+}  // namespace
+
+void install(std::shared_ptr<const FaultInjector> injector) {
+  std::lock_guard lock(g_install_mutex);
+  g_active.store(injector.get(), std::memory_order_release);
+  g_installed = std::move(injector);
+}
+
+void uninstall() { install(nullptr); }
+
+const FaultInjector* active() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  return g_active.load(std::memory_order_acquire);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void set_sim_now(double t) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(t));
+  std::memcpy(&bits, &t, sizeof(bits));
+  g_sim_now_bits.store(bits, std::memory_order_relaxed);
+}
+
+double sim_now() {
+  const std::uint64_t bits = g_sim_now_bits.load(std::memory_order_relaxed);
+  double t;
+  std::memcpy(&t, &bits, sizeof(t));
+  return t;
+}
+
+}  // namespace kertbn::fault

@@ -1,0 +1,108 @@
+#pragma once
+/// \file fault_injector.hpp
+/// Deterministic, seeded realization of a FaultPlan.
+///
+/// Every probabilistic decision is a pure function of
+/// (plan seed, decision stream, coordinates) — there is no internal RNG
+/// state, so the injector is thread-safe by construction and the fault
+/// schedule is independent of call order and thread interleaving: the same
+/// plan produces bit-identical decisions whether the pipeline runs serial,
+/// pooled, or in a different phase order.
+///
+/// Installation mirrors the obs layer: a process-global injector pointer
+/// that hot paths read with one relaxed atomic load. With no plan installed
+/// (the default) every hook site reduces to that single load — the
+/// abl_fault_overhead bench guards this at < 1% of the steady-state
+/// reconstruction loop.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "fault/fault_plan.hpp"
+
+namespace kertbn::fault {
+
+/// Realizes one FaultPlan. All methods are const and thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// True while \p agent is inside one of its scheduled crash windows.
+  bool agent_down(std::size_t agent, double now) const;
+
+  /// Per-(agent, interval) report fates — each an independent seeded draw.
+  bool drop_report(std::size_t agent, std::uint64_t interval) const;
+  bool duplicate_report(std::size_t agent, std::uint64_t interval) const;
+  bool delay_report(std::size_t agent, std::uint64_t interval) const;
+
+  /// Possibly corrupts measurement number \p seq of \p service. Returns the
+  /// corrupted value (NaN, negated, or an outlier per the plan's mix), or
+  /// nullopt when this measurement passes through untouched.
+  std::optional<double> corrupt_measurement(std::size_t service,
+                                            std::uint64_t seq,
+                                            double value) const;
+
+  /// True while the decentral fabric is inside a partition window.
+  bool partitioned(double now) const;
+
+ private:
+  /// Independent decision streams (salt so e.g. loss and delay draws for
+  /// the same (agent, interval) are uncorrelated).
+  enum class Stream : std::uint64_t {
+    kLoss = 1,
+    kDuplicate,
+    kDelay,
+    kCorrupt,
+    kCorruptKind,
+  };
+
+  std::uint64_t bits(Stream stream, std::uint64_t a, std::uint64_t b) const;
+  /// Uniform double in [0, 1) for the decision at (stream, a, b).
+  double u01(Stream stream, std::uint64_t a, std::uint64_t b) const;
+
+  FaultPlan plan_;
+};
+
+/// Installs \p injector process-wide (pass nullptr to uninstall). Intended
+/// for run setup, tests, and benches — not for concurrent flipping while
+/// the pipeline is mid-interval.
+void install(std::shared_ptr<const FaultInjector> injector);
+void uninstall();
+
+/// The installed injector for hook sites: one relaxed atomic load, nullptr
+/// when no plan is installed or the kill switch is off.
+const FaultInjector* active();
+
+/// Runtime kill switch (mirrors obs::set_enabled): when off, active()
+/// returns nullptr even with an injector installed.
+bool enabled();
+void set_enabled(bool on);
+
+/// Simulated-time bridge for hook sites that have no clock of their own
+/// (the decentral channels): the test-bed publishes its DES time here.
+void set_sim_now(double t);
+double sim_now();
+
+/// RAII plan installation for tests and benches.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan)
+      : injector_(std::make_shared<const FaultInjector>(std::move(plan))) {
+    install(injector_);
+  }
+  ~ScopedFaultPlan() { uninstall(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  std::shared_ptr<const FaultInjector> injector_;
+};
+
+}  // namespace kertbn::fault

@@ -1,0 +1,76 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Declarative fault schedules for the monitoring / learning pipeline.
+///
+/// The paper assumes an autonomic Grid in which monitoring agents crash,
+/// reports get lost or arrive late, and measurements occasionally come back
+/// garbage. A FaultPlan captures exactly that environment as data: per-agent
+/// crash/restart windows, per-report loss/duplication/delay probabilities,
+/// a measurement-corruption mix (NaN / negative / outlier), and decentral
+/// channel partition windows. A plan plus one seed fully determines every
+/// injected fault (see FaultInjector), so any degraded run is bit-for-bit
+/// reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kertbn::fault {
+
+/// Half-open simulated-time interval [from, until).
+struct TimeWindow {
+  double from = 0.0;
+  double until = 0.0;
+
+  bool contains(double t) const { return t >= from && t < until; }
+};
+
+/// One agent crash: the agent is dead (no measurements recorded, no report
+/// flushed, batched state lost) for the whole window, then restarts clean.
+struct AgentCrash {
+  std::size_t agent = 0;
+  TimeWindow down;
+};
+
+/// Everything that can go wrong, as data. Probabilities are per decision:
+/// loss/duplication/delay per (agent, interval) report, corruption per raw
+/// measurement. All default to "nothing ever fails".
+struct FaultPlan {
+  /// Root of every probabilistic decision; identical seeds replay identical
+  /// fault schedules regardless of thread interleaving.
+  std::uint64_t seed = 0;
+
+  /// Scheduled agent crash/restart windows (deterministic, not sampled).
+  std::vector<AgentCrash> crashes;
+
+  /// P(an agent's interval report is lost entirely).
+  double report_loss_prob = 0.0;
+  /// P(an agent's interval report is delivered twice).
+  double report_duplicate_prob = 0.0;
+  /// P(an agent's interval report is delayed into the next interval,
+  /// arriving out of order behind fresher data).
+  double report_delay_prob = 0.0;
+
+  /// P(a raw elapsed-time measurement is corrupted before recording).
+  double measurement_corrupt_prob = 0.0;
+  /// Relative weights of the corruption kinds (need not sum to 1).
+  double corrupt_nan_weight = 1.0;
+  double corrupt_negative_weight = 1.0;
+  double corrupt_outlier_weight = 1.0;
+  /// Multiplier applied by outlier corruption.
+  double outlier_factor = 100.0;
+
+  /// Windows during which the decentral channel fabric is partitioned:
+  /// every Channel::send is dropped, and the monitoring test-bed treats
+  /// agent reports (which ride the same fabric) as undeliverable.
+  std::vector<TimeWindow> partitions;
+
+  /// True when the plan can never inject anything.
+  bool trivial() const {
+    return crashes.empty() && partitions.empty() && report_loss_prob <= 0.0 &&
+           report_duplicate_prob <= 0.0 && report_delay_prob <= 0.0 &&
+           measurement_corrupt_prob <= 0.0;
+  }
+};
+
+}  // namespace kertbn::fault

@@ -1,6 +1,7 @@
 #include "kert/model_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contract.hpp"
 #include "obs/span.hpp"
@@ -31,7 +32,42 @@ struct ReconstructMetrics {
   }
 };
 
+/// Telemetry for the guard / health layer.
+struct HealthMetrics {
+  obs::Counter& transitions;
+  obs::Counter& failures;
+  obs::Counter& stale_skips;
+  obs::Counter& missed_deadlines;
+  obs::Gauge& state;
+
+  static HealthMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static HealthMetrics m{reg.counter("kert.health.transitions"),
+                           reg.counter("kert.reconstruct.failures"),
+                           reg.counter("kert.reconstruct.stale_skips"),
+                           reg.counter("kert.reconstruct.missed_deadlines"),
+                           reg.gauge("kert.health.state")};
+    return m;
+  }
+};
+
 }  // namespace
+
+const char* to_string(ModelHealth health) {
+  switch (health) {
+    case ModelHealth::kNone:
+      return "none";
+    case ModelHealth::kFresh:
+      return "fresh";
+    case ModelHealth::kStale:
+      return "stale";
+    case ModelHealth::kFallback:
+      return "fallback";
+    case ModelHealth::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
 
 ModelManager::ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
                            Config config)
@@ -44,8 +80,36 @@ ModelManager::ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
 
 std::optional<Reconstruction> ModelManager::maybe_reconstruct(
     double now, const bn::Dataset& window) {
-  if (now < next_due_ || window.rows() == 0) return std::nullopt;
-  Reconstruction rec = reconstruct(now, window);
+  if (now < next_due_) return std::nullopt;
+  if (window.rows() == 0) {
+    // Seed semantics: the deadline stays pending until data exists. The
+    // guard additionally counts the miss (once per deadline) and marks a
+    // serving model stale — an autonomic controller must see that its
+    // model now describes the past.
+    if (config_.guard && last_missed_due_ != next_due_) {
+      last_missed_due_ = next_due_;
+      if (obs::enabled()) HealthMetrics::get().missed_deadlines.add(1);
+      if (model_.has_value()) {
+        set_health(now, ModelHealth::kStale, "empty window at deadline");
+      }
+    }
+    return std::nullopt;
+  }
+  if (config_.guard && model_.has_value() && window_unchanged(window)) {
+    // No data arrived since the last build — rebuilding would reproduce
+    // the same model from the same rows. Skip the work, surface staleness.
+    ++stale_skips_;
+    if (obs::enabled()) HealthMetrics::get().stale_skips.add(1);
+    set_health(now, ModelHealth::kStale, "window unchanged since last build");
+    while (next_due_ <= now) next_due_ += config_.schedule.t_con();
+    return std::nullopt;
+  }
+  std::optional<Reconstruction> rec;
+  if (config_.guard) {
+    rec = try_reconstruct(now, window);
+  } else {
+    rec = reconstruct(now, window);
+  }
   // Schedule the next deadline on the T_CON grid strictly after `now`.
   while (next_due_ <= now) next_due_ += config_.schedule.t_con();
   return rec;
@@ -122,12 +186,16 @@ Reconstruction ModelManager::reconstruct(double now,
   rows_since_reconstruct_ = 0;
   history_.push_back(rec);
 
+  set_health(now, ModelHealth::kFresh, "reconstructed");
+  remember_window(window);
+
   span.tag("at", now);
   span.tag("version", static_cast<std::uint64_t>(rec.version));
   span.tag("window_rows", static_cast<std::uint64_t>(rec.window_rows));
   span.tag("rows_touched", static_cast<std::uint64_t>(rec.rows_touched));
   span.tag("incremental", rec.incremental);
   span.tag("discretizer_refit", rec.discretizer_refit);
+  span.tag("health", to_string(health_));
   if (obs::enabled()) {
     ReconstructMetrics& m = ReconstructMetrics::get();
     m.count.add(1);
@@ -213,6 +281,125 @@ Reconstruction ModelManager::reconstruct_incremental(
   model_ = std::move(result.net);
   rec.report = result.report;
   return rec;
+}
+
+std::optional<Reconstruction> ModelManager::try_reconstruct(
+    double now, const bn::Dataset& window) {
+  if (const char* reason = validate_window(window)) {
+    note_failure(now, reason);
+    return std::nullopt;
+  }
+
+  // Stash the last-known-good serving state. The codebase is contract-based
+  // (no exceptions), so only failures the fit reports by value — a built
+  // model with non-finite output — are recoverable here; everything the
+  // fit would abort on must be ruled out by validate_window above.
+  std::optional<bn::BayesianNetwork> saved_model = model_;
+  std::optional<DatasetDiscretizer> saved_discretizer = discretizer_;
+  std::optional<bn::TabularCpd> saved_d_cpt = d_cpt_cache_;
+  const std::size_t saved_version = version_;
+  const std::size_t saved_discretizer_version = discretizer_version_;
+  const ModelHealth saved_health = health_;
+  const std::size_t saved_transitions = health_history_.size();
+  const std::size_t saved_build_rows = last_build_rows_;
+  std::vector<double> saved_build_window = last_build_window_;
+
+  Reconstruction rec = reconstruct(now, window);
+  if (model_output_finite(window)) return rec;
+
+  // The fit went through but produced a model that cannot serve (NaN CPD
+  // parameters from a degenerate window). Restore the last-known-good
+  // state: the failed build never happened, except in the failure ledger.
+  model_ = std::move(saved_model);
+  discretizer_ = std::move(saved_discretizer);
+  d_cpt_cache_ = std::move(saved_d_cpt);
+  version_ = saved_version;
+  discretizer_version_ = saved_discretizer_version;
+  history_.pop_back();
+  health_ = saved_health;
+  health_history_.resize(saved_transitions);
+  last_build_rows_ = saved_build_rows;
+  last_build_window_ = std::move(saved_build_window);
+  // The incremental statistics may have been reseeded from the bad window;
+  // drop them so the next rebuild recounts from scratch.
+  stats_.reset();
+  note_failure(now, "built model produced non-finite output");
+  return std::nullopt;
+}
+
+const char* ModelManager::validate_window(const bn::Dataset& window) const {
+  if (window.rows() < config_.min_window_rows) {
+    return "window below minimum rows";
+  }
+  if (window.cols() != workflow_.service_count() + 1) {
+    return "window has wrong column count";
+  }
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    for (double v : window.row(r)) {
+      if (!std::isfinite(v)) return "non-finite value in window";
+    }
+  }
+  return nullptr;
+}
+
+bool ModelManager::model_output_finite(const bn::Dataset& window) const {
+  if (!model_.has_value()) return false;
+  // Probe with the window's most recent row: every CPD parameter on the
+  // row's path enters the density, so NaN/Inf parameters surface as a
+  // non-finite log-likelihood. (Smoothing and leak terms keep legitimate
+  // likelihoods finite.)
+  bn::Dataset probe(window.column_names());
+  probe.add_row(window.row(window.rows() - 1));
+  if (discretizer_.has_value()) {
+    const bn::Dataset discrete = discretizer_->discretize(probe);
+    return std::isfinite(model_->log_likelihood(discrete));
+  }
+  return std::isfinite(model_->log_likelihood(probe));
+}
+
+void ModelManager::set_health(double now, ModelHealth to, const char* reason) {
+  if (health_ == to) return;
+  health_history_.push_back(HealthTransition{now, health_, to, reason});
+  health_ = to;
+  if (obs::enabled()) {
+    HealthMetrics& m = HealthMetrics::get();
+    m.transitions.add(1);
+    m.state.set(static_cast<double>(static_cast<int>(to)));
+  }
+}
+
+void ModelManager::note_failure(double now, const char* reason) {
+  ++failed_reconstructions_;
+  last_failure_reason_ = reason;
+  if (obs::enabled()) HealthMetrics::get().failures.add(1);
+  set_health(now,
+             model_.has_value() ? ModelHealth::kFallback
+                                : ModelHealth::kDegraded,
+             reason);
+}
+
+void ModelManager::remember_window(const bn::Dataset& window) {
+  last_build_rows_ = window.rows();
+  last_build_window_.clear();
+  last_build_window_.reserve(window.rows() * window.cols());
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    const auto row = window.row(r);
+    last_build_window_.insert(last_build_window_.end(), row.begin(),
+                              row.end());
+  }
+}
+
+bool ModelManager::window_unchanged(const bn::Dataset& window) const {
+  if (last_build_rows_ == 0 || window.rows() != last_build_rows_) {
+    return false;
+  }
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    for (double v : window.row(r)) {
+      if (v != last_build_window_[i++]) return false;
+    }
+  }
+  return i == last_build_window_.size();
 }
 
 const bn::BayesianNetwork& ModelManager::model() const {

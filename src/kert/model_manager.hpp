@@ -8,6 +8,7 @@
 /// appropriate").
 
 #include <optional>
+#include <string>
 
 #include "kert/kert_builder.hpp"
 #include "kert/reconstruction_executor.hpp"
@@ -15,6 +16,33 @@
 #include "sosim/monitoring.hpp"
 
 namespace kertbn::core {
+
+/// Serving status of the managed model — the health signal an autonomic
+/// controller watches. The state machine:
+///
+///   kNone ──first successful build──▶ kFresh
+///   kFresh ─deadline with no new data─▶ kStale ─new data builds─▶ kFresh
+///   kFresh/kStale ─failed rebuild attempt─▶ kFallback (last-known-good
+///     keeps serving) ─successful rebuild─▶ kFresh
+///   kNone ─failed attempt with nothing to fall back to─▶ kDegraded
+enum class ModelHealth {
+  kNone = 0,      ///< No model has been built yet.
+  kFresh = 1,     ///< Serving a model built from current window data.
+  kStale = 2,     ///< Deadline passed without new data; prior model serves.
+  kFallback = 3,  ///< Last rebuild attempt failed; last-known-good serves.
+  kDegraded = 4,  ///< Rebuild failed and there is no model to fall back to.
+};
+
+const char* to_string(ModelHealth health);
+
+/// One health-state change, in order. With a fixed fault schedule this
+/// history is deterministic — the reproducibility tests replay it.
+struct HealthTransition {
+  double at = 0.0;  ///< Simulated time of the change.
+  ModelHealth from = ModelHealth::kNone;
+  ModelHealth to = ModelHealth::kNone;
+  std::string reason;
+};
 
 /// One completed reconstruction.
 struct Reconstruction {
@@ -56,6 +84,15 @@ class ModelManager {
     /// retained data stays inside its fitted range stretched by this
     /// fraction of the per-column span; refit — and recount — otherwise.
     double discretizer_range_tolerance = 0.05;
+    /// Guard the scheduled rebuild path (maybe_reconstruct): validate the
+    /// window before fitting and the model after, and on failure keep the
+    /// last-known-good model serving instead of aborting. Disable for the
+    /// seed's fail-fast behavior.
+    bool guard = true;
+    /// Guarded rebuilds need at least this many window rows; shorter
+    /// windows fail the attempt (variance and Gram moments are meaningless
+    /// below two observations).
+    std::size_t min_window_rows = 2;
   };
 
   ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
@@ -68,6 +105,13 @@ class ModelManager {
 
   /// If \p now has reached the next construction deadline and the window is
   /// non-empty, rebuilds the model from scratch and returns the record.
+  ///
+  /// With config().guard (the default) this is the degraded-mode entry
+  /// point: an unchanged window skips the rebuild and marks the model
+  /// stale; a window that fails validation — or a fit that produces a
+  /// non-finite model — counts a failure and leaves the last-known-good
+  /// model serving (health kFallback, or kDegraded when no model exists
+  /// yet). Returns nullopt in every non-rebuilding case.
   std::optional<Reconstruction> maybe_reconstruct(double now,
                                                   const bn::Dataset& window);
 
@@ -93,6 +137,24 @@ class ModelManager {
   std::size_t version() const { return version_; }
   const std::vector<Reconstruction>& history() const { return history_; }
 
+  /// Current serving status (see ModelHealth).
+  ModelHealth health() const { return health_; }
+  /// Every health-state change so far, in order.
+  const std::vector<HealthTransition>& health_history() const {
+    return health_history_;
+  }
+  /// Guarded rebuild attempts that failed (window rejected or model
+  /// invalid); each left the previous model serving.
+  std::size_t failed_reconstructions() const {
+    return failed_reconstructions_;
+  }
+  /// Deadlines skipped because the window held no new data.
+  std::size_t stale_skips() const { return stale_skips_; }
+  /// Reason of the most recent failed attempt ("" when none failed yet).
+  const std::string& last_failure_reason() const {
+    return last_failure_reason_;
+  }
+
  private:
   /// Fresh WindowStats sized from the schedule (residual fn attached in
   /// continuous mode for leak calibration).
@@ -105,6 +167,22 @@ class ModelManager {
                                   ThreadPool* pool);
   Reconstruction reconstruct_incremental(const bn::Dataset& window,
                                          ThreadPool* pool);
+
+  /// Guarded rebuild: pre-validates the window, stashes the last-known-good
+  /// model, rebuilds, post-validates, and restores on failure.
+  std::optional<Reconstruction> try_reconstruct(double now,
+                                                const bn::Dataset& window);
+  /// Reason the window is unusable for a rebuild, or nullptr when fine.
+  const char* validate_window(const bn::Dataset& window) const;
+  /// True when the freshly built model yields finite output on the last
+  /// window row (non-finite CPD parameters surface here).
+  bool model_output_finite(const bn::Dataset& window) const;
+  void set_health(double now, ModelHealth to, const char* reason);
+  void note_failure(double now, const char* reason);
+  /// Full-content snapshot/compare of the last successfully built window —
+  /// the staleness signal for unchanged-window deadlines.
+  void remember_window(const bn::Dataset& window);
+  bool window_unchanged(const bn::Dataset& window) const;
 
   wf::Workflow workflow_;
   wf::ResourceSharing sharing_;
@@ -121,6 +199,15 @@ class ModelManager {
   /// Deterministic response CPT cached per discretizer version (rebuilding
   /// it costs bins^n integrations — the dominant discrete-mode cost).
   std::optional<bn::TabularCpd> d_cpt_cache_;
+  // Health / guard state.
+  ModelHealth health_ = ModelHealth::kNone;
+  std::vector<HealthTransition> health_history_;
+  std::size_t failed_reconstructions_ = 0;
+  std::size_t stale_skips_ = 0;
+  std::string last_failure_reason_;
+  double last_missed_due_ = -1.0;  ///< Deadline already counted as missed.
+  std::size_t last_build_rows_ = 0;
+  std::vector<double> last_build_window_;  ///< Flattened row-major copy.
 };
 
 }  // namespace kertbn::core

@@ -145,8 +145,15 @@ Matrix inverse(const Matrix& a) {
   return lu->solve(Matrix::identity(a.rows()));
 }
 
-Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
-                              double ridge) {
+std::optional<Matrix> try_inverse(const Matrix& a) {
+  auto lu = Lu::factor(a);
+  if (!lu.has_value()) return std::nullopt;
+  return lu->solve(Matrix::identity(a.rows()));
+}
+
+std::optional<Vector> try_solve_normal_equations(const Matrix& xtx,
+                                                 const Vector& xty,
+                                                 double ridge) {
   KERTBN_EXPECTS(xtx.rows() == xtx.cols());
   KERTBN_EXPECTS(xtx.rows() == xty.size());
   const std::size_t p = xtx.rows();
@@ -160,8 +167,16 @@ Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
     for (std::size_t i = 0; i < p; ++i) bumped(i, i) += boost;
     if (auto c2 = Cholesky::factor(bumped)) return c2->solve(xty);
   }
-  KERTBN_ASSERT(false && "solve_normal_equations: design matrix unusable");
-  return Vector(p);
+  return std::nullopt;
+}
+
+Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
+                              double ridge) {
+  auto beta = try_solve_normal_equations(xtx, xty, ridge);
+  KERTBN_ASSERT(beta.has_value() &&
+                "solve_normal_equations: design matrix unusable");
+  if (!beta.has_value()) return Vector(xtx.rows());
+  return std::move(*beta);
 }
 
 Vector least_squares(const Matrix& x, const Vector& y, double ridge) {

@@ -58,6 +58,12 @@ class Lu {
 /// Inverse via LU; contract-fails on singular input. Prefer solve() forms.
 Matrix inverse(const Matrix& a);
 
+/// Inverse via LU that reports failure instead of aborting: returns
+/// std::nullopt when \p a is singular to working precision. The guard path
+/// of the model manager uses this to demote a degenerate reconstruction to
+/// a fallback instead of crashing the pipeline.
+std::optional<Matrix> try_inverse(const Matrix& a);
+
 /// Ordinary least squares fit of y ≈ X·beta using the normal equations with
 /// Tikhonov ridge \p ridge on the diagonal (keeps collinear designs stable —
 /// common when two services' elapsed times move in lockstep).
@@ -71,6 +77,14 @@ Vector least_squares(const Matrix& x, const Vector& y, double ridge = 1e-9);
 /// ridge-escalation fallback for ill-conditioned designs.
 Vector solve_normal_equations(const Matrix& xtx, const Vector& xty,
                               double ridge = 1e-9);
+
+/// Like solve_normal_equations(), but reports an unusable design (Gram
+/// matrix not SPD even after the full ridge-escalation ladder — e.g. a
+/// non-finite moment from corrupted inputs) as std::nullopt instead of
+/// contract-failing. solve_normal_equations() delegates here and asserts.
+std::optional<Vector> try_solve_normal_equations(const Matrix& xtx,
+                                                 const Vector& xty,
+                                                 double ridge = 1e-9);
 
 /// Sample mean of each column of a data matrix (rows = observations).
 Vector column_means(const Matrix& data);

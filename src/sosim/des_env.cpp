@@ -80,17 +80,22 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       return;
     }
     case wf::NodeKind::kSequence: {
-      // Run children serially via a self-referential continuation.
+      // Run children serially via a self-referential continuation. The
+      // stored function holds only a weak self-reference — each scheduled
+      // continuation carries the strong one — so the chain is freed when
+      // its last event fires instead of leaking as a shared_ptr cycle.
       auto advance = std::make_shared<std::function<void(std::size_t, double)>>();
-      *advance = [this, &node, trace, done, advance](std::size_t idx,
-                                                     double at) {
+      std::weak_ptr<std::function<void(std::size_t, double)>> weak = advance;
+      *advance = [this, &node, trace, done, weak](std::size_t idx,
+                                                  double at) {
         if (idx == node.children().size()) {
           done(at);
           return;
         }
+        auto self = weak.lock();
         execute_node(*node.children()[idx], at, trace,
-                     [advance, idx](double finished) {
-                       (*advance)(idx + 1, finished);
+                     [self, idx](double finished) {
+                       (*self)(idx + 1, finished);
                      });
       };
       (*advance)(0, start);
@@ -114,13 +119,16 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       return;
     }
     case wf::NodeKind::kLoop: {
+      // Same weak-self pattern as kSequence to avoid the cycle leak.
       const double repeat = node.repeat_prob();
       auto again = std::make_shared<std::function<void(double)>>();
-      *again = [this, &node, trace, done, again, repeat](double at) {
+      std::weak_ptr<std::function<void(double)>> weak = again;
+      *again = [this, &node, trace, done, weak, repeat](double at) {
+        auto self = weak.lock();
         execute_node(*node.children().front(), at, trace,
-                     [this, done, again, repeat](double finished) {
+                     [this, done, self, repeat](double finished) {
                        if (rng_.bernoulli(repeat)) {
-                         (*again)(finished);
+                         (*self)(finished);
                        } else {
                          done(finished);
                        }

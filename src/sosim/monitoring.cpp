@@ -17,8 +17,11 @@ struct MonitorMetrics {
   obs::Counter& rows_ingested;
   obs::Counter& rows_dropped;
   obs::Counter& values_carried_forward;
+  obs::Counter& values_quarantined;
+  obs::Counter& duplicate_values;
   obs::Counter& reports;
   obs::Histogram& batch_size;
+  obs::Gauge& window_staleness;
 
   static MonitorMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -26,13 +29,31 @@ struct MonitorMetrics {
                             reg.counter("monitor.rows_ingested"),
                             reg.counter("monitor.rows_dropped"),
                             reg.counter("monitor.values_carried_forward"),
+                            reg.counter("monitor.values_quarantined"),
+                            reg.counter("monitor.duplicate_values"),
                             reg.counter("monitor.reports"),
-                            reg.histogram("monitor.agent_batch_size")};
+                            reg.histogram("monitor.agent_batch_size"),
+                            reg.gauge("monitor.window_staleness")};
     return m;
   }
 };
 
+/// A reported mean the server can trust: finite and non-negative. Anything
+/// else is quarantined rather than entering the window.
+bool usable_mean(double mean) { return std::isfinite(mean) && mean >= 0.0; }
+
 }  // namespace
+
+namespace detail {
+
+void note_rejected_measurement() {
+  if (!obs::enabled()) return;
+  static obs::Counter& rejected = obs::MetricsRegistry::instance().counter(
+      "kert.monitoring.rejected_measurements");
+  rejected.add(1);
+}
+
+}  // namespace detail
 
 MonitoringAgent::MonitoringAgent(std::size_t id,
                                  std::vector<std::size_t> services)
@@ -42,15 +63,22 @@ MonitoringAgent::MonitoringAgent(std::size_t id,
   for (std::size_t s : services_) points_.emplace_back(s);
 }
 
-void MonitoringAgent::record(std::size_t service, double elapsed) {
+bool MonitoringAgent::record(std::size_t service, double elapsed) {
   auto it = std::find(services_.begin(), services_.end(), service);
   KERTBN_EXPECTS(it != services_.end());
-  points_[static_cast<std::size_t>(it - services_.begin())].record(elapsed);
+  return points_[static_cast<std::size_t>(it - services_.begin())]
+      .record(elapsed);
 }
 
 bool MonitoringAgent::has_complete_batch() const {
   return std::all_of(points_.begin(), points_.end(),
                      [](const MonitoringPoint& p) { return p.count() > 0; });
+}
+
+std::size_t MonitoringAgent::rejected_measurements() const {
+  std::size_t total = 0;
+  for (const auto& p : points_) total += p.rejected();
+  return total;
 }
 
 AgentReport MonitoringAgent::flush() {
@@ -78,10 +106,12 @@ AgentReport MonitoringAgent::flush() {
 
 ManagementServer::ManagementServer(std::vector<std::string> service_names,
                                    ModelSchedule schedule,
-                                   MissingServicePolicy policy)
+                                   MissingServicePolicy policy,
+                                   DuplicateCoveragePolicy duplicate_policy)
     : n_services_(service_names.size()),
       schedule_(schedule),
       policy_(policy),
+      duplicate_policy_(duplicate_policy),
       window_([&] {
         auto cols = std::move(service_names);
         cols.push_back("D");
@@ -95,16 +125,59 @@ bool ManagementServer::ingest_interval(
     const std::vector<AgentReport>& reports, double response_mean) {
   if (obs::enabled()) MonitorMetrics::get().intervals.add(1);
   std::size_t carried = 0;
+  std::size_t fresh = 0;
   std::vector<double> row(n_services_ + 1, 0.0);
   std::vector<bool> seen(n_services_, false);
   for (const auto& report : reports) {
     for (const auto& [service, mean] : report.service_means) {
       KERTBN_EXPECTS(service < n_services_);
-      KERTBN_EXPECTS(!seen[service]);
+      if (!usable_mean(mean)) {
+        // A corrupted mean is quarantined: it neither fills the cell nor
+        // updates the carry-forward state. The service falls through to
+        // the MissingServicePolicy below.
+        ++quarantined_values_;
+        if (obs::enabled()) MonitorMetrics::get().values_quarantined.add(1);
+        continue;
+      }
+      if (seen[service]) {
+        ++duplicate_values_;
+        if (obs::enabled()) MonitorMetrics::get().duplicate_values.add(1);
+        switch (duplicate_policy_) {
+          case DuplicateCoveragePolicy::kFail:
+            KERTBN_EXPECTS(!seen[service] && "duplicate service coverage");
+            break;
+          case DuplicateCoveragePolicy::kFirstWins:
+            continue;
+          case DuplicateCoveragePolicy::kLastWins:
+            break;  // fall through to overwrite
+        }
+      } else {
+        ++fresh;
+      }
       seen[service] = true;
       row[service] = mean;
       last_seen_[service] = mean;
     }
+  }
+  // The response mean is not optional — a corrupted D drops the interval
+  // (fabricating an end-to-end response time would bias the very quantity
+  // the model predicts).
+  if (!usable_mean(response_mean)) {
+    ++quarantined_values_;
+    if (obs::enabled()) MonitorMetrics::get().values_quarantined.add(1);
+    ++dropped_intervals_;
+    if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
+    interval_yielded_no_row();
+    return false;
+  }
+  // An interval with no fresh service observation at all would be a row
+  // made entirely of carried-forward history — fabricated data that also
+  // masks staleness. Treat it as missed instead.
+  if (fresh == 0) {
+    ++dropped_intervals_;
+    if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
+    interval_yielded_no_row();
+    return false;
   }
   for (std::size_t s = 0; s < n_services_; ++s) {
     if (seen[s]) continue;
@@ -117,6 +190,7 @@ bool ManagementServer::ingest_interval(
           // Nothing to carry yet — the interval cannot form a usable row.
           ++dropped_intervals_;
           if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
+          interval_yielded_no_row();
           return false;
         }
         row[s] = *last_seen_[s];
@@ -125,6 +199,7 @@ bool ManagementServer::ingest_interval(
       case MissingServicePolicy::kDropRow:
         ++dropped_intervals_;
         if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
+        interval_yielded_no_row();
         return false;
     }
   }
@@ -132,13 +207,30 @@ bool ManagementServer::ingest_interval(
   window_.add_row(row);
   ++total_points_;
   window_.keep_last_rows(schedule_.points_per_window());
+  consecutive_missed_intervals_ = 0;
   if (obs::enabled()) {
     MonitorMetrics& m = MonitorMetrics::get();
     m.rows_ingested.add(1);
     if (carried > 0) m.values_carried_forward.add(carried);
+    m.window_staleness.set(0.0);
   }
   if (observer_) observer_(row);
   return true;
+}
+
+void ManagementServer::note_missed_interval() {
+  if (obs::enabled()) MonitorMetrics::get().intervals.add(1);
+  ++dropped_intervals_;
+  if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
+  interval_yielded_no_row();
+}
+
+void ManagementServer::interval_yielded_no_row() {
+  ++consecutive_missed_intervals_;
+  if (obs::enabled()) {
+    MonitorMetrics::get().window_staleness.set(
+        static_cast<double>(consecutive_missed_intervals_));
+  }
 }
 
 }  // namespace kertbn::sim

@@ -6,6 +6,7 @@
 /// management server assembles per-interval data points and maintains the
 /// sliding window W = K · T_CON used for model (re)construction.
 
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -17,6 +18,12 @@
 #include "common/contract.hpp"
 
 namespace kertbn::sim {
+
+namespace detail {
+/// Bumps the kert.monitoring.rejected_measurements obs counter (no-op when
+/// telemetry is disabled). Out-of-line so the header stays obs-free.
+void note_rejected_measurement();
+}  // namespace detail
 
 /// The periodic (re)construction scheme of Equations 1-2.
 struct ModelSchedule {
@@ -34,16 +41,33 @@ struct ModelSchedule {
 
 /// A monitoring point: accumulates one service's raw elapsed-time
 /// measurements for the current reporting interval.
+///
+/// Measurements are validated at the point of entry: an elapsed time that
+/// is NaN, infinite, or negative (clock skew, a corrupted probe, a crashed
+/// middleware timer) would silently poison the interval mean and every
+/// downstream Gram update, so it is quarantined instead — counted, never
+/// accumulated.
 class MonitoringPoint {
  public:
   explicit MonitoringPoint(std::size_t service) : service_(service) {}
 
   std::size_t service() const { return service_; }
-  void record(double elapsed) {
+  /// Accumulates one measurement; rejects non-finite or negative values.
+  /// Returns false (and counts the rejection) when the value is invalid.
+  bool record(double elapsed) {
+    if (!std::isfinite(elapsed) || elapsed < 0.0) {
+      ++rejected_;
+      detail::note_rejected_measurement();
+      return false;
+    }
     sum_ += elapsed;
     ++count_;
+    return true;
   }
   std::size_t count() const { return count_; }
+  /// Invalid measurements quarantined over the point's lifetime (clear()
+  /// resets the interval batch, not this total).
+  std::size_t rejected() const { return rejected_; }
   /// Interval mean; contract-fails when empty. Callers that cannot rule
   /// out an empty interval (a service no request hit this T_DATA) should
   /// use maybe_mean() instead.
@@ -65,6 +89,7 @@ class MonitoringPoint {
   std::size_t service_;
   double sum_ = 0.0;
   std::size_t count_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 /// One per-interval batched report from an agent.
@@ -82,11 +107,16 @@ class MonitoringAgent {
   std::size_t id() const { return id_; }
   const std::vector<std::size_t>& services() const { return services_; }
 
-  /// Records one measurement for \p service (must be hosted here).
-  void record(std::size_t service, double elapsed);
+  /// Records one measurement for \p service (must be hosted here). Invalid
+  /// values are quarantined by the monitoring point; returns whether the
+  /// measurement was accepted.
+  bool record(std::size_t service, double elapsed);
 
   /// True when every hosted service has at least one measurement batched.
   bool has_complete_batch() const;
+
+  /// Invalid measurements quarantined across all hosted services.
+  std::size_t rejected_measurements() const;
 
   /// Emits the batched interval means and clears the batch.
   AgentReport flush();
@@ -112,6 +142,20 @@ enum class MissingServicePolicy {
   kDropRow,
 };
 
+/// What the management server does when an interval's reports cover the
+/// same service more than once (a duplicated report on a lossy fabric, or
+/// a restarted agent re-sending its last batch).
+enum class DuplicateCoveragePolicy {
+  /// Contract-fail — the strict seed behavior.
+  kFail,
+  /// Keep the first value seen, ignore later duplicates (the default:
+  /// fresh reports are ingested before replayed/delayed ones, so first
+  /// wins prefers current data).
+  kFirstWins,
+  /// Let later duplicates overwrite earlier values.
+  kLastWins,
+};
+
 /// The management server: assembles agent reports plus end-to-end response
 /// times into data points (one per T_DATA interval) and maintains the
 /// sliding window of Equation 1.
@@ -126,10 +170,15 @@ class ManagementServer {
   ManagementServer(std::vector<std::string> service_names,
                    ModelSchedule schedule,
                    MissingServicePolicy policy =
-                       MissingServicePolicy::kCarryForward);
+                       MissingServicePolicy::kCarryForward,
+                   DuplicateCoveragePolicy duplicate_policy =
+                       DuplicateCoveragePolicy::kFirstWins);
 
   const ModelSchedule& schedule() const { return schedule_; }
   MissingServicePolicy policy() const { return policy_; }
+  DuplicateCoveragePolicy duplicate_policy() const {
+    return duplicate_policy_;
+  }
 
   void set_row_observer(RowObserver observer) {
     observer_ = std::move(observer);
@@ -137,10 +186,21 @@ class ManagementServer {
 
   /// Ingests one interval's reports plus the interval-mean response time.
   /// Services missing from the reports are handled per the configured
-  /// MissingServicePolicy; duplicate coverage always contract-fails.
-  /// Returns true when a row entered the window.
+  /// MissingServicePolicy; duplicate coverage per DuplicateCoveragePolicy.
+  /// Non-finite or negative reported means (including the response mean)
+  /// are quarantined — a bad service mean counts as a missing service, and
+  /// a bad response mean drops the interval. A row must carry at least one
+  /// fresh (non-carried) service value; an all-carried row is fabricated
+  /// data and is dropped instead. Returns true when a row entered the
+  /// window.
   bool ingest_interval(const std::vector<AgentReport>& reports,
                        double response_mean);
+
+  /// Records an interval that produced no ingestable reports at all (the
+  /// caller never had anything to hand to ingest_interval — e.g. every
+  /// agent was down). Feeds the same staleness accounting as a dropped
+  /// interval.
+  void note_missed_interval();
 
   /// Rows currently in the sliding window (at most K·α).
   std::size_t window_rows() const { return window_.rows(); }
@@ -155,13 +215,33 @@ class ManagementServer {
   /// never-seen service).
   std::size_t dropped_intervals() const { return dropped_intervals_; }
 
+  /// Reported means quarantined as non-finite or negative.
+  std::size_t quarantined_values() const { return quarantined_values_; }
+
+  /// Duplicate service coverages tolerated under kFirstWins/kLastWins.
+  std::size_t duplicate_values() const { return duplicate_values_; }
+
+  /// Window staleness: consecutive intervals that ended with no new row
+  /// (dropped, quarantined, or missed outright). Resets to 0 whenever a
+  /// row enters the window.
+  std::size_t consecutive_missed_intervals() const {
+    return consecutive_missed_intervals_;
+  }
+
  private:
+  /// Shared bookkeeping for every way an interval can fail to yield a row.
+  void interval_yielded_no_row();
+
   std::size_t n_services_;
   ModelSchedule schedule_;
   MissingServicePolicy policy_;
+  DuplicateCoveragePolicy duplicate_policy_;
   bn::Dataset window_;
   std::size_t total_points_ = 0;
   std::size_t dropped_intervals_ = 0;
+  std::size_t quarantined_values_ = 0;
+  std::size_t duplicate_values_ = 0;
+  std::size_t consecutive_missed_intervals_ = 0;
   std::vector<std::optional<double>> last_seen_;
   RowObserver observer_;
 };

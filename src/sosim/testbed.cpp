@@ -1,6 +1,7 @@
 #include "sosim/testbed.hpp"
 
 #include "common/contract.hpp"
+#include "fault/fault_injector.hpp"
 #include "workflow/ediamond.hpp"
 
 namespace kertbn::sim {
@@ -21,12 +22,32 @@ MonitoredTestbed::MonitoredTestbed(DesEnvironment environment, HostMap hosts,
     agent_of_host_[h] = agents_.size();
     agents_.emplace_back(h, per_host[h]);
   }
+  measurement_seq_.assign(hosts_.host_of.size(), 0);
 }
 
 bool MonitoredTestbed::advance_interval() {
+  const double interval_start = env_.now();
   env_.run_for(server_.schedule().t_data);
+  const double interval_end = env_.now();
+  const std::size_t interval = interval_index_++;
 
-  // Route the interval's completed traces through the monitoring points.
+  // Publish simulation time to the fault layer so channel partitions and
+  // crash windows scheduled in sim seconds resolve correctly.
+  const fault::FaultInjector* inj = fault::active();
+  if (inj != nullptr) fault::set_sim_now(interval_end);
+
+  // An agent is "down" this interval when its crash window covers either
+  // endpoint: a crashed agent batches nothing and reports nothing (its
+  // in-flight measurements die with it).
+  auto agent_down = [&](std::size_t agent_id) {
+    return inj != nullptr && (inj->agent_down(agent_id, interval_start) ||
+                              inj->agent_down(agent_id, interval_end));
+  };
+
+  // Route the interval's completed traces through the monitoring points,
+  // applying per-measurement corruption on the way (a corrupted NaN or
+  // negative value is quarantined by the point; an outlier passes — it is
+  // a legitimate-looking measurement and must be survived downstream).
   double response_sum = 0.0;
   std::size_t response_count = 0;
   const auto& traces = env_.traces();
@@ -36,24 +57,66 @@ bool MonitoredTestbed::advance_interval() {
     ++response_count;
     for (std::size_t s = 0; s < trace.service_times.size(); ++s) {
       if (!trace.service_times[s].has_value()) continue;
-      agents_[agent_of_host_[hosts_.host_of[s]]].record(
-          s, *trace.service_times[s]);
+      const std::size_t agent_id = hosts_.host_of[s];
+      const std::size_t seq = measurement_seq_[s]++;
+      if (agent_down(agent_id)) continue;
+      double elapsed = *trace.service_times[s];
+      if (inj != nullptr) {
+        if (const auto corrupted = inj->corrupt_measurement(s, seq, elapsed)) {
+          elapsed = *corrupted;
+        }
+      }
+      agents_[agent_of_host_[agent_id]].record(s, elapsed);
     }
   }
 
   // A data point needs full coverage: every agent must have heard from
   // every hosted service this interval (the paper's dComp handles gaps;
-  // the server itself only assembles complete rows).
+  // the server itself only assembles complete rows). Under an installed
+  // fault injector gaps are the expected case, so incomplete intervals
+  // are handed to the server's MissingServicePolicy instead of skipped.
+  const bool tolerate_gaps = ingest_incomplete_ || inj != nullptr;
   bool complete = response_count > 0;
   for (const auto& agent : agents_) {
     complete = complete && agent.has_complete_batch();
   }
+
+  // Flush every agent (clears batches either way) and run each report
+  // through the fault plan's report fabric: crash discards, loss drops,
+  // partition drops everything, duplication re-sends, delay buffers the
+  // report for the next interval.
+  const bool partitioned = inj != nullptr && inj->partitioned(interval_end);
   std::vector<AgentReport> reports;
-  reports.reserve(agents_.size());
+  reports.reserve(agents_.size() + delayed_.size());
+  std::vector<AgentReport> delayed_next;
   for (auto& agent : agents_) {
-    reports.push_back(agent.flush());  // clears batches either way
+    AgentReport report = agent.flush();
+    if (report.service_means.empty()) continue;
+    if (agent_down(report.agent) || partitioned) continue;
+    if (inj != nullptr) {
+      if (inj->drop_report(report.agent, interval)) continue;
+      if (inj->delay_report(report.agent, interval)) {
+        delayed_next.push_back(std::move(report));
+        continue;
+      }
+      if (inj->duplicate_report(report.agent, interval)) {
+        reports.push_back(report);
+      }
+    }
+    reports.push_back(std::move(report));
   }
-  if (!complete) return false;
+  // Last interval's delayed reports arrive now — after the fresh ones, so
+  // kFirstWins keeps current data. A partition also swallows them.
+  if (!partitioned) {
+    for (auto& report : delayed_) reports.push_back(std::move(report));
+  }
+  delayed_ = std::move(delayed_next);
+
+  if (!tolerate_gaps && !complete) return false;
+  if (response_count == 0 || reports.empty()) {
+    if (tolerate_gaps) server_.note_missed_interval();
+    return false;
+  }
   return server_.ingest_interval(reports,
                                  response_sum / double(response_count));
 }

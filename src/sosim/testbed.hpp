@@ -30,9 +30,28 @@ class MonitoredTestbed {
   /// (T_DATA): runs the DES, routes each completed request's per-service
   /// elapsed times through the owning machine's monitoring agent, then
   /// flushes every agent's batch to the management server as one data
-  /// point. Intervals with no complete coverage are skipped (no row).
+  /// point. Intervals with no complete coverage are skipped (no row)
+  /// unless incomplete ingestion is enabled (see set_ingest_incomplete).
   /// Returns true when a data point was ingested.
+  ///
+  /// When a fault injector is installed (fault::install) the interval runs
+  /// under it: corrupted measurements flow through the monitoring points'
+  /// quarantine, a crashed agent's batch is discarded, reports are
+  /// dropped / duplicated / delayed one interval per the plan, and a
+  /// partitioned fabric delivers no reports at all. Delayed reports are
+  /// re-delivered *after* the following interval's fresh reports, so the
+  /// server's kFirstWins duplicate policy prefers current data.
   bool advance_interval();
+
+  /// When true, intervals with incomplete coverage are still handed to the
+  /// management server (its MissingServicePolicy fills or drops the row)
+  /// instead of being skipped wholesale. Defaults to false — the strict
+  /// seed behavior — but is treated as true while a fault injector is
+  /// installed, since faults make gaps the expected case.
+  void set_ingest_incomplete(bool v) { ingest_incomplete_ = v; }
+
+  /// Data-collection intervals advanced so far.
+  std::size_t interval_index() const { return interval_index_; }
 
   /// Advances \p n construction intervals (alpha data intervals each) and
   /// invokes \p on_construction_due(now) at every T_CON boundary.
@@ -50,6 +69,13 @@ class MonitoredTestbed {
   std::vector<std::size_t> agent_of_host_;  ///< host -> agents_ index.
   ManagementServer server_;
   std::size_t next_trace_ = 0;  ///< First trace not yet routed to agents.
+  std::size_t interval_index_ = 0;
+  bool ingest_incomplete_ = false;
+  /// Reports delayed by the fault plan, re-delivered next interval.
+  std::vector<AgentReport> delayed_;
+  /// Per-service measurement sequence numbers — the deterministic
+  /// coordinates corruption decisions are keyed on.
+  std::vector<std::size_t> measurement_seq_;
 };
 
 /// The eDiaMoND test-bed with monitoring, at the Section 5 schedule.

@@ -9,11 +9,11 @@ namespace {
 
 TEST(Channel, FifoOrder) {
   Channel ch;
-  ch.send({1, {1.0}});
-  ch.send({2, {2.0}});
+  EXPECT_TRUE(ch.send({1, {1.0}}));
+  EXPECT_TRUE(ch.send({2, {2.0}}));
   EXPECT_EQ(ch.pending(), 2u);
-  EXPECT_EQ(ch.receive().from_service, 1u);
-  EXPECT_EQ(ch.receive().from_service, 2u);
+  EXPECT_EQ(ch.receive()->from_service, 1u);
+  EXPECT_EQ(ch.receive()->from_service, 2u);
   EXPECT_EQ(ch.pending(), 0u);
 }
 
@@ -29,18 +29,57 @@ TEST(Channel, TryReceiveOnEmpty) {
 TEST(Channel, PayloadSurvivesTransfer) {
   Channel ch;
   ch.send({3, {0.1, 0.2, 0.3}});
-  const DataMessage msg = ch.receive();
-  EXPECT_EQ(msg.column, (std::vector<double>{0.1, 0.2, 0.3}));
+  const std::optional<DataMessage> msg = ch.receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->column, (std::vector<double>{0.1, 0.2, 0.3}));
 }
 
 TEST(Channel, BlockingReceiveWakesOnSend) {
   Channel ch;
   double got = 0.0;
-  std::thread receiver([&ch, &got] { got = ch.receive().column[0]; });
+  std::thread receiver([&ch, &got] { got = ch.receive()->column[0]; });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   ch.send({0, {42.0}});
   receiver.join();
   EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+// Regression: before close() existed, a receiver whose peer never sent
+// blocked forever — this exact test deadlocked the suite.
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Channel ch;
+  bool woke_empty = false;
+  std::thread receiver(
+      [&ch, &woke_empty] { woke_empty = !ch.receive().has_value(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  receiver.join();
+  EXPECT_TRUE(woke_empty);
+}
+
+TEST(Channel, ReceiveForTimesOutOnSilentPeer) {
+  Channel ch;
+  const auto msg = ch.receive_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(msg.has_value());
+}
+
+TEST(Channel, PendingMessagesDrainAfterClose) {
+  Channel ch;
+  ch.send({7, {1.5}});
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  // Close is shutdown, not destruction: queued data is still deliverable.
+  const auto msg = ch.receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from_service, 7u);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, SendToClosedChannelIsRejected) {
+  Channel ch;
+  ch.close();
+  EXPECT_FALSE(ch.send({1, {1.0}}));
+  EXPECT_EQ(ch.pending(), 0u);
 }
 
 TEST(Channel, ManyProducersOneConsumer) {

@@ -6,6 +6,7 @@
 
 #include "bn/deterministic_cpd.hpp"
 #include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
 #include "kert/kert_builder.hpp"
 #include "sosim/synthetic.hpp"
 
@@ -117,6 +118,49 @@ TEST(DecentralizedLearning, DiscreteNetworkAlsoSupported) {
     EXPECT_EQ(net.cpd(v).kind(), bn::CpdKind::kTabular);
   }
   EXPECT_GT(report.centralized_seconds, 0.0);
+}
+
+// Regression: with every channel partitioned no parent batch is ever
+// delivered. Before the degraded-mode shutdown (close + bounded retries)
+// each agent blocked forever in receive() and this test hung the suite.
+TEST(DecentralizedLearning, TerminatesWhenFabricFullyPartitioned) {
+  Fixture fx(9, 100);
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.partitions.push_back({0.0, 1e12});  // partitioned for the whole run
+  fault::ScopedFaultPlan scoped(plan);
+  fault::set_sim_now(1.0);
+
+  bn::BayesianNetwork net = fx.skeleton;
+  DecentralizedOptions degraded;
+  degraded.receive_timeout = std::chrono::milliseconds(1);
+  const DecentralizedReport report =
+      learn_parameters_decentralized(net, fx.train, {}, nullptr, degraded);
+  // Every parent batch was lost, yet every agent still fitted a
+  // full-arity CPD (missing columns zero-filled).
+  EXPECT_TRUE(net.is_complete());
+  EXPECT_EQ(report.values_shipped, 0u);
+  EXPECT_EQ(report.messages_lost, report.messages_sent);
+  EXPECT_GT(report.degraded_agents, 0u);
+}
+
+TEST(DecentralizedLearning, LossyRoundStillMatchesArity) {
+  // Under a partition the fitted weights differ (missing signal), but the
+  // model stays structurally sound and serves finite predictions.
+  Fixture fx(10, 100);
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.partitions.push_back({0.0, 1e12});
+  fault::ScopedFaultPlan scoped(plan);
+  fault::set_sim_now(1.0);
+
+  bn::BayesianNetwork net = fx.skeleton;
+  DecentralizedOptions degraded;
+  degraded.receive_timeout = std::chrono::milliseconds(1);
+  learn_parameters_decentralized(net, fx.train, {}, nullptr, degraded);
+  kertbn::Rng rng(11);
+  const bn::Dataset probe = fx.env.generate(20, rng);
+  EXPECT_TRUE(std::isfinite(net.log_likelihood(probe)));
 }
 
 TEST(DecentralizedLearning, ScalesAcrossRandomEnvironments) {

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "kert/model_manager.hpp"
+#include "sosim/synthetic.hpp"
+#include "sosim/testbed.hpp"
+
+namespace kertbn {
+namespace {
+
+/// The canonical fault scenario of the robustness acceptance criteria:
+/// a seeded eDiaMoND run at T_DATA = 10 s, alpha = 6, K = 3 (T_CON = 60 s)
+/// with 10% report loss, one mid-run agent crash/restart, and one 2·T_CON
+/// channel partition.
+sim::ModelSchedule scenario_schedule() { return sim::ModelSchedule{10.0, 6, 3}; }
+
+fault::FaultPlan scenario_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 2026;
+  plan.report_loss_prob = 0.10;
+  // Agent on host 1 (image locator, local site) crashes at t=250 s and
+  // restarts one minute later.
+  plan.crashes.push_back({1, {250.0, 310.0}});
+  // The reporting fabric partitions for two full construction intervals.
+  plan.partitions.push_back({600.0, 720.0});
+  return plan;
+}
+
+struct ScenarioRun {
+  core::ModelManager manager;
+  bn::Dataset final_window;
+  bool servable_at_every_boundary;
+};
+
+ScenarioRun run_scenario(bool faulty) {
+  std::optional<fault::ScopedFaultPlan> scoped;
+  if (faulty) scoped.emplace(scenario_plan());
+
+  sim::MonitoredTestbed testbed =
+      sim::make_monitored_ediamond(2.0, 77, scenario_schedule());
+  core::ModelManager::Config cfg;
+  cfg.schedule = scenario_schedule();
+  core::ModelManager manager(testbed.environment().workflow(),
+                             wf::ResourceSharing{}, cfg);
+
+  bool seen_first = false;
+  bool servable = true;
+  testbed.advance_construction_intervals(20, [&](double now) {
+    manager.maybe_reconstruct(now, testbed.window());
+    if (manager.has_model()) {
+      seen_first = true;
+    } else if (seen_first) {
+      servable = false;  // a model existed and then vanished
+    }
+  });
+  return ScenarioRun{std::move(manager), testbed.window(), servable};
+}
+
+/// Mean absolute error of each service node's conditional-mean prediction
+/// against the probe rows — the end-to-end prediction-error metric.
+double prediction_error(const bn::BayesianNetwork& net,
+                        const bn::Dataset& probe) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    const auto row = probe.row(r);
+    for (std::size_t v = 0; v + 1 < net.size(); ++v) {  // service nodes
+      std::vector<double> parents;
+      for (std::size_t p : net.dag().parents(v)) parents.push_back(row[p]);
+      total += std::abs(net.cpd(v).mean(parents) - row[v]);
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+TEST(DegradedPipeline, CanonicalScenarioSurvivesAndStaysAccurate) {
+  ScenarioRun clean = run_scenario(false);
+  ScenarioRun faulty = run_scenario(true);
+
+  // Zero aborts is implicit in reaching this line. A servable model
+  // existed at every T_CON boundary after the first construction.
+  ASSERT_TRUE(clean.manager.has_model());
+  ASSERT_TRUE(faulty.manager.has_model());
+  EXPECT_TRUE(clean.servable_at_every_boundary);
+  EXPECT_TRUE(faulty.servable_at_every_boundary);
+
+  // The 2·T_CON partition starves two construction deadlines of new data:
+  // health must have visited kStale and recovered to kFresh.
+  bool visited_stale = false;
+  for (const auto& t : faulty.manager.health_history()) {
+    if (t.to == core::ModelHealth::kStale) visited_stale = true;
+  }
+  EXPECT_TRUE(visited_stale);
+  EXPECT_GT(faulty.manager.stale_skips(), 0u);
+  EXPECT_EQ(faulty.manager.health(), core::ModelHealth::kFresh);
+  // The clean run never degrades.
+  for (const auto& t : clean.manager.health_history()) {
+    EXPECT_EQ(t.to, core::ModelHealth::kFresh);
+  }
+
+  // Prediction error under faults stays within 2x of the fault-free run,
+  // evaluated on the fault-free run's final window.
+  const double clean_err =
+      prediction_error(clean.manager.model(), clean.final_window);
+  const double faulty_err =
+      prediction_error(faulty.manager.model(), clean.final_window);
+  EXPECT_GT(clean_err, 0.0);
+  EXPECT_LE(faulty_err, 2.0 * clean_err);
+}
+
+TEST(DegradedPipeline, SameSeedReplaysIdenticalHealthHistory) {
+  ScenarioRun a = run_scenario(true);
+  ScenarioRun b = run_scenario(true);
+
+  // Bit-identical windows...
+  ASSERT_EQ(a.final_window.rows(), b.final_window.rows());
+  for (std::size_t r = 0; r < a.final_window.rows(); ++r) {
+    const auto ra = a.final_window.row(r);
+    const auto rb = b.final_window.row(r);
+    for (std::size_t c = 0; c < ra.size(); ++c) ASSERT_EQ(ra[c], rb[c]);
+  }
+  // ...and an identical ModelHealth transition history.
+  const auto& ha = a.manager.health_history();
+  const auto& hb = b.manager.health_history();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_EQ(ha[i].at, hb[i].at);
+    EXPECT_EQ(ha[i].from, hb[i].from);
+    EXPECT_EQ(ha[i].to, hb[i].to);
+    EXPECT_EQ(ha[i].reason, hb[i].reason);
+  }
+  EXPECT_EQ(a.manager.version(), b.manager.version());
+}
+
+TEST(DegradedPipeline, HealthWalksFullStateMachine) {
+  // Drive the manager directly through none -> fresh -> stale -> fallback
+  // -> fresh, the full ModelHealth cycle of the acceptance criteria.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  core::ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};  // T_CON = 120 s
+  core::ModelManager manager(env.workflow(), env.sharing(), cfg);
+  EXPECT_EQ(manager.health(), core::ModelHealth::kNone);
+
+  kertbn::Rng rng(5);
+  const bn::Dataset window = env.generate(36, rng);
+  ASSERT_TRUE(manager.maybe_reconstruct(120.0, window).has_value());
+  EXPECT_EQ(manager.health(), core::ModelHealth::kFresh);
+
+  // Same window at the next deadline: nothing new to learn.
+  EXPECT_FALSE(manager.maybe_reconstruct(240.0, window).has_value());
+  EXPECT_EQ(manager.health(), core::ModelHealth::kStale);
+  EXPECT_EQ(manager.version(), 1u);
+
+  // A changed-but-poisoned window: the guard rejects it and the
+  // last-known-good model keeps serving.
+  bn::Dataset poisoned(window.column_names());
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    poisoned.add_row(window.row(r));
+  }
+  std::vector<double> bad(window.cols(), 1.0);
+  bad[0] = std::nan("");
+  poisoned.add_row(bad);
+  EXPECT_FALSE(manager.maybe_reconstruct(360.0, poisoned).has_value());
+  EXPECT_EQ(manager.health(), core::ModelHealth::kFallback);
+  EXPECT_TRUE(manager.has_model());
+  EXPECT_EQ(manager.version(), 1u);
+  EXPECT_EQ(manager.failed_reconstructions(), 1u);
+
+  // Fresh data recovers.
+  const bn::Dataset recovered = env.generate(36, rng);
+  ASSERT_TRUE(manager.maybe_reconstruct(480.0, recovered).has_value());
+  EXPECT_EQ(manager.health(), core::ModelHealth::kFresh);
+  EXPECT_EQ(manager.version(), 2u);
+
+  // The recorded transitions spell out the walk.
+  const auto& h = manager.health_history();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].to, core::ModelHealth::kFresh);
+  EXPECT_EQ(h[1].to, core::ModelHealth::kStale);
+  EXPECT_EQ(h[2].to, core::ModelHealth::kFallback);
+  EXPECT_EQ(h[3].to, core::ModelHealth::kFresh);
+}
+
+TEST(DegradedPipeline, CorruptedMeasurementsAreQuarantinedAtSource) {
+  // With heavy NaN corruption installed, the monitoring points reject the
+  // poison before it can reach a window row.
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.measurement_corrupt_prob = 0.30;
+  plan.corrupt_negative_weight = 1.0;
+  plan.corrupt_nan_weight = 1.0;
+  plan.corrupt_outlier_weight = 0.0;
+  fault::ScopedFaultPlan scoped(plan);
+
+  sim::MonitoredTestbed testbed =
+      sim::make_monitored_ediamond(2.0, 13, scenario_schedule());
+  for (int i = 0; i < 30; ++i) testbed.advance_interval();
+
+  const bn::Dataset& window = testbed.window();
+  ASSERT_GT(window.rows(), 0u);
+  for (std::size_t r = 0; r < window.rows(); ++r) {
+    for (double v : window.row(r)) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kertbn

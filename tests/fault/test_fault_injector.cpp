@@ -1,0 +1,162 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace kertbn::fault {
+namespace {
+
+FaultPlan lossy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.report_loss_prob = 0.10;
+  plan.report_duplicate_prob = 0.05;
+  plan.report_delay_prob = 0.07;
+  plan.measurement_corrupt_prob = 0.02;
+  return plan;
+}
+
+TEST(FaultInjector, SameSeedBitIdenticalSchedule) {
+  const FaultInjector a(lossy_plan(42));
+  const FaultInjector b(lossy_plan(42));
+  for (std::size_t agent = 0; agent < 5; ++agent) {
+    for (std::uint64_t interval = 0; interval < 500; ++interval) {
+      ASSERT_EQ(a.drop_report(agent, interval),
+                b.drop_report(agent, interval));
+      ASSERT_EQ(a.duplicate_report(agent, interval),
+                b.duplicate_report(agent, interval));
+      ASSERT_EQ(a.delay_report(agent, interval),
+                b.delay_report(agent, interval));
+    }
+  }
+  for (std::size_t service = 0; service < 3; ++service) {
+    for (std::uint64_t seq = 0; seq < 500; ++seq) {
+      const auto ca = a.corrupt_measurement(service, seq, 1.5);
+      const auto cb = b.corrupt_measurement(service, seq, 1.5);
+      ASSERT_EQ(ca.has_value(), cb.has_value());
+      if (ca.has_value()) {
+        // NaN != NaN, so compare the bit-level fate.
+        ASSERT_EQ(std::isnan(*ca), std::isnan(*cb));
+        if (!std::isnan(*ca)) ASSERT_EQ(*ca, *cb);
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsProduceDifferentSchedules) {
+  const FaultInjector a(lossy_plan(1));
+  const FaultInjector b(lossy_plan(2));
+  std::size_t differences = 0;
+  for (std::uint64_t interval = 0; interval < 2000; ++interval) {
+    if (a.drop_report(0, interval) != b.drop_report(0, interval)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0u);
+}
+
+TEST(FaultInjector, LossRateApproximatelyHonored) {
+  const FaultInjector inj(lossy_plan(7));
+  std::size_t dropped = 0;
+  const std::uint64_t n = 20000;
+  for (std::uint64_t interval = 0; interval < n; ++interval) {
+    if (inj.drop_report(3, interval)) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.10, 0.01);
+}
+
+TEST(FaultInjector, TrivialPlanNeverInjects) {
+  FaultPlan plan;
+  plan.seed = 99;
+  EXPECT_TRUE(plan.trivial());
+  const FaultInjector inj(plan);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.drop_report(0, i));
+    EXPECT_FALSE(inj.duplicate_report(1, i));
+    EXPECT_FALSE(inj.delay_report(2, i));
+    EXPECT_FALSE(inj.corrupt_measurement(0, i, 1.0).has_value());
+  }
+  EXPECT_FALSE(inj.agent_down(0, 100.0));
+  EXPECT_FALSE(inj.partitioned(100.0));
+}
+
+TEST(FaultInjector, CrashWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.crashes.push_back({2, {100.0, 200.0}});
+  const FaultInjector inj(plan);
+  EXPECT_FALSE(inj.agent_down(2, 99.9));
+  EXPECT_TRUE(inj.agent_down(2, 100.0));
+  EXPECT_TRUE(inj.agent_down(2, 199.9));
+  EXPECT_FALSE(inj.agent_down(2, 200.0));  // restarted
+  EXPECT_FALSE(inj.agent_down(1, 150.0));  // other agents unaffected
+}
+
+TEST(FaultInjector, PartitionWindows) {
+  FaultPlan plan;
+  plan.partitions.push_back({50.0, 60.0});
+  plan.partitions.push_back({80.0, 90.0});
+  const FaultInjector inj(plan);
+  EXPECT_FALSE(inj.partitioned(49.0));
+  EXPECT_TRUE(inj.partitioned(55.0));
+  EXPECT_FALSE(inj.partitioned(70.0));
+  EXPECT_TRUE(inj.partitioned(85.0));
+  EXPECT_FALSE(inj.partitioned(95.0));
+}
+
+TEST(FaultInjector, CorruptionKindsFollowWeights) {
+  FaultPlan plan;
+  plan.measurement_corrupt_prob = 1.0;  // corrupt everything
+
+  auto with_weights = [&](double nan_w, double neg_w, double out_w) {
+    FaultPlan p = plan;
+    p.corrupt_nan_weight = nan_w;
+    p.corrupt_negative_weight = neg_w;
+    p.corrupt_outlier_weight = out_w;
+    return FaultInjector(p);
+  };
+
+  const FaultInjector all_nan = with_weights(1.0, 0.0, 0.0);
+  const FaultInjector all_neg = with_weights(0.0, 1.0, 0.0);
+  const FaultInjector all_out = with_weights(0.0, 0.0, 1.0);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const auto n = all_nan.corrupt_measurement(0, seq, 2.0);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_TRUE(std::isnan(*n));
+
+    const auto g = all_neg.corrupt_measurement(0, seq, 2.0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_LT(*g, 0.0);
+
+    const auto o = all_out.corrupt_measurement(0, seq, 2.0);
+    ASSERT_TRUE(o.has_value());
+    EXPECT_DOUBLE_EQ(*o, 200.0);  // default outlier factor 100
+  }
+}
+
+TEST(FaultInjector, InstallationAndKillSwitch) {
+  EXPECT_EQ(active(), nullptr);
+  {
+    ScopedFaultPlan scoped(lossy_plan(3));
+    ASSERT_NE(active(), nullptr);
+    EXPECT_EQ(&scoped.injector(), active());
+
+    set_enabled(false);
+    EXPECT_EQ(active(), nullptr);  // installed but switched off
+    set_enabled(true);
+    EXPECT_NE(active(), nullptr);
+  }
+  EXPECT_EQ(active(), nullptr);  // scope uninstalls
+}
+
+TEST(FaultInjector, SimNowBridge) {
+  set_sim_now(123.5);
+  EXPECT_DOUBLE_EQ(sim_now(), 123.5);
+  set_sim_now(0.0);
+}
+
+}  // namespace
+}  // namespace kertbn::fault

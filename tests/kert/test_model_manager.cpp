@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "sosim/synthetic.hpp"
 
@@ -110,6 +112,115 @@ TEST(ModelManager, HistoryRecordsTimings) {
   const auto& rec = manager.history().front();
   EXPECT_GT(rec.report.total_seconds, 0.0);
   EXPECT_DOUBLE_EQ(rec.at, 120.0);
+}
+
+TEST(ModelManager, GuardRejectsShortWindow) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(6);
+  const bn::Dataset one_row = env.generate(1, rng);
+
+  // One row cannot support variance estimation: the attempt fails, and
+  // with nothing to fall back to the manager reports kDegraded.
+  EXPECT_FALSE(manager.maybe_reconstruct(120.0, one_row).has_value());
+  EXPECT_FALSE(manager.has_model());
+  EXPECT_EQ(manager.health(), ModelHealth::kDegraded);
+  EXPECT_EQ(manager.failed_reconstructions(), 1u);
+  EXPECT_EQ(manager.last_failure_reason(), "window below minimum rows");
+
+  // Real data at the next deadline recovers.
+  const bn::Dataset window = env.generate(36, rng);
+  ASSERT_TRUE(manager.maybe_reconstruct(240.0, window).has_value());
+  EXPECT_EQ(manager.health(), ModelHealth::kFresh);
+  EXPECT_EQ(manager.version(), 1u);
+}
+
+TEST(ModelManager, GuardFallsBackOnNonFiniteWindow) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(7);
+  manager.reconstruct(120.0, env.generate(36, rng));
+  ASSERT_TRUE(manager.has_model());
+  EXPECT_EQ(manager.health(), ModelHealth::kFresh);
+
+  // A window poisoned with NaN fails validation; the v1 model keeps
+  // serving (last-known-good) and the failure is accounted for.
+  bn::Dataset poisoned = env.generate(36, rng);
+  std::vector<double> bad(poisoned.cols(), 1.0);
+  bad[2] = std::nan("");
+  poisoned.add_row(bad);
+  EXPECT_FALSE(manager.maybe_reconstruct(240.0, poisoned).has_value());
+  EXPECT_TRUE(manager.has_model());
+  EXPECT_EQ(manager.version(), 1u);
+  EXPECT_EQ(manager.health(), ModelHealth::kFallback);
+  EXPECT_EQ(manager.failed_reconstructions(), 1u);
+  EXPECT_EQ(manager.last_failure_reason(), "non-finite value in window");
+
+  // A clean window rebuilds and restores kFresh.
+  ASSERT_TRUE(
+      manager.maybe_reconstruct(360.0, env.generate(36, rng)).has_value());
+  EXPECT_EQ(manager.version(), 2u);
+  EXPECT_EQ(manager.health(), ModelHealth::kFresh);
+}
+
+TEST(ModelManager, StaleSkipOnUnchangedWindow) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(8);
+  const bn::Dataset window = env.generate(36, rng);
+  ASSERT_TRUE(manager.maybe_reconstruct(120.0, window).has_value());
+
+  // Identical window at the next deadline: skip the rebuild, mark stale,
+  // but keep the schedule moving.
+  EXPECT_FALSE(manager.maybe_reconstruct(240.0, window).has_value());
+  EXPECT_EQ(manager.version(), 1u);
+  EXPECT_EQ(manager.stale_skips(), 1u);
+  EXPECT_EQ(manager.health(), ModelHealth::kStale);
+  EXPECT_DOUBLE_EQ(manager.next_due(), 360.0);
+
+  // New data rebuilds as usual.
+  ASSERT_TRUE(
+      manager.maybe_reconstruct(360.0, env.generate(36, rng)).has_value());
+  EXPECT_EQ(manager.version(), 2u);
+  EXPECT_EQ(manager.health(), ModelHealth::kFresh);
+}
+
+TEST(ModelManager, EmptyWindowAtDeadlineMarksServingModelStale) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(), continuous_config());
+  kertbn::Rng rng(9);
+  ASSERT_TRUE(
+      manager.maybe_reconstruct(120.0, env.generate(36, rng)).has_value());
+
+  const bn::Dataset empty(
+      [&] {
+        auto cols = env.workflow().service_names();
+        cols.push_back("D");
+        return cols;
+      }());
+  EXPECT_FALSE(manager.maybe_reconstruct(240.0, empty).has_value());
+  EXPECT_EQ(manager.health(), ModelHealth::kStale);
+  // Seed semantics preserved: the deadline stays pending until data shows
+  // up, then one rebuild catches up to the grid.
+  EXPECT_DOUBLE_EQ(manager.next_due(), 240.0);
+  ASSERT_TRUE(
+      manager.maybe_reconstruct(250.0, env.generate(36, rng)).has_value());
+  EXPECT_EQ(manager.health(), ModelHealth::kFresh);
+  EXPECT_DOUBLE_EQ(manager.next_due(), 360.0);
+}
+
+TEST(ModelManager, GuardDisabledRestoresSeedBehavior) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager::Config cfg = continuous_config();
+  cfg.guard = false;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+  kertbn::Rng rng(10);
+  const bn::Dataset window = env.generate(36, rng);
+  ASSERT_TRUE(manager.maybe_reconstruct(120.0, window).has_value());
+  // No stale detection: the identical window is rebuilt unconditionally.
+  ASSERT_TRUE(manager.maybe_reconstruct(240.0, window).has_value());
+  EXPECT_EQ(manager.version(), 2u);
+  EXPECT_EQ(manager.stale_skips(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace kertbn::sim {
 namespace {
 
@@ -149,11 +152,137 @@ TEST(MonitoringPoint, MaybeMeanOnEmptyInterval) {
   EXPECT_DOUBLE_EQ(*p.maybe_mean(), 2.0);
 }
 
-TEST(ManagementServer, RejectsDuplicateCoverage) {
-  ManagementServer server({"a"}, ModelSchedule{});
+TEST(ManagementServer, StrictPolicyRejectsDuplicateCoverage) {
+  ManagementServer server({"a"}, ModelSchedule{},
+                          MissingServicePolicy::kCarryForward,
+                          DuplicateCoveragePolicy::kFail);
   AgentReport r0{0, {{0, 0.1}}};
   AgentReport r1{1, {{0, 0.2}}};
   EXPECT_DEATH(server.ingest_interval({r0, r1}, 0.5), "precondition");
+}
+
+TEST(ManagementServer, FirstWinsKeepsEarliestDuplicate) {
+  // Fresh reports are delivered before replayed/delayed ones, so the
+  // default first-wins policy prefers current data.
+  ManagementServer server({"a"}, ModelSchedule{});
+  AgentReport fresh{0, {{0, 0.1}}};
+  AgentReport replayed{0, {{0, 0.9}}};
+  ASSERT_TRUE(server.ingest_interval({fresh, replayed}, 0.5));
+  EXPECT_DOUBLE_EQ(server.window().value(0, 0), 0.1);
+  EXPECT_EQ(server.duplicate_values(), 1u);
+}
+
+TEST(ManagementServer, LastWinsOverwritesWithLatestDuplicate) {
+  ManagementServer server({"a"}, ModelSchedule{},
+                          MissingServicePolicy::kCarryForward,
+                          DuplicateCoveragePolicy::kLastWins);
+  AgentReport first{0, {{0, 0.1}}};
+  AgentReport second{0, {{0, 0.9}}};
+  ASSERT_TRUE(server.ingest_interval({first, second}, 0.5));
+  EXPECT_DOUBLE_EQ(server.window().value(0, 0), 0.9);
+  EXPECT_EQ(server.duplicate_values(), 1u);
+}
+
+TEST(ManagementServer, QuarantinesNonFiniteAndNegativeMeans) {
+  ManagementServer server({"a", "b"}, ModelSchedule{});
+  // A NaN mean for b counts as b missing; with a's history absent too the
+  // row cannot form. Both bad values are quarantined, never carried.
+  AgentReport bad{0, {{0, -1.0}, {1, std::nan("")}}};
+  EXPECT_FALSE(server.ingest_interval({bad}, 0.5));
+  EXPECT_EQ(server.quarantined_values(), 2u);
+  EXPECT_EQ(server.window_rows(), 0u);
+
+  // A good interval works, and the quarantined values left no trace in
+  // the carry-forward state.
+  AgentReport good{0, {{0, 0.3}, {1, 0.4}}};
+  EXPECT_TRUE(server.ingest_interval({good}, 0.8));
+  EXPECT_DOUBLE_EQ(server.window().value(0, 0), 0.3);
+}
+
+TEST(ManagementServer, QuarantinedResponseMeanDropsInterval) {
+  ManagementServer server({"a"}, ModelSchedule{});
+  AgentReport r{0, {{0, 0.2}}};
+  EXPECT_FALSE(
+      server.ingest_interval({r}, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(server.quarantined_values(), 1u);
+  EXPECT_EQ(server.window_rows(), 0u);
+  EXPECT_EQ(server.dropped_intervals(), 1u);
+}
+
+TEST(ManagementServer, ServiceAppearingMidWindowStartsContributing) {
+  // Service b never reports at first (rows drop), then appears mid-window
+  // and is carried forward from there on.
+  ManagementServer server({"a", "b"}, ModelSchedule{10.0, 2, 2});
+  AgentReport only_a{0, {{0, 0.1}}};
+  EXPECT_FALSE(server.ingest_interval({only_a}, 0.5));
+  EXPECT_FALSE(server.ingest_interval({only_a}, 0.5));
+  EXPECT_EQ(server.dropped_intervals(), 2u);
+
+  AgentReport both{0, {{0, 0.2}, {1, 0.7}}};
+  EXPECT_TRUE(server.ingest_interval({both}, 0.9));
+  EXPECT_TRUE(server.ingest_interval({only_a}, 0.5));
+  EXPECT_EQ(server.window_rows(), 2u);
+  EXPECT_DOUBLE_EQ(server.window().value(1, 1), 0.7);  // carried forward
+}
+
+TEST(ManagementServer, CarryForwardSurvivesDroppedInterval) {
+  ManagementServer server({"a", "b"}, ModelSchedule{10.0, 2, 2});
+  AgentReport both{0, {{0, 0.2}, {1, 0.7}}};
+  ASSERT_TRUE(server.ingest_interval({both}, 0.9));
+  // An interval lost entirely (e.g. partition) does not reset the
+  // carry-forward state.
+  server.note_missed_interval();
+  AgentReport only_a{0, {{0, 0.3}}};
+  EXPECT_TRUE(server.ingest_interval({only_a}, 1.0));
+  EXPECT_DOUBLE_EQ(server.window().value(1, 1), 0.7);
+}
+
+TEST(ManagementServer, AllCarriedRowIsDroppedAsFabricated) {
+  ManagementServer server({"a"}, ModelSchedule{});
+  AgentReport r{0, {{0, 0.2}}};
+  ASSERT_TRUE(server.ingest_interval({r}, 0.5));
+  // An interval whose only coverage is a quarantined value would yield a
+  // row made purely of carried history — dropped instead.
+  AgentReport bad{0, {{0, std::nan("")}}};
+  EXPECT_FALSE(server.ingest_interval({bad}, 0.5));
+  EXPECT_EQ(server.window_rows(), 1u);
+}
+
+TEST(ManagementServer, StalenessCountsConsecutiveMisses) {
+  ManagementServer server({"a"}, ModelSchedule{});
+  EXPECT_EQ(server.consecutive_missed_intervals(), 0u);
+  server.note_missed_interval();
+  server.note_missed_interval();
+  EXPECT_EQ(server.consecutive_missed_intervals(), 2u);
+  AgentReport r{0, {{0, 0.2}}};
+  ASSERT_TRUE(server.ingest_interval({r}, 0.5));
+  EXPECT_EQ(server.consecutive_missed_intervals(), 0u);
+  server.note_missed_interval();
+  EXPECT_EQ(server.consecutive_missed_intervals(), 1u);
+  EXPECT_EQ(server.dropped_intervals(), 3u);
+}
+
+TEST(MonitoringPoint, QuarantinesInvalidMeasurements) {
+  MonitoringPoint p(0);
+  EXPECT_FALSE(p.record(std::nan("")));
+  EXPECT_FALSE(p.record(-0.5));
+  EXPECT_FALSE(p.record(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(p.record(2.0));
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_EQ(p.rejected(), 3u);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+  // clear() resets the batch, not the quarantine ledger.
+  p.clear();
+  EXPECT_EQ(p.rejected(), 3u);
+}
+
+TEST(MonitoringAgent, CountsRejectionsAcrossServices) {
+  MonitoringAgent agent(0, {1, 4});
+  agent.record(1, std::nan(""));
+  agent.record(4, -1.0);
+  agent.record(4, 1.0);
+  EXPECT_EQ(agent.rejected_measurements(), 2u);
+  EXPECT_FALSE(agent.has_complete_batch());  // service 1 has nothing valid
 }
 
 }  // namespace
