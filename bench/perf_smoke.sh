@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Perf smoke for the query-serving hot path: reruns the recalibration
+# scenario of abl_query_throughput and compares per-query times against the
+# committed baseline. The guard is deliberately soft — it fails only on a
+# >2x slowdown — so shared/noisy CI hosts don't fail builds on jitter while
+# a genuine hot-path regression (a lost plan cache, an accidental
+# full-recalibration fallback) still trips it.
+#
+# Usage: bench/perf_smoke.sh [build-dir] [baseline-json]
+
+set -eu
+
+build_dir="${1:-build}"
+baseline="${2:-bench/baselines/BENCH_abl_query_throughput.json}"
+bin="$build_dir/bench/abl_query_throughput"
+out="$build_dir/PERF_SMOKE_abl_query_throughput.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found — build the project first" >&2
+  exit 1
+fi
+if [ ! -f "$baseline" ]; then
+  echo "error: baseline $baseline not found" >&2
+  exit 1
+fi
+
+"$bin" --benchmark_filter=RecalibrationSpeedup \
+       --benchmark_out="$out" --benchmark_out_format=json >/dev/null
+
+python3 - "$baseline" "$out" <<'EOF'
+import json
+import sys
+
+SLOWDOWN_LIMIT = 2.0
+KEYS = ("incremental_us_per_query", "full_us_per_query")
+
+
+def counters(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "RecalibrationSpeedup" not in name:
+            continue
+        for key in KEYS:
+            if key in bench:
+                out[(name, key)] = float(bench[key])
+    return out
+
+
+base = counters(sys.argv[1])
+fresh = counters(sys.argv[2])
+if not fresh:
+    print("FAIL  no RecalibrationSpeedup results in fresh run")
+    sys.exit(1)
+
+failed = False
+for key, fresh_v in sorted(fresh.items()):
+    base_v = base.get(key)
+    if base_v is None or base_v <= 0.0:
+        print(f"skip  {key[0]} {key[1]}: no baseline")
+        continue
+    ratio = fresh_v / base_v
+    verdict = "FAIL" if ratio > SLOWDOWN_LIMIT else "ok  "
+    print(f"{verdict}  {key[0]} {key[1]}: "
+          f"baseline {base_v:.3f}us fresh {fresh_v:.3f}us ({ratio:.2f}x)")
+    failed = failed or ratio > SLOWDOWN_LIMIT
+
+sys.exit(1 if failed else 0)
+EOF

@@ -98,7 +98,7 @@ Factor Factor::product(const Factor& other) const {
   return Factor(std::move(scope), std::move(cards), std::move(values));
 }
 
-Factor Factor::marginalize(std::size_t var) const {
+Factor Factor::reduce_out(std::size_t var, ReduceOp op) const {
   auto it = std::find(scope_.begin(), scope_.end(), var);
   KERTBN_EXPECTS(it != scope_.end());
   const auto drop = static_cast<std::size_t>(it - scope_.begin());
@@ -121,46 +121,30 @@ Factor Factor::marginalize(std::size_t var) const {
   std::size_t out = 0;
   for (std::size_t base = 0; base < values_.size(); base += block) {
     for (std::size_t inner = 0; inner < stride; ++inner, ++out) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < var_card; ++k) {
-        s += values_[base + k * stride + inner];
+      if (op == ReduceOp::kSum) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < var_card; ++k) {
+          s += values_[base + k * stride + inner];
+        }
+        values[out] = s;
+      } else {
+        double best = values_[base + inner];
+        for (std::size_t k = 1; k < var_card; ++k) {
+          best = std::max(best, values_[base + k * stride + inner]);
+        }
+        values[out] = best;
       }
-      values[out] = s;
     }
   }
   return Factor(std::move(scope), std::move(cards), std::move(values));
 }
 
+Factor Factor::marginalize(std::size_t var) const {
+  return reduce_out(var, ReduceOp::kSum);
+}
+
 Factor Factor::max_marginalize(std::size_t var) const {
-  auto it = std::find(scope_.begin(), scope_.end(), var);
-  KERTBN_EXPECTS(it != scope_.end());
-  const auto drop = static_cast<std::size_t>(it - scope_.begin());
-
-  std::vector<std::size_t> scope;
-  std::vector<std::size_t> cards;
-  for (std::size_t i = 0; i < scope_.size(); ++i) {
-    if (i == drop) continue;
-    scope.push_back(scope_[i]);
-    cards.push_back(cards_[i]);
-  }
-  std::vector<double> values(product_of(cards), 0.0);
-
-  std::size_t stride = 1;
-  for (std::size_t i = scope_.size(); i-- > drop + 1;) stride *= cards_[i];
-  const std::size_t var_card = cards_[drop];
-  const std::size_t block = stride * var_card;
-
-  std::size_t out = 0;
-  for (std::size_t base = 0; base < values_.size(); base += block) {
-    for (std::size_t inner = 0; inner < stride; ++inner, ++out) {
-      double best = values_[base + inner];
-      for (std::size_t k = 1; k < var_card; ++k) {
-        best = std::max(best, values_[base + k * stride + inner]);
-      }
-      values[out] = best;
-    }
-  }
-  return Factor(std::move(scope), std::move(cards), std::move(values));
+  return reduce_out(var, ReduceOp::kMax);
 }
 
 std::size_t Factor::argmax_state() const {

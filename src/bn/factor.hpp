@@ -59,6 +59,12 @@ class Factor {
  private:
   std::size_t linear_index(std::span<const std::size_t> states) const;
 
+  enum class ReduceOp { kSum, kMax };
+  /// Shared reduction core for marginalize/max_marginalize: drops \p var,
+  /// combining its states with the given operation. The flat kernels in
+  /// factor_kernels.hpp replace exactly this code path on the hot path.
+  Factor reduce_out(std::size_t var, ReduceOp op) const;
+
   std::vector<std::size_t> scope_;
   std::vector<std::size_t> cards_;
   std::vector<double> values_;

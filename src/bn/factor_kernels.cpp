@@ -1,0 +1,278 @@
+#include "bn/factor_kernels.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+std::size_t find_in(std::span<const std::size_t> scope, std::size_t var) {
+  for (std::size_t i = 0; i < scope.size(); ++i) {
+    if (scope[i] == var) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Row-major stride of dimension \p dim in a factor with \p cards.
+std::size_t stride_of(std::span<const std::size_t> cards, std::size_t dim) {
+  std::size_t s = 1;
+  for (std::size_t i = cards.size(); i-- > dim + 1;) s *= cards[i];
+  return s;
+}
+
+}  // namespace
+
+double FlatFactor::total() const {
+  double t = 0.0;
+  for (double v : values) t += v;
+  return t;
+}
+
+ProductPlan make_product_plan(std::span<const std::size_t> scope_a,
+                              std::span<const std::size_t> cards_a,
+                              std::span<const std::size_t> scope_b,
+                              std::span<const std::size_t> cards_b) {
+  KERTBN_EXPECTS(scope_a.size() == cards_a.size());
+  KERTBN_EXPECTS(scope_b.size() == cards_b.size());
+  ProductPlan plan;
+  plan.out_scope.assign(scope_a.begin(), scope_a.end());
+  plan.out_cards.assign(cards_a.begin(), cards_a.end());
+  for (std::size_t i = 0; i < scope_b.size(); ++i) {
+    if (find_in(scope_a, scope_b[i]) == static_cast<std::size_t>(-1)) {
+      plan.out_scope.push_back(scope_b[i]);
+      plan.out_cards.push_back(cards_b[i]);
+    }
+  }
+  plan.out_size = 1;
+  for (std::size_t c : plan.out_cards) plan.out_size *= c;
+
+  const std::size_t nd = plan.out_scope.size();
+  plan.stride_a.assign(nd, 0);
+  plan.stride_b.assign(nd, 0);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const std::size_t pa = find_in(scope_a, plan.out_scope[i]);
+    if (pa != static_cast<std::size_t>(-1)) {
+      plan.stride_a[i] = stride_of(cards_a, pa);
+    }
+    const std::size_t pb = find_in(scope_b, plan.out_scope[i]);
+    if (pb != static_cast<std::size_t>(-1)) {
+      plan.stride_b[i] = stride_of(cards_b, pb);
+    }
+  }
+  return plan;
+}
+
+void product_into(const ProductPlan& plan, std::span<const double> a,
+                  std::span<const double> b,
+                  std::vector<std::size_t>& odometer,
+                  std::vector<double>& out) {
+  out.resize(plan.out_size);
+  const std::size_t nd = plan.out_cards.size();
+  if (nd == 0) {
+    out[0] = a[0] * b[0];
+    return;
+  }
+  const std::size_t last = nd - 1;
+  const std::size_t last_card = plan.out_cards[last];
+  const std::size_t sa_last = plan.stride_a[last];
+  const std::size_t sb_last = plan.stride_b[last];
+
+  odometer.assign(nd, 0);
+  std::size_t off_a = 0;
+  std::size_t off_b = 0;
+  std::size_t o = 0;
+  for (;;) {
+    // Contiguous inner run over the least-significant merged variable.
+    std::size_t ia = off_a;
+    std::size_t ib = off_b;
+    for (std::size_t j = 0; j < last_card; ++j, ia += sa_last, ib += sb_last) {
+      out[o++] = a[ia] * b[ib];
+    }
+    // Advance the outer mixed-radix counter (dimension last-1 fastest).
+    std::size_t d = last;
+    bool done = true;
+    while (d-- > 0) {
+      ++odometer[d];
+      off_a += plan.stride_a[d];
+      off_b += plan.stride_b[d];
+      if (odometer[d] < plan.out_cards[d]) {
+        done = false;
+        break;
+      }
+      odometer[d] = 0;
+      off_a -= plan.stride_a[d] * plan.out_cards[d];
+      off_b -= plan.stride_b[d] * plan.out_cards[d];
+    }
+    if (done) break;
+  }
+  KERTBN_ASSERT(o == plan.out_size);
+}
+
+ReducePlan make_reduce_plan(std::span<const std::size_t> scope,
+                            std::span<const std::size_t> cards,
+                            std::span<const std::size_t> target) {
+  KERTBN_EXPECTS(scope.size() == cards.size());
+  ReducePlan plan;
+  std::vector<std::size_t> cur_scope(scope.begin(), scope.end());
+  std::vector<std::size_t> cur_cards(cards.begin(), cards.end());
+  auto size_of = [](const std::vector<std::size_t>& cs) {
+    std::size_t s = 1;
+    for (std::size_t c : cs) s *= c;
+    return s;
+  };
+  // Eliminate the first scope variable outside the target, repeatedly —
+  // the same fixed point the legacy marginalize_to loop reaches, one
+  // allocation-free step per variable.
+  for (;;) {
+    std::size_t drop = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < cur_scope.size(); ++i) {
+      if (find_in(target, cur_scope[i]) == static_cast<std::size_t>(-1)) {
+        drop = i;
+        break;
+      }
+    }
+    if (drop == static_cast<std::size_t>(-1)) break;
+    ReducePlan::Step step;
+    step.stride = stride_of(cur_cards, drop);
+    step.card = cur_cards[drop];
+    step.in_size = size_of(cur_cards);
+    step.out_size = step.in_size / step.card;
+    plan.steps.push_back(step);
+    cur_scope.erase(cur_scope.begin() + static_cast<std::ptrdiff_t>(drop));
+    cur_cards.erase(cur_cards.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  plan.out_scope = std::move(cur_scope);
+  plan.out_cards = std::move(cur_cards);
+  plan.out_size = size_of(plan.out_cards);
+  return plan;
+}
+
+namespace {
+
+/// One single-variable summation pass; loop structure and summation order
+/// match Factor::marginalize exactly.
+void reduce_step(const ReducePlan::Step& s, const double* in, double* out) {
+  const std::size_t block = s.stride * s.card;
+  std::size_t o = 0;
+  for (std::size_t base = 0; base < s.in_size; base += block) {
+    for (std::size_t inner = 0; inner < s.stride; ++inner, ++o) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < s.card; ++k) {
+        acc += in[base + k * s.stride + inner];
+      }
+      out[o] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void reduce_into(const ReducePlan& plan, std::span<const double> in,
+                 std::vector<double>& scratch, std::vector<double>& out) {
+  if (plan.steps.empty()) {
+    out.assign(in.begin(), in.end());
+    return;
+  }
+  if (plan.steps.size() == 1) {
+    out.resize(plan.steps[0].out_size);
+    reduce_step(plan.steps[0], in.data(), out.data());
+    return;
+  }
+  // Ping-pong between the two halves of one scratch buffer; sizes shrink
+  // monotonically, so the first step's output bounds everything.
+  const std::size_t half = plan.steps[0].out_size;
+  scratch.resize(half * 2);
+  double* bufs[2] = {scratch.data(), scratch.data() + half};
+  reduce_step(plan.steps[0], in.data(), bufs[0]);
+  std::size_t cur = 0;
+  for (std::size_t i = 1; i + 1 < plan.steps.size(); ++i) {
+    reduce_step(plan.steps[i], bufs[cur], bufs[1 - cur]);
+    cur = 1 - cur;
+  }
+  out.resize(plan.steps.back().out_size);
+  reduce_step(plan.steps.back(), bufs[cur], out.data());
+}
+
+void apply_evidence(FlatFactor& f, std::size_t var, std::size_t state) {
+  const std::size_t dim = find_in(f.scope, var);
+  KERTBN_EXPECTS(dim != static_cast<std::size_t>(-1));
+  KERTBN_EXPECTS(state < f.cards[dim]);
+  const std::size_t stride = stride_of(f.cards, dim);
+  const std::size_t card = f.cards[dim];
+  const std::size_t block = stride * card;
+  for (std::size_t base = 0; base < f.values.size(); base += block) {
+    for (std::size_t k = 0; k < card; ++k) {
+      if (k == state) continue;
+      const std::size_t at = base + k * stride;
+      std::fill(f.values.begin() + static_cast<std::ptrdiff_t>(at),
+                f.values.begin() + static_cast<std::ptrdiff_t>(at + stride),
+                0.0);
+    }
+  }
+}
+
+const ProductPlan& FactorWorkspace::product_plan(const FlatFactor& a,
+                                                 const FlatFactor& b) {
+  Key key{a.scope, b.scope};
+  auto it = product_plans_.find(key);
+  if (it != product_plans_.end()) {
+    ++plan_hits_;
+    return it->second;
+  }
+  ++plan_misses_;
+  return product_plans_
+      .emplace(std::move(key),
+               make_product_plan(a.scope, a.cards, b.scope, b.cards))
+      .first->second;
+}
+
+const ReducePlan& FactorWorkspace::reduce_plan(
+    const FlatFactor& f, std::span<const std::size_t> target) {
+  Key key{f.scope, {target.begin(), target.end()}};
+  auto it = reduce_plans_.find(key);
+  if (it != reduce_plans_.end()) {
+    ++plan_hits_;
+    return it->second;
+  }
+  ++plan_misses_;
+  return reduce_plans_
+      .emplace(std::move(key), make_reduce_plan(f.scope, f.cards, target))
+      .first->second;
+}
+
+void FactorWorkspace::product(const FlatFactor& a, const FlatFactor& b,
+                              FlatFactor& out) {
+  const ProductPlan& plan = product_plan(a, b);
+  out.scope = plan.out_scope;
+  out.cards = plan.out_cards;
+  product_into(plan, a.values, b.values, odometer_, out.values);
+}
+
+void FactorWorkspace::product_chain(const FlatFactor& base,
+                                    std::span<const FlatFactor* const> factors,
+                                    FlatFactor& out) {
+  if (factors.empty()) {
+    out.scope = base.scope;
+    out.cards = base.cards;
+    out.values = base.values;
+    return;
+  }
+  const FlatFactor* cur = &base;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    FlatFactor& dst = (i + 1 == factors.size()) ? out : chain_tmp_[i % 2];
+    product(*cur, *factors[i], dst);
+    cur = &dst;
+  }
+}
+
+void FactorWorkspace::reduce(const FlatFactor& f,
+                             std::span<const std::size_t> target,
+                             FlatFactor& out) {
+  const ReducePlan& plan = reduce_plan(f, target);
+  out.scope = plan.out_scope;
+  out.cards = plan.out_cards;
+  reduce_into(plan, f.values, scratch_, out.values);
+}
+
+}  // namespace kertbn::bn

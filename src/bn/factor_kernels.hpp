@@ -1,0 +1,153 @@
+#pragma once
+/// \file factor_kernels.hpp
+/// Flat factor kernels for the query-serving hot path.
+///
+/// Factor::product / marginalize are correct but allocate a fresh Factor
+/// and re-derive stride maps on every call — fine for one-shot variable
+/// elimination, ruinous for a junction tree that re-runs the same message
+/// schedule on every evidence change. These kernels split each operation
+/// into a *plan* (alignment and stride tables, a pure function of the two
+/// scopes) and an *execution* (contiguous inner loops over raw value
+/// arrays). A FactorWorkspace caches plans keyed by the scope pair and
+/// reuses scratch buffers, so a calibrated tree's steady state performs no
+/// allocation and no scope searching at all.
+///
+/// Bit-exactness contract: every kernel performs the same floating-point
+/// operations in the same order as the legacy Factor code it replaces
+/// (product entries are single multiplies of the same operands; reductions
+/// eliminate one variable at a time, innermost sum ascending over the
+/// eliminated states). Inference built on these kernels is therefore
+/// bit-identical to the legacy engines, which the equivalence suite
+/// asserts with exact comparisons.
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bn/factor.hpp"
+
+namespace kertbn::bn {
+
+/// Evidence as sorted (node, state) pairs — the hot-path replacement for
+/// std::map on calibration and query interfaces (contiguous, no per-node
+/// allocation, binary-searchable).
+using SortedEvidence = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Lightweight factor for kernel pipelines: the same layout contract as
+/// Factor (values row-major in scope order, first variable most
+/// significant) without per-construction invariant checks, so instances
+/// can be recycled across calibrations.
+struct FlatFactor {
+  std::vector<std::size_t> scope;
+  std::vector<std::size_t> cards;
+  std::vector<double> values;
+
+  static FlatFactor unit() { return FlatFactor{{}, {}, {1.0}}; }
+  static FlatFactor from(const Factor& f) {
+    return FlatFactor{f.scope(), f.cardinalities(), f.values()};
+  }
+  Factor to_factor() const { return Factor(scope, cards, values); }
+
+  std::size_t size() const { return values.size(); }
+  /// Sum of all entries, in storage order (same order as Factor::total).
+  double total() const;
+};
+
+/// Precomputed alignment for product(a, b) -> out. The merged scope is a's
+/// variables followed by b's new ones — the exact order Factor::product
+/// uses — so executions are bit-identical to the legacy path.
+struct ProductPlan {
+  std::vector<std::size_t> out_scope;
+  std::vector<std::size_t> out_cards;
+  std::size_t out_size = 1;
+  /// Per out-dimension stride into each operand (0 when absent from it).
+  std::vector<std::size_t> stride_a;
+  std::vector<std::size_t> stride_b;
+};
+
+ProductPlan make_product_plan(std::span<const std::size_t> scope_a,
+                              std::span<const std::size_t> cards_a,
+                              std::span<const std::size_t> scope_b,
+                              std::span<const std::size_t> cards_b);
+
+/// out[i] = a[align_a(i)] * b[align_b(i)] for every merged-scope index.
+/// \p odometer is caller-provided scratch (resized internally).
+void product_into(const ProductPlan& plan, std::span<const double> a,
+                  std::span<const double> b,
+                  std::vector<std::size_t>& odometer,
+                  std::vector<double>& out);
+
+/// Precomputed pipeline for "sum out every scope variable not in target".
+/// Variables are eliminated one at a time in scope order — the exact
+/// elimination order (and therefore the exact floating-point sums) of the
+/// legacy marginalize_to loop in junction_tree.cpp.
+struct ReducePlan {
+  struct Step {
+    std::size_t stride = 1;    ///< Source stride of the eliminated variable.
+    std::size_t card = 1;      ///< Its cardinality.
+    std::size_t in_size = 1;   ///< Source value count.
+    std::size_t out_size = 1;  ///< Result value count.
+  };
+  std::vector<Step> steps;
+  /// Surviving variables in surviving order (target as a subsequence of
+  /// the input scope).
+  std::vector<std::size_t> out_scope;
+  std::vector<std::size_t> out_cards;
+  std::size_t out_size = 1;
+};
+
+ReducePlan make_reduce_plan(std::span<const std::size_t> scope,
+                            std::span<const std::size_t> cards,
+                            std::span<const std::size_t> target);
+
+/// Runs the elimination pipeline into \p out; \p scratch provides
+/// ping-pong storage between steps (resized internally, capacity kept).
+void reduce_into(const ReducePlan& plan, std::span<const double> in,
+                 std::vector<double>& scratch, std::vector<double>& out);
+
+/// Zeroes every entry of \p f whose state of \p var differs from
+/// \p state. Arithmetic-equivalent to multiplying by an indicator factor
+/// (bit-identical for the non-negative values factors hold: x*1.0 == x and
+/// x*0.0 == +0.0), without allocating or growing the scope — which is what
+/// keeps every downstream plan evidence-independent.
+void apply_evidence(FlatFactor& f, std::size_t var, std::size_t state);
+
+/// Per-tree cache of alignment plans and scratch buffers. Not thread-safe:
+/// one workspace per worker (QueryEngine hands each pool worker its own).
+class FactorWorkspace {
+ public:
+  /// out = a × b (merged scope, legacy order). out must not alias a or b.
+  void product(const FlatFactor& a, const FlatFactor& b, FlatFactor& out);
+
+  /// out = base × factors[0] × factors[1] × ... (left fold, the order
+  /// product_with_messages uses). out must not alias any input.
+  void product_chain(const FlatFactor& base,
+                     std::span<const FlatFactor* const> factors,
+                     FlatFactor& out);
+
+  /// out = f with every variable outside \p target summed out.
+  void reduce(const FlatFactor& f, std::span<const std::size_t> target,
+              FlatFactor& out);
+
+  std::size_t plan_hits() const { return plan_hits_; }
+  std::size_t plan_misses() const { return plan_misses_; }
+
+ private:
+  using Key = std::pair<std::vector<std::size_t>, std::vector<std::size_t>>;
+
+  const ProductPlan& product_plan(const FlatFactor& a, const FlatFactor& b);
+  const ReducePlan& reduce_plan(const FlatFactor& f,
+                                std::span<const std::size_t> target);
+
+  std::map<Key, ProductPlan> product_plans_;
+  std::map<Key, ReducePlan> reduce_plans_;
+  std::vector<std::size_t> odometer_;
+  std::vector<double> scratch_;
+  FlatFactor chain_tmp_[2];
+  std::size_t plan_hits_ = 0;
+  std::size_t plan_misses_ = 0;
+};
+
+}  // namespace kertbn::bn

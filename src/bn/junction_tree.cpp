@@ -1,37 +1,32 @@
 #include "bn/junction_tree.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <numeric>
 
 #include "bn/tabular_cpd.hpp"
 #include "common/contract.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
 namespace kertbn::bn {
 namespace {
 
-/// Sums out every scope variable of \p f not in \p target.
-Factor marginalize_to(Factor f, std::span<const std::size_t> target) {
-  // Iterate until fixed point: scope shrinks each step.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t v : f.scope()) {
-      if (std::find(target.begin(), target.end(), v) == target.end()) {
-        f = f.marginalize(v);
-        changed = true;
-        break;
-      }
-    }
-  }
-  return f;
-}
-
 bool is_subset(const std::vector<std::size_t>& a,
                const std::vector<std::size_t>& b) {
   // Both sorted.
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void note_messages(std::size_t recomputed, std::size_t reused) {
+  if (!obs::enabled()) return;
+  static obs::Counter& rec = obs::MetricsRegistry::instance().counter(
+      "kert.query.messages_recomputed");
+  static obs::Counter& reu = obs::MetricsRegistry::instance().counter(
+      "kert.query.messages_reused");
+  if (recomputed) rec.add(recomputed);
+  if (reused) reu.add(reused);
 }
 
 }  // namespace
@@ -44,7 +39,6 @@ JunctionTree::JunctionTree(const BayesianNetwork& net) : net_(net) {
   }
   KERTBN_SPAN_VAR(span, "jt.build");
   build_structure();
-  calibrate({});
   span.tag("cliques", static_cast<std::uint64_t>(cliques_.size()));
   span.tag("max_clique", static_cast<std::uint64_t>(max_clique_size()));
 }
@@ -190,11 +184,63 @@ void JunctionTree::build_structure() {
     }
     KERTBN_ASSERT(found && "family must fit a clique (triangulation bug)");
   }
+
+  // Rooted-forest view for incremental recalibration. Roots are the
+  // smallest clique index of each component — the same roots the legacy
+  // ascending component discovery picked, which evidence_probability()
+  // depends on.
+  const std::size_t m = cliques_.size();
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edge_index;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    edge_index[{std::min(edges_[e].a, edges_[e].b),
+                std::max(edges_[e].a, edges_[e].b)}] = e;
+  }
+  parent_clique_.assign(m, kNone);
+  parent_edge_.assign(m, kNone);
+  component_of_.assign(m, kNone);
+  for (std::size_t c = 0; c < m; ++c) {
+    if (component_of_[c] != kNone) continue;
+    const std::size_t comp = roots_.size();
+    roots_.push_back(c);
+    std::vector<std::size_t> bfs{c};
+    component_of_[c] = comp;
+    for (std::size_t i = 0; i < bfs.size(); ++i) {
+      const std::size_t x = bfs[i];
+      for (std::size_t nb : neighbors_[x]) {
+        if (component_of_[nb] != kNone) continue;
+        component_of_[nb] = comp;
+        parent_clique_[nb] = x;
+        parent_edge_[nb] = edge_index.at({std::min(x, nb), std::max(x, nb)});
+        bfs.push_back(nb);
+      }
+    }
+    // Reversed BFS order puts every clique before its parent: a valid
+    // postorder for bottom-up (collect) accumulation.
+    postorder_.insert(postorder_.end(), bfs.rbegin(), bfs.rend());
+  }
+
+  // Size every cache so later phases never reallocate (message() hands out
+  // stable references into these vectors).
+  const std::size_t dm = 2 * edges_.size();
+  clean_base_.resize(m);
+  clean_msgs_.resize(dm);
+  clean_beliefs_.resize(m);
+  clean_belief_ready_.assign(m, 0);
+  clean_root_total_.assign(roots_.size(), 1.0);
+  dirty_.assign(m, 0);
+  subtree_dirty_.assign(m, 0);
+  comp_dirty_.assign(roots_.size(), 0);
+  cur_msgs_.resize(dm);
+  cur_msg_epoch_.assign(dm, kNone);
+  cur_pots_.resize(m);
+  cur_pot_epoch_.assign(m, kNone);
+  cur_beliefs_.resize(m);
+  cur_belief_epoch_.assign(m, kNone);
+  posterior_plans_.resize(n);
+  posterior_plan_ready_.assign(n, 0);
 }
 
-Factor JunctionTree::clique_base_factor(
-    std::size_t c,
-    const std::map<std::size_t, std::size_t>& evidence) const {
+Factor JunctionTree::clique_base_factor(std::size_t c) const {
   Factor base = Factor::unit();
   for (std::size_t v = 0; v < net_.size(); ++v) {
     if (family_clique_[v] != c) continue;
@@ -216,117 +262,237 @@ Factor JunctionTree::clique_base_factor(
     base = base.product(
         Factor(std::move(scope), std::move(cards), std::move(values)));
   }
-  // Fold evidence indicators for variables of this clique whose indicator
-  // has not been attached elsewhere (attach at the variable's family
-  // clique to apply each exactly once).
-  for (const auto& [v, state] : evidence) {
-    if (family_clique_[v] != c) continue;
-    const std::size_t card = net_.variable(v).cardinality;
-    KERTBN_EXPECTS(state < card);
-    std::vector<double> indicator(card, 0.0);
-    indicator[state] = 1.0;
-    base = base.product(Factor({v}, {card}, std::move(indicator)));
-  }
   return base;
+}
+
+std::size_t JunctionTree::message_id(std::size_t x, std::size_t y) const {
+  const std::size_t e =
+      (parent_clique_[x] == y) ? parent_edge_[x] : parent_edge_[y];
+  KERTBN_ASSERT(e != kNone);
+  KERTBN_ASSERT((edges_[e].a == x && edges_[e].b == y) ||
+                (edges_[e].a == y && edges_[e].b == x));
+  return 2 * e + (edges_[e].a == x ? 0 : 1);
+}
+
+bool JunctionTree::message_affected(std::size_t x, std::size_t y) const {
+  if (parent_clique_[x] == y) {
+    // Upward message: dirt anywhere in x's subtree invalidates it.
+    return subtree_dirty_[x] > 0;
+  }
+  // Downward message x -> y (y is x's child): dirt anywhere outside y's
+  // subtree — i.e. on x's side of the edge — invalidates it.
+  return comp_dirty_[component_of_[x]] - subtree_dirty_[y] > 0;
+}
+
+void JunctionTree::ensure_clean() const {
+  if (clean_ready_) return;
+  KERTBN_SPAN_VAR(span, "jt.calibrate");
+  span.tag("evidence", std::uint64_t{0});
+  for (std::size_t c = 0; c < cliques_.size(); ++c) {
+    clean_base_[c] = FlatFactor::from(clique_base_factor(c));
+  }
+  auto compute_msg = [&](std::size_t x, std::size_t y) {
+    std::vector<const FlatFactor*> in;
+    for (std::size_t nb : neighbors_[x]) {
+      if (nb == y) continue;
+      in.push_back(&clean_msgs_[message_id(nb, x)]);
+    }
+    const std::size_t id = message_id(x, y);
+    ws_.product_chain(clean_base_[x], in, msg_tmp_);
+    ws_.reduce(msg_tmp_, edges_[id / 2].separator, clean_msgs_[id]);
+    ++stats_.messages_recomputed;
+  };
+  // Collect (children before parents), then distribute (parents before
+  // children). Message fixed points are schedule-independent, so these
+  // values are bit-identical to the legacy recursive schedule.
+  for (std::size_t c : postorder_) {
+    if (parent_clique_[c] != kNone) compute_msg(c, parent_clique_[c]);
+  }
+  for (auto it = postorder_.rbegin(); it != postorder_.rend(); ++it) {
+    for (std::size_t nb : neighbors_[*it]) {
+      if (parent_clique_[nb] == *it) compute_msg(*it, nb);
+    }
+  }
+  clean_ready_ = true;
+  for (std::size_t r : roots_) {
+    clean_root_total_[component_of_[r]] = clean_belief(r).total();
+  }
+  note_messages(stats_.messages_recomputed, 0);
+}
+
+const FlatFactor& JunctionTree::clean_belief(std::size_t c) const {
+  KERTBN_ASSERT(clean_ready_);
+  if (clean_belief_ready_[c]) return clean_beliefs_[c];
+  std::vector<const FlatFactor*> in;
+  for (std::size_t nb : neighbors_[c]) {
+    in.push_back(&clean_msgs_[message_id(nb, c)]);
+  }
+  ws_.product_chain(clean_base_[c], in, clean_beliefs_[c]);
+  clean_belief_ready_[c] = 1;
+  ++stats_.beliefs_computed;
+  return clean_beliefs_[c];
+}
+
+const FlatFactor& JunctionTree::potential(std::size_t c) const {
+  if (!dirty_[c]) return clean_base_[c];
+  if (cur_pot_epoch_[c] == epoch_) return cur_pots_[c];
+  cur_pots_[c] = clean_base_[c];
+  for (const auto& [v, state] : evidence_) {
+    if (family_clique_[v] == c) apply_evidence(cur_pots_[c], v, state);
+  }
+  cur_pot_epoch_[c] = epoch_;
+  return cur_pots_[c];
+}
+
+const FlatFactor& JunctionTree::message(std::size_t x, std::size_t y) const {
+  const std::size_t id = message_id(x, y);
+  if (!message_affected(x, y)) {
+    ++stats_.messages_reused;
+    note_messages(0, 1);
+    return clean_msgs_[id];
+  }
+  if (cur_msg_epoch_[id] == epoch_) return cur_msgs_[id];
+  // Pull dependencies first; the recursion completes before msg_tmp_ and
+  // the workspace scratch are touched for this level.
+  std::vector<const FlatFactor*> in;
+  for (std::size_t nb : neighbors_[x]) {
+    if (nb == y) continue;
+    in.push_back(&message(nb, x));
+  }
+  ws_.product_chain(potential(x), in, msg_tmp_);
+  ws_.reduce(msg_tmp_, edges_[id / 2].separator, cur_msgs_[id]);
+  cur_msg_epoch_[id] = epoch_;
+  ++stats_.messages_recomputed;
+  note_messages(1, 0);
+  return cur_msgs_[id];
+}
+
+const FlatFactor& JunctionTree::belief(std::size_t c) const {
+  if (comp_dirty_[component_of_[c]] == 0) return clean_belief(c);
+  if (cur_belief_epoch_[c] == epoch_) return cur_beliefs_[c];
+  std::vector<const FlatFactor*> in;
+  for (std::size_t nb : neighbors_[c]) {
+    in.push_back(&message(nb, c));
+  }
+  ws_.product_chain(potential(c), in, cur_beliefs_[c]);
+  cur_belief_epoch_[c] = epoch_;
+  ++stats_.beliefs_computed;
+  return cur_beliefs_[c];
 }
 
 void JunctionTree::calibrate(
     const std::map<std::size_t, std::size_t>& evidence) {
+  calibrate_sorted(SortedEvidence(evidence.begin(), evidence.end()));
+}
+
+void JunctionTree::calibrate_sorted(const SortedEvidence& evidence) {
   KERTBN_SPAN_VAR(span, "jt.calibrate");
   span.tag("evidence", static_cast<std::uint64_t>(evidence.size()));
+  for (std::size_t i = 0; i < evidence.size(); ++i) {
+    KERTBN_EXPECTS(evidence[i].first < net_.size());
+    KERTBN_EXPECTS(evidence[i].second <
+                   net_.variable(evidence[i].first).cardinality);
+    KERTBN_EXPECTS(i == 0 || evidence[i - 1].first < evidence[i].first);
+  }
+  ensure_clean();
   evidence_ = evidence;
+  ++epoch_;
+
   const std::size_t m = cliques_.size();
-  std::vector<Factor> base(m);
-  for (std::size_t c = 0; c < m; ++c) {
-    base[c] = clique_base_factor(c, evidence);
-  }
-
-  // Messages between adjacent cliques, keyed by (from, to).
-  std::map<std::pair<std::size_t, std::size_t>, Factor> messages;
-  auto separator_of = [&](std::size_t a, std::size_t b)
-      -> const std::vector<std::size_t>& {
-    for (const Edge& e : edges_) {
-      if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) {
-        return e.separator;
-      }
+  std::fill(dirty_.begin(), dirty_.end(), char{0});
+  if (incremental_) {
+    for (const auto& [v, state] : evidence_) {
+      (void)state;
+      dirty_[family_clique_[v]] = 1;
     }
-    KERTBN_ASSERT(false && "no such tree edge");
-    static const std::vector<std::size_t> kEmpty;
-    return kEmpty;
-  };
-
-  auto product_with_messages = [&](std::size_t c, std::size_t except) {
-    Factor f = base[c];
-    for (std::size_t nb : neighbors_[c]) {
-      if (nb == except) continue;
-      auto it = messages.find({nb, c});
-      if (it != messages.end()) f = f.product(it->second);
+  } else {
+    std::fill(dirty_.begin(), dirty_.end(), char{1});
+  }
+  std::fill(subtree_dirty_.begin(), subtree_dirty_.end(), std::size_t{0});
+  for (std::size_t c : postorder_) {
+    subtree_dirty_[c] += static_cast<std::size_t>(dirty_[c]);
+    if (parent_clique_[c] != kNone) {
+      subtree_dirty_[parent_clique_[c]] += subtree_dirty_[c];
     }
-    return f;
-  };
+  }
+  for (std::size_t r : roots_) {
+    comp_dirty_[component_of_[r]] = subtree_dirty_[r];
+  }
 
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  // Upward pass (collect) then downward pass (distribute), per component.
-  std::function<void(std::size_t, std::size_t)> collect =
-      [&](std::size_t c, std::size_t from) {
-        for (std::size_t nb : neighbors_[c]) {
-          if (nb == from) continue;
-          collect(nb, c);
-          messages[{nb, c}] = marginalize_to(product_with_messages(nb, c),
-                                             separator_of(nb, c));
-        }
-      };
-  std::function<void(std::size_t, std::size_t)> distribute =
-      [&](std::size_t c, std::size_t from) {
-        for (std::size_t nb : neighbors_[c]) {
-          if (nb == from) continue;
-          messages[{c, nb}] = marginalize_to(product_with_messages(c, nb),
-                                             separator_of(c, nb));
-          distribute(nb, c);
-        }
-      };
+  std::size_t dirty_count = 0;
+  for (char d : dirty_) dirty_count += static_cast<std::size_t>(d);
+  ++stats_.calibrations;
+  if (dirty_count == m) ++stats_.full_calibrations;
+  span.tag("dirty", static_cast<std::uint64_t>(dirty_count));
+  if (obs::enabled()) {
+    static obs::Counter& calibrations =
+        obs::MetricsRegistry::instance().counter("kert.query.calibrations");
+    static obs::Counter& dirty_cliques =
+        obs::MetricsRegistry::instance().counter("kert.query.dirty_cliques");
+    calibrations.add(1);
+    dirty_cliques.add(dirty_count);
+  }
+}
 
-  std::vector<bool> visited(m, false);
-  evidence_probability_ = 1.0;
-  std::vector<std::size_t> roots;
-  for (std::size_t c = 0; c < m; ++c) {
-    if (visited[c]) continue;
-    // Mark this component.
-    std::vector<std::size_t> stack{c};
-    visited[c] = true;
-    while (!stack.empty()) {
-      const std::size_t x = stack.back();
-      stack.pop_back();
-      for (std::size_t nb : neighbors_[x]) {
-        if (!visited[nb]) {
-          visited[nb] = true;
-          stack.push_back(nb);
-        }
-      }
+double JunctionTree::evidence_probability() const {
+  ensure_clean();
+  if (!ep_ready_ || ep_epoch_ != epoch_) {
+    // Same accumulation order as the legacy pass: roots ascending. Clean
+    // components contribute their cached totals (bit-identical values).
+    double p = 1.0;
+    for (std::size_t r : roots_) {
+      const std::size_t comp = component_of_[r];
+      p *= (comp_dirty_[comp] == 0) ? clean_root_total_[comp]
+                                    : belief(r).total();
     }
-    collect(c, kNone);
-    distribute(c, kNone);
-    roots.push_back(c);
+    evidence_probability_ = p;
+    ep_epoch_ = epoch_;
+    ep_ready_ = true;
   }
-
-  beliefs_.assign(m, Factor::unit());
-  for (std::size_t c = 0; c < m; ++c) {
-    beliefs_[c] = product_with_messages(c, kNone);
-  }
-  for (std::size_t r : roots) {
-    evidence_probability_ *= beliefs_[r].total();
-  }
+  return evidence_probability_;
 }
 
 std::vector<double> JunctionTree::posterior(std::size_t v) const {
   KERTBN_EXPECTS(v < net_.size());
-  KERTBN_EXPECTS(!evidence_.contains(v));
-  const Factor marginal = marginalize_to(beliefs_[family_clique_[v]],
-                                         std::vector<std::size_t>{v});
-  const Factor normalized = marginal.normalized();
-  KERTBN_ASSERT(normalized.scope().size() == 1 &&
-                normalized.scope()[0] == v);
-  return normalized.values();
+  KERTBN_EXPECTS(!std::binary_search(
+      evidence_.begin(), evidence_.end(),
+      std::pair<std::size_t, std::size_t>{v, 0},
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  ensure_clean();
+  const FlatFactor& b = belief(family_clique_[v]);
+  if (!posterior_plan_ready_[v]) {
+    const std::size_t target[1] = {v};
+    posterior_plans_[v] = make_reduce_plan(b.scope, b.cards, target);
+    posterior_plan_ready_[v] = 1;
+  }
+  const ReducePlan& plan = posterior_plans_[v];
+  KERTBN_ASSERT(plan.out_scope.size() == 1 && plan.out_scope[0] == v);
+  // Local buffers keep warm no-evidence reads mutation-free (sharable
+  // across threads after warm()).
+  std::vector<double> out;
+  std::vector<double> scratch;
+  reduce_into(plan, b.values, scratch, out);
+  // Normalize exactly like Factor::normalized (no-op on an all-zero
+  // marginal).
+  double t = 0.0;
+  for (double x : out) t += x;
+  if (t > 0.0) {
+    for (double& x : out) x /= t;
+  }
+  return out;
+}
+
+void JunctionTree::warm() {
+  ensure_clean();
+  for (std::size_t c = 0; c < cliques_.size(); ++c) clean_belief(c);
+  for (std::size_t v = 0; v < net_.size(); ++v) {
+    if (posterior_plan_ready_[v]) continue;
+    const FlatFactor& b = clean_beliefs_[family_clique_[v]];
+    const std::size_t target[1] = {v};
+    posterior_plans_[v] = make_reduce_plan(b.scope, b.cards, target);
+    posterior_plan_ready_[v] = 1;
+  }
+  evidence_probability();
 }
 
 std::size_t JunctionTree::max_clique_size() const {

@@ -13,35 +13,89 @@
 /// Pipeline: moral graph -> min-fill elimination order -> cliques ->
 /// maximum-weight spanning tree over separator sizes -> CPT assignment ->
 /// evidence reduction -> upward/downward sum-product calibration.
+///
+/// Serving-path design (see DESIGN "Query serving"): all message and
+/// belief computation runs on the flat kernels in factor_kernels.hpp
+/// through a per-tree FactorWorkspace, so the steady state reuses cached
+/// alignment plans and scratch buffers. Calibration is *lazy and
+/// incremental*: calibrate() only records the evidence and marks the
+/// cliques whose potentials changed (evidence attaches at a variable's
+/// family clique, and evidence enters as slice-zeroing, so factor shapes
+/// — and therefore every cached plan — are evidence-independent). A
+/// posterior read then pulls exactly the messages directed toward the
+/// target clique; any message whose source side contains no dirty clique
+/// is reused verbatim from the cached no-evidence calibration. Message
+/// fixed points are schedule-independent, so every answer stays
+/// bit-identical to the eager legacy schedule.
 
 #include <map>
 #include <vector>
 
 #include "bn/factor.hpp"
+#include "bn/factor_kernels.hpp"
 #include "bn/network.hpp"
 
 namespace kertbn::bn {
 
 class JunctionTree {
  public:
-  /// Builds the tree structure for a complete all-discrete network and
-  /// calibrates it with no evidence. The network must outlive the tree.
+  /// Incremental-recalibration bookkeeping, cumulative over the tree's
+  /// lifetime. `messages_reused` counts pulls satisfied by the cached
+  /// no-evidence calibration (the incremental win); `messages_recomputed`
+  /// counts actual kernel executions.
+  struct CalibrationStats {
+    std::size_t calibrations = 0;
+    std::size_t full_calibrations = 0;  ///< calibrations with every clique dirty
+    std::size_t messages_recomputed = 0;
+    std::size_t messages_reused = 0;
+    std::size_t beliefs_computed = 0;
+  };
+
+  /// Builds the tree structure for a complete all-discrete network. The
+  /// no-evidence calibration is *not* run here: it is computed lazily on
+  /// first use and kept as the baseline the incremental path reuses. The
+  /// network must outlive the tree.
   explicit JunctionTree(const BayesianNetwork& net);
 
-  /// Re-calibrates with the given evidence (node -> state). Cheap relative
-  /// to construction; replaces any previous evidence.
+  /// Re-calibrates with the given evidence (node -> state). Only
+  /// bookkeeping happens here (dirty-clique marking); message work is
+  /// deferred to the next posterior / evidence_probability read.
   void calibrate(const std::map<std::size_t, std::size_t>& evidence);
+
+  /// Hot-path variant: evidence as sorted (node, state) pairs, no
+  /// per-node allocation. (Named, not overloaded: a braced initializer
+  /// list would be ambiguous against the map overload.)
+  void calibrate_sorted(const SortedEvidence& evidence);
+
+  /// Incremental recalibration reuses the cached no-evidence messages for
+  /// every subtree without dirty cliques (default). When off, every
+  /// calibrate() recomputes the full schedule — the legacy cost model,
+  /// kept for benchmarking and as a bit-identical cross-check.
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
+  /// Precomputes the no-evidence calibration, all clique beliefs, and the
+  /// per-node posterior reduction plans. After warm(), no-evidence reads
+  /// (posterior / evidence_probability) on a const tree are mutation-free
+  /// and safe to share across threads; evidence calibration still requires
+  /// an exclusive (per-worker) copy.
+  void warm();
 
   /// Posterior P(v | current evidence). v must not be an evidence node.
   std::vector<double> posterior(std::size_t v) const;
 
   /// Probability of the current evidence, P(e) (1 when none set).
-  double evidence_probability() const { return evidence_probability_; }
+  double evidence_probability() const;
 
   std::size_t clique_count() const { return cliques_.size(); }
   /// Size (number of variables) of the largest clique — the treewidth+1
   /// proxy that governs inference cost.
   std::size_t max_clique_size() const;
+
+  const CalibrationStats& stats() const { return stats_; }
+  /// Plan-cache hit rate of the underlying workspace (diagnostics).
+  std::size_t plan_hits() const { return ws_.plan_hits(); }
+  std::size_t plan_misses() const { return ws_.plan_misses(); }
 
  private:
   struct Edge {
@@ -50,20 +104,76 @@ class JunctionTree {
     std::vector<std::size_t> separator;
   };
 
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
   void build_structure();
-  Factor clique_base_factor(std::size_t c,
-                            const std::map<std::size_t, std::size_t>&
-                                evidence) const;
+  Factor clique_base_factor(std::size_t c) const;
+
+  /// Computes the cached no-evidence calibration once: clean clique
+  /// potentials and the full fixed point of directed messages.
+  void ensure_clean() const;
+
+  /// Directed message id for x -> y (x, y adjacent): 2*edge + side.
+  std::size_t message_id(std::size_t x, std::size_t y) const;
+  /// True when message x -> y must be recomputed under the current dirty
+  /// set (a dirty clique lies on x's side of the edge).
+  bool message_affected(std::size_t x, std::size_t y) const;
+
+  /// Message x -> y for the current evidence (pull-based; recursive).
+  const FlatFactor& message(std::size_t x, std::size_t y) const;
+  /// Clique potential under current evidence (clean base + zeroed slices).
+  const FlatFactor& potential(std::size_t c) const;
+  /// Calibrated belief of clique c under current evidence.
+  const FlatFactor& belief(std::size_t c) const;
+  const FlatFactor& clean_belief(std::size_t c) const;
 
   const BayesianNetwork& net_;
   std::vector<std::vector<std::size_t>> cliques_;  // sorted variable ids
   std::vector<Edge> edges_;                         // tree edges
   std::vector<std::vector<std::size_t>> neighbors_;  // clique adjacency
   std::vector<std::size_t> family_clique_;  // node -> clique holding family
-  // Calibrated clique beliefs (unnormalized joints with evidence folded).
-  std::vector<Factor> beliefs_;
-  std::map<std::size_t, std::size_t> evidence_;
-  double evidence_probability_ = 1.0;
+  // Rooted-forest view (root = smallest clique index of each component,
+  // matching the legacy component discovery order).
+  std::vector<std::size_t> parent_clique_;   // kNone at roots
+  std::vector<std::size_t> parent_edge_;     // edge index to parent
+  std::vector<std::size_t> component_of_;    // clique -> component id
+  std::vector<std::size_t> roots_;           // ascending clique index
+  std::vector<std::size_t> postorder_;       // children before parents
+
+  bool incremental_ = true;
+
+  // ---- cached no-evidence calibration (computed once, then immutable) --
+  mutable bool clean_ready_ = false;
+  mutable std::vector<FlatFactor> clean_base_;      // per clique
+  mutable std::vector<FlatFactor> clean_msgs_;      // per directed id
+  mutable std::vector<FlatFactor> clean_beliefs_;   // per clique (lazy)
+  mutable std::vector<char> clean_belief_ready_;
+  mutable std::vector<double> clean_root_total_;    // per component
+
+  // ---- current-evidence state (epoch-tagged lazy caches) ---------------
+  SortedEvidence evidence_;
+  mutable std::size_t epoch_ = 0;
+  std::vector<char> dirty_;                 // clique potential != clean
+  std::vector<std::size_t> subtree_dirty_;  // dirty cliques under c
+  std::vector<std::size_t> comp_dirty_;     // dirty cliques per component
+  mutable std::vector<FlatFactor> cur_msgs_;
+  mutable std::vector<std::size_t> cur_msg_epoch_;
+  mutable std::vector<FlatFactor> cur_pots_;
+  mutable std::vector<std::size_t> cur_pot_epoch_;
+  mutable std::vector<FlatFactor> cur_beliefs_;
+  mutable std::vector<std::size_t> cur_belief_epoch_;
+  mutable double evidence_probability_ = 1.0;
+  mutable std::size_t ep_epoch_ = 0;
+  mutable bool ep_ready_ = false;
+
+  // Per-node posterior reduction plans (belief scope -> {v}), filled by
+  // warm() or on first use.
+  mutable std::vector<ReducePlan> posterior_plans_;
+  mutable std::vector<char> posterior_plan_ready_;
+
+  mutable FactorWorkspace ws_;
+  mutable FlatFactor msg_tmp_;  // product staging for message reduction
+  mutable CalibrationStats stats_;
 };
 
 }  // namespace kertbn::bn

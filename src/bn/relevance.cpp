@@ -59,6 +59,13 @@ RelevantSubnetwork relevant_subnetwork(
 std::vector<double> pruned_posterior(
     const BayesianNetwork& net, std::size_t query,
     const std::map<std::size_t, std::size_t>& evidence) {
+  return pruned_posterior_sorted(
+      net, query, SortedEvidence(evidence.begin(), evidence.end()));
+}
+
+std::vector<double> pruned_posterior_sorted(const BayesianNetwork& net,
+                                            std::size_t query,
+                                            const SortedEvidence& evidence) {
   std::vector<std::size_t> evidence_nodes;
   evidence_nodes.reserve(evidence.size());
   for (const auto& [v, _] : evidence) evidence_nodes.push_back(v);
@@ -71,6 +78,32 @@ std::vector<double> pruned_posterior(
   }
   const VariableElimination ve(sub.net);
   return ve.posterior(sub.pruned_of[query], remapped);
+}
+
+std::size_t relevant_node_count(const BayesianNetwork& net, std::size_t query,
+                                std::span<const std::size_t> evidence_nodes) {
+  KERTBN_EXPECTS(query < net.size());
+  std::vector<bool> keep(net.size(), false);
+  std::vector<std::size_t> stack;
+  auto push = [&](std::size_t v) {
+    if (!keep[v]) {
+      keep[v] = true;
+      stack.push_back(v);
+    }
+  };
+  push(query);
+  for (std::size_t e : evidence_nodes) {
+    KERTBN_EXPECTS(e < net.size());
+    push(e);
+  }
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (std::size_t p : net.dag().parents(v)) push(p);
+  }
+  return count;
 }
 
 }  // namespace kertbn::bn

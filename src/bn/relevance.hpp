@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "bn/factor_kernels.hpp"
 #include "bn/network.hpp"
 
 namespace kertbn::bn {
@@ -49,5 +50,19 @@ std::vector<double> pruned_posterior(const BayesianNetwork& net,
                                      std::size_t query,
                                      const std::map<std::size_t,
                                                     std::size_t>& evidence);
+
+/// Hot-path variant taking sorted (node, state) evidence; same result as
+/// the map overload. (Named, not overloaded: a braced initializer list
+/// would be ambiguous against it.)
+std::vector<double> pruned_posterior_sorted(const BayesianNetwork& net,
+                                            std::size_t query,
+                                            const SortedEvidence& evidence);
+
+/// Size of the ancestral closure of {query} ∪ evidence_nodes — the node
+/// count relevant_subnetwork would keep, without cloning anything. The
+/// QueryEngine uses this to decide per query whether pruned elimination
+/// beats the calibrated tree.
+std::size_t relevant_node_count(const BayesianNetwork& net, std::size_t query,
+                                std::span<const std::size_t> evidence_nodes);
 
 }  // namespace kertbn::bn

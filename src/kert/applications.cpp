@@ -45,10 +45,10 @@ DistributionSummary summarize_weighted(const bn::WeightedSamples& ws) {
   return s;
 }
 
-/// Discrete state distribution -> summary in seconds via bin centers (or
-/// state indices when no discretizer column is given).
-DistributionSummary summarize_states(const std::vector<double>& dist,
-                                     const ColumnDiscretizer* column) {
+}  // namespace
+
+DistributionSummary summarize_discrete_posterior(
+    const std::vector<double>& dist, const ColumnDiscretizer* column) {
   DistributionSummary s;
   s.probs = dist;
   s.support.resize(dist.size());
@@ -67,6 +67,8 @@ DistributionSummary summarize_states(const std::vector<double>& dist,
   s.stddev = std::sqrt(var);
   return s;
 }
+
+namespace {
 
 DistributionSummary continuous_marginal(const bn::BayesianNetwork& net,
                                         std::size_t node, Rng& rng,
@@ -121,9 +123,9 @@ DCompResult dcomp_discrete(const bn::BayesianNetwork& net, std::size_t target,
   const ColumnDiscretizer* column =
       discretizer ? &discretizer->column(target_column) : nullptr;
   DCompResult out;
-  out.prior = summarize_states(ve.posterior(target, {}), column);
+  out.prior = summarize_discrete_posterior(ve.posterior(target, {}), column);
   out.posterior =
-      summarize_states(ve.posterior(target, observed_states), column);
+      summarize_discrete_posterior(ve.posterior(target, observed_states), column);
   return out;
 }
 
@@ -187,8 +189,8 @@ PAccelResult paccel_discrete(const bn::BayesianNetwork& net,
   const ColumnDiscretizer* column =
       discretizer ? &discretizer->column(d_node) : nullptr;
   PAccelResult out;
-  out.prior_response = summarize_states(ve.posterior(d_node, {}), column);
-  out.projected_response = summarize_states(
+  out.prior_response = summarize_discrete_posterior(ve.posterior(d_node, {}), column);
+  out.projected_response = summarize_discrete_posterior(
       ve.posterior(d_node, {{service, accelerated_state}}), column);
   return out;
 }

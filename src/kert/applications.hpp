@@ -38,6 +38,12 @@ struct DistributionSummary {
 /// applies); false when the net holds e.g. a deterministic max CPD.
 bool all_linear_gaussian(const bn::BayesianNetwork& net);
 
+/// Discrete state distribution -> summary in seconds via bin centers (or
+/// state indices when \p column is null). Shared by dComp/pAccel and the
+/// QueryEngine serving path.
+DistributionSummary summarize_discrete_posterior(
+    const std::vector<double>& dist, const ColumnDiscretizer* column);
+
 // ---------------------------------------------------------------- dComp --
 
 struct DCompResult {

@@ -188,6 +188,7 @@ Reconstruction ModelManager::reconstruct(double now,
 
   set_health(now, ModelHealth::kFresh, "reconstructed");
   remember_window(window);
+  if (!publish_suspended_) publish_current(now);
 
   span.tag("at", now);
   span.tag("version", static_cast<std::uint64_t>(rec.version));
@@ -304,8 +305,15 @@ std::optional<Reconstruction> ModelManager::try_reconstruct(
   const std::size_t saved_build_rows = last_build_rows_;
   std::vector<double> saved_build_window = last_build_window_;
 
+  // Publication is deferred past post-validation: a query reader must
+  // never acquire a snapshot of a model that is about to be rolled back.
+  publish_suspended_ = true;
   Reconstruction rec = reconstruct(now, window);
-  if (model_output_finite(window)) return rec;
+  publish_suspended_ = false;
+  if (model_output_finite(window)) {
+    publish_current(now);
+    return rec;
+  }
 
   // The fit went through but produced a model that cannot serve (NaN CPD
   // parameters from a degenerate window). Restore the last-known-good
@@ -376,6 +384,19 @@ void ModelManager::note_failure(double now, const char* reason) {
              model_.has_value() ? ModelHealth::kFallback
                                 : ModelHealth::kDegraded,
              reason);
+}
+
+void ModelManager::publish_current(double now) {
+  if (!config_.publish_snapshots) return;
+  KERTBN_ASSERT(model_.has_value());
+  snapshot_slot_->publish(
+      make_model_snapshot(version_, now, *model_, discretizer_));
+  if (obs::enabled()) {
+    static obs::Counter& published =
+        obs::MetricsRegistry::instance().counter(
+            "kert.query.snapshots_published");
+    published.add(1);
+  }
 }
 
 void ModelManager::remember_window(const bn::Dataset& window) {

@@ -7,10 +7,12 @@
 /// possible ... making a scheme purely based on reconstruction more
 /// appropriate").
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "kert/kert_builder.hpp"
+#include "kert/query_engine.hpp"
 #include "kert/reconstruction_executor.hpp"
 #include "kert/window_stats.hpp"
 #include "sosim/monitoring.hpp"
@@ -93,6 +95,11 @@ class ModelManager {
     /// windows fail the attempt (variance and Gram moments are meaningless
     /// below two observations).
     std::size_t min_window_rows = 2;
+    /// Publish every successfully (re)built model as an immutable
+    /// ModelSnapshot in snapshot_slot() — the lock-free hand-off the
+    /// QueryEngine serves from. Guarded rebuilds publish only after the
+    /// built model validates, so readers never observe a bad model.
+    bool publish_snapshots = false;
   };
 
   ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
@@ -137,6 +144,11 @@ class ModelManager {
   std::size_t version() const { return version_; }
   const std::vector<Reconstruction>& history() const { return history_; }
 
+  /// Snapshot exchange for concurrent query serving (populated only with
+  /// config().publish_snapshots). Readers acquire() while reconstructions
+  /// publish; neither side blocks.
+  const SnapshotSlot& snapshot_slot() const { return *snapshot_slot_; }
+
   /// Current serving status (see ModelHealth).
   ModelHealth health() const { return health_; }
   /// Every health-state change so far, in order.
@@ -179,6 +191,8 @@ class ModelManager {
   bool model_output_finite(const bn::Dataset& window) const;
   void set_health(double now, ModelHealth to, const char* reason);
   void note_failure(double now, const char* reason);
+  /// Publishes the current model as a snapshot (no-op unless configured).
+  void publish_current(double now);
   /// Full-content snapshot/compare of the last successfully built window —
   /// the staleness signal for unchanged-window deadlines.
   void remember_window(const bn::Dataset& window);
@@ -208,6 +222,13 @@ class ModelManager {
   double last_missed_due_ = -1.0;  ///< Deadline already counted as missed.
   std::size_t last_build_rows_ = 0;
   std::vector<double> last_build_window_;  ///< Flattened row-major copy.
+  // Snapshot publication state (heap-held: the slot's atomics pin its
+  // address while keeping the manager movable).
+  std::unique_ptr<SnapshotSlot> snapshot_slot_ =
+      std::make_unique<SnapshotSlot>();
+  /// Guarded rebuilds suspend the in-reconstruct publication until the
+  /// built model passes validation.
+  bool publish_suspended_ = false;
 };
 
 }  // namespace kertbn::core

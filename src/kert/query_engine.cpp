@@ -1,0 +1,205 @@
+#include "kert/query_engine.hpp"
+
+#include <chrono>
+#include <future>
+
+#include "bn/relevance.hpp"
+#include "common/contract.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace kertbn::core {
+
+namespace {
+
+/// Telemetry handles for the serving path (resolved once).
+struct QueryMetrics {
+  obs::Counter& queries;
+  obs::Counter& batches;
+  obs::Counter& pruned_routes;
+  obs::Counter& tree_routes;
+  obs::Histogram& latency_ns;
+  obs::Histogram& batch_size;
+
+  static QueryMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static QueryMetrics m{reg.counter("kert.query.count"),
+                          reg.counter("kert.query.batches"),
+                          reg.counter("kert.query.pruned_routes"),
+                          reg.counter("kert.query.tree_routes"),
+                          reg.histogram("kert.query.latency_ns"),
+                          reg.histogram("kert.query.batch_size")};
+    return m;
+  }
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool discrete_tabular(const bn::BayesianNetwork& net) {
+  if (!net.is_complete()) return false;
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (!net.variable(v).is_discrete()) return false;
+    if (net.cpd(v).kind() != bn::CpdKind::kTabular) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelSnapshot> make_model_snapshot(
+    std::size_t version, double built_at, const bn::BayesianNetwork& net,
+    const std::optional<DatasetDiscretizer>& discretizer) {
+  KERTBN_SPAN_VAR(span, "kert.snapshot.build");
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->version = version;
+  snapshot->built_at = built_at;
+  snapshot->net = net;  // deep copy: the snapshot owns its model
+  snapshot->discretizer = discretizer;
+  if (discrete_tabular(snapshot->net)) {
+    // The tree references the snapshot's own copy and is warmed here, so
+    // no-evidence reads on the shared snapshot are mutation-free.
+    auto tree = std::make_unique<bn::JunctionTree>(snapshot->net);
+    tree->warm();
+    snapshot->prior_tree = std::move(tree);
+  }
+  span.tag("version", static_cast<std::uint64_t>(version));
+  span.tag("tree", snapshot->has_tree());
+  return snapshot;
+}
+
+QueryEngine::QueryEngine(Config config) : config_(config) {
+  KERTBN_EXPECTS(config_.slot != nullptr);
+  KERTBN_EXPECTS(config_.prune_threshold >= 0.0);
+}
+
+void QueryEngine::adopt(Worker& w,
+                        const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  if (w.snapshot == snapshot) return;  // tree (and its caches) stay warm
+  w.snapshot = snapshot;
+  w.tree.reset();
+  if (snapshot->has_tree()) {
+    // Copying the warm tree clones the cached no-evidence calibration, so
+    // the worker starts with every plan and message already in place.
+    w.tree.emplace(*snapshot->prior_tree);
+    w.tree->set_incremental(config_.incremental_recalibration);
+  }
+}
+
+QueryAnswer QueryEngine::answer(Worker& w, const Query& q) {
+  const ModelSnapshot& snap = *w.snapshot;
+  KERTBN_EXPECTS(w.tree.has_value());
+  bn::JunctionTree& tree = *w.tree;
+
+  QueryAnswer out;
+  out.snapshot_version = snap.version;
+
+  if (q.kind == QueryKind::kEvidenceProbability) {
+    tree.calibrate_sorted(q.evidence);
+    out.evidence_probability = tree.evidence_probability();
+    return out;
+  }
+
+  KERTBN_EXPECTS(q.target < snap.net.size());
+  const ColumnDiscretizer* column =
+      snap.discretizer.has_value() && q.target < snap.discretizer->columns()
+          ? &snap.discretizer->column(q.target)
+          : nullptr;
+
+  if (q.kind == QueryKind::kWhatIf) {
+    // Baseline from the shared warm prior tree: a const, mutation-free
+    // no-evidence read.
+    out.baseline = summarize_discrete_posterior(
+        snap.prior_tree->posterior(q.target), column);
+    tree.calibrate_sorted(q.evidence);
+    out.posterior = tree.posterior(q.target);
+    out.summary = summarize_discrete_posterior(out.posterior, column);
+    return out;
+  }
+
+  // kPosterior / kExceedance: route between the calibrated tree and pruned
+  // variable elimination on the relevant subnetwork.
+  bool pruned = false;
+  if (config_.prune && !q.evidence.empty()) {
+    std::vector<std::size_t> evidence_nodes;
+    evidence_nodes.reserve(q.evidence.size());
+    for (const auto& [v, _] : q.evidence) evidence_nodes.push_back(v);
+    const std::size_t relevant =
+        bn::relevant_node_count(snap.net, q.target, evidence_nodes);
+    pruned = static_cast<double>(relevant) <=
+             config_.prune_threshold * static_cast<double>(snap.net.size());
+  }
+  if (pruned) {
+    out.route = QueryRoute::kPrunedElimination;
+    out.posterior = bn::pruned_posterior_sorted(snap.net, q.target, q.evidence);
+    pruned_routes_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) QueryMetrics::get().pruned_routes.add(1);
+  } else {
+    out.route = QueryRoute::kCalibratedTree;
+    tree.calibrate_sorted(q.evidence);
+    out.posterior = tree.posterior(q.target);
+    if (obs::enabled()) QueryMetrics::get().tree_routes.add(1);
+  }
+  out.summary = summarize_discrete_posterior(out.posterior, column);
+  if (q.kind == QueryKind::kExceedance) {
+    out.exceedance = out.summary.exceedance(q.threshold);
+  }
+  return out;
+}
+
+std::vector<QueryAnswer> QueryEngine::post(const QueryBatch& batch) {
+  KERTBN_SPAN_VAR(span, "kert.query.batch");
+  span.tag("queries", static_cast<std::uint64_t>(batch.size()));
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      config_.slot->acquire();
+  KERTBN_EXPECTS(snapshot != nullptr &&
+                 "QueryEngine::post requires a published snapshot");
+  KERTBN_EXPECTS(snapshot->has_tree() &&
+                 "QueryEngine serves discrete (tabular) snapshots");
+  last_version_ = snapshot->version;
+
+  const std::size_t n = batch.size();
+  const std::size_t fanout =
+      (config_.pool != nullptr && n > 1)
+          ? std::min(config_.pool->size(), n)
+          : std::size_t{1};
+  if (workers_.size() < fanout) workers_.resize(fanout);
+  for (std::size_t k = 0; k < fanout; ++k) adopt(workers_[k], snapshot);
+
+  std::vector<QueryAnswer> answers(n);
+  const bool timed = obs::enabled();
+  auto run_stripe = [&](std::size_t k) {
+    Worker& w = workers_[k];
+    for (std::size_t i = k; i < n; i += fanout) {
+      const std::uint64_t t0 = timed ? now_ns() : 0;
+      answers[i] = answer(w, batch[i]);
+      if (timed) QueryMetrics::get().latency_ns.record(now_ns() - t0);
+    }
+  };
+  if (fanout > 1) {
+    std::vector<std::future<void>> done;
+    done.reserve(fanout);
+    for (std::size_t k = 0; k < fanout; ++k) {
+      done.push_back(config_.pool->submit([&run_stripe, k] { run_stripe(k); }));
+    }
+    for (auto& f : done) f.get();
+  } else if (n > 0) {
+    run_stripe(0);
+  }
+
+  queries_served_ += n;
+  ++batches_served_;
+  if (obs::enabled()) {
+    QueryMetrics& m = QueryMetrics::get();
+    m.queries.add(n);
+    m.batches.add(1);
+    m.batch_size.record(n);
+  }
+  return answers;
+}
+
+}  // namespace kertbn::core

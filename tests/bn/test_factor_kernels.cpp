@@ -1,0 +1,167 @@
+#include "bn/factor_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bn/factor.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+/// Random factor over the given scope with values in (0.05, 1].
+Factor random_factor(const std::vector<std::size_t>& scope,
+                     const std::vector<std::size_t>& cards, kertbn::Rng& rng) {
+  std::size_t size = 1;
+  for (std::size_t c : cards) size *= c;
+  std::vector<double> values;
+  values.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    values.push_back(rng.uniform(0.05, 1.0));
+  }
+  return Factor(scope, cards, values);
+}
+
+void expect_bitwise_equal(const Factor& legacy, const FlatFactor& flat) {
+  ASSERT_EQ(legacy.scope(), flat.scope);
+  ASSERT_EQ(legacy.cardinalities(), flat.cards);
+  ASSERT_EQ(legacy.values().size(), flat.values.size());
+  for (std::size_t i = 0; i < flat.values.size(); ++i) {
+    EXPECT_EQ(legacy.values()[i], flat.values[i]) << "entry " << i;
+  }
+}
+
+TEST(FactorKernels, ProductBitwiseMatchesLegacyFactor) {
+  kertbn::Rng rng(101);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 50; ++rep) {
+    // Overlapping scopes with varied cardinalities and orders.
+    const Factor a = random_factor({0, 2, 5}, {2, 3, 2}, rng);
+    const Factor b = random_factor({5, 1, 2}, {2, 2, 3}, rng);
+    const Factor legacy = a.product(b);
+    FlatFactor out;
+    ws.product(FlatFactor::from(a), FlatFactor::from(b), out);
+    expect_bitwise_equal(legacy, out);
+  }
+}
+
+TEST(FactorKernels, ProductWithDisjointAndScalarOperands) {
+  kertbn::Rng rng(102);
+  FactorWorkspace ws;
+  const Factor a = random_factor({3, 7}, {2, 3}, rng);
+  const Factor b = random_factor({1}, {4}, rng);
+  FlatFactor out;
+  ws.product(FlatFactor::from(a), FlatFactor::from(b), out);
+  expect_bitwise_equal(a.product(b), out);
+
+  // Scalar (empty-scope) operand on either side.
+  const Factor unit({}, {}, {0.75});
+  ws.product(FlatFactor::from(a), FlatFactor::from(unit), out);
+  expect_bitwise_equal(a.product(unit), out);
+  ws.product(FlatFactor::from(unit), FlatFactor::from(a), out);
+  expect_bitwise_equal(unit.product(a), out);
+}
+
+TEST(FactorKernels, ProductChainMatchesLeftFoldOfLegacyProducts) {
+  kertbn::Rng rng(103);
+  FactorWorkspace ws;
+  const Factor base = random_factor({0, 1}, {2, 2}, rng);
+  const Factor f1 = random_factor({1, 2}, {2, 3}, rng);
+  const Factor f2 = random_factor({0, 3}, {2, 2}, rng);
+  const Factor f3 = random_factor({2}, {3}, rng);
+  const Factor legacy = base.product(f1).product(f2).product(f3);
+
+  const FlatFactor fb = FlatFactor::from(base);
+  const FlatFactor ff1 = FlatFactor::from(f1);
+  const FlatFactor ff2 = FlatFactor::from(f2);
+  const FlatFactor ff3 = FlatFactor::from(f3);
+  const FlatFactor* chain[] = {&ff1, &ff2, &ff3};
+  FlatFactor out;
+  ws.product_chain(fb, chain, out);
+  expect_bitwise_equal(legacy, out);
+
+  // Empty chain copies the base.
+  ws.product_chain(fb, {}, out);
+  expect_bitwise_equal(base, out);
+}
+
+TEST(FactorKernels, ReduceBitwiseMatchesRepeatedMarginalize) {
+  kertbn::Rng rng(104);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 50; ++rep) {
+    const Factor f = random_factor({0, 1, 2, 3}, {2, 3, 2, 3}, rng);
+    // Legacy elimination: first scope variable outside the target,
+    // repeatedly (the marginalize_to loop).
+    Factor legacy = f.marginalize(0).marginalize(2).marginalize(3);
+    FlatFactor out;
+    ws.reduce(FlatFactor::from(f), std::vector<std::size_t>{1}, out);
+    expect_bitwise_equal(legacy, out);
+
+    // Multi-variable target, single elimination step.
+    Factor legacy2 = f.marginalize(1);
+    ws.reduce(FlatFactor::from(f), std::vector<std::size_t>{0, 2, 3}, out);
+    expect_bitwise_equal(legacy2, out);
+  }
+}
+
+TEST(FactorKernels, ReduceToFullScopeCopies) {
+  kertbn::Rng rng(105);
+  FactorWorkspace ws;
+  const Factor f = random_factor({4, 9}, {3, 2}, rng);
+  FlatFactor out;
+  ws.reduce(FlatFactor::from(f), std::vector<std::size_t>{4, 9}, out);
+  expect_bitwise_equal(f, out);
+}
+
+TEST(FactorKernels, ApplyEvidenceBitwiseMatchesIndicatorProduct) {
+  kertbn::Rng rng(106);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Factor f = random_factor({0, 1, 2}, {2, 3, 2}, rng);
+    const std::size_t var = rng.uniform_index(3);
+    const std::size_t card = f.cardinalities()[var];
+    const std::size_t state = rng.uniform_index(card);
+
+    std::vector<double> indicator(card, 0.0);
+    indicator[state] = 1.0;
+    const Factor legacy =
+        f.product(Factor({f.scope()[var]}, {card}, indicator));
+
+    FlatFactor flat = FlatFactor::from(f);
+    apply_evidence(flat, f.scope()[var], state);
+    expect_bitwise_equal(legacy, flat);
+  }
+}
+
+TEST(FactorWorkspaceCache, PlansAreReusedAcrossCalls) {
+  kertbn::Rng rng(107);
+  FactorWorkspace ws;
+  const Factor a = random_factor({0, 1}, {2, 3}, rng);
+  const Factor b = random_factor({1, 2}, {3, 2}, rng);
+  const FlatFactor fa = FlatFactor::from(a);
+  const FlatFactor fb = FlatFactor::from(b);
+  FlatFactor out;
+
+  ws.product(fa, fb, out);
+  EXPECT_EQ(ws.plan_misses(), 1u);
+  EXPECT_EQ(ws.plan_hits(), 0u);
+  for (int rep = 0; rep < 10; ++rep) ws.product(fa, fb, out);
+  EXPECT_EQ(ws.plan_misses(), 1u);
+  EXPECT_EQ(ws.plan_hits(), 10u);
+
+  // A reduce with a new (scope, target) key is one more miss, then hits.
+  FlatFactor reduced;
+  ws.reduce(out, std::vector<std::size_t>{1}, reduced);
+  ws.reduce(out, std::vector<std::size_t>{1}, reduced);
+  EXPECT_EQ(ws.plan_misses(), 2u);
+  EXPECT_EQ(ws.plan_hits(), 11u);
+}
+
+TEST(FactorKernels, RoundTripThroughFactor) {
+  kertbn::Rng rng(108);
+  const Factor f = random_factor({2, 4}, {3, 2}, rng);
+  const FlatFactor flat = FlatFactor::from(f);
+  expect_bitwise_equal(flat.to_factor(), flat);
+  EXPECT_EQ(flat.total(), f.total());
+}
+
+}  // namespace
+}  // namespace kertbn::bn

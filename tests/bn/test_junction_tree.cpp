@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "bn/discrete_inference.hpp"
 #include "bn/learning.hpp"
 #include "bn/tabular_cpd.hpp"
@@ -191,6 +193,94 @@ TEST(JunctionTree, KertBnManyQueriesConsistent) {
   EXPECT_GE(jt.clique_count(), 1u);
   // D's family spans all seven variables, so the biggest clique holds 7.
   EXPECT_EQ(jt.max_clique_size(), 7u);
+}
+
+TEST(JunctionTreeIncremental, ConstructionDefersCalibration) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree jt(net);
+  EXPECT_EQ(jt.stats().calibrations, 0u);
+  // A read triggers the cached no-evidence calibration lazily and once.
+  const auto p = jt.posterior(3);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jt.evidence_probability(), 1.0);
+  EXPECT_EQ(jt.stats().calibrations, 0u);  // no explicit calibrate yet
+}
+
+TEST(JunctionTreeIncremental, CalibrateSortedMatchesMapOverload) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree a(net);
+  JunctionTree b(net);
+  a.calibrate({{1, 1}, {2, 0}});
+  b.calibrate_sorted({{1, 1}, {2, 0}});
+  EXPECT_EQ(a.posterior(0), b.posterior(0));
+  EXPECT_EQ(a.posterior(3), b.posterior(3));
+  EXPECT_EQ(a.evidence_probability(), b.evidence_probability());
+}
+
+TEST(JunctionTreeIncremental, WarmDoesNotChangeAnswers) {
+  const BayesianNetwork net = sprinkler();
+  JunctionTree warmed(net);
+  warmed.warm();
+  JunctionTree cold(net);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(warmed.posterior(v), cold.posterior(v));
+  }
+  EXPECT_EQ(warmed.evidence_probability(), cold.evidence_probability());
+}
+
+/// Incremental recalibration must be bit-identical to both a full-mode tree
+/// and a fresh tree per evidence set, across a seeded evidence sequence.
+TEST(JunctionTreeIncremental, BitIdenticalToFullAndFreshAcrossSequence) {
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    const BayesianNetwork net = random_network(10, seed);
+    JunctionTree inc(net);  // incremental by default
+    JunctionTree full(net);
+    full.set_incremental(false);
+    kertbn::Rng rng(seed * 7 + 1);
+    for (int step = 0; step < 12; ++step) {
+      SortedEvidence ev;
+      const std::size_t m = rng.uniform_index(3);  // 0..2 evidence vars
+      std::vector<std::size_t> nodes = rng.permutation(net.size());
+      nodes.resize(m);
+      std::sort(nodes.begin(), nodes.end());
+      for (std::size_t v : nodes) {
+        ev.emplace_back(v, rng.uniform_index(net.variable(v).cardinality));
+      }
+      inc.calibrate_sorted(ev);
+      full.calibrate_sorted(ev);
+      JunctionTree fresh(net);
+      fresh.calibrate_sorted(ev);
+      EXPECT_EQ(inc.evidence_probability(), full.evidence_probability());
+      EXPECT_EQ(inc.evidence_probability(), fresh.evidence_probability());
+      for (std::size_t v = 0; v < net.size(); ++v) {
+        if (std::binary_search(nodes.begin(), nodes.end(), v)) continue;
+        const auto pi = inc.posterior(v);
+        const auto pf = full.posterior(v);
+        const auto pn = fresh.posterior(v);
+        EXPECT_EQ(pi, pf) << "seed " << seed << " step " << step
+                          << " node " << v;
+        EXPECT_EQ(pi, pn) << "seed " << seed << " step " << step
+                          << " node " << v;
+      }
+    }
+    EXPECT_EQ(inc.stats().full_calibrations, 0u);
+    EXPECT_EQ(full.stats().full_calibrations, full.stats().calibrations);
+  }
+}
+
+TEST(JunctionTreeIncremental, ReusesMessagesOutsideDirtyRegion) {
+  // A chain keeps cliques far from the evidence clean.
+  BayesianNetwork net = random_network(12, 77);
+  JunctionTree jt(net);
+  jt.warm();
+  jt.calibrate({{0, 0}});
+  // Touch every posterior so all messages toward every clique are pulled.
+  for (std::size_t v = 1; v < net.size(); ++v) jt.posterior(v);
+  const auto& s = jt.stats();
+  EXPECT_EQ(s.calibrations, 1u);
+  EXPECT_EQ(s.full_calibrations, 0u);
+  EXPECT_GT(s.messages_reused, 0u)
+      << "single-variable evidence should leave clean-side messages reusable";
 }
 
 }  // namespace

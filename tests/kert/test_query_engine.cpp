@@ -1,0 +1,315 @@
+#include "kert/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "bn/discrete_inference.hpp"
+#include "bn/junction_tree.hpp"
+#include "bn/relevance.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+/// Random discrete network (same construction as the junction-tree tests).
+bn::BayesianNetwork random_network(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  bn::BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(bn::Variable::discrete("v" + std::to_string(i),
+                                        2 + rng.uniform_index(2)));
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t max_parents = std::min<std::size_t>(v, 3);
+    const std::size_t k = rng.uniform_index(max_parents + 1);
+    auto perm = rng.permutation(v);
+    for (std::size_t i = 0; i < k; ++i) net.add_edge(perm[i], v);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t configs = 1;
+    std::vector<std::size_t> cards;
+    for (std::size_t p : net.dag().parents(v)) {
+      cards.push_back(net.variable(p).cardinality);
+      configs *= net.variable(p).cardinality;
+    }
+    const std::size_t card = net.variable(v).cardinality;
+    std::vector<double> table;
+    table.reserve(configs * card);
+    for (std::size_t c = 0; c < configs * card; ++c) {
+      table.push_back(rng.uniform(0.05, 1.0));
+    }
+    net.set_cpd(v, std::make_unique<bn::TabularCpd>(
+                       bn::TabularCpd(card, cards, table)));
+  }
+  return net;
+}
+
+/// Random sorted evidence over up to \p max_vars nodes, excluding
+/// \p exclude (the query target).
+bn::SortedEvidence random_evidence(const bn::BayesianNetwork& net,
+                                   std::size_t exclude, std::size_t max_vars,
+                                   kertbn::Rng& rng) {
+  bn::SortedEvidence ev;
+  std::vector<std::size_t> nodes = rng.permutation(net.size());
+  for (std::size_t v : nodes) {
+    if (ev.size() >= max_vars) break;
+    if (v == exclude) continue;
+    ev.emplace_back(v, rng.uniform_index(net.variable(v).cardinality));
+  }
+  std::sort(ev.begin(), ev.end());
+  return ev;
+}
+
+bn::DiscreteEvidence to_map(const bn::SortedEvidence& ev) {
+  return bn::DiscreteEvidence(ev.begin(), ev.end());
+}
+
+/// The ~200-case property suite: 25 seeds x 8 queries per seed. Every
+/// answer must be bit-identical to a fresh JunctionTree (tree route) or to
+/// the legacy pruned_posterior (pruned route), and within 1e-9 of variable
+/// elimination; incremental and full recalibration must agree bitwise.
+TEST(QueryEngineEquivalence, RandomNetworksMatchTreeAndVariableElimination) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const bn::BayesianNetwork net = random_network(12, seed);
+    SnapshotSlot slot;
+    slot.publish(make_model_snapshot(seed, 0.0, net, std::nullopt));
+
+    QueryEngine::Config cfg;
+    cfg.slot = &slot;
+    QueryEngine engine(cfg);
+    QueryEngine::Config full_cfg = cfg;
+    full_cfg.incremental_recalibration = false;
+    QueryEngine full_engine(full_cfg);
+
+    kertbn::Rng rng(seed * 13 + 5);
+    QueryBatch batch;
+    for (int i = 0; i < 8; ++i) {
+      Query q;
+      q.kind = static_cast<QueryKind>(i % 4);
+      q.target = rng.uniform_index(net.size());
+      q.evidence = random_evidence(net, q.target, 1 + rng.uniform_index(2),
+                                   rng);
+      q.threshold = 0.5;  // state-index units (no discretizer)
+      batch.push_back(std::move(q));
+    }
+
+    const auto answers = engine.post(batch);
+    const auto full_answers = full_engine.post(batch);
+    ASSERT_EQ(answers.size(), batch.size());
+
+    const bn::VariableElimination ve(net);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Query& q = batch[i];
+      const QueryAnswer& a = answers[i];
+      EXPECT_EQ(a.snapshot_version, seed);
+
+      // Incremental and full recalibration agree bitwise.
+      EXPECT_EQ(a.posterior, full_answers[i].posterior);
+      EXPECT_EQ(a.evidence_probability, full_answers[i].evidence_probability);
+
+      if (q.kind == QueryKind::kEvidenceProbability) {
+        bn::JunctionTree fresh(net);
+        fresh.calibrate_sorted(q.evidence);
+        EXPECT_EQ(a.evidence_probability, fresh.evidence_probability());
+        EXPECT_NEAR(a.evidence_probability,
+                    ve.evidence_probability(to_map(q.evidence)), 1e-9);
+        continue;
+      }
+
+      // Posterior-bearing kinds: exact vs the engine's own route's legacy
+      // twin, near vs variable elimination.
+      if (a.route == QueryRoute::kPrunedElimination) {
+        EXPECT_EQ(a.posterior,
+                  bn::pruned_posterior(net, q.target, to_map(q.evidence)));
+      } else {
+        bn::JunctionTree fresh(net);
+        fresh.calibrate_sorted(q.evidence);
+        EXPECT_EQ(a.posterior, fresh.posterior(q.target));
+      }
+      const auto ve_post = ve.posterior(q.target, to_map(q.evidence));
+      ASSERT_EQ(a.posterior.size(), ve_post.size());
+      for (std::size_t s = 0; s < ve_post.size(); ++s) {
+        EXPECT_NEAR(a.posterior[s], ve_post[s], 1e-9)
+            << "seed " << seed << " query " << i << " state " << s;
+      }
+
+      if (q.kind == QueryKind::kExceedance) {
+        EXPECT_EQ(a.exceedance, a.summary.exceedance(q.threshold));
+      }
+      if (q.kind == QueryKind::kWhatIf) {
+        // Baseline is the warm no-evidence marginal of the target.
+        bn::JunctionTree prior(net);
+        const auto base = summarize_discrete_posterior(
+            prior.posterior(q.target), nullptr);
+        EXPECT_EQ(a.baseline.mean, base.mean);
+        EXPECT_EQ(a.baseline.probs, base.probs);
+      }
+    }
+  }
+}
+
+TEST(QueryEngineEquivalence, PooledBatchesMatchSerialBitwise) {
+  const bn::BayesianNetwork net = random_network(12, 99);
+  SnapshotSlot slot;
+  slot.publish(make_model_snapshot(7, 0.0, net, std::nullopt));
+
+  ThreadPool pool(4);
+  QueryEngine::Config serial_cfg;
+  serial_cfg.slot = &slot;
+  QueryEngine serial(serial_cfg);
+  QueryEngine::Config pooled_cfg = serial_cfg;
+  pooled_cfg.pool = &pool;
+  QueryEngine pooled(pooled_cfg);
+
+  kertbn::Rng rng(123);
+  QueryBatch batch;
+  for (int i = 0; i < 64; ++i) {
+    Query q;
+    q.kind = (i % 3 == 0) ? QueryKind::kEvidenceProbability
+                          : QueryKind::kPosterior;
+    q.target = rng.uniform_index(net.size());
+    q.evidence = random_evidence(net, q.target, 2, rng);
+    batch.push_back(std::move(q));
+  }
+  const auto a = serial.post(batch);
+  const auto b = pooled.post(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].posterior, b[i].posterior);
+    EXPECT_EQ(a[i].evidence_probability, b[i].evidence_probability);
+    EXPECT_EQ(a[i].route, b[i].route);
+  }
+  EXPECT_EQ(pooled.queries_served(), batch.size());
+  EXPECT_EQ(pooled.batches_served(), 1u);
+}
+
+TEST(QueryEngineEquivalence, PruneRoutingIsObservableAndDisablable) {
+  // A wide independent-parents network makes single-evidence relevant
+  // subnetworks tiny, so pruned routing must trigger.
+  const bn::BayesianNetwork net = random_network(14, 41);
+  SnapshotSlot slot;
+  slot.publish(make_model_snapshot(1, 0.0, net, std::nullopt));
+
+  QueryEngine::Config cfg;
+  cfg.slot = &slot;
+  cfg.prune_threshold = 1.0;  // prune whenever evidence is present
+  QueryEngine pruning(cfg);
+  QueryEngine::Config no_prune_cfg = cfg;
+  no_prune_cfg.prune = false;
+  QueryEngine treeing(no_prune_cfg);
+
+  QueryBatch batch;
+  Query q;
+  q.kind = QueryKind::kPosterior;
+  q.target = 0;
+  q.evidence = {{1, 0}};
+  batch.push_back(q);
+
+  const auto a = pruning.post(batch);
+  const auto b = treeing.post(batch);
+  EXPECT_EQ(a[0].route, QueryRoute::kPrunedElimination);
+  EXPECT_EQ(b[0].route, QueryRoute::kCalibratedTree);
+  EXPECT_EQ(pruning.pruned_routes(), 1u);
+  EXPECT_EQ(treeing.pruned_routes(), 0u);
+  ASSERT_EQ(a[0].posterior.size(), b[0].posterior.size());
+  for (std::size_t s = 0; s < a[0].posterior.size(); ++s) {
+    EXPECT_NEAR(a[0].posterior[s], b[0].posterior[s], 1e-9);
+  }
+}
+
+/// Golden-model cases: the eDiaMoND KERT-BN served end-to-end, with the
+/// discretizer mapping posteriors into seconds.
+TEST(QueryEngineEquivalence, EdiamondGoldenModelServing) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(20070401);
+  const bn::Dataset train = env.generate(240, rng);
+  const DatasetDiscretizer disc(train, 3);
+  const auto kert = construct_kert_discrete(env.workflow(), env.sharing(),
+                                            disc, disc.discretize(train));
+
+  SnapshotSlot slot;
+  slot.publish(make_model_snapshot(3, 120.0, kert.net, disc));
+  QueryEngine::Config cfg;
+  cfg.slot = &slot;
+  QueryEngine engine(cfg);
+
+  const std::size_t d_node = kert.net.size() - 1;  // response node
+  QueryBatch batch;
+  for (std::size_t v = 0; v + 1 < kert.net.size(); ++v) {
+    Query q;
+    q.kind = QueryKind::kPosterior;
+    q.target = v;
+    q.evidence = {{d_node, 2}};  // observed slow response bin
+    batch.push_back(std::move(q));
+  }
+  Query exceed;
+  exceed.kind = QueryKind::kExceedance;
+  exceed.target = d_node;
+  exceed.evidence = {{0, 2}};
+  exceed.threshold = disc.column(d_node).center_of(1);
+  batch.push_back(exceed);
+
+  const auto answers = engine.post(batch);
+  const bn::VariableElimination ve(kert.net);
+  bn::JunctionTree fresh(kert.net);
+  for (std::size_t i = 0; i + 1 < answers.size(); ++i) {
+    const Query& q = batch[i];
+    if (answers[i].route == QueryRoute::kCalibratedTree) {
+      fresh.calibrate_sorted(q.evidence);
+      EXPECT_EQ(answers[i].posterior, fresh.posterior(q.target));
+    } else {
+      EXPECT_EQ(answers[i].posterior,
+                bn::pruned_posterior(kert.net, q.target, to_map(q.evidence)));
+    }
+    const auto ve_post = ve.posterior(q.target, to_map(q.evidence));
+    for (std::size_t s = 0; s < ve_post.size(); ++s) {
+      EXPECT_NEAR(answers[i].posterior[s], ve_post[s], 1e-9);
+    }
+    // Summaries are in seconds: support must be the bin centers.
+    const auto& summary = answers[i].summary;
+    ASSERT_EQ(summary.support.size(), answers[i].posterior.size());
+    for (std::size_t s = 0; s < summary.support.size(); ++s) {
+      EXPECT_EQ(summary.support[s], disc.column(q.target).center_of(s));
+    }
+  }
+  const QueryAnswer& ex = answers.back();
+  EXPECT_GE(ex.exceedance, 0.0);
+  EXPECT_LE(ex.exceedance, 1.0);
+  EXPECT_EQ(ex.exceedance, ex.summary.exceedance(exceed.threshold));
+  EXPECT_EQ(engine.last_snapshot_version(), 3u);
+}
+
+TEST(QueryEngineEquivalence, RepeatedBatchesReuseWarmWorkers) {
+  const bn::BayesianNetwork net = random_network(10, 55);
+  SnapshotSlot slot;
+  slot.publish(make_model_snapshot(1, 0.0, net, std::nullopt));
+  QueryEngine::Config cfg;
+  cfg.slot = &slot;
+  cfg.prune = false;  // force every query through the tree
+  QueryEngine engine(cfg);
+
+  QueryBatch batch;
+  Query q;
+  q.kind = QueryKind::kPosterior;
+  q.target = net.size() - 1;
+  q.evidence = {{0, 1}};
+  batch.push_back(q);
+
+  const auto first = engine.post(batch);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto again = engine.post(batch);
+    EXPECT_EQ(again[0].posterior, first[0].posterior);
+  }
+  EXPECT_EQ(engine.queries_served(), 6u);
+  EXPECT_EQ(engine.batches_served(), 6u);
+}
+
+}  // namespace
+}  // namespace kertbn::core

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kert/model_manager.hpp"
+#include "kert/query_engine.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+ModelManager::Config discrete_publishing_config() {
+  ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};  // T_CON = 120 s
+  cfg.bins = 3;
+  cfg.publish_snapshots = true;
+  return cfg;
+}
+
+TEST(SnapshotHotSwap, SlotPublishAcquireBasics) {
+  SnapshotSlot slot;
+  EXPECT_FALSE(slot.has_snapshot());
+  EXPECT_EQ(slot.acquire(), nullptr);
+  EXPECT_EQ(slot.published_count(), 0u);
+
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(9);
+  const bn::Dataset train = env.generate(60, rng);
+  const DatasetDiscretizer disc(train, 3);
+  const auto kert = construct_kert_discrete(env.workflow(), env.sharing(),
+                                            disc, disc.discretize(train));
+
+  slot.publish(make_model_snapshot(1, 120.0, kert.net, disc));
+  ASSERT_TRUE(slot.has_snapshot());
+  const auto held = slot.acquire();
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_TRUE(held->has_tree());
+  EXPECT_EQ(slot.published_count(), 1u);
+
+  // A second publication swaps the slot, but a reader already holding the
+  // old snapshot keeps it alive untouched.
+  slot.publish(make_model_snapshot(2, 240.0, kert.net, disc));
+  EXPECT_EQ(slot.acquire()->version, 2u);
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(slot.published_count(), 2u);
+}
+
+TEST(SnapshotHotSwap, ManagerPublishesEachReconstruction) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(),
+                       discrete_publishing_config());
+  const SnapshotSlot& slot = manager.snapshot_slot();
+  EXPECT_FALSE(slot.has_snapshot());
+
+  kertbn::Rng rng(31);
+  manager.reconstruct(120.0, env.generate(36, rng));
+  ASSERT_TRUE(slot.has_snapshot());
+  EXPECT_EQ(slot.acquire()->version, 1u);
+  EXPECT_EQ(slot.acquire()->built_at, 120.0);
+  EXPECT_TRUE(slot.acquire()->has_tree());
+
+  manager.reconstruct(240.0, env.generate(36, rng));
+  EXPECT_EQ(slot.acquire()->version, 2u);
+  EXPECT_EQ(slot.published_count(), 2u);
+}
+
+TEST(SnapshotHotSwap, FailedGuardedRebuildDoesNotPublish) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(),
+                       discrete_publishing_config());
+  kertbn::Rng rng(32);
+  ASSERT_TRUE(manager.maybe_reconstruct(120.0, env.generate(36, rng)));
+  EXPECT_EQ(manager.snapshot_slot().published_count(), 1u);
+
+  // A window poisoned with NaN fails guarded validation: the v1 snapshot
+  // must keep serving and no new publication may happen.
+  bn::Dataset poisoned = env.generate(36, rng);
+  std::vector<double> bad(poisoned.cols(), 1.0);
+  bad[2] = std::nan("");
+  poisoned.add_row(bad);
+  EXPECT_FALSE(manager.maybe_reconstruct(240.0, poisoned).has_value());
+  EXPECT_EQ(manager.failed_reconstructions(), 1u);
+  EXPECT_EQ(manager.snapshot_slot().published_count(), 1u);
+  EXPECT_EQ(manager.snapshot_slot().acquire()->version, 1u);
+}
+
+TEST(SnapshotHotSwap, PublishingByDefaultOff) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};
+  cfg.bins = 3;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+  kertbn::Rng rng(33);
+  manager.reconstruct(120.0, env.generate(36, rng));
+  EXPECT_FALSE(manager.snapshot_slot().has_snapshot());
+}
+
+/// The TSAN target: one publisher thread keeps rebuilding and hot-swapping
+/// snapshots while reader threads serve query batches. Every answer must
+/// come from a valid published version with a finite, normalized
+/// posterior — at every instant, without any read-path lock.
+TEST(SnapshotHotSwap, ConcurrentReadersSeeValidSnapshots) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  ModelManager manager(env.workflow(), env.sharing(),
+                       discrete_publishing_config());
+
+  // Pre-generate the reconstruction windows so the publisher thread does
+  // no Rng sharing with the readers.
+  kertbn::Rng rng(34);
+  std::vector<bn::Dataset> windows;
+  const std::size_t kRebuilds = 8;
+  for (std::size_t i = 0; i < kRebuilds; ++i) {
+    windows.push_back(env.generate(36, rng));
+  }
+  manager.reconstruct(120.0, windows[0]);  // initial published model
+  const SnapshotSlot& slot = manager.snapshot_slot();
+  ASSERT_TRUE(slot.has_snapshot());
+
+  const std::size_t n_nodes = slot.acquire()->net.size();
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> batches{0};
+  std::atomic<bool> ok{true};
+
+  auto reader = [&](std::uint64_t seed, ThreadPool* pool) {
+    QueryEngine::Config cfg;
+    cfg.slot = &slot;
+    cfg.pool = pool;
+    QueryEngine engine(cfg);
+    kertbn::Rng r(seed);
+    while (!done.load(std::memory_order_relaxed)) {
+      QueryBatch batch;
+      for (int i = 0; i < 4; ++i) {
+        Query q;
+        q.kind = (i % 2 == 0) ? QueryKind::kPosterior
+                              : QueryKind::kEvidenceProbability;
+        q.target = r.uniform_index(n_nodes - 1);  // a service node
+        q.evidence = {{n_nodes - 1, r.uniform_index(3)}};
+        batch.push_back(std::move(q));
+      }
+      const auto answers = engine.post(batch);
+      for (const auto& a : answers) {
+        if (a.snapshot_version < 1 || a.snapshot_version > kRebuilds) {
+          ok.store(false);
+        }
+        double total = 0.0;
+        for (double p : a.posterior) {
+          if (!std::isfinite(p) || p < 0.0) ok.store(false);
+          total += p;
+        }
+        if (!a.posterior.empty() && std::abs(total - 1.0) > 1e-9) {
+          ok.store(false);
+        }
+        if (!std::isfinite(a.evidence_probability)) ok.store(false);
+      }
+      batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  ThreadPool pool(2);
+  std::thread r1([&] { reader(71, nullptr); });
+  std::thread r2([&] { reader(72, &pool); });  // pooled engine phase
+
+  // Publisher: hot-swap a fresh model per window, concurrently with reads.
+  for (std::size_t i = 1; i < kRebuilds; ++i) {
+    manager.reconstruct(120.0 * static_cast<double>(i + 1), windows[i]);
+  }
+  // Let the readers observe the final model too, then stop.
+  while (batches.load(std::memory_order_relaxed) < 8) {
+    std::this_thread::yield();
+  }
+  done.store(true);
+  r1.join();
+  r2.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(batches.load(), 0u);
+  EXPECT_EQ(slot.published_count(), kRebuilds);
+  EXPECT_EQ(slot.acquire()->version, kRebuilds);
+}
+
+}  // namespace
+}  // namespace kertbn::core
