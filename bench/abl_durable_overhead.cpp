@@ -1,0 +1,165 @@
+/// \file abl_durable_overhead.cpp
+/// Ablation: cost of write-ahead journaling on the steady-state monitoring
+/// + reconstruction loop. Three configurations over the same stream:
+///
+///   no-journal   — hooks cleared: the seed ingest path (baseline).
+///   per-segment  — ServerJournal attached, FsyncPolicy::kPerSegment (the
+///                  production default): every ingest is encoded, CRC32C
+///                  framed and written; fsync only on segment rotation.
+///   per-record   — fsync after every append (strongest durability;
+///                  reported for information, not guarded).
+///
+/// Methodology: three identical rigs (testbed + manager, same seed) run
+/// side by side, one per mode, and every construction cycle is timed on
+/// each rig back-to-back. Journaling never changes what the server
+/// ingests, so cycle k is bit-identical work on all three rigs — the
+/// samples are *paired*, and each mode's overhead is the median of the
+/// per-cycle ratios against the no-journal rig. Pairing cancels both the
+/// per-cycle workload variation of the simulated stream and slow drift
+/// (thermal, allocator state), which an interleaved-modes design leaves
+/// in the medians.
+///
+/// The guard at exit checks per-segment journaling against the <= 5%
+/// design budget ("durability must not tax the autonomic loop").
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "durable/recovery.hpp"
+#include "kert/model_manager.hpp"
+#include "sosim/testbed.hpp"
+
+namespace {
+
+using namespace kertbn;
+using core::ModelManager;
+
+constexpr double kOverheadBudgetPct = 5.0;
+constexpr int kModes = 3;
+constexpr int kCycles = 300;
+
+const char* mode_name(int mode) {
+  switch (mode) {
+    case 0: return "no-journal";
+    case 1: return "per-segment";
+    default: return "per-record";
+  }
+}
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: write-ahead journal overhead on the monitored "
+      "reconstruction loop (eDiaMoND)",
+      {"mode", "ms_per_cycle", "overhead_pct_vs_no_journal"});
+  return collector;
+}
+
+/// One complete monitored pipeline; all rigs share seed and schedule, so
+/// they simulate the identical stream.
+struct Rig {
+  sim::MonitoredTestbed testbed;
+  ModelManager manager;
+  std::optional<durable::ServerJournal> journal;
+
+  explicit Rig(const sim::ModelSchedule& schedule)
+      : testbed(sim::make_monitored_ediamond(2.0, 0xDB01, schedule)),
+        manager(testbed.environment().workflow(), wf::ResourceSharing{},
+                [&] {
+                  ModelManager::Config cfg;
+                  cfg.schedule = schedule;
+                  return cfg;
+                }()) {
+    testbed.set_ingest_incomplete(true);
+  }
+
+  double run_cycle_ms() {
+    const auto start = std::chrono::steady_clock::now();
+    testbed.advance_construction_intervals(1, [&](double now) {
+      manager.maybe_reconstruct(now, testbed.window());
+    });
+    benchmark::DoNotOptimize(manager.version());
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() *
+           1e3;
+  }
+};
+
+void BM_DurableOverhead(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const sim::ModelSchedule schedule{10.0, 6, 3};  // T_CON = 60 s
+
+  const fs::path base = fs::temp_directory_path() / "kertbn_abl_durable";
+  fs::remove_all(base);
+  durable::JournalConfig seg_config{(base / "per_segment").string()};
+  seg_config.fsync = durable::FsyncPolicy::kPerSegment;
+  durable::JournalConfig rec_config{(base / "per_record").string()};
+  rec_config.fsync = durable::FsyncPolicy::kPerRecord;
+
+  std::vector<std::unique_ptr<Rig>> rigs;
+  for (int m = 0; m < kModes; ++m) {
+    rigs.push_back(std::make_unique<Rig>(schedule));
+  }
+  rigs[1]->journal.emplace(seg_config);
+  rigs[1]->journal->attach(rigs[1]->testbed.server_mutable());
+  rigs[2]->journal.emplace(rec_config);
+  rigs[2]->journal->attach(rigs[2]->testbed.server_mutable());
+
+  // Warm-up: one construction cycle on every rig before sampling.
+  for (auto& rig : rigs) rig->run_cycle_ms();
+
+  std::vector<double> samples_ms[kModes];
+  std::vector<double> paired_pct[kModes];
+  for (auto _ : state) {
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      double cycle_ms[kModes];
+      for (int m = 0; m < kModes; ++m) {
+        cycle_ms[m] = rigs[m]->run_cycle_ms();
+        samples_ms[m].push_back(cycle_ms[m]);
+      }
+      for (int m = 1; m < kModes; ++m) {
+        paired_pct[m].push_back((cycle_ms[m] / cycle_ms[0] - 1.0) * 100.0);
+      }
+    }
+  }
+
+  double med_ms[kModes];
+  double med_pct[kModes] = {0.0};
+  for (int m = 0; m < kModes; ++m) med_ms[m] = median(samples_ms[m]);
+  for (int m = 1; m < kModes; ++m) med_pct[m] = median(paired_pct[m]);
+  state.counters["no_journal_ms"] = med_ms[0];
+  state.counters["per_segment_ms"] = med_ms[1];
+  state.counters["per_record_ms"] = med_ms[2];
+  state.counters["per_segment_overhead_pct"] = med_pct[1];
+  state.counters["per_record_overhead_pct"] = med_pct[2];
+  state.counters["journaled_events"] =
+      double(rigs[1]->journal->last_seq() + rigs[2]->journal->last_seq());
+  for (int m = 0; m < kModes; ++m) {
+    series().add_row({mode_name(m), med_ms[m], med_pct[m]});
+  }
+  std::printf(
+      "\ndurable overhead guard: per-segment %+.3f%% vs budget %.1f%% — "
+      "%s\n",
+      med_pct[1], kOverheadBudgetPct,
+      med_pct[1] < kOverheadBudgetPct ? "PASS" : "FAIL");
+  rigs.clear();
+  fs::remove_all(base);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DurableOverhead)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

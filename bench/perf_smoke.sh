@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Perf smoke for the query-serving hot path: reruns the recalibration
-# scenario of abl_query_throughput and compares per-query times against the
-# committed baseline. The guard is deliberately soft — it fails only on a
-# >2x slowdown — so shared/noisy CI hosts don't fail builds on jitter while
-# a genuine hot-path regression (a lost plan cache, an accidental
-# full-recalibration fallback) still trips it.
+# Perf smoke for two hot paths:
+#   1. query serving — reruns the recalibration scenario of
+#      abl_query_throughput and compares per-query times against the
+#      committed baseline (fails only on a >2x slowdown, so shared/noisy
+#      CI hosts don't fail builds on jitter while a genuine hot-path
+#      regression still trips it);
+#   2. write-ahead journaling — reruns abl_durable_overhead and applies a
+#      soft <= 5% guard on the per-segment journal's overhead over the
+#      monitored reconstruction loop (paired-sample median, so the number
+#      is stable even on busy hosts).
 #
 # Usage: bench/perf_smoke.sh [build-dir] [baseline-json]
 
@@ -68,4 +72,40 @@ for key, fresh_v in sorted(fresh.items()):
     failed = failed or ratio > SLOWDOWN_LIMIT
 
 sys.exit(1 if failed else 0)
+EOF
+
+# --- durable journal overhead guard -----------------------------------------
+
+durable_bin="$build_dir/bench/abl_durable_overhead"
+durable_out="$build_dir/PERF_SMOKE_abl_durable_overhead.json"
+
+if [ ! -x "$durable_bin" ]; then
+  echo "error: $durable_bin not found — build the project first" >&2
+  exit 1
+fi
+
+"$durable_bin" --benchmark_out="$durable_out" \
+               --benchmark_out_format=json >/dev/null
+
+python3 - "$durable_out" <<'EOF'
+import json
+import sys
+
+OVERHEAD_LIMIT_PCT = 5.0
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+pct = None
+for bench in doc.get("benchmarks", []):
+    if "per_segment_overhead_pct" in bench:
+        pct = float(bench["per_segment_overhead_pct"])
+if pct is None:
+    print("FAIL  no per_segment_overhead_pct in durable overhead run")
+    sys.exit(1)
+
+verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
+print(f"{verdict}  journal per-segment overhead {pct:+.2f}% "
+      f"(soft limit {OVERHEAD_LIMIT_PCT:.1f}%)")
+sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
 EOF

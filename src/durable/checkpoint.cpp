@@ -1,0 +1,327 @@
+#include "durable/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "durable/crc32c.hpp"
+#include "obs/span.hpp"
+
+namespace kertbn::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMagic = "kertbn-checkpoint";
+constexpr int kVersion = 1;
+/// A corrupt length field must not turn into a giant allocation.
+constexpr std::size_t kMaxModelBytes = 1u << 26;
+constexpr std::size_t kMaxWindowValues = 10'000'000;
+
+struct CheckpointMetrics {
+  obs::Counter& written;
+  obs::Counter& rejected;
+  obs::Counter& bytes;
+
+  static CheckpointMetrics& get() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static CheckpointMetrics m{
+        reg.counter("kert.durable.checkpoints_written"),
+        reg.counter("kert.durable.checkpoints_rejected"),
+        reg.counter("kert.durable.checkpoint_bytes")};
+    return m;
+  }
+};
+
+std::string checkpoint_name(std::uint64_t journal_seq) {
+  std::ostringstream out;
+  out << "ckpt-" << std::hex;
+  out.width(16);
+  out.fill('0');
+  out << journal_seq << ".ck";
+  return out.str();
+}
+
+/// The CRC footer covers every byte of the body (through "end\n").
+std::string footer_for(const std::string& body) {
+  std::ostringstream out;
+  out << "crc " << std::hex;
+  out.width(8);
+  out.fill('0');
+  out << mask_crc(crc32c(body)) << '\n';
+  return out.str();
+}
+
+std::string serialize(const Checkpoint& ckpt) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "seq " << ckpt.journal_seq << '\n';
+  out << "now " << ckpt.sim_now << '\n';
+  const sim::ServerState& s = ckpt.server;
+  out << "server " << s.rows << ' ' << s.cols << '\n';
+  for (std::size_t r = 0; r < s.rows; ++r) {
+    out << "row";
+    for (std::size_t c = 0; c < s.cols; ++c) {
+      out << ' ' << s.window[r * s.cols + c];
+    }
+    out << '\n';
+  }
+  out << "seen " << s.last_seen.size();
+  for (const auto& v : s.last_seen) {
+    if (v.has_value()) {
+      out << ' ' << *v;
+    } else {
+      out << " -";
+    }
+  }
+  out << '\n';
+  out << "counters " << s.total_points << ' ' << s.dropped_intervals << ' '
+      << s.quarantined_values << ' ' << s.duplicate_values << ' '
+      << s.consecutive_missed_intervals << '\n';
+  out << "manager " << ckpt.manager.next_due << ' ' << ckpt.manager.version
+      << '\n';
+  // The serialized model is framed by byte count — it is multi-line text.
+  out << "model " << ckpt.manager.model_text.size() << '\n';
+  out << ckpt.manager.model_text;
+  out << "end\n";
+  return out.str();
+}
+
+/// Fallible parser mirroring serialize(). Any mismatch → nullopt.
+std::optional<Checkpoint> parse(const std::string& text, std::string* error) {
+  const auto fail = [&](const char* what) -> std::optional<Checkpoint> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+
+  std::istringstream in(text);
+  std::string keyword;
+  int version = 0;
+  if (!(in >> keyword >> version) || keyword != kMagic ||
+      version != kVersion) {
+    return fail("bad checkpoint header");
+  }
+
+  Checkpoint ckpt;
+  if (!(in >> keyword >> ckpt.journal_seq) || keyword != "seq") {
+    return fail("bad seq line");
+  }
+  if (!(in >> keyword >> ckpt.sim_now) || keyword != "now") {
+    return fail("bad now line");
+  }
+
+  sim::ServerState& s = ckpt.server;
+  if (!(in >> keyword >> s.rows >> s.cols) || keyword != "server") {
+    return fail("bad server line");
+  }
+  if (s.cols == 0 || s.rows > kMaxWindowValues ||
+      s.cols > kMaxWindowValues || s.rows * s.cols > kMaxWindowValues) {
+    return fail("window shape exceeds sanity cap");
+  }
+  s.window.resize(s.rows * s.cols);
+  for (std::size_t r = 0; r < s.rows; ++r) {
+    if (!(in >> keyword) || keyword != "row") return fail("bad row line");
+    for (std::size_t c = 0; c < s.cols; ++c) {
+      if (!(in >> s.window[r * s.cols + c])) return fail("bad row value");
+    }
+  }
+
+  std::size_t n_seen = 0;
+  if (!(in >> keyword >> n_seen) || keyword != "seen" ||
+      n_seen > kMaxWindowValues) {
+    return fail("bad seen line");
+  }
+  s.last_seen.resize(n_seen);
+  for (std::size_t i = 0; i < n_seen; ++i) {
+    std::string token;
+    if (!(in >> token)) return fail("bad seen value");
+    if (token == "-") {
+      s.last_seen[i] = std::nullopt;
+    } else {
+      std::istringstream num(token);
+      double v = 0.0;
+      if (!(num >> v)) return fail("bad seen value");
+      s.last_seen[i] = v;
+    }
+  }
+
+  if (!(in >> keyword >> s.total_points >> s.dropped_intervals >>
+        s.quarantined_values >> s.duplicate_values >>
+        s.consecutive_missed_intervals) ||
+      keyword != "counters") {
+    return fail("bad counters line");
+  }
+  if (!(in >> keyword >> ckpt.manager.next_due >> ckpt.manager.version) ||
+      keyword != "manager") {
+    return fail("bad manager line");
+  }
+
+  std::size_t model_bytes = 0;
+  if (!(in >> keyword >> model_bytes) || keyword != "model" ||
+      model_bytes > kMaxModelBytes) {
+    return fail("bad model frame");
+  }
+  in.get();  // Consume the newline ending the "model <n>" line.
+  ckpt.manager.model_text.resize(model_bytes);
+  if (model_bytes > 0 &&
+      !in.read(ckpt.manager.model_text.data(),
+               static_cast<std::streamsize>(model_bytes))) {
+    return fail("model text cut short");
+  }
+  if (!(in >> keyword) || keyword != "end") return fail("missing end");
+  return ckpt;
+}
+
+}  // namespace
+
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open checkpoint file";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string data = buf.str();
+
+  // Split the CRC footer off the body: the last line is "crc <8 hex>".
+  const std::size_t footer_at = data.rfind("crc ");
+  if (footer_at == std::string::npos ||
+      (footer_at != 0 && data[footer_at - 1] != '\n')) {
+    if (error != nullptr) *error = "missing crc footer";
+    return std::nullopt;
+  }
+  std::uint32_t stored = 0;
+  {
+    std::istringstream footer(data.substr(footer_at + 4));
+    if (!(footer >> std::hex >> stored)) {
+      if (error != nullptr) *error = "unparsable crc footer";
+      return std::nullopt;
+    }
+  }
+  const std::string body = data.substr(0, footer_at);
+  if (mask_crc(crc32c(body)) != stored) {
+    if (error != nullptr) *error = "checkpoint crc mismatch";
+    return std::nullopt;
+  }
+  return parse(body, error);
+}
+
+CheckpointStore::CheckpointStore(Config config) : config_(std::move(config)) {
+  KERTBN_EXPECTS(!config_.dir.empty());
+  KERTBN_EXPECTS(config_.keep >= 1);
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+}
+
+std::vector<std::string> CheckpointStore::files() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 && name.size() > 8 &&
+        name.substr(name.size() - 3) == ".ck") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CheckpointStore::write(const Checkpoint& ckpt) {
+  KERTBN_SPAN_VAR(span, "durable.checkpoint");
+  const std::string body = serialize(ckpt);
+  const std::string payload = body + footer_for(body);
+
+  const fs::path final_path =
+      fs::path(config_.dir) / checkpoint_name(ckpt.journal_seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  // Write-to-temp + fsync + rename + directory fsync: a crash at any point
+  // leaves either the old set of checkpoints or the complete new file —
+  // never a half-written file under the final name.
+  {
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    KERTBN_ASSERT(fd >= 0 && "cannot open checkpoint temp file");
+    std::size_t written = 0;
+    while (written < payload.size()) {
+      const ssize_t n =
+          ::write(fd, payload.data() + written, payload.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        KERTBN_ASSERT(false && "checkpoint write failed");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  KERTBN_ASSERT(!ec && "checkpoint rename failed");
+  {
+    const int dfd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+
+  // Retire the oldest files beyond the retention count.
+  std::vector<std::string> all = files();
+  while (all.size() > config_.keep) {
+    fs::remove(all.front(), ec);
+    all.erase(all.begin());
+  }
+
+  span.tag("journal_seq", ckpt.journal_seq);
+  span.tag("bytes", static_cast<std::uint64_t>(payload.size()));
+  if (obs::enabled()) {
+    CheckpointMetrics& m = CheckpointMetrics::get();
+    m.written.add(1);
+    m.bytes.add(payload.size());
+  }
+}
+
+std::optional<Checkpoint> CheckpointStore::load_newest(
+    std::string* error) const {
+  std::vector<std::string> all = files();
+  std::string first_error;
+  // Newest first; a damaged file falls through to its predecessor.
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    std::string file_error;
+    if (auto ckpt = load_checkpoint_file(*it, &file_error)) {
+      if (error != nullptr) *error = "";
+      return ckpt;
+    }
+    if (first_error.empty()) first_error = *it + ": " + file_error;
+    if (obs::enabled()) CheckpointMetrics::get().rejected.add(1);
+  }
+  if (error != nullptr) {
+    *error = first_error.empty() ? "no checkpoint files" : first_error;
+  }
+  return std::nullopt;
+}
+
+Checkpoint capture_checkpoint(const sim::ManagementServer& server,
+                              const core::ModelManager& manager,
+                              double sim_now, std::uint64_t journal_seq) {
+  Checkpoint ckpt;
+  ckpt.journal_seq = journal_seq;
+  ckpt.sim_now = sim_now;
+  ckpt.server = server.export_state();
+  ckpt.manager = manager.export_checkpoint();
+  return ckpt;
+}
+
+}  // namespace kertbn::durable

@@ -1,0 +1,76 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Periodic checkpoints for the management server's durable state.
+///
+/// A checkpoint bounds journal replay: it captures the compacted window
+/// (plus carry-forward memory and accounting), the reconstruction
+/// schedule, and the serialized last-known-good model, all stamped with
+/// the last journal sequence number it covers. Recovery loads the newest
+/// valid checkpoint and replays only the journal records past it.
+///
+/// Files are written crash-safely — serialize to a temp file, fsync,
+/// rename into place, fsync the directory — and carry a masked CRC32C
+/// footer so a torn or bit-flipped checkpoint is detected and skipped
+/// (newest-valid-wins), never trusted.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kert/model_manager.hpp"
+#include "sosim/monitoring.hpp"
+
+namespace kertbn::durable {
+
+/// Everything recovery needs to resume the monitoring/model pipeline.
+struct Checkpoint {
+  /// Last journal sequence number whose effects this checkpoint includes.
+  std::uint64_t journal_seq = 0;
+  /// Simulated time the checkpoint was captured at.
+  double sim_now = 0.0;
+  sim::ServerState server;
+  core::ManagerCheckpoint manager;
+};
+
+/// Atomic write + newest-valid-wins load of checkpoint files in a
+/// directory (they share the journal's directory; extensions differ).
+class CheckpointStore {
+ public:
+  struct Config {
+    std::string dir;
+    /// Checkpoint files retained after each write (newest kept first).
+    std::size_t keep = 2;
+  };
+
+  explicit CheckpointStore(Config config);
+
+  /// Serializes \p ckpt crash-safely and prunes old files down to keep.
+  void write(const Checkpoint& ckpt);
+
+  /// Newest checkpoint that passes CRC and parse validation; corrupt files
+  /// are skipped (and counted in kert.durable.checkpoints_rejected), so a
+  /// damaged newest file degrades to its predecessor, not to a crash.
+  std::optional<Checkpoint> load_newest(std::string* error = nullptr) const;
+
+  /// Sorted checkpoint file paths (oldest first).
+  std::vector<std::string> files() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Parses one checkpoint file; nullopt + \p error on any damage.
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               std::string* error);
+
+/// Captures the pipeline's durable state into a Checkpoint value.
+/// \p journal_seq is the writer's last appended sequence number — every
+/// journaled event up to it must already be applied to \p server.
+Checkpoint capture_checkpoint(const sim::ManagementServer& server,
+                              const core::ModelManager& manager,
+                              double sim_now, std::uint64_t journal_seq);
+
+}  // namespace kertbn::durable

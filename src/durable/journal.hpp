@@ -1,0 +1,131 @@
+#pragma once
+/// \file journal.hpp
+/// Append-only write-ahead report journal for the management server.
+///
+/// The paper's sliding window W = K · T_CON lives in memory; a management
+/// server crash would silently discard it and blind the autonomic loop for
+/// a full warm-up. The journal makes every ingest durable before it is
+/// applied: records are framed with a length prefix and a masked CRC32C,
+/// written to numbered segment files that rotate at a size threshold, and
+/// flushed under a configurable fsync policy.
+///
+/// On-disk layout (all integers little-endian):
+///
+///   segment file  journal-<first_seq, 16 hex>.seg
+///     header      "KERTBNJ1" (8 bytes) + u64 first_seq
+///     record*     u32 payload_len | u32 mask_crc(crc32c(seq ‖ payload))
+///                 | u64 seq | payload bytes
+///
+/// A crash can only damage the tail of the newest segment: replay verifies
+/// every frame, skips CRC-failed records, stops a segment at a torn tail,
+/// and reports both — it never aborts on damaged input. Each writer starts
+/// a fresh segment, so a pre-crash torn tail can never sit in front of
+/// post-restart records.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kertbn::durable {
+
+/// Record framing constants shared by writer, replayer, and tests.
+inline constexpr char kSegmentMagic[8] = {'K', 'E', 'R', 'T', 'B', 'N',
+                                          'J', '1'};
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+/// Sanity bound a reader trusts a length prefix up to; anything larger is
+/// treated as tail corruption.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+/// When the journal pays the fsync.
+enum class FsyncPolicy {
+  kNone,        ///< Never fsync (page cache only; fastest, weakest).
+  kPerSegment,  ///< fsync when a segment closes (rotation and shutdown).
+  kPerRecord,   ///< fsync after every append (strongest, slowest).
+};
+
+struct JournalConfig {
+  std::string dir;  ///< Directory holding the segment files.
+  /// Rotate to a new segment once the current one reaches this size.
+  std::size_t max_segment_bytes = 1u << 20;
+  FsyncPolicy fsync = FsyncPolicy::kPerSegment;
+};
+
+/// Appends framed records. Construction scans the directory and continues
+/// the sequence numbering after the last durable record.
+///
+/// When a FaultPlan with a journal_write_cutoff is installed (process-crash
+/// simulation), bytes at or past the cutoff are silently dropped and fsync
+/// is suppressed — exactly the torn state a kill -9 leaves behind.
+class JournalWriter {
+ public:
+  explicit JournalWriter(JournalConfig config);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one record; returns its sequence number. The record is on
+  /// disk (modulo fsync policy) before this returns — callers apply the
+  /// state change only afterwards (write-ahead discipline).
+  std::uint64_t append(std::string_view payload);
+
+  /// Flushes and (policy permitting) fsyncs the open segment.
+  void sync();
+
+  /// Sequence number the next append will get.
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Sequence number of the last appended record (0 when none ever).
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+  /// Segments opened by this writer (>= 1 once a record was appended).
+  std::size_t segments_opened() const { return segments_opened_; }
+  /// Logical bytes appended by this writer (pre-cutoff accounting).
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+
+  const JournalConfig& config() const { return config_; }
+
+ private:
+  void open_segment();
+  void close_segment(bool fsync_segment);
+  /// Writes respecting the installed crash cutoff; returns bytes kept.
+  std::size_t write_raw(const char* data, std::size_t size);
+
+  JournalConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  std::size_t segment_bytes_ = 0;
+  std::size_t segments_opened_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::string frame_;  ///< Reused per-append frame buffer (hot path).
+};
+
+/// Replay statistics — also exported as kert.durable.* metrics.
+struct ReplayStats {
+  std::uint64_t segments = 0;          ///< Segment files visited.
+  std::uint64_t records = 0;           ///< Records delivered to the callback.
+  std::uint64_t skipped_crc = 0;       ///< CRC-failed records skipped.
+  std::uint64_t torn_tails = 0;        ///< Segments cut short by a torn tail.
+  std::uint64_t bad_segments = 0;      ///< Files with no usable header.
+  std::uint64_t last_seq = 0;          ///< Highest sequence number seen.
+};
+
+/// Replays every intact record with seq > \p after_seq, in on-disk order,
+/// through \p fn(seq, payload). Damaged framing is skipped and counted,
+/// never fatal. Returns the statistics (metrics are bumped as a side
+/// effect when telemetry is enabled).
+ReplayStats replay_journal(
+    const std::string& dir, std::uint64_t after_seq,
+    const std::function<void(std::uint64_t, std::string_view)>& fn);
+
+/// Deletes segment files whose records are all <= \p upto_seq (covered by
+/// a checkpoint). The newest segment is always kept so the writer's
+/// numbering anchor survives. Returns the number of files removed.
+std::size_t prune_journal(const std::string& dir, std::uint64_t upto_seq);
+
+/// Sorted list of segment file paths in \p dir (oldest first).
+std::vector<std::string> journal_segments(const std::string& dir);
+
+}  // namespace kertbn::durable

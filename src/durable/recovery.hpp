@@ -1,0 +1,114 @@
+#pragma once
+/// \file recovery.hpp
+/// Crash recovery for the management server: write-ahead journaling of
+/// ingest events, and checkpoint + replay restoration after a restart.
+///
+/// The durability unit is the *ingest event* — the raw agent reports plus
+/// the interval response mean (or an outright missed interval). Replaying
+/// the logged events through ManagementServer::ingest_interval reproduces
+/// the server's state bit-for-bit: the sliding window, the carry-forward
+/// memory, and every accounting counter, because ingest is a deterministic
+/// function of its inputs. Journaling completed rows instead would lose
+/// the carry-forward and staleness state.
+///
+/// Recovery order matters:
+///   1. load the newest valid checkpoint (server window + schedule +
+///      serialized last-known-good model, health restored to *stale*),
+///   2. replay journal records past the checkpoint's sequence number
+///      through a server whose journal hooks are NOT yet attached
+///      (replay must not re-journal),
+///   3. attach a fresh ServerJournal for new ingests.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durable/checkpoint.hpp"
+#include "durable/journal.hpp"
+#include "kert/model_manager.hpp"
+#include "sosim/monitoring.hpp"
+
+namespace kertbn::durable {
+
+/// Journal payload codec for the two ingest events. Text-encoded with
+/// 17-significant-digit doubles so a decode-and-reingest round-trip is
+/// exact.
+std::string encode_ingest(const std::vector<sim::AgentReport>& reports,
+                          double response_mean);
+/// Hot-path variant: encodes into \p out (cleared first), reusing its
+/// capacity across calls.
+void encode_ingest_into(std::string& out,
+                        const std::vector<sim::AgentReport>& reports,
+                        double response_mean);
+std::string encode_missed();
+
+/// Decoded form of a journal payload.
+struct IngestEvent {
+  bool missed = false;  ///< True: note_missed_interval; false: ingest.
+  double response_mean = 0.0;
+  std::vector<sim::AgentReport> reports;
+};
+
+/// Parses a payload; false on malformed input (never aborts — a CRC-valid
+/// record with an unknown payload is a version-skew case to skip).
+bool decode_event(std::string_view payload, IngestEvent& out);
+
+/// Owns a JournalWriter and wires it into a ManagementServer's write-ahead
+/// hooks: every ingest_interval / note_missed_interval is journaled before
+/// the server mutates any state.
+class ServerJournal {
+ public:
+  explicit ServerJournal(JournalConfig config) : writer_(std::move(config)) {}
+
+  /// Installs the write-ahead hooks on \p server. The server must outlive
+  /// this object or have its hooks cleared first.
+  void attach(sim::ManagementServer& server);
+
+  /// Clears the hooks installed by attach.
+  static void detach(sim::ManagementServer& server);
+
+  JournalWriter& writer() { return writer_; }
+  std::uint64_t last_seq() const { return writer_.last_seq(); }
+
+ private:
+  JournalWriter writer_;
+  std::string scratch_;  ///< Reused encode buffer for the ingest hook.
+};
+
+/// What recovery found and did.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  bool server_restored = false;
+  bool model_restored = false;
+  std::uint64_t checkpoint_seq = 0;
+  ReplayStats replay;
+  std::size_t replayed_ingests = 0;
+  std::size_t replayed_misses = 0;
+  /// CRC-valid records whose payload failed to decode (skipped).
+  std::size_t malformed_payloads = 0;
+};
+
+/// Restores a freshly constructed server (and optionally its model
+/// manager) from the durable state in one directory: newest valid
+/// checkpoint first, then journal replay past it. Degrades monotonically —
+/// a missing or corrupt checkpoint means replaying the whole journal; a
+/// damaged journal tail means losing only the torn records. Never aborts
+/// on damaged input.
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(std::string dir) : dir_(std::move(dir)) {}
+
+  /// \p server must not have journal hooks attached yet (attach after).
+  /// \p manager may be nullptr when only the monitoring state matters.
+  /// \p now stamps the restored health transition.
+  RecoveryReport recover(sim::ManagementServer& server,
+                         core::ModelManager* manager, double now) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace kertbn::durable

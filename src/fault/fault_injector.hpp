@@ -49,6 +49,13 @@ class FaultInjector {
   /// True while the decentral fabric is inside a partition window.
   bool partitioned(double now) const;
 
+  /// Cumulative journal byte offset past which writes are lost (process
+  /// crash simulation for the durability layer), or nullopt when disabled.
+  std::optional<std::uint64_t> journal_write_cutoff() const {
+    if (plan_.journal_write_cutoff < 0) return std::nullopt;
+    return static_cast<std::uint64_t>(plan_.journal_write_cutoff);
+  }
+
  private:
   /// Independent decision streams (salt so e.g. loss and delay draws for
   /// the same (agent, interval) are uncorrelated).

@@ -65,11 +65,19 @@ struct FaultPlan {
   /// agent reports (which ride the same fabric) as undeliverable.
   std::vector<TimeWindow> partitions;
 
+  /// Management-server process-crash simulation for the durability layer:
+  /// every journal byte at or past this cumulative write offset is silently
+  /// dropped (a kill -9 loses buffered and in-flight bytes, so the record
+  /// straddling the cutoff lands torn on disk, and nothing after it lands
+  /// at all). Negative = disabled. Cutting mid-record exercises exactly the
+  /// torn-tail tolerance recovery must have.
+  long long journal_write_cutoff = -1;
+
   /// True when the plan can never inject anything.
   bool trivial() const {
     return crashes.empty() && partitions.empty() && report_loss_prob <= 0.0 &&
            report_duplicate_prob <= 0.0 && report_delay_prob <= 0.0 &&
-           measurement_corrupt_prob <= 0.0;
+           measurement_corrupt_prob <= 0.0 && journal_write_cutoff < 0;
   }
 };
 

@@ -1,0 +1,41 @@
+#include "fault/file_damage.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace kertbn::fault {
+
+std::size_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+bool truncate_file(const std::string& path, std::size_t new_size) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return false;
+  if (file_size(path) <= new_size) return true;
+  std::filesystem::resize_file(path, new_size, ec);
+  return !ec;
+}
+
+bool truncate_tail(const std::string& path, std::size_t n) {
+  const std::size_t size = file_size(path);
+  return truncate_file(path, size >= n ? size - n : 0);
+}
+
+bool flip_byte(const std::string& path, std::size_t offset,
+               unsigned char mask) {
+  if (offset >= file_size(path)) return false;
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return false;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  if (!f.get(byte)) return false;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(static_cast<unsigned char>(byte) ^ mask));
+  return static_cast<bool>(f);
+}
+
+}  // namespace kertbn::fault

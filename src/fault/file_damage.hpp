@@ -1,0 +1,33 @@
+#pragma once
+/// \file file_damage.hpp
+/// Surgical on-disk damage for durability testing: the patterns a real
+/// crash or a failing disk leaves behind. A kill -9 mid-write truncates the
+/// file inside a record (torn tail); a power cut through a firmware cache
+/// can leave a page of garbage (bit flips) in data that was "written". The
+/// recovery path must survive both, so tests use these helpers to inflict
+/// them deterministically on journal segments and checkpoints.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kertbn::fault {
+
+/// Current size of \p path in bytes; 0 when the file does not exist.
+std::size_t file_size(const std::string& path);
+
+/// Truncates \p path to \p new_size bytes (no-op when already smaller).
+/// Returns false when the file cannot be opened.
+bool truncate_file(const std::string& path, std::size_t new_size);
+
+/// Removes the final \p n bytes of \p path (clamped to the file size) —
+/// the torn-tail shape a crash mid-append leaves.
+bool truncate_tail(const std::string& path, std::size_t n);
+
+/// XORs \p mask into the byte at \p offset (mask 0 is a no-op; the default
+/// flips the low bit). Returns false when the offset is out of range or
+/// the file cannot be opened.
+bool flip_byte(const std::string& path, std::size_t offset,
+               unsigned char mask = 0x01);
+
+}  // namespace kertbn::fault

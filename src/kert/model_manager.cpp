@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/contract.hpp"
+#include "kert/serialize.hpp"
 #include "obs/span.hpp"
 
 namespace kertbn::core {
@@ -426,6 +428,60 @@ bool ModelManager::window_unchanged(const bn::Dataset& window) const {
 const bn::BayesianNetwork& ModelManager::model() const {
   KERTBN_EXPECTS(model_.has_value());
   return *model_;
+}
+
+std::string ModelManager::export_model_text() const {
+  if (!model_.has_value()) return {};
+  std::ostringstream out;
+  if (discretizer_.has_value()) {
+    save_kert_discrete(out, workflow_, sharing_, *discretizer_,
+                       config_.leak_l, *model_);
+  } else {
+    save_kert_continuous(out, workflow_, sharing_, *model_);
+  }
+  return out.str();
+}
+
+ManagerCheckpoint ModelManager::export_checkpoint() const {
+  return ManagerCheckpoint{next_due_, version_, export_model_text()};
+}
+
+bool ModelManager::restore_from_checkpoint(const ManagerCheckpoint& ckpt,
+                                           double now) {
+  next_due_ = ckpt.next_due;
+  version_ = ckpt.version;
+  // Cached incremental state described the dead process's window; drop it
+  // so the next rebuild recounts from the replayed window. Bumping the
+  // discretizer version invalidates any count partials keyed to it.
+  stats_.reset();
+  rows_since_reconstruct_ = 0;
+  d_cpt_cache_.reset();
+  ++discretizer_version_;
+  last_build_rows_ = 0;
+  last_build_window_.clear();
+  last_missed_due_ = -1.0;
+  if (ckpt.model_text.empty()) return true;
+
+  LoadResult loaded = try_load_from_string(ckpt.model_text);
+  const bool compatible =
+      loaded.has_value() &&
+      loaded->workflow.service_count() == workflow_.service_count() &&
+      loaded->bins == config_.bins;
+  if (!compatible) {
+    if (obs::enabled()) {
+      static obs::Counter& rejected =
+          obs::MetricsRegistry::instance().counter(
+              "kert.durable.checkpoint_model_rejected");
+      rejected.add(1);
+    }
+    note_failure(now, "checkpointed model rejected on restore");
+    return false;
+  }
+  model_ = std::move(loaded->net);
+  discretizer_ = std::move(loaded->discretizer);
+  set_health(now, ModelHealth::kStale, "recovered from checkpoint");
+  publish_current(now);
+  return true;
 }
 
 }  // namespace kertbn::core

@@ -62,6 +62,17 @@ struct Reconstruction {
   KertConstructionReport report;
 };
 
+/// What the durability layer persists of a ModelManager: enough to resume
+/// the reconstruction schedule and keep serving the last-known-good model
+/// after a process restart. The model travels as serialized text (the
+/// kert/serialize format) so a checkpoint file stays self-contained.
+struct ManagerCheckpoint {
+  double next_due = 0.0;
+  std::size_t version = 0;
+  /// Serialized last-known-good model; empty when none had been built.
+  std::string model_text;
+};
+
 /// Drives periodic KERT-BN reconstruction against a stream of monitoring
 /// windows.
 class ModelManager {
@@ -166,6 +177,22 @@ class ModelManager {
   const std::string& last_failure_reason() const {
     return last_failure_reason_;
   }
+
+  /// Serializes the current model (continuous or discrete flavor) in the
+  /// kert/serialize text format; "" when no model has been built yet.
+  std::string export_model_text() const;
+
+  /// Schedule + version + serialized model, for the durability layer.
+  ManagerCheckpoint export_checkpoint() const;
+
+  /// Restores schedule, version, and — when the checkpoint carries one —
+  /// the last-known-good model from \p ckpt. The restored model serves
+  /// with health kStale (it describes the pre-crash past, not the present)
+  /// until the next successful rebuild. A corrupt or incompatible
+  /// model_text is rejected by value: schedule and version are still
+  /// restored, the model is not, and the method returns false — recovery
+  /// must degrade, never abort.
+  bool restore_from_checkpoint(const ManagerCheckpoint& ckpt, double now);
 
  private:
   /// Fresh WindowStats sized from the schedule (residual fn attached in

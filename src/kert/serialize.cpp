@@ -1,9 +1,13 @@
 #include "kert/serialize.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "bn/deterministic_cpd.hpp"
 #include "bn/linear_gaussian_cpd.hpp"
@@ -27,23 +31,10 @@ void write_sharing(std::ostream& out, const wf::ResourceSharing& sharing) {
   }
 }
 
-wf::ResourceSharing read_sharing(std::istream& in) {
-  std::string keyword;
-  std::size_t groups = 0;
-  in >> keyword >> groups;
-  KERTBN_EXPECTS(keyword == "sharing");
-  wf::ResourceSharing sharing;
-  for (std::size_t g = 0; g < groups; ++g) {
-    wf::ResourceGroup group;
-    std::size_t count = 0;
-    in >> keyword >> group.name >> count;
-    KERTBN_EXPECTS(keyword == "group");
-    group.services.resize(count);
-    for (std::size_t i = 0; i < count; ++i) in >> group.services[i];
-    sharing.groups.push_back(std::move(group));
-  }
-  return sharing;
-}
+/// Collection-size sanity caps for the fallible loader: a corrupt count
+/// field must produce a LoadError, not a multi-gigabyte allocation.
+constexpr std::size_t kMaxCount = 100000;
+constexpr std::size_t kMaxTableValues = 10'000'000;
 
 void write_learned_cpds(std::ostream& out, const bn::BayesianNetwork& net,
                         std::size_t response_node) {
@@ -76,38 +67,6 @@ void write_learned_cpds(std::ostream& out, const bn::BayesianNetwork& net,
       out << '\n';
     }
   }
-}
-
-std::unique_ptr<bn::Cpd> read_one_cpd(std::istream& in,
-                                      std::size_t& node_out) {
-  std::string keyword;
-  std::string kind;
-  in >> keyword >> node_out >> kind;
-  KERTBN_EXPECTS(keyword == "cpd");
-  if (kind == "lingauss") {
-    double intercept = 0.0;
-    std::size_t k = 0;
-    in >> intercept >> k;
-    std::vector<double> weights(k);
-    for (double& w : weights) in >> w;
-    double sigma = 0.0;
-    in >> sigma;
-    return std::make_unique<bn::LinearGaussianCpd>(intercept,
-                                                   std::move(weights),
-                                                   sigma);
-  }
-  KERTBN_EXPECTS(kind == "tabular");
-  std::size_t card = 0;
-  std::size_t np = 0;
-  in >> card >> np;
-  std::vector<std::size_t> pcards(np);
-  for (auto& c : pcards) in >> c;
-  std::size_t nvals = 0;
-  in >> nvals;
-  std::vector<double> values(nvals);
-  for (double& v : values) in >> v;
-  return std::make_unique<bn::TabularCpd>(
-      bn::TabularCpd(card, std::move(pcards), std::move(values)));
 }
 
 void write_structure(std::ostream& out, const bn::BayesianNetwork& net) {
@@ -189,83 +148,258 @@ void save_kert_discrete(std::ostream& out, const wf::Workflow& workflow,
   out << "end\n";
 }
 
-SavedModel load_kert_model(std::istream& in) {
-  std::string keyword;
-  int version = 0;
-  in >> keyword >> version;
-  KERTBN_EXPECTS(keyword == kMagic);
-  KERTBN_EXPECTS(version == kVersion);
+namespace {
 
-  // Workflow block (re-serialize through the workflow reader).
+/// Fallible reader for the kertbn-model format. Every method reports
+/// malformed input by value; nothing in here aborts. The aborting
+/// load_kert_model wrapper turns the error into a contract failure for
+/// callers that prefer fail-fast.
+class ModelReader {
+ public:
+  explicit ModelReader(std::istream& in) : in_(in) {}
+
+  /// On failure returns nullopt with \p error filled.
+  std::optional<SavedModel> read(std::string& error);
+
+ private:
+  bool fail(std::string what) {
+    if (error_.empty()) error_ = std::move(what);
+    return false;
+  }
+  bool word(std::string& out) {
+    if (!(in_ >> out)) return fail("unexpected end of input");
+    return true;
+  }
+  bool expect(const char* keyword) {
+    std::string w;
+    if (!word(w)) return false;
+    if (w != keyword) {
+      return fail(std::string("expected '") + keyword + "', got '" + w +
+                  "'");
+    }
+    return true;
+  }
+  bool count(std::size_t& out, std::size_t cap = kMaxCount) {
+    if (!(in_ >> out)) return fail("expected a count");
+    if (out > cap) return fail("count exceeds sanity cap");
+    return true;
+  }
+  bool real(double& out, bool finite = true) {
+    if (!(in_ >> out)) return fail("expected a number");
+    if (finite && !std::isfinite(out)) return fail("non-finite number");
+    return true;
+  }
+
+  bool read_workflow(std::optional<wf::Workflow>& out);
+  bool read_sharing(wf::ResourceSharing& out);
+  bool read_discretizer(std::size_t bins,
+                        std::optional<DatasetDiscretizer>& out);
+  bool read_tabular(std::size_t bins, std::size_t expected_parents,
+                    std::optional<bn::TabularCpd>& out);
+  /// True when every activity index in the tree is < n_services.
+  static bool tree_in_range(const wf::Node& node, std::size_t n_services);
+
+  std::istream& in_;
+  std::string error_;
+};
+
+bool ModelReader::tree_in_range(const wf::Node& node,
+                                std::size_t n_services) {
+  if (node.kind() == wf::NodeKind::kActivity) {
+    return node.service_index() < n_services;
+  }
+  for (const auto& child : node.children()) {
+    if (!tree_in_range(*child, n_services)) return false;
+  }
+  return true;
+}
+
+bool ModelReader::read_workflow(std::optional<wf::Workflow>& out) {
   std::size_t n_services = 0;
-  in >> keyword >> n_services;
-  KERTBN_EXPECTS(keyword == "workflow");
+  if (!expect("workflow") || !count(n_services)) return false;
+  if (n_services == 0) return fail("workflow has no services");
   std::vector<std::string> names(n_services);
   for (std::size_t i = 0; i < n_services; ++i) {
     std::size_t idx = 0;
-    in >> keyword >> idx >> names[idx];
-    KERTBN_EXPECTS(keyword == "name");
+    if (!expect("name") || !count(idx)) return false;
+    if (idx >= n_services) return fail("service name index out of range");
+    if (!word(names[idx])) return false;
   }
-  in >> keyword;
-  KERTBN_EXPECTS(keyword == "tree");
+  if (!expect("tree")) return false;
   std::string tree_line;
-  std::getline(in, tree_line);
-  wf::Workflow workflow(names, wf::node_from_text(tree_line));
+  std::getline(in_, tree_line);
+  std::string tree_error;
+  wf::Node::Ptr root = wf::try_node_from_text(tree_line, &tree_error);
+  if (root == nullptr) {
+    return fail("workflow tree: " + tree_error);
+  }
+  if (!tree_in_range(*root, n_services)) {
+    return fail("workflow tree references an unknown service");
+  }
+  out.emplace(std::move(names), std::move(root));
+  return true;
+}
 
-  wf::ResourceSharing sharing = read_sharing(in);
+bool ModelReader::read_sharing(wf::ResourceSharing& out) {
+  std::size_t groups = 0;
+  if (!expect("sharing") || !count(groups)) return false;
+  for (std::size_t g = 0; g < groups; ++g) {
+    wf::ResourceGroup group;
+    std::size_t n = 0;
+    if (!expect("group") || !word(group.name) || !count(n)) return false;
+    group.services.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!count(group.services[i])) return false;
+    }
+    out.groups.push_back(std::move(group));
+  }
+  return true;
+}
 
-  in >> keyword;
-  KERTBN_EXPECTS(keyword == "kind");
+bool ModelReader::read_discretizer(std::size_t bins,
+                                   std::optional<DatasetDiscretizer>& out) {
+  std::size_t cols = 0;
+  if (!expect("discretizer") || !count(cols)) return false;
+  if (cols == 0) return fail("discretizer has no columns");
+  std::vector<ColumnDiscretizer> columns;
+  columns.reserve(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::size_t idx = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t n_edges = 0;
+    if (!expect("column") || !count(idx) || !real(lo) || !real(hi) ||
+        !count(n_edges)) {
+      return false;
+    }
+    if (idx != c) return fail("discretizer column out of order");
+    if (hi < lo) return fail("discretizer column range inverted");
+    std::vector<double> edges(n_edges);
+    for (double& e : edges) {
+      if (!real(e)) return false;
+    }
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      if (!(edges[i] > edges[i - 1])) {
+        return fail("discretizer edges not increasing");
+      }
+    }
+    std::size_t n_centers = 0;
+    if (!count(n_centers)) return false;
+    if (n_centers != n_edges + 1 || n_centers != bins) {
+      return fail("discretizer bin/edge count mismatch");
+    }
+    std::vector<double> centers(n_centers);
+    for (double& x : centers) {
+      if (!real(x)) return false;
+    }
+    columns.push_back(ColumnDiscretizer::from_parts(
+        std::move(edges), std::move(centers), lo, hi));
+  }
+  out = DatasetDiscretizer::from_columns(std::move(columns));
+  return true;
+}
+
+bool ModelReader::read_tabular(std::size_t bins, std::size_t expected_parents,
+                               std::optional<bn::TabularCpd>& out) {
+  std::size_t card = 0;
+  std::size_t np = 0;
+  if (!count(card) || !count(np)) return false;
+  if (card != bins) return fail("CPT cardinality does not match bins");
+  if (np != expected_parents) {
+    return fail("CPT parent count does not match structure");
+  }
+  std::vector<std::size_t> pcards(np);
+  std::size_t configs = 1;
+  for (auto& c : pcards) {
+    if (!count(c)) return false;
+    if (c != bins) return fail("CPT parent cardinality does not match bins");
+    if (configs > kMaxTableValues / c) return fail("CPT too large");
+    configs *= c;
+  }
+  std::size_t nvals = 0;
+  if (!count(nvals, kMaxTableValues)) return false;
+  if (nvals != configs * card) return fail("CPT value count mismatch");
+  std::vector<double> values(nvals);
+  for (double& v : values) {
+    if (!real(v)) return false;
+    if (v < 0.0) return fail("negative CPT probability");
+  }
+  for (std::size_t cfg = 0; cfg < configs; ++cfg) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < card; ++s) sum += values[cfg * card + s];
+    if (!(sum > 0.0)) return fail("CPT row sums to zero");
+  }
+  out.emplace(
+      bn::TabularCpd(card, std::move(pcards), std::move(values)));
+  return true;
+}
+
+std::optional<SavedModel> ModelReader::read(std::string& error) {
+  const auto failed = [&]() -> std::optional<SavedModel> {
+    error = error_.empty() ? "malformed model" : error_;
+    return std::nullopt;
+  };
+
+  std::string magic;
+  int version = 0;
+  if (!word(magic)) return failed();
+  if (magic != kMagic) {
+    fail("bad magic '" + magic + "'");
+    return failed();
+  }
+  if (!(in_ >> version)) {
+    fail("missing version");
+    return failed();
+  }
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version));
+    return failed();
+  }
+
+  std::optional<wf::Workflow> workflow;
+  if (!read_workflow(workflow)) return failed();
+  const std::size_t n_services = workflow->service_count();
+
+  wf::ResourceSharing sharing;
+  if (!read_sharing(sharing)) return failed();
+
   std::string kind;
-  in >> kind;
+  if (!expect("kind") || !word(kind)) return failed();
   std::size_t bins = 0;
   std::optional<DatasetDiscretizer> discretizer;
   if (kind == "discrete") {
-    in >> bins;
-    std::size_t cols = 0;
-    in >> keyword >> cols;
-    KERTBN_EXPECTS(keyword == "discretizer");
-    std::vector<ColumnDiscretizer> columns;
-    columns.reserve(cols);
-    for (std::size_t c = 0; c < cols; ++c) {
-      std::size_t idx = 0;
-      double lo = 0.0;
-      double hi = 0.0;
-      std::size_t n_edges = 0;
-      in >> keyword >> idx >> lo >> hi >> n_edges;
-      KERTBN_EXPECTS(keyword == "column" && idx == c);
-      std::vector<double> edges(n_edges);
-      for (double& e : edges) in >> e;
-      std::size_t n_centers = 0;
-      in >> n_centers;
-      std::vector<double> centers(n_centers);
-      for (double& x : centers) in >> x;
-      columns.push_back(ColumnDiscretizer::from_parts(
-          std::move(edges), std::move(centers), lo, hi));
+    if (!count(bins)) return failed();
+    if (bins < 2) {
+      fail("discrete model needs >= 2 bins");
+      return failed();
     }
-    discretizer = DatasetDiscretizer::from_columns(std::move(columns));
-  } else {
-    KERTBN_EXPECTS(kind == "continuous");
+    if (!read_discretizer(bins, discretizer)) return failed();
+  } else if (kind != "continuous") {
+    fail("unknown model kind '" + kind + "'");
+    return failed();
   }
 
   std::size_t n_nodes = 0;
-  in >> keyword >> n_nodes;
-  KERTBN_EXPECTS(keyword == "nodes");
-  KERTBN_EXPECTS(n_nodes >= n_services + 1);
+  if (!expect("nodes") || !count(n_nodes)) return failed();
+  if (n_nodes < n_services + 1) {
+    fail("fewer nodes than services + response");
+    return failed();
+  }
+  if (n_nodes - n_services - 1 > sharing.groups.size()) {
+    fail("more resource nodes than sharing groups");
+    return failed();
+  }
 
   // Rebuild the node set: services, optional extras (resource nodes), D.
   bn::BayesianNetwork net;
   for (std::size_t v = 0; v < n_nodes; ++v) {
     std::string node_name;
     if (v < n_services) {
-      node_name = names[v];
+      node_name = workflow->service_names()[v];
     } else if (v + 1 == n_nodes) {
       node_name = "D";
     } else {
-      // Resource nodes carry their group names in order.
-      const std::size_t g = v - n_services;
-      KERTBN_EXPECTS(g < sharing.groups.size());
-      node_name = sharing.groups[g].name;
+      node_name = sharing.groups[v - n_services].name;
     }
     net.add_node(bins == 0
                      ? bn::Variable::continuous(node_name)
@@ -273,58 +407,123 @@ SavedModel load_kert_model(std::istream& in) {
   }
 
   std::size_t n_edges = 0;
-  in >> keyword >> n_edges;
-  KERTBN_EXPECTS(keyword == "edges");
+  if (!expect("edges") || !count(n_edges)) return failed();
   for (std::size_t e = 0; e < n_edges; ++e) {
     std::size_t a = 0;
     std::size_t b = 0;
-    in >> keyword >> a >> b;
-    KERTBN_EXPECTS(keyword == "edge");
-    const bool ok = net.add_edge(a, b);
-    KERTBN_EXPECTS(ok);
+    if (!expect("edge") || !count(a) || !count(b)) return failed();
+    if (a >= n_nodes || b >= n_nodes) {
+      fail("edge endpoint out of range");
+      return failed();
+    }
+    if (!net.add_edge(a, b)) {
+      fail("edge rejected (duplicate, self-loop, or cycle)");
+      return failed();
+    }
   }
 
   double leak = 0.0;
-  in >> keyword >> leak;
-  KERTBN_EXPECTS(keyword == "leak");
+  if (!expect("leak") || !real(leak)) return failed();
 
   const std::size_t d_node = n_nodes - 1;
   if (bins == 0) {
+    if (!(leak > 0.0)) {
+      fail("continuous leak sigma must be positive");
+      return failed();
+    }
     // Rebuild the deterministic response CPD from the workflow knowledge.
     net.set_cpd(d_node, std::make_unique<bn::DeterministicCpd>(
-                            make_response_fn(workflow), leak));
+                            make_response_fn(*workflow), leak));
   } else {
-    std::string tag;
-    in >> tag;
-    KERTBN_EXPECTS(tag == "response_cpt");
-    std::size_t card = 0;
-    std::size_t np = 0;
-    in >> card >> np;
-    std::vector<std::size_t> pcards(np);
-    for (auto& c : pcards) in >> c;
-    std::size_t nvals = 0;
-    in >> nvals;
-    std::vector<double> values(nvals);
-    for (double& v : values) in >> v;
-    net.set_cpd(d_node, std::make_unique<bn::TabularCpd>(bn::TabularCpd(
-                            card, std::move(pcards), std::move(values))));
+    std::optional<bn::TabularCpd> cpt;
+    if (!expect("response_cpt") ||
+        !read_tabular(bins, net.dag().parents(d_node).size(), cpt)) {
+      return failed();
+    }
+    net.set_cpd(d_node, std::make_unique<bn::TabularCpd>(std::move(*cpt)));
   }
 
   std::size_t n_cpds = 0;
-  in >> keyword >> n_cpds;
-  KERTBN_EXPECTS(keyword == "cpds");
+  if (!expect("cpds") || !count(n_cpds)) return failed();
   for (std::size_t i = 0; i < n_cpds; ++i) {
     std::size_t node = 0;
-    auto cpd = read_one_cpd(in, node);
-    net.set_cpd(node, std::move(cpd));
+    std::string cpd_kind;
+    if (!expect("cpd") || !count(node) || !word(cpd_kind)) return failed();
+    if (node >= n_nodes || node == d_node) {
+      fail("CPD node index out of range");
+      return failed();
+    }
+    const std::size_t parents = net.dag().parents(node).size();
+    if (cpd_kind == "lingauss") {
+      if (bins != 0) {
+        fail("linear-Gaussian CPD in a discrete model");
+        return failed();
+      }
+      double intercept = 0.0;
+      std::size_t k = 0;
+      if (!real(intercept) || !count(k)) return failed();
+      if (k != parents) {
+        fail("CPD weight count does not match structure");
+        return failed();
+      }
+      std::vector<double> weights(k);
+      for (double& w : weights) {
+        if (!real(w)) return failed();
+      }
+      double sigma = 0.0;
+      if (!real(sigma)) return failed();
+      if (!(sigma > 0.0)) {
+        fail("linear-Gaussian sigma must be positive");
+        return failed();
+      }
+      net.set_cpd(node, std::make_unique<bn::LinearGaussianCpd>(
+                            intercept, std::move(weights), sigma));
+    } else if (cpd_kind == "tabular") {
+      if (bins == 0) {
+        fail("tabular CPD in a continuous model");
+        return failed();
+      }
+      std::optional<bn::TabularCpd> cpd;
+      if (!read_tabular(bins, parents, cpd)) return failed();
+      net.set_cpd(node,
+                  std::make_unique<bn::TabularCpd>(std::move(*cpd)));
+    } else {
+      fail("unknown CPD kind '" + cpd_kind + "'");
+      return failed();
+    }
   }
-  in >> keyword;
-  KERTBN_EXPECTS(keyword == "end");
-  KERTBN_ENSURES(net.is_complete());
+  if (!expect("end")) return failed();
+  if (!net.is_complete()) {
+    fail("model is missing CPDs");
+    return failed();
+  }
 
-  SavedModel model{std::move(workflow), std::move(sharing), bins,
-                   std::move(discretizer), leak, std::move(net)};
-  return model;
+  return SavedModel{std::move(*workflow), std::move(sharing), bins,
+                    std::move(discretizer), leak, std::move(net)};
+}
+
+}  // namespace
+
+LoadResult try_load_kert_model(std::istream& in) {
+  std::string error;
+  std::optional<SavedModel> model = ModelReader(in).read(error);
+  if (!model.has_value()) return LoadResult(LoadError{std::move(error)});
+  return LoadResult(std::move(*model));
+}
+
+LoadResult try_load_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return try_load_kert_model(in);
+}
+
+SavedModel load_kert_model(std::istream& in) {
+  LoadResult result = try_load_kert_model(in);
+  if (!result) {
+    std::fprintf(stderr, "kertbn: load_kert_model: %s\n",
+                 result.error().message.c_str());
+  }
+  KERTBN_EXPECTS(result.has_value() && "malformed model input");
+  return std::move(*result);
 }
 
 std::string save_to_string(const wf::Workflow& workflow,
@@ -367,6 +566,39 @@ void write_cpd_line(std::ostream& out, std::size_t v, const bn::Cpd& cpd) {
     }
   }
   out << '\n';
+}
+
+/// Reads one "cpd <node> <kind> ..." line for load_network, which keeps
+/// the historical fail-fast semantics (contract failure on bad input).
+std::unique_ptr<bn::Cpd> read_one_cpd(std::istream& in, std::size_t& node) {
+  std::string keyword;
+  in >> keyword >> node;
+  KERTBN_EXPECTS(keyword == "cpd");
+  std::string kind;
+  in >> kind;
+  if (kind == "lingauss") {
+    double intercept = 0.0;
+    std::size_t k = 0;
+    in >> intercept >> k;
+    std::vector<double> weights(k);
+    for (double& w : weights) in >> w;
+    double sigma = 0.0;
+    in >> sigma;
+    return std::make_unique<bn::LinearGaussianCpd>(intercept,
+                                                   std::move(weights), sigma);
+  }
+  KERTBN_EXPECTS(kind == "tabular");
+  std::size_t card = 0;
+  std::size_t np = 0;
+  in >> card >> np;
+  std::vector<std::size_t> pcards(np);
+  for (auto& c : pcards) in >> c;
+  std::size_t nvals = 0;
+  in >> nvals;
+  std::vector<double> values(nvals);
+  for (double& v : values) in >> v;
+  return std::make_unique<bn::TabularCpd>(
+      bn::TabularCpd(card, std::move(pcards), std::move(values)));
 }
 
 }  // namespace

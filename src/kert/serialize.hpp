@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bn/network.hpp"
+#include "common/contract.hpp"
 #include "kert/discretize.hpp"
 #include "workflow/resource.hpp"
 #include "workflow/workflow.hpp"
@@ -51,6 +52,52 @@ void save_kert_discrete(std::ostream& out, const wf::Workflow& workflow,
 
 /// Loads either flavor. Contract-fails on malformed input.
 SavedModel load_kert_model(std::istream& in);
+
+/// Why a model failed to load (try_load_kert_model).
+struct LoadError {
+  std::string message;
+};
+
+/// std::expected-style result of a fallible model load (the codebase
+/// targets C++20, so this is a hand-rolled stand-in). Either holds a
+/// SavedModel or a LoadError — never aborts on malformed input, which is
+/// what lets a corrupt checkpoint degrade into "no model recovered"
+/// instead of taking the recovering server down.
+class LoadResult {
+ public:
+  LoadResult(SavedModel model) : model_(std::move(model)) {}
+  LoadResult(LoadError error) : error_(std::move(error)) {}
+
+  bool has_value() const { return model_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  SavedModel& value() {
+    KERTBN_EXPECTS(model_.has_value());
+    return *model_;
+  }
+  const SavedModel& value() const {
+    KERTBN_EXPECTS(model_.has_value());
+    return *model_;
+  }
+  SavedModel& operator*() { return value(); }
+  const SavedModel& operator*() const { return value(); }
+  SavedModel* operator->() { return &value(); }
+  const SavedModel* operator->() const { return &value(); }
+
+  /// Empty message when the load succeeded.
+  const LoadError& error() const { return error_; }
+
+ private:
+  std::optional<SavedModel> model_;
+  LoadError error_;
+};
+
+/// Fallible load of either flavor: every malformed-input case the aborting
+/// loader treats as a contract violation (bad magic, truncated stream,
+/// inconsistent counts, invalid CPD parameters, unparsable workflow tree)
+/// is returned as a LoadError instead.
+LoadResult try_load_kert_model(std::istream& in);
+LoadResult try_load_from_string(const std::string& text);
 
 /// Convenience string round-trips.
 std::string save_to_string(const wf::Workflow& workflow,

@@ -123,6 +123,9 @@ ManagementServer::ManagementServer(std::vector<std::string> service_names,
 
 bool ManagementServer::ingest_interval(
     const std::vector<AgentReport>& reports, double response_mean) {
+  // Write-ahead: the raw event reaches the journal before any state
+  // change, so a crash at any later point can replay it.
+  if (ingest_log_) ingest_log_(reports, response_mean);
   if (obs::enabled()) MonitorMetrics::get().intervals.add(1);
   std::size_t carried = 0;
   std::size_t fresh = 0;
@@ -219,6 +222,7 @@ bool ManagementServer::ingest_interval(
 }
 
 void ManagementServer::note_missed_interval() {
+  if (missed_log_) missed_log_();
   if (obs::enabled()) MonitorMetrics::get().intervals.add(1);
   ++dropped_intervals_;
   if (obs::enabled()) MonitorMetrics::get().rows_dropped.add(1);
@@ -231,6 +235,56 @@ void ManagementServer::interval_yielded_no_row() {
     MonitorMetrics::get().window_staleness.set(
         static_cast<double>(consecutive_missed_intervals_));
   }
+}
+
+ServerState ManagementServer::export_state() const {
+  ServerState state;
+  state.rows = window_.rows();
+  state.cols = n_services_ + 1;
+  state.window.reserve(state.rows * state.cols);
+  for (std::size_t r = 0; r < state.rows; ++r) {
+    const auto row = window_.row(r);
+    state.window.insert(state.window.end(), row.begin(), row.end());
+  }
+  state.last_seen = last_seen_;
+  state.total_points = total_points_;
+  state.dropped_intervals = dropped_intervals_;
+  state.quarantined_values = quarantined_values_;
+  state.duplicate_values = duplicate_values_;
+  state.consecutive_missed_intervals = consecutive_missed_intervals_;
+  return state;
+}
+
+bool ManagementServer::restore_state(const ServerState& state) {
+  if (state.cols != n_services_ + 1 ||
+      state.last_seen.size() != n_services_ ||
+      state.window.size() != state.rows * state.cols) {
+    return false;
+  }
+  bn::Dataset window(window_.column_names());
+  for (std::size_t r = 0; r < state.rows; ++r) {
+    window.add_row(std::span<const double>(
+        state.window.data() + r * state.cols, state.cols));
+  }
+  window_ = std::move(window);
+  last_seen_ = state.last_seen;
+  total_points_ = state.total_points;
+  dropped_intervals_ = state.dropped_intervals;
+  quarantined_values_ = state.quarantined_values;
+  duplicate_values_ = state.duplicate_values;
+  consecutive_missed_intervals_ = state.consecutive_missed_intervals;
+  if (obs::enabled()) {
+    static obs::Counter& recovered =
+        obs::MetricsRegistry::instance().counter(
+            "kert.monitoring.recovered_reports");
+    recovered.add(state.rows);
+    // The staleness gauge resumes where the crashed server left it, not at
+    // zero: an autonomic controller watching it must not be told the
+    // window is fresh when the outage is still in progress.
+    MonitorMetrics::get().window_staleness.set(
+        static_cast<double>(consecutive_missed_intervals_));
+  }
+  return true;
 }
 
 }  // namespace kertbn::sim

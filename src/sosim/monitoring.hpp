@@ -156,6 +156,22 @@ enum class DuplicateCoveragePolicy {
   kLastWins,
 };
 
+/// Complete durable state of a ManagementServer: the sliding window, the
+/// carry-forward memory, and the accounting counters. Captured into
+/// checkpoints and restored after a crash so recovery resumes mid-window
+/// instead of blind (see src/durable).
+struct ServerState {
+  std::size_t rows = 0;
+  std::size_t cols = 0;  ///< services + 1 (the D column).
+  std::vector<double> window;  ///< Row-major rows x cols.
+  std::vector<std::optional<double>> last_seen;
+  std::size_t total_points = 0;
+  std::size_t dropped_intervals = 0;
+  std::size_t quarantined_values = 0;
+  std::size_t duplicate_values = 0;
+  std::size_t consecutive_missed_intervals = 0;
+};
+
 /// The management server: assembles agent reports plus end-to-end response
 /// times into data points (one per T_DATA interval) and maintains the
 /// sliding window of Equation 1.
@@ -165,6 +181,15 @@ class ManagementServer {
   /// after it enters the sliding window — the hook incremental model
   /// layers use to maintain windowed statistics (ModelManager::observe_row).
   using RowObserver = std::function<void(std::span<const double>)>;
+
+  /// Write-ahead hooks: invoked with the raw inputs of every
+  /// ingest_interval / note_missed_interval *before* any state changes, so
+  /// a journal (durable::ServerJournal) can make the event durable first.
+  /// Replaying the logged events through a fresh server reproduces its
+  /// state bit-for-bit — including carry-forward memory and staleness.
+  using IngestLog =
+      std::function<void(const std::vector<AgentReport>&, double)>;
+  using MissedLog = std::function<void()>;
 
   /// \p service_names defines dataset columns (a final "D" is appended).
   ManagementServer(std::vector<std::string> service_names,
@@ -183,6 +208,9 @@ class ManagementServer {
   void set_row_observer(RowObserver observer) {
     observer_ = std::move(observer);
   }
+
+  void set_ingest_log(IngestLog log) { ingest_log_ = std::move(log); }
+  void set_missed_log(MissedLog log) { missed_log_ = std::move(log); }
 
   /// Ingests one interval's reports plus the interval-mean response time.
   /// Services missing from the reports are handled per the configured
@@ -228,6 +256,18 @@ class ManagementServer {
     return consecutive_missed_intervals_;
   }
 
+  /// Snapshot of the durable state (window, carry-forward, accounting)
+  /// for checkpointing.
+  ServerState export_state() const;
+
+  /// Restores a checkpointed state, replacing the current window and
+  /// accounting wholesale. Staleness is restored, not reset — a server
+  /// that crashed mid-outage must come back knowing it is stale. Bumps
+  /// kert.monitoring.recovered_reports by the restored row count. Returns
+  /// false (leaving the server untouched) when the state's shape does not
+  /// match this server's column layout.
+  bool restore_state(const ServerState& state);
+
  private:
   /// Shared bookkeeping for every way an interval can fail to yield a row.
   void interval_yielded_no_row();
@@ -244,6 +284,8 @@ class ManagementServer {
   std::size_t consecutive_missed_intervals_ = 0;
   std::vector<std::optional<double>> last_seen_;
   RowObserver observer_;
+  IngestLog ingest_log_;
+  MissedLog missed_log_;
 };
 
 }  // namespace kertbn::sim

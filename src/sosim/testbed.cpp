@@ -25,6 +25,16 @@ MonitoredTestbed::MonitoredTestbed(DesEnvironment environment, HostMap hosts,
   measurement_seq_.assign(hosts_.host_of.size(), 0);
 }
 
+void MonitoredTestbed::restart_server() {
+  const ModelSchedule schedule = server_.schedule();
+  const MissingServicePolicy policy = server_.policy();
+  const DuplicateCoveragePolicy duplicate_policy = server_.duplicate_policy();
+  server_ = ManagementServer(env_.workflow().service_names(), schedule,
+                             policy, duplicate_policy);
+  // In-flight delayed reports lived in the dead process; they die with it.
+  delayed_.clear();
+}
+
 bool MonitoredTestbed::advance_interval() {
   const double interval_start = env_.now();
   env_.run_for(server_.schedule().t_data);

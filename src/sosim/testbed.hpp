@@ -25,6 +25,16 @@ class MonitoredTestbed {
   const ModelSchedule& schedule() const { return server_.schedule(); }
   DesEnvironment& environment() { return env_; }
   const ManagementServer& server() const { return server_; }
+  /// Mutable access for wiring durability hooks (journal, row observer).
+  ManagementServer& server_mutable() { return server_; }
+
+  /// Simulates a management-server process crash + restart: the server —
+  /// window, carry-forward memory, accounting, attached hooks — is
+  /// replaced by a freshly constructed one with the same configuration.
+  /// The DES environment and the per-machine monitoring agents are other
+  /// processes and keep running. Callers recover the new server's state
+  /// via durable::RecoveryManager (or accept the cold start).
+  void restart_server();
 
   /// Advances the test-bed by exactly one data-collection interval
   /// (T_DATA): runs the DES, routes each completed request's per-service

@@ -1,6 +1,8 @@
 #include "workflow/serialize.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/contract.hpp"
@@ -39,19 +41,34 @@ void write_node(const Node& node, std::ostringstream& out) {
   KERTBN_ASSERT(false && "unreachable");
 }
 
-/// Minimal recursive-descent parser over a token cursor.
+/// Minimal recursive-descent parser over a token cursor. Malformed input
+/// is reported by value (nullptr + error message); the aborting
+/// node_from_text wrapper turns that into a contract failure, while
+/// try_node_from_text hands it to callers that must degrade gracefully.
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  Node::Ptr parse() {
+  Node::Ptr parse(std::string* error) {
     Node::Ptr node = parse_node();
     skip_ws();
-    KERTBN_EXPECTS(pos_ == text_.size() && "trailing input");
+    if (node != nullptr && pos_ != text_.size()) {
+      fail("trailing input after tree");
+      node = nullptr;
+    }
+    if (error != nullptr) *error = error_;
     return node;
   }
 
  private:
+  /// Records the first error (nested failures keep the root cause).
+  std::nullptr_t fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -59,15 +76,24 @@ class Parser {
     }
   }
 
-  void expect(char c) {
+  bool expect(char c) {
     skip_ws();
-    KERTBN_EXPECTS(pos_ < text_.size() && text_[pos_] == c);
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
     ++pos_;
+    return true;
   }
 
   bool peek(char c) {
     skip_ws();
     return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
   }
 
   std::string word() {
@@ -78,56 +104,89 @@ class Parser {
            !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
-    KERTBN_EXPECTS(pos_ > start && "expected token");
+    if (pos_ == start) fail("expected token");
     return text_.substr(start, pos_ - start);
   }
 
-  double number() {
+  bool number(double& out) {
     const std::string w = word();
-    std::size_t consumed = 0;
-    const double v = std::stod(w, &consumed);
-    KERTBN_EXPECTS(consumed == w.size() && "expected number");
-    return v;
+    if (w.empty()) return false;
+    char* end = nullptr;
+    out = std::strtod(w.c_str(), &end);
+    if (end != w.c_str() + w.size()) {
+      fail("expected number, got '" + w + "'");
+      return false;
+    }
+    return true;
   }
 
   Node::Ptr parse_node() {
-    expect('(');
+    if (!expect('(')) return nullptr;
     const std::string head = word();
     if (head == "act") {
-      const auto svc = static_cast<std::size_t>(number());
-      expect(')');
-      return Node::activity(svc);
+      double svc = 0.0;
+      if (!number(svc)) return nullptr;
+      if (!(svc >= 0.0) || svc != std::floor(svc)) {
+        return fail("activity index must be a non-negative integer");
+      }
+      if (!expect(')')) return nullptr;
+      return Node::activity(static_cast<std::size_t>(svc));
     }
     if (head == "seq" || head == "par") {
       std::vector<Node::Ptr> children;
-      while (!peek(')')) children.push_back(parse_node());
+      while (!peek(')')) {
+        if (at_end()) return fail("unterminated composite");
+        Node::Ptr child = parse_node();
+        if (child == nullptr) return nullptr;
+        children.push_back(std::move(child));
+      }
       expect(')');
-      KERTBN_EXPECTS(!children.empty());
+      if (children.empty()) return fail("empty composite");
       return head == "seq" ? Node::sequence(std::move(children))
                            : Node::parallel(std::move(children));
     }
     if (head == "choice") {
       std::vector<Node::Ptr> children;
       std::vector<double> probs;
+      double total = 0.0;
       while (!peek(')')) {
-        probs.push_back(number());
-        children.push_back(parse_node());
+        if (at_end()) return fail("unterminated choice");
+        double p = 0.0;
+        if (!number(p)) return nullptr;
+        if (!(p >= 0.0) || p > 1.0) {
+          return fail("choice probability outside [0, 1]");
+        }
+        total += p;
+        probs.push_back(p);
+        Node::Ptr child = parse_node();
+        if (child == nullptr) return nullptr;
+        children.push_back(std::move(child));
       }
       expect(')');
+      if (children.empty()) return fail("empty choice");
+      if (std::abs(total - 1.0) >= 1e-9) {
+        return fail("choice probabilities do not sum to 1");
+      }
       return Node::choice(std::move(children), std::move(probs));
     }
     if (head == "loop") {
-      const double repeat = number();
+      double repeat = 0.0;
+      if (!number(repeat)) return nullptr;
+      if (!(repeat >= 0.0) || repeat >= 1.0) {
+        return fail("loop probability outside [0, 1)");
+      }
       Node::Ptr body = parse_node();
-      expect(')');
+      if (body == nullptr) return nullptr;
+      if (!expect(')')) return nullptr;
       return Node::loop(std::move(body), repeat);
     }
-    KERTBN_EXPECTS(false && "unknown construct");
+    fail("unknown construct '" + head + "'");
     return nullptr;
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::string error_;
 };
 
 }  // namespace
@@ -140,7 +199,14 @@ std::string node_to_text(const Node& node) {
 }
 
 Node::Ptr node_from_text(const std::string& text) {
-  return Parser(text).parse();
+  std::string error;
+  Node::Ptr node = Parser(text).parse(&error);
+  KERTBN_EXPECTS(node != nullptr && "malformed workflow tree");
+  return node;
+}
+
+Node::Ptr try_node_from_text(const std::string& text, std::string* error) {
+  return Parser(text).parse(error);
 }
 
 std::string workflow_to_text(const Workflow& workflow) {

@@ -26,6 +26,13 @@ std::string node_to_text(const Node& node);
 /// malformed input.
 Node::Ptr node_from_text(const std::string& text);
 
+/// Fallible variant for loaders that must degrade on corrupt input (the
+/// durability layer's checkpoint loads): returns nullptr and fills
+/// \p error instead of aborting. All Node-factory preconditions (non-empty
+/// composites, choice probabilities summing to one, loop probability in
+/// [0, 1)) are validated here first.
+Node::Ptr try_node_from_text(const std::string& text, std::string* error);
+
 /// Renders a whole workflow: first line "workflow <n>", then one
 /// "name <i> <service-name>" line per service, then "tree <s-expr>".
 std::string workflow_to_text(const Workflow& workflow);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "bn/discrete_inference.hpp"
@@ -11,6 +13,24 @@
 
 namespace kertbn::core {
 namespace {
+
+/// Replaces the whole line that starts with \p prefix (e.g. "leak ").
+std::string replace_line(std::string text, const std::string& prefix,
+                         const std::string& replacement) {
+  const std::size_t at = text.find("\n" + prefix);
+  EXPECT_NE(at, std::string::npos) << "no line starts with: " << prefix;
+  const std::size_t end = text.find('\n', at + 1);
+  return text.replace(at + 1, end - at - 1, replacement);
+}
+
+std::string valid_continuous_text(std::uint64_t seed) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(seed);
+  const bn::Dataset train = env.generate(150, rng);
+  const KertResult built =
+      construct_kert_continuous(env.workflow(), env.sharing(), train);
+  return save_to_string(env.workflow(), env.sharing(), built.net);
+}
 
 TEST(ModelSerialize, ContinuousRoundTripPreservesLikelihoods) {
   sim::SyntheticEnvironment env = sim::make_ediamond_environment();
@@ -107,6 +127,101 @@ TEST(ModelSerialize, ResourceNodeModelRoundTrips) {
 
 TEST(ModelSerialize, RejectsGarbage) {
   EXPECT_DEATH(load_from_string("not-a-model 1"), "precondition");
+}
+
+TEST(ModelSerialize, MinimumBinsDiscreteRoundTrips) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(5);
+  const bn::Dataset train = env.generate(300, rng);
+  const DatasetDiscretizer disc(train, 2);  // The smallest legal bin count.
+  const KertResult original = construct_kert_discrete(
+      env.workflow(), env.sharing(), disc, disc.discretize(train));
+
+  std::ostringstream out;
+  save_kert_discrete(out, env.workflow(), env.sharing(), disc, 0.02,
+                     original.net);
+  std::istringstream in(out.str());
+  const SavedModel loaded = load_kert_model(in);
+  EXPECT_EQ(loaded.bins, 2u);
+  ASSERT_TRUE(loaded.discretizer.has_value());
+  for (std::size_t c = 0; c < disc.columns(); ++c) {
+    for (double v : {0.01, 0.2, 0.5, 1.5}) {
+      EXPECT_EQ(loaded.discretizer->column(c).bin_of(v),
+                disc.column(c).bin_of(v));
+    }
+  }
+  const bn::VariableElimination ve_orig(original.net);
+  const bn::VariableElimination ve_load(loaded.net);
+  const auto a = ve_orig.posterior(0, bn::DiscreteEvidence{{6, 1}});
+  const auto b = ve_load.posterior(0, bn::DiscreteEvidence{{6, 1}});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) EXPECT_DOUBLE_EQ(a[s], b[s]);
+}
+
+TEST(ModelSerialize, TinyPositiveLeakRoundTripsExactly) {
+  const std::string tweaked =
+      replace_line(valid_continuous_text(6), "leak ", "leak 1e-300");
+  const LoadResult result = try_load_from_string(tweaked);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->leak, 1e-300);  // Exact, not approximate.
+}
+
+TEST(ModelSerialize, ZeroLeakContinuousIsRejectedNotAborted) {
+  // A zero leak would make the deterministic response CPD's density
+  // degenerate; the fallible loader must refuse the file gracefully.
+  const std::string tweaked =
+      replace_line(valid_continuous_text(7), "leak ", "leak 0");
+  const LoadResult result = try_load_from_string(tweaked);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(result.error().message.empty());
+}
+
+TEST(ModelSerialize, SeventeenDigitDoublesSurviveARealFile) {
+  const std::string text = valid_continuous_text(8);
+  const std::filesystem::path path =
+      std::filesystem::path(testing::TempDir()) / "kertbn_serialize_rt.model";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << text;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const LoadResult loaded = try_load_kert_model(in);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  // Re-serializing the file-loaded model reproduces the original bytes:
+  // every double survived the disk round-trip at 17 significant digits.
+  EXPECT_EQ(save_to_string(loaded->workflow, loaded->sharing, loaded->net),
+            text);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelSerialize, TryLoadReportsErrorsWithoutAborting) {
+  // Bad magic.
+  EXPECT_FALSE(try_load_from_string("not-a-model 1").has_value());
+  // Empty input.
+  EXPECT_FALSE(try_load_from_string("").has_value());
+
+  const std::string text = valid_continuous_text(9);
+  // Truncation anywhere must fail cleanly, never crash.
+  for (const double frac : {0.25, 0.5, 0.9}) {
+    const auto cut = static_cast<std::size_t>(double(text.size()) * frac);
+    const LoadResult result = try_load_from_string(text.substr(0, cut));
+    EXPECT_FALSE(result.has_value()) << "truncated at " << cut;
+    EXPECT_FALSE(result.error().message.empty());
+  }
+  // Inconsistent counts: claim one more CPD than the file carries.
+  EXPECT_FALSE(
+      try_load_from_string(replace_line(text, "cpds ", "cpds 7"))
+          .has_value());
+  // An unknown CPD kind.
+  std::string bad_kind = text;
+  const std::size_t at = bad_kind.find("lingauss");
+  ASSERT_NE(at, std::string::npos);
+  bad_kind.replace(at, 8, "wibbleee");
+  EXPECT_FALSE(try_load_from_string(bad_kind).has_value());
+  // The original still loads — the mutations above were the problem.
+  EXPECT_TRUE(try_load_from_string(text).has_value());
 }
 
 }  // namespace
