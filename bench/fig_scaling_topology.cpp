@@ -1,0 +1,94 @@
+/// \file fig_scaling_topology.cpp
+/// Topology-scaling study over scenario-family workloads: KERT-BN
+/// construction time and held-out model error as generated scenarios grow
+/// from 25 to 250 services. Unlike fig4 (random but homogeneous
+/// environments), each size here draws full-algebra scenario topologies —
+/// map fan-outs, data-dependent choices, loops, heterogeneous resource
+/// sharing, heavy-tailed service times — from a seeded ScenarioFamily, so
+/// the x-axis scales the *kind* of environment the autonomic manager
+/// actually faces. Model error is the mean absolute error of every node's
+/// conditional-mean prediction on a held-out probe set, reported alongside
+/// the training-window error so the generalization gap is visible.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "kert/kert_builder.hpp"
+#include "sosim/scenario.hpp"
+
+namespace {
+
+using namespace kertbn;
+
+constexpr std::size_t kTrainRows = 60;
+constexpr std::size_t kProbeRows = 120;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Scaling: construction time & held-out model error vs scenario "
+      "topology size (full workflow algebra, heavy tails)",
+      {"services", "construct_ms", "train_mae", "probe_mae"});
+  return collector;
+}
+
+/// Mean absolute error of every node's conditional-mean prediction.
+double model_error(const bn::BayesianNetwork& net, const bn::Dataset& probe) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    const auto row = probe.row(r);
+    for (std::size_t v = 0; v < net.size(); ++v) {
+      std::vector<double> parents;
+      for (std::size_t p : net.dag().parents(v)) parents.push_back(row[p]);
+      total += std::abs(net.cpd(v).mean(parents) - row[v]);
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+void BM_ScenarioTopology(benchmark::State& state) {
+  const auto n_services = static_cast<std::size_t>(state.range(0));
+  sim::ScenarioFamilyOptions opts;
+  opts.min_services = n_services;
+  opts.max_services = n_services;
+  const sim::ScenarioFamily family(0x70110ULL + n_services, opts);
+
+  double ms = 0.0;
+  double train_mae = 0.0;
+  double probe_mae = 0.0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const sim::Scenario scenario = family.make(rep);
+    sim::SyntheticEnvironment env = scenario.make_environment();
+    Rng rng(scenario.seed ^ 0xBE4C);
+    const bn::Dataset train = env.generate(kTrainRows, rng);
+    const bn::Dataset probe = env.generate(kProbeRows, rng);
+    state.ResumeTiming();
+
+    const core::KertResult result =
+        core::construct_kert_continuous(env.workflow(), env.sharing(), train);
+
+    state.PauseTiming();
+    ms += result.report.total_seconds * 1e3;
+    train_mae += model_error(result.net, train);
+    probe_mae += model_error(result.net, probe);
+    ++rep;
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(rep);
+  state.counters["construct_ms"] = ms / n;
+  state.counters["train_mae"] = train_mae / n;
+  state.counters["probe_mae"] = probe_mae / n;
+  series().add_row({double(n_services), ms / n, train_mae / n,
+                    probe_mae / n});
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScenarioTopology)
+    ->Arg(25)->Arg(50)->Arg(100)->Arg(150)->Arg(250)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

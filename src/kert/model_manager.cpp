@@ -129,6 +129,23 @@ void ModelManager::observe_row(std::span<const double> row) {
   }
 }
 
+void ModelManager::update_workflow(wf::Workflow workflow) {
+  KERTBN_EXPECTS(workflow.service_count() == workflow_.service_count() &&
+                 "drifted workflow must keep the same service set");
+  workflow_ = std::move(workflow);
+  // The D-CPT integrates the old f(X): rebuild it at the next deadline.
+  d_cpt_cache_.reset();
+  ++discretizer_version_;
+  // Incremental residual partials captured the old expression; a fresh
+  // stats object reseeds from raw rows on the next reconstruction.
+  stats_.reset();
+  rows_since_reconstruct_ = 0;
+  // Forget the unchanged-window snapshot: identical data must still
+  // trigger a rebuild because the knowledge itself changed.
+  last_build_rows_ = 0;
+  last_build_window_.clear();
+}
+
 WindowStats ModelManager::make_stats() const {
   WindowStats::Config cfg;
   const std::size_t n = workflow_.service_count();

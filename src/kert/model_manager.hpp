@@ -141,6 +141,16 @@ class ModelManager {
   /// No-op unless config().incremental.
   void observe_row(std::span<const double> row);
 
+  /// Replaces the workflow knowledge (same service count required) when
+  /// choice probabilities or structure drift. Every cache derived from the
+  /// old knowledge is invalidated — the deterministic response CPT, the
+  /// incremental residual statistics (their residual fn captured the old
+  /// f(X)), and the unchanged-window memory — so the next deadline rebuilds
+  /// with the new knowledge even if the data window has not changed.
+  void update_workflow(wf::Workflow workflow);
+
+  const wf::Workflow& workflow() const { return workflow_; }
+
   /// The incremental statistics layer (empty unless config().incremental
   /// and at least one row was observed or a reconstruction reseeded it).
   const std::optional<WindowStats>& window_stats() const { return stats_; }

@@ -31,7 +31,7 @@ void DesEnvironment::schedule_next_arrival() {
     auto trace = std::make_shared<DesRequestTrace>();
     trace->service_times.assign(models_.size(), std::nullopt);
     const double start = sim_.now();
-    execute_node(*workflow_.root(), start, trace,
+    execute_node(*workflow_.root(), start, 1.0, trace,
                  [this, trace, start](double finished) {
                    trace->response_time = finished - start;
                    trace->completed_at = finished;
@@ -55,7 +55,19 @@ void DesEnvironment::accelerate_service(std::size_t service, double factor) {
   models_[service].noise_sigma *= factor;
 }
 
+void DesEnvironment::set_arrival_rate(double rate) {
+  KERTBN_EXPECTS(rate > 0.0);
+  arrival_rate_ = rate;
+}
+
+void DesEnvironment::set_workflow_root(wf::Node::Ptr root) {
+  KERTBN_EXPECTS(root != nullptr);
+  retired_roots_.push_back(workflow_.root());
+  workflow_ = wf::Workflow(workflow_.service_names(), std::move(root));
+}
+
 void DesEnvironment::execute_node(const wf::Node& node, double start,
+                                  double work_scale,
                                   std::shared_ptr<DesRequestTrace> trace,
                                   std::function<void(double)> done) {
   switch (node.kind()) {
@@ -63,8 +75,8 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       const std::size_t svc = node.service_index();
       Machine& machine = machines_[hosts_.host_of[svc]];
       // FIFO processor: the job waits for the backlog, then occupies the
-      // machine for its sampled demand.
-      const double demand = models_[svc].sample_base(rng_);
+      // machine for its sampled demand (scaled to this data partition).
+      const double demand = models_[svc].sample_base(rng_) * work_scale;
       const double begin = std::max(start, machine.busy_until);
       const double finish = begin + demand;
       machine.busy_until = finish;
@@ -86,14 +98,14 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       // its last event fires instead of leaking as a shared_ptr cycle.
       auto advance = std::make_shared<std::function<void(std::size_t, double)>>();
       std::weak_ptr<std::function<void(std::size_t, double)>> weak = advance;
-      *advance = [this, &node, trace, done, weak](std::size_t idx,
-                                                  double at) {
+      *advance = [this, &node, trace, done, weak, work_scale](std::size_t idx,
+                                                              double at) {
         if (idx == node.children().size()) {
           done(at);
           return;
         }
         auto self = weak.lock();
-        execute_node(*node.children()[idx], at, trace,
+        execute_node(*node.children()[idx], at, work_scale, trace,
                      [self, idx](double finished) {
                        (*self)(idx + 1, finished);
                      });
@@ -105,7 +117,7 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       auto remaining = std::make_shared<std::size_t>(node.children().size());
       auto latest = std::make_shared<double>(start);
       for (const auto& child : node.children()) {
-        execute_node(*child, start, trace,
+        execute_node(*child, start, work_scale, trace,
                      [remaining, latest, done](double finished) {
                        *latest = std::max(*latest, finished);
                        if (--*remaining == 0) done(*latest);
@@ -115,7 +127,8 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
     }
     case wf::NodeKind::kChoice: {
       const std::size_t branch = rng_.categorical(node.choice_probs());
-      execute_node(*node.children()[branch], start, trace, std::move(done));
+      execute_node(*node.children()[branch], start, work_scale, trace,
+                   std::move(done));
       return;
     }
     case wf::NodeKind::kLoop: {
@@ -123,9 +136,10 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
       const double repeat = node.repeat_prob();
       auto again = std::make_shared<std::function<void(double)>>();
       std::weak_ptr<std::function<void(double)>> weak = again;
-      *again = [this, &node, trace, done, weak, repeat](double at) {
+      *again = [this, &node, trace, done, weak, repeat,
+                work_scale](double at) {
         auto self = weak.lock();
-        execute_node(*node.children().front(), at, trace,
+        execute_node(*node.children().front(), at, work_scale, trace,
                      [this, done, self, repeat](double finished) {
                        if (rng_.bernoulli(repeat)) {
                          (*self)(finished);
@@ -135,6 +149,33 @@ void DesEnvironment::execute_node(const wf::Node& node, double start,
                      });
       };
       (*again)(start);
+      return;
+    }
+    case wf::NodeKind::kMap: {
+      // Draw this execution's fan-out, then run k parallel instances of
+      // the body, each over 1/k of the data; join like kParallel. Elapsed
+      // times accumulate per service across instances, so the monitored
+      // X_s still reflects the full data's work.
+      const std::size_t k =
+          node.map_k_min() + rng_.categorical(node.map_k_weights());
+      auto remaining = std::make_shared<std::size_t>(k);
+      auto latest = std::make_shared<double>(start);
+      const double instance_scale = work_scale / static_cast<double>(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        execute_node(*node.children().front(), start, instance_scale, trace,
+                     [remaining, latest, done](double finished) {
+                       *latest = std::max(*latest, finished);
+                       if (--*remaining == 0) done(*latest);
+                     });
+      }
+      return;
+    }
+    case wf::NodeKind::kDataChoice: {
+      // Per-request data class conditions the branch distribution.
+      const std::size_t cls = rng_.categorical(node.class_probs());
+      const std::size_t branch = rng_.categorical(node.branch_probs()[cls]);
+      execute_node(*node.children()[branch], start, work_scale, trace,
+                   std::move(done));
       return;
     }
   }

@@ -55,6 +55,16 @@ class DesEnvironment {
   /// Applies a multiplicative speedup to one service (pAccel actions).
   void accelerate_service(std::size_t service, double factor);
 
+  /// Changes the Poisson request rate; takes effect from the next arrival
+  /// (load curves: diurnal cycles, flash crowds).
+  void set_arrival_rate(double rate);
+  double arrival_rate() const { return arrival_rate_; }
+
+  /// Replaces the workflow composition tree over the same service set —
+  /// the choice-probability drift hook. Requests already in flight keep
+  /// walking the tree they started on.
+  void set_workflow_root(wf::Node::Ptr root);
+
   /// Builds a BN-ready dataset (columns: services then "D") from traces
   /// completed in (from_time, to_time], averaging every
   /// \p report_interval seconds into one data point (the paper's T_DATA
@@ -68,8 +78,9 @@ class DesEnvironment {
   };
 
   /// Continuation-passing workflow walk; calls \p done with the node's
-  /// completion time.
-  void execute_node(const wf::Node& node, double start,
+  /// completion time. \p work_scale shrinks activity demands — a map
+  /// fan-out hands each of its k instances 1/k of the data.
+  void execute_node(const wf::Node& node, double start, double work_scale,
                     std::shared_ptr<DesRequestTrace> trace,
                     std::function<void(double)> done);
 
@@ -83,6 +94,9 @@ class DesEnvironment {
   des::Simulator sim_;
   std::vector<Machine> machines_;
   std::vector<DesRequestTrace> traces_;
+  /// Old roots are kept alive until shutdown: in-flight continuations hold
+  /// plain references into the tree they started walking.
+  std::vector<wf::Node::Ptr> retired_roots_;
 };
 
 /// Builds the eDiaMoND DES test-bed: Figure 1 workflow, the Section 5 host

@@ -1,0 +1,206 @@
+#include "sosim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/contract.hpp"
+
+namespace kertbn::sim {
+
+double LoadCurve::at(double t) const {
+  double load =
+      base * (1.0 + diurnal_amplitude *
+                        std::sin(2.0 * std::numbers::pi * t / diurnal_period +
+                                 diurnal_phase));
+  for (const FlashCrowd& crowd : flash_crowds) {
+    if (t >= crowd.at && t < crowd.at + crowd.duration) load *= crowd.factor;
+  }
+  return std::max(load, 0.05);
+}
+
+wf::Node::Ptr Scenario::root_at(double phase) const {
+  const double w = std::clamp(phase, 0.0, 1.0) * choice_drift;
+  if (w == 0.0) return workflow.root();
+  return wf::interpolate_choice_probs(workflow.root(), drift_target, w);
+}
+
+wf::Workflow Scenario::workflow_at(double phase) const {
+  return wf::Workflow(workflow.service_names(), root_at(phase));
+}
+
+SyntheticEnvironment Scenario::make_environment() const {
+  return SyntheticEnvironment(workflow, sharing, models);
+}
+
+DesEnvironment Scenario::make_des_environment(std::uint64_t run_seed) const {
+  return DesEnvironment(workflow, hosts, models, arrival_rate, run_seed);
+}
+
+MonitoredTestbed Scenario::make_testbed(std::uint64_t run_seed,
+                                        ModelSchedule schedule) const {
+  return MonitoredTestbed(make_des_environment(run_seed), hosts, schedule);
+}
+
+namespace {
+
+/// splitmix64 finalizer over (family seed, index) — uncorrelated scenario
+/// seeds from consecutive indices.
+std::uint64_t mix_seed(std::uint64_t family_seed, std::uint64_t index) {
+  std::uint64_t z = family_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ScenarioFamily::ScenarioFamily(std::uint64_t family_seed,
+                               ScenarioFamilyOptions opts)
+    : family_seed_(family_seed), opts_(opts) {
+  KERTBN_EXPECTS(opts_.min_services >= 1);
+  KERTBN_EXPECTS(opts_.max_services >= opts_.min_services);
+  opts_.workflow.validate();
+  KERTBN_EXPECTS(opts_.heavy_tail_fraction >= 0.0 &&
+                 opts_.heavy_tail_fraction <= 1.0);
+  KERTBN_EXPECTS(opts_.choice_drift >= 0.0 && opts_.choice_drift <= 1.0);
+  KERTBN_EXPECTS(opts_.diurnal_amplitude_max >= 0.0 &&
+                 opts_.diurnal_amplitude_max < 1.0);
+  KERTBN_EXPECTS(opts_.flash_crowd_prob >= 0.0 &&
+                 opts_.flash_crowd_prob <= 1.0);
+  KERTBN_EXPECTS(opts_.flash_crowd_factor_max >= 1.0);
+  KERTBN_EXPECTS(opts_.fault_intensity >= 0.0 &&
+                 opts_.fault_intensity <= 1.0);
+  KERTBN_EXPECTS(opts_.arrival_rate > 0.0);
+  KERTBN_EXPECTS(opts_.horizon_hint > 0.0);
+}
+
+std::uint64_t ScenarioFamily::scenario_seed(std::size_t index) const {
+  return mix_seed(family_seed_, index);
+}
+
+Scenario ScenarioFamily::make(std::size_t index) const {
+  Rng rng(scenario_seed(index));
+
+  const std::size_t n =
+      opts_.min_services +
+      rng.uniform_index(opts_.max_services - opts_.min_services + 1);
+  wf::Workflow workflow = wf::make_random_workflow(n, rng, opts_.workflow);
+  wf::Node::Ptr drift_target = wf::perturb_choice_probs(workflow.root(), rng);
+
+  // Hosts: partition the services onto machines of 2..6 services, one CPU
+  // resource group per machine.
+  HostMap hosts;
+  hosts.host_of.assign(n, 0);
+  wf::ResourceSharing sharing;
+  {
+    std::vector<std::size_t> pool = rng.permutation(n);
+    std::size_t start = 0;
+    while (start < pool.size()) {
+      const std::size_t take = std::min<std::size_t>(
+          2 + rng.uniform_index(5), pool.size() - start);
+      wf::ResourceGroup group;
+      group.name = "cpu_host_" + std::to_string(hosts.host_count);
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t svc = pool[start + i];
+        hosts.host_of[svc] = hosts.host_count;
+        group.services.push_back(svc);
+      }
+      sharing.groups.push_back(std::move(group));
+      ++hosts.host_count;
+      start += take;
+    }
+  }
+  // Cross-cutting groups (network segments, shared backends) overlap the
+  // host partition, making the sharing graph heterogeneous rather than a
+  // clean partition.
+  const std::size_t extra_groups = 1 + n / 10;
+  for (std::size_t g = 0; g < extra_groups; ++g) {
+    const std::size_t members =
+        std::min<std::size_t>(n, 2 + rng.uniform_index(4));
+    std::vector<std::size_t> pick = rng.permutation(n);
+    pick.resize(members);
+    std::sort(pick.begin(), pick.end());
+    wf::ResourceGroup group;
+    group.name = (g % 2 == 0 ? "net_segment_" : "shared_backend_") +
+                 std::to_string(g);
+    group.services = std::move(pick);
+    sharing.groups.push_back(std::move(group));
+  }
+
+  // Service-time models, a heavy-tailed slice among them.
+  std::vector<ServiceModel> models(n);
+  for (ServiceModel& m : models) {
+    m.base_mean = rng.uniform(0.04, 0.40);
+    m.noise_sigma = m.base_mean * rng.uniform(0.10, 0.30);
+    m.upstream_coupling = rng.uniform(0.10, 0.50);
+    m.resource_sensitivity = m.base_mean * rng.uniform(0.05, 0.20);
+    if (rng.bernoulli(opts_.heavy_tail_fraction)) {
+      if (rng.bernoulli(0.5)) {
+        m.demand = DemandDistribution::kLognormal;
+        m.noise_sigma *= rng.uniform(1.5, 3.0);  // fatter right tail
+      } else {
+        m.demand = DemandDistribution::kPareto;
+        m.tail_alpha = rng.uniform(1.6, 3.0);
+      }
+    }
+  }
+
+  // Load curve: diurnal cycle sized to the scenario horizon, flash crowds
+  // with probability flash_crowd_prob.
+  LoadCurve load;
+  load.diurnal_amplitude = rng.uniform(0.0, opts_.diurnal_amplitude_max);
+  load.diurnal_period = rng.uniform(opts_.horizon_hint / 3.0,
+                                    opts_.horizon_hint);
+  load.diurnal_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  if (rng.bernoulli(opts_.flash_crowd_prob)) {
+    const std::size_t crowds = 1 + rng.uniform_index(2);
+    for (std::size_t c = 0; c < crowds; ++c) {
+      FlashCrowd crowd;
+      crowd.at = rng.uniform(0.10, 0.80) * opts_.horizon_hint;
+      crowd.duration = rng.uniform(0.05, 0.15) * opts_.horizon_hint;
+      crowd.factor = rng.uniform(1.5, opts_.flash_crowd_factor_max);
+      load.flash_crowds.push_back(crowd);
+    }
+  }
+
+  const double arrival_rate = opts_.arrival_rate * rng.uniform(0.7, 1.3);
+
+  // Fault plan scaled by the family's intensity (canonical degraded
+  // environment at intensity 1).
+  fault::FaultPlan faults;
+  faults.seed = mix_seed(scenario_seed(index), 0xFA01);
+  if (opts_.fault_intensity > 0.0) {
+    const double intensity = opts_.fault_intensity;
+    faults.report_loss_prob = 0.10 * intensity;
+    faults.report_duplicate_prob = 0.04 * intensity;
+    faults.report_delay_prob = 0.05 * intensity;
+    faults.measurement_corrupt_prob = 0.02 * intensity;
+    if (rng.bernoulli(0.6)) {
+      fault::AgentCrash crash;
+      crash.agent = rng.uniform_index(hosts.host_count);
+      crash.down.from = rng.uniform(0.20, 0.60) * opts_.horizon_hint;
+      crash.down.until =
+          crash.down.from + rng.uniform(0.03, 0.10) * opts_.horizon_hint;
+      faults.crashes.push_back(crash);
+    }
+    if (rng.bernoulli(0.3)) {
+      fault::TimeWindow partition;
+      partition.from = rng.uniform(0.30, 0.70) * opts_.horizon_hint;
+      partition.until =
+          partition.from + rng.uniform(0.02, 0.06) * opts_.horizon_hint;
+      faults.partitions.push_back(partition);
+    }
+  }
+
+  Scenario scenario{scenario_seed(index), index,
+                    std::move(workflow),   std::move(drift_target),
+                    opts_.choice_drift,    std::move(sharing),
+                    std::move(hosts),      std::move(models),
+                    std::move(load),       arrival_rate,
+                    std::move(faults)};
+  return scenario;
+}
+
+}  // namespace kertbn::sim

@@ -1,0 +1,137 @@
+#pragma once
+/// \file scenario.hpp
+/// Seeded scenario families — generation v2 beyond the fixed eDiaMoND
+/// test-bed. A ScenarioFamily deterministically expands (family seed,
+/// index) into a complete stress scenario: a workflow over up to hundreds
+/// of services drawn from the full algebra (sequence / parallel / choice /
+/// loop / map fan-out / data-dependent choice), a heterogeneous
+/// resource-sharing graph (host partitions plus cross-cutting network and
+/// backend groups), heavy-tailed service-time models, a diurnal +
+/// flash-crowd load curve, a drifted choice-probability target, and a
+/// fault plan scaled by the family's fault intensity.
+///
+/// Determinism contract: a Scenario is a pure function of
+/// (family_seed, options, index). Two ScenarioFamily instances with equal
+/// seed and options produce bit-identical scenarios for every index — the
+/// property/soak suites and the scaling bench rely on this to replay any
+/// failing scenario from its coordinates alone.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sosim/des_env.hpp"
+#include "sosim/synthetic.hpp"
+#include "sosim/testbed.hpp"
+#include "workflow/generator.hpp"
+
+namespace kertbn::sim {
+
+/// A transient load spike: the arrival-rate multiplier jumps by \p factor
+/// for [at, at + duration).
+struct FlashCrowd {
+  double at = 0.0;
+  double duration = 0.0;
+  double factor = 1.0;
+};
+
+/// Deterministic request-load profile: a diurnal sinusoid with optional
+/// flash-crowd spikes, evaluated as a multiplier on the nominal rate.
+struct LoadCurve {
+  double base = 1.0;
+  double diurnal_amplitude = 0.0;  ///< In [0, 1).
+  double diurnal_period = 600.0;   ///< Seconds per cycle.
+  double diurnal_phase = 0.0;      ///< Radians.
+  std::vector<FlashCrowd> flash_crowds;
+
+  /// Load multiplier at simulated time \p t (floored at 0.05 so arrival
+  /// rates stay positive).
+  double at(double t) const;
+};
+
+/// Family-level generation knobs. Per-scenario parameters are drawn inside
+/// these envelopes from the scenario's own seed.
+struct ScenarioFamilyOptions {
+  std::size_t min_services = 8;
+  std::size_t max_services = 48;
+  /// Construct mix for the workflow trees; the default family enables the
+  /// full algebra including map fan-outs and data-dependent choices.
+  wf::GeneratorOptions workflow{.sequence_weight = 0.42,
+                                .parallel_weight = 0.24,
+                                .choice_weight = 0.14,
+                                .map_weight = 0.12,
+                                .data_choice_weight = 0.08,
+                                .loop_probability = 0.05};
+  /// Fraction of services whose base demand is heavy-tailed (split evenly
+  /// between lognormal and Pareto draws).
+  double heavy_tail_fraction = 0.35;
+  /// How far (0..1) choice probabilities drift toward the perturbed target
+  /// over a scenario's lifetime (see Scenario::workflow_at).
+  double choice_drift = 0.4;
+  double diurnal_amplitude_max = 0.4;
+  /// Probability a scenario carries flash crowds at all.
+  double flash_crowd_prob = 0.5;
+  double flash_crowd_factor_max = 3.0;
+  /// 0 disables fault plans; 1 is the full canonical degraded environment
+  /// (10% report loss, crashes, partitions). Scales every probability.
+  double fault_intensity = 0.0;
+  /// Nominal Poisson request rate before the load curve (req/s).
+  double arrival_rate = 2.0;
+  /// Rough scenario lifetime used to place load-curve and fault events.
+  double horizon_hint = 720.0;
+};
+
+/// One fully expanded scenario (see file comment for the contract).
+struct Scenario {
+  std::uint64_t seed = 0;   ///< The per-scenario root seed.
+  std::size_t index = 0;    ///< Index within the family.
+  wf::Workflow workflow;    ///< Initial (undrifted) knowledge.
+  /// Same structure as workflow with independently re-drawn (data-)choice
+  /// probabilities — the endpoint the drift interpolates toward.
+  wf::Node::Ptr drift_target;
+  double choice_drift = 0.0;
+  wf::ResourceSharing sharing;
+  HostMap hosts;
+  std::vector<ServiceModel> models;
+  LoadCurve load;
+  double arrival_rate = 2.0;
+  fault::FaultPlan faults;
+
+  /// Composition tree at drift phase \p phase in [0, 1]: probabilities
+  /// moved phase·choice_drift of the way from the initial workflow to the
+  /// drift target.
+  wf::Node::Ptr root_at(double phase) const;
+  /// Workflow wrapper around root_at.
+  wf::Workflow workflow_at(double phase) const;
+
+  /// Episodic/structural sampling environment over this scenario.
+  SyntheticEnvironment make_environment() const;
+  /// Queueing DES realization (run seed separates the stochastic run from
+  /// the scenario's identity).
+  DesEnvironment make_des_environment(std::uint64_t run_seed) const;
+  /// Full monitored stack: DES + per-host agents + management server.
+  MonitoredTestbed make_testbed(std::uint64_t run_seed,
+                                ModelSchedule schedule) const;
+};
+
+/// Deterministic scenario generator (see file comment).
+class ScenarioFamily {
+ public:
+  explicit ScenarioFamily(std::uint64_t family_seed,
+                          ScenarioFamilyOptions opts = {});
+
+  const ScenarioFamilyOptions& options() const { return opts_; }
+
+  /// The per-scenario seed: a splitmix64 mix of family seed and index.
+  std::uint64_t scenario_seed(std::size_t index) const;
+
+  /// Expands scenario \p index. Pure: same (seed, options, index) — on any
+  /// instance — yields the identical scenario.
+  Scenario make(std::size_t index) const;
+
+ private:
+  std::uint64_t family_seed_;
+  ScenarioFamilyOptions opts_;
+};
+
+}  // namespace kertbn::sim

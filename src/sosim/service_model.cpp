@@ -1,11 +1,33 @@
 #include "sosim/service_model.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
 
 namespace kertbn::sim {
 
 double ServiceModel::sample_base(Rng& rng) const {
-  return std::max(rng.normal(base_mean, noise_sigma), 0.001);
+  switch (demand) {
+    case DemandDistribution::kNormal:
+      return std::max(rng.normal(base_mean, noise_sigma), 0.001);
+    case DemandDistribution::kLognormal: {
+      // Moment-matched: E = base_mean, SD = noise_sigma.
+      const double cv2 =
+          (noise_sigma / base_mean) * (noise_sigma / base_mean);
+      const double sigma_ln2 = std::log1p(cv2);
+      const double mu_ln = std::log(base_mean) - 0.5 * sigma_ln2;
+      return std::max(rng.lognormal(mu_ln, std::sqrt(sigma_ln2)), 0.001);
+    }
+    case DemandDistribution::kPareto: {
+      // Scale chosen so the mean xm·α/(α−1) equals base_mean.
+      KERTBN_EXPECTS(tail_alpha > 1.0);
+      const double xm = base_mean * (tail_alpha - 1.0) / tail_alpha;
+      return std::max(rng.pareto(xm, tail_alpha), 0.001);
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+  return base_mean;
 }
 
 double ServiceModel::sample_elapsed(double upstream_deviation_sum,

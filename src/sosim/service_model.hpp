@@ -12,17 +12,30 @@
 
 namespace kertbn::sim {
 
+/// Shape of a service's own stochastic base demand. All three are
+/// mean-preserving parameterizations around base_mean, so expected times —
+/// and everything derived from them — are distribution-agnostic.
+enum class DemandDistribution {
+  kNormal,     ///< N(base_mean, noise_sigma²), floored at 1 ms.
+  kLognormal,  ///< Lognormal with mean base_mean, sd noise_sigma.
+  kPareto,     ///< Pareto with mean base_mean, tail index tail_alpha.
+};
+
 /// Per-service elapsed-time parameters (times in seconds).
 struct ServiceModel {
   /// Mean base demand of the service in isolation.
   double base_mean = 0.1;
-  /// Std-dev of the service's own stochastic demand.
+  /// Std-dev of the service's own stochastic demand (normal / lognormal).
   double noise_sigma = 0.02;
   /// Coupling of this service's elapsed time to each immediate-upstream
   /// service's deviation from its mean (dimensionless weight per upstream).
   double upstream_coupling = 0.3;
   /// Seconds of extra elapsed time per unit of shared-resource load.
   double resource_sensitivity = 0.02;
+  /// Base-demand distribution family (heavy tails for scenario families).
+  DemandDistribution demand = DemandDistribution::kNormal;
+  /// Pareto tail index (kPareto only); must exceed 1 for a finite mean.
+  double tail_alpha = 2.5;
 
   /// Draws the service's own base demand (positive).
   double sample_base(Rng& rng) const;

@@ -23,14 +23,6 @@ SyntheticEnvironment::SyntheticEnvironment(wf::Workflow workflow,
   KERTBN_EXPECTS(leak_sigma_ > 0.0);
 
   const std::size_t n = models_.size();
-  upstream_.resize(n);
-  graph::Dag order_dag(n);
-  for (const auto& [a, b] : workflow_.upstream_edges()) {
-    upstream_[b].push_back(a);
-    order_dag.add_edge(a, b);
-  }
-  sample_order_ = order_dag.topological_order();
-
   groups_of_.resize(n);
   for (std::size_t g = 0; g < sharing_.groups.size(); ++g) {
     for (std::size_t s : sharing_.groups[g].services) {
@@ -38,8 +30,31 @@ SyntheticEnvironment::SyntheticEnvironment(wf::Workflow workflow,
       groups_of_[s].push_back(g);
     }
   }
+  rebuild_derived();
+}
+
+void SyntheticEnvironment::rebuild_derived() {
+  const std::size_t n = models_.size();
+  upstream_.assign(n, {});
+  graph::Dag order_dag(n);
+  for (const auto& [a, b] : workflow_.upstream_edges()) {
+    upstream_[b].push_back(a);
+    order_dag.add_edge(a, b);
+  }
+  sample_order_ = order_dag.topological_order();
   response_expr_ = workflow_.response_time_expr();
   expected_times_ = expected_service_times();
+}
+
+void SyntheticEnvironment::set_load_scale(double scale) {
+  KERTBN_EXPECTS(scale > 0.0);
+  load_scale_ = scale;
+}
+
+void SyntheticEnvironment::replace_workflow_root(wf::Node::Ptr root) {
+  KERTBN_EXPECTS(root != nullptr);
+  workflow_ = wf::Workflow(workflow_.service_names(), std::move(root));
+  rebuild_derived();
 }
 
 RequestTrace SyntheticEnvironment::execute_request(Rng& rng,
@@ -52,7 +67,7 @@ RequestTrace SyntheticEnvironment::execute_request(Rng& rng,
   // see the same contention level, which correlates their elapsed times.
   trace.resource_loads.assign(sharing_.groups.size(), 0.0);
   std::vector<double>& group_load = trace.resource_loads;
-  for (double& l : group_load) l = load_model_.sample(rng);
+  for (double& l : group_load) l = load_model_.sample(rng) * load_scale_;
 
   for (std::size_t s : sample_order_) {
     double upstream_dev = 0.0;
@@ -109,6 +124,25 @@ double SyntheticEnvironment::episodic_time(
         t += episodic_time(*node.children().front(), service_times, rng);
       }
       return t;
+    }
+    case wf::NodeKind::kMap: {
+      // k parallel instances each over 1/k of the data: makespan is the
+      // slowest instance. Instances differ wherever the body is stochastic
+      // (choices, loops) — the straggler spread the leak term absorbs.
+      const std::size_t k =
+          node.map_k_min() + rng.categorical(node.map_k_weights());
+      double t = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        t = std::max(t, episodic_time(*node.children().front(),
+                                      service_times, rng) /
+                            static_cast<double>(k));
+      }
+      return t;
+    }
+    case wf::NodeKind::kDataChoice: {
+      const std::size_t cls = rng.categorical(node.class_probs());
+      const std::size_t branch = rng.categorical(node.branch_probs()[cls]);
+      return episodic_time(*node.children()[branch], service_times, rng);
     }
   }
   KERTBN_ASSERT(false && "unreachable");

@@ -93,16 +93,31 @@ class SyntheticEnvironment {
   /// site contention). factor must be > 0.
   void accelerate_service(std::size_t service, double factor);
 
+  /// Multiplies every resource group's sampled load (diurnal cycles and
+  /// flash crowds). Expected service times stay at the nominal level — the
+  /// extra contention is exactly the drift a model must track. scale > 0.
+  void set_load_scale(double scale);
+  double load_scale() const { return load_scale_; }
+
+  /// Replaces the workflow composition tree over the same service set (the
+  /// choice-probability drift hook); derived sampling state is rebuilt.
+  void replace_workflow_root(wf::Node::Ptr root);
+
  private:
   /// Episodic walk of the workflow tree; returns path response time.
   double episodic_time(const wf::Node& node,
                        std::span<const double> service_times, Rng& rng) const;
+
+  /// Recomputes the upstream lists, sampling order, response expression and
+  /// expected-time cache from the current workflow.
+  void rebuild_derived();
 
   wf::Workflow workflow_;
   wf::ResourceSharing sharing_;
   std::vector<ServiceModel> models_;
   ResourceLoadModel load_model_;
   double leak_sigma_;
+  double load_scale_ = 1.0;
 
   // Derived: per-service upstream lists and a service sampling order.
   std::vector<std::vector<std::size_t>> upstream_;

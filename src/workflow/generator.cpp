@@ -1,21 +1,73 @@
 #include "workflow/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contract.hpp"
 
 namespace kertbn::wf {
+
+void GeneratorOptions::validate() const {
+  const double weights[] = {sequence_weight, parallel_weight, choice_weight,
+                            map_weight, data_choice_weight};
+  double total = 0.0;
+  for (double w : weights) {
+    KERTBN_EXPECTS(std::isfinite(w) &&
+                   "construct weights must be finite numbers");
+    KERTBN_EXPECTS(w >= 0.0 && "construct weights must be non-negative");
+    total += w;
+  }
+  KERTBN_EXPECTS(total > 0.0 &&
+                 "construct weights must not all be zero (degenerate mix)");
+  KERTBN_EXPECTS(std::isfinite(loop_probability) && loop_probability >= 0.0 &&
+                 loop_probability <= 1.0 &&
+                 "loop_probability must lie in [0, 1]");
+  KERTBN_EXPECTS(std::isfinite(loop_repeat_prob) && loop_repeat_prob >= 0.0 &&
+                 loop_repeat_prob < 1.0 &&
+                 "loop_repeat_prob must lie in [0, 1)");
+  KERTBN_EXPECTS(max_fanout >= 2 && "max_fanout must allow a binary split");
+  KERTBN_EXPECTS(map_k_min >= 1 && "map_k_min must be at least 1");
+  KERTBN_EXPECTS(map_k_max >= map_k_min &&
+                 "map_k_max must be at least map_k_min");
+  KERTBN_EXPECTS(data_classes >= 1 && "data_classes must be at least 1");
+}
+
 namespace {
 
+/// Normalized Dirichlet-ish probability draw bounded away from zero.
+std::vector<double> random_probs(std::size_t n, Rng& rng) {
+  std::vector<double> probs(n);
+  double total = 0.0;
+  for (double& p : probs) {
+    p = 0.05 + rng.uniform();
+    total += p;
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
 /// Recursively composes the given (already shuffled) services into a tree.
+/// \p allow_map is cleared for the immediate re-pick inside a freshly
+/// created map so the wrapper recursion terminates; children re-enable it.
 Node::Ptr compose(std::span<const std::size_t> services, Rng& rng,
-                  const GeneratorOptions& opts) {
+                  const GeneratorOptions& opts, bool allow_map = true) {
   KERTBN_EXPECTS(!services.empty());
   if (services.size() == 1) return Node::activity(services.front());
 
   Node::Ptr node;
   const std::size_t pick = rng.categorical(
-      {opts.sequence_weight, opts.parallel_weight, opts.choice_weight});
+      {opts.sequence_weight, opts.parallel_weight, opts.choice_weight,
+       allow_map ? opts.map_weight : 0.0, opts.data_choice_weight});
+
+  if (pick == 3) {
+    // Map fan-out: the whole block becomes the body, run as k parallel
+    // instances over data partitions with a per-node k distribution.
+    const std::size_t span =
+        1 + rng.uniform_index(opts.map_k_max - opts.map_k_min + 1);
+    Node::Ptr body = compose(services, rng, opts, /*allow_map=*/false);
+    return Node::map(std::move(body), opts.map_k_min,
+                     random_probs(span, rng));
+  }
 
   // Split the services into 2..max_fanout contiguous groups.
   const std::size_t max_groups =
@@ -47,16 +99,20 @@ Node::Ptr compose(std::span<const std::size_t> services, Rng& rng,
     case 1:
       node = Node::parallel(std::move(children));
       break;
+    case 2:
+      node = Node::choice(std::move(children),
+                          random_probs(parts.size(), rng));
+      break;
     default: {
-      // Random branch probabilities (normalized Dirichlet-ish draw).
-      std::vector<double> probs(children.size());
-      double total = 0.0;
-      for (double& p : probs) {
-        p = 0.05 + rng.uniform();
-        total += p;
+      // Data-dependent choice: per-class branch rows over the same split.
+      std::vector<double> gammas = random_probs(opts.data_classes, rng);
+      std::vector<std::vector<double>> rows;
+      rows.reserve(opts.data_classes);
+      for (std::size_t c = 0; c < opts.data_classes; ++c) {
+        rows.push_back(random_probs(parts.size(), rng));
       }
-      for (double& p : probs) p /= total;
-      node = Node::choice(std::move(children), std::move(probs));
+      node = Node::data_choice(std::move(children), std::move(gammas),
+                               std::move(rows));
       break;
     }
   }
@@ -71,6 +127,7 @@ Node::Ptr compose(std::span<const std::size_t> services, Rng& rng,
 Workflow make_random_workflow(std::size_t n_services, Rng& rng,
                               const GeneratorOptions& opts) {
   KERTBN_EXPECTS(n_services >= 1);
+  opts.validate();
   std::vector<std::string> names;
   names.reserve(n_services);
   for (std::size_t i = 0; i < n_services; ++i) {
@@ -81,6 +138,109 @@ Workflow make_random_workflow(std::size_t n_services, Rng& rng,
   rng.shuffle(order);
   Node::Ptr root = compose(order, rng, opts);
   return Workflow(std::move(names), std::move(root));
+}
+
+Node::Ptr perturb_choice_probs(const Node::Ptr& root, Rng& rng) {
+  KERTBN_EXPECTS(root != nullptr);
+  const Node& node = *root;
+  std::vector<Node::Ptr> children;
+  children.reserve(node.children().size());
+  for (const auto& c : node.children()) {
+    children.push_back(perturb_choice_probs(c, rng));
+  }
+  switch (node.kind()) {
+    case NodeKind::kActivity:
+      return root;
+    case NodeKind::kSequence:
+      return Node::sequence(std::move(children));
+    case NodeKind::kParallel:
+      return Node::parallel(std::move(children));
+    case NodeKind::kChoice:
+      return Node::choice(std::move(children),
+                          random_probs(node.children().size(), rng));
+    case NodeKind::kLoop:
+      return Node::loop(std::move(children.front()), node.repeat_prob());
+    case NodeKind::kMap:
+      return Node::map(std::move(children.front()), node.map_k_min(),
+                       node.map_k_weights());
+    case NodeKind::kDataChoice: {
+      std::vector<std::vector<double>> rows;
+      rows.reserve(node.class_probs().size());
+      for (std::size_t c = 0; c < node.class_probs().size(); ++c) {
+        rows.push_back(random_probs(node.children().size(), rng));
+      }
+      return Node::data_choice(std::move(children), node.class_probs(),
+                               std::move(rows));
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+  return nullptr;
+}
+
+namespace {
+
+std::vector<double> lerp(const std::vector<double>& a,
+                         const std::vector<double>& b, double w) {
+  KERTBN_EXPECTS(a.size() == b.size());
+  std::vector<double> out(a.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (1.0 - w) * a[i] + w * b[i];
+    total += out[i];
+  }
+  // Both inputs sum to 1, so the blend does too up to rounding; renormalize
+  // to keep the factories' 1e-9 tolerance safe after deep trees.
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+Node::Ptr interpolate_choice_probs(const Node::Ptr& a, const Node::Ptr& b,
+                                   double w) {
+  KERTBN_EXPECTS(a != nullptr && b != nullptr);
+  KERTBN_EXPECTS(w >= 0.0 && w <= 1.0);
+  KERTBN_EXPECTS(a->kind() == b->kind() &&
+                 "interpolation requires structurally identical trees");
+  KERTBN_EXPECTS(a->children().size() == b->children().size());
+  std::vector<Node::Ptr> children;
+  children.reserve(a->children().size());
+  for (std::size_t i = 0; i < a->children().size(); ++i) {
+    children.push_back(
+        interpolate_choice_probs(a->children()[i], b->children()[i], w));
+  }
+  switch (a->kind()) {
+    case NodeKind::kActivity:
+      KERTBN_EXPECTS(a->service_index() == b->service_index());
+      return a;
+    case NodeKind::kSequence:
+      return Node::sequence(std::move(children));
+    case NodeKind::kParallel:
+      return Node::parallel(std::move(children));
+    case NodeKind::kChoice:
+      return Node::choice(std::move(children),
+                          lerp(a->choice_probs(), b->choice_probs(), w));
+    case NodeKind::kLoop:
+      KERTBN_EXPECTS(a->repeat_prob() == b->repeat_prob());
+      return Node::loop(std::move(children.front()), a->repeat_prob());
+    case NodeKind::kMap:
+      KERTBN_EXPECTS(a->map_k_min() == b->map_k_min());
+      return Node::map(std::move(children.front()), a->map_k_min(),
+                       lerp(a->map_k_weights(), b->map_k_weights(), w));
+    case NodeKind::kDataChoice: {
+      KERTBN_EXPECTS(a->class_probs().size() == b->class_probs().size());
+      std::vector<std::vector<double>> rows;
+      rows.reserve(a->branch_probs().size());
+      for (std::size_t c = 0; c < a->branch_probs().size(); ++c) {
+        rows.push_back(lerp(a->branch_probs()[c], b->branch_probs()[c], w));
+      }
+      return Node::data_choice(std::move(children),
+                               lerp(a->class_probs(), b->class_probs(), w),
+                               std::move(rows));
+    }
+  }
+  KERTBN_ASSERT(false && "unreachable");
+  return nullptr;
 }
 
 }  // namespace kertbn::wf

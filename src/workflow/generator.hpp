@@ -3,7 +3,9 @@
 /// Random workflow generation for the Section 4 simulations ("simulated
 /// services ... are assembled together by different workflows to constitute
 /// simulated applications"). Generates structured compositions over n
-/// services from the four constructs, with configurable construct mix.
+/// services with a configurable construct mix — the paper's four constructs
+/// plus the scenario-algebra map / data-dependent-choice extensions — and
+/// provides the choice-probability drift helpers the scenario families use.
 
 #include "common/rng.hpp"
 #include "workflow/workflow.hpp"
@@ -11,21 +13,48 @@
 namespace kertbn::wf {
 
 struct GeneratorOptions {
-  /// Relative odds of composing a block as sequence / parallel / choice.
+  /// Relative odds of composing a block as sequence / parallel / choice /
+  /// map fan-out / data-dependent choice. Weights must be finite and
+  /// non-negative and must not all be zero (validate() rejects degenerate
+  /// mixes with a clear error instead of silently producing broken trees).
   double sequence_weight = 0.55;
   double parallel_weight = 0.30;
   double choice_weight = 0.15;
+  double map_weight = 0.0;
+  double data_choice_weight = 0.0;
   /// Probability that a generated block is wrapped in a loop.
   double loop_probability = 0.05;
   /// Loop repeat probability when a loop is created.
   double loop_repeat_prob = 0.3;
-  /// Maximum branches of a parallel/choice split.
+  /// Maximum branches of a parallel/choice/data-choice split.
   std::size_t max_fanout = 4;
+  /// Fan-out range a generated map draws k from (weights drawn per node).
+  std::size_t map_k_min = 2;
+  std::size_t map_k_max = 6;
+  /// Data classes of a generated data-dependent choice.
+  std::size_t data_classes = 3;
+
+  /// Contract-fails with a descriptive message on an invalid configuration:
+  /// negative / non-finite / all-zero construct weights, probabilities
+  /// outside their ranges, or inconsistent fan-out bounds.
+  void validate() const;
 };
 
 /// Generates a random workflow that uses each of services 0..n-1 exactly
-/// once. Deterministic given \p rng state.
+/// once. Deterministic given \p rng state. Validates \p opts.
 Workflow make_random_workflow(std::size_t n_services, Rng& rng,
                               const GeneratorOptions& opts = {});
+
+/// Returns a structurally identical tree in which every choice node's
+/// branch probabilities and every data-choice node's branch rows are
+/// replaced by a fresh random draw — the drift target of a scenario.
+Node::Ptr perturb_choice_probs(const Node::Ptr& root, Rng& rng);
+
+/// Structure-preserving interpolation of (data-)choice probabilities:
+/// result probs = (1-w)·a + w·b with w in [0, 1]. The two trees must be
+/// structurally identical (same shapes, services, loop and map parameters);
+/// contract-fails otherwise.
+Node::Ptr interpolate_choice_probs(const Node::Ptr& a, const Node::Ptr& b,
+                                   double w);
 
 }  // namespace kertbn::wf

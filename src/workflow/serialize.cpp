@@ -37,6 +37,27 @@ void write_node(const Node& node, std::ostringstream& out) {
       write_node(*node.children().front(), out);
       out << ')';
       return;
+    case NodeKind::kMap:
+      out << "(map " << node.map_k_min();
+      for (double w : node.map_k_weights()) out << ' ' << w;
+      out << ' ';
+      write_node(*node.children().front(), out);
+      out << ')';
+      return;
+    case NodeKind::kDataChoice: {
+      out << "(dchoice " << node.class_probs().size() << ' '
+          << node.children().size();
+      for (double g : node.class_probs()) out << ' ' << g;
+      for (const auto& row : node.branch_probs()) {
+        for (double p : row) out << ' ' << p;
+      }
+      for (const auto& c : node.children()) {
+        out << ' ';
+        write_node(*c, out);
+      }
+      out << ')';
+      return;
+    }
   }
   KERTBN_ASSERT(false && "unreachable");
 }
@@ -179,6 +200,81 @@ class Parser {
       if (body == nullptr) return nullptr;
       if (!expect(')')) return nullptr;
       return Node::loop(std::move(body), repeat);
+    }
+    if (head == "map") {
+      double k_min = 0.0;
+      if (!number(k_min)) return nullptr;
+      if (!(k_min >= 1.0) || k_min != std::floor(k_min)) {
+        return fail("map k_min must be a positive integer");
+      }
+      // Weights run until the body's opening paren.
+      std::vector<double> weights;
+      double total = 0.0;
+      while (!peek('(')) {
+        if (at_end()) return fail("unterminated map");
+        double w = 0.0;
+        if (!number(w)) return nullptr;
+        if (!std::isfinite(w) || w < 0.0) {
+          return fail("map k weight must be finite and non-negative");
+        }
+        total += w;
+        weights.push_back(w);
+      }
+      if (weights.empty()) return fail("map needs at least one k weight");
+      if (!(total > 0.0)) return fail("map k weights are all zero");
+      Node::Ptr body = parse_node();
+      if (body == nullptr) return nullptr;
+      if (!expect(')')) return nullptr;
+      return Node::map(std::move(body), static_cast<std::size_t>(k_min),
+                       std::move(weights));
+    }
+    if (head == "dchoice") {
+      double classes = 0.0;
+      double branches = 0.0;
+      if (!number(classes) || !number(branches)) return nullptr;
+      if (!(classes >= 1.0) || classes != std::floor(classes) ||
+          !(branches >= 1.0) || branches != std::floor(branches)) {
+        return fail("dchoice class/branch counts must be positive integers");
+      }
+      const auto n_classes = static_cast<std::size_t>(classes);
+      const auto n_branches = static_cast<std::size_t>(branches);
+      std::vector<double> gammas(n_classes, 0.0);
+      double gamma_total = 0.0;
+      for (double& g : gammas) {
+        if (!number(g)) return nullptr;
+        if (!(g >= 0.0) || g > 1.0) {
+          return fail("class probability outside [0, 1]");
+        }
+        gamma_total += g;
+      }
+      if (std::abs(gamma_total - 1.0) >= 1e-9) {
+        return fail("class probabilities do not sum to 1");
+      }
+      std::vector<std::vector<double>> rows(
+          n_classes, std::vector<double>(n_branches, 0.0));
+      for (auto& row : rows) {
+        double row_total = 0.0;
+        for (double& p : row) {
+          if (!number(p)) return nullptr;
+          if (!(p >= 0.0) || p > 1.0) {
+            return fail("branch probability outside [0, 1]");
+          }
+          row_total += p;
+        }
+        if (std::abs(row_total - 1.0) >= 1e-9) {
+          return fail("branch row does not sum to 1");
+        }
+      }
+      std::vector<Node::Ptr> children;
+      children.reserve(n_branches);
+      for (std::size_t b = 0; b < n_branches; ++b) {
+        Node::Ptr child = parse_node();
+        if (child == nullptr) return nullptr;
+        children.push_back(std::move(child));
+      }
+      if (!expect(')')) return nullptr;
+      return Node::data_choice(std::move(children), std::move(gammas),
+                               std::move(rows));
     }
     fail("unknown construct '" + head + "'");
     return nullptr;

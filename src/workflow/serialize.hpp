@@ -8,6 +8,12 @@
 ///   (par <child> <child> ...)
 ///   (choice <p1> <child1> <p2> <child2> ...)
 ///   (loop <repeat_prob> <child>)
+///   (map <k_min> <w1> ... <wm> <body>)
+///   (dchoice <C> <B> <g1..gC> <p11..p1B> ... <pC1..pCB> <child1..childB>)
+///
+/// map weights run until the body's '('; dchoice writes the class count C,
+/// branch count B, the class distribution, then the C×B branch matrix in
+/// row-major order before its B children.
 ///
 /// Used by the model save/load layer (the workflow is part of the
 /// knowledge a persisted KERT-BN must carry to rebuild its deterministic

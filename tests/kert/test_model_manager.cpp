@@ -209,6 +209,105 @@ TEST(ModelManager, EmptyWindowAtDeadlineMarksServingModelStale) {
   EXPECT_DOUBLE_EQ(manager.next_due(), 360.0);
 }
 
+/// Fixture pieces for the choice-probability drift tests: a three-service
+/// workflow seq(a, choice(b, c)) whose branch probabilities drift, with
+/// service means far enough apart that the blend shift dominates noise.
+wf::Node::Ptr drift_root(double p_b) {
+  return wf::Node::sequence(
+      {wf::Node::activity(0),
+       wf::Node::choice({wf::Node::activity(1), wf::Node::activity(2)},
+                        {p_b, 1.0 - p_b})});
+}
+
+std::vector<sim::ServiceModel> drift_models() {
+  std::vector<sim::ServiceModel> models(3);
+  models[0] = {0.10, 0.01, 0.0, 0.0};
+  models[1] = {0.20, 0.02, 0.0, 0.0};
+  models[2] = {0.80, 0.05, 0.0, 0.0};
+  return models;
+}
+
+/// Satellite: the KERT D-CPT must track a drifted branch distribution even
+/// when the data window has not changed — the knowledge itself changed, so
+/// the unchanged-window stale-skip must not keep the old probabilities.
+TEST(ModelManager, UpdateWorkflowRebuildsDriftedDCptOnUnchangedWindow) {
+  const std::vector<std::string> names{"a", "b", "c"};
+  const wf::ResourceSharing sharing;
+  sim::SyntheticEnvironment env(wf::Workflow(names, drift_root(0.9)),
+                                sharing, drift_models());
+  ModelManager::Config cfg = continuous_config();
+  cfg.bins = 3;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+  kertbn::Rng rng(31);
+  const bn::Dataset window = env.generate(200, rng);
+  manager.reconstruct(120.0, window);
+  const std::string before = manager.export_model_text();
+
+  // Branch probabilities drift 0.9/0.1 -> 0.1/0.9. The exact same window
+  // must still trigger a rebuild (no stale skip), and the D-CPT changes.
+  manager.update_workflow(wf::Workflow(names, drift_root(0.1)));
+  ASSERT_TRUE(manager.maybe_reconstruct(240.0, window).has_value());
+  EXPECT_EQ(manager.stale_skips(), 0u);
+  const std::string after = manager.export_model_text();
+  EXPECT_NE(after, before);
+
+  // The rebuilt model is exactly what a manager constructed with the
+  // drifted knowledge from scratch would serve.
+  ModelManager reference(wf::Workflow(names, drift_root(0.1)), sharing, cfg);
+  reference.reconstruct(120.0, window);
+  EXPECT_EQ(after, reference.export_model_text());
+}
+
+/// Satellite: in continuous incremental mode, update_workflow drops the
+/// residual partials captured against the old f(X); after drifted data
+/// arrives the served model predicts the new blend, not the old one.
+TEST(ModelManager, UpdateWorkflowLetsIncrementalTrackDriftedResponse) {
+  const std::vector<std::string> names{"a", "b", "c"};
+  const wf::ResourceSharing sharing;
+  sim::SyntheticEnvironment env_a(wf::Workflow(names, drift_root(0.9)),
+                                  sharing, drift_models());
+  sim::SyntheticEnvironment env_b(wf::Workflow(names, drift_root(0.1)),
+                                  sharing, drift_models());
+
+  ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{1.0, 6, 3};  // 18-row window
+  cfg.incremental = true;
+  ModelManager manager(env_a.workflow(), env_a.sharing(), cfg);
+  kertbn::Rng rng(37);
+  const bn::Dataset win_a = env_a.generate(18, rng);
+  for (std::size_t r = 0; r < win_a.rows(); ++r) {
+    manager.observe_row(win_a.row(r));
+  }
+  manager.reconstruct(18.0, win_a);
+
+  // Probe drawn from the drifted regime; D sits near the new blend.
+  const bn::Dataset probe = env_b.generate(40, rng);
+  const auto d_error = [&](const bn::BayesianNetwork& net) {
+    const std::size_t d = net.size() - 1;
+    double total = 0.0;
+    for (std::size_t r = 0; r < probe.rows(); ++r) {
+      const auto row = probe.row(r);
+      std::vector<double> parents;
+      for (std::size_t p : net.dag().parents(d)) parents.push_back(row[p]);
+      total += std::abs(net.cpd(d).mean(parents) - row[d]);
+    }
+    return total / static_cast<double>(probe.rows());
+  };
+  const double err_before = d_error(manager.model());
+
+  manager.update_workflow(env_b.workflow());
+  const bn::Dataset win_b = env_b.generate(18, rng);
+  for (std::size_t r = 0; r < win_b.rows(); ++r) {
+    manager.observe_row(win_b.row(r));
+  }
+  manager.reconstruct(36.0, win_b);
+  const double err_after = d_error(manager.model());
+
+  // The 0.9 -> 0.1 branch flip moves the blend by ~0.5 s; a model still
+  // carrying the old probabilities cannot close that gap.
+  EXPECT_LT(err_after, 0.5 * err_before);
+}
+
 TEST(ModelManager, GuardDisabledRestoresSeedBehavior) {
   sim::SyntheticEnvironment env = sim::make_ediamond_environment();
   ModelManager::Config cfg = continuous_config();

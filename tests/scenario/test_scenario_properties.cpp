@@ -1,0 +1,499 @@
+/// \file test_scenario_properties.cpp
+/// Property suite over seeded scenario families, driving the whole
+/// pipeline: generation determinism, serialize round-trips, structural
+/// invariants, incremental-vs-full reconstruction equality, posterior
+/// sanity through the query engine, family-calibrated model-error bounds,
+/// and crash-recovery bit-identity — each checked across many scenarios
+/// identified only by (family seed, index), so any failure replays from
+/// its coordinates.
+
+#include "sosim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "durable/journal.hpp"
+#include "durable/recovery.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "fault/fault_injector.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/model_manager.hpp"
+#include "kert/query_engine.hpp"
+#include "sosim/synthetic.hpp"
+#include "sosim/testbed.hpp"
+#include "workflow/serialize.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The widest family the suite exercises: up to ~200+ services, the full
+/// construct mix, heavy tails, drift, flash crowds, and fault plans.
+ScenarioFamilyOptions wide_options() {
+  ScenarioFamilyOptions opts;
+  opts.min_services = 8;
+  opts.max_services = 220;
+  opts.fault_intensity = 0.6;
+  return opts;
+}
+
+/// A family small enough for discrete models (bins^n D-CPT) and DES runs.
+ScenarioFamilyOptions small_options(std::size_t min_n, std::size_t max_n) {
+  ScenarioFamilyOptions opts;
+  opts.min_services = min_n;
+  opts.max_services = max_n;
+  return opts;
+}
+
+/// Mean absolute error of every node's conditional-mean prediction
+/// (services and the response node) against \p probe rows.
+double prediction_error(const bn::BayesianNetwork& net,
+                        const bn::Dataset& probe) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    const auto row = probe.row(r);
+    for (std::size_t v = 0; v < net.size(); ++v) {
+      std::vector<double> parents;
+      for (std::size_t p : net.dag().parents(v)) parents.push_back(row[p]);
+      total += std::abs(net.cpd(v).mean(parents) - row[v]);
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+/// Determinism contract: two family instances with equal seed and options
+/// expand every index to a bit-identical scenario — workflow text, drift
+/// target, hosts, sharing graph, service models, load curve, arrival rate,
+/// and fault plan.
+TEST(ScenarioFamilyProperty, HundredScenariosBitIdenticalAcrossInstances) {
+  const ScenarioFamily a(0xFEEDu, wide_options());
+  const ScenarioFamily b(0xFEEDu, wide_options());
+  for (std::size_t i = 0; i < 100; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario sa = a.make(i);
+    const Scenario sb = b.make(i);
+    ASSERT_EQ(sa.seed, sb.seed);
+    ASSERT_EQ(wf::workflow_to_text(sa.workflow),
+              wf::workflow_to_text(sb.workflow));
+    ASSERT_EQ(wf::node_to_text(*sa.drift_target),
+              wf::node_to_text(*sb.drift_target));
+    ASSERT_EQ(sa.hosts.host_count, sb.hosts.host_count);
+    ASSERT_EQ(sa.hosts.host_of, sb.hosts.host_of);
+    ASSERT_EQ(sa.sharing.groups.size(), sb.sharing.groups.size());
+    for (std::size_t g = 0; g < sa.sharing.groups.size(); ++g) {
+      ASSERT_EQ(sa.sharing.groups[g].name, sb.sharing.groups[g].name);
+      ASSERT_EQ(sa.sharing.groups[g].services, sb.sharing.groups[g].services);
+    }
+    ASSERT_EQ(sa.models.size(), sb.models.size());
+    for (std::size_t s = 0; s < sa.models.size(); ++s) {
+      ASSERT_EQ(sa.models[s].base_mean, sb.models[s].base_mean);
+      ASSERT_EQ(sa.models[s].noise_sigma, sb.models[s].noise_sigma);
+      ASSERT_EQ(sa.models[s].upstream_coupling, sb.models[s].upstream_coupling);
+      ASSERT_EQ(sa.models[s].resource_sensitivity,
+                sb.models[s].resource_sensitivity);
+      ASSERT_EQ(sa.models[s].demand, sb.models[s].demand);
+      ASSERT_EQ(sa.models[s].tail_alpha, sb.models[s].tail_alpha);
+    }
+    for (double t = 0.0; t <= 720.0; t += 90.0) {
+      ASSERT_EQ(sa.load.at(t), sb.load.at(t)) << "load at t=" << t;
+    }
+    ASSERT_EQ(sa.arrival_rate, sb.arrival_rate);
+    ASSERT_EQ(sa.faults.seed, sb.faults.seed);
+    ASSERT_EQ(sa.faults.report_loss_prob, sb.faults.report_loss_prob);
+    ASSERT_EQ(sa.faults.crashes.size(), sb.faults.crashes.size());
+    for (std::size_t c = 0; c < sa.faults.crashes.size(); ++c) {
+      ASSERT_EQ(sa.faults.crashes[c].agent, sb.faults.crashes[c].agent);
+      ASSERT_EQ(sa.faults.crashes[c].down.from, sb.faults.crashes[c].down.from);
+      ASSERT_EQ(sa.faults.crashes[c].down.until,
+                sb.faults.crashes[c].down.until);
+    }
+    ASSERT_EQ(sa.faults.partitions.size(), sb.faults.partitions.size());
+  }
+}
+
+TEST(ScenarioFamilyProperty, ScenarioSeedsAreDistinct) {
+  const ScenarioFamily family(42, wide_options());
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) seeds.push_back(family.scenario_seed(i));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      ASSERT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+  // Different indices expand to different workflows, not replays.
+  EXPECT_NE(wf::workflow_to_text(family.make(0).workflow),
+            wf::workflow_to_text(family.make(1).workflow));
+}
+
+/// Structural invariants over 100 scenarios: the workflow serializes to a
+/// fixed point, its reduction is finite, the host map and sharing graph
+/// are consistent (the cpu groups partition the services; every group
+/// member is a valid service), the load curve stays positive, and the
+/// drift endpoints keep the structure while moving the probabilities.
+TEST(ScenarioFamilyProperty, StructuralInvariantsAcrossHundredScenarios) {
+  const ScenarioFamily family(0xABCDu, wide_options());
+  for (std::size_t i = 0; i < 100; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    const std::size_t n = s.workflow.service_count();
+    ASSERT_GE(n, family.options().min_services);
+    ASSERT_LE(n, family.options().max_services);
+
+    // Serialize round-trip is the identity on the emitted text.
+    const std::string text = wf::workflow_to_text(s.workflow);
+    ASSERT_EQ(wf::workflow_to_text(wf::workflow_from_text(text)), text);
+
+    // Structural reduction evaluates finite and positive.
+    kertbn::Rng rng(s.seed ^ 0x5EEDu);
+    std::vector<double> times(n);
+    for (auto& t : times) t = rng.uniform(0.01, 1.0);
+    const double d = s.workflow.response_time_expr()->evaluate(times);
+    ASSERT_TRUE(std::isfinite(d));
+    ASSERT_GT(d, 0.0);
+
+    // Host map: every service placed on a valid machine, and the cpu
+    // groups partition the service set exactly.
+    ASSERT_EQ(s.hosts.host_of.size(), n);
+    std::vector<std::size_t> cpu_cover(n, 0);
+    for (const auto& group : s.sharing.groups) {
+      ASSERT_FALSE(group.services.empty());
+      for (std::size_t svc : group.services) {
+        ASSERT_LT(svc, n);
+        if (group.name.rfind("cpu_host_", 0) == 0) ++cpu_cover[svc];
+      }
+    }
+    for (std::size_t svc = 0; svc < n; ++svc) {
+      ASSERT_LT(s.hosts.host_of[svc], s.hosts.host_count);
+      ASSERT_EQ(cpu_cover[svc], 1u) << "service " << svc;
+    }
+    // Heterogeneous sharing: more groups than the bare host partition.
+    ASSERT_GT(s.sharing.groups.size(), s.hosts.host_count);
+
+    // Load curve positive across the horizon.
+    for (double t = 0.0; t <= 720.0; t += 36.0) ASSERT_GT(s.load.at(t), 0.0);
+
+    // Drift endpoints: phase 0 is the initial knowledge verbatim; phase 1
+    // keeps the structure (identical upstream edges).
+    ASSERT_EQ(wf::node_to_text(*s.root_at(0.0)),
+              wf::node_to_text(*s.workflow.root()));
+    ASSERT_EQ(s.workflow_at(1.0).upstream_edges(), s.workflow.upstream_edges());
+
+    for (const ServiceModel& m : s.models) {
+      ASSERT_GT(m.base_mean, 0.0);
+      if (m.demand == DemandDistribution::kPareto) ASSERT_GT(m.tail_alpha, 1.0);
+    }
+  }
+}
+
+/// Scenario-built environments are reproducible per run seed: the DES
+/// realization is a pure function of (scenario, run seed).
+TEST(ScenarioFamilyProperty, DesRealizationsReproduciblePerRunSeed) {
+  const ScenarioFamily family(7, small_options(5, 10));
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    DesEnvironment a = s.make_des_environment(11);
+    DesEnvironment b = s.make_des_environment(11);
+    a.run_for(60.0);
+    b.run_for(60.0);
+    ASSERT_GT(a.traces().size(), 20u);
+    ASSERT_EQ(a.traces().size(), b.traces().size());
+    for (std::size_t t = 0; t < a.traces().size(); ++t) {
+      ASSERT_EQ(a.traces()[t].response_time, b.traces()[t].response_time);
+    }
+  }
+}
+
+/// Exact (bit-identical) equality of two all-discrete networks: every
+/// tabular entry and every deterministic-CPD leak must match without any
+/// tolerance.
+void expect_discrete_networks_identical(const bn::BayesianNetwork& a,
+                                        const bn::BayesianNetwork& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a.cpd(v).kind(), b.cpd(v).kind()) << "node " << v;
+    if (a.cpd(v).kind() == bn::CpdKind::kTabular) {
+      const auto& ca = static_cast<const bn::TabularCpd&>(a.cpd(v));
+      const auto& cb = static_cast<const bn::TabularCpd&>(b.cpd(v));
+      ASSERT_EQ(ca.child_cardinality(), cb.child_cardinality());
+      ASSERT_EQ(ca.config_count(), cb.config_count());
+      for (std::size_t cfg = 0; cfg < ca.config_count(); ++cfg) {
+        for (std::size_t st = 0; st < ca.child_cardinality(); ++st) {
+          ASSERT_EQ(ca.probability(cfg, st), cb.probability(cfg, st))
+              << "node " << v << " cfg " << cfg << " state " << st;
+        }
+      }
+    } else {
+      ASSERT_EQ(a.cpd(v).describe(), b.cpd(v).describe()) << "node " << v;
+    }
+  }
+}
+
+/// Incremental reconstruction must equal a full recount on every scenario.
+/// A full rebuild refits the discretizer from the current window (by
+/// design), so the invariant is: the incremental model is bit-identical to
+/// a from-scratch discrete construction under the *same* discretizer the
+/// incremental path used — discrete counts are exact integers, so there is
+/// no tolerance.
+TEST(ScenarioProperty, IncrementalEqualsFullRecalibrationAcrossScenarios) {
+  const ScenarioFamily family(0xC0DEu, small_options(4, 8));
+  const ModelSchedule schedule{1.0, 6, 3};  // 18-row window
+  std::size_t incremental_hits = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    SyntheticEnvironment env = s.make_environment();
+    kertbn::Rng rng(s.seed ^ 0xDA7Au);
+    const std::size_t total = schedule.points_per_window() * 2 + 6;
+    const bn::Dataset data = env.generate(total, rng);
+
+    core::ModelManager::Config cfg;
+    cfg.schedule = schedule;
+    cfg.bins = 3;
+    cfg.incremental = true;
+    cfg.discretizer_range_tolerance = 5.0;
+    core::ModelManager inc(env.workflow(), env.sharing(), cfg);
+
+    for (std::size_t r = 0; r < total; ++r) {
+      inc.observe_row(data.row(r));
+      if ((r + 1) % schedule.alpha_model != 0) continue;
+      const std::size_t last = r + 1;
+      const std::size_t first = last > schedule.points_per_window()
+                                    ? last - schedule.points_per_window()
+                                    : 0;
+      const bn::Dataset window = data.slice_rows(first, last);
+      const core::Reconstruction rec =
+          inc.reconstruct(static_cast<double>(last), window);
+      if (rec.incremental) ++incremental_hits;
+      ASSERT_TRUE(inc.discretizer().has_value());
+      const bn::Dataset discrete = inc.discretizer()->discretize(window);
+      const core::KertResult reference = core::construct_kert_discrete(
+          env.workflow(), env.sharing(), *inc.discretizer(), discrete,
+          core::LearningMode::kCentralized, cfg.leak_l, cfg.learn);
+      expect_discrete_networks_identical(inc.model(), reference.net);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // The stats layer must actually take the cheap path most of the time.
+  EXPECT_GE(incremental_hits, 12u * 4u);
+}
+
+/// Query-serving invariant on small discrete scenarios: every posterior the
+/// engine returns is normalized, finite, and non-negative; exceedance and
+/// evidence probabilities stay in [0, 1].
+TEST(ScenarioProperty, PostedPosteriorsNormalizedAndFinite) {
+  const ScenarioFamily family(0xBEEFu, small_options(4, 7));
+  for (std::size_t i = 0; i < 8; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    SyntheticEnvironment env = s.make_environment();
+    const std::size_t n = env.service_count();
+    kertbn::Rng rng(s.seed ^ 0x9057u);
+
+    core::ModelManager::Config cfg;
+    cfg.schedule = ModelSchedule{10.0, 12, 3};
+    cfg.bins = 3;
+    core::ModelManager manager(env.workflow(), env.sharing(), cfg);
+    manager.reconstruct(120.0, env.generate(160, rng));
+    ASSERT_TRUE(manager.has_model());
+
+    core::SnapshotSlot slot;
+    slot.publish(core::make_model_snapshot(manager.version(), 120.0,
+                                           manager.model(),
+                                           manager.discretizer()));
+    core::QueryEngine engine({.slot = &slot});
+
+    core::QueryBatch batch;
+    for (std::size_t q = 0; q < 12; ++q) {
+      core::Query query;
+      query.kind = static_cast<core::QueryKind>(q % 4);
+      query.target = n;  // the response node D
+      if (q % 2 == 0) {
+        const std::size_t node = rng.uniform_index(n);
+        query.evidence.emplace_back(node, rng.uniform_index(3));
+      }
+      query.threshold = rng.uniform(0.1, 2.0);
+      batch.push_back(query);
+    }
+    const std::vector<core::QueryAnswer> answers = engine.post(batch);
+    ASSERT_EQ(answers.size(), batch.size());
+    for (std::size_t q = 0; q < answers.size(); ++q) {
+      SCOPED_TRACE("query " + std::to_string(q));
+      const core::QueryAnswer& ans = answers[q];
+      if (batch[q].kind != core::QueryKind::kEvidenceProbability) {
+        double total = 0.0;
+        ASSERT_FALSE(ans.posterior.empty());
+        for (double p : ans.posterior) {
+          ASSERT_TRUE(std::isfinite(p));
+          ASSERT_GE(p, 0.0);
+          total += p;
+        }
+        ASSERT_NEAR(total, 1.0, 1e-9);
+      }
+      ASSERT_GE(ans.exceedance, 0.0);
+      ASSERT_LE(ans.exceedance, 1.0 + 1e-12);
+      ASSERT_TRUE(std::isfinite(ans.evidence_probability));
+      ASSERT_GE(ans.evidence_probability, 0.0);
+      ASSERT_LE(ans.evidence_probability, 1.0 + 1e-9);
+    }
+  }
+}
+
+/// Family-calibrated error bound: a model trained on a scenario's window
+/// generalizes to held-out probe data from the same scenario — held-out
+/// error stays within 3x of the training-window error for every scenario
+/// in the family (continuous models, mid-sized topologies).
+TEST(ScenarioProperty, ModelErrorWithinFamilyCalibratedBound) {
+  const ScenarioFamily family(0x0DDFu, small_options(10, 24));
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    SyntheticEnvironment env = s.make_environment();
+    kertbn::Rng rng(s.seed ^ 0xE44u);
+    const bn::Dataset train = env.generate(150, rng);
+    const bn::Dataset probe = env.generate(80, rng);
+
+    core::ModelManager::Config cfg;
+    cfg.schedule = ModelSchedule{10.0, 12, 3};
+    core::ModelManager manager(env.workflow(), env.sharing(), cfg);
+    manager.reconstruct(120.0, train);
+    ASSERT_TRUE(manager.has_model());
+
+    const double err_train = prediction_error(manager.model(), train);
+    const double err_probe = prediction_error(manager.model(), probe);
+    ASSERT_TRUE(std::isfinite(err_train));
+    ASSERT_TRUE(std::isfinite(err_probe));
+    ASSERT_GT(err_train, 0.0);
+    ASSERT_LE(err_probe, 3.0 * err_train) << "train " << err_train
+                                          << " probe " << err_probe;
+  }
+}
+
+/// Crash-recovery bit-identity on generated scenarios: for each scenario,
+/// a run that crashes the management server mid-way and recovers by
+/// journal replay ends with exactly the state of the uninterrupted run.
+TEST(ScenarioProperty, RecoveredWindowsBitIdenticalPerScenario) {
+  const ScenarioFamily family(0xD15Cu, small_options(5, 9));
+  const ModelSchedule schedule{1.0, 6, 3};
+  constexpr std::size_t kIntervals = 18;
+  constexpr std::size_t kCrashAt = 9;
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+
+    MonitoredTestbed reference = s.make_testbed(21, schedule);
+    for (std::size_t k = 0; k < kIntervals; ++k) reference.advance_interval();
+    const ServerState want = reference.server().export_state();
+
+    const fs::path dir =
+        fs::path(testing::TempDir()) /
+        ("kertbn_scenario_recovery_" + std::to_string(i));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    MonitoredTestbed tb = s.make_testbed(21, schedule);
+    auto journal = std::make_unique<durable::ServerJournal>(
+        durable::JournalConfig{dir.string()});
+    journal->attach(tb.server_mutable());
+    for (std::size_t k = 0; k < kCrashAt; ++k) tb.advance_interval();
+
+    tb.restart_server();
+    journal.reset();
+    const durable::RecoveryReport report =
+        durable::RecoveryManager(dir.string())
+            .recover(tb.server_mutable(), nullptr, tb.now());
+    ASSERT_EQ(report.malformed_payloads, 0u);
+    durable::ServerJournal journal2{durable::JournalConfig{dir.string()}};
+    journal2.attach(tb.server_mutable());
+    for (std::size_t k = kCrashAt; k < kIntervals; ++k) tb.advance_interval();
+
+    const ServerState got = tb.server().export_state();
+    ASSERT_EQ(got.rows, want.rows);
+    ASSERT_EQ(got.cols, want.cols);
+    ASSERT_EQ(got.window, want.window);  // exact double equality
+    ASSERT_EQ(got.last_seen, want.last_seen);
+    ASSERT_EQ(got.total_points, want.total_points);
+    ASSERT_EQ(got.dropped_intervals, want.dropped_intervals);
+  }
+}
+
+/// Whole-pipeline drive: monitoring -> reconstruction -> query serving
+/// under the scenario's fault plan, load curve, and a mid-run choice-
+/// probability drift. The manager must end servable and never degraded
+/// (faults here never destroy all data), and every posterior served along
+/// the way is normalized.
+TEST(ScenarioProperty, WholePipelineServesUnderFaultsAndDrift) {
+  ScenarioFamilyOptions opts = small_options(5, 9);
+  opts.fault_intensity = 0.5;
+  opts.horizon_hint = 40.0;
+  const ScenarioFamily family(0xF10Cu, opts);
+  const ModelSchedule schedule{1.0, 6, 3};
+  constexpr std::size_t kConstructions = 10;
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const Scenario s = family.make(i);
+    const std::size_t n = s.workflow.service_count();
+
+    fault::ScopedFaultPlan scoped(s.faults);
+    MonitoredTestbed tb = s.make_testbed(31, schedule);
+
+    core::ModelManager::Config cfg;
+    cfg.schedule = schedule;
+    cfg.bins = 3;
+    core::ModelManager manager(s.workflow, s.sharing, cfg);
+    core::SnapshotSlot slot;
+    core::QueryEngine engine({.slot = &slot});
+
+    bool drifted = false;
+    std::size_t posteriors_checked = 0;
+    for (std::size_t c = 0; c < kConstructions; ++c) {
+      if (!drifted && c == kConstructions / 2) {
+        // Mid-run drift: the environment's routing and the manager's
+        // knowledge move to the drifted composition together.
+        tb.environment().set_workflow_root(s.root_at(1.0));
+        manager.update_workflow(s.workflow_at(1.0));
+        drifted = true;
+      }
+      for (std::size_t k = 0; k < schedule.alpha_model; ++k) {
+        tb.environment().set_arrival_rate(s.arrival_rate *
+                                          s.load.at(tb.now()));
+        tb.advance_interval();
+      }
+      if (manager.maybe_reconstruct(tb.now(), tb.window()).has_value()) {
+        slot.publish(core::make_model_snapshot(manager.version(), tb.now(),
+                                               manager.model(),
+                                               manager.discretizer()));
+      }
+      if (slot.has_snapshot()) {
+        core::Query query;
+        query.target = n;
+        query.evidence.emplace_back(0, 1);
+        const auto answers = engine.post({query});
+        double total = 0.0;
+        for (double p : answers.front().posterior) {
+          ASSERT_TRUE(std::isfinite(p));
+          ASSERT_GE(p, 0.0);
+          total += p;
+        }
+        ASSERT_NEAR(total, 1.0, 1e-9);
+        ++posteriors_checked;
+      }
+    }
+    ASSERT_TRUE(manager.has_model());
+    ASSERT_NE(manager.health(), core::ModelHealth::kDegraded);
+    ASSERT_GT(posteriors_checked, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::sim

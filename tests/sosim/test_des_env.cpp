@@ -122,5 +122,109 @@ TEST(DesEnvironment, ReproducibleGivenSeed) {
   }
 }
 
+/// seq(a, map(b)) with k in {2, 3}: each instance carries 1/k of b's
+/// demand. All instances share b's FIFO host, so the idle-system makespan
+/// of the map stage is the full demand (k partitions of size demand/k run
+/// back to back), while the monitored X_b accumulates each instance's
+/// elapsed time including its queue wait: Σ_{i=1..k} i·(demand/k) =
+/// demand·(k+1)/2.
+TEST(DesEnvironment, MapExecutesPartitionedInstances) {
+  wf::Workflow workflow(
+      {"a", "b"},
+      wf::Node::sequence({wf::Node::activity(0),
+                          wf::Node::map(wf::Node::activity(1), 2,
+                                        {0.5, 0.5})}));
+  HostMap hosts;
+  hosts.host_count = 2;
+  hosts.host_of = {0, 1};
+  std::vector<ServiceModel> models(2);
+  models[0] = {0.10, 0.001, 0.0, 0.0};
+  models[1] = {0.30, 0.001, 0.0, 0.0};
+  DesEnvironment env(workflow, hosts, models, 0.05, 9);  // near-idle
+  env.run_for(4000.0);
+  ASSERT_GT(env.traces().size(), 100u);
+  kertbn::RunningStats x_b;
+  kertbn::RunningStats response;
+  for (const auto& t : env.traces()) {
+    ASSERT_TRUE(t.service_times[1].has_value());
+    // No trace can undercut the k = 2 accumulated elapsed (0.45) by much;
+    // rare close arrivals can exceed it via leftover backlog.
+    EXPECT_GT(*t.service_times[1], 0.40);
+    x_b.add(*t.service_times[1]);
+    response.add(t.response_time);
+  }
+  // Mixture mean: 0.5 * 0.45 + 0.5 * 0.60 = 0.525 plus light queueing.
+  EXPECT_NEAR(x_b.mean(), 0.525, 0.08);
+  EXPECT_NEAR(response.mean(), 0.10 + 0.30, 0.05);
+}
+
+TEST(DesEnvironment, DataChoiceRoutesPerDrawnClass) {
+  // Class 0 always takes branch 0, class 1 always branch 1: branch rates
+  // must track the class distribution, not a uniform draw.
+  wf::Workflow workflow(
+      {"a", "b"},
+      wf::Node::data_choice({wf::Node::activity(0), wf::Node::activity(1)},
+                            {0.8, 0.2}, {{1.0, 0.0}, {0.0, 1.0}}));
+  HostMap hosts;
+  hosts.host_count = 2;
+  hosts.host_of = {0, 1};
+  std::vector<ServiceModel> models(2);
+  models[0] = {0.05, 0.001, 0.0, 0.0};
+  models[1] = {0.05, 0.001, 0.0, 0.0};
+  DesEnvironment env(workflow, hosts, models, 0.5, 11);
+  env.run_for(3000.0);
+  std::size_t took_a = 0;
+  std::size_t took_b = 0;
+  for (const auto& t : env.traces()) {
+    if (t.service_times[0].has_value()) ++took_a;
+    if (t.service_times[1].has_value()) ++took_b;
+  }
+  const double frac_a =
+      static_cast<double>(took_a) / static_cast<double>(took_a + took_b);
+  EXPECT_NEAR(frac_a, 0.8, 0.05);
+}
+
+TEST(DesEnvironment, ArrivalRateChangeTakesEffect) {
+  DesEnvironment env = make_ediamond_des_environment(0.2, 5);
+  env.run_for(500.0);
+  const std::size_t calm = env.traces().size();
+  env.set_arrival_rate(2.0);
+  env.run_for(500.0);
+  const std::size_t busy = env.traces().size() - calm;
+  // Ten-fold rate: clearly more than triple the traffic.
+  EXPECT_GT(busy, calm * 3);
+}
+
+TEST(DesEnvironment, WorkflowRootSwapShiftsBranchRates) {
+  wf::Workflow workflow(
+      {"a", "b"},
+      wf::Node::choice({wf::Node::activity(0), wf::Node::activity(1)},
+                       {0.9, 0.1}));
+  HostMap hosts;
+  hosts.host_count = 1;
+  hosts.host_of = {0, 0};
+  std::vector<ServiceModel> models(2);
+  models[0] = {0.02, 0.001, 0.0, 0.0};
+  models[1] = {0.02, 0.001, 0.0, 0.0};
+  DesEnvironment env(workflow, hosts, models, 1.0, 13);
+  env.run_for(2000.0);
+  const std::size_t before = env.traces().size();
+  env.set_workflow_root(
+      wf::Node::choice({wf::Node::activity(0), wf::Node::activity(1)},
+                       {0.1, 0.9}));
+  env.run_for(2000.0);
+  std::size_t a_before = 0;
+  std::size_t a_after = 0;
+  for (std::size_t i = 0; i < env.traces().size(); ++i) {
+    if (!env.traces()[i].service_times[0].has_value()) continue;
+    (i < before ? a_before : a_after) += 1;
+  }
+  const auto frac = [&](std::size_t count, std::size_t total) {
+    return static_cast<double>(count) / static_cast<double>(total);
+  };
+  EXPECT_GT(frac(a_before, before), 0.8);
+  EXPECT_LT(frac(a_after, env.traces().size() - before), 0.2);
+}
+
 }  // namespace
 }  // namespace kertbn::sim

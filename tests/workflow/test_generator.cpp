@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 
 #include "graph/dag.hpp"
 
@@ -80,6 +81,120 @@ TEST(Generator, RespectsSequenceOnlyMix) {
   const Workflow w = make_random_workflow(8, rng, opts);
   // Pure sequences reduce to a linear expression.
   EXPECT_TRUE(w.response_time_expr()->is_linear());
+}
+
+TEST(Generator, RejectsNegativeWeightMix) {
+  GeneratorOptions opts;
+  opts.parallel_weight = -0.3;
+  kertbn::Rng rng(3);
+  EXPECT_DEATH(make_random_workflow(8, rng, opts), "non-negative");
+}
+
+TEST(Generator, RejectsAllZeroWeightMix) {
+  GeneratorOptions opts;
+  opts.sequence_weight = 0.0;
+  opts.parallel_weight = 0.0;
+  opts.choice_weight = 0.0;
+  opts.map_weight = 0.0;
+  opts.data_choice_weight = 0.0;
+  kertbn::Rng rng(3);
+  EXPECT_DEATH(make_random_workflow(8, rng, opts), "all be zero");
+}
+
+TEST(Generator, RejectsNonFiniteWeightAndBadRanges) {
+  {
+    GeneratorOptions opts;
+    opts.choice_weight = std::nan("");
+    EXPECT_DEATH(opts.validate(), "finite");
+  }
+  {
+    GeneratorOptions opts;
+    opts.loop_repeat_prob = 1.0;  // expected iterations would diverge
+    EXPECT_DEATH(opts.validate(), "loop_repeat_prob");
+  }
+  {
+    GeneratorOptions opts;
+    opts.map_k_min = 4;
+    opts.map_k_max = 2;
+    EXPECT_DEATH(opts.validate(), "map_k_max");
+  }
+}
+
+/// A map-heavy mix actually emits maps, and every generated map draws a
+/// normalized fan-out distribution starting at the configured k_min.
+TEST(Generator, MapMixEmitsMapNodes) {
+  GeneratorOptions opts;
+  opts.map_weight = 3.0;
+  opts.data_choice_weight = 1.0;
+  opts.map_k_min = 2;
+  opts.map_k_max = 5;
+  std::size_t maps = 0;
+  std::size_t dchoices = 0;
+  const std::function<void(const Node&)> walk = [&](const Node& node) {
+    if (node.kind() == NodeKind::kMap) {
+      ++maps;
+      EXPECT_EQ(node.map_k_min(), 2u);
+      double total = 0.0;
+      for (double w : node.map_k_weights()) total += w;
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+    if (node.kind() == NodeKind::kDataChoice) ++dchoices;
+    for (const auto& c : node.children()) walk(*c);
+  };
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    kertbn::Rng rng(seed);
+    walk(*make_random_workflow(12, rng, opts).root());
+  }
+  EXPECT_GT(maps, 0u);
+  EXPECT_GT(dchoices, 0u);
+}
+
+TEST(Generator, PerturbKeepsStructureChangesProbs) {
+  GeneratorOptions opts;
+  opts.choice_weight = 0.6;
+  opts.data_choice_weight = 0.4;
+  opts.sequence_weight = 0.4;
+  opts.parallel_weight = 0.1;
+  kertbn::Rng rng(17);
+  const Workflow w = make_random_workflow(14, rng, opts);
+  const Node::Ptr drifted = perturb_choice_probs(w.root(), rng);
+  // Same structure: identical upstream edges and service set.
+  const Workflow dw(w.service_names(), drifted);
+  EXPECT_EQ(dw.upstream_edges(), w.upstream_edges());
+  // Different routing: the reductions disagree somewhere.
+  std::vector<double> times(14);
+  for (auto& t : times) t = rng.uniform(0.1, 1.0);
+  EXPECT_NE(w.response_time_expr()->evaluate(times),
+            dw.response_time_expr()->evaluate(times));
+}
+
+TEST(Generator, InterpolateEndpointsAndMidpoint) {
+  GeneratorOptions opts;
+  opts.choice_weight = 0.7;
+  opts.sequence_weight = 0.3;
+  opts.parallel_weight = 0.0;
+  kertbn::Rng rng(23);
+  const Workflow w = make_random_workflow(10, rng, opts);
+  const Node::Ptr target = perturb_choice_probs(w.root(), rng);
+
+  std::vector<double> times(10);
+  for (auto& t : times) t = rng.uniform(0.1, 1.0);
+  const double at_a = w.response_time_expr()->evaluate(times);
+  const Workflow wb(w.service_names(), target);
+  const double at_b = wb.response_time_expr()->evaluate(times);
+
+  const auto value_at = [&](double weight) {
+    const Workflow wi(w.service_names(),
+                      interpolate_choice_probs(w.root(), target, weight));
+    return wi.response_time_expr()->evaluate(times);
+  };
+  EXPECT_NEAR(value_at(0.0), at_a, 1e-12);
+  EXPECT_NEAR(value_at(1.0), at_b, 1e-9);
+  // Blend reductions are linear in the probabilities, so the midpoint
+  // response lies between the endpoints' span.
+  const double mid = value_at(0.5);
+  EXPECT_GE(mid, std::min(at_a, at_b) - 1e-12);
+  EXPECT_LE(mid, std::max(at_a, at_b) + 1e-12);
 }
 
 }  // namespace

@@ -78,5 +78,86 @@ TEST(WorkflowSerialize, MalformedInputAborts) {
   EXPECT_DEATH(node_from_text("(act 1) trailing"), "precondition");
 }
 
+TEST(WorkflowSerialize, MapRoundTrip) {
+  const auto node = Node::map(
+      Node::sequence({Node::activity(0), Node::activity(1)}), 2,
+      {0.25, 0.5, 0.25});
+  const auto parsed = node_from_text(node_to_text(*node));
+  ASSERT_EQ(parsed->kind(), NodeKind::kMap);
+  EXPECT_EQ(parsed->map_k_min(), 2u);
+  ASSERT_EQ(parsed->map_k_weights().size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->map_k_weights()[1], 0.5);
+  EXPECT_DOUBLE_EQ(parsed->expected_inverse_instances(),
+                   node->expected_inverse_instances());
+}
+
+TEST(WorkflowSerialize, DataChoiceRoundTrip) {
+  const auto node = Node::data_choice(
+      {Node::activity(0), Node::activity(1), Node::activity(2)},
+      {0.2, 0.8}, {{0.5, 0.25, 0.25}, {0.1, 0.1, 0.8}});
+  const auto parsed = node_from_text(node_to_text(*node));
+  ASSERT_EQ(parsed->kind(), NodeKind::kDataChoice);
+  ASSERT_EQ(parsed->class_probs().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->class_probs()[1], 0.8);
+  EXPECT_DOUBLE_EQ(parsed->branch_probs()[1][2], 0.8);
+  EXPECT_EQ(parsed->children().size(), 3u);
+}
+
+TEST(WorkflowSerialize, MalformedMapAndDataChoiceAbort) {
+  EXPECT_DEATH(node_from_text("(map 0 1.0 (act 0))"), "precondition");
+  EXPECT_DEATH(node_from_text("(map 2 (act 0))"), "precondition");
+  EXPECT_DEATH(node_from_text("(map 2 0 0 (act 0))"), "precondition");
+  EXPECT_DEATH(node_from_text("(dchoice 2 2 0.5 0.4 1 0 0 1 (act 0) (act 1))"),
+               "precondition");
+  EXPECT_DEATH(node_from_text("(dchoice 1 2 1 0.7 0.7 (act 0) (act 1))"),
+               "precondition");
+}
+
+TEST(WorkflowSerialize, MalformedMapReportsErrorByValue) {
+  std::string error;
+  EXPECT_EQ(try_node_from_text("(map 2 0 0 (act 0))", &error), nullptr);
+  EXPECT_NE(error.find("all zero"), std::string::npos);
+}
+
+/// Satellite property: serialize/deserialize is the identity over 200
+/// seeded random workflows drawn from the full algebra (all four paper
+/// constructs plus map fan-outs and data-dependent choices). Round-tripped
+/// text must be a fixed point and reductions must agree exactly.
+class FullAlgebraRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullAlgebraRoundTrip, TwoHundredSeededWorkflows) {
+  GeneratorOptions opts;
+  opts.sequence_weight = 0.35;
+  opts.parallel_weight = 0.20;
+  opts.choice_weight = 0.15;
+  opts.map_weight = 0.18;
+  opts.data_choice_weight = 0.12;
+  opts.loop_probability = 0.10;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const std::uint64_t seed = GetParam() * 1000 + i;
+    kertbn::Rng rng(seed);
+    const std::size_t n = 2 + rng.uniform_index(30);
+    const Workflow original = make_random_workflow(n, rng, opts);
+
+    const std::string text = workflow_to_text(original);
+    const Workflow rebuilt = workflow_from_text(text);
+    ASSERT_EQ(workflow_to_text(rebuilt), text) << "seed " << seed;
+    ASSERT_EQ(rebuilt.upstream_edges(), original.upstream_edges())
+        << "seed " << seed;
+    ASSERT_EQ(rebuilt.response_time_expr()->to_string(),
+              original.response_time_expr()->to_string())
+        << "seed " << seed;
+
+    std::vector<double> times(n);
+    for (auto& t : times) t = rng.uniform(0.01, 1.0);
+    ASSERT_DOUBLE_EQ(rebuilt.response_time_expr()->evaluate(times),
+                     original.response_time_expr()->evaluate(times))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullAlgebraRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
 }  // namespace
 }  // namespace kertbn::wf
