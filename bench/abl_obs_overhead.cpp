@@ -31,7 +31,9 @@
 
 #include "bench_common.hpp"
 #include "kert/model_manager.hpp"
+#include "sosim/monitoring.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality/monitor.hpp"
 #include "obs/sink.hpp"
 
 namespace {
@@ -142,8 +144,107 @@ void BM_ObsOverhead(benchmark::State& state) {
       null_pct < kOverheadBudgetPct ? "PASS" : "FAIL");
 }
 
+/// Ablation: cost of the model-quality tap on the monitoring ingest path.
+/// The path under test is the one the production wiring actually rides:
+/// ManagementServer::ingest_interval — agent-report assembly, the
+/// missing-data / duplicate policies, the sliding-window append, and the
+/// row-observer dispatch into ModelManager::observe_row — with the
+/// quality monitor attached as an extra row observer (telemetry on, null
+/// sink: the default production configuration):
+///
+///   bare     — server ingest + windowed model statistics only (exactly
+///              what the ingest path did before the quality layer).
+///   scored   — the same plus ModelQualityMonitor::observe_row per row:
+///              snapshot re-sync, per-column scoring against the
+///              published predictions, calibrated-residual drift
+///              detection, and the window-mirror ring buffer.
+///
+/// Same interleaving methodology as BM_ObsOverhead: ONE server + manager
+/// + monitor, the tap toggling per batch, per-mode medians of ns/interval.
+/// The guard enforces the < 3% design budget for total obs overhead on
+/// the ingest path with the null sink.
+void BM_QualityIngestOverhead(benchmark::State& state) {
+  constexpr double kIngestBudgetPct = 3.0;
+  constexpr int kBatches = 3000;
+  constexpr int kIntervalsPerBatch = 200;
+
+  const sim::ModelSchedule schedule{10.0, 200, 5};  // 1000-row window
+  const std::size_t w = schedule.points_per_window();
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  const std::size_t n = env.workflow().service_count();
+  Rng rng(0x0B6);
+
+  ModelManager::Config cfg;
+  cfg.schedule = schedule;
+  cfg.incremental = true;
+  cfg.publish_snapshots = true;
+  ModelManager manager(env.workflow(), env.sharing(), cfg);
+  bn::Dataset window = env.generate(w, rng);
+  for (std::size_t r = 0; r < w; ++r) manager.observe_row(window.row(r));
+  manager.reconstruct(schedule.t_con(), window);  // publishes the snapshot
+
+  sim::ManagementServer server(env.workflow().service_names(), schedule);
+  server.set_row_observer(
+      [&manager](std::span<const double> row) { manager.observe_row(row); });
+  quality::ModelQualityMonitor monitor(manager, {});
+  bool tap = false;  // captured: add_row_observer has no unregister
+  server.add_row_observer([&tap, &monitor](std::span<const double> row) {
+    if (tap) monitor.observe_row(row);
+  });
+
+  obs::set_enabled(true);
+  obs::set_sink(nullptr);
+
+  // One pre-generated interval pool (one agent covering every service,
+  // means from a synthetic row) reused by every batch: both modes ingest
+  // bit-identical data, so the only difference is the quality tap.
+  const bn::Dataset pool = env.generate(kIntervalsPerBatch, rng);
+  std::vector<std::vector<sim::AgentReport>> reports(pool.rows());
+  std::vector<double> responses(pool.rows());
+  for (std::size_t r = 0; r < pool.rows(); ++r) {
+    sim::AgentReport rep;
+    for (std::size_t s = 0; s < n; ++s) {
+      rep.service_means.emplace_back(s, pool.row(r)[s]);
+    }
+    reports[r].push_back(std::move(rep));
+    responses[r] = pool.row(r)[n];
+  }
+
+  std::vector<double> ns_per_interval[2];
+  for (auto _ : state) {
+    for (int batch = 0; batch < kBatches; ++batch) {
+      const int m = batch % 2;
+      tap = m == 1;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < pool.rows(); ++r) {
+        benchmark::DoNotOptimize(
+            server.ingest_interval(reports[r], responses[r]));
+      }
+      const double ns = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count() *
+                        1e9;
+      ns_per_interval[m].push_back(ns / kIntervalsPerBatch);
+    }
+  }
+  benchmark::DoNotOptimize(monitor.overall_drift());
+
+  double med_ns[2];
+  for (int m = 0; m < 2; ++m) med_ns[m] = median(ns_per_interval[m]);
+  const double pct = (med_ns[1] / med_ns[0] - 1.0) * 100.0;
+  state.counters["bare_ns_per_interval"] = med_ns[0];
+  state.counters["scored_ns_per_interval"] = med_ns[1];
+  state.counters["quality_ingest_overhead_pct"] = pct;
+  std::printf(
+      "\nquality ingest guard: scored %+.3f%% vs budget %.1f%% — %s\n",
+      pct, kIngestBudgetPct, pct < kIngestBudgetPct ? "PASS" : "FAIL");
+}
+
 }  // namespace
 
 BENCHMARK(BM_ObsOverhead)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QualityIngestOverhead)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

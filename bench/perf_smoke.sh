@@ -8,7 +8,11 @@
 #   2. write-ahead journaling — reruns abl_durable_overhead and applies a
 #      soft <= 5% guard on the per-segment journal's overhead over the
 #      monitored reconstruction loop (paired-sample median, so the number
-#      is stable even on busy hosts).
+#      is stable even on busy hosts);
+#   3. model-quality ingest tap — reruns the BM_QualityIngestOverhead
+#      ablation and enforces the < 3% total-obs-overhead budget for the
+#      scorer + drift detectors riding the management server's ingest
+#      path with the null sink (paired-batch median).
 #
 # Usage: bench/perf_smoke.sh [build-dir] [baseline-json]
 
@@ -107,5 +111,47 @@ if pct is None:
 verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
 print(f"{verdict}  journal per-segment overhead {pct:+.2f}% "
       f"(soft limit {OVERHEAD_LIMIT_PCT:.1f}%)")
+sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
+EOF
+
+# --- model-quality ingest overhead guard ------------------------------------
+# Reruns the BM_QualityIngestOverhead ablation: the quality monitor
+# (scorer + drift detectors + window mirror) attached to the management
+# server's ingest path must keep total obs overhead under the 3% design
+# budget with the null sink (paired-batch median, same methodology as the
+# journal guard above).
+
+quality_bin="$build_dir/bench/abl_obs_overhead"
+quality_out="$build_dir/PERF_SMOKE_abl_obs_overhead.json"
+
+if [ ! -x "$quality_bin" ]; then
+  echo "error: $quality_bin not found — build the project first" >&2
+  exit 1
+fi
+
+"$quality_bin" --benchmark_filter=QualityIngestOverhead \
+               --benchmark_out="$quality_out" \
+               --benchmark_out_format=json >/dev/null
+
+python3 - "$quality_out" <<'EOF'
+import json
+import sys
+
+OVERHEAD_LIMIT_PCT = 3.0
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+pct = None
+for bench in doc.get("benchmarks", []):
+    if "quality_ingest_overhead_pct" in bench:
+        pct = float(bench["quality_ingest_overhead_pct"])
+if pct is None:
+    print("FAIL  no quality_ingest_overhead_pct in obs overhead run")
+    sys.exit(1)
+
+verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
+print(f"{verdict}  quality monitor ingest overhead {pct:+.2f}% "
+      f"(limit {OVERHEAD_LIMIT_PCT:.1f}%)")
 sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
 EOF

@@ -1,5 +1,6 @@
 #include "decentral/decentralized_learner.hpp"
 
+#include "obs/sink.hpp"
 #include "obs/span.hpp"
 
 #include <algorithm>
@@ -197,6 +198,20 @@ DecentralizedReport learn_parameters_decentralized(
     for (const auto& agent : agents) {
       fit_ns.record(static_cast<std::uint64_t>(agent->fit_seconds * 1e9));
     }
+  }
+  // A degraded round is a model-quality signal: CPDs fit with zero-filled
+  // parent columns predict worse, which the quality layer's scorer will
+  // see. Surface it on the same structured-event feed.
+  if (report.degraded_agents > 0 && obs::has_sink()) {
+    obs::LogEvent ev;
+    ev.name = "kert.decentral.degraded_round";
+    ev.t_ns = obs::now_ns();
+    ev.tags.push_back(
+        {"messages_lost", static_cast<std::uint64_t>(report.messages_lost)});
+    ev.tags.push_back(
+        {"degraded_agents",
+         static_cast<std::uint64_t>(report.degraded_agents)});
+    obs::emit_event(ev);
   }
   return report;
 }

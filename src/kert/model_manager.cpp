@@ -405,6 +405,23 @@ void ModelManager::note_failure(double now, const char* reason) {
              reason);
 }
 
+void ModelManager::note_drift(double now, const std::string& reason) {
+  ++drift_notices_;
+  last_drift_reason_ = reason;
+  // Identical window data must still rebuild: the world moved even if the
+  // retained rows happen to match the last build byte for byte.
+  last_build_rows_ = 0;
+  last_build_window_.clear();
+  if (obs::enabled()) {
+    static obs::Counter& notices =
+        obs::MetricsRegistry::instance().counter("kert.drift.notices");
+    notices.add(1);
+  }
+  if (health_ == ModelHealth::kFresh) {
+    set_health(now, ModelHealth::kStale, reason.c_str());
+  }
+}
+
 void ModelManager::publish_current(double now) {
   if (!config_.publish_snapshots) return;
   KERTBN_ASSERT(model_.has_value());

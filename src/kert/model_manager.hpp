@@ -188,6 +188,19 @@ class ModelManager {
     return last_failure_reason_;
   }
 
+  /// Advisory from the model-quality layer (DESIGN §11): confirmed drift
+  /// between the served model's predictions and live measurements. Marks a
+  /// fresh model stale (its predictions no longer describe the present)
+  /// and forgets the unchanged-window memory, so the next deadline
+  /// rebuilds even when the window content is unchanged. Advisory only:
+  /// no rebuild happens here — the reconstruction schedule stays in
+  /// charge.
+  void note_drift(double now, const std::string& reason);
+  /// Confirmed-drift advisories received so far.
+  std::size_t drift_notices() const { return drift_notices_; }
+  /// Reason of the most recent drift advisory ("" when none arrived yet).
+  const std::string& last_drift_reason() const { return last_drift_reason_; }
+
   /// Serializes the current model (continuous or discrete flavor) in the
   /// kert/serialize text format; "" when no model has been built yet.
   std::string export_model_text() const;
@@ -256,6 +269,8 @@ class ModelManager {
   std::size_t failed_reconstructions_ = 0;
   std::size_t stale_skips_ = 0;
   std::string last_failure_reason_;
+  std::size_t drift_notices_ = 0;
+  std::string last_drift_reason_;
   double last_missed_due_ = -1.0;  ///< Deadline already counted as missed.
   std::size_t last_build_rows_ = 0;
   std::vector<double> last_build_window_;  ///< Flattened row-major copy.

@@ -1,0 +1,82 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace kertbn::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   std::uint64_t v) {
+  out += name;
+  out += ' ';
+  append_u64(out, v);
+  out += '\n';
+}
+
+void append_quantile(std::string& out, const std::string& name, double q,
+                     std::uint64_t v) {
+  out += name;
+  out += "{quantile=\"";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%g", q);
+  out += buf;
+  out += "\"} ";
+  append_u64(out, v);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "kertbn_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    append_sample(out, pname, v);
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname;
+    out += ' ';
+    append_double(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " summary\n";
+    append_quantile(out, pname, 0.5, h.quantile(0.5));
+    append_quantile(out, pname, 0.95, h.quantile(0.95));
+    append_quantile(out, pname, 0.99, h.quantile(0.99));
+    append_sample(out, pname + "_sum", h.sum);
+    append_sample(out, pname + "_count", h.count);
+    append_sample(out, pname + "_max", h.max);
+  }
+  return out;
+}
+
+}  // namespace kertbn::obs

@@ -1,0 +1,27 @@
+#pragma once
+/// \file prometheus.hpp
+/// Prometheus text exposition (version 0.0.4) of a MetricsSnapshot — the
+/// pull-style operational surface next to the push-style JSONL sink. Dot
+/// metric names become underscore-separated and gain a `kertbn_` prefix
+/// (`kert.query.count` -> `kertbn_kert_query_count`); histograms are
+/// exposed as summaries whose quantiles come from
+/// HistogramStats::quantile, i.e. the inclusive upper edge of the
+/// power-of-two bucket holding the rank (an upper-bound estimate that is
+/// exact only at bucket boundaries — see metrics.hpp).
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace kertbn::obs {
+
+/// Renders \p snapshot in the Prometheus text format: counters and gauges
+/// as single samples, histograms as summaries with p50/p95/p99 quantile
+/// samples plus _sum/_count/_max.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// `kertbn_` + \p name with every character outside [a-zA-Z0-9_] replaced
+/// by '_' (the Prometheus metric-name alphabet, minus the unused colon).
+std::string prometheus_name(std::string_view name);
+
+}  // namespace kertbn::obs

@@ -1,0 +1,90 @@
+#include "obs/quality/drift.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kertbn::quality {
+
+const char* to_string(DriftState state) {
+  switch (state) {
+    case DriftState::kNone:
+      return "none";
+    case DriftState::kSuspected:
+      return "suspected";
+    case DriftState::kConfirmed:
+      return "confirmed";
+  }
+  return "unknown";
+}
+
+DriftState drift_state_from_string(const char* text) {
+  if (std::strcmp(text, "suspected") == 0) return DriftState::kSuspected;
+  if (std::strcmp(text, "confirmed") == 0) return DriftState::kConfirmed;
+  return DriftState::kNone;
+}
+
+double DriftDetector::cusum_statistic() const {
+  return std::max(s_.cusum_pos, s_.cusum_neg);
+}
+
+double DriftDetector::ph_statistic() const {
+  return std::max(s_.ph_cum_pos - s_.ph_min_pos,
+                  s_.ph_max_neg - s_.ph_cum_neg);
+}
+
+void DriftDetector::decay(double factor) {
+  if (s_.state == DriftState::kConfirmed) return;  // latched
+  s_.cusum_pos *= factor;
+  s_.cusum_neg *= factor;
+  s_.ph_cum_pos *= factor;
+  s_.ph_cum_neg *= factor;
+  s_.ph_min_pos *= factor;
+  s_.ph_max_neg *= factor;
+  s_.above_confirm = 0;
+}
+
+DriftState DriftDetector::add(double z) {
+  ++s_.n;
+
+  // CUSUM (two-sided, slack k): drains toward 0 in control.
+  s_.cusum_pos = std::max(0.0, s_.cusum_pos + z - opts_.cusum_slack);
+  s_.cusum_neg = std::max(0.0, s_.cusum_neg - z - opts_.cusum_slack);
+
+  // Page–Hinkley: running mean first, then the two cumulative deviation
+  // tracks and their extrema. Fixed evaluation order keeps the fold
+  // bit-reproducible.
+  s_.ph_mean += (z - s_.ph_mean) / static_cast<double>(s_.n);
+  s_.ph_cum_pos += z - s_.ph_mean - opts_.ph_delta;
+  s_.ph_cum_neg += z - s_.ph_mean + opts_.ph_delta;
+  s_.ph_min_pos = std::min(s_.ph_min_pos, s_.ph_cum_pos);
+  s_.ph_max_neg = std::max(s_.ph_max_neg, s_.ph_cum_neg);
+
+  if (s_.state == DriftState::kConfirmed) return s_.state;  // latched
+
+  if (s_.n < opts_.min_observations) return s_.state;
+
+  const double cusum = cusum_statistic();
+  const double ph = ph_statistic();
+  const bool confirm_level =
+      cusum >= opts_.cusum_confirm || ph >= opts_.ph_confirm;
+  const bool warn_level = cusum >= opts_.cusum_warn || ph >= opts_.ph_warn;
+
+  // An interval counts toward confirmation only while the observation
+  // itself keeps pushing the CUSUM up ("fresh evidence"): the statistic
+  // drains at just the slack rate, so after a short burst it can sit
+  // above the confirm line for many quiet intervals — quiet intervals
+  // must not confirm drift.
+  const bool fresh_evidence = std::abs(z) > opts_.cusum_slack;
+  s_.above_confirm =
+      confirm_level && fresh_evidence ? s_.above_confirm + 1 : 0;
+  if (s_.above_confirm >= opts_.confirm_intervals) {
+    s_.state = DriftState::kConfirmed;
+  } else if (warn_level) {
+    s_.state = DriftState::kSuspected;
+  } else {
+    s_.state = DriftState::kNone;
+  }
+  return s_.state;
+}
+
+}  // namespace kertbn::quality

@@ -1,0 +1,136 @@
+#pragma once
+/// \file drift.hpp
+/// Deterministic online drift detection over standardized residuals — the
+/// change-point sensor of the model-quality layer (ALPINE-style continuous
+/// diagnosis; see DESIGN §11). Two classic detectors run side by side on
+/// each scored stream:
+///
+///   * two-sided CUSUM: s+ = max(0, s+ + z - k), s- = max(0, s- - z - k).
+///     The workhorse for persistent mean shifts; the slack k absorbs
+///     in-control noise so the statistic stays pinned at 0 until the
+///     residual stream picks up a bias.
+///   * two-sided Page–Hinkley: cumulative deviation of z from its running
+///     mean (±delta), alarmed on the gap to its running extremum. Catches
+///     slow ramps whose per-interval bias stays under the CUSUM slack.
+///
+/// Classification is none -> suspected -> confirmed: suspected when either
+/// statistic crosses its warn threshold, confirmed when either holds above
+/// its confirm threshold for `confirm_intervals` consecutive observations.
+/// Suspicion decays back to none when both statistics drop under warn
+/// (CUSUM self-drains in control); confirmation latches until reset().
+///
+/// Determinism contract: the detector is seedless and clockless — state is
+/// a pure fold of the input sequence with fixed-order IEEE-754 double
+/// arithmetic, independent of telemetry configuration (KERTBN_OBS on/off,
+/// sink or not). Equal inputs produce bit-identical State on any run; the
+/// scenario property suite asserts exactly that.
+
+#include <cstddef>
+
+namespace kertbn::quality {
+
+/// Drift severity for one monitored stream (or the rollup over streams).
+enum class DriftState { kNone = 0, kSuspected = 1, kConfirmed = 2 };
+
+const char* to_string(DriftState state);
+/// Inverse of to_string (returns kNone for unknown text).
+DriftState drift_state_from_string(const char* text);
+
+struct DriftOptions {
+  /// CUSUM slack k (standardized-residual units): per-observation bias
+  /// smaller than this is treated as in-control noise. Queueing residuals
+  /// are autocorrelated — congestion episodes show up as sustained mild
+  /// (|bias| < ~1) one-signed runs even in control — so the slack sits
+  /// well above the i.i.d.-textbook 0.25; a genuine model/environment
+  /// mismatch pushes calibrated residuals to the clamp (~3) and still
+  /// accumulates ~2.5 per observation.
+  double cusum_slack = 0.5;
+  /// CUSUM warn / confirm thresholds on max(s+, s-). The confirm level
+  /// sits far above warn on purpose: in-control congestion episodes in
+  /// queueing workloads run the statistic into the low teens for a few
+  /// rows before draining, while a genuine model/environment mismatch
+  /// accumulates ~2.5 per row (clamped residual minus slack) and blows
+  /// straight through. Confirmation is the trigger for an operator-
+  /// visible advisory, so it is priced for a near-zero false-positive
+  /// rate rather than minimum latency — warn remains the early signal.
+  double cusum_warn = 3.0;
+  double cusum_confirm = 18.0;
+  /// Page–Hinkley magnitude tolerance delta (same autocorrelation
+  /// reasoning as the slack: deviation from the running mean must exceed
+  /// benign congestion wander before it counts).
+  double ph_delta = 0.5;
+  /// Page–Hinkley warn / confirm thresholds (same two-tier reasoning as
+  /// the CUSUM pair).
+  double ph_warn = 6.0;
+  double ph_confirm = 24.0;
+  /// Consecutive observations at/above a confirm threshold required to
+  /// report kConfirmed. Four rides out not just single-interval flukes
+  /// but short congestion bursts (a heavy-tail job's busy period) that
+  /// spike the statistic for a couple of rows and then drain; a real
+  /// model/environment mismatch holds the statistic up for as long as
+  /// the mismatch lasts.
+  std::size_t confirm_intervals = 4;
+  /// Observations before any alarm may fire (residual basis warm-up).
+  std::size_t min_observations = 4;
+};
+
+/// One stream's detector (see file comment). Feed add() once per
+/// monitoring interval with that interval's standardized residual.
+class DriftDetector {
+ public:
+  /// Complete detector state — plain data so tests can require
+  /// bit-identical (==) state across reruns.
+  struct State {
+    std::size_t n = 0;
+    double cusum_pos = 0.0;
+    double cusum_neg = 0.0;
+    double ph_mean = 0.0;
+    double ph_cum_pos = 0.0;  ///< Sum of (z - mean - delta).
+    double ph_cum_neg = 0.0;  ///< Sum of (z - mean + delta).
+    double ph_min_pos = 0.0;  ///< Running min of ph_cum_pos.
+    double ph_max_neg = 0.0;  ///< Running max of ph_cum_neg.
+    std::size_t above_confirm = 0;
+    DriftState state = DriftState::kNone;
+
+    bool operator==(const State&) const = default;
+  };
+
+  DriftDetector() = default;
+  explicit DriftDetector(DriftOptions opts) : opts_(opts) {}
+
+  const DriftOptions& options() const { return opts_; }
+
+  /// Feeds one standardized residual; returns the stream's classification
+  /// after this observation.
+  DriftState add(double z);
+
+  DriftState state() const { return s_.state; }
+  std::size_t observations() const { return s_.n; }
+  /// max(s+, s-) — the CUSUM alarm statistic.
+  double cusum_statistic() const;
+  /// Larger of the upward/downward Page–Hinkley gap statistics.
+  double ph_statistic() const;
+
+  /// The raw fold state (for bit-identity assertions and StatusReport).
+  const State& internal_state() const { return s_; }
+
+  /// Clears everything (call when the model the residuals are scored
+  /// against is replaced).
+  void reset() { s_ = State{}; }
+
+  /// Scales the accumulated alarm statistics by \p factor in [0, 1] and
+  /// restarts the consecutive-confirmation count (unconfirmed detectors
+  /// only; a latched confirmation is untouched). Called by the monitor at
+  /// each routine recalibration so confirmation must be backed by
+  /// evidence concentrated within ~one window — a residue left by an old
+  /// congestion burst cannot slow-ride into a later confirmation. A real
+  /// mismatch re-accumulates at (clamp - slack) per observation and
+  /// confirms well before the next recalibration.
+  void decay(double factor);
+
+ private:
+  DriftOptions opts_{};
+  State s_{};
+};
+
+}  // namespace kertbn::quality

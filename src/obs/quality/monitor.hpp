@@ -1,0 +1,199 @@
+#pragma once
+/// \file monitor.hpp
+/// ModelQualityMonitor — the wiring that turns the scorer + drift
+/// detectors + status report into a live tap on the monitoring ingest
+/// path:
+///
+///   ManagementServer::add_row_observer(row -> monitor.observe_row(row))
+///
+/// Per ingested interval row the monitor (1) re-syncs with the manager's
+/// published ModelSnapshot (adopting a new version resets the per-version
+/// scores; detector folds and residual baselines persist across routine
+/// rebuilds and reset only after a confirmed-drift regime change),
+/// (2) scores the row against the snapshot's predicted marginals,
+/// (3) calibrates each stream's standardized residual against that
+/// stream's long-run in-control baseline and feeds the clamped calibrated
+/// residual to the stream's DriftDetector, and (4) on a confirmed rollup
+/// sends the manager one early-reconstruction advisory per model version
+/// (ModelManager::note_drift) plus a `kert.drift.advisory` sink event.
+/// Advisory only — the reconstruction schedule stays in charge; no
+/// controller action is taken here.
+///
+/// Why calibrate: the raw standardized residual z = (x - mean)/sd against
+/// discrete bin-summary predictions is *not* N(0, 1) in control — heavy-
+/// tailed interval means give it a version-dependent bias and inflated
+/// spread (each rebuild refits the discretizer, moving the bin edges the
+/// prediction summarizes), which a raw CUSUM misreads as drift. The
+/// monitor rides the same row feed the management server's window is
+/// built from, so it keeps the last points_per_window rows in a ring
+/// buffer; at adoption that buffer IS the new model's training window,
+/// and each stream's baseline (mean/sd of z over those rows) defines
+/// what "in control" looks like for THIS version. The detectors see
+/// clamp((z - baseline_mean)/baseline_sd) — change relative to the
+/// version's own training data, not misfit relative to an ideal model —
+/// which is why detector folds can meaningfully persist across routine
+/// rebuilds.
+///
+/// Drift classification changes emit `kert.drift.state_change` events and
+/// kert.drift.* metrics; report() snapshots the full StatusReport, and
+/// status_every_rows makes the monitor push it to the JSONL sink
+/// periodically.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "durable/recovery.hpp"
+#include "kert/model_manager.hpp"
+#include "obs/quality/drift.hpp"
+#include "obs/quality/scorer.hpp"
+#include "obs/quality/status.hpp"
+
+namespace kertbn::quality {
+
+/// Mirrors a durable recovery report into the status-surface shape.
+RecoveryStatus recovery_status_from(const durable::RecoveryReport& report);
+
+/// See file comment.
+class ModelQualityMonitor {
+ public:
+  struct Config {
+    ScoreOptions score{};
+    DriftOptions drift{};
+    /// Simulated-time source stamping advisories and reports (e.g. the
+    /// testbed clock). Defaults to 0.0 when unset.
+    std::function<double()> clock;
+    /// Push a StatusReport to the event sink every this many scored rows
+    /// (0 = only on demand via emit_status()).
+    std::size_t status_every_rows = 0;
+    /// Transitions included in StatusReport::recent_transitions.
+    std::size_t recent_transitions = 8;
+    /// Buffered window rows a version's baseline must be computed from
+    /// before the detectors receive calibrated residuals. Detection also
+    /// waits for the window mirror to fill once (cold start: a part-full
+    /// window still contains the system's warm-up transient, and a model
+    /// built from it systematically underpredicts the steady state —
+    /// which a change-point detector would misread as drift).
+    std::size_t baseline_min_obs = 8;
+    /// Floor on the baseline stddev used for calibration — keeps a
+    /// near-constant in-control stream (e.g. mostly carried-forward
+    /// values) from turning tiny wiggles into huge calibrated residuals.
+    double baseline_min_stddev = 0.5;
+    /// Calibrated residuals are clamped to +/- this before the detectors,
+    /// so one heavy-tail spike cannot fake a sustained shift.
+    double residual_clamp = 3.0;
+    /// Factor applied to every unconfirmed detector's accumulated alarm
+    /// statistics at each routine adoption (DriftDetector::decay): old
+    /// burst residue fades across recalibrations instead of slow-riding
+    /// into a later confirmation.
+    double adoption_decay = 0.5;
+    /// Streams whose window rows are mostly carried-forward values (a
+    /// rarely-taken choice branch leaves its service unobserved most
+    /// intervals, and the server repeats the last mean to keep the row
+    /// cadence) are disarmed for drift detection: their predictions are
+    /// fit to a near-constant column, so the occasional real invocation
+    /// lands tens of "sigmas" out and fakes a shift. Detected as the
+    /// fraction of consecutive exact-duplicate values in the window.
+    double max_carry_fraction = 0.5;
+  };
+
+  /// \p manager must outlive the monitor; its workflow's service count
+  /// fixes the row shape.
+  ModelQualityMonitor(core::ModelManager& manager, Config config);
+
+  const Config& config() const { return config_; }
+
+  /// The ingest tap — wire to ManagementServer::add_row_observer. The row
+  /// is the server's data-point layout: service means then D.
+  void observe_row(std::span<const double> row);
+
+  /// Worst per-stream drift classification.
+  DriftState overall_drift() const;
+  /// Stream detector (response stream = n_services).
+  const DriftDetector& detector(std::size_t stream) const;
+  const PredictiveScorer& scorer() const { return scorer_; }
+
+  /// Rows observed while no scorable snapshot was published.
+  std::size_t rows_unscored() const { return rows_unscored_; }
+  /// Early-reconstruction advisories sent to the manager.
+  std::size_t advisories_sent() const { return advisories_sent_; }
+
+  /// Attaches crash-recovery provenance to subsequent reports.
+  void set_recovery(const durable::RecoveryReport& report) {
+    recovery_ = recovery_status_from(report);
+  }
+
+  /// Snapshots the full operational status (see status.hpp).
+  StatusReport report() const;
+
+  /// Pushes report() to the event sink as a `kert.quality.status` event
+  /// whose "report" tag holds the JSON text.
+  void emit_status() const;
+
+  /// In-control reference for one stream under the adopted version: the
+  /// mean/stddev of the raw standardized residual over the version's own
+  /// training window (see file comment).
+  struct Baseline {
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;  ///< Window rows it was computed from.
+    /// Fraction of consecutive exact-duplicate window values (the
+    /// carry-forward signature; see Config::max_carry_fraction).
+    double carry_fraction = 0.0;
+    /// Whether this stream's detector receives residuals this version.
+    bool armed = false;
+  };
+
+  const Baseline& baseline(std::size_t stream) const {
+    return baselines_[stream];
+  }
+
+ private:
+  /// Adopts the manager's newest published snapshot when its version
+  /// differs from the scored one; recalibrates the baselines from the
+  /// buffered window, resets the per-version scores, and — only after a
+  /// confirmed-drift regime change — the detectors too.
+  void sync_snapshot();
+  /// Recomputes every stream's Baseline from the ring-buffered rows
+  /// against the freshly adopted predictions.
+  void calibrate_baselines();
+  /// Appends a row to the sliding window mirror.
+  void remember_row(std::span<const double> row);
+  std::string stream_name(std::size_t stream) const;
+
+  core::ModelManager& manager_;
+  Config config_;
+  std::size_t n_;  ///< Service count (streams() == n_ + 1).
+  PredictiveScorer scorer_;
+  std::vector<DriftDetector> detectors_;
+  std::vector<Baseline> baselines_;
+  /// Ring buffer mirroring the management server's sliding window (the
+  /// monitor rides the same row feed): the last points_per_window rows.
+  std::vector<std::vector<double>> recent_rows_;
+  std::size_t recent_cap_ = 0;
+  std::size_t recent_pos_ = 0;
+  /// Whether the adopted version's baselines were computed from a full
+  /// window mirror — detection stays disarmed until then (see Config).
+  bool baseline_window_full_ = false;
+  /// Cached overall_drift() rollup, refreshed only when a detector
+  /// transitions or the detectors are reset/decayed at adoption — the
+  /// per-row path reads this instead of rescanning every stream.
+  DriftState overall_cached_ = DriftState::kNone;
+  std::vector<double> z_buf_;
+  std::size_t rows_unscored_ = 0;
+  std::size_t advisories_sent_ = 0;
+  /// Model version the last advisory was sent for (one per version).
+  std::size_t advisory_version_ = 0;
+  bool advisory_sent_for_version_ = false;
+  std::size_t unsupported_version_ = 0;  ///< Last version adopt() rejected.
+  bool has_unsupported_version_ = false;
+  /// SnapshotSlot::published_count() at the last sync_snapshot that did
+  /// real work — the ingest-path fast gate: when nothing new has been
+  /// published, observe_row skips the slot's pin/copy entirely (one
+  /// relaxed load instead of two seq_cst RMWs plus a shared_ptr copy per
+  /// row).
+  std::size_t last_published_count_ = static_cast<std::size_t>(-1);
+  std::optional<RecoveryStatus> recovery_;
+};
+
+}  // namespace kertbn::quality

@@ -1,0 +1,150 @@
+#pragma once
+/// \file scorer.hpp
+/// Streaming predict-vs-measure scoring of the served model (DBSeer-style
+/// validation under live load; DESIGN §11). Each monitoring interval the
+/// scorer compares the currently-published ModelSnapshot's predicted
+/// marginal distributions — per service and for the end-to-end response D —
+/// against the interval's measured means:
+///
+///   * absolute error |x - E[X]| (seconds),
+///   * standardized residual z = (x - E[X]) / sd[X] — the drift detector's
+///     input stream,
+///   * log-score: log of the predicted mass of the measured value's bin
+///     (discrete snapshots) or the predicted Gaussian log-density
+///     (continuous linear-Gaussian snapshots),
+///   * empirical coverage of the predicted [band_lo, band_hi] quantile
+///     band — calibrated models cover ~(band_hi - band_lo) of
+///     measurements; drifted ones fall out of band.
+///
+/// Supported snapshots: discrete models with a warm prior tree (the
+/// production serving path — marginals are mutation-free reads), and
+/// continuous all-linear-Gaussian models via the exact joint. Anything
+/// else (e.g. a deterministic-max response CPD) is reported unsupported
+/// and left unscored rather than approximated.
+///
+/// Determinism: scoring is a pure function of (snapshot, rows) — seedless,
+/// clockless, independent of telemetry configuration. Registry metrics are
+/// emitted as a side channel and never feed back into scores.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kert/query_engine.hpp"
+
+namespace kertbn::quality {
+
+struct ScoreOptions {
+  /// Predicted quantile band for coverage accounting (defaults: 90% band).
+  double band_lo = 0.05;
+  double band_hi = 0.95;
+  /// Floor on predicted bin mass before taking the log (discrete).
+  double min_prob = 1e-12;
+  /// Floor on the predicted stddev when standardizing residuals.
+  double min_stddev = 1e-9;
+};
+
+/// Deterministic accumulators for one scored stream (a service column or
+/// the end-to-end response).
+struct StreamScore {
+  std::size_t count = 0;
+  double abs_err_sum = 0.0;
+  double z_sum = 0.0;
+  double z_sq_sum = 0.0;
+  double log_score_sum = 0.0;
+  std::size_t covered = 0;  ///< Measurements inside the predicted band.
+
+  double mean_abs_err() const {
+    return count == 0 ? 0.0 : abs_err_sum / static_cast<double>(count);
+  }
+  double mean_z() const {
+    return count == 0 ? 0.0 : z_sum / static_cast<double>(count);
+  }
+  double rms_z() const;
+  double mean_log_score() const {
+    return count == 0 ? 0.0 : log_score_sum / static_cast<double>(count);
+  }
+  double coverage() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(count);
+  }
+};
+
+/// What the model predicts for one column, reduced to the pieces scoring
+/// needs (cached at snapshot adoption; the snapshot itself is not retained).
+struct ColumnPrediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double band_lo_value = 0.0;  ///< Lower edge of the predicted band.
+  double band_hi_value = 0.0;  ///< Upper edge of the predicted band.
+};
+
+/// Standard normal quantile (Acklam's rational approximation, |err| <
+/// 1.2e-9) — deterministic, used for continuous coverage bands.
+double normal_quantile(double p);
+
+/// See file comment. One scorer per managed model; columns are the
+/// n_services service streams plus the response stream at index
+/// n_services.
+class PredictiveScorer {
+ public:
+  explicit PredictiveScorer(std::size_t n_services, ScoreOptions opts = {});
+
+  const ScoreOptions& options() const { return opts_; }
+
+  /// Caches per-column predictions from \p snapshot. Returns false (and
+  /// leaves the scorer not ready) when the snapshot's shape is
+  /// unsupported or its column count does not match n_services + 1.
+  bool adopt(const core::ModelSnapshot& snapshot);
+
+  bool ready() const { return ready_; }
+  std::size_t snapshot_version() const { return version_; }
+  std::size_t streams() const { return n_ + 1; }
+
+  /// Scores one monitoring row (n_services service means, then D) against
+  /// the adopted snapshot, accumulating every stream's score and writing
+  /// each stream's standardized residual to \p z_out (size streams()).
+  /// Returns false without touching anything when not ready.
+  bool score_row(std::span<const double> row, std::span<double> z_out);
+
+  /// Accumulated scores of stream \p column (response = n_services).
+  const StreamScore& stream(std::size_t column) const;
+  /// Adopted prediction of stream \p column (valid while ready()).
+  const ColumnPrediction& prediction(std::size_t column) const;
+
+  /// Rows scored since the last reset (== every stream's count).
+  std::size_t rows_scored() const { return rows_scored_; }
+
+  /// Clears accumulated scores but keeps the adopted predictions.
+  void reset_scores();
+
+ private:
+  /// Full per-column scoring state (prediction + discrete bin structure).
+  struct Column {
+    ColumnPrediction pred;
+    bool discrete = false;
+    /// Hot-path constants fixed at adopt: 1/max(stddev, min_stddev) (the
+    /// ingest path scores every row, so the standardized residual is a
+    /// multiply, not a divide) and the continuous log-score constant
+    /// -log(sqrt(2 pi)) - log(safe_sd).
+    double inv_sd = 1.0;
+    double log_norm = 0.0;
+    /// Discrete: predicted log-mass per bin (floored at log(min_prob))
+    /// and the bin edges used to locate a measured value.
+    std::vector<double> bin_log_mass;
+    std::vector<double> bin_edges;  ///< Interior edges, ascending.
+  };
+
+  std::size_t bin_of(const Column& c, double x) const;
+
+  std::size_t n_;
+  ScoreOptions opts_;
+  bool ready_ = false;
+  std::size_t version_ = 0;
+  std::vector<Column> columns_;
+  std::vector<StreamScore> scores_;
+  std::size_t rows_scored_ = 0;
+};
+
+}  // namespace kertbn::quality

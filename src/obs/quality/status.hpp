@@ -1,0 +1,114 @@
+#pragma once
+/// \file status.hpp
+/// The operational status surface of the model-quality layer: one
+/// StatusReport snapshots everything an operator (or an autonomic
+/// controller, later) needs to judge the served model — health history and
+/// staleness, per-stream predict-vs-measure scores, drift classification,
+/// crash-recovery provenance, and query-serving latency percentiles.
+///
+/// The report is a plain struct with a lossless JSON round trip:
+/// to_json() emits doubles at %.17g, and status_report_from_json() parses
+/// that text back to an equal report (the tests assert equality). The
+/// periodic JSONL feed and the on-demand dump share this one format.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kertbn::quality {
+
+/// One scored stream (a service column or the end-to-end response) in the
+/// report: accumulated scores, drift classification, and what the model
+/// predicts for it.
+struct StreamStatus {
+  std::string name;  ///< "s0".."s{n-1}" or "response".
+  // Scores (see scorer.hpp).
+  std::uint64_t count = 0;
+  double mean_abs_err = 0.0;
+  double mean_z = 0.0;
+  double rms_z = 0.0;
+  double mean_log_score = 0.0;
+  double coverage = 0.0;
+  // Drift (see drift.hpp).
+  std::string drift;  ///< none / suspected / confirmed.
+  double cusum = 0.0;
+  double page_hinkley = 0.0;
+  // The adopted prediction being scored against.
+  double predicted_mean = 0.0;
+  double predicted_stddev = 0.0;
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+
+  bool operator==(const StreamStatus&) const = default;
+};
+
+/// One ModelHealth transition, mirrored from kert's HealthTransition.
+struct TransitionStatus {
+  double at = 0.0;
+  std::string from;
+  std::string to;
+  std::string reason;
+
+  bool operator==(const TransitionStatus&) const = default;
+};
+
+/// Crash-recovery provenance, mirrored from durable's RecoveryReport.
+struct RecoveryStatus {
+  bool checkpoint_loaded = false;
+  bool server_restored = false;
+  bool model_restored = false;
+  std::uint64_t checkpoint_seq = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t skipped_crc = 0;
+  std::uint64_t torn_tails = 0;
+  std::uint64_t replayed_ingests = 0;
+  std::uint64_t replayed_misses = 0;
+  std::uint64_t malformed_payloads = 0;
+
+  bool operator==(const RecoveryStatus&) const = default;
+};
+
+/// See file comment.
+struct StatusReport {
+  double generated_at = 0.0;  ///< Simulated time of the snapshot.
+
+  // Model lifecycle (from ModelManager).
+  std::uint64_t model_version = 0;
+  std::string model_health;  ///< to_string(ModelHealth).
+  std::uint64_t health_transitions = 0;  ///< Total so far.
+  std::vector<TransitionStatus> recent_transitions;  ///< Newest last.
+  std::uint64_t failed_reconstructions = 0;
+  std::uint64_t stale_skips = 0;
+  std::string last_failure_reason;
+  std::uint64_t drift_notices = 0;
+  std::string last_drift_reason;
+
+  // Model-quality rollup.
+  std::string overall_drift;  ///< Worst per-stream classification.
+  bool scorer_ready = false;
+  std::uint64_t scored_snapshot_version = 0;
+  std::uint64_t rows_scored = 0;
+  std::uint64_t rows_unscored = 0;  ///< Rows seen with no scorable model.
+  std::vector<StreamStatus> streams;
+
+  // Durability provenance (absent when the process never recovered).
+  std::optional<RecoveryStatus> recovery;
+
+  // Query serving (from the metrics registry).
+  std::uint64_t query_count = 0;
+  std::uint64_t query_latency_p50_ns = 0;
+  std::uint64_t query_latency_p95_ns = 0;
+  std::uint64_t query_latency_p99_ns = 0;
+
+  bool operator==(const StatusReport&) const = default;
+
+  /// Single-line JSON (safe to append to a JSONL feed).
+  std::string to_json() const;
+};
+
+/// Parses to_json() output back to an equal report; nullopt on malformed
+/// input (never aborts — status feeds may be torn by a crash).
+std::optional<StatusReport> status_report_from_json(const std::string& text);
+
+}  // namespace kertbn::quality

@@ -81,6 +81,10 @@ void emit_span(const SpanEvent& event) {
   if (const auto s = sink()) s->on_span(event);
 }
 
+void emit_event(const LogEvent& event) {
+  if (const auto s = sink()) s->on_event(event);
+}
+
 void publish_metrics() {
   if (const auto s = sink()) {
     s->on_metrics(MetricsRegistry::instance().snapshot(), now_ns());
@@ -94,7 +98,12 @@ void flush_sink() {
 bool init_from_env() {
   const char* path = std::getenv("KERTBN_OBS_JSONL");
   if (path == nullptr || *path == '\0') return false;
-  set_sink(std::make_shared<FileSink>(path));
+  FileSink::Options options;
+  if (const char* cap = std::getenv("KERTBN_OBS_JSONL_MAX_BYTES")) {
+    const long long v = std::atoll(cap);
+    if (v > 0) options.max_bytes = static_cast<std::size_t>(v);
+  }
+  set_sink(std::make_shared<FileSink>(path, options));
   return true;
 }
 
@@ -123,7 +132,10 @@ std::string json_escape(std::string_view s) {
 
 // --------------------------------------------------------------- FileSink
 
-FileSink::FileSink(const std::string& path) : path_(path) {
+FileSink::FileSink(const std::string& path) : FileSink(path, Options{}) {}
+
+FileSink::FileSink(const std::string& path, Options options)
+    : path_(path), options_(options) {
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     throw std::runtime_error("obs::FileSink: cannot open " + path);
@@ -132,6 +144,52 @@ FileSink::FileSink(const std::string& path) : path_(path) {
 
 FileSink::~FileSink() {
   if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t FileSink::rotations() const {
+  std::lock_guard lock(mutex_);
+  return rotations_;
+}
+
+std::size_t FileSink::dropped_events() const {
+  std::lock_guard lock(mutex_);
+  return dropped_events_;
+}
+
+void FileSink::write_line(const std::string& line) {
+  std::lock_guard lock(mutex_);
+  if (options_.max_bytes > 0 &&
+      bytes_written_ + line.size() > options_.max_bytes) {
+    // Rotate: the current file moves to <path>.1 (replacing any older one)
+    // and a fresh file takes its place. On failure the sink stays closed
+    // and retries on the next write — the cap is hard, so the event is
+    // dropped rather than letting a soak fill the disk.
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    const std::string rotated = path_ + ".1";
+    std::remove(rotated.c_str());
+    if (std::rename(path_.c_str(), rotated.c_str()) == 0) {
+      file_ = std::fopen(path_.c_str(), "w");
+    }
+    if (file_ != nullptr) {
+      bytes_written_ = 0;
+      ++rotations_;
+    }
+  }
+  const bool over_cap =
+      options_.max_bytes > 0 &&
+      bytes_written_ + line.size() > options_.max_bytes;
+  if (file_ == nullptr || over_cap) {
+    ++dropped_events_;
+    static Counter& dropped =
+        MetricsRegistry::instance().counter("kert.obs.sink_dropped_events");
+    dropped.add(1);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  bytes_written_ += line.size();
 }
 
 void FileSink::on_span(const SpanEvent& event) {
@@ -163,8 +221,29 @@ void FileSink::on_span(const SpanEvent& event) {
     line += '}';
   }
   line += "}\n";
-  std::lock_guard lock(mutex_);
-  std::fwrite(line.data(), 1, line.size(), file_);
+  write_line(line);
+}
+
+void FileSink::on_event(const LogEvent& event) {
+  std::string line = "{\"type\":\"event\",\"name\":\"";
+  line += json_escape(event.name);
+  line += "\",\"t_ns\":";
+  append_number(line, event.t_ns);
+  if (!event.tags.empty()) {
+    line += ",\"tags\":{";
+    bool first = true;
+    for (const SpanTag& tag : event.tags) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += json_escape(tag.key);
+      line += "\":";
+      append_tag_value(line, tag);
+    }
+    line += '}';
+  }
+  line += "}\n";
+  write_line(line);
 }
 
 void FileSink::on_metrics(const MetricsSnapshot& snapshot,
@@ -216,13 +295,12 @@ void FileSink::on_metrics(const MetricsSnapshot& snapshot,
     line += "]}";
   }
   line += "}}\n";
-  std::lock_guard lock(mutex_);
-  std::fwrite(line.data(), 1, line.size(), file_);
+  write_line(line);
 }
 
 void FileSink::flush() {
   std::lock_guard lock(mutex_);
-  std::fflush(file_);
+  if (file_ != nullptr) std::fflush(file_);
 }
 
 }  // namespace kertbn::obs

@@ -43,6 +43,16 @@ struct SpanEvent {
   std::vector<SpanTag> tags;
 };
 
+/// A discrete structured occurrence (drift confirmed, early-reconstruction
+/// advisory, periodic status dump, ...) — something that happened at one
+/// instant, as opposed to a span's measured duration. Serialized by the
+/// FileSink as {"type":"event","name":...,"t_ns":...,"tags":{...}}.
+struct LogEvent {
+  std::string name;
+  std::uint64_t t_ns = 0;  ///< now_ns() timebase.
+  std::vector<SpanTag> tags;
+};
+
 /// Receiver for telemetry events. Implementations must be thread-safe:
 /// spans close concurrently on pool workers.
 class EventSink {
@@ -51,28 +61,59 @@ class EventSink {
   virtual void on_span(const SpanEvent& event) = 0;
   virtual void on_metrics(const MetricsSnapshot& snapshot,
                           std::uint64_t t_ns) = 0;
+  /// Structured instant events; default ignores them so sinks that predate
+  /// LogEvent keep compiling.
+  virtual void on_event(const LogEvent& event) { (void)event; }
   virtual void flush() {}
 };
 
 /// JSONL file sink: one event object per line, append-mode, mutex-guarded.
+///
+/// The sink can be bounded: with max_bytes > 0 a write that would push the
+/// current file past the cap first rotates it to `<path>.1` (replacing any
+/// previous `<path>.1`) and starts a fresh file, so a long soak holds at
+/// most ~2·max_bytes of telemetry on disk. When rotation or reopening
+/// fails (permissions changed, directory vanished) the event is dropped
+/// and counted in the `kert.obs.sink_dropped_events` counter — telemetry
+/// must never take the serving process down with it.
 class FileSink : public EventSink {
  public:
+  struct Options {
+    /// 0 = unbounded (the default). Otherwise the rotation cap in bytes.
+    std::size_t max_bytes = 0;
+  };
+
   /// Opens \p path for writing (truncates). Throws std::runtime_error on
   /// failure so misconfigured telemetry is loud, not silent.
   explicit FileSink(const std::string& path);
+  FileSink(const std::string& path, Options options);
   ~FileSink() override;
 
   void on_span(const SpanEvent& event) override;
   void on_metrics(const MetricsSnapshot& snapshot,
                   std::uint64_t t_ns) override;
+  void on_event(const LogEvent& event) override;
   void flush() override;
 
   const std::string& path() const { return path_; }
+  /// Completed rotations (current file reached max_bytes and moved aside).
+  std::size_t rotations() const;
+  /// Events dropped because rotation/reopen failed (also counted in the
+  /// kert.obs.sink_dropped_events metric).
+  std::size_t dropped_events() const;
 
  private:
+  /// Appends one serialized line, rotating first when it would overflow
+  /// the cap. Drops (and counts) the line when no file can be written.
+  void write_line(const std::string& line);
+
   std::string path_;
-  std::mutex mutex_;
+  Options options_;
+  mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
+  std::size_t bytes_written_ = 0;  // current file, guarded by mutex_
+  std::size_t rotations_ = 0;
+  std::size_t dropped_events_ = 0;
 };
 
 /// Steady-clock nanoseconds since process start (the timebase of every
@@ -96,6 +137,9 @@ bool has_sink();
 /// Pushes the given span event to the sink, if any.
 void emit_span(const SpanEvent& event);
 
+/// Pushes the given structured event to the sink, if any.
+void emit_event(const LogEvent& event);
+
 /// Snapshots the global registry and pushes it to the sink, if any.
 void publish_metrics();
 
@@ -103,7 +147,8 @@ void publish_metrics();
 void flush_sink();
 
 /// Installs a FileSink at $KERTBN_OBS_JSONL when the variable is set and
-/// non-empty. Returns true when a sink was installed.
+/// non-empty; $KERTBN_OBS_JSONL_MAX_BYTES (when set and positive) bounds
+/// it with size-capped rotation. Returns true when a sink was installed.
 bool init_from_env();
 
 /// Escapes \p s for embedding in a JSON string literal (quotes excluded).

@@ -218,6 +218,7 @@ bool ManagementServer::ingest_interval(
     m.window_staleness.set(0.0);
   }
   if (observer_) observer_(row);
+  for (const RowObserver& extra : extra_observers_) extra(row);
   return true;
 }
 

@@ -209,6 +209,14 @@ class ManagementServer {
     observer_ = std::move(observer);
   }
 
+  /// Registers an additional row observer (called after the primary one,
+  /// in registration order). set_row_observer keeps its replace semantics
+  /// for the model layer; extra observers are for passive listeners — the
+  /// model-quality scorer taps the ingest path here.
+  void add_row_observer(RowObserver observer) {
+    extra_observers_.push_back(std::move(observer));
+  }
+
   void set_ingest_log(IngestLog log) { ingest_log_ = std::move(log); }
   void set_missed_log(MissedLog log) { missed_log_ = std::move(log); }
 
@@ -284,6 +292,7 @@ class ManagementServer {
   std::size_t consecutive_missed_intervals_ = 0;
   std::vector<std::optional<double>> last_seen_;
   RowObserver observer_;
+  std::vector<RowObserver> extra_observers_;
   IngestLog ingest_log_;
   MissedLog missed_log_;
 };

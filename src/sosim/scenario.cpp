@@ -64,6 +64,8 @@ ScenarioFamily::ScenarioFamily(std::uint64_t family_seed,
   opts_.workflow.validate();
   KERTBN_EXPECTS(opts_.heavy_tail_fraction >= 0.0 &&
                  opts_.heavy_tail_fraction <= 1.0);
+  KERTBN_EXPECTS(opts_.pareto_alpha_min > 1.0 &&
+                 opts_.pareto_alpha_min <= 3.0);
   KERTBN_EXPECTS(opts_.choice_drift >= 0.0 && opts_.choice_drift <= 1.0);
   KERTBN_EXPECTS(opts_.diurnal_amplitude_max >= 0.0 &&
                  opts_.diurnal_amplitude_max < 1.0);
@@ -142,7 +144,7 @@ Scenario ScenarioFamily::make(std::size_t index) const {
         m.noise_sigma *= rng.uniform(1.5, 3.0);  // fatter right tail
       } else {
         m.demand = DemandDistribution::kPareto;
-        m.tail_alpha = rng.uniform(1.6, 3.0);
+        m.tail_alpha = rng.uniform(opts_.pareto_alpha_min, 3.0);
       }
     }
   }

@@ -65,6 +65,12 @@ struct ScenarioFamilyOptions {
   /// Fraction of services whose base demand is heavy-tailed (split evenly
   /// between lognormal and Pareto draws).
   double heavy_tail_fraction = 0.35;
+  /// Lower bound of the Pareto tail-index draw (upper bound is 3.0). The
+  /// default admits tail indices below 2 — infinite service-time variance,
+  /// the hardest regime for the soak suites. Suites that need stationary
+  /// in-control behavior certifiable from finite samples (the drift
+  /// acceptance tests) raise this above 2.
+  double pareto_alpha_min = 1.6;
   /// How far (0..1) choice probabilities drift toward the perturbed target
   /// over a scenario's lifetime (see Scenario::workflow_at).
   double choice_drift = 0.4;

@@ -1,0 +1,93 @@
+/// Prometheus text exposition: name sanitization, per-type sections, and
+/// summary quantiles sourced from HistogramStats::quantile.
+
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace kertbn::obs {
+namespace {
+
+TEST(PrometheusName, PrefixesAndSanitizes) {
+  EXPECT_EQ(prometheus_name("kert.query.count"), "kertbn_kert_query_count");
+  EXPECT_EQ(prometheus_name("span.kert.reconstruct"),
+            "kertbn_span_kert_reconstruct");
+  EXPECT_EQ(prometheus_name("already_ok_123"), "kertbn_already_ok_123");
+  EXPECT_EQ(prometheus_name("weird-name/with:chars"),
+            "kertbn_weird_name_with_chars");
+}
+
+TEST(PrometheusText, CountersAndGauges) {
+  MetricsSnapshot snap;
+  snap.counters["kert.query.count"] = 42;
+  snap.gauges["kert.model.health"] = 1.5;
+
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE kertbn_kert_query_count counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kertbn_kert_query_count 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kertbn_kert_model_health gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kertbn_kert_model_health 1.5\n"), std::string::npos);
+}
+
+TEST(PrometheusText, HistogramSummaryQuantilesMatchStats) {
+  Histogram h("test.latency_ns");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  MetricsSnapshot snap;
+  snap.histograms["test.latency_ns"] = h.stats();
+  const HistogramStats& stats = snap.histograms["test.latency_ns"];
+
+  const std::string text = to_prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE kertbn_test_latency_ns summary\n"),
+            std::string::npos);
+  const auto line = [&](const std::string& l) {
+    EXPECT_NE(text.find(l), std::string::npos) << "missing: " << l << "\n"
+                                               << text;
+  };
+  line("kertbn_test_latency_ns{quantile=\"0.5\"} " +
+       std::to_string(stats.quantile(0.5)));
+  line("kertbn_test_latency_ns{quantile=\"0.95\"} " +
+       std::to_string(stats.quantile(0.95)));
+  line("kertbn_test_latency_ns{quantile=\"0.99\"} " +
+       std::to_string(stats.quantile(0.99)));
+  line("kertbn_test_latency_ns_sum " + std::to_string(stats.sum));
+  line("kertbn_test_latency_ns_count 1000");
+  line("kertbn_test_latency_ns_max 1000");
+}
+
+TEST(PrometheusText, EmptySnapshotIsEmptyText) {
+  EXPECT_TRUE(to_prometheus_text(MetricsSnapshot{}).empty());
+}
+
+/// The exposition of the live registry parses as one line per sample or
+/// type comment — no stray blank lines or unprefixed names.
+TEST(PrometheusText, LiveRegistryLinesAreWellFormed) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("prom.live.counter").add(3);
+  reg.gauge("prom.live.gauge").set(2.0);
+  reg.histogram("prom.live.hist").record(7);
+
+  const std::string text = to_prometheus_text(reg.snapshot());
+  std::size_t start = 0;
+  std::size_t lines = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string l = text.substr(start, end - start);
+    ASSERT_FALSE(l.empty());
+    EXPECT_TRUE(l.rfind("# TYPE kertbn_", 0) == 0 ||
+                l.rfind("kertbn_", 0) == 0)
+        << l;
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+}  // namespace
+}  // namespace kertbn::obs

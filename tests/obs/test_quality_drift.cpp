@@ -1,0 +1,152 @@
+/// quality::DriftDetector unit contract: bit-identical deterministic
+/// folds (independent of telemetry state), the none -> suspected ->
+/// confirmed classification ladder, confirmation latching, suspicion
+/// decay, and Page-Hinkley's slow-ramp coverage.
+
+#include "obs/quality/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace kertbn::quality {
+namespace {
+
+/// Deterministic pseudo-residual stream (no RNG: pure function of i).
+std::vector<double> stationary_stream(std::size_t n) {
+  std::vector<double> z;
+  z.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z.push_back(0.4 * std::sin(static_cast<double>(i) * 1.7) +
+                0.2 * std::cos(static_cast<double>(i) * 0.9));
+  }
+  return z;
+}
+
+TEST(DriftDetector, StationaryStreamStaysNone) {
+  DriftDetector d;
+  for (const double z : stationary_stream(500)) {
+    EXPECT_EQ(d.add(z), DriftState::kNone);
+  }
+  EXPECT_EQ(d.state(), DriftState::kNone);
+  EXPECT_EQ(d.observations(), 500u);
+}
+
+TEST(DriftDetector, BitIdenticalStateAcrossRerunsAndTelemetryToggle) {
+  const std::vector<double> stream = stationary_stream(300);
+
+  DriftDetector a;
+  for (const double z : stream) a.add(z);
+
+  // Second run with telemetry disabled: the fold must not depend on the
+  // observability configuration in any way.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  DriftDetector b;
+  for (const double z : stream) b.add(z);
+  obs::set_enabled(was_enabled);
+
+  DriftDetector c;
+  for (const double z : stream) c.add(z);
+
+  EXPECT_TRUE(a.internal_state() == b.internal_state());
+  EXPECT_TRUE(a.internal_state() == c.internal_state());
+  // Spot-check the raw doubles are genuinely bit-equal.
+  EXPECT_EQ(a.internal_state().ph_mean, b.internal_state().ph_mean);
+  EXPECT_EQ(a.internal_state().cusum_pos, b.internal_state().cusum_pos);
+}
+
+TEST(DriftDetector, NoAlarmBeforeMinObservations) {
+  DriftOptions opts;
+  opts.min_observations = 4;
+  DriftDetector d(opts);
+  EXPECT_EQ(d.add(10.0), DriftState::kNone);
+  EXPECT_EQ(d.add(10.0), DriftState::kNone);
+  EXPECT_EQ(d.add(10.0), DriftState::kNone);
+  // Observation 4 reaches min_observations; the statistic is far past
+  // confirm level but needs confirm_intervals consecutive hits.
+  EXPECT_NE(d.add(10.0), DriftState::kNone);
+}
+
+TEST(DriftDetector, PersistentShiftConfirmsAndLatches) {
+  DriftDetector d;
+  DriftState last = DriftState::kNone;
+  std::size_t confirmed_at = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    last = d.add(1.5);
+    if (last == DriftState::kConfirmed && confirmed_at == 0) {
+      confirmed_at = i + 1;
+    }
+  }
+  EXPECT_EQ(last, DriftState::kConfirmed);
+  ASSERT_GT(confirmed_at, 0u);
+  // Accumulation ~1.0/row (1.5 minus slack) must cross cusum_confirm
+  // (18) and then hold for confirm_intervals (4) consecutive rows.
+  EXPECT_LE(confirmed_at, 25u) << "shift of 1.5 sd should confirm quickly";
+
+  // Latches: returning to in-control residuals does not clear it.
+  for (std::size_t i = 0; i < 100; ++i) d.add(0.0);
+  EXPECT_EQ(d.state(), DriftState::kConfirmed);
+
+  // reset() clears everything.
+  d.reset();
+  EXPECT_EQ(d.state(), DriftState::kNone);
+  EXPECT_EQ(d.observations(), 0u);
+  EXPECT_TRUE(d.internal_state() == DriftDetector::State{});
+}
+
+TEST(DriftDetector, DownwardShiftDetectedSymmetrically) {
+  DriftDetector up;
+  DriftDetector down;
+  for (std::size_t i = 0; i < 40; ++i) {
+    up.add(1.5);
+    down.add(-1.5);
+  }
+  EXPECT_EQ(up.state(), DriftState::kConfirmed);
+  EXPECT_EQ(down.state(), DriftState::kConfirmed);
+  EXPECT_EQ(up.cusum_statistic(), down.cusum_statistic());
+}
+
+TEST(DriftDetector, SuspicionDecaysWhenShiftStops) {
+  DriftOptions opts;
+  opts.cusum_warn = 1.0;
+  opts.cusum_confirm = 100.0;  // keep it from confirming
+  opts.ph_warn = 100.0;
+  opts.ph_confirm = 200.0;
+  DriftDetector d(opts);
+  for (std::size_t i = 0; i < 8; ++i) d.add(1.0);
+  EXPECT_EQ(d.state(), DriftState::kSuspected);
+  // CUSUM drains at the slack rate once the stream is back in control.
+  for (std::size_t i = 0; i < 30; ++i) d.add(0.0);
+  EXPECT_EQ(d.state(), DriftState::kNone);
+}
+
+TEST(DriftDetector, PageHinkleyCatchesSlowRampUnderCusumSlack) {
+  DriftOptions opts;
+  opts.cusum_slack = 0.25;
+  opts.cusum_warn = 1e9;  // disable CUSUM: isolate the PH track
+  opts.cusum_confirm = 1e9;
+  opts.ph_delta = 0.05;  // i.i.d.-noise tolerance for the synthetic ramp
+  DriftDetector d(opts);
+  // Per-interval bias 0.15 stays under the CUSUM slack forever; the
+  // cumulative deviation from the running mean still grows.
+  DriftState last = DriftState::kNone;
+  for (std::size_t i = 0; i < 400 && last != DriftState::kConfirmed; ++i) {
+    last = d.add(0.15 * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_EQ(last, DriftState::kConfirmed);
+}
+
+TEST(DriftDetector, StateStringsRoundTrip) {
+  for (const DriftState s : {DriftState::kNone, DriftState::kSuspected,
+                             DriftState::kConfirmed}) {
+    EXPECT_EQ(drift_state_from_string(to_string(s)), s);
+  }
+  EXPECT_EQ(drift_state_from_string("garbage"), DriftState::kNone);
+}
+
+}  // namespace
+}  // namespace kertbn::quality

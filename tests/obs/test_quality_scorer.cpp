@@ -1,0 +1,212 @@
+/// PredictiveScorer unit contract: discrete snapshots score through the
+/// warm prior tree's marginals, all-linear-Gaussian snapshots through the
+/// exact joint, other shapes are reported unsupported; accumulated scores
+/// are deterministic and telemetry-independent.
+
+#include "obs/quality/scorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bn/linear_gaussian_cpd.hpp"
+#include "bn/network.hpp"
+#include "bn/variable.hpp"
+#include "common/rng.hpp"
+#include "kert/model_manager.hpp"
+#include "obs/metrics.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::quality {
+namespace {
+
+/// A discrete eDiaMoND snapshot: model built by the manager from
+/// synthetic data, published through make_model_snapshot (so it carries
+/// the warm prior tree and the discretizer).
+std::shared_ptr<const core::ModelSnapshot> discrete_snapshot(
+    sim::SyntheticEnvironment& env, const bn::Dataset& window) {
+  core::ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};
+  cfg.bins = 3;
+  core::ModelManager manager(env.workflow(), env.sharing(), cfg);
+  manager.reconstruct(120.0, window);
+  return core::make_model_snapshot(manager.version(), 120.0, manager.model(),
+                                   manager.discretizer());
+}
+
+TEST(PredictiveScorer, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536269514722, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.05), -1.6448536269514722, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.01), -normal_quantile(0.99), 1e-9);
+}
+
+TEST(PredictiveScorer, DiscreteSnapshotScoresRows) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  const std::size_t n = env.service_count();
+  kertbn::Rng rng(11);
+  const bn::Dataset window = env.generate(120, rng);
+  const auto snap = discrete_snapshot(env, window);
+  ASSERT_TRUE(snap->has_tree());
+
+  PredictiveScorer scorer(n);
+  ASSERT_TRUE(scorer.adopt(*snap));
+  EXPECT_TRUE(scorer.ready());
+  EXPECT_EQ(scorer.snapshot_version(), snap->version);
+  EXPECT_EQ(scorer.streams(), n + 1);
+
+  // Predictions are finite and bands are ordered.
+  for (std::size_t c = 0; c <= n; ++c) {
+    const ColumnPrediction& p = scorer.prediction(c);
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.stddev));
+    EXPECT_GE(p.stddev, 0.0);
+    EXPECT_LE(p.band_lo_value, p.band_hi_value);
+  }
+
+  const bn::Dataset probe = env.generate(60, rng);
+  std::vector<double> z(n + 1);
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    ASSERT_TRUE(scorer.score_row(probe.row(r), z));
+    for (std::size_t c = 0; c <= n; ++c) ASSERT_TRUE(std::isfinite(z[c]));
+  }
+  EXPECT_EQ(scorer.rows_scored(), probe.rows());
+  for (std::size_t c = 0; c <= n; ++c) {
+    const StreamScore& s = scorer.stream(c);
+    EXPECT_EQ(s.count, probe.rows());
+    EXPECT_GE(s.coverage(), 0.0);
+    EXPECT_LE(s.coverage(), 1.0);
+    EXPECT_LE(s.mean_log_score(), 0.0);  // log of a probability mass
+    EXPECT_GE(s.mean_abs_err(), 0.0);
+    EXPECT_TRUE(std::isfinite(s.rms_z()));
+  }
+
+  // Probe rows come from the same environment the model was trained on:
+  // the 90% band should cover a solid majority of response measurements.
+  EXPECT_GE(scorer.stream(n).coverage(), 0.5);
+}
+
+TEST(PredictiveScorer, ScoresAreDeterministicAndTelemetryIndependent) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  const std::size_t n = env.service_count();
+  kertbn::Rng rng(12);
+  const bn::Dataset window = env.generate(120, rng);
+  const bn::Dataset probe = env.generate(40, rng);
+  const auto snap = discrete_snapshot(env, window);
+
+  const auto run = [&](bool telemetry) {
+    const bool was = obs::enabled();
+    obs::set_enabled(telemetry);
+    PredictiveScorer scorer(n);
+    EXPECT_TRUE(scorer.adopt(*snap));
+    std::vector<double> z(n + 1);
+    for (std::size_t r = 0; r < probe.rows(); ++r) {
+      scorer.score_row(probe.row(r), z);
+    }
+    obs::set_enabled(was);
+    return scorer;
+  };
+
+  const PredictiveScorer a = run(true);
+  const PredictiveScorer b = run(false);
+  for (std::size_t c = 0; c <= n; ++c) {
+    // Bit-exact equality of every accumulator.
+    EXPECT_EQ(a.stream(c).abs_err_sum, b.stream(c).abs_err_sum);
+    EXPECT_EQ(a.stream(c).z_sum, b.stream(c).z_sum);
+    EXPECT_EQ(a.stream(c).z_sq_sum, b.stream(c).z_sq_sum);
+    EXPECT_EQ(a.stream(c).log_score_sum, b.stream(c).log_score_sum);
+    EXPECT_EQ(a.stream(c).covered, b.stream(c).covered);
+  }
+}
+
+TEST(PredictiveScorer, LinearGaussianSnapshotScoresExactly) {
+  // X0 ~ N(1, 0.2^2); D = 0.5 + 1·X0, sigma 0.1. Joint: E[D] = 1.5,
+  // Var[D] = 0.2^2 + 0.1^2 = 0.05.
+  bn::BayesianNetwork net;
+  net.add_node(bn::Variable::continuous("s0"));
+  net.add_node(bn::Variable::continuous("D"));
+  net.add_edge(0, 1);
+  net.set_cpd(0, std::make_unique<bn::LinearGaussianCpd>(
+                     bn::LinearGaussianCpd::root(1.0, 0.2)));
+  net.set_cpd(1, std::make_unique<bn::LinearGaussianCpd>(0.5,
+                                                         std::vector{1.0},
+                                                         0.1));
+  const auto snap = core::make_model_snapshot(3, 0.0, net, std::nullopt);
+  ASSERT_FALSE(snap->has_tree());
+
+  PredictiveScorer scorer(1);
+  ASSERT_TRUE(scorer.adopt(*snap));
+  const ColumnPrediction& s0 = scorer.prediction(0);
+  const ColumnPrediction& d = scorer.prediction(1);
+  EXPECT_NEAR(s0.mean, 1.0, 1e-12);
+  EXPECT_NEAR(s0.stddev, 0.2, 1e-12);
+  EXPECT_NEAR(d.mean, 1.5, 1e-12);
+  EXPECT_NEAR(d.stddev, std::sqrt(0.05), 1e-12);
+  // 90% band = mean ± 1.6449 sd.
+  EXPECT_NEAR(s0.band_hi_value, 1.0 + 1.6448536269514722 * 0.2, 1e-6);
+
+  const std::vector<double> row = {1.2, 1.5};
+  std::vector<double> z(2);
+  ASSERT_TRUE(scorer.score_row(row, z));
+  EXPECT_NEAR(z[0], (1.2 - 1.0) / 0.2, 1e-12);  // = 1.0
+  EXPECT_NEAR(z[1], 0.0, 1e-12);
+  // Gaussian log density at one sd: -0.5 log(2 pi) - log(sd) - 0.5.
+  EXPECT_NEAR(scorer.stream(0).log_score_sum,
+              -0.9189385332046727 - std::log(0.2) - 0.5, 1e-12);
+  EXPECT_EQ(scorer.stream(0).covered, 1u);  // 1 sd is inside the 90% band
+  EXPECT_EQ(scorer.stream(1).covered, 1u);
+}
+
+TEST(PredictiveScorer, ContinuousKertModelIsUnsupported) {
+  // Continuous KERT models carry a deterministic response CPD — not
+  // linear-Gaussian, and no discrete tree: the scorer must refuse rather
+  // than approximate.
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(13);
+  core::ModelManager::Config cfg;
+  cfg.schedule = sim::ModelSchedule{10.0, 12, 3};
+  core::ModelManager manager(env.workflow(), env.sharing(), cfg);
+  manager.reconstruct(120.0, env.generate(120, rng));
+  const auto snap = core::make_model_snapshot(1, 120.0, manager.model(),
+                                              manager.discretizer());
+  PredictiveScorer scorer(env.service_count());
+  EXPECT_FALSE(scorer.adopt(*snap));
+  EXPECT_FALSE(scorer.ready());
+  std::vector<double> z(env.service_count() + 1);
+  std::vector<double> row(env.service_count() + 1, 0.5);
+  EXPECT_FALSE(scorer.score_row(row, z));
+}
+
+TEST(PredictiveScorer, WrongColumnCountIsUnsupported) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(14);
+  const bn::Dataset window = env.generate(120, rng);
+  const auto snap = discrete_snapshot(env, window);
+  PredictiveScorer scorer(env.service_count() + 3);
+  EXPECT_FALSE(scorer.adopt(*snap));
+}
+
+TEST(PredictiveScorer, ResetScoresKeepsPredictions) {
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  const std::size_t n = env.service_count();
+  kertbn::Rng rng(15);
+  const bn::Dataset window = env.generate(120, rng);
+  const auto snap = discrete_snapshot(env, window);
+  PredictiveScorer scorer(n);
+  ASSERT_TRUE(scorer.adopt(*snap));
+  std::vector<double> z(n + 1);
+  scorer.score_row(window.row(0), z);
+  EXPECT_EQ(scorer.rows_scored(), 1u);
+  const double mean_before = scorer.prediction(n).mean;
+  scorer.reset_scores();
+  EXPECT_EQ(scorer.rows_scored(), 0u);
+  EXPECT_EQ(scorer.stream(n).count, 0u);
+  EXPECT_TRUE(scorer.ready());
+  EXPECT_EQ(scorer.prediction(n).mean, mean_before);
+}
+
+}  // namespace
+}  // namespace kertbn::quality

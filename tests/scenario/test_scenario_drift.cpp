@@ -1,0 +1,154 @@
+/// \file test_scenario_drift.cpp
+/// Drift-detection acceptance over seeded scenarios, whole pipeline:
+/// environment-only drift (routing + operating point move, model not
+/// told) must be flagged before the next T_CON in >= 90% of drifting
+/// scenarios and confirmed with an advisory to the manager; stationary
+/// scenarios must produce zero confirmed-drift false positives; and the
+/// detector folds are bit-identical across reruns and telemetry on/off.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "quality_runner.hpp"
+
+namespace kertbn::sim {
+namespace {
+
+ScenarioFamilyOptions drift_options() {
+  ScenarioFamilyOptions opts;
+  opts.min_services = 5;
+  opts.max_services = 9;
+  // Light-tailed demands only: a single heavy-tail mega-draw blocks its
+  // FIFO host for several construction intervals, and the resulting
+  // congestion episode is a genuine multi-window performance regime event
+  // — indistinguishable from drift on any finite horizon — so a
+  // zero-false-positive bar is only well-posed over light-tailed
+  // in-control workloads. Heavy-tail robustness (no crashes, bounded
+  // state, bit-identical folds) stays covered by the full-tails soak
+  // family in test_scenario_soak.cpp.
+  opts.heavy_tail_fraction = 0.0;
+  return opts;
+}
+
+constexpr std::uint64_t kFamilySeed = 0xD21F7u;
+
+TEST(ScenarioDrift, DriftingScenariosFlaggedBeforeNextConstruction) {
+  const ScenarioFamily family(kFamilySeed, drift_options());
+  constexpr std::size_t kScenarios = 10;
+  std::size_t flagged = 0;
+  std::size_t confirmed = 0;
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const QualityRun run =
+        run_quality_scenario(family.make(i), /*inject_drift=*/true, 100 + i);
+    ASSERT_TRUE(run.has_model);
+    if (run.flagged_before_next_con) ++flagged;
+    if (run.confirmed) ++confirmed;
+    // A confirmed rollup advises the manager exactly once per version.
+    EXPECT_EQ(run.drift_notices, run.advisories);
+  }
+  // Acceptance bar: >= 90% of drifting scenarios flagged before the next
+  // scheduled reconstruction would have picked the change up anyway.
+  EXPECT_GE(flagged, (kScenarios * 9) / 10)
+      << flagged << "/" << kScenarios << " flagged before next T_CON";
+  EXPECT_GE(confirmed, (kScenarios * 9) / 10)
+      << confirmed << "/" << kScenarios << " confirmed with advisory";
+}
+
+TEST(ScenarioDrift, StationaryScenariosNeverConfirmDrift) {
+  const ScenarioFamily family(kFamilySeed ^ 0x5A5Au, drift_options());
+  constexpr std::size_t kScenarios = 12;
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const QualityRun run =
+        run_quality_scenario(family.make(i), /*inject_drift=*/false, 200 + i);
+    ASSERT_TRUE(run.has_model);
+    // Zero tolerance: a confirmed-drift false positive would trigger a
+    // spurious early reconstruction advisory in production.
+    EXPECT_EQ(run.advisories, 0u);
+    EXPECT_EQ(run.drift_notices, 0u);
+  }
+}
+
+TEST(ScenarioDrift, DetectorFoldsBitIdenticalAcrossRerunsAndTelemetry) {
+  const ScenarioFamily family(kFamilySeed, drift_options());
+  const Scenario s = family.make(3);
+
+  const QualityRun a = run_quality_scenario(s, true, 300);
+
+  const bool was = obs::enabled();
+  obs::set_enabled(false);
+  const QualityRun b = run_quality_scenario(s, true, 300);
+  obs::set_enabled(was);
+
+  const QualityRun c = run_quality_scenario(s, true, 300);
+
+  ASSERT_EQ(a.final_states.size(), b.final_states.size());
+  ASSERT_EQ(a.final_states.size(), c.final_states.size());
+  for (std::size_t st = 0; st < a.final_states.size(); ++st) {
+    SCOPED_TRACE("stream " + std::to_string(st));
+    EXPECT_TRUE(a.final_states[st] == b.final_states[st]);
+    EXPECT_TRUE(a.final_states[st] == c.final_states[st]);
+  }
+  EXPECT_EQ(a.final_version, b.final_version);
+  EXPECT_EQ(a.flagged_before_next_con, b.flagged_before_next_con);
+  EXPECT_EQ(a.advisories, b.advisories);
+}
+
+TEST(ScenarioDrift, DISABLED_Diag) {
+  const ScenarioFamily family(kFamilySeed ^ 0x5A5Au, drift_options());
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Scenario s = family.make(i);
+    const double base_rate = stable_arrival_rate(s, 0.30);
+    const ModelSchedule schedule{std::max(1.0, 8.0 / base_rate), 12, 3};
+    MonitoredTestbed tb = s.make_testbed(200 + i, schedule);
+    tb.set_ingest_incomplete(true);
+    tb.environment().set_arrival_rate(base_rate);
+    core::ModelManager::Config cfg;
+    cfg.schedule = schedule;
+    cfg.bins = 3;
+    cfg.publish_snapshots = true;
+    core::ModelManager manager(s.workflow, s.sharing, cfg);
+    quality::ModelQualityMonitor::Config mcfg;
+    mcfg.clock = [&tb] { return tb.now(); };
+    quality::ModelQualityMonitor monitor(manager, mcfg);
+    std::size_t rows_ingested = 0;
+    tb.server_mutable().add_row_observer(
+        [&rows_ingested](std::span<const double>) { ++rows_ingested; });
+    tb.server_mutable().add_row_observer(
+        [&monitor](std::span<const double> row) { monitor.observe_row(row); });
+    const std::size_t warm_rows = 2 * schedule.points_per_window();
+    for (std::size_t g = 0; rows_ingested < warm_rows && g < 5000; ++g) {
+      tb.advance_interval();
+    }
+    const auto adv = [&] {
+      for (std::size_t k = 0; k < schedule.alpha_model; ++k) tb.advance_interval();
+      manager.maybe_reconstruct(tb.now(), tb.window());
+    };
+    std::size_t w = 0;
+    while (!manager.has_model() && w < 20) { adv(); ++w; }
+    for (std::size_t c = 0; c < 8; ++c) {
+      adv();
+      const auto r = monitor.report();
+      for (const auto& st : r.streams) {
+        const std::size_t sidx = static_cast<std::size_t>(&st - r.streams.data());
+        const auto& b = monitor.baseline(sidx);
+        if (st.drift != "none" || std::abs(st.mean_z - b.mean) > 1.0) {
+          printf("scn %zu con %zu stream %s n=%llu mean_z=%.2f base=(%.2f sd %.2f n%zu) cusum=%.2f ph=%.2f drift=%s adv=%zu\n",
+                 i, c, st.name.c_str(), (unsigned long long)st.count, st.mean_z,
+                 b.mean, b.stddev, b.count, st.cusum, st.page_hinkley,
+                 st.drift.c_str(), monitor.advisories_sent());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::sim

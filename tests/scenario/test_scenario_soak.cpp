@@ -15,6 +15,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "kert/model_manager.hpp"
+#include "quality_runner.hpp"
 #include "sosim/scenario.hpp"
 
 namespace kertbn::sim {
@@ -103,6 +104,33 @@ TEST(ScenarioSoak, FiftyScenariosEndServableAndNeverDegraded) {
     // leaves enough clean intervals to build from.
     ASSERT_NE(manager.health(), core::ModelHealth::kDegraded);
   }
+}
+
+/// Drift-detector false-positive soak: 50 stationary scenarios through
+/// the full monitored pipeline with the quality monitor attached — zero
+/// confirmed-drift advisories allowed across the lot. The PR gate runs a
+/// trimmed count via KERTBN_SOAK_SCENARIOS; the nightly job runs all 50.
+TEST(ScenarioSoak, FiftyStationaryScenariosZeroConfirmedDrift) {
+  ScenarioFamilyOptions opts;
+  opts.min_services = 5;
+  opts.max_services = 9;
+  // Light-tailed demands only — see drift_options() in the drift suite.
+  opts.heavy_tail_fraction = 0.0;
+  const ScenarioFamily family(0x57A7Cu, opts);
+
+  const std::size_t scenarios = scenario_count();
+  std::size_t models = 0;
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const QualityRun run =
+        run_quality_scenario(family.make(i), /*inject_drift=*/false,
+                             5000 + i);
+    ASSERT_TRUE(run.has_model);
+    ++models;
+    EXPECT_EQ(run.advisories, 0u);
+    EXPECT_EQ(run.drift_notices, 0u);
+  }
+  ASSERT_EQ(models, scenarios);
 }
 
 }  // namespace
