@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Perf smoke for two hot paths:
+# Perf smoke for the hot paths:
 #   1. query serving — reruns the recalibration scenario of
 #      abl_query_throughput and compares per-query times against the
 #      committed baseline (fails only on a >2x slowdown, so shared/noisy
@@ -12,7 +12,11 @@
 #   3. model-quality ingest tap — reruns the BM_QualityIngestOverhead
 #      ablation and enforces the < 3% total-obs-overhead budget for the
 #      scorer + drift detectors riding the management server's ingest
-#      path with the null sink (paired-batch median).
+#      path with the null sink (paired-batch median);
+#   4. overload control — reruns BM_GovernorOverhead and enforces the
+#      < 2% budget for the pressure governor's hooks (signal sampling,
+#      ladder update, admission token probes) on the monitored
+#      reconstruction loop with every budget open (paired-cycle median).
 #
 # Usage: bench/perf_smoke.sh [build-dir] [baseline-json]
 
@@ -152,6 +156,47 @@ if pct is None:
 
 verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
 print(f"{verdict}  quality monitor ingest overhead {pct:+.2f}% "
+      f"(limit {OVERHEAD_LIMIT_PCT:.1f}%)")
+sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
+EOF
+
+# --- overload governor overhead guard ---------------------------------------
+# Reruns the BM_GovernorOverhead ablation: the overload control plane
+# (per-interval signal sample + ladder update, per-offer and per-rebuild
+# token probes) riding the monitored reconstruction loop must stay under
+# the 2% design budget when every budget is open (paired-cycle median).
+
+overload_bin="$build_dir/bench/abl_overload"
+overload_out="$build_dir/PERF_SMOKE_abl_overload.json"
+
+if [ ! -x "$overload_bin" ]; then
+  echo "error: $overload_bin not found — build the project first" >&2
+  exit 1
+fi
+
+"$overload_bin" --benchmark_filter=GovernorOverhead \
+                --benchmark_out="$overload_out" \
+                --benchmark_out_format=json >/dev/null
+
+python3 - "$overload_out" <<'EOF'
+import json
+import sys
+
+OVERHEAD_LIMIT_PCT = 2.0
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+pct = None
+for bench in doc.get("benchmarks", []):
+    if "governor_overhead_pct" in bench:
+        pct = float(bench["governor_overhead_pct"])
+if pct is None:
+    print("FAIL  no governor_overhead_pct in overload overhead run")
+    sys.exit(1)
+
+verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
+print(f"{verdict}  overload governor overhead {pct:+.2f}% "
       f"(limit {OVERHEAD_LIMIT_PCT:.1f}%)")
 sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
 EOF

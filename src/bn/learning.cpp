@@ -214,8 +214,17 @@ ParameterLearnReport learn_parameters(BayesianNetwork& net,
     report.learned_nodes.push_back(v);
   }
 
+  const auto cancelled = [&opts] {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_relaxed);
+  };
+
   if (pool == nullptr || report.learned_nodes.size() < 2) {
     for (std::size_t v : report.learned_nodes) {
+      if (cancelled()) {
+        report.cancelled = true;
+        break;
+      }
       NodeFit fit = fit_node_cpd(net, v, data, opts);
       report.per_node_seconds[v] = fit.seconds;
       net.set_cpd(v, std::move(fit.cpd));
@@ -225,17 +234,28 @@ ParameterLearnReport learn_parameters(BayesianNetwork& net,
   }
 
   // Concurrent fits against the const network/dataset, staged per node;
-  // futures propagate any task exception on get().
+  // futures propagate any task exception on get(). Each task re-checks the
+  // cancellation flag at start so queued-but-unstarted fits become no-ops
+  // once cancellation fires.
   std::vector<std::future<NodeFit>> futures;
   futures.reserve(report.learned_nodes.size());
   const BayesianNetwork& cnet = net;
   for (std::size_t v : report.learned_nodes) {
-    futures.push_back(pool->submit(
-        [&cnet, &data, &opts, v] { return fit_node_cpd(cnet, v, data, opts); }));
+    futures.push_back(pool->submit([&cnet, &data, &opts, v] {
+      if (opts.cancel != nullptr &&
+          opts.cancel->load(std::memory_order_relaxed)) {
+        return NodeFit{};
+      }
+      return fit_node_cpd(cnet, v, data, opts);
+    }));
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     NodeFit fit = futures[i].get();
     const std::size_t v = report.learned_nodes[i];
+    if (fit.cpd == nullptr) {
+      report.cancelled = true;
+      continue;  // skipped by cancellation — node keeps its old CPD (if any)
+    }
     report.per_node_seconds[v] = fit.seconds;
     net.set_cpd(v, std::move(fit.cpd));
   }

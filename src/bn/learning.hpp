@@ -5,6 +5,7 @@
 /// whole-network driver that reports per-node learning times (the quantity
 /// behind the decentralized-vs-centralized comparison of Figure 5).
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -26,6 +27,13 @@ struct ParameterLearnOptions {
   /// When true, refit nodes that already carry a CPD; when false (the
   /// KERT-BN case) knowledge-given CPDs are left untouched.
   bool refit_existing = false;
+  /// Cooperative cancellation: when non-null and the pointee becomes true,
+  /// learn_parameters stops fitting further nodes and returns early with
+  /// ParameterLearnReport::cancelled set. Nodes already fitted keep their
+  /// new CPDs; the caller owns restoring a consistent model (the
+  /// ModelManager's last-known-good restore). A raw atomic pointer so
+  /// this layer needs no dependency on the overload library.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Fits a CPT for data column \p child_col with parents \p parent_cols by
@@ -71,6 +79,9 @@ struct ParameterLearnReport {
   double total_seconds = 0.0;
   std::vector<double> per_node_seconds;
   std::vector<std::size_t> learned_nodes;
+  /// True when ParameterLearnOptions::cancel fired mid-learn: the network
+  /// is partially refit and must not be served.
+  bool cancelled = false;
 
   /// max over learned nodes — the decentralized completion time of
   /// Section 3.4 (all per-node computations run concurrently).

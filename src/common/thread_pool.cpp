@@ -50,6 +50,13 @@ void on_complete(std::uint64_t run_start_ns) {
   run_ns().record(obs::now_ns() - run_start_ns);
 }
 
+void on_reject() {
+  if (!obs::enabled()) return;
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("kert.pool.rejected_tasks");
+  c.add(1);
+}
+
 }  // namespace pool_obs
 
 ThreadPool::ThreadPool(std::size_t threads) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -32,6 +33,8 @@ std::uint64_t on_enqueue();
 std::uint64_t on_dequeue(std::uint64_t enqueue_ns);
 /// Run-time recorded (no-op when \p run_start_ns is 0).
 void on_complete(std::uint64_t run_start_ns);
+/// Bounded-queue rejection counted (kert.pool.rejected_tasks).
+void on_reject();
 }  // namespace pool_obs
 
 /// Fixed-size pool executing submitted tasks FIFO. Destruction joins all
@@ -74,6 +77,50 @@ class ThreadPool {
     return result;
   }
 
+  /// Bounded-admission variant of submit: refuses (returning nullopt and
+  /// bumping kert.pool.rejected_tasks) when the queue already holds
+  /// `queue_limit` tasks. With no limit set it never refuses. `submit`
+  /// stays unbounded — existing callers rely on it always accepting.
+  template <typename F>
+  auto try_submit(F&& fn)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+        pool_obs::on_reject();
+        return std::nullopt;
+      }
+#ifdef KERTBN_OBS_DISABLED
+      queue_.emplace([task] { (*task)(); });
+#else
+      queue_.emplace([task, ctx = obs::current_context(),
+                      enqueue_ns = pool_obs::on_enqueue()] {
+        const std::uint64_t run_start = pool_obs::on_dequeue(enqueue_ns);
+        obs::ContextGuard guard(ctx);
+        (*task)();
+        pool_obs::on_complete(run_start);
+      });
+#endif
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Caps the pending-task queue consulted by try_submit (0 = unbounded,
+  /// the default). Safe to call while workers run.
+  void set_queue_limit(std::size_t limit) {
+    std::lock_guard lock(mutex_);
+    queue_limit_ = limit;
+  }
+  std::size_t queue_depth() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
@@ -82,9 +129,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::size_t queue_limit_ = 0;
 };
 
 }  // namespace kertbn

@@ -14,6 +14,7 @@ struct ChannelMetrics {
   obs::Counter& values;
   obs::Counter& bytes;
   obs::Counter& dropped;
+  obs::Counter& dropped_oldest;
   obs::Gauge& pending;
 
   static ChannelMetrics& get() {
@@ -22,6 +23,7 @@ struct ChannelMetrics {
                             reg.counter("channel.values"),
                             reg.counter("channel.bytes"),
                             reg.counter("channel.dropped"),
+                            reg.counter("kert.channel.dropped_messages"),
                             reg.gauge("channel.pending")};
     return m;
   }
@@ -38,11 +40,17 @@ bool Channel::send(DataMessage msg) {
     return false;
   }
   const std::size_t values = msg.column.size();
+  std::size_t evicted = 0;
   {
     std::lock_guard lock(mutex_);
     if (closed_) {
       if (obs::enabled()) ChannelMetrics::get().dropped.add(1);
       return false;
+    }
+    while (queue_.size() >= capacity_) {
+      queue_.pop_front();
+      ++dropped_oldest_;
+      ++evicted;
     }
     queue_.push_back(std::move(msg));
   }
@@ -51,7 +59,12 @@ bool Channel::send(DataMessage msg) {
     m.messages.add(1);
     m.values.add(values);
     m.bytes.add(values * sizeof(double));
-    m.pending.add(1.0);
+    if (evicted > 0) {
+      m.dropped_oldest.add(evicted);
+      m.pending.add(1.0 - static_cast<double>(evicted));
+    } else {
+      m.pending.add(1.0);
+    }
   }
   cv_.notify_one();
   return true;
@@ -111,6 +124,11 @@ bool Channel::closed() const {
 std::size_t Channel::pending() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
+}
+
+std::size_t Channel::dropped_oldest() const {
+  std::lock_guard lock(mutex_);
+  return dropped_oldest_;
 }
 
 }  // namespace kertbn::dec

@@ -28,9 +28,19 @@ struct DataMessage {
   std::vector<double> column;
 };
 
-/// Unbounded MPSC channel with blocking-until-closed receive.
+/// Bounded MPSC channel with blocking-until-closed receive. The mailbox
+/// holds at most `capacity` messages (default kDefaultCapacity); when a
+/// send would exceed it, the *oldest* pending message is dropped
+/// (drop-oldest — newest data wins, matching the sliding-window semantics
+/// downstream) and counted under kert.channel.dropped_messages. A
+/// partitioned peer can therefore no longer grow a dead inbox without
+/// limit.
 class Channel {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit Channel(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
   /// Enqueues a message (any thread). Returns false — dropping the
   /// message — when the channel is closed or the fault fabric is inside a
   /// partition window.
@@ -55,11 +65,17 @@ class Channel {
 
   std::size_t pending() const;
 
+  std::size_t capacity() const { return capacity_; }
+  /// Messages evicted by the drop-oldest bound since construction.
+  std::size_t dropped_oldest() const;
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<DataMessage> queue_;
   bool closed_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t dropped_oldest_ = 0;
 };
 
 }  // namespace kertbn::dec

@@ -83,6 +83,29 @@ bool FaultInjector::partitioned(double now) const {
   return false;
 }
 
+double FaultInjector::ingest_burst_factor(double now) const {
+  for (const TimeWindow& w : plan_.ingest_bursts) {
+    if (w.contains(now)) return std::max(1.0, plan_.ingest_burst_factor);
+  }
+  return 1.0;
+}
+
+double FaultInjector::cpu_pressure(double now) const {
+  for (const TimeWindow& w : plan_.cpu_stalls) {
+    if (w.contains(now)) {
+      return std::min(1.0, std::max(0.0, plan_.cpu_stall_severity));
+    }
+  }
+  return 0.0;
+}
+
+double FaultInjector::query_flood_factor(double now) const {
+  for (const TimeWindow& w : plan_.query_floods) {
+    if (w.contains(now)) return std::max(1.0, plan_.query_flood_factor);
+  }
+  return 1.0;
+}
+
 namespace {
 
 std::mutex g_install_mutex;
@@ -122,6 +145,23 @@ double sim_now() {
   double t;
   std::memcpy(&t, &bits, sizeof(t));
   return t;
+}
+
+void maybe_cpu_stall() {
+  const FaultInjector* inj = active();
+  if (inj == nullptr) return;
+  const double pressure = inj->cpu_pressure(sim_now());
+  if (pressure <= 0.0) return;
+  // ~2M mixes per unit severity: milliseconds of pure wasted CPU, enough
+  // for the governor's cpu_pressure signal to be corroborated by real
+  // work-time inflation without distorting any modeled value.
+  const std::uint64_t spins =
+      static_cast<std::uint64_t>(pressure * 2'000'000.0);
+  std::uint64_t sink = inj->plan().seed;
+  for (std::uint64_t i = 0; i < spins; ++i) sink = mix(sink ^ i);
+  // Defeat dead-code elimination without observable side effects.
+  volatile std::uint64_t keep = sink;
+  (void)keep;
 }
 
 }  // namespace kertbn::fault

@@ -49,6 +49,15 @@ class FaultInjector {
   /// True while the decentral fabric is inside a partition window.
   bool partitioned(double now) const;
 
+  /// Overload faults (scheduled windows, deterministic):
+  /// Ingest-burst multiplier at \p now (1.0 outside every burst window).
+  double ingest_burst_factor(double now) const;
+  /// Injected CPU pressure in [0, 1] at \p now (0.0 outside every stall
+  /// window).
+  double cpu_pressure(double now) const;
+  /// Query-flood multiplier at \p now (1.0 outside every flood window).
+  double query_flood_factor(double now) const;
+
   /// Cumulative journal byte offset past which writes are lost (process
   /// crash simulation for the durability layer), or nullopt when disabled.
   std::optional<std::uint64_t> journal_write_cutoff() const {
@@ -93,6 +102,13 @@ void set_enabled(bool on);
 /// (the decentral channels): the test-bed publishes its DES time here.
 void set_sim_now(double t);
 double sim_now();
+
+/// CPU-pressure stall hook for the reconstruction path: when the installed
+/// plan has a stall window covering sim_now(), burns a deterministic
+/// amount of wasted CPU (a fixed spin count scaled by the severity).
+/// Timing-only — no modeled value changes; with no plan installed this is
+/// the usual single relaxed load.
+void maybe_cpu_stall();
 
 /// RAII plan installation for tests and benches.
 class ScopedFaultPlan {

@@ -65,6 +65,25 @@ struct FaultPlan {
   /// agent reports (which ride the same fabric) as undeliverable.
   std::vector<TimeWindow> partitions;
 
+  /// Deterministic overload faults. Windows are scheduled (not sampled),
+  /// like crashes, so the pressure the ladder sees replays bit-for-bit.
+  ///
+  /// Ingest bursts: while inside a window the test-bed offers each
+  /// interval's report batch `ingest_burst_factor` times over, piling
+  /// pressure on the admission queue (a flash crowd of agents).
+  std::vector<TimeWindow> ingest_bursts;
+  double ingest_burst_factor = 5.0;
+  /// CPU-pressure stalls: while inside a window, cpu_pressure(now)
+  /// reports `cpu_stall_severity` (in [0, 1]) and maybe_cpu_stall spins a
+  /// deterministic amount of wasted work inside the reconstruction path —
+  /// timing-only; no modeled value changes.
+  std::vector<TimeWindow> cpu_stalls;
+  double cpu_stall_severity = 1.0;
+  /// Query floods: while inside a window the serving layer is offered
+  /// `query_flood_factor` times its normal batch size.
+  std::vector<TimeWindow> query_floods;
+  double query_flood_factor = 5.0;
+
   /// Management-server process-crash simulation for the durability layer:
   /// every journal byte at or past this cumulative write offset is silently
   /// dropped (a kill -9 loses buffered and in-flight bytes, so the record
@@ -77,7 +96,9 @@ struct FaultPlan {
   bool trivial() const {
     return crashes.empty() && partitions.empty() && report_loss_prob <= 0.0 &&
            report_duplicate_prob <= 0.0 && report_delay_prob <= 0.0 &&
-           measurement_corrupt_prob <= 0.0 && journal_write_cutoff < 0;
+           measurement_corrupt_prob <= 0.0 && journal_write_cutoff < 0 &&
+           ingest_bursts.empty() && cpu_stalls.empty() &&
+           query_floods.empty();
   }
 };
 

@@ -187,6 +187,14 @@ bn::BayesianNetwork build_kert_skeleton_discrete(
 
 namespace {
 
+/// A cancelled learn legitimately leaves nodes unfitted; the caller
+/// (ModelManager::try_reconstruct) discards the partial network instead of
+/// publishing it. Completeness is only guaranteed for finished learns.
+bool learn_cancelled(const bn::ParameterLearnOptions& learn) {
+  return learn.cancel != nullptr &&
+         learn.cancel->load(std::memory_order_relaxed);
+}
+
 KertResult finish_construction(bn::BayesianNetwork net,
                                double structure_seconds,
                                const bn::Dataset& train, LearningMode mode,
@@ -213,7 +221,7 @@ KertResult finish_construction(bn::BayesianNetwork net,
   }
   result.report.parameter_seconds = params.seconds();
   result.report.total_seconds = total.seconds();
-  KERTBN_ENSURES(result.net.is_complete());
+  KERTBN_ENSURES(learn_cancelled(learn) || result.net.is_complete());
   return result;
 }
 
@@ -442,7 +450,7 @@ KertResult construct_kert_continuous_from_stats(
   install_staged_fits(result.net, nodes, fit_one, pool, result.report);
   result.report.parameter_seconds = params.seconds();
   result.report.total_seconds = total.seconds();
-  KERTBN_ENSURES(result.net.is_complete());
+  KERTBN_ENSURES(learn_cancelled(learn) || result.net.is_complete());
   return result;
 }
 
@@ -503,7 +511,7 @@ KertResult construct_kert_discrete_from_counts(
   install_staged_fits(result.net, nodes, fit_one, pool, result.report);
   result.report.parameter_seconds = params.seconds();
   result.report.total_seconds = total.seconds();
-  KERTBN_ENSURES(result.net.is_complete());
+  KERTBN_ENSURES(learn_cancelled(learn) || result.net.is_complete());
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "common/contract.hpp"
 #include "kert/serialize.hpp"
 #include "obs/span.hpp"
+#include "overload/governor.hpp"
 
 namespace kertbn::core {
 
@@ -40,6 +41,8 @@ struct HealthMetrics {
   obs::Counter& failures;
   obs::Counter& stale_skips;
   obs::Counter& missed_deadlines;
+  obs::Counter& deferred;
+  obs::Counter& aborted;
   obs::Gauge& state;
 
   static HealthMetrics& get() {
@@ -48,6 +51,8 @@ struct HealthMetrics {
                            reg.counter("kert.reconstruct.failures"),
                            reg.counter("kert.reconstruct.stale_skips"),
                            reg.counter("kert.reconstruct.missed_deadlines"),
+                           reg.counter("kert.reconstruct.deferred"),
+                           reg.counter("kert.reconstruct.aborted"),
                            reg.gauge("kert.health.state")};
     return m;
   }
@@ -78,6 +83,12 @@ ModelManager::ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
       config_(std::move(config)),
       next_due_(config_.schedule.t_con()) {
   KERTBN_EXPECTS(config_.bins == 0 || config_.bins >= 2);
+  // Thread the cancellation flag into the learn options every construct_*
+  // call receives, so cancellation reaches the per-node fit loop without
+  // each call site knowing about it.
+  if (config_.cancel != nullptr && config_.learn.cancel == nullptr) {
+    config_.learn.cancel = config_.cancel;
+  }
 }
 
 std::optional<Reconstruction> ModelManager::maybe_reconstruct(
@@ -103,6 +114,24 @@ std::optional<Reconstruction> ModelManager::maybe_reconstruct(
     ++stale_skips_;
     if (obs::enabled()) HealthMetrics::get().stale_skips.add(1);
     set_health(now, ModelHealth::kStale, "window unchanged since last build");
+    while (next_due_ <= now) next_due_ += config_.schedule.t_con();
+    return std::nullopt;
+  }
+  // Budgeted scheduling (DESIGN §12): a rebuild is the cheapest work to
+  // lose under pressure — the last-known-good model keeps serving. The
+  // governor refuses the reconstruction class outright past `throttled`
+  // and meters it by token below; either way the deadline defers, never
+  // blocks. (The cancellation flag is deliberately not consulted here:
+  // deferral is the governor's decision, cancellation aborts builds —
+  // including one whose flag was raised before the first node fit.)
+  if (config_.guard && config_.governor != nullptr &&
+      !config_.governor->admit(ov::WorkClass::kReconstruction, now)) {
+    ++deferred_reconstructions_;
+    if (obs::enabled()) HealthMetrics::get().deferred.add(1);
+    if (model_.has_value()) {
+      set_health(now, ModelHealth::kStale,
+                 "reconstruction deferred under overload");
+    }
     while (next_due_ <= now) next_due_ += config_.schedule.t_con();
     return std::nullopt;
   }
@@ -329,14 +358,20 @@ std::optional<Reconstruction> ModelManager::try_reconstruct(
   publish_suspended_ = true;
   Reconstruction rec = reconstruct(now, window);
   publish_suspended_ = false;
-  if (model_output_finite(window)) {
+  // Cancellation is checked before the finite-output probe: an aborted
+  // learn leaves the network partially refit (possibly with nodes missing
+  // CPDs), which must never be probed, published, or served.
+  const bool aborted = config_.cancel != nullptr &&
+                       config_.cancel->load(std::memory_order_relaxed);
+  if (!aborted && model_output_finite(window)) {
     publish_current(now);
     return rec;
   }
 
-  // The fit went through but produced a model that cannot serve (NaN CPD
-  // parameters from a degenerate window). Restore the last-known-good
-  // state: the failed build never happened, except in the failure ledger.
+  // Either the build was aborted under overload, or the fit went through
+  // but produced a model that cannot serve (NaN CPD parameters from a
+  // degenerate window). Restore the last-known-good state: the bad build
+  // never happened, except in the ledger.
   model_ = std::move(saved_model);
   discretizer_ = std::move(saved_discretizer);
   d_cpt_cache_ = std::move(saved_d_cpt);
@@ -350,6 +385,20 @@ std::optional<Reconstruction> ModelManager::try_reconstruct(
   // The incremental statistics may have been reseeded from the bad window;
   // drop them so the next rebuild recounts from scratch.
   stats_.reset();
+  if (aborted) {
+    ++aborted_reconstructions_;
+    if (obs::enabled()) HealthMetrics::get().aborted.add(1);
+    if (model_.has_value()) {
+      // An abort is a scheduling decision, not a model failure: the
+      // last-known-good model serves, merely stale — never fallback or
+      // degraded.
+      set_health(now, ModelHealth::kStale,
+                 "reconstruction aborted under overload");
+    } else {
+      note_failure(now, "reconstruction aborted under overload");
+    }
+    return std::nullopt;
+  }
   note_failure(now, "built model produced non-finite output");
   return std::nullopt;
 }

@@ -7,6 +7,7 @@
 /// possible ... making a scheme purely based on reconstruction more
 /// appropriate").
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +17,10 @@
 #include "kert/reconstruction_executor.hpp"
 #include "kert/window_stats.hpp"
 #include "sosim/monitoring.hpp"
+
+namespace kertbn::ov {
+class PressureGovernor;
+}  // namespace kertbn::ov
 
 namespace kertbn::core {
 
@@ -111,6 +116,19 @@ class ModelManager {
     /// QueryEngine serves from. Guarded rebuilds publish only after the
     /// built model validates, so readers never observe a bad model.
     bool publish_snapshots = false;
+    /// Overload control (DESIGN §12): when set, every scheduled rebuild
+    /// must win a reconstruction token first. Past `throttled` the
+    /// governor refuses the class outright, so the deadline is *deferred*
+    /// — the last-known-good model keeps serving with health kStale —
+    /// instead of competing with ingest and queries for CPU. Non-owning;
+    /// requires config.guard.
+    ov::PressureGovernor* governor = nullptr;
+    /// Cooperative cancellation for in-flight rebuilds: when non-null and
+    /// the pointee becomes true mid-build, the parameter learn stops
+    /// between node fits and the manager rolls the partial build back to
+    /// the last-known-good model (health kStale, never corrupt). Pass
+    /// ov::CancellationToken::flag(); requires config.guard.
+    const std::atomic<bool>* cancel = nullptr;
   };
 
   ModelManager(wf::Workflow workflow, wf::ResourceSharing sharing,
@@ -183,6 +201,16 @@ class ModelManager {
   }
   /// Deadlines skipped because the window held no new data.
   std::size_t stale_skips() const { return stale_skips_; }
+  /// Deadlines deferred because the governor refused a reconstruction
+  /// token (overload); the last-known-good model kept serving, stale.
+  std::size_t deferred_reconstructions() const {
+    return deferred_reconstructions_;
+  }
+  /// In-flight rebuilds aborted by the cancellation flag and rolled back
+  /// to the last-known-good model.
+  std::size_t aborted_reconstructions() const {
+    return aborted_reconstructions_;
+  }
   /// Reason of the most recent failed attempt ("" when none failed yet).
   const std::string& last_failure_reason() const {
     return last_failure_reason_;
@@ -268,6 +296,8 @@ class ModelManager {
   std::vector<HealthTransition> health_history_;
   std::size_t failed_reconstructions_ = 0;
   std::size_t stale_skips_ = 0;
+  std::size_t deferred_reconstructions_ = 0;
+  std::size_t aborted_reconstructions_ = 0;
   std::string last_failure_reason_;
   std::size_t drift_notices_ = 0;
   std::string last_drift_reason_;

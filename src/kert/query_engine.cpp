@@ -3,10 +3,13 @@
 #include <chrono>
 #include <future>
 
+#include <algorithm>
+
 #include "bn/relevance.hpp"
 #include "common/contract.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "overload/governor.hpp"
 
 namespace kertbn::core {
 
@@ -18,6 +21,8 @@ struct QueryMetrics {
   obs::Counter& batches;
   obs::Counter& pruned_routes;
   obs::Counter& tree_routes;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& shed;
   obs::Histogram& latency_ns;
   obs::Histogram& batch_size;
 
@@ -27,6 +32,8 @@ struct QueryMetrics {
                           reg.counter("kert.query.batches"),
                           reg.counter("kert.query.pruned_routes"),
                           reg.counter("kert.query.tree_routes"),
+                          reg.counter("kert.query.deadline_exceeded"),
+                          reg.counter("kert.query.shed"),
                           reg.histogram("kert.query.latency_ns"),
                           reg.histogram("kert.query.batch_size")};
     return m;
@@ -50,6 +57,18 @@ bool discrete_tabular(const bn::BayesianNetwork& net) {
 }
 
 }  // namespace
+
+const char* to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case QueryStatus::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
 
 std::shared_ptr<const ModelSnapshot> make_model_snapshot(
     std::size_t version, double built_at, const bn::BayesianNetwork& net,
@@ -163,20 +182,82 @@ std::vector<QueryAnswer> QueryEngine::post(const QueryBatch& batch) {
   last_version_ = snapshot->version;
 
   const std::size_t n = batch.size();
+  std::vector<QueryAnswer> answers(n);
+  const auto clock = [this]() -> std::uint64_t {
+    return config_.clock ? config_.clock() : now_ns();
+  };
+
+  // Overload shedding is decided per batch, before any inference work:
+  // at kShedding batch-class queries are refused outright; at kEmergency
+  // interactive queries additionally pay a query token each. A shed
+  // answer carries the snapshot version but no posterior.
+  std::vector<std::uint8_t> runnable(n, 1);
+  std::size_t shed_now = 0;
+  if (config_.governor != nullptr) {
+    const ov::PressureLevel level = config_.governor->level();
+    if (level >= ov::PressureLevel::kShedding) {
+      for (std::size_t i = 0; i < n; ++i) {
+        bool shed = batch[i].query_class == QueryClass::kBatch;
+        if (!shed && level == ov::PressureLevel::kEmergency) {
+          shed = !config_.governor->admit(
+              ov::WorkClass::kQuery,
+              static_cast<double>(clock()) * 1e-9);
+        }
+        if (shed) {
+          answers[i].status = QueryStatus::kShed;
+          answers[i].snapshot_version = snapshot->version;
+          runnable[i] = 0;
+          ++shed_now;
+        }
+      }
+    }
+  }
+  if (shed_now > 0) {
+    shed_queries_.fetch_add(shed_now, std::memory_order_relaxed);
+    if (obs::enabled()) QueryMetrics::get().shed.add(shed_now);
+  }
+
+  // Execution order: interactive before batch (stable within each class),
+  // so a deadline expiring mid-batch costs the low-priority work first.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (runnable[i] && batch[i].query_class == QueryClass::kInteractive) {
+      order.push_back(i);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (runnable[i] && batch[i].query_class == QueryClass::kBatch) {
+      order.push_back(i);
+    }
+  }
+  const std::size_t live = order.size();
+
   const std::size_t fanout =
-      (config_.pool != nullptr && n > 1)
-          ? std::min(config_.pool->size(), n)
+      (config_.pool != nullptr && live > 1)
+          ? std::min(config_.pool->size(), live)
           : std::size_t{1};
   if (workers_.size() < fanout) workers_.resize(fanout);
   for (std::size_t k = 0; k < fanout; ++k) adopt(workers_[k], snapshot);
 
-  std::vector<QueryAnswer> answers(n);
   const bool timed = obs::enabled();
+  std::atomic<std::size_t> expired{0};
   auto run_stripe = [&](std::size_t k) {
     Worker& w = workers_[k];
-    for (std::size_t i = k; i < n; i += fanout) {
+    for (std::size_t j = k; j < live; j += fanout) {
+      const std::size_t i = order[j];
+      const Query& q = batch[i];
+      // Deadline check at the stripe boundary, before any work: an
+      // expired query returns immediately instead of occupying the
+      // worker, and never carries a (partially calibrated) posterior.
+      if (q.deadline_ns != 0 && clock() >= q.deadline_ns) {
+        answers[i].status = QueryStatus::kDeadlineExceeded;
+        answers[i].snapshot_version = snapshot->version;
+        expired.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const std::uint64_t t0 = timed ? now_ns() : 0;
-      answers[i] = answer(w, batch[i]);
+      answers[i] = answer(w, q);
       if (timed) QueryMetrics::get().latency_ns.record(now_ns() - t0);
     }
   };
@@ -187,8 +268,16 @@ std::vector<QueryAnswer> QueryEngine::post(const QueryBatch& batch) {
       done.push_back(config_.pool->submit([&run_stripe, k] { run_stripe(k); }));
     }
     for (auto& f : done) f.get();
-  } else if (n > 0) {
+  } else if (live > 0) {
     run_stripe(0);
+  }
+
+  const std::size_t n_expired = expired.load(std::memory_order_relaxed);
+  if (n_expired > 0) {
+    deadline_exceeded_.fetch_add(n_expired, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      QueryMetrics::get().deadline_exceeded.add(n_expired);
+    }
   }
 
   queries_served_ += n;

@@ -25,6 +25,8 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -37,6 +39,10 @@
 #include "common/thread_pool.hpp"
 #include "kert/applications.hpp"
 #include "kert/discretize.hpp"
+
+namespace kertbn::ov {
+class PressureGovernor;
+}  // namespace kertbn::ov
 
 namespace kertbn::core {
 
@@ -155,6 +161,26 @@ enum class QueryRoute {
   kPrunedElimination = 1,   ///< VE on the relevant subnetwork.
 };
 
+/// Serving priority class. Interactive queries (an operator's pAccel /
+/// threshold probe) outrank batch what-if sweeps: under pressure batch
+/// work is shed first, and within a batch interactive queries execute
+/// first so an expiring deadline costs the cheap work, not the urgent.
+enum class QueryClass {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+/// Per-query outcome. Anything other than kOk carries an empty posterior:
+/// a refused query never occupies a worker and never returns a partially
+/// calibrated answer.
+enum class QueryStatus {
+  kOk = 0,
+  kDeadlineExceeded = 1,  ///< Deadline passed before the query ran.
+  kShed = 2,              ///< Refused by overload control before any work.
+};
+
+const char* to_string(QueryStatus status);
+
 struct Query {
   QueryKind kind = QueryKind::kPosterior;
   /// Query node (== dataset column for KERT models). Ignored for
@@ -165,9 +191,17 @@ struct Query {
   /// kExceedance only, in the summary's units (seconds when the snapshot
   /// carries a discretizer).
   double threshold = 0.0;
+  /// Serving priority (see QueryClass).
+  QueryClass query_class = QueryClass::kInteractive;
+  /// Absolute deadline against the engine's clock (Config::clock), in
+  /// nanoseconds; 0 = no deadline. Checked at stripe boundaries before
+  /// the query does any work — an expired query returns
+  /// QueryStatus::kDeadlineExceeded instead of occupying the worker.
+  std::uint64_t deadline_ns = 0;
 };
 
 struct QueryAnswer {
+  QueryStatus status = QueryStatus::kOk;
   std::size_t snapshot_version = 0;
   QueryRoute route = QueryRoute::kCalibratedTree;
   /// Posterior states of `target` (empty for kEvidenceProbability).
@@ -201,6 +235,16 @@ class QueryEngine {
     /// nodes.
     bool prune = true;
     double prune_threshold = 0.5;
+    /// Overload control (non-owning, optional): at governor level
+    /// kShedding or worse, batch-class queries are shed before any work;
+    /// at kEmergency, interactive queries additionally pay a query token
+    /// each (the bucket's default budget is generous — it bites only when
+    /// configured to). Deadlines work with or without a governor.
+    ov::PressureGovernor* governor = nullptr;
+    /// Deadline clock in nanoseconds. Defaults to steady_clock; inject a
+    /// deterministic source in tests. Also feeds the governor's query
+    /// bucket (as seconds) when a governor is set.
+    std::function<std::uint64_t()> clock;
   };
 
   explicit QueryEngine(Config config);
@@ -213,6 +257,10 @@ class QueryEngine {
   std::size_t batches_served() const { return batches_served_; }
   /// Queries answered by pruned elimination instead of the tree.
   std::size_t pruned_routes() const { return pruned_routes_; }
+  /// Queries that expired before running (QueryStatus::kDeadlineExceeded).
+  std::size_t deadline_exceeded() const { return deadline_exceeded_; }
+  /// Queries refused by overload control (QueryStatus::kShed).
+  std::size_t shed_queries() const { return shed_queries_; }
   /// Version of the snapshot the last batch ran against.
   std::size_t last_snapshot_version() const { return last_version_; }
 
@@ -232,6 +280,8 @@ class QueryEngine {
   std::size_t queries_served_ = 0;
   std::size_t batches_served_ = 0;
   std::atomic<std::size_t> pruned_routes_{0};
+  std::atomic<std::size_t> deadline_exceeded_{0};
+  std::atomic<std::size_t> shed_queries_{0};
   std::size_t last_version_ = 0;
 };
 

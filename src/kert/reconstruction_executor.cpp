@@ -17,6 +17,11 @@ ReconstructionExecutor::ReconstructionExecutor(Mode mode, std::size_t threads)
 bn::ParameterLearnReport ReconstructionExecutor::learn(
     bn::BayesianNetwork& net, const bn::Dataset& data,
     const bn::ParameterLearnOptions& opts) const {
+  if (cancel_ != nullptr && opts.cancel == nullptr) {
+    bn::ParameterLearnOptions with_cancel = opts;
+    with_cancel.cancel = cancel_;
+    return bn::learn_parameters(net, data, with_cancel, pool());
+  }
   return bn::learn_parameters(net, data, opts, pool());
 }
 

@@ -42,6 +42,15 @@ class ReconstructionExecutor {
   /// mode, which every consumer treats as "run inline".
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// Installs a cooperative-cancellation flag (nullptr to clear). Every
+  /// learn() run forwards it into bn::ParameterLearnOptions::cancel, so a
+  /// governor can abort an in-flight rebuild between node fits. Callers
+  /// pass ov::CancellationToken::flag(); lifetime must outlive the runs.
+  void set_cancellation(const std::atomic<bool>* cancel) {
+    cancel_ = cancel;
+  }
+  const std::atomic<bool>* cancellation() const { return cancel_; }
+
   /// Convenience: whole-network parameter learning under this policy.
   bn::ParameterLearnReport learn(bn::BayesianNetwork& net,
                                  const bn::Dataset& data,
@@ -50,6 +59,7 @@ class ReconstructionExecutor {
  private:
   Mode mode_;
   std::unique_ptr<ThreadPool> pool_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace kertbn::core

@@ -4,6 +4,7 @@
 
 #include "common/contract.hpp"
 #include "obs/sink.hpp"
+#include "overload/governor.hpp"
 
 namespace kertbn::quality {
 
@@ -308,6 +309,22 @@ StatusReport ModelQualityMonitor::report() const {
 
   const obs::MetricsSnapshot metrics =
       obs::MetricsRegistry::instance().snapshot();
+  // The governor publishes its ladder level as a gauge; its presence is
+  // the signal that overload control runs in this process.
+  if (const std::optional<double> level = metrics.gauge("kert.overload.level");
+      level.has_value()) {
+    OverloadStatus o;
+    o.level = ov::to_string(static_cast<ov::PressureLevel>(
+        static_cast<std::uint8_t>(*level)));
+    o.transitions = metrics.counter("kert.overload.transitions");
+    o.shed_intervals = metrics.counter("kert.ingest.shed_intervals");
+    o.rejected_ingest = metrics.counter("kert.overload.rejected.ingest");
+    o.shed_queries = metrics.counter("kert.query.shed");
+    o.deadline_exceeded = metrics.counter("kert.query.deadline_exceeded");
+    o.deferred_reconstructions = metrics.counter("kert.reconstruct.deferred");
+    o.aborted_reconstructions = metrics.counter("kert.reconstruct.aborted");
+    r.overload = o;
+  }
   r.query_count = metrics.counter("kert.query.count");
   if (const obs::HistogramStats* lat =
           metrics.histogram("kert.query.latency_ns");

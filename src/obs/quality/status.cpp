@@ -363,6 +363,23 @@ std::string StatusReport::to_json() const {
     out += ',';
   }
 
+  if (overload.has_value()) {
+    append_escaped(out, "overload");
+    out += ":{";
+    field_str(out, "level", overload->level);
+    field_u64(out, "transitions", overload->transitions);
+    field_u64(out, "shed_intervals", overload->shed_intervals);
+    field_u64(out, "rejected_ingest", overload->rejected_ingest);
+    field_u64(out, "shed_queries", overload->shed_queries);
+    field_u64(out, "deadline_exceeded", overload->deadline_exceeded);
+    field_u64(out, "deferred_reconstructions",
+              overload->deferred_reconstructions);
+    field_u64(out, "aborted_reconstructions",
+              overload->aborted_reconstructions);
+    close(out, '}');
+    out += ',';
+  }
+
   field_u64(out, "query_count", query_count);
   field_u64(out, "query_latency_p50_ns", query_latency_p50_ns);
   field_u64(out, "query_latency_p95_ns", query_latency_p95_ns);
@@ -440,6 +457,20 @@ std::optional<StatusReport> status_report_from_json(const std::string& text) {
     out.replayed_misses = rec->u64("replayed_misses");
     out.malformed_payloads = rec->u64("malformed_payloads");
     r.recovery = out;
+  }
+
+  if (const Value* ov = v.find("overload");
+      ov != nullptr && ov->kind == Value::Kind::kObject) {
+    OverloadStatus out;
+    out.level = ov->str("level");
+    out.transitions = ov->u64("transitions");
+    out.shed_intervals = ov->u64("shed_intervals");
+    out.rejected_ingest = ov->u64("rejected_ingest");
+    out.shed_queries = ov->u64("shed_queries");
+    out.deadline_exceeded = ov->u64("deadline_exceeded");
+    out.deferred_reconstructions = ov->u64("deferred_reconstructions");
+    out.aborted_reconstructions = ov->u64("aborted_reconstructions");
+    r.overload = out;
   }
 
   r.query_count = v.u64("query_count");

@@ -69,6 +69,21 @@ struct RecoveryStatus {
   bool operator==(const RecoveryStatus&) const = default;
 };
 
+/// Overload-control posture, mirrored from the PressureGovernor's metrics
+/// (absent when no governor runs in the process).
+struct OverloadStatus {
+  std::string level;  ///< normal / throttled / shedding / emergency.
+  std::uint64_t transitions = 0;        ///< Ladder moves so far.
+  std::uint64_t shed_intervals = 0;     ///< Ingest intervals shed.
+  std::uint64_t rejected_ingest = 0;    ///< Ingest admissions refused.
+  std::uint64_t shed_queries = 0;       ///< Queries refused pre-work.
+  std::uint64_t deadline_exceeded = 0;  ///< Queries expired pre-work.
+  std::uint64_t deferred_reconstructions = 0;
+  std::uint64_t aborted_reconstructions = 0;
+
+  bool operator==(const OverloadStatus&) const = default;
+};
+
 /// See file comment.
 struct StatusReport {
   double generated_at = 0.0;  ///< Simulated time of the snapshot.
@@ -94,6 +109,9 @@ struct StatusReport {
 
   // Durability provenance (absent when the process never recovered).
   std::optional<RecoveryStatus> recovery;
+
+  // Overload posture (absent when no governor runs in the process).
+  std::optional<OverloadStatus> overload;
 
   // Query serving (from the metrics registry).
   std::uint64_t query_count = 0;

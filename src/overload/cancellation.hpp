@@ -1,0 +1,65 @@
+#pragma once
+/// \file cancellation.hpp
+/// Cooperative cancellation for long-running work (model reconstruction).
+/// A CancellationSource owns the flag; CancellationTokens are cheap copies
+/// that observers poll. The flag itself is a plain `std::atomic<bool>` so
+/// lower layers (e.g. bn::learn_parameters) can consume a raw pointer to
+/// it without depending on this library — cancellation crosses library
+/// boundaries as `const std::atomic<bool>*`, nothing richer.
+///
+/// Cancellation here is *advisory*: setting it never interrupts anything;
+/// workers notice at their next check point and unwind along ordinary
+/// return paths (the ModelManager's last-known-good restore makes an
+/// aborted rebuild indistinguishable from a failed one).
+
+#include <atomic>
+#include <memory>
+
+namespace kertbn::ov {
+
+class CancellationToken;
+
+/// Owner side: request_cancel() flips the shared flag; reset() re-arms it
+/// for the next unit of work (tokens handed out earlier keep observing the
+/// same flag, so reset only between units of work, not mid-flight).
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  void reset() { flag_->store(false, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  CancellationToken token() const;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Observer side. Default-constructed tokens are never cancelled.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+  /// Raw flag for layers that must not depend on src/overload (nullptr for
+  /// a default-constructed token). Lifetime follows the source.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+inline CancellationToken CancellationSource::token() const {
+  return CancellationToken(flag_);
+}
+
+}  // namespace kertbn::ov

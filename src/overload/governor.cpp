@@ -1,0 +1,227 @@
+#include "overload/governor.hpp"
+
+#include <algorithm>
+
+namespace kertbn::ov {
+
+namespace {
+
+struct GovernorMetrics {
+  obs::Gauge& level = obs::MetricsRegistry::instance().gauge(
+      "kert.overload.level");
+  obs::Gauge& score = obs::MetricsRegistry::instance().gauge(
+      "kert.overload.score");
+  obs::Counter& transitions = obs::MetricsRegistry::instance().counter(
+      "kert.overload.transitions");
+  obs::Counter* admitted[kWorkClassCount] = {
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.admitted.ingest"),
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.admitted.reconstruction"),
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.admitted.query"),
+  };
+  obs::Counter* rejected[kWorkClassCount] = {
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.rejected.ingest"),
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.rejected.reconstruction"),
+      &obs::MetricsRegistry::instance().counter(
+          "kert.overload.rejected.query"),
+  };
+
+  static GovernorMetrics& get() {
+    static GovernorMetrics m;
+    return m;
+  }
+};
+
+/// Token cost multiplier for one unit of \p cls work at \p level; a
+/// negative multiplier means the class is refused outright at that level.
+double cost_factor(PressureLevel level, WorkClass cls) {
+  switch (level) {
+    case PressureLevel::kNormal:
+      return 1.0;
+    case PressureLevel::kThrottled:
+      return cls == WorkClass::kReconstruction ? 2.0 : 1.0;
+    case PressureLevel::kShedding:
+      return cls == WorkClass::kReconstruction ? -1.0 : 2.0;
+    case PressureLevel::kEmergency:
+      return cls == WorkClass::kReconstruction ? -1.0 : 4.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+const char* to_string(WorkClass cls) {
+  switch (cls) {
+    case WorkClass::kIngest:
+      return "ingest";
+    case WorkClass::kReconstruction:
+      return "reconstruction";
+    case WorkClass::kQuery:
+      return "query";
+  }
+  return "unknown";
+}
+
+const char* to_string(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::kNormal:
+      return "normal";
+    case PressureLevel::kThrottled:
+      return "throttled";
+    case PressureLevel::kShedding:
+      return "shedding";
+    case PressureLevel::kEmergency:
+      return "emergency";
+  }
+  return "unknown";
+}
+
+bool TokenBucket::try_take(double now_s, double cost) {
+  if (rate_ <= 0.0 && burst_ <= 0.0) return true;  // unconfigured: open
+  if (!primed_) {
+    primed_ = true;
+    last_refill_s_ = now_s;
+  }
+  const double elapsed = std::max(0.0, now_s - last_refill_s_);
+  last_refill_s_ = now_s;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  if (tokens_ + 1e-12 < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+PressureGovernor::PressureGovernor() : PressureGovernor(Config{}) {}
+
+PressureGovernor::PressureGovernor(Config config) : config_(config) {
+  buckets_[static_cast<std::size_t>(WorkClass::kIngest)] =
+      TokenBucket(config_.ingest_rate, config_.ingest_burst);
+  buckets_[static_cast<std::size_t>(WorkClass::kReconstruction)] =
+      TokenBucket(config_.reconstruction_rate, config_.reconstruction_burst);
+  buckets_[static_cast<std::size_t>(WorkClass::kQuery)] =
+      TokenBucket(config_.query_rate, config_.query_burst);
+}
+
+double PressureGovernor::raw_score(const LoadSignals& signals,
+                                   const char** dominant) const {
+  struct Term {
+    const char* name;
+    double value;
+  };
+  const Term terms[] = {
+      {"pool_queue_depth",
+       config_.pool_queue_limit > 0.0
+           ? signals.pool_queue_depth / config_.pool_queue_limit
+           : 0.0},
+      {"ingest_backlog",
+       config_.ingest_backlog_limit > 0.0
+           ? signals.ingest_backlog / config_.ingest_backlog_limit
+           : 0.0},
+      {"offered_load",
+       config_.offered_load_limit > 0.0
+           ? signals.offered_load / config_.offered_load_limit
+           : 0.0},
+      {"query_p99",
+       config_.query_p99_limit_ms > 0.0
+           ? signals.query_p99_ms / config_.query_p99_limit_ms
+           : 0.0},
+      // cpu_pressure is already normalized to [0, 1]; scale so saturated
+      // injected pressure alone reaches the shedding band.
+      {"cpu_pressure", signals.cpu_pressure * 1.5},
+  };
+  double best = 0.0;
+  const char* best_name = "none";
+  for (const Term& t : terms) {
+    if (t.value > best) {
+      best = t.value;
+      best_name = t.name;
+    }
+  }
+  if (dominant != nullptr) *dominant = best_name;
+  return best;
+}
+
+PressureLevel PressureGovernor::update(double now_s,
+                                       const LoadSignals& signals) {
+  const char* dominant = "none";
+  const double raw = raw_score(signals, &dominant);
+  if (!score_primed_) {
+    score_primed_ = true;
+    score_ = raw;
+  } else {
+    const double a = std::clamp(config_.ewma_alpha, 0.0, 1.0);
+    score_ = a * raw + (1.0 - a) * score_;
+  }
+
+  // Escalation is immediate (pressure is now); de-escalation is one rung
+  // at a time, gated on the exit threshold AND a minimum dwell so the
+  // ladder cannot flap around a noisy threshold.
+  PressureLevel level = this->level();
+  PressureLevel next = level;
+  if (score_ >= config_.emergency_enter) {
+    next = PressureLevel::kEmergency;
+  } else if (score_ >= config_.shed_enter &&
+             level < PressureLevel::kShedding) {
+    next = PressureLevel::kShedding;
+  } else if (score_ >= config_.throttle_enter &&
+             level < PressureLevel::kThrottled) {
+    next = PressureLevel::kThrottled;
+  } else if (now_s - level_since_s_ >= config_.min_dwell_s) {
+    switch (level) {
+      case PressureLevel::kEmergency:
+        if (score_ <= config_.emergency_exit)
+          next = PressureLevel::kShedding;
+        break;
+      case PressureLevel::kShedding:
+        if (score_ <= config_.shed_exit) next = PressureLevel::kThrottled;
+        break;
+      case PressureLevel::kThrottled:
+        if (score_ <= config_.throttle_exit) next = PressureLevel::kNormal;
+        break;
+      case PressureLevel::kNormal:
+        break;
+    }
+  }
+
+  if (next != level) {
+    transitions_.push_back(
+        {now_s, level, next, score_, std::string(dominant)});
+    level_.store(static_cast<std::uint8_t>(next),
+                 std::memory_order_relaxed);
+    level_since_s_ = now_s;
+    if (obs::enabled()) {
+      GovernorMetrics& m = GovernorMetrics::get();
+      m.transitions.add(1);
+      m.level.set(static_cast<double>(next));
+    }
+    level = next;
+  }
+  if (obs::enabled()) {
+    GovernorMetrics& m = GovernorMetrics::get();
+    m.score.set(score_);
+    m.level.set(static_cast<double>(level));
+  }
+  return level;
+}
+
+bool PressureGovernor::admit(WorkClass cls, double now_s, double cost) {
+  const std::size_t idx = static_cast<std::size_t>(cls);
+  const double factor = cost_factor(level(), cls);
+  bool ok = factor >= 0.0 &&
+            buckets_[idx].try_take(now_s, cost * factor);
+  if (ok) {
+    ++admitted_[idx];
+  } else {
+    ++rejected_[idx];
+  }
+  if (obs::enabled()) {
+    GovernorMetrics& m = GovernorMetrics::get();
+    (ok ? m.admitted[idx] : m.rejected[idx])->add(1);
+  }
+  return ok;
+}
+
+}  // namespace kertbn::ov

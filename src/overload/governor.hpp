@@ -1,0 +1,179 @@
+#pragma once
+/// \file governor.hpp
+/// Process-wide overload control: a PressureGovernor fuses load signals
+/// the pipeline already emits (pool queue depth, ingest backlog, offered
+/// load vs. capacity, query tail latency, injected CPU pressure) into one
+/// smoothed pressure score and walks a hysteresis-guarded degradation
+/// ladder
+///
+///     normal -> throttled -> shedding -> emergency
+///
+/// Each work class (ingest, reconstruction, query) additionally draws from
+/// its own token bucket; the ladder level scales the token cost (and cuts
+/// reconstruction off entirely past `throttled`), so the governor degrades
+/// the *cheapest-to-lose* work first: background rebuilds, then batch
+/// queries, then ingest batches — interactive queries last.
+///
+/// Determinism contract: the governor owns no clock and reads no
+/// wall-time. `update` and `admit` are pure functions of the caller-
+/// provided timestamps and signals (plus prior calls), so the same
+/// sequence of (now, signals) produces bit-identical transitions and
+/// admission decisions on every rerun — the property the overload
+/// acceptance tests pin down.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace kertbn::ov {
+
+/// Work classes with separate admission budgets. Order matters: it is the
+/// shedding order under pressure (reconstruction first, queries next,
+/// ingest last).
+enum class WorkClass : std::uint8_t {
+  kIngest = 0,
+  kReconstruction = 1,
+  kQuery = 2,
+};
+inline constexpr std::size_t kWorkClassCount = 3;
+
+const char* to_string(WorkClass cls);
+
+/// Degradation ladder, least to most severe.
+enum class PressureLevel : std::uint8_t {
+  kNormal = 0,
+  kThrottled = 1,
+  kShedding = 2,
+  kEmergency = 3,
+};
+
+const char* to_string(PressureLevel level);
+
+/// Deterministic token bucket. Refill is computed from the caller's
+/// timestamps (simulated seconds in the testbed), never from wall clock.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_s, double burst)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst) {}
+
+  /// Refills for the elapsed time since the last call, then tries to take
+  /// \p cost tokens. Time moving backwards is treated as zero elapsed.
+  bool try_take(double now_s, double cost);
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  double last_refill_s_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Instantaneous load signals, all deterministic by construction: queue
+/// and backlog depths are exact counts, offered_load is a ratio of counts,
+/// cpu_pressure comes from the fault injector's schedule. Fields the
+/// caller cannot observe stay 0 and drop out of the score.
+struct LoadSignals {
+  /// ThreadPool queue depth (tasks waiting, not running).
+  double pool_queue_depth = 0.0;
+  /// Ingest intervals admitted but not yet drained (ManagementServer
+  /// pending count).
+  double ingest_backlog = 0.0;
+  /// Offered / sustainable load ratio; 1.0 = at capacity.
+  double offered_load = 0.0;
+  /// Query p99 latency in milliseconds (0 when unobserved).
+  double query_p99_ms = 0.0;
+  /// Injected CPU pressure in [0, 1] from the fault plan (0 = none).
+  double cpu_pressure = 0.0;
+};
+
+/// One ladder move, recorded for tests and the status surface.
+struct GovernorTransition {
+  double at = 0.0;  ///< caller timestamp (simulated seconds)
+  PressureLevel from = PressureLevel::kNormal;
+  PressureLevel to = PressureLevel::kNormal;
+  double score = 0.0;  ///< smoothed pressure score at the move
+  std::string reason;  ///< dominant signal, e.g. "offered_load"
+
+  bool operator==(const GovernorTransition&) const = default;
+};
+
+/// The process-wide overload governor. Thread-compatible: `update` must be
+/// externally serialized (one control loop owns it); `admit` and the
+/// read-only accessors may race with it benignly via the atomic level.
+class PressureGovernor {
+ public:
+  struct Config {
+    /// Signal normalizers: each signal divided by its normalizer yields a
+    /// unitless pressure in which 1.0 means "at the design limit". The
+    /// score is the max over normalized signals (overload is whichever
+    /// resource saturates first, not an average).
+    double pool_queue_limit = 64.0;
+    double ingest_backlog_limit = 8.0;
+    double offered_load_limit = 1.0;
+    double query_p99_limit_ms = 50.0;
+
+    /// EWMA smoothing for the score (1.0 = unsmoothed).
+    double ewma_alpha = 0.5;
+
+    /// Hysteresis: enter a level when score >= enter, leave toward normal
+    /// only when score <= exit AND the level has dwelt `min_dwell_s`.
+    double throttle_enter = 0.75, throttle_exit = 0.50;
+    double shed_enter = 1.25, shed_exit = 0.90;
+    double emergency_enter = 2.00, emergency_exit = 1.50;
+    double min_dwell_s = 2.0;
+
+    /// Per-class token buckets (tokens per second, burst size). Defaults
+    /// are generous: at normal level nothing is refused in practice.
+    double ingest_rate = 64.0, ingest_burst = 64.0;
+    double reconstruction_rate = 4.0, reconstruction_burst = 4.0;
+    double query_rate = 200000.0, query_burst = 200000.0;
+  };
+
+  PressureGovernor();
+  explicit PressureGovernor(Config config);
+
+  /// Feeds one signal sample at caller time \p now_s (seconds, monotone
+  /// non-decreasing). Returns the level after any ladder move.
+  PressureLevel update(double now_s, const LoadSignals& signals);
+
+  /// Admission check for one unit of \p cls work at caller time \p now_s.
+  /// The current ladder level scales the token cost; past `throttled`,
+  /// reconstruction is refused outright. Never blocks.
+  bool admit(WorkClass cls, double now_s, double cost = 1.0);
+
+  PressureLevel level() const {
+    return static_cast<PressureLevel>(
+        level_.load(std::memory_order_relaxed));
+  }
+  double score() const { return score_; }
+  const std::vector<GovernorTransition>& transitions() const {
+    return transitions_;
+  }
+  std::uint64_t admitted(WorkClass cls) const {
+    return admitted_[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t rejected(WorkClass cls) const {
+    return rejected_[static_cast<std::size_t>(cls)];
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  double raw_score(const LoadSignals& signals, const char** dominant) const;
+
+  Config config_;
+  std::atomic<std::uint8_t> level_{0};
+  double score_ = 0.0;
+  bool score_primed_ = false;
+  double level_since_s_ = 0.0;
+  std::vector<GovernorTransition> transitions_;
+  TokenBucket buckets_[kWorkClassCount];
+  std::uint64_t admitted_[kWorkClassCount] = {0, 0, 0};
+  std::uint64_t rejected_[kWorkClassCount] = {0, 0, 0};
+};
+
+}  // namespace kertbn::ov

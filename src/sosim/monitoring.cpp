@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/span.hpp"
+#include "overload/governor.hpp"
 
 namespace kertbn::sim {
 
@@ -22,6 +23,8 @@ struct MonitorMetrics {
   obs::Counter& reports;
   obs::Histogram& batch_size;
   obs::Gauge& window_staleness;
+  obs::Counter& shed_intervals;
+  obs::Gauge& pending_intervals;
 
   static MonitorMetrics& get() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -33,7 +36,9 @@ struct MonitorMetrics {
                             reg.counter("monitor.duplicate_values"),
                             reg.counter("monitor.reports"),
                             reg.histogram("monitor.agent_batch_size"),
-                            reg.gauge("monitor.window_staleness")};
+                            reg.gauge("monitor.window_staleness"),
+                            reg.counter("kert.ingest.shed_intervals"),
+                            reg.gauge("kert.ingest.pending_intervals")};
     return m;
   }
 };
@@ -220,6 +225,70 @@ bool ManagementServer::ingest_interval(
   if (observer_) observer_(row);
   for (const RowObserver& extra : extra_observers_) extra(row);
   return true;
+}
+
+void ManagementServer::configure_admission(IngestAdmission admission) {
+  if (admission.max_pending == 0) admission.max_pending = 1;
+  admission_ = admission;
+  admission_configured_ = true;
+}
+
+bool ManagementServer::offer_interval(
+    const std::vector<AgentReport>& reports, double response_mean,
+    double now_s) {
+  if (!admission_configured_) {
+    return ingest_interval(reports, response_mean);
+  }
+  pending_.emplace_back(reports, response_mean);
+  bool any_row = false;
+  // Drain while the governor grants ingest tokens (no governor = open).
+  while (!pending_.empty()) {
+    if (admission_.governor != nullptr &&
+        !admission_.governor->admit(ov::WorkClass::kIngest, now_s)) {
+      break;
+    }
+    auto [batch, response] = std::move(pending_.front());
+    pending_.pop_front();
+    any_row = ingest_interval(batch, response) || any_row;
+  }
+  // Enforce the bound. Under kBlock the offering thread drains the excess
+  // itself — backpressure instead of loss; the other policies shed.
+  while (pending_.size() > admission_.max_pending) {
+    switch (admission_.policy) {
+      case IngestOverflowPolicy::kBlock: {
+        auto [batch, response] = std::move(pending_.front());
+        pending_.pop_front();
+        any_row = ingest_interval(batch, response) || any_row;
+        break;
+      }
+      case IngestOverflowPolicy::kShedOldest:
+        shed_one(/*oldest=*/true);
+        break;
+      case IngestOverflowPolicy::kRejectNew:
+        shed_one(/*oldest=*/false);
+        break;
+    }
+  }
+  // An offer that moved nothing into the window leaves the window one
+  // interval staler, exactly like a missed interval; a later drain resets
+  // the staleness when its row lands.
+  if (!any_row) interval_yielded_no_row();
+  if (obs::enabled()) {
+    MonitorMetrics::get().pending_intervals.set(
+        static_cast<double>(pending_.size()));
+  }
+  return any_row;
+}
+
+void ManagementServer::shed_one(bool oldest) {
+  if (pending_.empty()) return;
+  if (oldest) {
+    pending_.pop_front();
+  } else {
+    pending_.pop_back();
+  }
+  ++shed_intervals_;
+  if (obs::enabled()) MonitorMetrics::get().shed_intervals.add(1);
 }
 
 void ManagementServer::note_missed_interval() {

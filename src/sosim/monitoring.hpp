@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <span>
@@ -16,6 +17,10 @@
 
 #include "bn/dataset.hpp"
 #include "common/contract.hpp"
+
+namespace kertbn::ov {
+class PressureGovernor;
+}  // namespace kertbn::ov
 
 namespace kertbn::sim {
 
@@ -156,6 +161,30 @@ enum class DuplicateCoveragePolicy {
   kLastWins,
 };
 
+/// What bounded ingest admission does when the pending-interval queue is
+/// already full and another interval is offered.
+enum class IngestOverflowPolicy {
+  /// Drain the oldest pending intervals synchronously (bypassing the
+  /// governor's token budget) until the bound holds — backpressure: the
+  /// offering thread pays, nothing is lost.
+  kBlock,
+  /// Shed the oldest pending interval (newest data wins, matching the
+  /// sliding-window semantics) and count it.
+  kShedOldest,
+  /// Refuse the newly offered interval and count it.
+  kRejectNew,
+};
+
+/// Bounded-admission configuration for offer_interval. With a governor
+/// set, each pending interval must win an ingest token before it drains
+/// into the window; the queue never exceeds max_pending (overflow handled
+/// per policy), so ingest memory is bounded no matter the offered load.
+struct IngestAdmission {
+  ov::PressureGovernor* governor = nullptr;
+  std::size_t max_pending = 8;
+  IngestOverflowPolicy policy = IngestOverflowPolicy::kShedOldest;
+};
+
 /// Complete durable state of a ManagementServer: the sliding window, the
 /// carry-forward memory, and the accounting counters. Captured into
 /// checkpoints and restored after a crash so recovery resumes mid-window
@@ -232,6 +261,29 @@ class ManagementServer {
   bool ingest_interval(const std::vector<AgentReport>& reports,
                        double response_mean);
 
+  /// Arms bounded admission: offer_interval stops being a synonym for
+  /// ingest_interval and starts enforcing the pending bound / governor
+  /// budget. Call with a default-constructed IngestAdmission (null
+  /// governor, but still a finite max_pending) for a pure bound.
+  void configure_admission(IngestAdmission admission);
+  bool admission_configured() const { return admission_configured_; }
+
+  /// The overload-aware front door for interval ingestion. Unconfigured,
+  /// it forwards straight to ingest_interval (bit-identical to the seed
+  /// path). Configured, the interval joins a bounded pending queue; the
+  /// queue drains through ingest_interval while the governor grants
+  /// ingest tokens at \p now_s, and overflow is shed per the policy —
+  /// every shed interval is counted (kert.ingest.shed_intervals) and
+  /// feeds the same staleness accounting as a missed interval. Returns
+  /// true when at least one row entered the window during this call.
+  bool offer_interval(const std::vector<AgentReport>& reports,
+                      double response_mean, double now_s);
+
+  /// Intervals shed by bounded admission (never reached the window).
+  std::size_t shed_intervals() const { return shed_intervals_; }
+  /// Intervals admitted but not yet drained into the window.
+  std::size_t pending_intervals() const { return pending_.size(); }
+
   /// Records an interval that produced no ingestable reports at all (the
   /// caller never had anything to hand to ingest_interval — e.g. every
   /// agent was down). Feeds the same staleness accounting as a dropped
@@ -279,6 +331,10 @@ class ManagementServer {
  private:
   /// Shared bookkeeping for every way an interval can fail to yield a row.
   void interval_yielded_no_row();
+  /// Sheds one pending interval (front when \p oldest, else back) and
+  /// counts it; staleness is accounted per offered interval by
+  /// offer_interval itself.
+  void shed_one(bool oldest);
 
   std::size_t n_services_;
   ModelSchedule schedule_;
@@ -291,6 +347,10 @@ class ManagementServer {
   std::size_t duplicate_values_ = 0;
   std::size_t consecutive_missed_intervals_ = 0;
   std::vector<std::optional<double>> last_seen_;
+  IngestAdmission admission_;
+  bool admission_configured_ = false;
+  std::deque<std::pair<std::vector<AgentReport>, double>> pending_;
+  std::size_t shed_intervals_ = 0;
   RowObserver observer_;
   std::vector<RowObserver> extra_observers_;
   IngestLog ingest_log_;

@@ -74,6 +74,8 @@ ScenarioFamily::ScenarioFamily(std::uint64_t family_seed,
   KERTBN_EXPECTS(opts_.flash_crowd_factor_max >= 1.0);
   KERTBN_EXPECTS(opts_.fault_intensity >= 0.0 &&
                  opts_.fault_intensity <= 1.0);
+  KERTBN_EXPECTS(opts_.overload_intensity >= 0.0 &&
+                 opts_.overload_intensity <= 1.0);
   KERTBN_EXPECTS(opts_.arrival_rate > 0.0);
   KERTBN_EXPECTS(opts_.horizon_hint > 0.0);
 }
@@ -193,6 +195,36 @@ Scenario ScenarioFamily::make(std::size_t index) const {
       partition.until =
           partition.from + rng.uniform(0.02, 0.06) * opts_.horizon_hint;
       faults.partitions.push_back(partition);
+    }
+  }
+
+  // Overload faults — drawn strictly after everything above so existing
+  // scenario coordinates replay bit-identically at intensity 0.
+  if (opts_.overload_intensity > 0.0) {
+    const double intensity = opts_.overload_intensity;
+    if (rng.bernoulli(0.8)) {
+      const std::size_t bursts = 1 + rng.uniform_index(2);
+      for (std::size_t b = 0; b < bursts; ++b) {
+        fault::TimeWindow w;
+        w.from = rng.uniform(0.15, 0.75) * opts_.horizon_hint;
+        w.until = w.from + rng.uniform(0.05, 0.15) * opts_.horizon_hint;
+        faults.ingest_bursts.push_back(w);
+      }
+      faults.ingest_burst_factor = 1.0 + rng.uniform(1.0, 4.0) * intensity;
+    }
+    if (rng.bernoulli(0.5)) {
+      fault::TimeWindow w;
+      w.from = rng.uniform(0.20, 0.70) * opts_.horizon_hint;
+      w.until = w.from + rng.uniform(0.04, 0.12) * opts_.horizon_hint;
+      faults.cpu_stalls.push_back(w);
+      faults.cpu_stall_severity = intensity * rng.uniform(0.5, 1.0);
+    }
+    if (rng.bernoulli(0.5)) {
+      fault::TimeWindow w;
+      w.from = rng.uniform(0.25, 0.80) * opts_.horizon_hint;
+      w.until = w.from + rng.uniform(0.03, 0.10) * opts_.horizon_hint;
+      faults.query_floods.push_back(w);
+      faults.query_flood_factor = 1.0 + rng.uniform(2.0, 6.0) * intensity;
     }
   }
 

@@ -81,6 +81,12 @@ struct ScenarioFamilyOptions {
   /// 0 disables fault plans; 1 is the full canonical degraded environment
   /// (10% report loss, crashes, partitions). Scales every probability.
   double fault_intensity = 0.0;
+  /// 0 disables overload faults; 1 schedules the full overload battery
+  /// (ingest bursts, CPU-pressure stalls, query floods) and scales their
+  /// severity. All draws for these happen *after* every other draw, so
+  /// scenarios generated at intensity 0 are bit-identical to pre-overload
+  /// families.
+  double overload_intensity = 0.0;
   /// Nominal Poisson request rate before the load curve (req/s).
   double arrival_rate = 2.0;
   /// Rough scenario lifetime used to place load-curve and fault events.

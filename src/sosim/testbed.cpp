@@ -1,7 +1,10 @@
 #include "sosim/testbed.hpp"
 
+#include <cmath>
+
 #include "common/contract.hpp"
 #include "fault/fault_injector.hpp"
+#include "overload/governor.hpp"
 #include "workflow/ediamond.hpp"
 
 namespace kertbn::sim {
@@ -44,7 +47,13 @@ bool MonitoredTestbed::advance_interval() {
   // Publish simulation time to the fault layer so channel partitions and
   // crash windows scheduled in sim seconds resolve correctly.
   const fault::FaultInjector* inj = fault::active();
-  if (inj != nullptr) fault::set_sim_now(interval_end);
+  if (inj != nullptr) {
+    fault::set_sim_now(interval_end);
+    // Realize a scheduled CPU-pressure stall as real (timing-only) spin
+    // work; the *deterministic* face of the same fault feeds the governor
+    // below via LoadSignals::cpu_pressure.
+    fault::maybe_cpu_stall();
+  }
 
   // An agent is "down" this interval when its crash window covers either
   // endpoint: a crashed agent batches nothing and reports nothing (its
@@ -122,13 +131,55 @@ bool MonitoredTestbed::advance_interval() {
   }
   delayed_ = std::move(delayed_next);
 
+  // Feed the governor one deterministic signal sample per interval,
+  // *before* ingestion: backlog is what last interval left pending,
+  // offered load compares this interval's completion count to a slow EWMA
+  // of past counts (alpha 0.05, so a flash crowd reads as >1 while the
+  // baseline barely moves), CPU pressure comes straight off the fault
+  // schedule. Same seed, same trace, same signals — bit-identical ladder.
+  if (governor_ != nullptr) {
+    const double completions = static_cast<double>(response_count);
+    ov::LoadSignals signals;
+    signals.ingest_backlog =
+        static_cast<double>(server_.pending_intervals());
+    if (!load_primed_) {
+      load_primed_ = true;
+      load_ewma_ = completions;
+      signals.offered_load = completions > 0.0 ? 1.0 : 0.0;
+    } else {
+      signals.offered_load =
+          load_ewma_ > 0.0 ? completions / load_ewma_ : 0.0;
+      load_ewma_ = 0.05 * completions + 0.95 * load_ewma_;
+    }
+    signals.cpu_pressure =
+        inj != nullptr ? inj->cpu_pressure(interval_end) : 0.0;
+    governor_->update(interval_end, signals);
+  }
+
   if (!tolerate_gaps && !complete) return false;
   if (response_count == 0 || reports.empty()) {
     if (tolerate_gaps) server_.note_missed_interval();
     return false;
   }
-  return server_.ingest_interval(reports,
-                                 response_sum / double(response_count));
+  const double response_mean = response_sum / double(response_count);
+
+  // An ingest-burst fault multiplies the offered ingest work: the same
+  // interval batch is offered `factor` times, deterministically. With
+  // admission configured the extras land in the bounded pending queue
+  // (and are shed or deferred per policy); without it the path below is
+  // byte-for-byte the seed behavior.
+  const double burst =
+      inj != nullptr ? inj->ingest_burst_factor(interval_end) : 1.0;
+  const std::size_t offers = static_cast<std::size_t>(
+      std::max<long long>(1, std::llround(burst)));
+  if (!server_.admission_configured() && offers == 1) {
+    return server_.ingest_interval(reports, response_mean);
+  }
+  bool any = false;
+  for (std::size_t o = 0; o < offers; ++o) {
+    any = server_.offer_interval(reports, response_mean, interval_end) || any;
+  }
+  return any;
 }
 
 void MonitoredTestbed::advance_construction_intervals(

@@ -63,6 +63,17 @@ class MonitoredTestbed {
   /// Data-collection intervals advanced so far.
   std::size_t interval_index() const { return interval_index_; }
 
+  /// Attaches an overload governor (non-owning; may be nullptr to detach).
+  /// Once attached, every advance_interval() feeds it one deterministic
+  /// LoadSignals sample at the interval end — ingest backlog from the
+  /// server's pending queue, offered load as this interval's completion
+  /// count over a slow EWMA of past counts, CPU pressure from the fault
+  /// plan — *before* the interval's reports are offered for ingestion.
+  /// Pair with ManagementServer::configure_admission to make the same
+  /// governor gate the ingest path.
+  void set_governor(ov::PressureGovernor* governor) { governor_ = governor; }
+  ov::PressureGovernor* governor() const { return governor_; }
+
   /// Advances \p n construction intervals (alpha data intervals each) and
   /// invokes \p on_construction_due(now) at every T_CON boundary.
   void advance_construction_intervals(
@@ -86,6 +97,12 @@ class MonitoredTestbed {
   /// Per-service measurement sequence numbers — the deterministic
   /// coordinates corruption decisions are keyed on.
   std::vector<std::size_t> measurement_seq_;
+  /// Overload governor fed one signal sample per interval (non-owning).
+  ov::PressureGovernor* governor_ = nullptr;
+  /// Slow EWMA of per-interval completion counts — the "sustainable load"
+  /// denominator of the offered_load signal.
+  double load_ewma_ = 0.0;
+  bool load_primed_ = false;
 };
 
 /// The eDiaMoND test-bed with monitoring, at the Section 5 schedule.

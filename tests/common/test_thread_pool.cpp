@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 namespace kertbn {
 namespace {
@@ -112,6 +115,57 @@ TEST(ThreadPoolStress, RepeatedConstructDestroyShutsDownCleanly) {
     }
   }  // destructor drains + joins every round
   EXPECT_EQ(counter.load(), 50 * 8);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1);
+  pool.set_queue_limit(2);
+
+  // Wedge the single worker so submitted tasks pile up in the queue.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<bool> started{false};
+  auto blocker = pool.try_submit([&started, open] {
+    started.store(true);
+    open.wait();
+  });
+  ASSERT_TRUE(blocker.has_value());
+  while (!started.load()) std::this_thread::yield();
+
+  // The worker is busy, the queue holds 2: the third enqueue is refused.
+  auto a = pool.try_submit([] { return 1; });
+  auto b = pool.try_submit([] { return 2; });
+  auto rejected = pool.try_submit([] { return 3; });
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  // Plain submit stays unbounded — the limit only governs try_submit.
+  auto forced = pool.submit([] { return 4; });
+
+  gate.set_value();
+  EXPECT_EQ(a->get(), 1);
+  EXPECT_EQ(b->get(), 2);
+  EXPECT_EQ(forced.get(), 4);
+  blocker->get();
+
+  // With the queue drained, try_submit admits again.
+  auto later = pool.try_submit([] { return 5; });
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(later->get(), 5);
+}
+
+TEST(ThreadPool, ZeroQueueLimitMeansUnbounded) {
+  ThreadPool pool(2);
+  pool.set_queue_limit(0);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto f = pool.try_submit([i] { return i; });
+    ASSERT_TRUE(f.has_value());
+    futures.push_back(std::move(*f));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i);
 }
 
 TEST(ThreadPoolStress, ConcurrentParallelForCallsShareOnePool) {

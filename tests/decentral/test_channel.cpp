@@ -82,6 +82,47 @@ TEST(Channel, SendToClosedChannelIsRejected) {
   EXPECT_EQ(ch.pending(), 0u);
 }
 
+TEST(Channel, BoundedMailboxDropsOldestAndCountsIt) {
+  Channel ch(2);
+  EXPECT_EQ(ch.capacity(), 2u);
+  EXPECT_TRUE(ch.send({1, {1.0}}));
+  EXPECT_TRUE(ch.send({2, {2.0}}));
+  // Full mailbox: the newest message still lands, the OLDEST is dropped —
+  // in a monitoring stream the most recent interval is the valuable one.
+  EXPECT_TRUE(ch.send({3, {3.0}}));
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.dropped_oldest(), 1u);
+  EXPECT_EQ(ch.receive()->from_service, 2u);
+  EXPECT_EQ(ch.receive()->from_service, 3u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Channel, ZeroCapacityClampsToOne) {
+  Channel ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+  EXPECT_TRUE(ch.send({1, {1.0}}));
+  EXPECT_TRUE(ch.send({2, {2.0}}));
+  EXPECT_EQ(ch.pending(), 1u);
+  EXPECT_EQ(ch.dropped_oldest(), 1u);
+  EXPECT_EQ(ch.receive()->from_service, 2u);
+}
+
+TEST(Channel, BoundHoldsUnderProducerBurst) {
+  Channel ch(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < 100; ++i) {
+        ch.send({static_cast<std::size_t>(p), {double(i)}});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Losses happened, were counted, and the bound held.
+  EXPECT_LE(ch.pending(), 8u);
+  EXPECT_EQ(ch.pending() + ch.dropped_oldest(), 400u);
+}
+
 TEST(Channel, ManyProducersOneConsumer) {
   Channel ch;
   const int producers = 4;
