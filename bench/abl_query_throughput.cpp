@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "bn/junction_tree.hpp"
 #include "bn/tabular_cpd.hpp"
+#include "common/cpu_features.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "kert/kert_builder.hpp"
@@ -41,19 +42,25 @@ bench::SeriesCollector& series() {
   return collector;
 }
 
-/// Random connected discrete network: varied cardinalities, 1–3 parents
-/// per non-root node (so the junction tree is one component with many
-/// small cliques — the regime where incremental recalibration pays; a
-/// fragmented forest would cap the full-recalibration cost instead).
-bn::BayesianNetwork random_network(std::size_t n, std::uint64_t seed) {
+/// Random connected discrete network: 1–3 parents per non-root node (so
+/// the junction tree is one component with many small cliques — the
+/// regime where incremental recalibration pays; a fragmented forest would
+/// cap the full-recalibration cost instead). `card_lo`/`card_span` set
+/// the cardinality range: 2–3 mirrors coarse KERT discretization, 8–11
+/// mirrors fine-binned models whose factor tables have inner runs long
+/// enough for the SIMD kernels to fill vector lanes.
+bn::BayesianNetwork random_network(std::size_t n, std::uint64_t seed,
+                                   std::size_t card_lo = 2,
+                                   std::size_t card_span = 2,
+                                   std::size_t max_parents_cap = 3) {
   Rng rng(seed);
   bn::BayesianNetwork net;
   for (std::size_t i = 0; i < n; ++i) {
-    net.add_node(bn::Variable::discrete("v" + std::to_string(i),
-                                        2 + rng.uniform_index(2)));
+    net.add_node(bn::Variable::discrete(
+        "v" + std::to_string(i), card_lo + rng.uniform_index(card_span)));
   }
   for (std::size_t v = 1; v < n; ++v) {
-    const std::size_t max_parents = std::min<std::size_t>(v, 3);
+    const std::size_t max_parents = std::min<std::size_t>(v, max_parents_cap);
     const std::size_t k = 1 + rng.uniform_index(max_parents);
     auto perm = rng.permutation(v);
     for (std::size_t i = 0; i < k; ++i) net.add_edge(perm[i], v);
@@ -89,13 +96,12 @@ double serve_round(bn::JunctionTree& jt, std::size_t e_node,
   return checksum;
 }
 
-/// Scenario A: the tentpole speedup number. The same evidence stream is
+/// Shared body of the recalibration scenarios: the same evidence stream
 /// served by a full-recalibration tree and an incremental one; the
 /// speedup counter is what the acceptance criterion reads.
-void BM_RecalibrationSpeedup(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const bn::BayesianNetwork net = random_network(n, 7);
-
+void run_recalibration(benchmark::State& state, const bn::BayesianNetwork& net,
+                       const char* label) {
+  const std::size_t n = net.size();
   // Evidence on the deepest node with parents; query one of its parents
   // (same family clique). A query's dirty region is then one clique while
   // full recalibration re-derives every message pulled toward the target.
@@ -137,10 +143,31 @@ void BM_RecalibrationSpeedup(benchmark::State& state) {
   state.counters["full_us_per_query"] = full_us;
   state.counters["incremental_us_per_query"] = inc_us;
   state.counters["speedup"] = full_us / inc_us;
-  series().add_row({std::string("recalib/full_us"), double(n), full_us});
-  series().add_row({std::string("recalib/inc_us"), double(n), inc_us});
+  // Which SIMD dispatch tier served this run (0 scalar / 1 avx2 /
+  // 2 avx512) — baselines recorded at different tiers are not comparable,
+  // so the guard in perf_smoke.sh reads this to pick its limits.
+  state.counters["simd_tier"] =
+      double(static_cast<int>(kertbn::simd::active_tier()));
+  series().add_row({std::string(label) + "/full_us", double(n), full_us});
+  series().add_row({std::string(label) + "/inc_us", double(n), inc_us});
   series().add_row(
-      {std::string("recalib/speedup"), double(n), full_us / inc_us});
+      {std::string(label) + "/speedup", double(n), full_us / inc_us});
+}
+
+/// Scenario A: coarse-binned models (cards 2–3), the original tentpole
+/// number. Inner runs are 2–9 elements, so this measures the planning and
+/// fusion work more than the vector width.
+void BM_RecalibrationSpeedup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_recalibration(state, random_network(n, 7), "recalib");
+}
+
+/// Scenario A': fine-binned models (cards 8–11, ≤2 parents) — factor
+/// tables with unit-stride runs long enough to fill 4/8-double vector
+/// lanes. The SIMD-vs-scalar per-query ratio is read off this scenario.
+void BM_RecalibrationSpeedupWide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_recalibration(state, random_network(n, 7, 8, 4, 2), "recalib_wide");
 }
 
 /// Published eDiaMoND snapshot for the serving scenarios.
@@ -280,6 +307,9 @@ void BM_MixedServing(benchmark::State& state) {
 
 BENCHMARK(BM_RecalibrationSpeedup)
     ->Arg(24)->Arg(32)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecalibrationSpeedupWide)
+    ->Arg(12)->Arg(16)
     ->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BatchThroughput)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)

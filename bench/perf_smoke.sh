@@ -36,6 +36,29 @@ if [ ! -f "$baseline" ]; then
   exit 1
 fi
 
+# The committed baselines are recorded from a Release build; comparing a
+# Debug run against them produces spurious FAILs (or, worse, re-recording
+# from Debug produces baselines every Release run trivially beats). The
+# project's own CMAKE_BUILD_TYPE is authoritative — google-benchmark's
+# library_build_type JSON field reflects how *libbenchmark* was built,
+# not this tree.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [ "${KERTBN_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+      echo "warning: build type '${build_type:-unknown}' is not Release —" \
+           "guard verdicts are not meaningful" >&2
+    else
+      echo "error: build type '${build_type:-unknown}' is not Release" >&2
+      echo "  Configure with cmake --preset release (or set" >&2
+      echo "  KERTBN_BENCH_ALLOW_NONRELEASE=1 to run anyway)." >&2
+      exit 1
+    fi
+    ;;
+esac
+
 "$bin" --benchmark_filter=RecalibrationSpeedup \
        --benchmark_out="$out" --benchmark_out_format=json >/dev/null
 
@@ -47,22 +70,24 @@ SLOWDOWN_LIMIT = 2.0
 KEYS = ("incremental_us_per_query", "full_us_per_query")
 
 
-def counters(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    out = {}
+    out, tiers = {}, set()
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
         if "RecalibrationSpeedup" not in name:
             continue
+        if "simd_tier" in bench:
+            tiers.add(int(bench["simd_tier"]))
         for key in KEYS:
             if key in bench:
                 out[(name, key)] = float(bench[key])
-    return out
+    return out, (max(tiers) if tiers else 0)
 
 
-base = counters(sys.argv[1])
-fresh = counters(sys.argv[2])
+base, base_tier = load(sys.argv[1])
+fresh, fresh_tier = load(sys.argv[2])
 if not fresh:
     print("FAIL  no RecalibrationSpeedup results in fresh run")
     sys.exit(1)
@@ -78,6 +103,13 @@ for key, fresh_v in sorted(fresh.items()):
     print(f"{verdict}  {key[0]} {key[1]}: "
           f"baseline {base_v:.3f}us fresh {fresh_v:.3f}us ({ratio:.2f}x)")
     failed = failed or ratio > SLOWDOWN_LIMIT
+    # Soft SIMD guard: against the scalar-recorded baseline, a SIMD tier
+    # is expected to be at least as fast. A WARN (not a failure — shared
+    # hosts are noisy) flags a vectorized build that lost its speedup.
+    if fresh_tier > base_tier and ratio > 1.0:
+        print(f"WARN  {key[0]} {key[1]}: simd tier {fresh_tier} is slower "
+              f"than the tier-{base_tier} baseline ({ratio:.2f}x) — "
+              f"vectorized kernels may have regressed")
 
 sys.exit(1 if failed else 0)
 EOF

@@ -23,6 +23,28 @@ if [ ! -d "$bench_dir" ]; then
   exit 1
 fi
 
+# Numbers from an unoptimized build measure the wrong code and must never
+# be recorded as (or compared against) committed baselines. The project's
+# own CMAKE_BUILD_TYPE is authoritative — google-benchmark's
+# library_build_type JSON field reflects how *libbenchmark* was built,
+# not this tree.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+case "$build_type" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [ "${KERTBN_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+      echo "warning: build type '${build_type:-unknown}' is not Release —" \
+           "results are not baseline-comparable" >&2
+    else
+      echo "error: build type '${build_type:-unknown}' is not Release" >&2
+      echo "  Configure with cmake --preset release (or set" >&2
+      echo "  KERTBN_BENCH_ALLOW_NONRELEASE=1 to run anyway)." >&2
+      exit 1
+    fi
+    ;;
+esac
+
 mkdir -p "$out_dir"
 
 status=0

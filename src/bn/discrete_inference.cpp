@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bn/factor_kernels.hpp"
 #include "bn/tabular_cpd.hpp"
 #include "common/contract.hpp"
 
@@ -48,13 +49,23 @@ Factor VariableElimination::node_factor(std::size_t v) const {
 
 Factor VariableElimination::run(std::span<const std::size_t> keep,
                                 const DiscreteEvidence& evidence) const {
+  // Runs on the flat factor kernels shared with the junction tree (same
+  // fold order and summation order as the legacy Factor chain, so the
+  // scalar dispatch tier is bit-identical to it). VE instances are built
+  // per query by the pruned-query router, so the plan cache is run-local —
+  // it still pays off because elimination re-hits the same scope shapes.
+  FactorWorkspace ws;
+  auto has_var = [](const FlatFactor& f, std::size_t var) {
+    return std::find(f.scope.begin(), f.scope.end(), var) != f.scope.end();
+  };
+
   // Build all node factors, applying evidence reductions eagerly.
-  std::vector<Factor> factors;
+  std::vector<FlatFactor> factors;
   factors.reserve(net_.size());
   for (std::size_t v = 0; v < net_.size(); ++v) {
-    Factor f = node_factor(v);
+    FlatFactor f = FlatFactor::from(node_factor(v));
     for (const auto& [var, state] : evidence) {
-      if (f.has_variable(var)) f = f.reduce(var, state);
+      if (has_var(f, var)) reduce_evidence(f, var, state);
     }
     factors.push_back(std::move(f));
   }
@@ -70,6 +81,7 @@ Factor VariableElimination::run(std::span<const std::size_t> keep,
     if (!is_kept[v]) hidden.push_back(v);
   }
 
+  FlatFactor tmp;
   while (!hidden.empty()) {
     // Pick the hidden variable whose elimination builds the smallest factor.
     std::size_t best_pos = 0;
@@ -78,13 +90,13 @@ Factor VariableElimination::run(std::span<const std::size_t> keep,
       const std::size_t var = hidden[i];
       double cost = 1.0;
       std::vector<std::size_t> seen;
-      for (const Factor& f : factors) {
-        if (!f.has_variable(var)) continue;
-        for (std::size_t k = 0; k < f.scope().size(); ++k) {
-          const std::size_t sv = f.scope()[k];
+      for (const FlatFactor& f : factors) {
+        if (!has_var(f, var)) continue;
+        for (std::size_t k = 0; k < f.scope.size(); ++k) {
+          const std::size_t sv = f.scope[k];
           if (std::find(seen.begin(), seen.end(), sv) == seen.end()) {
             seen.push_back(sv);
-            cost *= static_cast<double>(f.cardinalities()[k]);
+            cost *= static_cast<double>(f.cards[k]);
           }
         }
       }
@@ -97,23 +109,34 @@ Factor VariableElimination::run(std::span<const std::size_t> keep,
     hidden.erase(hidden.begin() + static_cast<std::ptrdiff_t>(best_pos));
 
     // Multiply all factors mentioning var, then sum it out.
-    Factor combined = Factor::unit();
-    std::vector<Factor> rest;
+    FlatFactor combined = FlatFactor::unit();
+    std::vector<FlatFactor> rest;
     rest.reserve(factors.size());
-    for (Factor& f : factors) {
-      if (f.has_variable(var)) {
-        combined = combined.product(f);
+    for (FlatFactor& f : factors) {
+      if (has_var(f, var)) {
+        ws.product(combined, f, tmp);
+        std::swap(combined, tmp);
       } else {
         rest.push_back(std::move(f));
       }
     }
-    rest.push_back(combined.marginalize(var));
+    std::vector<std::size_t> target;
+    target.reserve(combined.scope.size());
+    for (std::size_t sv : combined.scope) {
+      if (sv != var) target.push_back(sv);
+    }
+    FlatFactor reduced;
+    ws.reduce(combined, target, reduced);
+    rest.push_back(std::move(reduced));
     factors = std::move(rest);
   }
 
-  Factor result = Factor::unit();
-  for (const Factor& f : factors) result = result.product(f);
-  return result;
+  FlatFactor result = FlatFactor::unit();
+  for (const FlatFactor& f : factors) {
+    ws.product(result, f, tmp);
+    std::swap(result, tmp);
+  }
+  return result.to_factor();
 }
 
 std::vector<double> VariableElimination::posterior(

@@ -1,17 +1,31 @@
 #include "bn/factor_kernels.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
 
+#include "bn/factor_simd.hpp"
 #include "common/contract.hpp"
+#include "common/cpu_features.hpp"
 
 namespace kertbn::bn {
 namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Below these widths a dispatched kernel call is pure overhead; the
+/// inline scalar loops used instead perform the identical operation order,
+/// so the thresholds never change results on the scalar tier and on SIMD
+/// tiers only trade vector width against call overhead.
+constexpr std::size_t kMinColsWidth = 4;
+constexpr std::size_t kMinHsumWidth = 16;
 
 std::size_t find_in(std::span<const std::size_t> scope, std::size_t var) {
   for (std::size_t i = 0; i < scope.size(); ++i) {
     if (scope[i] == var) return i;
   }
-  return static_cast<std::size_t>(-1);
+  return kNone;
 }
 
 /// Row-major stride of dimension \p dim in a factor with \p cards.
@@ -20,6 +34,169 @@ std::size_t stride_of(std::span<const std::size_t> cards, std::size_t dim) {
   for (std::size_t i = cards.size(); i-- > dim + 1;) s *= cards[i];
   return s;
 }
+
+std::size_t product_of(std::span<const std::size_t> cards) {
+  std::size_t n = 1;
+  for (std::size_t c : cards) n *= c;
+  return n;
+}
+
+/// Finds the longest trailing run of dimensions over which every stride
+/// row is uniformly constant (0 throughout) or exactly contiguous (the
+/// row's offset advances by 1 per element across the whole run) — the
+/// restructured odometer walk that makes the innermost loop unit-stride
+/// and therefore gather-free. Card-1 dimensions never advance and are
+/// included unconditionally. On success fills \p steps with each row's
+/// per-element step (0 = broadcast, 1 = stream); if even the innermost
+/// advancing dimension disqualifies some row, falls back to a
+/// one-dimension run with the rows' general strides in \p steps.
+struct TrailingRun {
+  std::size_t len = 1;
+  std::size_t dims = 0;
+  bool vector_run = false;
+};
+
+TrailingRun find_trailing_run(std::span<const std::size_t> cards,
+                              std::span<const std::size_t* const> rows,
+                              std::vector<std::size_t>& steps) {
+  TrailingRun r;
+  const std::size_t nd = cards.size();
+  steps.assign(rows.size(), 0);
+  if (nd == 0) return r;
+
+  enum : std::uint8_t { kUnset = 0, kConst = 1, kContig = 2 };
+  std::vector<std::uint8_t> modes(rows.size(), kUnset);
+  std::vector<std::uint8_t> trial(rows.size());
+  r.vector_run = true;
+  while (r.dims < nd) {
+    const std::size_t d = nd - 1 - r.dims;
+    const std::size_t c = cards[d];
+    if (c > 1) {
+      trial = modes;
+      bool ok = true;
+      for (std::size_t k = 0; k < rows.size() && ok; ++k) {
+        const std::size_t s = rows[k][d];
+        switch (trial[k]) {
+          case kUnset:
+            if (s == 0) {
+              trial[k] = kConst;
+            } else if (s == r.len) {
+              trial[k] = kContig;
+            } else {
+              ok = false;
+            }
+            break;
+          case kConst:
+            ok = (s == 0);
+            break;
+          default:  // kContig
+            ok = (s == r.len);
+            break;
+        }
+      }
+      if (!ok) break;
+      modes = trial;
+      r.len *= c;
+    }
+    r.dims += 1;
+  }
+
+  if (r.dims == 0) {
+    r.vector_run = false;
+    r.dims = 1;
+    r.len = cards[nd - 1];
+    for (std::size_t k = 0; k < rows.size(); ++k) steps[k] = rows[k][nd - 1];
+    return r;
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    steps[k] = (modes[k] == kContig) ? 1 : 0;
+  }
+  return r;
+}
+
+/// Advances the outer odometer (dims [0, outer_nd), last fastest),
+/// carrying every offset along its stride row. Returns false when the
+/// walk completes.
+bool advance_outer(std::span<const std::size_t> cards, std::size_t outer_nd,
+                   std::vector<std::size_t>& odometer,
+                   std::span<const std::size_t* const> rows,
+                   std::size_t* offs) {
+  std::size_t d = outer_nd;
+  while (d-- > 0) {
+    for (std::size_t k = 0; k < rows.size(); ++k) offs[k] += rows[k][d];
+    if (++odometer[d] < cards[d]) return true;
+    odometer[d] = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      offs[k] -= rows[k][d] * cards[d];
+    }
+  }
+  return false;
+}
+
+/// Merged product scope: fold operand scopes left to right, each operand
+/// appending its new variables — the exact scope (and value layout) the
+/// pairwise Factor::product chain yields.
+void merge_scopes(std::span<const FlatFactor* const> ops,
+                  std::vector<std::size_t>& scope,
+                  std::vector<std::size_t>& cards) {
+  scope.clear();
+  cards.clear();
+  for (const FlatFactor* op : ops) {
+    KERTBN_EXPECTS(op->scope.size() == op->cards.size());
+    for (std::size_t i = 0; i < op->scope.size(); ++i) {
+      if (find_in(scope, op->scope[i]) == kNone) {
+        scope.push_back(op->scope[i]);
+        cards.push_back(op->cards[i]);
+      }
+    }
+  }
+}
+
+void fill_stride_row(std::span<const std::size_t> out_scope,
+                     const FlatFactor& op, std::size_t* row) {
+  for (std::size_t d = 0; d < out_scope.size(); ++d) {
+    const std::size_t idx = find_in(op.scope, out_scope[d]);
+    row[d] = (idx == kNone) ? 0 : stride_of(op.cards, idx);
+  }
+}
+
+/// Stack-or-heap operand state for the multi-operand walks: per-operand
+/// offsets, stride-row pointers and inner-run descriptors. Messages have a
+/// handful of operands, so the stack arrays are the steady state.
+struct OperandState {
+  static constexpr std::size_t kStack = 16;
+  std::array<std::size_t, kStack + 1> offs_stack;
+  std::array<const std::size_t*, kStack + 1> rows_stack;
+  std::array<simd_kernels::ChainOp, kStack> cops_stack;
+  std::vector<std::size_t> offs_heap;
+  std::vector<const std::size_t*> rows_heap;
+  std::vector<simd_kernels::ChainOp> cops_heap;
+  std::size_t* offs = nullptr;
+  const std::size_t** rows = nullptr;
+  simd_kernels::ChainOp* cops = nullptr;
+
+  /// \p rows_needed may exceed the chain-op count by one (the output row
+  /// of the fused walk).
+  OperandState(std::size_t nops, std::size_t rows_needed,
+               const std::size_t* strides, std::size_t nd) {
+    if (rows_needed > kStack + 1 || nops > kStack) {
+      offs_heap.assign(rows_needed, 0);
+      rows_heap.resize(rows_needed);
+      cops_heap.resize(nops);
+      offs = offs_heap.data();
+      rows = rows_heap.data();
+      cops = cops_heap.data();
+    } else {
+      offs = offs_stack.data();
+      rows = rows_stack.data();
+      cops = cops_stack.data();
+    }
+    for (std::size_t k = 0; k < rows_needed; ++k) {
+      offs[k] = 0;
+      rows[k] = strides + k * nd;
+    }
+  }
+};
 
 }  // namespace
 
@@ -39,26 +216,32 @@ ProductPlan make_product_plan(std::span<const std::size_t> scope_a,
   plan.out_scope.assign(scope_a.begin(), scope_a.end());
   plan.out_cards.assign(cards_a.begin(), cards_a.end());
   for (std::size_t i = 0; i < scope_b.size(); ++i) {
-    if (find_in(scope_a, scope_b[i]) == static_cast<std::size_t>(-1)) {
+    if (find_in(scope_a, scope_b[i]) == kNone) {
       plan.out_scope.push_back(scope_b[i]);
       plan.out_cards.push_back(cards_b[i]);
     }
   }
-  plan.out_size = 1;
-  for (std::size_t c : plan.out_cards) plan.out_size *= c;
+  plan.out_size = product_of(plan.out_cards);
 
   const std::size_t nd = plan.out_scope.size();
   plan.stride_a.assign(nd, 0);
   plan.stride_b.assign(nd, 0);
   for (std::size_t i = 0; i < nd; ++i) {
     const std::size_t pa = find_in(scope_a, plan.out_scope[i]);
-    if (pa != static_cast<std::size_t>(-1)) {
-      plan.stride_a[i] = stride_of(cards_a, pa);
-    }
+    if (pa != kNone) plan.stride_a[i] = stride_of(cards_a, pa);
     const std::size_t pb = find_in(scope_b, plan.out_scope[i]);
-    if (pb != static_cast<std::size_t>(-1)) {
-      plan.stride_b[i] = stride_of(cards_b, pb);
-    }
+    if (pb != kNone) plan.stride_b[i] = stride_of(cards_b, pb);
+  }
+
+  const std::size_t* rows[2] = {plan.stride_a.data(), plan.stride_b.data()};
+  std::vector<std::size_t> steps;
+  const TrailingRun run = find_trailing_run(plan.out_cards, rows, steps);
+  plan.run_len = run.len;
+  plan.run_dims = run.dims;
+  plan.vector_run = run.vector_run;
+  if (nd > 0) {
+    plan.run_step_a = steps[0];
+    plan.run_step_b = steps[1];
   }
   return plan;
 }
@@ -73,39 +256,27 @@ void product_into(const ProductPlan& plan, std::span<const double> a,
     out[0] = a[0] * b[0];
     return;
   }
-  const std::size_t last = nd - 1;
-  const std::size_t last_card = plan.out_cards[last];
-  const std::size_t sa_last = plan.stride_a[last];
-  const std::size_t sb_last = plan.stride_b[last];
-
-  odometer.assign(nd, 0);
-  std::size_t off_a = 0;
-  std::size_t off_b = 0;
+  const std::size_t outer_nd = nd - plan.run_dims;
+  odometer.assign(outer_nd, 0);
+  const std::size_t* rows[2] = {plan.stride_a.data(), plan.stride_b.data()};
+  std::size_t offs[2] = {0, 0};
+  const simd_kernels::KernelOps& kops = simd_kernels::active_ops();
   std::size_t o = 0;
-  for (;;) {
-    // Contiguous inner run over the least-significant merged variable.
-    std::size_t ia = off_a;
-    std::size_t ib = off_b;
-    for (std::size_t j = 0; j < last_card; ++j, ia += sa_last, ib += sb_last) {
-      out[o++] = a[ia] * b[ib];
-    }
-    // Advance the outer mixed-radix counter (dimension last-1 fastest).
-    std::size_t d = last;
-    bool done = true;
-    while (d-- > 0) {
-      ++odometer[d];
-      off_a += plan.stride_a[d];
-      off_b += plan.stride_b[d];
-      if (odometer[d] < plan.out_cards[d]) {
-        done = false;
-        break;
+  do {
+    if (plan.vector_run) {
+      const simd_kernels::ChainOp cops[2] = {
+          {a.data() + offs[0], plan.run_step_a},
+          {b.data() + offs[1], plan.run_step_b}};
+      kops.chain_mul(out.data() + o, cops, 2, plan.run_len);
+      o += plan.run_len;
+    } else {
+      const double* pa = a.data() + offs[0];
+      const double* pb = b.data() + offs[1];
+      for (std::size_t i = 0; i < plan.run_len; ++i) {
+        out[o++] = pa[i * plan.run_step_a] * pb[i * plan.run_step_b];
       }
-      odometer[d] = 0;
-      off_a -= plan.stride_a[d] * plan.out_cards[d];
-      off_b -= plan.stride_b[d] * plan.out_cards[d];
     }
-    if (done) break;
-  }
+  } while (advance_outer(plan.out_cards, outer_nd, odometer, rows, offs));
   KERTBN_ASSERT(o == plan.out_size);
 }
 
@@ -116,27 +287,22 @@ ReducePlan make_reduce_plan(std::span<const std::size_t> scope,
   ReducePlan plan;
   std::vector<std::size_t> cur_scope(scope.begin(), scope.end());
   std::vector<std::size_t> cur_cards(cards.begin(), cards.end());
-  auto size_of = [](const std::vector<std::size_t>& cs) {
-    std::size_t s = 1;
-    for (std::size_t c : cs) s *= c;
-    return s;
-  };
   // Eliminate the first scope variable outside the target, repeatedly —
   // the same fixed point the legacy marginalize_to loop reaches, one
   // allocation-free step per variable.
   for (;;) {
-    std::size_t drop = static_cast<std::size_t>(-1);
+    std::size_t drop = kNone;
     for (std::size_t i = 0; i < cur_scope.size(); ++i) {
-      if (find_in(target, cur_scope[i]) == static_cast<std::size_t>(-1)) {
+      if (find_in(target, cur_scope[i]) == kNone) {
         drop = i;
         break;
       }
     }
-    if (drop == static_cast<std::size_t>(-1)) break;
+    if (drop == kNone) break;
     ReducePlan::Step step;
     step.stride = stride_of(cur_cards, drop);
     step.card = cur_cards[drop];
-    step.in_size = size_of(cur_cards);
+    step.in_size = product_of(cur_cards);
     step.out_size = step.in_size / step.card;
     plan.steps.push_back(step);
     cur_scope.erase(cur_scope.begin() + static_cast<std::ptrdiff_t>(drop));
@@ -144,16 +310,50 @@ ReducePlan make_reduce_plan(std::span<const std::size_t> scope,
   }
   plan.out_scope = std::move(cur_scope);
   plan.out_cards = std::move(cur_cards);
-  plan.out_size = size_of(plan.out_cards);
+  plan.out_size = product_of(plan.out_cards);
   return plan;
 }
 
 namespace {
 
-/// One single-variable summation pass; loop structure and summation order
-/// match Factor::marginalize exactly.
+/// One single-variable summation pass. Every branch accumulates k
+/// ascending per output element in output order — the Factor::marginalize
+/// contract. stride > 1 vectorizes ACROSS output elements (column sums:
+/// per-element order unchanged, bit-exact on every tier); the wide
+/// stride == 1 branch is a horizontal sum WITHIN an element, which SIMD
+/// tiers may re-associate (tolerance-bounded).
 void reduce_step(const ReducePlan::Step& s, const double* in, double* out) {
   const std::size_t block = s.stride * s.card;
+  // The scalar kernels perform these exact loops; skipping the per-block
+  // indirect call on the scalar tier changes nothing but the call count
+  // (blocks here are a handful of elements, so the calls are measurable).
+  const bool vec = simd::active_tier() != simd::Tier::kScalar;
+  if (s.stride == 1) {
+    if (vec && s.card >= kMinHsumWidth) {
+      const simd_kernels::KernelOps& kops = simd_kernels::active_ops();
+      std::size_t o = 0;
+      for (std::size_t base = 0; base < s.in_size; base += s.card) {
+        out[o++] = kops.hsum(in + base, s.card);
+      }
+    } else {
+      std::size_t o = 0;
+      for (std::size_t base = 0; base < s.in_size; base += s.card) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < s.card; ++k) acc += in[base + k];
+        out[o++] = acc;
+      }
+    }
+    return;
+  }
+  if (vec && s.stride >= kMinColsWidth) {
+    const simd_kernels::KernelOps& kops = simd_kernels::active_ops();
+    std::size_t o = 0;
+    for (std::size_t base = 0; base < s.in_size; base += block) {
+      kops.reduce_cols(out + o, in + base, s.stride, s.card);
+      o += s.stride;
+    }
+    return;
+  }
   std::size_t o = 0;
   for (std::size_t base = 0; base < s.in_size; base += block) {
     for (std::size_t inner = 0; inner < s.stride; ++inner, ++o) {
@@ -194,9 +394,209 @@ void reduce_into(const ReducePlan& plan, std::span<const double> in,
   reduce_step(plan.steps.back(), bufs[cur], out.data());
 }
 
+ChainPlan make_chain_plan(std::span<const FlatFactor* const> ops) {
+  KERTBN_EXPECTS(!ops.empty());
+  ChainPlan plan;
+  plan.nops = ops.size();
+  merge_scopes(ops, plan.out_scope, plan.out_cards);
+  plan.out_size = product_of(plan.out_cards);
+  const std::size_t nd = plan.out_scope.size();
+  plan.strides.assign(plan.nops * nd, 0);
+  std::vector<const std::size_t*> rows(plan.nops);
+  for (std::size_t k = 0; k < plan.nops; ++k) {
+    fill_stride_row(plan.out_scope, *ops[k], plan.strides.data() + k * nd);
+    rows[k] = plan.strides.data() + k * nd;
+  }
+  const TrailingRun run =
+      find_trailing_run(plan.out_cards, rows, plan.run_steps);
+  plan.run_len = run.len;
+  plan.run_dims = run.dims;
+  plan.vector_run = run.vector_run;
+  return plan;
+}
+
+void chain_product_into(const ChainPlan& plan,
+                        std::span<const FlatFactor* const> ops,
+                        std::vector<std::size_t>& odometer,
+                        std::vector<double>& out) {
+  KERTBN_EXPECTS(ops.size() == plan.nops);
+  out.resize(plan.out_size);
+  const std::size_t nops = plan.nops;
+  const std::size_t nd = plan.out_cards.size();
+  if (nd == 0) {
+    double acc = ops[0]->values[0];
+    for (std::size_t k = 1; k < nops; ++k) acc *= ops[k]->values[0];
+    out[0] = acc;
+    return;
+  }
+  OperandState st(nops, nops, plan.strides.data(), nd);
+  const std::size_t outer_nd = nd - plan.run_dims;
+  odometer.assign(outer_nd, 0);
+  const simd_kernels::KernelOps& kops = simd_kernels::active_ops();
+  const std::span<const std::size_t* const> row_span(st.rows, nops);
+  std::size_t o = 0;
+  do {
+    if (plan.vector_run) {
+      for (std::size_t k = 0; k < nops; ++k) {
+        st.cops[k] = {ops[k]->values.data() + st.offs[k], plan.run_steps[k]};
+      }
+      kops.chain_mul(out.data() + o, st.cops, nops, plan.run_len);
+      o += plan.run_len;
+    } else {
+      for (std::size_t i = 0; i < plan.run_len; ++i) {
+        double acc = ops[0]->values[st.offs[0] + i * plan.run_steps[0]];
+        for (std::size_t k = 1; k < nops; ++k) {
+          acc *= ops[k]->values[st.offs[k] + i * plan.run_steps[k]];
+        }
+        out[o++] = acc;
+      }
+    }
+  } while (
+      advance_outer(plan.out_cards, outer_nd, odometer, row_span, st.offs));
+  KERTBN_ASSERT(o == plan.out_size);
+}
+
+double chain_product_log_into(const ChainPlan& plan,
+                              std::span<const FlatFactor* const> ops,
+                              std::vector<std::size_t>& odometer,
+                              std::vector<double>& out) {
+  KERTBN_EXPECTS(ops.size() == plan.nops);
+  out.resize(plan.out_size);
+  const std::size_t nops = plan.nops;
+  const std::size_t nd = plan.out_cards.size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double max_log = kNegInf;
+  if (nd == 0) {
+    double lacc = std::log(ops[0]->values[0]);
+    for (std::size_t k = 1; k < nops; ++k) lacc += std::log(ops[k]->values[0]);
+    max_log = lacc;
+    out[0] = lacc;
+  } else {
+    OperandState st(nops, nops, plan.strides.data(), nd);
+    const std::size_t outer_nd = nd - plan.run_dims;
+    odometer.assign(outer_nd, 0);
+    const std::span<const std::size_t* const> row_span(st.rows, nops);
+    std::size_t o = 0;
+    do {
+      // The run steps hold per-element strides whether or not the plan
+      // qualified for a vector run (0/1 then, general strides otherwise),
+      // so one scalar walk covers both; log has no vector execution.
+      for (std::size_t i = 0; i < plan.run_len; ++i) {
+        double lacc =
+            std::log(ops[0]->values[st.offs[0] + i * plan.run_steps[0]]);
+        for (std::size_t k = 1; k < nops; ++k) {
+          lacc +=
+              std::log(ops[k]->values[st.offs[k] + i * plan.run_steps[k]]);
+        }
+        if (lacc > max_log) max_log = lacc;
+        out[o++] = lacc;
+      }
+    } while (
+        advance_outer(plan.out_cards, outer_nd, odometer, row_span, st.offs));
+    KERTBN_ASSERT(o == plan.out_size);
+  }
+  if (max_log == kNegInf) {
+    // Every chain product is an exact zero: the rescaled table is all
+    // zeros and the scale is immaterial.
+    std::fill(out.begin(), out.end(), 0.0);
+    return 0.0;
+  }
+  for (double& v : out) v = std::exp(v - max_log);  // exp(-inf) == +0.0
+  return max_log;
+}
+
+ChainReducePlan make_chain_reduce_plan(std::span<const FlatFactor* const> ops,
+                                       std::span<const std::size_t> target) {
+  KERTBN_EXPECTS(!ops.empty());
+  ChainReducePlan plan;
+  plan.nops = ops.size();
+  std::vector<std::size_t> mid_scope;
+  merge_scopes(ops, mid_scope, plan.mid_cards);
+  plan.mid_size = product_of(plan.mid_cards);
+  const std::size_t nd = mid_scope.size();
+
+  for (std::size_t d = 0; d < nd; ++d) {
+    if (find_in(target, mid_scope[d]) != kNone) {
+      plan.out_scope.push_back(mid_scope[d]);
+      plan.out_cards.push_back(plan.mid_cards[d]);
+    }
+  }
+  plan.out_size = product_of(plan.out_cards);
+
+  plan.strides.assign((plan.nops + 1) * nd, 0);
+  std::vector<const std::size_t*> rows(plan.nops + 1);
+  for (std::size_t k = 0; k < plan.nops; ++k) {
+    fill_stride_row(mid_scope, *ops[k], plan.strides.data() + k * nd);
+    rows[k] = plan.strides.data() + k * nd;
+  }
+  // Output stride row: row-major strides of the surviving dims, 0 on
+  // eliminated ones — the accumulation target of the fused walk.
+  std::size_t* out_row = plan.strides.data() + plan.nops * nd;
+  std::size_t s = 1;
+  for (std::size_t d = nd; d-- > 0;) {
+    if (find_in(target, mid_scope[d]) != kNone) {
+      out_row[d] = s;
+      s *= plan.mid_cards[d];
+    }
+  }
+  rows[plan.nops] = out_row;
+
+  const TrailingRun run =
+      find_trailing_run(plan.mid_cards, rows, plan.run_steps);
+  plan.run_len = run.len;
+  plan.run_dims = run.dims;
+  plan.vector_run = run.vector_run;
+  plan.run_eliminated = (nd == 0) || (plan.run_steps[plan.nops] == 0);
+  return plan;
+}
+
+void chain_reduce_into(const ChainReducePlan& plan,
+                       std::span<const FlatFactor* const> ops,
+                       std::vector<std::size_t>& odometer,
+                       std::vector<double>& out) {
+  KERTBN_EXPECTS(ops.size() == plan.nops);
+  out.assign(plan.out_size, 0.0);
+  const std::size_t nops = plan.nops;
+  const std::size_t nd = plan.mid_cards.size();
+  if (nd == 0) {
+    double acc = ops[0]->values[0];
+    for (std::size_t k = 1; k < nops; ++k) acc *= ops[k]->values[0];
+    out[0] = acc;
+    return;
+  }
+  OperandState st(nops, nops + 1, plan.strides.data(), nd);
+  const std::size_t outer_nd = nd - plan.run_dims;
+  odometer.assign(outer_nd, 0);
+  const simd_kernels::KernelOps& kops = simd_kernels::active_ops();
+  const std::span<const std::size_t* const> row_span(st.rows, nops + 1);
+  do {
+    if (plan.vector_run) {
+      for (std::size_t k = 0; k < nops; ++k) {
+        st.cops[k] = {ops[k]->values.data() + st.offs[k], plan.run_steps[k]};
+      }
+      if (plan.run_eliminated) {
+        out[st.offs[nops]] += kops.chain_dot(st.cops, nops, plan.run_len);
+      } else {
+        kops.chain_fma(out.data() + st.offs[nops], st.cops, nops,
+                       plan.run_len);
+      }
+    } else {
+      const std::size_t sout = plan.run_steps[nops];
+      for (std::size_t i = 0; i < plan.run_len; ++i) {
+        double acc = ops[0]->values[st.offs[0] + i * plan.run_steps[0]];
+        for (std::size_t k = 1; k < nops; ++k) {
+          acc *= ops[k]->values[st.offs[k] + i * plan.run_steps[k]];
+        }
+        out[st.offs[nops] + i * sout] += acc;
+      }
+    }
+  } while (
+      advance_outer(plan.mid_cards, outer_nd, odometer, row_span, st.offs));
+}
+
 void apply_evidence(FlatFactor& f, std::size_t var, std::size_t state) {
   const std::size_t dim = find_in(f.scope, var);
-  KERTBN_EXPECTS(dim != static_cast<std::size_t>(-1));
+  KERTBN_EXPECTS(dim != kNone);
   KERTBN_EXPECTS(state < f.cards[dim]);
   const std::size_t stride = stride_of(f.cards, dim);
   const std::size_t card = f.cards[dim];
@@ -212,33 +612,84 @@ void apply_evidence(FlatFactor& f, std::size_t var, std::size_t state) {
   }
 }
 
+void reduce_evidence(FlatFactor& f, std::size_t var, std::size_t state) {
+  const std::size_t dim = find_in(f.scope, var);
+  KERTBN_EXPECTS(dim != kNone);
+  KERTBN_EXPECTS(state < f.cards[dim]);
+  const std::size_t stride = stride_of(f.cards, dim);
+  const std::size_t card = f.cards[dim];
+  const std::size_t block = stride * card;
+  std::size_t o = 0;
+  for (std::size_t base = state * stride; base < f.values.size();
+       base += block) {
+    std::copy(f.values.begin() + static_cast<std::ptrdiff_t>(base),
+              f.values.begin() + static_cast<std::ptrdiff_t>(base + stride),
+              f.values.begin() + static_cast<std::ptrdiff_t>(o));
+    o += stride;
+  }
+  f.values.resize(o);
+  f.scope.erase(f.scope.begin() + static_cast<std::ptrdiff_t>(dim));
+  f.cards.erase(f.cards.begin() + static_cast<std::ptrdiff_t>(dim));
+}
+
+void FactorWorkspace::build_key(std::span<const FlatFactor* const> ops,
+                                std::span<const std::size_t> target) {
+  key_.clear();
+  key_.push_back(ops.size());
+  for (const FlatFactor* op : ops) {
+    key_.push_back(op->scope.size());
+    key_.insert(key_.end(), op->scope.begin(), op->scope.end());
+  }
+  key_.push_back(target.size());
+  key_.insert(key_.end(), target.begin(), target.end());
+}
+
 const ProductPlan& FactorWorkspace::product_plan(const FlatFactor& a,
                                                  const FlatFactor& b) {
-  Key key{a.scope, b.scope};
-  auto it = product_plans_.find(key);
-  if (it != product_plans_.end()) {
+  const FlatFactor* ab[2] = {&a, &b};
+  build_key(ab, {});
+  if (ProductPlan* p = product_plans_.find(key_)) {
     ++plan_hits_;
-    return it->second;
+    return *p;
   }
   ++plan_misses_;
-  return product_plans_
-      .emplace(std::move(key),
-               make_product_plan(a.scope, a.cards, b.scope, b.cards))
-      .first->second;
+  return product_plans_.insert(
+      key_, make_product_plan(a.scope, a.cards, b.scope, b.cards));
 }
 
 const ReducePlan& FactorWorkspace::reduce_plan(
     const FlatFactor& f, std::span<const std::size_t> target) {
-  Key key{f.scope, {target.begin(), target.end()}};
-  auto it = reduce_plans_.find(key);
-  if (it != reduce_plans_.end()) {
+  const FlatFactor* fs[1] = {&f};
+  build_key(fs, target);
+  if (ReducePlan* p = reduce_plans_.find(key_)) {
     ++plan_hits_;
-    return it->second;
+    return *p;
   }
   ++plan_misses_;
-  return reduce_plans_
-      .emplace(std::move(key), make_reduce_plan(f.scope, f.cards, target))
-      .first->second;
+  return reduce_plans_.insert(key_, make_reduce_plan(f.scope, f.cards, target));
+}
+
+const ChainPlan& FactorWorkspace::chain_plan(
+    std::span<const FlatFactor* const> ops) {
+  build_key(ops, {});
+  if (ChainPlan* p = chain_plans_.find(key_)) {
+    ++plan_hits_;
+    return *p;
+  }
+  ++plan_misses_;
+  return chain_plans_.insert(key_, make_chain_plan(ops));
+}
+
+const ChainReducePlan& FactorWorkspace::chain_reduce_plan(
+    std::span<const FlatFactor* const> ops,
+    std::span<const std::size_t> target) {
+  build_key(ops, target);
+  if (ChainReducePlan* p = chain_reduce_plans_.find(key_)) {
+    ++plan_hits_;
+    return *p;
+  }
+  ++plan_misses_;
+  return chain_reduce_plans_.insert(key_, make_chain_reduce_plan(ops, target));
 }
 
 void FactorWorkspace::product(const FlatFactor& a, const FlatFactor& b,
@@ -258,12 +709,58 @@ void FactorWorkspace::product_chain(const FlatFactor& base,
     out.values = base.values;
     return;
   }
-  const FlatFactor* cur = &base;
-  for (std::size_t i = 0; i < factors.size(); ++i) {
-    FlatFactor& dst = (i + 1 == factors.size()) ? out : chain_tmp_[i % 2];
-    product(*cur, *factors[i], dst);
-    cur = &dst;
+  if (factors.size() == 1) {
+    product(base, *factors[0], out);
+    return;
   }
+  // Plan-time blocked selection: two or more factors execute as ONE
+  // multi-operand pass. Each output element is a left fold of its aligned
+  // operand entries — bit-identical to the pairwise chain — but the output
+  // is written once and no pairwise intermediate is materialized, so large
+  // products tile through cache instead of streaming the table per pass.
+  ops_.clear();
+  ops_.push_back(&base);
+  ops_.insert(ops_.end(), factors.begin(), factors.end());
+  const ChainPlan& plan = chain_plan(ops_);
+  out.scope = plan.out_scope;
+  out.cards = plan.out_cards;
+  chain_product_into(plan, ops_, odometer_, out.values);
+}
+
+double FactorWorkspace::product_chain_log(
+    const FlatFactor& base, std::span<const FlatFactor* const> factors,
+    FlatFactor& out) {
+  ops_.clear();
+  ops_.push_back(&base);
+  ops_.insert(ops_.end(), factors.begin(), factors.end());
+  const ChainPlan& plan = chain_plan(ops_);  // same cached plans as flat
+  out.scope = plan.out_scope;
+  out.cards = plan.out_cards;
+  return chain_product_log_into(plan, ops_, odometer_, out.values);
+}
+
+void FactorWorkspace::product_chain_reduce(
+    const FlatFactor& base, std::span<const FlatFactor* const> factors,
+    std::span<const std::size_t> target, FlatFactor& out) {
+  if (factors.empty()) {
+    reduce(base, target, out);
+    return;
+  }
+  if (simd::active_tier() == simd::Tier::kScalar) {
+    // The fused pass accumulates in a different order than the stepwise
+    // pipeline; the scalar tier promises bit-identity to the legacy path,
+    // so it keeps the exact two-step execution.
+    product_chain(base, factors, fused_tmp_);
+    reduce(fused_tmp_, target, out);
+    return;
+  }
+  ops_.clear();
+  ops_.push_back(&base);
+  ops_.insert(ops_.end(), factors.begin(), factors.end());
+  const ChainReducePlan& plan = chain_reduce_plan(ops_, target);
+  out.scope = plan.out_scope;
+  out.cards = plan.out_cards;
+  chain_reduce_into(plan, ops_, odometer_, out.values);
 }
 
 void FactorWorkspace::reduce(const FlatFactor& f,

@@ -298,8 +298,10 @@ void JunctionTree::ensure_clean() const {
       in.push_back(&clean_msgs_[message_id(nb, x)]);
     }
     const std::size_t id = message_id(x, y);
-    ws_.product_chain(clean_base_[x], in, msg_tmp_);
-    ws_.reduce(msg_tmp_, edges_[id / 2].separator, clean_msgs_[id]);
+    // Same fused kernel path as message(): clean and evidence executions
+    // must stay bit-identical on every dispatch tier.
+    ws_.product_chain_reduce(clean_base_[x], in, edges_[id / 2].separator,
+                             clean_msgs_[id]);
     ++stats_.messages_recomputed;
   };
   // Collect (children before parents), then distribute (parents before
@@ -352,15 +354,21 @@ const FlatFactor& JunctionTree::message(std::size_t x, std::size_t y) const {
     return clean_msgs_[id];
   }
   if (cur_msg_epoch_[id] == epoch_) return cur_msgs_[id];
-  // Pull dependencies first; the recursion completes before msg_tmp_ and
-  // the workspace scratch are touched for this level.
-  std::vector<const FlatFactor*> in;
+  // Pull dependencies first; the recursion completes before the workspace
+  // scratch is touched for this level. Operand lists come from a
+  // depth-indexed pool (the recursion may grow the pool, so slots are
+  // re-indexed on every access, never held by reference).
+  const std::size_t depth = msg_depth_++;
+  if (msg_in_pool_.size() <= depth) msg_in_pool_.resize(depth + 1);
+  msg_in_pool_[depth].clear();
   for (std::size_t nb : neighbors_[x]) {
     if (nb == y) continue;
-    in.push_back(&message(nb, x));
+    const FlatFactor& m = message(nb, x);
+    msg_in_pool_[depth].push_back(&m);
   }
-  ws_.product_chain(potential(x), in, msg_tmp_);
-  ws_.reduce(msg_tmp_, edges_[id / 2].separator, cur_msgs_[id]);
+  ws_.product_chain_reduce(potential(x), msg_in_pool_[depth],
+                           edges_[id / 2].separator, cur_msgs_[id]);
+  --msg_depth_;
   cur_msg_epoch_[id] = epoch_;
   ++stats_.messages_recomputed;
   note_messages(1, 0);
@@ -370,11 +378,15 @@ const FlatFactor& JunctionTree::message(std::size_t x, std::size_t y) const {
 const FlatFactor& JunctionTree::belief(std::size_t c) const {
   if (comp_dirty_[component_of_[c]] == 0) return clean_belief(c);
   if (cur_belief_epoch_[c] == epoch_) return cur_beliefs_[c];
-  std::vector<const FlatFactor*> in;
+  const std::size_t depth = msg_depth_++;
+  if (msg_in_pool_.size() <= depth) msg_in_pool_.resize(depth + 1);
+  msg_in_pool_[depth].clear();
   for (std::size_t nb : neighbors_[c]) {
-    in.push_back(&message(nb, c));
+    const FlatFactor& m = message(nb, c);
+    msg_in_pool_[depth].push_back(&m);
   }
-  ws_.product_chain(potential(c), in, cur_beliefs_[c]);
+  ws_.product_chain(potential(c), msg_in_pool_[depth], cur_beliefs_[c]);
+  --msg_depth_;
   cur_belief_epoch_[c] = epoch_;
   ++stats_.beliefs_computed;
   return cur_beliefs_[c];

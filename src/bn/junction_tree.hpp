@@ -27,6 +27,14 @@
 /// is reused verbatim from the cached no-evidence calibration. Message
 /// fixed points are schedule-independent, so every answer stays
 /// bit-identical to the eager legacy schedule.
+///
+/// Clique→sepset messages execute through the runtime-dispatched SIMD
+/// kernels (common/cpu_features): on the scalar tier answers are
+/// bit-identical to the legacy engines; on AVX tiers messages run as one
+/// fused product+reduce pass (no clique-sized intermediate) whose
+/// re-associated sums are tolerance-bounded (<= 1e-12 relative on
+/// posteriors). Clean and evidence paths always share one kernel path, so
+/// incremental-vs-full bit-identity holds on every tier.
 
 #include <map>
 #include <vector>
@@ -172,7 +180,12 @@ class JunctionTree {
   mutable std::vector<char> posterior_plan_ready_;
 
   mutable FactorWorkspace ws_;
-  mutable FlatFactor msg_tmp_;  // product staging for message reduction
+  // Depth-indexed operand lists for the recursive message pull: slot d
+  // serves recursion depth d, so the hot path never allocates. Indexed
+  // fresh on every use (never held by reference) because deeper recursion
+  // may grow the pool.
+  mutable std::vector<std::vector<const FlatFactor*>> msg_in_pool_;
+  mutable std::size_t msg_depth_ = 0;
   mutable CalibrationStats stats_;
 };
 

@@ -1,0 +1,89 @@
+#include "common/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace kertbn::simd {
+namespace {
+
+Tier probe_highest() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    return Tier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::kAvx2;
+  }
+#endif
+  return Tier::kScalar;
+}
+
+/// Parses KERTBN_SIMD; returns the probed tier when unset or malformed.
+Tier initial_tier() {
+  const Tier supported = probe_highest();
+  const char* env = std::getenv("KERTBN_SIMD");
+  if (env == nullptr || *env == '\0') return supported;
+  Tier want = supported;
+  if (std::strcmp(env, "scalar") == 0) {
+    want = Tier::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    want = Tier::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    want = Tier::kAvx512;
+  } else {
+    std::fprintf(stderr,
+                 "kertbn: ignoring unknown KERTBN_SIMD='%s' "
+                 "(expected scalar|avx2|avx512)\n",
+                 env);
+    return supported;
+  }
+  if (static_cast<int>(want) > static_cast<int>(supported)) {
+    std::fprintf(stderr,
+                 "kertbn: KERTBN_SIMD=%s not supported by this CPU; "
+                 "falling back to %s\n",
+                 env, to_string(supported));
+    return supported;
+  }
+  return want;
+}
+
+std::atomic<int>& tier_cell() {
+  static std::atomic<int> cell{static_cast<int>(initial_tier())};
+  return cell;
+}
+
+}  // namespace
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Tier highest_supported() {
+  static const Tier tier = probe_highest();
+  return tier;
+}
+
+Tier active_tier() {
+  return static_cast<Tier>(tier_cell().load(std::memory_order_relaxed));
+}
+
+Tier set_active_tier(Tier tier) {
+  Tier t = tier;
+  if (static_cast<int>(t) > static_cast<int>(highest_supported())) {
+    t = highest_supported();
+  }
+  tier_cell().store(static_cast<int>(t), std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace kertbn::simd

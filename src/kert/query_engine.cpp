@@ -7,6 +7,7 @@
 
 #include "bn/relevance.hpp"
 #include "common/contract.hpp"
+#include "common/cpu_features.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "overload/governor.hpp"
@@ -23,6 +24,9 @@ struct QueryMetrics {
   obs::Counter& tree_routes;
   obs::Counter& deadline_exceeded;
   obs::Counter& shed;
+  obs::Counter& plan_hits;
+  obs::Counter& plan_misses;
+  obs::Gauge& simd_tier;
   obs::Histogram& latency_ns;
   obs::Histogram& batch_size;
 
@@ -34,6 +38,9 @@ struct QueryMetrics {
                           reg.counter("kert.query.tree_routes"),
                           reg.counter("kert.query.deadline_exceeded"),
                           reg.counter("kert.query.shed"),
+                          reg.counter("kert.query.plan_hits"),
+                          reg.counter("kert.query.plan_misses"),
+                          reg.gauge("kert.query.simd_tier"),
                           reg.histogram("kert.query.latency_ns"),
                           reg.histogram("kert.query.batch_size")};
     return m;
@@ -106,6 +113,10 @@ void QueryEngine::adopt(Worker& w,
     // the worker starts with every plan and message already in place.
     w.tree.emplace(*snapshot->prior_tree);
     w.tree->set_incremental(config_.incremental_recalibration);
+    // The copy carries the source tree's plan-cache counters; rebase the
+    // harvest watermarks so the next batch reports only this worker's work.
+    w.plan_hits_seen = w.tree->plan_hits();
+    w.plan_misses_seen = w.tree->plan_misses();
   }
 }
 
@@ -287,6 +298,22 @@ std::vector<QueryAnswer> QueryEngine::post(const QueryBatch& batch) {
     m.queries.add(n);
     m.batches.add(1);
     m.batch_size.record(n);
+    // Harvest per-worker plan-cache deltas so the serving tier's cache
+    // posture (and the active kernel dispatch tier) is visible in
+    // production telemetry.
+    std::size_t dh = 0;
+    std::size_t dm = 0;
+    for (Worker& w : workers_) {
+      if (!w.tree.has_value()) continue;
+      dh += w.tree->plan_hits() - w.plan_hits_seen;
+      dm += w.tree->plan_misses() - w.plan_misses_seen;
+      w.plan_hits_seen = w.tree->plan_hits();
+      w.plan_misses_seen = w.tree->plan_misses();
+    }
+    if (dh > 0) m.plan_hits.add(dh);
+    if (dm > 0) m.plan_misses.add(dm);
+    m.simd_tier.set(static_cast<double>(
+        static_cast<int>(kertbn::simd::active_tier())));
   }
   return answers;
 }

@@ -269,6 +269,10 @@ class QueryEngine {
     std::shared_ptr<const ModelSnapshot> snapshot;
     /// Per-worker tree copy: calibration mutates only this worker's state.
     std::optional<bn::JunctionTree> tree;
+    /// Plan-cache counter watermarks at the last metrics harvest, so each
+    /// batch reports deltas (a warm tree copy arrives with nonzero counts).
+    std::size_t plan_hits_seen = 0;
+    std::size_t plan_misses_seen = 0;
   };
 
   /// Points \p w at \p snapshot, copying the warm tree on change.

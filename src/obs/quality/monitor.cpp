@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "common/cpu_features.hpp"
 #include "obs/sink.hpp"
 #include "overload/governor.hpp"
 
@@ -333,6 +334,9 @@ StatusReport ModelQualityMonitor::report() const {
     r.query_latency_p95_ns = lat->quantile(0.95);
     r.query_latency_p99_ns = lat->quantile(0.99);
   }
+  r.simd_tier = kertbn::simd::to_string(kertbn::simd::active_tier());
+  r.plan_cache_hits = metrics.counter("kert.query.plan_hits");
+  r.plan_cache_misses = metrics.counter("kert.query.plan_misses");
   return r;
 }
 

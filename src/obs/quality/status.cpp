@@ -384,6 +384,9 @@ std::string StatusReport::to_json() const {
   field_u64(out, "query_latency_p50_ns", query_latency_p50_ns);
   field_u64(out, "query_latency_p95_ns", query_latency_p95_ns);
   field_u64(out, "query_latency_p99_ns", query_latency_p99_ns);
+  field_str(out, "simd_tier", simd_tier);
+  field_u64(out, "plan_cache_hits", plan_cache_hits);
+  field_u64(out, "plan_cache_misses", plan_cache_misses);
   close(out, '}');
   return out;
 }
@@ -477,6 +480,9 @@ std::optional<StatusReport> status_report_from_json(const std::string& text) {
   r.query_latency_p50_ns = v.u64("query_latency_p50_ns");
   r.query_latency_p95_ns = v.u64("query_latency_p95_ns");
   r.query_latency_p99_ns = v.u64("query_latency_p99_ns");
+  r.simd_tier = v.str("simd_tier");
+  r.plan_cache_hits = v.u64("plan_cache_hits");
+  r.plan_cache_misses = v.u64("plan_cache_misses");
   return r;
 }
 

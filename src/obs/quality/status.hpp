@@ -119,6 +119,13 @@ struct StatusReport {
   std::uint64_t query_latency_p95_ns = 0;
   std::uint64_t query_latency_p99_ns = 0;
 
+  // Inference-kernel posture: active SIMD dispatch tier
+  // (scalar|avx2|avx512, empty when unreported) and cumulative
+  // plan-cache traffic of the serving workers.
+  std::string simd_tier;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+
   bool operator==(const StatusReport&) const = default;
 
   /// Single-line JSON (safe to append to a JSONL feed).

@@ -1,0 +1,512 @@
+/// \file test_simd_kernels.cpp
+/// Per-tier equivalence suite for the runtime-dispatched inference
+/// kernels (ISSUE 9 satellite). Every test runs on every dispatch tier
+/// the host supports (KERTBN_SIMD-style switching via set_active_tier)
+/// and asserts the DESIGN equivalence contract:
+///
+///   * products (pairwise and chained) — bit-exact on EVERY tier;
+///   * reductions — scalar tier bit-exact against legacy Factor
+///     marginalization, SIMD tiers within 1e-12 relative;
+///   * fused chain-reduce — scalar tier bit-exact against the two-step
+///     pipeline, SIMD tiers within 1e-12 relative;
+///   * evidence ops — pure data movement, bit-exact on every tier.
+///
+/// Shapes are seeded and adversarial on purpose: odd cardinalities,
+/// size-1 dimensions, singleton scopes, and run lengths in 1..67 so
+/// every SIMD tail-remainder path (n mod 4, n mod 8) is exercised.
+
+#include "bn/factor_kernels.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bn/factor.hpp"
+#include "bn/factor_simd.hpp"
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+
+namespace kertbn::bn {
+namespace {
+
+namespace sk = simd_kernels;
+
+/// Restores the dispatch tier a test mutated, even on assertion exit.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::active_tier()) {}
+  ~TierGuard() { simd::set_active_tier(saved_); }
+
+ private:
+  simd::Tier saved_;
+};
+
+/// Distinct tiers the host can actually run (set_active_tier clamps, so
+/// on an AVX2-only host the avx512 request collapses into avx2).
+std::vector<simd::Tier> runnable_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier want :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    const simd::Tier got = simd::set_active_tier(want);
+    if (tiers.empty() || tiers.back() != got) tiers.push_back(got);
+  }
+  return tiers;
+}
+
+Factor random_factor(const std::vector<std::size_t>& scope,
+                     const std::vector<std::size_t>& cards, kertbn::Rng& rng) {
+  std::size_t size = 1;
+  for (std::size_t c : cards) size *= c;
+  std::vector<double> values;
+  values.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    values.push_back(rng.uniform(0.05, 1.0));
+  }
+  return Factor(scope, cards, values);
+}
+
+/// Adversarial cardinality universe: 1s, odd primes, and >=16 so the
+/// wide-hsum path engages. Factors sharing a variable must agree on its
+/// cardinality, so each rep draws one universe and every factor of the
+/// rep samples its scope from it.
+std::vector<std::size_t> random_universe(kertbn::Rng& rng) {
+  static const std::size_t kCards[] = {1, 2, 3, 4, 5, 7, 9, 16, 17};
+  std::vector<std::size_t> cards(8);
+  for (std::size_t& c : cards) {
+    c = kCards[rng.uniform_index(sizeof(kCards) / sizeof(kCards[0]))];
+  }
+  return cards;
+}
+
+/// Random scope of 1..max_dims dims over \p universe, capped so tables
+/// stay small.
+Factor random_shape(kertbn::Rng& rng,
+                    const std::vector<std::size_t>& universe,
+                    std::size_t max_dims = 5) {
+  const std::size_t nd = 1 + rng.uniform_index(max_dims);
+  auto vars = rng.permutation(universe.size());
+  std::vector<std::size_t> scope;
+  std::vector<std::size_t> cards;
+  std::size_t size = 1;
+  for (std::size_t v : vars) {
+    if (scope.size() >= nd) break;
+    if (size * universe[v] > 4000) continue;
+    scope.push_back(v);
+    cards.push_back(universe[v]);
+    size *= universe[v];
+  }
+  if (scope.empty()) {  // universe of wide cards only — take one dim
+    scope.push_back(vars[0]);
+    cards.push_back(universe[vars[0]]);
+  }
+  return random_factor(scope, cards, rng);
+}
+
+void expect_bitwise_equal(const Factor& legacy, const FlatFactor& flat,
+                          const char* what) {
+  ASSERT_EQ(legacy.scope(), flat.scope) << what;
+  ASSERT_EQ(legacy.cardinalities(), flat.cards) << what;
+  ASSERT_EQ(legacy.values().size(), flat.values.size()) << what;
+  for (std::size_t i = 0; i < flat.values.size(); ++i) {
+    ASSERT_EQ(legacy.values()[i], flat.values[i]) << what << " entry " << i;
+  }
+}
+
+void expect_close(const std::vector<double>& want,
+                  const std::vector<double>& got, double rel,
+                  const char* what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const double scale = std::max(std::abs(want[i]), 1e-300);
+    ASSERT_LE(std::abs(want[i] - got[i]) / scale, rel)
+        << what << " entry " << i << ": " << want[i] << " vs " << got[i];
+  }
+}
+
+/// Legacy reference for FactorWorkspace::reduce — marginalize eliminated
+/// variables in scope order (the order the ReducePlan eliminates in).
+Factor legacy_reduce(const Factor& f, const std::vector<std::size_t>& target) {
+  Factor out = f;
+  const std::vector<std::size_t> scope = f.scope();  // copy: out mutates
+  for (std::size_t var : scope) {
+    bool keep = false;
+    for (std::size_t t : target) keep = keep || (t == var);
+    if (!keep) out = out.marginalize(var);
+  }
+  return out;
+}
+
+// --- dispatch layer ---------------------------------------------------------
+
+TEST(SimdKernels, TierOverrideClampsToHostSupport) {
+  TierGuard guard;
+  const simd::Tier top = simd::highest_supported();
+  EXPECT_LE(static_cast<int>(simd::set_active_tier(simd::Tier::kAvx512)),
+            static_cast<int>(top));
+  EXPECT_EQ(simd::set_active_tier(simd::Tier::kScalar),
+            simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+}
+
+TEST(SimdKernels, TierNamesAreStable) {
+  EXPECT_STREQ(simd::to_string(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::to_string(simd::Tier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::to_string(simd::Tier::kAvx512), "avx512");
+}
+
+// --- primitive layer: every tail remainder in 1..67 -------------------------
+
+TEST(SimdKernels, ChainMulPrimitiveBitExactOnEveryTierAndTail) {
+  TierGuard guard;
+  kertbn::Rng rng(9001);
+  for (std::size_t n = 1; n <= 67; ++n) {
+    std::vector<double> a(n), b(n);
+    double c = rng.uniform(0.05, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(0.05, 1.0);
+      b[i] = rng.uniform(0.05, 1.0);
+    }
+    // Two streaming operands and one broadcast — the fused-message shape.
+    const sk::ChainOp ops[] = {{a.data(), 1}, {b.data(), 1}, {&c, 0}};
+    std::vector<double> want(n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = a[i] * b[i] * c;
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      std::vector<double> got(n, -1.0);
+      sk::active_ops().chain_mul(got.data(), ops, 3, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << "tier " << simd::to_string(tier) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ReduceColsPrimitiveBitExactOnEveryTier) {
+  TierGuard guard;
+  kertbn::Rng rng(9002);
+  for (std::size_t stride : {std::size_t{4}, std::size_t{5}, std::size_t{8},
+                             std::size_t{11}, std::size_t{16},
+                             std::size_t{17}}) {
+    for (std::size_t card : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                             std::size_t{7}}) {
+      std::vector<double> in(stride * card);
+      for (double& v : in) v = rng.uniform(0.05, 1.0);
+      // Legacy order: acc = 0.0, k ascending per output column.
+      std::vector<double> want(stride);
+      for (std::size_t i = 0; i < stride; ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < card; ++k) acc += in[k * stride + i];
+        want[i] = acc;
+      }
+      for (simd::Tier tier : runnable_tiers()) {
+        simd::set_active_tier(tier);
+        std::vector<double> got(stride, -1.0);
+        sk::active_ops().reduce_cols(got.data(), in.data(), stride, card);
+        for (std::size_t i = 0; i < stride; ++i) {
+          ASSERT_EQ(want[i], got[i])
+              << "tier " << simd::to_string(tier) << " stride=" << stride
+              << " card=" << card << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, HsumAndChainDotWithinToleranceOnEveryTierAndTail) {
+  TierGuard guard;
+  kertbn::Rng rng(9003);
+  for (std::size_t n = 1; n <= 67; ++n) {
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(0.05, 1.0);
+      b[i] = rng.uniform(0.05, 1.0);
+    }
+    // Exact sequential folds — the scalar-tier contract.
+    double sum = 0.0, dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += a[i];
+      dot += a[i] * b[i];
+    }
+    const sk::ChainOp ops[] = {{a.data(), 1}, {b.data(), 1}};
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      const double got_sum = sk::active_ops().hsum(a.data(), n);
+      const double got_dot = sk::active_ops().chain_dot(ops, 2, n);
+      if (tier == simd::Tier::kScalar) {
+        ASSERT_EQ(sum, got_sum) << "n=" << n;
+        ASSERT_EQ(dot, got_dot) << "n=" << n;
+      } else {
+        ASSERT_LE(std::abs(sum - got_sum) / sum, 1e-12)
+            << "tier " << simd::to_string(tier) << " n=" << n;
+        ASSERT_LE(std::abs(dot - got_dot) / dot, 1e-12)
+            << "tier " << simd::to_string(tier) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ChainFmaAccumulatesWithinToleranceOnEveryTier) {
+  TierGuard guard;
+  kertbn::Rng rng(9004);
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                        std::size_t{7}, std::size_t{8}, std::size_t{15},
+                        std::size_t{33}, std::size_t{67}}) {
+    std::vector<double> a(n), b(n), init(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(0.05, 1.0);
+      b[i] = rng.uniform(0.05, 1.0);
+      init[i] = rng.uniform(0.05, 1.0);
+    }
+    const sk::ChainOp ops[] = {{a.data(), 1}, {b.data(), 1}};
+    std::vector<double> want = init;
+    for (std::size_t i = 0; i < n; ++i) want[i] += a[i] * b[i];
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      std::vector<double> got = init;
+      sk::active_ops().chain_fma(got.data(), ops, 2, n);
+      // Element-wise a+b*c carries no reassociation; with FMA contraction
+      // the result can differ from the separate multiply-add by at most
+      // one rounding — well inside the tolerance budget.
+      expect_close(want, got, 1e-15, simd::to_string(tier));
+    }
+  }
+}
+
+// --- workspace layer: seeded factor shapes ----------------------------------
+
+TEST(SimdKernels, PairwiseProductsBitExactOnEveryTierOverSeededShapes) {
+  TierGuard guard;
+  kertbn::Rng rng(9101);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 80; ++rep) {
+    const std::vector<std::size_t> universe = random_universe(rng);
+    const Factor a = random_shape(rng, universe);
+    const Factor b = random_shape(rng, universe);
+    const Factor legacy = a.product(b);
+    const FlatFactor fa = FlatFactor::from(a);
+    const FlatFactor fb = FlatFactor::from(b);
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      FlatFactor out;
+      ws.product(fa, fb, out);
+      expect_bitwise_equal(legacy, out, simd::to_string(tier));
+    }
+  }
+}
+
+TEST(SimdKernels, ChainProductsBitExactOnEveryTierOverSeededShapes) {
+  TierGuard guard;
+  kertbn::Rng rng(9102);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::vector<std::size_t> universe = random_universe(rng);
+    const Factor base = random_shape(rng, universe, 3);
+    const std::size_t k = 2 + rng.uniform_index(3);
+    std::vector<Factor> fs;
+    for (std::size_t i = 0; i < k; ++i) {
+      fs.push_back(random_shape(rng, universe, 3));
+    }
+    Factor legacy = base;
+    for (const Factor& f : fs) legacy = legacy.product(f);
+
+    const FlatFactor fb = FlatFactor::from(base);
+    std::vector<FlatFactor> flats;
+    for (const Factor& f : fs) flats.push_back(FlatFactor::from(f));
+    std::vector<const FlatFactor*> chain;
+    for (const FlatFactor& f : flats) chain.push_back(&f);
+
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      FlatFactor out;
+      ws.product_chain(fb, chain, out);
+      expect_bitwise_equal(legacy, out, simd::to_string(tier));
+    }
+  }
+}
+
+TEST(SimdKernels, ReduceScalarBitExactSimdWithinToleranceOverSeededShapes) {
+  TierGuard guard;
+  kertbn::Rng rng(9103);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 60; ++rep) {
+    const Factor f = random_shape(rng, random_universe(rng));
+    // Random strict-subset target (possibly empty: total marginalization).
+    std::vector<std::size_t> target;
+    for (std::size_t v : f.scope()) {
+      if (rng.uniform_index(2) == 0) target.push_back(v);
+    }
+    if (target.size() == f.scope().size() && !target.empty()) {
+      target.pop_back();
+    }
+    const Factor legacy = legacy_reduce(f, target);
+    const FlatFactor ff = FlatFactor::from(f);
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      FlatFactor out;
+      ws.reduce(ff, target, out);
+      if (tier == simd::Tier::kScalar) {
+        expect_bitwise_equal(legacy, out, "scalar reduce");
+      } else {
+        ASSERT_EQ(legacy.scope(), out.scope);
+        expect_close(legacy.values(), out.values, 1e-12,
+                     simd::to_string(tier));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FusedChainReduceMatchesTwoStepOnEveryTier) {
+  TierGuard guard;
+  kertbn::Rng rng(9104);
+  FactorWorkspace ws;
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::vector<std::size_t> universe = random_universe(rng);
+    const Factor base = random_shape(rng, universe, 3);
+    const std::size_t k = 1 + rng.uniform_index(3);
+    std::vector<Factor> fs;
+    for (std::size_t i = 0; i < k; ++i) {
+      fs.push_back(random_shape(rng, universe, 3));
+    }
+    Factor joint = base;
+    for (const Factor& f : fs) joint = joint.product(f);
+    std::vector<std::size_t> target;
+    for (std::size_t v : joint.scope()) {
+      if (rng.uniform_index(2) == 0) target.push_back(v);
+    }
+    const Factor legacy = legacy_reduce(joint, target);
+
+    const FlatFactor fb = FlatFactor::from(base);
+    std::vector<FlatFactor> flats;
+    for (const Factor& f : fs) flats.push_back(FlatFactor::from(f));
+    std::vector<const FlatFactor*> chain;
+    for (const FlatFactor& f : flats) chain.push_back(&f);
+
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      FlatFactor out;
+      ws.product_chain_reduce(fb, chain, target, out);
+      ASSERT_EQ(legacy.scope(), out.scope);
+      if (tier == simd::Tier::kScalar) {
+        // Scalar tier runs the exact two-step pipeline — bit-identical.
+        expect_bitwise_equal(legacy, out, "scalar fused");
+      } else {
+        expect_close(legacy.values(), out.values, 1e-12,
+                     simd::to_string(tier));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PlansSurviveTierSwitchesMidRun) {
+  // Plans are tier-independent: a plan built under one tier must execute
+  // correctly under another (QueryEngine workers never rebuild plans when
+  // a test flips KERTBN_SIMD between batches).
+  TierGuard guard;
+  kertbn::Rng rng(9105);
+  FactorWorkspace ws;
+  const Factor a = random_factor({0, 1, 2}, {3, 17, 2}, rng);
+  const Factor b = random_factor({2, 3}, {2, 16}, rng);
+  const Factor legacy = a.product(b);
+  const FlatFactor fa = FlatFactor::from(a);
+  const FlatFactor fb = FlatFactor::from(b);
+  FlatFactor out;
+  for (simd::Tier tier : runnable_tiers()) {
+    simd::set_active_tier(tier);
+    ws.product(fa, fb, out);  // same cached plan, different primitives
+    expect_bitwise_equal(legacy, out, simd::to_string(tier));
+  }
+  EXPECT_GE(ws.plan_hits(), runnable_tiers().size() - 1);
+}
+
+TEST(SimdKernels, LogSpaceChainMatchesFlatAndResistsUnderflow) {
+  TierGuard guard;
+  kertbn::Rng rng(9107);
+  FactorWorkspace ws;
+
+  // Moderate chain: log path agrees with the flat fold within the
+  // ~1 ulp-per-term transcendental budget, on every tier.
+  {
+    const std::vector<std::size_t> universe = random_universe(rng);
+    const Factor base = random_shape(rng, universe, 3);
+    std::vector<Factor> fs;
+    for (int i = 0; i < 3; ++i) fs.push_back(random_shape(rng, universe, 3));
+    const FlatFactor fb = FlatFactor::from(base);
+    std::vector<FlatFactor> flats;
+    for (const Factor& f : fs) flats.push_back(FlatFactor::from(f));
+    std::vector<const FlatFactor*> chain;
+    for (const FlatFactor& f : flats) chain.push_back(&f);
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      FlatFactor flat, logged;
+      ws.product_chain(fb, chain, flat);
+      const double scale = ws.product_chain_log(fb, chain, logged);
+      ASSERT_EQ(flat.scope, logged.scope);
+      std::vector<double> rescaled(logged.values);
+      for (double& v : rescaled) v *= std::exp(scale);
+      expect_close(flat.values, rescaled, 1e-12, simd::to_string(tier));
+    }
+  }
+
+  // Deep chain of sub-unit tables: the flat fold underflows to +0.0,
+  // the log path keeps the relative magnitudes.
+  {
+    kertbn::Rng deep_rng(424242);
+    const Factor tiny = random_factor({0}, {3}, deep_rng);
+    std::vector<double> small;
+    for (double v : tiny.values()) small.push_back(v * 1e-4);
+    const FlatFactor op{{0}, {3}, small};
+    std::vector<const FlatFactor*> chain(120, &op);
+    FlatFactor flat, logged;
+    ws.product_chain(op, chain, flat);
+    for (double v : flat.values) EXPECT_EQ(v, 0.0);  // underflowed
+    const double scale = ws.product_chain_log(op, chain, logged);
+    EXPECT_LT(scale, 0.0);
+    double top = 0.0;
+    for (double v : logged.values) {
+      EXPECT_TRUE(std::isfinite(v));
+      top = std::max(top, v);
+    }
+    EXPECT_EQ(top, 1.0);  // rescaled by its own maximum
+    // Relative magnitudes survive: ratio of entries == ratio of the
+    // 121st powers of the inputs, compared in log space.
+    const double want =
+        121.0 * (std::log(small[1]) - std::log(small[0]));
+    const double got = std::log(logged.values[1]) - std::log(logged.values[0]);
+    EXPECT_NEAR(want, got, 1e-9);
+  }
+}
+
+// --- evidence ops ------------------------------------------------------------
+
+TEST(SimdKernels, EvidenceOpsBitExactOnEveryTier) {
+  TierGuard guard;
+  kertbn::Rng rng(9106);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Factor f = random_shape(rng, random_universe(rng));
+    const std::size_t dim = rng.uniform_index(f.scope().size());
+    const std::size_t var = f.scope()[dim];
+    const std::size_t state = rng.uniform_index(f.cardinalities()[dim]);
+    const Factor sliced = f.reduce(var, state);
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      // reduce_evidence == Factor::reduce (drops the variable).
+      FlatFactor g = FlatFactor::from(f);
+      reduce_evidence(g, var, state);
+      expect_bitwise_equal(sliced, g, "reduce_evidence");
+      // apply_evidence keeps the dimension and zeroes other states.
+      FlatFactor h = FlatFactor::from(f);
+      apply_evidence(h, var, state);
+      ASSERT_EQ(h.scope, f.scope());
+      double kept = 0.0, zeroed = 0.0;
+      for (double v : h.values) (v == 0.0 ? zeroed : kept) += v;
+      ASSERT_EQ(kept, sliced.total());
+      ASSERT_EQ(zeroed, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::bn

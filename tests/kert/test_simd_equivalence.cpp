@@ -1,0 +1,213 @@
+/// \file test_simd_equivalence.cpp
+/// End-to-end per-tier equivalence for the SIMD inference kernels
+/// (ISSUE 9 satellite): the same queries served at every dispatch tier
+/// the host supports must agree — bit-identically between scalar runs,
+/// and within 1e-12 relative between a SIMD tier and the scalar
+/// reference. Also pins the invariant the serving path relies on:
+/// incremental and full recalibration stay bit-identical to each other
+/// on EVERY tier (both run through the same kernel path, so the tier
+/// cancels out of that comparison).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bn/junction_tree.hpp"
+#include "bn/tabular_cpd.hpp"
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "kert/kert_builder.hpp"
+#include "kert/query_engine.hpp"
+#include "sosim/synthetic.hpp"
+
+namespace kertbn::core {
+namespace {
+
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::active_tier()) {}
+  ~TierGuard() { simd::set_active_tier(saved_); }
+
+ private:
+  simd::Tier saved_;
+};
+
+std::vector<simd::Tier> runnable_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier want :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    const simd::Tier got = simd::set_active_tier(want);
+    if (tiers.empty() || tiers.back() != got) tiers.push_back(got);
+  }
+  return tiers;
+}
+
+void expect_tier_close(const std::vector<double>& scalar,
+                       const std::vector<double>& tiered, simd::Tier tier) {
+  ASSERT_EQ(scalar.size(), tiered.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    if (tier == simd::Tier::kScalar) {
+      ASSERT_EQ(scalar[i], tiered[i]) << "entry " << i;
+    } else {
+      const double scale = std::max(std::abs(scalar[i]), 1e-300);
+      ASSERT_LE(std::abs(scalar[i] - tiered[i]) / scale, 1e-12)
+          << simd::to_string(tier) << " entry " << i << ": " << scalar[i]
+          << " vs " << tiered[i];
+    }
+  }
+}
+
+/// Random discrete network (same construction as the junction-tree tests).
+bn::BayesianNetwork random_network(std::size_t n, std::uint64_t seed) {
+  kertbn::Rng rng(seed);
+  bn::BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node(bn::Variable::discrete("v" + std::to_string(i),
+                                        2 + rng.uniform_index(2)));
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    const std::size_t max_parents = std::min<std::size_t>(v, 3);
+    const std::size_t k = rng.uniform_index(max_parents + 1);
+    auto perm = rng.permutation(v);
+    for (std::size_t i = 0; i < k; ++i) net.add_edge(perm[i], v);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t configs = 1;
+    std::vector<std::size_t> cards;
+    for (std::size_t p : net.dag().parents(v)) {
+      cards.push_back(net.variable(p).cardinality);
+      configs *= net.variable(p).cardinality;
+    }
+    const std::size_t card = net.variable(v).cardinality;
+    std::vector<double> table;
+    table.reserve(configs * card);
+    for (std::size_t c = 0; c < configs * card; ++c) {
+      table.push_back(rng.uniform(0.05, 1.0));
+    }
+    net.set_cpd(v, std::make_unique<bn::TabularCpd>(
+                       bn::TabularCpd(card, cards, table)));
+  }
+  return net;
+}
+
+/// The eDiaMoND KERT-BN served at every tier: posteriors, exceedance, and
+/// evidence probability against the scalar reference.
+TEST(SimdEquivalence, EdiamondQueryEngineAgreesAcrossTiers) {
+  TierGuard guard;
+  sim::SyntheticEnvironment env = sim::make_ediamond_environment();
+  kertbn::Rng rng(20070402);
+  const bn::Dataset train = env.generate(240, rng);
+  const DatasetDiscretizer disc(train, 3);
+  const auto kert = construct_kert_discrete(env.workflow(), env.sharing(),
+                                            disc, disc.discretize(train));
+  SnapshotSlot slot;
+  slot.publish(make_model_snapshot(1, 0.0, kert.net, disc));
+
+  const std::size_t d_node = kert.net.size() - 1;
+  QueryBatch batch;
+  for (std::size_t v = 0; v + 1 < kert.net.size(); ++v) {
+    Query q;
+    q.kind = QueryKind::kPosterior;
+    q.target = v;
+    q.evidence = {{d_node, v % 3}};
+    batch.push_back(std::move(q));
+  }
+  Query exceed;
+  exceed.kind = QueryKind::kExceedance;
+  exceed.target = d_node;
+  exceed.evidence = {{0, 2}};
+  exceed.threshold = disc.column(d_node).center_of(1);
+  batch.push_back(exceed);
+  Query pe;
+  pe.kind = QueryKind::kEvidenceProbability;
+  pe.evidence = {{0, 1}, {d_node, 2}};
+  batch.push_back(pe);
+
+  simd::set_active_tier(simd::Tier::kScalar);
+  QueryEngine::Config cfg;
+  cfg.slot = &slot;
+  QueryEngine scalar_engine(cfg);
+  const auto reference = scalar_engine.post(batch);
+
+  for (simd::Tier tier : runnable_tiers()) {
+    simd::set_active_tier(tier);
+    QueryEngine engine(cfg);
+    const auto answers = engine.post(batch);
+    ASSERT_EQ(answers.size(), reference.size());
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      expect_tier_close(reference[i].posterior, answers[i].posterior, tier);
+      expect_tier_close({reference[i].exceedance}, {answers[i].exceedance},
+                        tier);
+      expect_tier_close({reference[i].evidence_probability},
+                        {answers[i].evidence_probability}, tier);
+    }
+  }
+}
+
+/// Generated-scenario sweep: random networks served through a raw
+/// junction tree, every node's posterior at every tier against scalar.
+TEST(SimdEquivalence, RandomNetworkJunctionTreesAgreeAcrossTiers) {
+  TierGuard guard;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const bn::BayesianNetwork net = random_network(14, seed);
+    const std::size_t e_node = net.size() - 1;
+    const bn::SortedEvidence ev = {{e_node, 0}};
+
+    simd::set_active_tier(simd::Tier::kScalar);
+    bn::JunctionTree scalar_tree(net);
+    scalar_tree.calibrate_sorted(ev);
+    std::vector<std::vector<double>> reference;
+    for (std::size_t v = 0; v + 1 < net.size(); ++v) {
+      reference.push_back(scalar_tree.posterior(v));
+    }
+
+    for (simd::Tier tier : runnable_tiers()) {
+      simd::set_active_tier(tier);
+      bn::JunctionTree tree(net);
+      tree.calibrate_sorted(ev);
+      for (std::size_t v = 0; v + 1 < net.size(); ++v) {
+        expect_tier_close(reference[v], tree.posterior(v), tier);
+      }
+    }
+  }
+}
+
+/// Incremental and full recalibration share one kernel path, so their
+/// answers must stay bit-identical to each other on EVERY tier — the
+/// invariant the serving router and the recalibration ablation assert.
+TEST(SimdEquivalence, IncrementalMatchesFullBitwiseOnEveryTier) {
+  TierGuard guard;
+  const bn::BayesianNetwork net = random_network(16, 77);
+  std::size_t e_node = 0;
+  for (std::size_t v = net.size(); v-- > 0;) {
+    if (!net.dag().parents(v).empty()) {
+      e_node = v;
+      break;
+    }
+  }
+  const std::size_t e_card = net.variable(e_node).cardinality;
+
+  for (simd::Tier tier : runnable_tiers()) {
+    simd::set_active_tier(tier);
+    bn::JunctionTree full(net);
+    full.set_incremental(false);
+    full.warm();
+    bn::JunctionTree inc(net);
+    inc.warm();
+    for (std::size_t r = 0; r < 12; ++r) {
+      full.calibrate_sorted({{e_node, r % e_card}});
+      inc.calibrate_sorted({{e_node, r % e_card}});
+      for (std::size_t v = 0; v < net.size(); ++v) {
+        if (v == e_node) continue;  // posteriors of evidence nodes are banned
+        ASSERT_EQ(full.posterior(v), inc.posterior(v))
+            << simd::to_string(tier) << " round " << r << " node " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kertbn::core

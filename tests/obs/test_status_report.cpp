@@ -80,6 +80,9 @@ StatusReport full_report() {
   r.query_latency_p50_ns = 1200;
   r.query_latency_p95_ns = 4800;
   r.query_latency_p99_ns = 9600;
+  r.simd_tier = "avx2";
+  r.plan_cache_hits = 4321;
+  r.plan_cache_misses = 87;
   return r;
 }
 
