@@ -1,0 +1,151 @@
+/// \file abl_fleet.cpp
+/// Ablation: fleet-serving scalability. Sweeps the tenant count
+/// (64 / 256 / 1024 on 8 shards) and reports, per size:
+///
+///   * serial ms per fleet tick and the end-of-run p99 model staleness
+///     (the "bounded staleness at 1k tenants on one box" target),
+///   * per-tenant per-tick cost inside the fleet vs. the identical tenant
+///     driven solo (same derived config, no fleet, no shards) — the
+///     multi-tenancy tax of the scheduler, governors, and ladder
+///     bookkeeping, reported as overhead_ratio,
+///   * wall ms per tick with shard-parallel execution, for the speedup.
+///
+/// Methodology: the solo baseline drives several tenants sequentially
+/// through the identical tick loop (ingest, due-check, rebuild), so both
+/// sides time the same pipeline work and the ratio isolates the fleet
+/// machinery. The baseline is measured both before and after the fleet
+/// runs and the faster pass wins — allocator and cache warm-up otherwise
+/// inflates whichever side runs first. The guard at exit (mirrored by
+/// bench/perf_smoke.sh) is a soft <= 2x budget on overhead_ratio at the
+/// largest size, wide enough for shared-host jitter while still catching
+/// a real per-tenant regression.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace kertbn;
+using fleet::Fleet;
+using fleet::Tenant;
+
+constexpr std::size_t kTicks = 48;
+constexpr std::size_t kSoloTenants = 8;
+constexpr double kOverheadRatioBudget = 2.0;
+
+double g_worst_ratio = 0.0;
+
+bench::SeriesCollector& series() {
+  static bench::SeriesCollector collector(
+      "Ablation: fleet serving scalability (8 shards, alpha_model = 6)",
+      {"tenants", "serial_ms_per_tick", "parallel_ms_per_tick",
+       "per_tenant_us_per_tick", "solo_us_per_tick", "overhead_ratio",
+       "staleness_p99_ticks"});
+  return collector;
+}
+
+Fleet::Config fleet_config(std::size_t tenants, bool parallel) {
+  Fleet::Config cfg;
+  cfg.tenants = tenants;
+  cfg.shards = 8;
+  cfg.seed = 3;
+  cfg.schedule.alpha_model = 6;
+  cfg.scheduler.max_rebuilds_per_tick = tenants / 4;
+  cfg.parallel = parallel;
+  return cfg;
+}
+
+double run_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() *
+         1e3;
+}
+
+void BM_FleetSweep(benchmark::State& state) {
+  const std::size_t tenants = static_cast<std::size_t>(state.range(0));
+  const Fleet::Config cfg = fleet_config(tenants, /*parallel=*/false);
+
+  const auto run_solo_ms = [&cfg] {
+    std::vector<std::unique_ptr<Tenant>> solo;
+    for (std::uint64_t id = 0; id < kSoloTenants; ++id) {
+      solo.push_back(
+          std::make_unique<Tenant>(Fleet::make_tenant_config(cfg, id, "")));
+    }
+    return run_ms([&] {
+      for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+        for (auto& t : solo) {
+          t->ingest_tick(tick);
+          if (t->due(tick)) t->try_rebuild(tick);
+        }
+      }
+    });
+  };
+
+  run_solo_ms();  // Warm-up: allocator, code, and branch state.
+
+  double serial_ms = 0.0, parallel_ms = 0.0, solo_ms = 0.0;
+  double staleness_p99 = 0.0, rebuilds = 0.0;
+  for (auto _ : state) {
+    const double solo_before = run_solo_ms();
+
+    Fleet serial(cfg);
+    serial_ms += run_ms([&] { serial.run_ticks(kTicks); });
+    const fleet::FleetStatus st = serial.status();
+    staleness_p99 = st.staleness_p99_ticks;
+    rebuilds = static_cast<double>(st.rebuilds);
+
+    Fleet par(fleet_config(tenants, /*parallel=*/true));
+    parallel_ms += run_ms([&] { par.run_ticks(kTicks); });
+
+    solo_ms += std::min(solo_before, run_solo_ms());
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  const double serial_ms_tick = serial_ms / iters / kTicks;
+  const double parallel_ms_tick = parallel_ms / iters / kTicks;
+  const double per_tenant_us =
+      serial_ms_tick / static_cast<double>(tenants) * 1e3;
+  const double solo_us = solo_ms / iters / kTicks / kSoloTenants * 1e3;
+  const double ratio = solo_us > 0.0 ? per_tenant_us / solo_us : 0.0;
+  g_worst_ratio = std::max(g_worst_ratio, ratio);
+
+  state.counters["tenants"] = static_cast<double>(tenants);
+  state.counters["serial_ms_per_tick"] = serial_ms_tick;
+  state.counters["parallel_ms_per_tick"] = parallel_ms_tick;
+  state.counters["per_tenant_us_per_tick"] = per_tenant_us;
+  state.counters["solo_us_per_tick"] = solo_us;
+  state.counters["per_tenant_overhead_ratio"] = ratio;
+  state.counters["staleness_p99_ticks"] = staleness_p99;
+  state.counters["rebuilds"] = rebuilds;
+  series().add_row({double(tenants), serial_ms_tick, parallel_ms_tick,
+                    per_tenant_us, solo_us, ratio, staleness_p99});
+
+  if (tenants >= 1024) {
+    std::printf(
+        "\nfleet overhead guard: per-tenant ratio %.3fx vs budget %.2fx "
+        "— %s (p99 staleness %.1f ticks)\n",
+        ratio, kOverheadRatioBudget,
+        ratio <= kOverheadRatioBudget ? "PASS" : "FAIL", staleness_p99);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FleetSweep)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

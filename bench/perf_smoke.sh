@@ -16,7 +16,12 @@
 #   4. overload control — reruns BM_GovernorOverhead and enforces the
 #      < 2% budget for the pressure governor's hooks (signal sampling,
 #      ladder update, admission token probes) on the monitored
-#      reconstruction loop with every budget open (paired-cycle median).
+#      reconstruction loop with every budget open (paired-cycle median);
+#   5. fleet serving — reruns the BM_FleetSweep ablation and applies a
+#      soft <= 2x budget on the per-tenant overhead of the fleet machinery
+#      (scheduler, bulkhead governors, health ladder) over the identical
+#      tenant driven solo, plus a bounded-staleness check (p99 <= 3 x
+#      alpha_model ticks at every sweep size, 1024 tenants included).
 #
 # Usage: bench/perf_smoke.sh [build-dir] [baseline-json]
 
@@ -231,4 +236,57 @@ verdict = "FAIL" if pct > OVERHEAD_LIMIT_PCT else "ok  "
 print(f"{verdict}  overload governor overhead {pct:+.2f}% "
       f"(limit {OVERHEAD_LIMIT_PCT:.1f}%)")
 sys.exit(1 if pct > OVERHEAD_LIMIT_PCT else 0)
+EOF
+
+# --- fleet serving overhead guard -------------------------------------------
+# Reruns the BM_FleetSweep ablation: per-tenant per-tick cost inside the
+# fleet (scheduler, bulkhead governors, health ladder, keyed injection
+# scope) vs. the identical tenant driven solo, at 64/256/1024 tenants.
+# The overhead ratio carries a soft <= 2x budget (the solo side is
+# min-of-bracketing-passes, but single-iteration sweeps still jitter on
+# shared hosts), and p99 model staleness must stay within 3 x alpha_model
+# ticks at every size — the "bounded staleness at 1k tenants" target.
+
+fleet_bin="$build_dir/bench/abl_fleet"
+fleet_out="$build_dir/PERF_SMOKE_abl_fleet.json"
+
+if [ ! -x "$fleet_bin" ]; then
+  echo "error: $fleet_bin not found — build the project first" >&2
+  exit 1
+fi
+
+"$fleet_bin" --benchmark_filter=FleetSweep \
+             --benchmark_out="$fleet_out" \
+             --benchmark_out_format=json >/dev/null
+
+python3 - "$fleet_out" <<'EOF'
+import json
+import sys
+
+RATIO_LIMIT = 2.0
+STALENESS_LIMIT_TICKS = 18.0  # 3 x alpha_model (= 6 in the sweep config)
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = []
+for bench in doc.get("benchmarks", []):
+    if "per_tenant_overhead_ratio" in bench:
+        rows.append((int(bench["tenants"]),
+                     float(bench["per_tenant_overhead_ratio"]),
+                     float(bench.get("staleness_p99_ticks", 0.0))))
+if not rows:
+    print("FAIL  no per_tenant_overhead_ratio in fleet sweep run")
+    sys.exit(1)
+
+failed = False
+for tenants, ratio, staleness in sorted(rows):
+    bad = ratio > RATIO_LIMIT or staleness > STALENESS_LIMIT_TICKS
+    verdict = "FAIL" if bad else "ok  "
+    print(f"{verdict}  fleet {tenants:>4} tenants: per-tenant overhead "
+          f"{ratio:.2f}x (limit {RATIO_LIMIT:.1f}x), p99 staleness "
+          f"{staleness:.0f} ticks (limit {STALENESS_LIMIT_TICKS:.0f})")
+    failed = failed or bad
+
+sys.exit(1 if failed else 0)
 EOF

@@ -277,11 +277,27 @@ void CheckpointStore::write(const Checkpoint& ckpt) {
     }
   }
 
-  // Retire the oldest files beyond the retention count.
+  // Retire the oldest files beyond the retention count — but never the
+  // newest *valid* checkpoint. Names sort by journal seq, and a recovery
+  // that replayed from an old checkpoint can legitimately write a lower
+  // seq than a damaged file already on disk; pruning by name alone would
+  // then delete the only loadable checkpoint and leave just the torn one
+  // (torn-newest + keep-1). The file this call just wrote is valid by
+  // construction, so only files sorting after it ever need parsing here.
   std::vector<std::string> all = files();
-  while (all.size() > config_.keep) {
-    fs::remove(all.front(), ec);
-    all.erase(all.begin());
+  std::string newest_valid;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (*it == final_path.string() || load_checkpoint_file(*it, nullptr)) {
+      newest_valid = *it;
+      break;
+    }
+  }
+  std::size_t retained = all.size();
+  for (const std::string& path : all) {
+    if (retained <= config_.keep) break;
+    if (path == newest_valid) continue;
+    fs::remove(path, ec);
+    --retained;
   }
 
   span.tag("journal_seq", ckpt.journal_seq);

@@ -40,6 +40,10 @@ class CheckpointStore {
   struct Config {
     std::string dir;
     /// Checkpoint files retained after each write (newest kept first).
+    /// Retention never removes the newest file that passes validation:
+    /// when the most recent write on disk is torn, keep-1 pruning keeps
+    /// both the torn file's valid predecessor and drops the torn file
+    /// itself, so load_newest always has something loadable.
     std::size_t keep = 2;
   };
 

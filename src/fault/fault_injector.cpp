@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 #include <mutex>
+#include <unordered_map>
 
 namespace kertbn::fault {
 
@@ -114,6 +115,44 @@ std::atomic<const FaultInjector*> g_active{nullptr};
 std::atomic<bool> g_enabled{true};
 std::atomic<std::uint64_t> g_sim_now_bits{0};
 
+/// Keyed contexts. The count gates the hot path: with no keyed contexts
+/// installed (the common case, and every pre-fleet caller), active() never
+/// touches the map or the lock. Bumped on every install/uninstall, the
+/// generation invalidates the per-thread lookup cache below.
+std::mutex g_keyed_mutex;
+std::unordered_map<std::uint64_t, std::shared_ptr<const FaultInjector>>
+    g_keyed;
+std::atomic<std::size_t> g_keyed_count{0};
+std::atomic<std::uint64_t> g_keyed_generation{0};
+
+/// Thread-local injection key (see InjectionKeyScope).
+thread_local std::uint64_t t_key = 0;
+thread_local bool t_has_key = false;
+
+/// Per-thread memo of the last keyed lookup, so a tenant's whole interval
+/// (many hook calls under one scope) pays the registry lock once.
+thread_local std::uint64_t t_cache_generation = ~0ULL;
+thread_local std::uint64_t t_cache_key = 0;
+thread_local const FaultInjector* t_cache_injector = nullptr;
+thread_local bool t_cache_found = false;
+
+/// Registry lookup with the per-thread memo. Returns whether \p key has an
+/// installed injector (which may be null only if found is false).
+const FaultInjector* keyed_lookup(std::uint64_t key, bool* found) {
+  const std::uint64_t gen =
+      g_keyed_generation.load(std::memory_order_acquire);
+  if (t_cache_generation != gen || t_cache_key != key) {
+    std::lock_guard lock(g_keyed_mutex);
+    const auto it = g_keyed.find(key);
+    t_cache_found = it != g_keyed.end();
+    t_cache_injector = t_cache_found ? it->second.get() : nullptr;
+    t_cache_key = key;
+    t_cache_generation = gen;
+  }
+  *found = t_cache_found;
+  return t_cache_injector;
+}
+
 }  // namespace
 
 void install(std::shared_ptr<const FaultInjector> injector) {
@@ -124,8 +163,52 @@ void install(std::shared_ptr<const FaultInjector> injector) {
 
 void uninstall() { install(nullptr); }
 
+void install_keyed(std::uint64_t key,
+                   std::shared_ptr<const FaultInjector> injector) {
+  std::lock_guard lock(g_keyed_mutex);
+  if (injector == nullptr) {
+    g_keyed.erase(key);
+  } else {
+    g_keyed[key] = std::move(injector);
+  }
+  g_keyed_count.store(g_keyed.size(), std::memory_order_relaxed);
+  g_keyed_generation.fetch_add(1, std::memory_order_release);
+}
+
+void uninstall_keyed(std::uint64_t key) { install_keyed(key, nullptr); }
+
+std::size_t keyed_context_count() {
+  return g_keyed_count.load(std::memory_order_relaxed);
+}
+
+InjectionKeyScope::InjectionKeyScope(std::uint64_t key)
+    : prev_key_(t_key), prev_has_key_(t_has_key) {
+  t_key = key;
+  t_has_key = true;
+}
+
+InjectionKeyScope::~InjectionKeyScope() {
+  t_key = prev_key_;
+  t_has_key = prev_has_key_;
+}
+
 const FaultInjector* active() {
   if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  if (t_has_key && g_keyed_count.load(std::memory_order_relaxed) > 0) {
+    bool found = false;
+    const FaultInjector* keyed = keyed_lookup(t_key, &found);
+    if (found) return keyed;
+  }
+  return g_active.load(std::memory_order_acquire);
+}
+
+const FaultInjector* active_for(std::uint64_t key) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  if (g_keyed_count.load(std::memory_order_relaxed) > 0) {
+    bool found = false;
+    const FaultInjector* keyed = keyed_lookup(key, &found);
+    if (found) return keyed;
+  }
   return g_active.load(std::memory_order_acquire);
 }
 

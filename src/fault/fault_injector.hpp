@@ -89,9 +89,44 @@ class FaultInjector {
 void install(std::shared_ptr<const FaultInjector> injector);
 void uninstall();
 
-/// The installed injector for hook sites: one relaxed atomic load, nullptr
-/// when no plan is installed or the kill switch is off.
+/// Keyed injection contexts (multi-tenant processes): a plan installed
+/// under a key applies only to code running inside an InjectionKeyScope
+/// for that key — tenant A's hook sites realize A's plan while tenant B,
+/// processed in the same process (even on the same thread), runs clean.
+/// Keys with no installed injector fall back to the process-global one,
+/// so ScopedFaultPlan keeps its everyone-sees-it semantics. Like
+/// install(), not for concurrent flipping while a keyed pipeline is
+/// mid-interval.
+void install_keyed(std::uint64_t key,
+                   std::shared_ptr<const FaultInjector> injector);
+void uninstall_keyed(std::uint64_t key);
+/// Installed keyed contexts (0 keeps active() on its one-load fast path).
+std::size_t keyed_context_count();
+
+/// The injection key the current thread is processing under, if any.
+/// RAII, nestable; restores the previous key on destruction.
+class InjectionKeyScope {
+ public:
+  explicit InjectionKeyScope(std::uint64_t key);
+  ~InjectionKeyScope();
+
+  InjectionKeyScope(const InjectionKeyScope&) = delete;
+  InjectionKeyScope& operator=(const InjectionKeyScope&) = delete;
+
+ private:
+  std::uint64_t prev_key_;
+  bool prev_has_key_;
+};
+
+/// The installed injector for hook sites: nullptr when no plan applies or
+/// the kill switch is off. With no keyed contexts installed this is one
+/// relaxed atomic load plus the global pointer load (the seed fast path);
+/// inside an InjectionKeyScope with keyed contexts present, the key's
+/// injector wins over the global one.
 const FaultInjector* active();
+/// Keyed lookup without entering a scope (fleet drivers that already know
+/// the tenant): the key's injector, else the global one.
+const FaultInjector* active_for(std::uint64_t key);
 
 /// Runtime kill switch (mirrors obs::set_enabled): when off, active()
 /// returns nullptr even with an injector installed.
@@ -125,6 +160,28 @@ class ScopedFaultPlan {
   const FaultInjector& injector() const { return *injector_; }
 
  private:
+  std::shared_ptr<const FaultInjector> injector_;
+};
+
+/// RAII keyed plan installation: the plan applies only inside
+/// InjectionKeyScope(key) (see install_keyed).
+class ScopedKeyedFaultPlan {
+ public:
+  ScopedKeyedFaultPlan(std::uint64_t key, FaultPlan plan)
+      : key_(key),
+        injector_(std::make_shared<const FaultInjector>(std::move(plan))) {
+    install_keyed(key_, injector_);
+  }
+  ~ScopedKeyedFaultPlan() { uninstall_keyed(key_); }
+
+  ScopedKeyedFaultPlan(const ScopedKeyedFaultPlan&) = delete;
+  ScopedKeyedFaultPlan& operator=(const ScopedKeyedFaultPlan&) = delete;
+
+  std::uint64_t key() const { return key_; }
+  const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  std::uint64_t key_;
   std::shared_ptr<const FaultInjector> injector_;
 };
 

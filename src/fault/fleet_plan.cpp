@@ -1,0 +1,86 @@
+#include "fault/fleet_plan.hpp"
+
+#include <algorithm>
+
+namespace kertbn::fault {
+
+namespace {
+
+/// splitmix64 finalizer (same mixer the injector uses) for key derivation.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool FleetFaultPlan::crash_at(std::uint64_t tenant,
+                              std::uint64_t tick) const {
+  for (const TenantCrash& c : crashes) {
+    if (c.tenant == tenant && c.at_tick == tick) return true;
+  }
+  return false;
+}
+
+bool FleetFaultPlan::poison_active(std::uint64_t tenant,
+                                   std::uint64_t tick) const {
+  for (const TenantPoison& p : poisons) {
+    if (p.tenant == tenant && p.window.contains(tick)) return true;
+  }
+  return false;
+}
+
+std::size_t FleetFaultPlan::journal_truncation_at(std::uint64_t tenant,
+                                                  std::uint64_t tick) const {
+  for (const JournalCorruption& j : journal_corruptions) {
+    if (j.tenant == tenant && j.at_tick == tick) return j.truncate_bytes;
+  }
+  return 0;
+}
+
+double FleetFaultPlan::stall_severity(std::size_t shard,
+                                      std::uint64_t tick) const {
+  double severity = 0.0;
+  for (const ShardStall& s : stalls) {
+    if (s.shard == shard && s.window.contains(tick)) {
+      severity = std::max(severity, s.severity);
+    }
+  }
+  return severity;
+}
+
+bool FleetFaultPlan::targets_tenant(std::uint64_t tenant) const {
+  for (const TenantCrash& c : crashes) {
+    if (c.tenant == tenant) return true;
+  }
+  for (const TenantPoison& p : poisons) {
+    if (p.tenant == tenant) return true;
+  }
+  for (const JournalCorruption& j : journal_corruptions) {
+    if (j.tenant == tenant) return true;
+  }
+  return false;
+}
+
+FaultPlan FleetFaultPlan::tenant_plan(std::uint64_t tenant) const {
+  FaultPlan plan;
+  plan.seed = mix(seed ^ mix(tenant));
+  for (const TenantPoison& p : poisons) {
+    if (p.tenant == tenant) {
+      plan.measurement_corrupt_prob =
+          std::max(plan.measurement_corrupt_prob, p.corrupt_prob);
+    }
+  }
+  plan.corrupt_nan_weight = 1.0;
+  plan.corrupt_negative_weight = 1.0;
+  plan.corrupt_outlier_weight = 0.0;
+  return plan;
+}
+
+std::uint64_t FleetFaultPlan::tenant_key(std::uint64_t tenant) const {
+  return mix(mix(seed) ^ tenant);
+}
+
+}  // namespace kertbn::fault

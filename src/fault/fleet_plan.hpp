@@ -1,0 +1,117 @@
+#pragma once
+/// \file fleet_plan.hpp
+/// Fleet-scale fault schedules: what goes wrong, for which tenants and
+/// shards, at which fleet ticks.
+///
+/// The fleet layer serves many tenants from one process on a simulated
+/// tick clock (one tick = one T_DATA interval per tenant), so its faults
+/// are declared in ticks and keyed by tenant or shard id rather than by
+/// agent. Tenant-targeted probabilistic faults (poisoned measurement
+/// streams) compile into an ordinary per-tenant FaultPlan realized through
+/// the keyed injection contexts (fault_injector.hpp) — tenant A's hook
+/// sites see A's plan while tenant B, processed by the same thread, runs
+/// clean. Scheduled faults (crash/restart, journal-dir corruption, shard
+/// CPU stalls) are deterministic events the fleet driver queries directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace kertbn::fault {
+
+/// Half-open fleet-tick interval [from, until).
+struct TickWindow {
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+
+  bool contains(std::uint64_t tick) const {
+    return tick >= from && tick < until;
+  }
+};
+
+/// One tenant process crash: at the given tick the tenant's in-memory
+/// state is destroyed and rebuilt from its durable directory (checkpoint +
+/// journal replay) — or from nothing, for an ephemeral tenant.
+struct TenantCrash {
+  std::uint64_t tenant = 0;
+  std::uint64_t at_tick = 0;
+};
+
+/// A poisoned measurement stream: while inside the window, each of the
+/// tenant's reported means (services and response) is corrupted with this
+/// probability, drawn deterministically from the plan seed.
+struct TenantPoison {
+  std::uint64_t tenant = 0;
+  TickWindow window;
+  double corrupt_prob = 0.25;
+};
+
+/// Journal-directory corruption: at the given tick the tail of the
+/// tenant's newest journal segment is truncated on disk — latent damage
+/// that surfaces (as skipped/torn records) only when the tenant next
+/// recovers.
+struct JournalCorruption {
+  std::uint64_t tenant = 0;
+  std::uint64_t at_tick = 0;
+  /// Bytes cut off the newest segment's tail.
+  std::size_t truncate_bytes = 32;
+};
+
+/// A shard-wide CPU stall: while inside the window the shard burns
+/// deterministic wasted CPU scaled by severity and reports the severity as
+/// cpu_pressure to its governor. Severity above 1.0 is allowed — it drives
+/// the governor's normalized score past the shedding/emergency thresholds.
+struct ShardStall {
+  std::size_t shard = 0;
+  TickWindow window;
+  double severity = 1.0;
+};
+
+/// The full fleet fault schedule. A plan plus one seed fully determines
+/// every injected fault, so a degraded fleet run is bit-for-bit
+/// reproducible — and tenants the plan never names execute the exact same
+/// instruction stream as in a fault-free run (the isolation proof).
+struct FleetFaultPlan {
+  std::uint64_t seed = 0;
+
+  std::vector<TenantCrash> crashes;
+  std::vector<TenantPoison> poisons;
+  std::vector<JournalCorruption> journal_corruptions;
+  std::vector<ShardStall> stalls;
+
+  /// True when the given tenant crashes at this tick.
+  bool crash_at(std::uint64_t tenant, std::uint64_t tick) const;
+  /// True while the tenant is inside any poison window.
+  bool poison_active(std::uint64_t tenant, std::uint64_t tick) const;
+  /// Journal truncation scheduled for (tenant, tick): bytes to cut, 0 when
+  /// none.
+  std::size_t journal_truncation_at(std::uint64_t tenant,
+                                    std::uint64_t tick) const;
+  /// Max stall severity covering (shard, tick); 0.0 outside every window.
+  double stall_severity(std::size_t shard, std::uint64_t tick) const;
+
+  /// True when any fault in the plan targets this tenant (the clean /
+  /// faulted partition the isolation tests assert over).
+  bool targets_tenant(std::uint64_t tenant) const;
+
+  /// The keyed injection context for one tenant: a FaultPlan whose
+  /// measurement-corruption probability is the max over the tenant's
+  /// poison windows (window gating happens at the fleet's call site, which
+  /// knows the tick), seeded per tenant off the fleet seed. Corruption
+  /// draws only NaN / negative values — both are quarantined and counted
+  /// by the management server, which is what the quarantine ladder
+  /// watches; silent outliers would poison the model undetectably.
+  FaultPlan tenant_plan(std::uint64_t tenant) const;
+
+  /// Stable per-tenant injection key (install_keyed / InjectionKeyScope).
+  std::uint64_t tenant_key(std::uint64_t tenant) const;
+
+  bool trivial() const {
+    return crashes.empty() && poisons.empty() &&
+           journal_corruptions.empty() && stalls.empty();
+  }
+};
+
+}  // namespace kertbn::fault

@@ -1,0 +1,48 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+
+namespace kertbn::fleet {
+
+double ReconstructionScheduler::priority(
+    const RebuildCandidate& candidate) const {
+  double p = static_cast<double>(candidate.staleness_ticks);
+  switch (candidate.health) {
+    case core::ModelHealth::kNone:
+    case core::ModelHealth::kFallback:
+    case core::ModelHealth::kDegraded:
+      p += config_.unhealthy_boost;
+      break;
+    case core::ModelHealth::kFresh:
+    case core::ModelHealth::kStale:
+      break;
+  }
+  if (candidate.probation) p += config_.probation_boost;
+  return p;
+}
+
+std::vector<std::uint64_t> ReconstructionScheduler::select(
+    const std::vector<RebuildCandidate>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double pa = priority(candidates[a]);
+    const double pb = priority(candidates[b]);
+    if (pa != pb) return pa > pb;
+    return candidates[a].tenant < candidates[b].tenant;
+  });
+
+  const std::size_t slots =
+      std::min(config_.max_rebuilds_per_tick, order.size());
+  std::vector<std::uint64_t> grants;
+  grants.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    grants.push_back(candidates[order[i]].tenant);
+  }
+  granted_ += slots;
+  deferred_ += order.size() - slots;
+  std::sort(grants.begin(), grants.end());
+  return grants;
+}
+
+}  // namespace kertbn::fleet

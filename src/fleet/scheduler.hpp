@@ -1,0 +1,70 @@
+#pragma once
+/// \file scheduler.hpp
+/// Fleet-level reconstruction scheduling: which due tenants get one of
+/// this tick's rebuild slots.
+///
+/// Rebuilds are the fleet's dominant CPU cost, so they draw from a global
+/// per-tick budget instead of every tenant rebuilding the moment its
+/// T_CON deadline passes. The scheduler is a pure priority selection —
+/// stalest first, with a boost for tenants whose model health is degraded
+/// (kFallback / kDegraded / kNone need a successful build to climb out)
+/// and a smaller one for probation tenants (a fresh model is how they
+/// prove themselves) — with tenant id as the deterministic tie-break.
+/// Tenants that lose a slot are simply not asked to rebuild this tick:
+/// their next_due stays in the past, so they remain due (and their
+/// priority keeps rising) until a slot frees up — natural deferral, no
+/// extra state. The scheduler counts those deferrals per tick.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kert/model_manager.hpp"
+
+namespace kertbn::fleet {
+
+/// One rebuild candidate (a due, non-quarantined tenant).
+struct RebuildCandidate {
+  std::uint64_t tenant = 0;
+  std::uint64_t staleness_ticks = 0;
+  core::ModelHealth health = core::ModelHealth::kNone;
+  bool probation = false;
+};
+
+/// See file comment.
+class ReconstructionScheduler {
+ public:
+  struct Config {
+    /// Global rebuild slots per tick (the fleet's CPU budget).
+    std::size_t max_rebuilds_per_tick = 8;
+    /// Staleness-tick-equivalent boost for unhealthy models.
+    double unhealthy_boost = 1000.0;
+    /// Boost for probation tenants proving themselves.
+    double probation_boost = 100.0;
+  };
+
+  ReconstructionScheduler() = default;
+  explicit ReconstructionScheduler(Config config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// Selects up to the budget from \p candidates, highest priority first.
+  /// Returns the granted tenant ids (sorted ascending, for deterministic
+  /// lookup); the rest are counted as deferred.
+  std::vector<std::uint64_t> select(
+      const std::vector<RebuildCandidate>& candidates);
+
+  double priority(const RebuildCandidate& candidate) const;
+
+  /// Due candidates that lost a slot, cumulative across select() calls.
+  std::uint64_t deferred() const { return deferred_; }
+  /// Rebuild slots granted, cumulative.
+  std::uint64_t granted() const { return granted_; }
+
+ private:
+  Config config_;
+  std::uint64_t deferred_ = 0;
+  std::uint64_t granted_ = 0;
+};
+
+}  // namespace kertbn::fleet

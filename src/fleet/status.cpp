@@ -1,0 +1,113 @@
+#include "fleet/status.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace kertbn::fleet {
+
+namespace {
+
+void field_u64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void field_f64(std::string& out, const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g,", key, v);
+  out += buf;
+}
+
+void field_str(std::string& out, const char* key, const std::string& v) {
+  // Fleet strings are enum names — no escaping needed.
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += v;
+  out += "\",";
+}
+
+void close_object(std::string& out) {
+  if (out.back() == ',') out.back() = '}';
+  else out += '}';
+}
+
+}  // namespace
+
+std::string FleetStatus::to_json() const {
+  std::string out = "{";
+  field_u64(out, "ticks", ticks);
+  field_u64(out, "tenants", tenants);
+  field_u64(out, "shards", shards);
+  field_u64(out, "healthy", healthy);
+  field_u64(out, "probation", probation);
+  field_u64(out, "quarantined", quarantined);
+  field_u64(out, "health_none", health_none);
+  field_u64(out, "health_fresh", health_fresh);
+  field_u64(out, "health_stale", health_stale);
+  field_u64(out, "health_fallback", health_fallback);
+  field_u64(out, "health_degraded", health_degraded);
+  field_u64(out, "quarantine_events", quarantine_events);
+  field_u64(out, "readmissions", readmissions);
+  field_u64(out, "crash_recoveries", crash_recoveries);
+  field_u64(out, "rebuilds", rebuilds);
+  field_u64(out, "scheduler_granted", scheduler_granted);
+  field_u64(out, "scheduler_deferred", scheduler_deferred);
+  field_u64(out, "governor_deferred", governor_deferred);
+  field_u64(out, "aborted_rebuilds", aborted_rebuilds);
+  field_f64(out, "staleness_p50_ticks", staleness_p50_ticks);
+  field_f64(out, "staleness_p99_ticks", staleness_p99_ticks);
+  field_f64(out, "staleness_max_ticks", staleness_max_ticks);
+  out += "\"shards_detail\":[";
+  for (const ShardStatus& s : shard_status) {
+    out += '{';
+    field_u64(out, "shard", s.shard);
+    field_u64(out, "tenants", s.tenants);
+    field_str(out, "governor_level", s.governor_level);
+    field_u64(out, "rebuilds", s.rebuilds);
+    field_u64(out, "governor_deferred", s.governor_deferred);
+    field_u64(out, "aborted_rebuilds", s.aborted_rebuilds);
+    field_u64(out, "shed_intervals", s.shed_intervals);
+    field_u64(out, "restarts", s.restarts);
+    close_object(out);
+    out += ',';
+  }
+  if (out.back() == ',') out.back() = ']';
+  else out += ']';
+  out += '}';
+  return out;
+}
+
+void publish_fleet_metrics(const FleetStatus& status) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  const auto set = [&reg](const char* name, double v) {
+    reg.gauge(name).set(v);
+  };
+  set("kert.fleet.ticks", static_cast<double>(status.ticks));
+  set("kert.fleet.tenants", static_cast<double>(status.tenants));
+  set("kert.fleet.shards", static_cast<double>(status.shards));
+  set("kert.fleet.healthy", static_cast<double>(status.healthy));
+  set("kert.fleet.probation", static_cast<double>(status.probation));
+  set("kert.fleet.quarantined", static_cast<double>(status.quarantined));
+  set("kert.fleet.quarantine_events",
+      static_cast<double>(status.quarantine_events));
+  set("kert.fleet.readmissions", static_cast<double>(status.readmissions));
+  set("kert.fleet.crash_recoveries",
+      static_cast<double>(status.crash_recoveries));
+  set("kert.fleet.rebuilds", static_cast<double>(status.rebuilds));
+  set("kert.fleet.scheduler_deferred",
+      static_cast<double>(status.scheduler_deferred));
+  set("kert.fleet.governor_deferred",
+      static_cast<double>(status.governor_deferred));
+  set("kert.fleet.aborted_rebuilds",
+      static_cast<double>(status.aborted_rebuilds));
+  set("kert.fleet.staleness_p50_ticks", status.staleness_p50_ticks);
+  set("kert.fleet.staleness_p99_ticks", status.staleness_p99_ticks);
+  set("kert.fleet.staleness_max_ticks", status.staleness_max_ticks);
+}
+
+}  // namespace kertbn::fleet

@@ -1,0 +1,84 @@
+#pragma once
+/// \file status.hpp
+/// Fleet-wide operational rollups: per-shard and fleet-level counts an
+/// operator (or autonomic controller) needs to judge the fleet — tenant
+/// counts by ladder condition and model health, staleness percentiles,
+/// quarantine / recovery / scheduler activity, and per-shard bulkhead
+/// posture (governor level, rebuild deferrals, ingest shedding).
+///
+/// FleetStatus::to_json() emits one JSON line (JSONL-appendable, same
+/// convention as the quality layer's StatusReport);
+/// publish_fleet_metrics() mirrors the rollup into the obs registry as
+/// kert.fleet.* gauges so the existing Prometheus exposition
+/// (obs/prometheus.hpp) serves it with no extra wiring.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kertbn::fleet {
+
+/// One shard's bulkhead posture.
+struct ShardStatus {
+  std::size_t shard = 0;
+  std::size_t tenants = 0;
+  std::string governor_level;  ///< normal / throttled / shedding / emergency.
+  std::uint64_t rebuilds = 0;
+  /// Rebuilds the shard governor refused (bulkhead pressure), summed over
+  /// the shard's tenants.
+  std::uint64_t governor_deferred = 0;
+  std::uint64_t aborted_rebuilds = 0;
+  std::uint64_t shed_intervals = 0;
+  std::uint64_t restarts = 0;
+
+  bool operator==(const ShardStatus&) const = default;
+};
+
+/// See file comment.
+struct FleetStatus {
+  std::uint64_t ticks = 0;  ///< Fleet ticks completed.
+  std::size_t tenants = 0;
+  std::size_t shards = 0;
+
+  // Ladder conditions.
+  std::size_t healthy = 0;
+  std::size_t probation = 0;
+  std::size_t quarantined = 0;
+
+  // Model health counts (to_string(ModelHealth) order).
+  std::size_t health_none = 0;
+  std::size_t health_fresh = 0;
+  std::size_t health_stale = 0;
+  std::size_t health_fallback = 0;
+  std::size_t health_degraded = 0;
+
+  // Cumulative fleet activity.
+  std::uint64_t quarantine_events = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t crash_recoveries = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t scheduler_granted = 0;
+  std::uint64_t scheduler_deferred = 0;
+  std::uint64_t governor_deferred = 0;
+  std::uint64_t aborted_rebuilds = 0;
+
+  // Model staleness across tenants, in ticks.
+  double staleness_p50_ticks = 0.0;
+  double staleness_p99_ticks = 0.0;
+  double staleness_max_ticks = 0.0;
+
+  std::vector<ShardStatus> shard_status;
+
+  bool operator==(const FleetStatus&) const = default;
+
+  /// Single-line JSON (safe to append to a JSONL feed).
+  std::string to_json() const;
+};
+
+/// Mirrors \p status into the obs metrics registry as kert.fleet.*
+/// gauges (idempotent set — safe to call every tick). No-op when
+/// telemetry is runtime-disabled.
+void publish_fleet_metrics(const FleetStatus& status);
+
+}  // namespace kertbn::fleet

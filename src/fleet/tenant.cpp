@@ -1,0 +1,153 @@
+#include "fleet/tenant.hpp"
+
+#include <utility>
+
+#include "durable/journal.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace kertbn::fleet {
+
+Tenant::Tenant(Config config)
+    : config_(std::move(config)), workload_(config_.workload) {
+  build_pipeline(/*recover_now=*/0.0);
+}
+
+Tenant::~Tenant() {
+  if (journal_ != nullptr && server_ != nullptr) {
+    durable::ServerJournal::detach(*server_);
+  }
+}
+
+void Tenant::build_pipeline(double recover_now) {
+  wf::Workflow workflow = workload_.make_workflow();
+  wf::ResourceSharing sharing = workload_.make_sharing();
+
+  server_ = std::make_unique<sim::ManagementServer>(workflow.service_names(),
+                                                    config_.schedule);
+
+  core::ModelManager::Config mconfig;
+  mconfig.schedule = config_.schedule;
+  mconfig.incremental = true;
+  mconfig.guard = true;
+  mconfig.publish_snapshots = true;
+  mconfig.governor = config_.governor;
+  mconfig.cancel = config_.cancel;
+  manager_ = std::make_unique<core::ModelManager>(
+      std::move(workflow), std::move(sharing), mconfig);
+
+  // Wire the incremental-statistics tap before any row can land, so the
+  // replayed and live paths feed the manager identically.
+  server_->set_row_observer(
+      [manager = manager_.get()](std::span<const double> row) {
+        manager->observe_row(row);
+      });
+
+  if (config_.quality) {
+    quality::ModelQualityMonitor::Config qconfig;
+    qconfig.clock = [this] { return sim_now_; };
+    monitor_ =
+        std::make_unique<quality::ModelQualityMonitor>(*manager_, qconfig);
+    server_->add_row_observer(
+        [monitor = monitor_.get()](std::span<const double> row) {
+          monitor->observe_row(row);
+        });
+  } else {
+    monitor_.reset();
+  }
+
+  server_->configure_admission(sim::IngestAdmission{
+      nullptr, config_.max_pending, sim::IngestOverflowPolicy::kShedOldest});
+
+  if (durable()) {
+    // Recover before attaching the journal: replay must not re-journal.
+    const durable::RecoveryManager recovery(config_.dir);
+    last_recovery_ = recovery.recover(*server_, manager_.get(), recover_now);
+    if (monitor_ != nullptr) monitor_->set_recovery(*last_recovery_);
+
+    durable::JournalConfig jconfig;
+    jconfig.dir = config_.dir;
+    jconfig.fsync = config_.fsync;
+    journal_ = std::make_unique<durable::ServerJournal>(std::move(jconfig));
+    journal_->attach(*server_);
+
+    if (store_ == nullptr) {
+      store_ = std::make_unique<durable::CheckpointStore>(
+          durable::CheckpointStore::Config{config_.dir});
+    }
+  }
+}
+
+void Tenant::ingest_tick(std::uint64_t tick) {
+  sim_now_ = now(tick);
+  std::vector<sim::AgentReport> reports = workload_.reports(tick);
+  double response = workload_.response_mean(tick);
+
+  // The shard has entered this tenant's InjectionKeyScope: active()
+  // resolves the tenant's keyed plan (or the process-global one), so a
+  // poisoned tenant's faults realize here while its neighbors — same
+  // thread, different key — run clean.
+  if (const fault::FaultInjector* inj = fault::active(); inj != nullptr) {
+    if (inj->drop_report(/*agent=*/0, tick)) {
+      server_->note_missed_interval();
+      return;
+    }
+    for (auto& [service, mean] : reports[0].service_means) {
+      if (const auto c = inj->corrupt_measurement(service, tick, mean)) {
+        mean = *c;
+      }
+    }
+    if (const auto c = inj->corrupt_measurement(config_.workload.services,
+                                                tick, response)) {
+      response = *c;
+    }
+  }
+  server_->offer_interval(reports, response, sim_now_);
+
+  if (durable() && config_.checkpoint_every > 0 &&
+      (tick + 1) % config_.checkpoint_every == 0) {
+    checkpoint(tick);
+  }
+}
+
+bool Tenant::try_rebuild(std::uint64_t tick) {
+  sim_now_ = now(tick);
+  const auto rebuilt = manager_->maybe_reconstruct(sim_now_, server_->window());
+  if (rebuilt.has_value()) {
+    fresh_since_tick_ = static_cast<std::int64_t>(tick);
+    return true;
+  }
+  return false;
+}
+
+bool Tenant::due(std::uint64_t tick) const {
+  return manager_->next_due() <= now(tick) &&
+         server_->window_rows() >= config_.schedule.k;
+}
+
+std::uint64_t Tenant::staleness_ticks(std::uint64_t tick) const {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(tick) -
+                                    fresh_since_tick_);
+}
+
+durable::RecoveryReport Tenant::restart(std::uint64_t tick) {
+  if (journal_ != nullptr) {
+    durable::ServerJournal::detach(*server_);
+    journal_.reset();  // Close the segment before the replayer scans.
+  }
+  monitor_.reset();
+  manager_.reset();
+  server_.reset();
+  build_pipeline(now(tick));
+  ++restarts_;
+  return last_recovery_.value_or(durable::RecoveryReport{});
+}
+
+void Tenant::checkpoint(std::uint64_t tick) {
+  if (!durable()) return;
+  const durable::Checkpoint ckpt = durable::capture_checkpoint(
+      *server_, *manager_, now(tick), journal_->last_seq());
+  store_->write(ckpt);
+  durable::prune_journal(config_.dir, ckpt.journal_seq);
+}
+
+}  // namespace kertbn::fleet

@@ -1,0 +1,145 @@
+#pragma once
+/// \file tenant.hpp
+/// One tenant of the fleet: the paper's whole single-application pipeline
+/// — management server (sliding window), model manager (periodic KERT-BN
+/// reconstruction, snapshot slot, health ladder), write-ahead journal +
+/// checkpoint store, and an optional model-quality monitor — packaged as
+/// one shard-movable object with a private durable directory.
+///
+/// A Tenant owns no thread and no clock: the shard drives it tick by tick
+/// (one tick = one T_DATA interval) and every mutation is a deterministic
+/// function of (workload seed, tick, installed fault plan), which is what
+/// makes per-tenant recovery bit-identity provable. Construction over a
+/// non-empty durable directory recovers from it (checkpoint + journal
+/// replay — a no-op on a fresh directory); restart() simulates a tenant
+/// process crash by discarding all in-memory state and recovering in
+/// place.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "durable/checkpoint.hpp"
+#include "durable/recovery.hpp"
+#include "fleet/workload.hpp"
+#include "kert/model_manager.hpp"
+#include "obs/quality/monitor.hpp"
+#include "overload/governor.hpp"
+#include "sosim/monitoring.hpp"
+
+namespace kertbn::fleet {
+
+/// See file comment.
+class Tenant {
+ public:
+  struct Config {
+    std::uint64_t id = 0;
+    /// Keyed fault-injection context this tenant runs under (see
+    /// fault/fault_injector.hpp); the shard enters the scope, the tenant
+    /// just reads fault::active() inside it.
+    std::uint64_t injection_key = 0;
+    sim::ModelSchedule schedule{};
+    TenantWorkload::Config workload{};
+    /// Durable directory (journal segments + checkpoints). Empty =
+    /// ephemeral: no journal, no checkpoints, a crash loses the window.
+    std::string dir;
+    /// Checkpoint every this many ticks (0 = never). Each checkpoint
+    /// prunes journal segments it covers.
+    std::size_t checkpoint_every = 0;
+    durable::FsyncPolicy fsync = durable::FsyncPolicy::kNone;
+    /// Shard bulkhead hooks (non-owning): the governor defers rebuilds
+    /// under shard pressure, the cancel flag aborts in-flight rebuilds at
+    /// emergency level.
+    ov::PressureGovernor* governor = nullptr;
+    const std::atomic<bool>* cancel = nullptr;
+    /// Bounded ingest admission queue (bulkhead memory bound).
+    std::size_t max_pending = 4;
+    /// Attach a ModelQualityMonitor (predict-vs-measure scoring + drift).
+    bool quality = false;
+  };
+
+  explicit Tenant(Config config);
+  ~Tenant();
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  const Config& config() const { return config_; }
+  std::uint64_t id() const { return config_.id; }
+  std::uint64_t injection_key() const { return config_.injection_key; }
+
+  /// Simulated time at the end of tick \p tick.
+  double now(std::uint64_t tick) const {
+    return static_cast<double>(tick + 1) * config_.schedule.t_data;
+  }
+
+  /// Ingests tick \p tick's workload interval. The caller must already be
+  /// inside this tenant's InjectionKeyScope: any applicable fault plan's
+  /// report-loss and measurement-corruption draws are realized here (a
+  /// poisoned stream shows up as quarantined values in the server's
+  /// accounting — the ladder's strike signal). Also writes the periodic
+  /// checkpoint when one is due.
+  void ingest_tick(std::uint64_t tick);
+
+  /// Scheduler-granted reconstruction attempt at \p tick. Runs the
+  /// manager's guarded maybe_reconstruct (governor deferral, cancellation,
+  /// LKG fallback all apply). Returns true when a rebuild completed.
+  bool try_rebuild(std::uint64_t tick);
+
+  /// True when the reconstruction deadline has passed and the window has
+  /// data to rebuild from.
+  bool due(std::uint64_t tick) const;
+
+  /// Ticks since the last successful reconstruction (or since creation /
+  /// recovery when none succeeded yet) — the fleet's staleness metric.
+  std::uint64_t staleness_ticks(std::uint64_t tick) const;
+
+  /// Tenant process crash + recovery in place: all in-memory state is
+  /// discarded and rebuilt from the durable directory (ephemeral tenants
+  /// restart blank). Returns what recovery found.
+  durable::RecoveryReport restart(std::uint64_t tick);
+
+  /// Forces a checkpoint now (the periodic path calls this on cadence).
+  void checkpoint(std::uint64_t tick);
+
+  core::ModelHealth health() const { return manager_->health(); }
+  const sim::ManagementServer& server() const { return *server_; }
+  const core::ModelManager& manager() const { return *manager_; }
+  /// Quality monitor, when configured (nullptr otherwise).
+  const quality::ModelQualityMonitor* quality() const {
+    return monitor_.get();
+  }
+  /// Most recent recovery report (from construction or restart), if any.
+  const std::optional<durable::RecoveryReport>& last_recovery() const {
+    return last_recovery_;
+  }
+  std::size_t restarts() const { return restarts_; }
+  bool durable() const { return !config_.dir.empty(); }
+
+  /// Reference state for bit-identity assertions.
+  sim::ServerState server_state() const { return server_->export_state(); }
+  std::string model_text() const { return manager_->export_model_text(); }
+
+ private:
+  /// (Re)creates server, manager, monitor, and journal; recovers from the
+  /// durable directory first when one is configured.
+  void build_pipeline(double recover_now);
+
+  Config config_;
+  TenantWorkload workload_;
+  std::unique_ptr<sim::ManagementServer> server_;
+  std::unique_ptr<core::ModelManager> manager_;
+  std::unique_ptr<quality::ModelQualityMonitor> monitor_;
+  std::unique_ptr<durable::ServerJournal> journal_;
+  std::unique_ptr<durable::CheckpointStore> store_;
+  std::optional<durable::RecoveryReport> last_recovery_;
+  std::size_t restarts_ = 0;
+  /// Tick of the last successful rebuild, or the tick the pipeline was
+  /// (re)created at minus one when none succeeded yet.
+  std::int64_t fresh_since_tick_ = -1;
+  double sim_now_ = 0.0;  ///< Clock source for the quality monitor.
+};
+
+}  // namespace kertbn::fleet

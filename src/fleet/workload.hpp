@@ -1,0 +1,70 @@
+#pragma once
+/// \file workload.hpp
+/// Deterministic synthetic per-tenant workloads for fleet serving.
+///
+/// Fleet scale (1k+ tenants on one box) rules out running a DES per
+/// tenant. Instead each tenant gets a small sequence workflow over a
+/// handful of services and a measurement stream that is a pure function of
+/// (workload seed, tick): per-service interval means wobble around
+/// seed-derived bases, and the response mean is their sum plus seeded leak
+/// noise — exactly the structural D = f(X) relation a sequence workflow's
+/// Cardoso reduction predicts, so the per-tenant KERT-BN has something
+/// real to learn. Pure-function generation is what makes per-tenant
+/// recovery bit-identity provable: a replayed tick regenerates the same
+/// reports no matter which process, shard, or thread asks.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sosim/monitoring.hpp"
+#include "workflow/resource.hpp"
+#include "workflow/workflow.hpp"
+
+namespace kertbn::fleet {
+
+/// See file comment. All methods are const and thread-safe.
+class TenantWorkload {
+ public:
+  struct Config {
+    std::uint64_t seed = 0;
+    std::size_t services = 4;
+    /// Per-service base means are drawn uniformly from this range (s).
+    double base_min = 0.5;
+    double base_max = 2.5;
+    /// Relative wobble of each per-tick service mean around its base.
+    double wobble = 0.10;
+    /// Additive leak noise on the response mean, relative to its base sum.
+    double leak = 0.02;
+  };
+
+  explicit TenantWorkload(Config config);
+
+  const Config& config() const { return config_; }
+
+  /// One agent (id 0) covering every service, with the tick's means.
+  std::vector<sim::AgentReport> reports(std::uint64_t tick) const;
+
+  /// End-to-end response mean for the tick: sum of the tick's service
+  /// means plus seeded leak noise.
+  double response_mean(std::uint64_t tick) const;
+
+  /// Service \p service's mean for the tick.
+  double service_mean(std::size_t service, std::uint64_t tick) const;
+
+  /// The noise-free response mean (sum of the base means).
+  double true_response_mean() const;
+
+  /// Sequence workflow over the configured services (f(X) = Σ Xᵢ).
+  wf::Workflow make_workflow() const;
+  /// All services share one host resource (they live in one process).
+  wf::ResourceSharing make_sharing() const;
+
+ private:
+  double u01(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const;
+
+  Config config_;
+  std::vector<double> bases_;
+};
+
+}  // namespace kertbn::fleet

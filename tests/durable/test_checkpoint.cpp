@@ -164,6 +164,29 @@ TEST(Checkpoint, RetentionKeepsOnlyConfiguredCount) {
   EXPECT_EQ(loaded->journal_seq, 35u);
 }
 
+TEST(Checkpoint, RetentionNeverPrunesNewestValidWhenNewestIsTorn) {
+  const fs::path dir = fresh_dir("ckpt_torn_newest_keep1");
+  const sim::ManagementServer server = make_populated_server();
+  core::ModelManager manager = make_manager_with_model(31);
+  CheckpointStore store(CheckpointStore::Config{dir.string(), 1});
+
+  // The highest-seq file on disk is torn — the crash that forced the
+  // recovery this store is now running after. Post-replay the writer's
+  // sequence restarts below it, so the next checkpoint sorts *before*
+  // the damaged file.
+  store.write(capture_checkpoint(server, manager, 900.0, 90));
+  ASSERT_TRUE(fault::truncate_tail(store.files().back(), 25));
+  store.write(capture_checkpoint(server, manager, 100.0, 10));
+
+  // Name-order pruning would keep only the torn seq-90 file; the guard
+  // must instead drop it and keep the valid seq-10 checkpoint.
+  ASSERT_EQ(store.files().size(), 1u);
+  std::string error;
+  const auto loaded = store.load_newest(&error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->journal_seq, 10u);
+}
+
 TEST(Checkpoint, ManagerRestoreServesModelAsStale) {
   core::ModelManager manager = make_manager_with_model(23);
   const core::ManagerCheckpoint ckpt = manager.export_checkpoint();

@@ -158,5 +158,73 @@ TEST(FaultInjector, SimNowBridge) {
   set_sim_now(0.0);
 }
 
+TEST(FaultInjector, KeyedContextAppliesOnlyInsideItsScope) {
+  EXPECT_EQ(keyed_context_count(), 0u);
+  ScopedKeyedFaultPlan tenant_a(/*key=*/7, lossy_plan(3));
+  EXPECT_EQ(keyed_context_count(), 1u);
+
+  // Outside any scope nothing applies (no global plan is installed).
+  EXPECT_EQ(active(), nullptr);
+  EXPECT_EQ(active_for(9), nullptr);
+  EXPECT_EQ(active_for(7), &tenant_a.injector());
+
+  {
+    InjectionKeyScope scope(7);
+    EXPECT_EQ(active(), &tenant_a.injector());
+  }
+  {
+    // Tenant B has no keyed plan and no global fallback: runs clean.
+    InjectionKeyScope scope(9);
+    EXPECT_EQ(active(), nullptr);
+  }
+  EXPECT_EQ(active(), nullptr);
+}
+
+TEST(FaultInjector, KeyedContextOverridesGlobalAndFallsBackWithoutOne) {
+  ScopedFaultPlan global(lossy_plan(1));
+  ScopedKeyedFaultPlan tenant_a(/*key=*/4, lossy_plan(2));
+
+  // ScopedFaultPlan keeps its everyone-sees-it semantics: a key with no
+  // injector of its own falls back to the global plan.
+  {
+    InjectionKeyScope scope(5);
+    EXPECT_EQ(active(), &global.injector());
+  }
+  {
+    InjectionKeyScope scope(4);
+    EXPECT_EQ(active(), &tenant_a.injector());
+  }
+  EXPECT_EQ(active(), &global.injector());
+  EXPECT_EQ(active_for(4), &tenant_a.injector());
+  EXPECT_EQ(active_for(5), &global.injector());
+}
+
+TEST(FaultInjector, KeyedScopesNestAndRestore) {
+  ScopedKeyedFaultPlan outer(/*key=*/1, lossy_plan(10));
+  ScopedKeyedFaultPlan inner(/*key=*/2, lossy_plan(11));
+  InjectionKeyScope a(1);
+  EXPECT_EQ(active(), &outer.injector());
+  {
+    InjectionKeyScope b(2);
+    EXPECT_EQ(active(), &inner.injector());
+  }
+  EXPECT_EQ(active(), &outer.injector());
+}
+
+TEST(FaultInjector, KeyedKillSwitchAndUninstall) {
+  {
+    ScopedKeyedFaultPlan tenant(/*key=*/3, lossy_plan(5));
+    InjectionKeyScope scope(3);
+    set_enabled(false);
+    EXPECT_EQ(active(), nullptr);
+    EXPECT_EQ(active_for(3), nullptr);
+    set_enabled(true);
+    EXPECT_NE(active(), nullptr);
+  }
+  EXPECT_EQ(keyed_context_count(), 0u);
+  InjectionKeyScope scope(3);
+  EXPECT_EQ(active(), nullptr);  // uninstalled on scope exit
+}
+
 }  // namespace
 }  // namespace kertbn::fault

@@ -1,0 +1,174 @@
+/// \file test_fleet_isolation.cpp
+/// The fleet's isolation proof (ISSUE acceptance criterion): faults
+/// injected into >= 10% of a 200-tenant fleet leave the unaffected
+/// tenants within noise of the fault-free same-seed run. Two regimes:
+///
+///  * Uncontended rebuild budget: the global scheduler never defers, so
+///    every unaffected tenant is provably decoupled and the test asserts
+///    the strongest form of "within noise" — bit-identical window,
+///    counters, and model text.
+///  * Contended budget: the scheduler legitimately couples tenants (a
+///    quarantined tenant leaving the candidate pool shifts grant timing
+///    for its cohort), so the model side relaxes to the ISSUE's 5%
+///    staleness criterion while the ingest side stays bit-identical
+///    (ingest never passes through the scheduler).
+///
+/// Also pins the quarantine -> LKG-serving -> probation -> re-admission
+/// arc at fleet scale and the determinism of the degraded run itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace kertbn {
+namespace {
+
+using fleet::Fleet;
+using fleet::TenantCondition;
+
+constexpr std::size_t kTenants = 200;
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kTicks = 72;
+
+Fleet::Config fleet_config(const fault::FleetFaultPlan* plan,
+                           std::size_t rebuild_budget) {
+  Fleet::Config cfg;
+  cfg.tenants = kTenants;
+  cfg.shards = kShards;
+  cfg.seed = 7;
+  // Faster rebuild cadence (T_CON = 6 * T_DATA) so the run exercises
+  // several reconstruction cycles per tenant.
+  cfg.schedule.alpha_model = 6;
+  cfg.scheduler.max_rebuilds_per_tick = rebuild_budget;
+  cfg.faults = plan;
+  return cfg;
+}
+
+/// 10 poisoned tenants + 10 crashed tenants = 10% of the fleet (ids are
+/// disjoint). The poison window closes long before quarantine cooldown
+/// ends, so the probation that follows runs clean and re-admits.
+fault::FleetFaultPlan fleet_plan() {
+  fault::FleetFaultPlan plan;
+  plan.seed = 99;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    plan.poisons.push_back({t * 19 + 3, {14, 22}, /*corrupt_prob=*/1.0});
+  }
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    // Ephemeral tenants: a crash loses the whole window (worst case).
+    plan.crashes.push_back({t * 17 + 6, /*at_tick=*/30 + t});
+  }
+  return plan;
+}
+
+TEST(FleetIsolation, FaultedTenthLeavesTheRestBitIdentical) {
+  const fault::FleetFaultPlan plan = fleet_plan();
+
+  // Budget >= tenant count: no scheduler contention, so unaffected
+  // tenants have no coupling channel left at all.
+  Fleet clean(fleet_config(nullptr, kTenants));
+  Fleet faulted(fleet_config(&plan, kTenants));
+  clean.run_ticks(kTicks);
+  faulted.run_ticks(kTicks);
+
+  std::size_t targeted = 0;
+  for (std::uint64_t id = 0; id < kTenants; ++id) {
+    if (plan.targets_tenant(id)) {
+      ++targeted;
+      continue;
+    }
+    SCOPED_TRACE("tenant " + std::to_string(id));
+    const sim::ServerState a = faulted.tenant(id).server_state();
+    const sim::ServerState b = clean.tenant(id).server_state();
+    ASSERT_EQ(a.window, b.window);
+    ASSERT_EQ(a.total_points, b.total_points);
+    ASSERT_EQ(a.quarantined_values, b.quarantined_values);
+    ASSERT_EQ(faulted.tenant(id).model_text(), clean.tenant(id).model_text());
+    ASSERT_EQ(faulted.tenant(id).staleness_ticks(kTicks - 1),
+              clean.tenant(id).staleness_ticks(kTicks - 1));
+    EXPECT_EQ(faulted.condition(id), TenantCondition::kHealthy);
+    EXPECT_EQ(faulted.quarantine_events(id), 0u);
+  }
+  EXPECT_GE(targeted, kTenants / 10);  // The fault plan covers >= 10%.
+
+  // Fleet-level staleness tail within 5% of the fault-free run (plus one
+  // tick of absolute slack — the clean tail is only a few ticks).
+  EXPECT_LE(faulted.status().staleness_p99_ticks,
+            clean.status().staleness_p99_ticks * 1.05 + 1.0);
+}
+
+TEST(FleetIsolation, ContendedSchedulerStillMeetsTheFivePercentCriterion) {
+  const fault::FleetFaultPlan plan = fleet_plan();
+
+  // ~34 rebuild slots/tick needed on average; 48 keeps the fleet healthy
+  // but the initial warm-up burst saturates every cohort, so quarantine
+  // churn can shift grant timing for unaffected tenants.
+  Fleet clean(fleet_config(nullptr, 48));
+  Fleet faulted(fleet_config(&plan, 48));
+  clean.run_ticks(kTicks);
+  faulted.run_ticks(kTicks);
+
+  for (std::uint64_t id = 0; id < kTenants; ++id) {
+    if (plan.targets_tenant(id)) continue;
+    SCOPED_TRACE("tenant " + std::to_string(id));
+    // Ingest never passes through the scheduler: still bit-identical.
+    ASSERT_EQ(faulted.tenant(id).server_state().window,
+              clean.tenant(id).server_state().window);
+    EXPECT_EQ(faulted.condition(id), TenantCondition::kHealthy);
+    // Model freshness stays bounded even if a grant slid a tick or two.
+    EXPECT_LE(faulted.tenant(id).staleness_ticks(kTicks - 1),
+              2 * faulted.config().schedule.alpha_model);
+  }
+  EXPECT_LE(faulted.status().staleness_p99_ticks,
+            clean.status().staleness_p99_ticks * 1.05 + 2.0);
+}
+
+TEST(FleetIsolation, PoisonedTenantsQuarantineServeLkgAndReadmit) {
+  const fault::FleetFaultPlan plan = fleet_plan();
+  Fleet faulted(fleet_config(&plan, kTenants));
+
+  // Mid-poison + strikes: every poisoned tenant is quarantined, but its
+  // last-known-good model (built before the window opened) still serves.
+  faulted.run_ticks(24);
+  for (const fault::TenantPoison& p : plan.poisons) {
+    SCOPED_TRACE("tenant " + std::to_string(p.tenant));
+    EXPECT_EQ(faulted.condition(p.tenant), TenantCondition::kQuarantined);
+    EXPECT_NE(faulted.tenant(p.tenant).health(), core::ModelHealth::kNone);
+  }
+
+  // Cooldown (24) + clean probation (12) both fit inside the run: every
+  // poisoned tenant is re-admitted and healthy at the end.
+  faulted.run_ticks(kTicks - 24);
+  const fleet::FleetStatus st = faulted.status();
+  for (const fault::TenantPoison& p : plan.poisons) {
+    SCOPED_TRACE("tenant " + std::to_string(p.tenant));
+    EXPECT_EQ(faulted.condition(p.tenant), TenantCondition::kHealthy);
+    EXPECT_EQ(faulted.quarantine_events(p.tenant), 1u);
+    EXPECT_EQ(faulted.readmissions(p.tenant), 1u);
+  }
+  EXPECT_GE(st.quarantine_events, plan.poisons.size());
+  EXPECT_GE(st.readmissions, plan.poisons.size());
+  EXPECT_EQ(st.crash_recoveries, plan.crashes.size());
+}
+
+TEST(FleetIsolation, DegradedRunIsDeterministicPerSeed) {
+  const fault::FleetFaultPlan plan = fleet_plan();
+  // The contended configuration is the harder determinism case: grant
+  // patterns depend on every prior tick's outcome.
+  Fleet a(fleet_config(&plan, 48));
+  Fleet b(fleet_config(&plan, 48));
+  a.run_ticks(kTicks);
+  b.run_ticks(kTicks);
+  EXPECT_EQ(a.status(), b.status());
+  for (std::uint64_t id = 0; id < kTenants; id += 13) {
+    SCOPED_TRACE("tenant " + std::to_string(id));
+    EXPECT_EQ(a.tenant(id).model_text(), b.tenant(id).model_text());
+    EXPECT_EQ(a.tenant(id).server_state().window,
+              b.tenant(id).server_state().window);
+  }
+}
+
+}  // namespace
+}  // namespace kertbn

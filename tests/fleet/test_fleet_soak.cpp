@@ -1,0 +1,124 @@
+/// \file test_fleet_soak.cpp
+/// Nightly fleet soak (ctest label: soak): a 500-tenant fleet rides out a
+/// mixed fault schedule — poison windows, staggered crashes, a shard-wide
+/// CPU stall — and must come out the other side with every non-targeted
+/// tenant healthy, the staleness tail bounded, the rollup arithmetic
+/// consistent, and the whole degraded run deterministic per seed.
+///
+/// KERTBN_FLEET_SOAK_TENANTS trims the fleet for constrained machines.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "fleet/fleet.hpp"
+
+namespace kertbn {
+namespace {
+
+using fleet::Fleet;
+using fleet::TenantCondition;
+
+std::size_t soak_tenants() {
+  if (const char* env = std::getenv("KERTBN_FLEET_SOAK_TENANTS")) {
+    const long v = std::atol(env);
+    if (v > 16) return static_cast<std::size_t>(v);
+  }
+  return 500;
+}
+
+constexpr std::size_t kTicks = 96;
+
+Fleet::Config soak_config(std::size_t tenants,
+                          const fault::FleetFaultPlan* plan) {
+  Fleet::Config cfg;
+  cfg.tenants = tenants;
+  cfg.shards = 8;
+  cfg.seed = 2026;
+  cfg.schedule.alpha_model = 6;
+  // ~tenants/6 rebuilds due per tick once staggered; leave headroom so
+  // recovering tenants do not starve the healthy ones.
+  cfg.scheduler.max_rebuilds_per_tick = tenants / 4;
+  cfg.faults = plan;
+  return cfg;
+}
+
+/// ~8% of the fleet poisoned or crashed, plus one stalled shard.
+fault::FleetFaultPlan soak_plan(std::size_t tenants) {
+  fault::FleetFaultPlan plan;
+  plan.seed = 31337;
+  const std::uint64_t n = tenants;
+  for (std::uint64_t t = 0; t < n / 25; ++t) {
+    plan.poisons.push_back(
+        {(t * 29 + 1) % n, {20, 30}, /*corrupt_prob=*/0.8});
+  }
+  for (std::uint64_t t = 0; t < n / 25; ++t) {
+    plan.crashes.push_back({(t * 31 + 2) % n, 40 + (t % 10)});
+  }
+  plan.stalls.push_back({/*shard=*/3, {50, 60}, /*severity=*/2.5});
+  return plan;
+}
+
+TEST(FleetSoak, FiveHundredTenantsRideOutAMixedFaultSchedule) {
+  const std::size_t tenants = soak_tenants();
+  const fault::FleetFaultPlan plan = soak_plan(tenants);
+  Fleet fleet(soak_config(tenants, &plan));
+  fleet.run_ticks(kTicks);
+
+  const fleet::FleetStatus st = fleet.status();
+  EXPECT_EQ(st.tenants, tenants);
+  EXPECT_EQ(st.ticks, kTicks);
+
+  // Rollup arithmetic: conditions and health states partition the fleet.
+  EXPECT_EQ(st.healthy + st.probation + st.quarantined, tenants);
+  EXPECT_EQ(st.health_none + st.health_fresh + st.health_stale +
+                st.health_fallback + st.health_degraded,
+            tenants);
+  std::uint64_t shard_tenants = 0;
+  std::uint64_t shard_rebuilds = 0;
+  for (const fleet::ShardStatus& s : st.shard_status) {
+    shard_tenants += s.tenants;
+    shard_rebuilds += s.rebuilds;
+  }
+  EXPECT_EQ(shard_tenants, tenants);
+  EXPECT_EQ(shard_rebuilds, st.rebuilds);
+
+  // The fault schedule actually fired...
+  EXPECT_GE(st.quarantine_events, plan.poisons.size());
+  EXPECT_EQ(st.crash_recoveries, plan.crashes.size());
+  EXPECT_GT(st.shard_status[3].governor_deferred, 0u);
+
+  // ...and the fleet healed: poison windows closed at tick 30, crashes
+  // ended by tick 50, the stall by tick 60 — by tick 96 every poisoned
+  // tenant has served its cooldown + probation and is healthy again.
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_GE(st.readmissions, plan.poisons.size());
+  for (std::uint64_t id = 0; id < tenants; ++id) {
+    if (plan.targets_tenant(id)) continue;
+    ASSERT_EQ(fleet.condition(id), TenantCondition::kHealthy)
+        << "tenant " << id;
+    ASSERT_EQ(fleet.quarantine_events(id), 0u) << "tenant " << id;
+  }
+
+  // Bounded staleness tail across the whole fleet, faults included.
+  EXPECT_LE(st.staleness_p99_ticks,
+            3.0 * static_cast<double>(fleet.config().schedule.alpha_model));
+}
+
+TEST(FleetSoak, DegradedSoakIsDeterministicPerSeed) {
+  const std::size_t tenants = soak_tenants();
+  const fault::FleetFaultPlan plan = soak_plan(tenants);
+  Fleet a(soak_config(tenants, &plan));
+  Fleet b(soak_config(tenants, &plan));
+  a.run_ticks(kTicks);
+  b.run_ticks(kTicks);
+  EXPECT_EQ(a.status(), b.status());
+  for (std::uint64_t id = 0; id < tenants; id += 37) {
+    SCOPED_TRACE("tenant " + std::to_string(id));
+    EXPECT_EQ(a.tenant(id).model_text(), b.tenant(id).model_text());
+  }
+}
+
+}  // namespace
+}  // namespace kertbn

@@ -1,0 +1,174 @@
+/// \file test_multitenant_recovery.cpp
+/// Satellite: eight durable tenants crash mid-run inside a shared fleet
+/// process; each tenant's checkpoint + journal replay recovery must be
+/// bit-identical to driving that tenant *solo* (same config, no fleet, no
+/// shard hooks) through the same crash — and no tenant's journal may
+/// contain another tenant's measurements (no cross-tenant journal reads
+/// or writes).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "durable/journal.hpp"
+#include "durable/recovery.hpp"
+#include "fleet/fleet.hpp"
+
+namespace kertbn {
+namespace {
+
+namespace fs = std::filesystem;
+
+using fleet::Fleet;
+using fleet::Tenant;
+using fleet::TenantWorkload;
+
+constexpr std::size_t kTenants = 8;
+constexpr std::size_t kTicks = 36;
+constexpr std::uint64_t kFirstCrashTick = 16;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("kertbn_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+fault::FleetFaultPlan crash_plan() {
+  fault::FleetFaultPlan plan;
+  plan.seed = 4;
+  for (std::uint64_t t = 0; t < kTenants; ++t) {
+    // Staggered crashes: each tenant loses its process at a different
+    // tick, so replays of different depths run side by side.
+    plan.crashes.push_back({t, kFirstCrashTick + t});
+  }
+  return plan;
+}
+
+Fleet::Config fleet_config(const fault::FleetFaultPlan* plan,
+                           const std::string& data_root) {
+  Fleet::Config cfg;
+  cfg.tenants = kTenants;
+  cfg.shards = 2;
+  cfg.seed = 23;
+  cfg.data_root = data_root;
+  cfg.checkpoint_every = 10;
+  // Budget == tenant count: a due tenant is always granted, which is the
+  // exact policy the solo driver below mirrors.
+  cfg.scheduler.max_rebuilds_per_tick = kTenants;
+  cfg.faults = plan;
+  return cfg;
+}
+
+void expect_states_equal(const sim::ServerState& got,
+                         const sim::ServerState& want) {
+  EXPECT_EQ(got.rows, want.rows);
+  EXPECT_EQ(got.cols, want.cols);
+  EXPECT_EQ(got.window, want.window);  // Exact double equality.
+  EXPECT_EQ(got.total_points, want.total_points);
+  EXPECT_EQ(got.dropped_intervals, want.dropped_intervals);
+  EXPECT_EQ(got.quarantined_values, want.quarantined_values);
+  EXPECT_EQ(got.consecutive_missed_intervals,
+            want.consecutive_missed_intervals);
+}
+
+TEST(MultiTenantRecovery, EachCrashRecoversBitIdenticalToASoloRun) {
+  const fault::FleetFaultPlan plan = crash_plan();
+  const fs::path fleet_root = fresh_dir("fleet_recovery");
+  const Fleet::Config cfg = fleet_config(&plan, fleet_root.string());
+
+  Fleet fleet(cfg);
+  fleet.run_ticks(kTicks);
+
+  for (std::uint64_t id = 0; id < kTenants; ++id) {
+    SCOPED_TRACE("tenant " + std::to_string(id));
+
+    // Drive the identical tenant solo: same derived config, its own
+    // durable directory, no shard, no fleet, no fault machinery — the
+    // crash is replayed by hand at the same tick, before that tick's
+    // ingest (the fleet's processing order).
+    const fs::path solo_dir =
+        fresh_dir("solo_recovery_" + std::to_string(id));
+    Tenant solo(Fleet::make_tenant_config(cfg, id, solo_dir.string()));
+    for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+      if (plan.crash_at(id, tick)) solo.restart(tick);
+      solo.ingest_tick(tick);
+      if (solo.due(tick)) solo.try_rebuild(tick);
+    }
+
+    const Tenant& in_fleet = fleet.tenant(id);
+    EXPECT_EQ(in_fleet.restarts(), 1u);
+    ASSERT_TRUE(in_fleet.last_recovery().has_value());
+    ASSERT_TRUE(solo.last_recovery().has_value());
+    const durable::RecoveryReport& fr = *in_fleet.last_recovery();
+    const durable::RecoveryReport& sr = *solo.last_recovery();
+    EXPECT_TRUE(fr.checkpoint_loaded);  // Crash happens past checkpoint 1.
+    EXPECT_EQ(fr.checkpoint_seq, sr.checkpoint_seq);
+    EXPECT_EQ(fr.replayed_ingests, sr.replayed_ingests);
+    EXPECT_EQ(fr.replay.skipped_crc, 0u);
+    EXPECT_EQ(fr.replay.last_seq, sr.replay.last_seq);
+
+    // The recovered-and-continued state is the whole point:
+    expect_states_equal(in_fleet.server_state(), solo.server_state());
+    EXPECT_EQ(in_fleet.model_text(), solo.model_text());
+    EXPECT_EQ(fleet.condition(id), fleet::TenantCondition::kHealthy);
+  }
+}
+
+TEST(MultiTenantRecovery, JournalsContainOnlyTheirOwnTenantsMeasurements) {
+  const fault::FleetFaultPlan plan = crash_plan();
+  const fs::path fleet_root = fresh_dir("fleet_journal_ownership");
+  const Fleet::Config cfg = fleet_config(&plan, fleet_root.string());
+
+  Fleet fleet(cfg);
+  fleet.run_ticks(kTicks);
+
+  // Every tenant's workload response stream, as ground truth. Distinct
+  // seeds make the streams pairwise disjoint, so one journaled response
+  // mean identifies exactly one (tenant, tick).
+  std::vector<std::set<double>> own_responses(kTenants);
+  for (std::uint64_t id = 0; id < kTenants; ++id) {
+    const TenantWorkload w(Fleet::make_tenant_config(cfg, id, "").workload);
+    for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+      own_responses[id].insert(w.response_mean(tick));
+    }
+  }
+  for (std::uint64_t a = 0; a < kTenants; ++a) {
+    for (std::uint64_t b = a + 1; b < kTenants; ++b) {
+      for (const double r : own_responses[a]) {
+        ASSERT_FALSE(own_responses[b].contains(r));
+      }
+    }
+  }
+
+  for (std::uint64_t id = 0; id < kTenants; ++id) {
+    SCOPED_TRACE("tenant " + std::to_string(id));
+    const std::string dir =
+        (fleet_root / ("tenant-" + std::to_string(id))).string();
+    ASSERT_FALSE(durable::journal_segments(dir).empty());
+    std::size_t decoded = 0;
+    const durable::ReplayStats stats = durable::replay_journal(
+        dir, 0, [&](std::uint64_t, std::string_view payload) {
+          durable::IngestEvent event;
+          ASSERT_TRUE(durable::decode_event(payload, event));
+          if (event.missed) return;
+          ++decoded;
+          // The 17-significant-digit codec round-trips exactly, so a
+          // journaled response must be a member of this tenant's own
+          // stream — any cross-tenant write would land in a foreign set.
+          EXPECT_TRUE(own_responses[id].contains(event.response_mean))
+              << "foreign response mean " << event.response_mean;
+          ASSERT_EQ(event.reports.size(), 1u);
+          EXPECT_EQ(event.reports[0].service_means.size(),
+                    fleet.config().services);
+        });
+    EXPECT_GT(decoded, 0u);
+    EXPECT_EQ(stats.skipped_crc, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kertbn
